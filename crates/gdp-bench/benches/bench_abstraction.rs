@@ -1,0 +1,69 @@
+//! B6 — the map-generalization pipeline (§V.D): averaging a coarse patch
+//! through `@a`, and the island-threshold rule, vs grid size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp::spatial::abstraction::{abstraction_meta_model, threshold_copy_rule};
+use gdp_bench::workloads::spatial_world;
+
+fn pt(x: f64, y: f64) -> Pat {
+    Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)])
+}
+
+fn bench_area_average(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_area_average");
+    group.sample_size(10);
+    for g in [8u32, 16, 32] {
+        let (mut spec, _reg) = spatial_world(g);
+        // Attach elevations to every fine patch.
+        for j in 0..g {
+            for i in 0..g {
+                spec.assert_fact(
+                    FactPat::new("elev")
+                        .arg(Pat::Float(f64::from(i + j)))
+                        .arg("land")
+                        .space(SpaceQual::AreaUniform {
+                            res: Pat::atom("fine"),
+                            at: pt(f64::from(i) + 0.5, f64::from(j) + 0.5),
+                        }),
+                )
+                .unwrap();
+            }
+        }
+        let probe = FactPat::new("elev").arg("Z").arg("land").space(SpaceQual::AreaAveraged {
+            res: Pat::atom("coarse"),
+            at: pt(2.0, 2.0),
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| {
+                let answers = spec.query_n(probe.clone(), 1).unwrap();
+                assert_eq!(answers.len(), 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_island_threshold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B6_island_threshold");
+    group.sample_size(10);
+    for g in [8u32, 16] {
+        let (mut spec, _reg) = spatial_world(g);
+        spec.register_meta_model(abstraction_meta_model(
+            "gen",
+            vec![threshold_copy_rule("zone", "fine", "coarse", 4)],
+        ));
+        spec.activate_meta_model("gen").unwrap();
+        let probe = FactPat::new("zone").arg("wet").space(SpaceQual::AreaUniform {
+            res: Pat::atom("coarse"),
+            at: pt(2.0, 2.0),
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| spec.provable(probe.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_area_average, bench_island_threshold);
+criterion_main!(benches);

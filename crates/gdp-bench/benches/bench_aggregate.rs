@@ -1,0 +1,54 @@
+//! B10 — the aggregation primitives: `card` (the paper's statistical
+//! accuracy machinery, §VII.B) and `avg` over growing solution sets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::core::AggOp;
+use gdp::prelude::*;
+use gdp_bench::workloads::fact_base;
+
+fn bench_card(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B10_card");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let spec = fact_base(n, true);
+        let formula = Formula::Card(
+            Box::new(Formula::fact(FactPat::new("site").arg("X").arg("N"))),
+            Pat::var("Count"),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let answers = spec.satisfy(&formula).unwrap();
+                assert_eq!(
+                    answers[0].get("Count").unwrap(),
+                    &Term::int(n as i64)
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_avg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B10_avg");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let spec = fact_base(n, true);
+        let formula = Formula::Agg(
+            AggOp::Avg,
+            Pat::var("N"),
+            Box::new(Formula::fact(FactPat::new("site").arg("X").arg("N"))),
+            Pat::var("Mean"),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let answers = spec.satisfy(&formula).unwrap();
+                let mean = answers[0].get("Mean").unwrap().as_f64().unwrap();
+                assert!((mean - (n as f64 - 1.0) / 2.0).abs() < 1e-9);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_card, bench_avg);
+criterion_main!(benches);

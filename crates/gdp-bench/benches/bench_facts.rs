@@ -1,0 +1,53 @@
+//! B1 — fact assertion and ground-query cost vs base size.
+//!
+//! The paper's premise: requirements-level data volumes are "relatively
+//! small" and flexibility beats performance (§I). This bench puts numbers
+//! on what "small" buys: assertion throughput and ground-lookup latency as
+//! the fact base grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::fact_base;
+
+fn bench_assert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_assert_facts");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| fact_base(n, true));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ground_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_ground_query");
+    for n in [100usize, 1_000, 10_000] {
+        let spec = fact_base(n, true);
+        let probe = FactPat::new("site")
+            .arg(Pat::Atom(format!("s{}", n / 2)))
+            .arg(Pat::Int((n / 2) as i64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| spec.provable(probe.clone()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B1_enumerate_all");
+    group.sample_size(10);
+    for n in [100usize, 1_000, 10_000] {
+        let spec = fact_base(n, true);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let answers = spec.query(FactPat::new("site").arg("X").arg("N")).unwrap();
+                assert_eq!(answers.len(), n);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assert, bench_ground_query, bench_enumerate);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! B8 — fuzzy overhead: crisp inference vs the AC accuracy-propagation
+//! pass over the same rule shape. §VII claims fuzzy logic is "compatible"
+//! with two-valued inference; this measures the constant factor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::fuzzy::ac::{derive_accuracies, AcOptions};
+use gdp::prelude::*;
+use gdp_bench::workloads::fuzzy_world;
+
+fn bench_crisp_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B8_crisp_inference");
+    group.sample_size(10);
+    for n in [10usize, 50, 200] {
+        let spec = fuzzy_world(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let answers = spec.query(FactPat::new("chazard").arg("X")).unwrap();
+                assert_eq!(answers.len(), n);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ac_propagation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B8_ac_propagation");
+    group.sample_size(10);
+    let rule = Rule::new(
+        FactPat::new("hazard").arg("X"),
+        Formula::and(
+            Formula::fact(FactPat::new("flooded").arg("X")),
+            Formula::fact(FactPat::new("frozen").arg("X")),
+        ),
+    );
+    for n in [10usize, 50, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                // Fresh spec per iteration: derive_accuracies asserts.
+                let mut spec = fuzzy_world(n);
+                let derived =
+                    derive_accuracies(&mut spec, &rule, &AcOptions::default()).unwrap();
+                assert_eq!(derived, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crisp_baseline, bench_ac_propagation);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! B2 — virtual-fact inference cost vs rule-chain depth.
+//!
+//! Quantifies the "notorious inefficiency" of logic-based models the paper
+//! accepts in exchange for flexibility (§I): resolution cost grows with
+//! derivation depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::inference_chain;
+
+fn bench_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B2_inference_depth");
+    for depth in [2usize, 8, 32, 64] {
+        let spec = inference_chain(depth, 10);
+        let goal = FactPat::new(&format!("level{depth}")).arg("X");
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let answers = spec.query(goal.clone()).unwrap();
+                assert_eq!(answers.len(), 10);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_depth);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! B9 — world-view filtering overhead: query latency as facts spread
+//! across more models, and the cost of switching world views.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::model_world;
+
+fn bench_query_across_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B9_query_across_models");
+    group.sample_size(10);
+    for m in [1usize, 4, 16] {
+        let mut spec = model_world(m, 1_000 / m);
+        let names: Vec<String> = (0..m).map(|i| format!("m{i}")).collect();
+        let mut view: Vec<&str> = vec!["omega"];
+        view.extend(names.iter().map(String::as_str));
+        spec.set_world_view(&view).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let answers = spec.query(FactPat::new("datum").arg("X")).unwrap();
+                assert_eq!(answers.len(), 1_000 / m * m);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_world_view_switch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B9_world_view_switch");
+    for m in [4usize, 16, 64] {
+        let mut spec = model_world(m, 10);
+        let names: Vec<String> = (0..m).map(|i| format!("m{i}")).collect();
+        let all: Vec<&str> = std::iter::once("omega")
+            .chain(names.iter().map(String::as_str))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                spec.set_world_view(&all).unwrap();
+                spec.set_world_view(&["omega"]).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_across_models, bench_world_view_switch);
+criterion_main!(benches);

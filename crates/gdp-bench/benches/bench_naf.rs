@@ -1,0 +1,38 @@
+//! B4 — negation-as-failure and bounded universal quantification: the cost
+//! of the paper's `open_road` (∀) and `closed` (not) rules as the bridge
+//! count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::bridge_world;
+
+fn bench_forall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_open_road_forall");
+    for bridges in [2usize, 8, 32] {
+        let spec = bridge_world(20, bridges);
+        group.bench_with_input(BenchmarkId::from_parameter(bridges), &bridges, |b, _| {
+            b.iter(|| {
+                let open = spec.query(FactPat::new("open_road").arg("X")).unwrap();
+                assert_eq!(open.len(), 10);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_naf(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B4_closed_naf");
+    for bridges in [2usize, 8, 32] {
+        let spec = bridge_world(20, bridges);
+        group.bench_with_input(BenchmarkId::from_parameter(bridges), &bridges, |b, _| {
+            b.iter(|| {
+                let closed = spec.query(FactPat::new("closed").arg("X")).unwrap();
+                assert_eq!(closed.len(), 10);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forall, bench_naf);
+criterion_main!(benches);

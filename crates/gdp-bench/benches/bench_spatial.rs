@@ -1,0 +1,62 @@
+//! B5 — spatial-operator cascades vs grid resolution: point queries
+//! through `@u`, sampled queries through `@s`, and averages through `@a`
+//! as the logical space grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::spatial_world;
+
+fn pt(x: f64, y: f64) -> Pat {
+    Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)])
+}
+
+fn bench_point_through_uniform(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_point_via_uniform");
+    group.sample_size(10);
+    for g in [8u32, 16, 32] {
+        let (spec, _reg) = spatial_world(g);
+        let probe = FactPat::new("zone").arg("wet").at(pt(0.7, 0.2));
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| assert!(spec.provable(probe.clone()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_at_coarse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B5_sampled_at_coarse");
+    group.sample_size(10);
+    for g in [8u32, 16, 32] {
+        let (spec, _reg) = spatial_world(g);
+        let probe = FactPat::new("zone").arg("wet").space(SpaceQual::AreaSampled {
+            res: Pat::atom("coarse"),
+            at: pt(2.0, 2.0),
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| assert!(spec.provable(probe.clone()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_negative_point(c: &mut Criterion) {
+    // Failing spatial queries must scan every candidate patch fact.
+    let mut group = c.benchmark_group("B5_negative_point");
+    group.sample_size(10);
+    for g in [8u32, 16, 32] {
+        let (spec, _reg) = spatial_world(g);
+        let probe = FactPat::new("zone").arg("dry").at(pt(0.7, 0.2));
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
+            b.iter(|| assert!(!spec.provable(probe.clone()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_point_through_uniform,
+    bench_sampled_at_coarse,
+    bench_negative_point
+);
+criterion_main!(benches);

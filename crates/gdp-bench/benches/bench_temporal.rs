@@ -1,0 +1,62 @@
+//! B7 — temporal reasoning: instant lookups under the continuity
+//! assumption as the assertion history grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::temporal_history;
+
+fn bench_continuity_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_continuity_lookup");
+    group.sample_size(10);
+    // An instant lookup under the continuity assumption is O(h³): the
+    // interval-uniform rule leaves the derived interval unbound, so the
+    // continuity rule enumerates all (T1, T2) assertion pairs (h²) and
+    // runs an O(h) negation scan for each — the paper's "notorious
+    // inefficiency" made concrete. Keep h modest and budget generous.
+    for h in [10usize, 50, 150] {
+        let mut spec = temporal_history(h);
+        spec.set_budget(1_000_000_000, 256);
+        // Probe a moment midway between two assertions.
+        let t = (h as i64 / 2) * 10 + 5;
+        let value = if (h / 2) % 2 == 0 { "open" } else { "closed" };
+        let probe = FactPat::new("status")
+            .arg(value)
+            .arg("b1")
+            .time(TimeQual::At(Pat::Int(t)));
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, _| {
+            b.iter(|| assert!(spec.provable(probe.clone()).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_interval_average(c: &mut Criterion) {
+    let mut group = c.benchmark_group("B7_interval_average");
+    group.sample_size(10);
+    for h in [10usize, 100, 1_000] {
+        let mut spec = Specification::new();
+        gdp::temporal::install_default(&mut spec).unwrap();
+        for t in 0..h {
+            spec.assert_fact(
+                FactPat::new("temp")
+                    .arg(Pat::Float(t as f64))
+                    .arg("stl")
+                    .time(TimeQual::At(Pat::Int(t as i64))),
+            )
+            .unwrap();
+        }
+        let probe = FactPat::new("temp").arg("Z").arg("stl").time(
+            TimeQual::IntervalAveraged(IntervalPat::closed(0, h as i64)),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, _| {
+            b.iter(|| {
+                let answers = spec.query_n(probe.clone(), 1).unwrap();
+                assert_eq!(answers.len(), 1);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_continuity_lookup, bench_interval_average);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerate EXPERIMENTS.md's correctness table from live runs of E1–E16.
+//!
+//! Usage: `cargo run -p gdp-bench --bin experiments [-- --write PATH]`
+//! Without `--write`, prints the markdown table to stdout.
+
+use gdp_bench::experiments::run_all;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let write_path = args
+        .iter()
+        .position(|a| a == "--write")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let records = run_all();
+    let mut out = String::new();
+    out.push_str("| id | § | example | paper outcome | observed | match |\n");
+    out.push_str("|----|---|---------|---------------|----------|-------|\n");
+    let mut passes = 0;
+    for r in &records {
+        if r.pass {
+            passes += 1;
+        }
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            r.id,
+            r.section,
+            r.title,
+            r.expected,
+            r.observed,
+            if r.pass { "yes" } else { "**NO**" }
+        ));
+    }
+    out.push_str(&format!(
+        "\n{passes}/{} experiments match the paper's stated outcomes.\n",
+        records.len()
+    ));
+
+    match write_path {
+        Some(path) => {
+            std::fs::write(&path, &out).expect("write experiment table");
+            eprintln!("wrote {path} ({passes}/{} pass)", records.len());
+        }
+        None => print!("{out}"),
+    }
+    if passes != records.len() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,618 @@
+//! E1–E16: programmatic re-execution of the paper's worked examples,
+//! producing the paper-vs-measured records EXPERIMENTS.md is generated
+//! from. The integration test suite asserts the same outcomes; this
+//! module *reports* them.
+
+use gdp::fuzzy::ac::{ac_of, derive_accuracies, AcOptions};
+use gdp::fuzzy::{unified_fuzzy, unified_threshold_model, UnifyPolicy};
+use gdp::lang::{load, query};
+use gdp::prelude::*;
+
+/// One experiment's outcome.
+#[derive(Clone, Debug)]
+pub struct ExperimentRecord {
+    /// Experiment id, `E1`…`E16`.
+    pub id: &'static str,
+    /// Paper section the example comes from.
+    pub section: &'static str,
+    /// What is being reproduced.
+    pub title: &'static str,
+    /// The paper's stated/implied outcome.
+    pub expected: String,
+    /// What this implementation observed.
+    pub observed: String,
+    /// Did observed match expected?
+    pub pass: bool,
+}
+
+fn pt(x: f64, y: f64) -> Pat {
+    Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)])
+}
+
+fn uniform(res: &str, x: f64, y: f64) -> SpaceQual {
+    SpaceQual::AreaUniform {
+        res: Pat::atom(res),
+        at: pt(x, y),
+    }
+}
+
+/// Run every experiment, in order.
+pub fn run_all() -> Vec<ExperimentRecord> {
+    vec![
+        e01(),
+        e02(),
+        e03(),
+        e04(),
+        e05(),
+        e06(),
+        e07(),
+        e08(),
+        e09(),
+        e10(),
+        e11(),
+        e12(),
+        e13(),
+        e14(),
+        e15(),
+        e16(),
+    ]
+}
+
+fn record(
+    id: &'static str,
+    section: &'static str,
+    title: &'static str,
+    expected: &str,
+    observed: String,
+) -> ExperimentRecord {
+    ExperimentRecord {
+        id,
+        section,
+        title,
+        expected: expected.to_string(),
+        pass: observed == expected,
+        observed,
+    }
+}
+
+fn e01() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    load(&mut spec, "road(s1). road(s2). road_intersection(s1, s2).").unwrap();
+    let roads = query(&spec, "road(X)").unwrap().len();
+    let unstated = spec.provable(FactPat::new("road").arg("s3")).unwrap();
+    record(
+        "E1",
+        "II.B",
+        "basic facts road(s1), road(s2), road_intersection(s1,s2)",
+        "2 roads; unstated fact undefined",
+        format!(
+            "{} roads; unstated fact {}",
+            roads,
+            if unstated { "provable" } else { "undefined" }
+        ),
+    )
+}
+
+fn e02() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    load(
+        &mut spec,
+        r#"
+        road(s1). road(s2).
+        bridge(b1, s1). bridge(b2, s1). bridge(b3, s2).
+        open(b1). open(b2).
+        open_road(X) :- road(X), forall(bridge(Y, X), open(Y)).
+        closed(X) :- bridge(X, R), not(open(X)).
+        known_status(X) :- bridge(X, R), (open(X) ; closed(X)).
+        "#,
+    )
+    .unwrap();
+    let open = query(&spec, "open_road(X)").unwrap();
+    let closed = query(&spec, "closed(B)").unwrap();
+    let known = query(&spec, "known_status(B)").unwrap();
+    record(
+        "E2",
+        "III.A",
+        "virtual facts: open_road (∀), closed (not), known_status (∨)",
+        "open_road={s1}; closed={b3}; known_status for 3 bridges",
+        format!(
+            "open_road={{{}}}; closed={{{}}}; known_status for {} bridges",
+            open.iter()
+                .map(|a| a.get("X").unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            closed
+                .iter()
+                .map(|a| a.get("B").unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            known.len()
+        ),
+    )
+}
+
+fn e03() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    load(&mut spec, "average_temperature(50)(saint_louis).").unwrap();
+    let t = query(&spec, "average_temperature(T)(saint_louis)").unwrap();
+    record(
+        "E3",
+        "III.B",
+        "semantic-domain value: average_temperature(50)(saint_louis)",
+        "T = 50",
+        format!("T = {}", t[0].get("T").unwrap()),
+    )
+}
+
+fn e04() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    spec.set_sort_enforcement(SortEnforcement::Off);
+    load(
+        &mut spec,
+        r#"
+        #domain temperature float(-100, 200).
+        average_temperature(45)(saint_louis).
+        average_temperature(green)(saint_louis).
+        constraint bad_temp(X) :-
+            average_temperature(X)(Y), not(domain(temperature, X)).
+        capital_of(jc, missouri). capital_of(stl, missouri).
+        constraint two_capitals(Z) :-
+            capital_of(X, Z), capital_of(Y, Z), X \= Y.
+        "#,
+    )
+    .unwrap();
+    let violations = spec.check_consistency().unwrap();
+    let mut types: Vec<String> = violations
+        .iter()
+        .map(|v| v.error_type.to_string())
+        .collect();
+    types.sort();
+    types.dedup();
+    record(
+        "E4",
+        "III.C",
+        "constraints: bad_temp(green) flagged; two-capitals law",
+        "violations: bad_temp, two_capitals",
+        format!("violations: {}", types.join(", ")),
+    )
+}
+
+fn e05() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    load(
+        &mut spec,
+        "celsius'freezing_point(0)(x). fahrenheit'freezing_point(32)(x).",
+    )
+    .unwrap();
+    let before = query(&spec, "freezing_point(T)(x)").unwrap().len();
+    spec.set_world_view(&["omega", "celsius"]).unwrap();
+    let after = query(&spec, "freezing_point(T)(x)").unwrap().len();
+    record(
+        "E5",
+        "III.D-E",
+        "models & world views: celsius'freezing_point(0)(x)",
+        "0 answers under omega; 1 with celsius admitted",
+        format!("{before} answers under omega; {after} with celsius admitted"),
+    )
+}
+
+fn e06() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    spec.declare_object("b1");
+    spec.declare_object("b2");
+    spec.declare_predicate("open_status", vec![Sort::Any, Sort::Object])
+        .unwrap();
+    load(&mut spec, "open_status(true)(b1).").unwrap();
+    let arg2 = |first: &str| {
+        Pat::app(
+            ".",
+            vec![
+                Pat::atom(first),
+                Pat::app(".", vec![Pat::var("X"), Pat::Term(Term::nil())]),
+            ],
+        )
+    };
+    let h = |m: Pat, q: Pat, args: Pat| {
+        Pat::app("h", vec![m, Pat::atom("any"), Pat::atom("any"), q, args])
+    };
+    let cwa = MetaModel::new("cwa")
+        .clause(RawClause::build(
+            &h(Pat::var("M"), Pat::var("Q"), arg2("false")),
+            &[
+                Pat::app("is_model", vec![Pat::var("M")]),
+                Pat::app("is_pred", vec![Pat::var("Q")]),
+                Pat::app("is_object", vec![Pat::var("X")]),
+                Pat::app("not", vec![h(Pat::var("M"), Pat::var("Q"), arg2("true"))]),
+            ],
+        ))
+        .build();
+    spec.register_meta_model(cwa);
+    spec.activate_meta_model("cwa").unwrap();
+    let b2_false = spec
+        .provable(FactPat::new("open_status").arg("false").arg("b2"))
+        .unwrap();
+    let b1_false = spec
+        .provable(FactPat::new("open_status").arg("false").arg("b1"))
+        .unwrap();
+    record(
+        "E6",
+        "IV.A-B",
+        "meta-facts: closed-world assumption over predicates/objects",
+        "b2 assumed false: true; b1 negated: false",
+        format!(
+            "b2 assumed false: {b2_false}; b1 negated: {b1_false}"
+        ),
+    )
+}
+
+fn e07() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    gdp::temporal::install_default(&mut spec).unwrap();
+    load(&mut spec, "& 1975 dry(lakebed).").unwrap();
+    let claim = FactPat::new("dry").arg("lakebed").time(TimeQual::IntervalUniform(
+        IntervalPat::closed(1970, 1980),
+    ));
+    let before = spec.provable(claim.clone()).unwrap();
+    spec.activate_meta_model("comprehension_principle").unwrap();
+    let during = spec.provable(claim.clone()).unwrap();
+    spec.deactivate_meta_model("comprehension_principle").unwrap();
+    let after = spec.provable(claim).unwrap();
+    record(
+        "E7",
+        "IV.C-D",
+        "meta-models activate/deactivate on demand",
+        "inactive: no; active: yes; deactivated: no",
+        format!(
+            "inactive: {}; active: {}; deactivated: {}",
+            if before { "yes" } else { "no" },
+            if during { "yes" } else { "no" },
+            if after { "yes" } else { "no" }
+        ),
+    )
+}
+
+fn e08() -> ExperimentRecord {
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    reg.add_grid(&mut spec, "r", GridResolution::square(0.0, 0.0, 1.0, 16, 16))
+        .unwrap();
+    load(
+        &mut spec,
+        r#"
+        @ pt(3.0, 4.0) vegetation(pine)(hill).
+        @ pt(5.5, 5.5) elevation(120)(hill).
+        @ pt(5.5, 6.5) elevation(90)(hill).
+        @ P0 elevation_peak(Z0)(X) :-
+            @ P0 elevation(Z0)(X),
+            forall((@ P1 elevation(Z1)(X), dist(P0, P1, D), D < 2.0),
+                   Z0 >= Z1).
+        "#,
+    )
+    .unwrap();
+    let veg = spec
+        .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(3.0, 4.0)))
+        .unwrap();
+    let peaks = query(&spec, "@ P elevation_peak(Z)(hill)").unwrap();
+    record(
+        "E8",
+        "V.C",
+        "simple spatial operator; elevation-peak definition",
+        "@p vegetation: true; peaks: 120",
+        format!(
+            "@p vegetation: {}; peaks: {}",
+            veg,
+            peaks
+                .iter()
+                .map(|a| a.get("Z").unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join(",")
+        ),
+    )
+}
+
+fn e09() -> ExperimentRecord {
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+        .unwrap();
+    reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
+        .unwrap();
+    spec.assert_fact(
+        FactPat::new("vegetation").arg("pine").arg("land").space(uniform("r1", 5.0, 5.0)),
+    )
+    .unwrap();
+    let at_point = spec
+        .provable(FactPat::new("vegetation").arg("pine").arg("land").at(pt(2.0, 8.0)))
+        .unwrap();
+    let finer = spec
+        .provable(FactPat::new("vegetation").arg("pine").arg("land").space(uniform("r2", 7.5, 2.5)))
+        .unwrap();
+    spec.activate_meta_model("spatial_uniform_acquisition").unwrap();
+    for (x, y) in [(12.5, 2.5), (17.5, 2.5), (12.5, 7.5), (17.5, 7.5)] {
+        spec.assert_fact(FactPat::new("soil").arg("clay").space(uniform("r2", x, y)))
+            .unwrap();
+    }
+    let acquired = spec
+        .provable(FactPat::new("soil").arg("clay").space(uniform("r1", 15.0, 5.0)))
+        .unwrap();
+    record(
+        "E9",
+        "V.C",
+        "area-uniform: point + subarea inheritance, acquisition",
+        "point: true; finer patch: true; acquisition: true",
+        format!("point: {at_point}; finer patch: {finer}; acquisition: {acquired}"),
+    )
+}
+
+fn e10() -> ExperimentRecord {
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    reg.add_grid(&mut spec, "map", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+        .unwrap();
+    spec.assert_fact(FactPat::new("road").arg("rc").at(pt(13.0, 7.0)))
+        .unwrap();
+    let hit = spec
+        .provable(FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
+            res: Pat::atom("map"),
+            at: pt(15.0, 5.0),
+        }))
+        .unwrap();
+    let miss = spec
+        .provable(FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
+            res: Pat::atom("map"),
+            at: pt(35.0, 5.0),
+        }))
+        .unwrap();
+    record(
+        "E10",
+        "V.C",
+        "area-sampled: sub-resolution road still drawn",
+        "containing patch: true; other patch: false",
+        format!("containing patch: {hit}; other patch: {miss}"),
+    )
+}
+
+fn e11() -> ExperimentRecord {
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 20.0, 2, 2))
+        .unwrap();
+    reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+        .unwrap();
+    for ((x, y), z) in [(5.0, 5.0), (15.0, 5.0), (5.0, 15.0), (15.0, 15.0)]
+        .iter()
+        .zip([100.0, 200.0, 300.0, 400.0])
+    {
+        spec.assert_fact(
+            FactPat::new("elevation")
+                .arg(Pat::Float(z))
+                .arg("land")
+                .space(uniform("r2", *x, *y)),
+        )
+        .unwrap();
+    }
+    let answers = spec
+        .query(
+            FactPat::new("elevation").arg("Z").arg("land").space(SpaceQual::AreaAveraged {
+                res: Pat::atom("r1"),
+                at: pt(10.0, 10.0),
+            }),
+        )
+        .unwrap();
+    record(
+        "E11",
+        "V.C",
+        "area-averaged elevation over subpatches",
+        "avg = 250",
+        format!(
+            "avg = {}",
+            answers
+                .first()
+                .and_then(|a| a.get("Z").and_then(Term::as_f64))
+                .map(|z| format!("{z:.0}"))
+                .unwrap_or_else(|| "none".into())
+        ),
+    )
+}
+
+fn e12() -> ExperimentRecord {
+    use gdp::spatial::abstraction::{abstraction_meta_model, compose_rule, threshold_copy_rule};
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+        .unwrap();
+    reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
+        .unwrap();
+    spec.register_meta_model(abstraction_meta_model(
+        "map_gen",
+        vec![
+            threshold_copy_rule("island", "r2", "r1", 2),
+            compose_rule("lake", "shore", "shore_line", "r2", "r1"),
+        ],
+    ));
+    spec.activate_meta_model("map_gen").unwrap();
+    for (x, y) in [(2.5, 2.5), (7.5, 2.5), (2.5, 7.5)] {
+        spec.assert_fact(FactPat::new("island").arg("big").space(uniform("r2", x, y)))
+            .unwrap();
+    }
+    spec.assert_fact(FactPat::new("island").arg("small").space(uniform("r2", 22.5, 2.5)))
+        .unwrap();
+    spec.assert_fact(FactPat::new("lake").arg("erie").space(uniform("r2", 32.5, 32.5)))
+        .unwrap();
+    spec.assert_fact(FactPat::new("shore").arg("erie").space(uniform("r2", 37.5, 32.5)))
+        .unwrap();
+    let big = spec
+        .provable(FactPat::new("island").arg("big").space(uniform("r1", 5.0, 5.0)))
+        .unwrap();
+    let small = spec
+        .provable(FactPat::new("island").arg("small").space(uniform("r1", 25.0, 5.0)))
+        .unwrap();
+    let shoreline = spec
+        .provable(FactPat::new("shore_line").arg("erie").space(uniform("r1", 35.0, 35.0)))
+        .unwrap();
+    record(
+        "E12",
+        "V.D",
+        "abstraction: island thresholding + shore-line composition",
+        "big kept: true; small kept: false; shore_line: true",
+        format!(
+            "big kept: {big}; small kept: {small}; shore_line: {shoreline}"
+        ),
+    )
+}
+
+fn e13() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    gdp::temporal::install_default(&mut spec).unwrap();
+    spec.set_now(1990.0);
+    let past = spec.prove_goal(Term::pred("past", vec![Term::int(1971)])).unwrap();
+    let present = spec
+        .prove_goal(Term::pred("present", vec![Term::int(1971)]))
+        .unwrap();
+    spec.activate_meta_model("continuity_assumption").unwrap();
+    load(
+        &mut spec,
+        "& 1970 status(open)(b1). & 1980 status(closed)(b1).",
+    )
+    .unwrap();
+    let persisted = spec
+        .provable(FactPat::new("status").arg("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .unwrap();
+    record(
+        "E13",
+        "VI.B",
+        "temporal models: past(1971) in 1990; continuity assumption",
+        "past(1971): true; present(1971): false; open@1975 via continuity: true",
+        format!("past(1971): {past}; present(1971): {present}; open@1975 via continuity: {persisted}"),
+    )
+}
+
+fn e14() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    spec.assert_fuzzy_fact(FactPat::new("flooded").arg("plain"), 0.45)
+        .unwrap();
+    spec.assert_fuzzy_fact(FactPat::new("frozen").arg("plain"), 0.65)
+        .unwrap();
+    let conj = ac_of(
+        &spec,
+        &Formula::and(
+            Formula::fact(FactPat::new("flooded").arg("plain")),
+            Formula::fact(FactPat::new("frozen").arg("plain")),
+        ),
+        &AcOptions::default(),
+    )
+    .unwrap();
+    load(
+        &mut spec,
+        r#"
+        pixel(x1). pixel(x2). pixel(x3). pixel(x4). pixel(x5).
+        cloudy(x2). cloudy(x5).
+        %A clarity(image) :-
+            card(cloudy(P), N), card(pixel(P2), N0), A is 1 - N / N0.
+        "#,
+    )
+    .unwrap();
+    let clarity = spec
+        .satisfy(&Formula::FuzzyFact(
+            FactPat::new("clarity").arg("image"),
+            Pat::var("A"),
+        ))
+        .unwrap();
+    record(
+        "E14",
+        "VII.A-B",
+        "min-max rule (flooded ∧ frozen); clarity via card",
+        "conjunction = 0.45; clarity = 0.6",
+        format!(
+            "conjunction = {}; clarity = {}",
+            conj.map(|v| format!("{v}")).unwrap_or_else(|| "failure".into()),
+            clarity[0].get("A").unwrap()
+        ),
+    )
+}
+
+fn e15() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    spec.assert_fuzzy_fact(FactPat::new("passable").arg("ford"), 0.9)
+        .unwrap();
+    spec.assert_fuzzy_fact(FactPat::new("passable").arg("ford"), 0.5)
+        .unwrap();
+    let ignored = spec.provable(FactPat::new("passable").arg("ford")).unwrap();
+    spec.declare_model("m");
+    spec.register_meta_model(unified_fuzzy(UnifyPolicy::Max));
+    spec.register_meta_model(unified_threshold_model("ut75", "m", 0.75));
+    spec.activate_meta_model("unified_fuzzy_max").unwrap();
+    spec.activate_meta_model("ut75").unwrap();
+    spec.set_world_view(&["omega", "m"]).unwrap();
+    let promoted = spec.provable(FactPat::new("passable").arg("ford")).unwrap();
+    spec.assert_fuzzy_fact(FactPat::new("clarity").arg("img7"), 0.6)
+        .unwrap();
+    spec.constrain(
+        Constraint::new("bad_image").witness("X").when(Formula::and(
+            Formula::FuzzyFact(FactPat::new("clarity").arg("X"), Pat::var("A")),
+            Formula::Cmp(CmpOp::Lt, Pat::var("A"), Pat::Float(0.8)),
+        )),
+    )
+    .unwrap();
+    let flagged = spec
+        .check_consistency()
+        .unwrap()
+        .iter()
+        .any(|v| v.error_type == Term::atom("bad_image"));
+    record(
+        "E15",
+        "VII.C-E",
+        "ignoring accuracy; unified %[A] threshold; fuzzy constraint",
+        "ignored: false; promoted (max 0.9 > 0.75): true; bad_image flagged: true",
+        format!("ignored: {ignored}; promoted (max 0.9 > 0.75): {promoted}; bad_image flagged: {flagged}"),
+    )
+}
+
+fn e16() -> ExperimentRecord {
+    let mut spec = Specification::new();
+    for (obj, f, z) in [("plain", 0.45, 0.65), ("valley", 1.0, 0.0)] {
+        spec.assert_fuzzy_fact(FactPat::new("flooded").arg(obj), f).unwrap();
+        spec.assert_fuzzy_fact(FactPat::new("frozen").arg(obj), z).unwrap();
+    }
+    let rule = Rule::new(
+        FactPat::new("hazard").arg("X"),
+        Formula::and(
+            Formula::fact(FactPat::new("flooded").arg("X")),
+            Formula::fact(FactPat::new("frozen").arg("X")),
+        ),
+    );
+    derive_accuracies(&mut spec, &rule, &AcOptions::default()).unwrap();
+    let acc = |obj: &str| {
+        spec.satisfy(&Formula::FuzzyFact(
+            FactPat::new("hazard").arg(obj),
+            Pat::var("A"),
+        ))
+        .unwrap()[0]
+            .get("A")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+    };
+    record(
+        "E16",
+        "VII.F",
+        "AC propagation: %A hazard mechanically generated",
+        "hazard(plain) = 0.45; hazard(valley) = 0 (two-valued degeneracy)",
+        format!(
+            "hazard(plain) = {}; hazard(valley) = {} (two-valued degeneracy)",
+            acc("plain"),
+            acc("valley")
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_experiment_passes() {
+        for r in run_all() {
+            assert!(
+                r.pass,
+                "{} ({}): expected `{}`, observed `{}`",
+                r.id, r.title, r.expected, r.observed
+            );
+        }
+    }
+}

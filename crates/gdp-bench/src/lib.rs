@@ -1,0 +1,18 @@
+//! # gdp-bench — experiment runner and benchmark harness
+//!
+//! The paper has no measurement tables; its evaluation is the set of
+//! worked examples plus the existence of the prototype. This crate
+//! regenerates both "sides" of our reproduction:
+//!
+//! * [`experiments`] — E1–E16, the paper's worked examples, each reporting
+//!   the paper's stated outcome next to the observed one (the
+//!   `experiments` binary writes EXPERIMENTS.md);
+//! * `benches/` — B1–B10, the performance characterization quantifying the
+//!   paper's qualitative claims (Prolog-style inference cost, indexing,
+//!   operator cascades, fuzzy overhead).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod workloads;

@@ -1,0 +1,244 @@
+//! Shared workload builders for the B1–B10 benchmarks.
+//!
+//! Every builder is deterministic so Criterion's repeated runs measure the
+//! same work.
+
+use gdp::prelude::*;
+
+/// B1/B3/B10: `n` ground facts `site(s<i>, <i>)`.
+pub fn fact_base(n: usize, indexing: bool) -> Specification {
+    let mut spec = Specification::new();
+    spec.kb_mut().set_indexing(indexing);
+    for i in 0..n {
+        spec.assert_fact(
+            FactPat::new("site")
+                .arg(Pat::Atom(format!("s{i}")))
+                .arg(Pat::Int(i as i64)),
+        )
+        .expect("ground fact");
+    }
+    spec
+}
+
+/// B2: a linear rule chain `level0 … level<d>` over a small fact base.
+/// Querying `level<d>(X)` forces `d` resolution steps per answer.
+pub fn inference_chain(depth: usize, facts: usize) -> Specification {
+    let mut spec = Specification::new();
+    for i in 0..facts {
+        spec.assert_fact(FactPat::new("level0").arg(Pat::Atom(format!("o{i}"))))
+            .expect("ground fact");
+    }
+    for d in 1..=depth {
+        spec.define(Rule::new(
+            FactPat::new(&format!("level{d}")).arg("X"),
+            Formula::fact(FactPat::new(&format!("level{}", d - 1)).arg("X")),
+        ))
+        .expect("safe rule");
+    }
+    spec
+}
+
+/// B4: `roads` roads with `bridges_per_road` bridges each; on open roads
+/// every bridge is open, on the rest the last bridge is closed. Includes
+/// the paper's `open_road`/`closed` rules.
+pub fn bridge_world(roads: usize, bridges_per_road: usize) -> Specification {
+    let mut spec = Specification::new();
+    let mut bridge_id = 0;
+    for r in 0..roads {
+        let rname = format!("r{r}");
+        spec.assert_fact(FactPat::new("road").arg(Pat::Atom(rname.clone())))
+            .expect("ground fact");
+        let all_open = r % 2 == 0;
+        for b in 0..bridges_per_road {
+            let bname = format!("b{bridge_id}");
+            bridge_id += 1;
+            spec.assert_fact(
+                FactPat::new("bridge")
+                    .arg(Pat::Atom(bname.clone()))
+                    .arg(Pat::Atom(rname.clone())),
+            )
+            .expect("ground fact");
+            if all_open || b + 1 < bridges_per_road {
+                spec.assert_fact(FactPat::new("open").arg(Pat::Atom(bname)))
+                    .expect("ground fact");
+            }
+        }
+    }
+    gdp::lang::load(
+        &mut spec,
+        r#"
+        open_road(X) :- road(X), forall(bridge(Y, X), open(Y)).
+        closed(X) :- bridge(X, R), not(open(X)).
+        "#,
+    )
+    .expect("paper rules");
+    spec
+}
+
+/// B5/B6: a two-resolution spatial world with `g × g` fine patches (cell
+/// size 1) and `g/4 × g/4` coarse patches, `coverage` of the fine grid
+/// filled with `zone(wet)` facts.
+pub fn spatial_world(g: u32) -> (Specification, SpatialRegistry) {
+    assert!(g % 4 == 0, "g must be divisible by 4");
+    let (mut spec, reg) = gdp::standard_spec().expect("standard spec");
+    reg.add_grid(
+        &mut spec,
+        "fine",
+        GridResolution::square(0.0, 0.0, 1.0, g, g),
+    )
+    .expect("fine grid");
+    reg.add_grid(
+        &mut spec,
+        "coarse",
+        GridResolution::square(0.0, 0.0, 4.0, g / 4, g / 4),
+    )
+    .expect("coarse grid");
+    for j in 0..g {
+        for i in 0..g {
+            // A diagonal band of wet patches: ~half coverage.
+            if (i + j) % 2 == 0 {
+                spec.assert_fact(
+                    FactPat::new("zone")
+                        .arg("wet")
+                        .space(SpaceQual::AreaUniform {
+                            res: Pat::atom("fine"),
+                            at: Pat::app(
+                                "pt",
+                                vec![
+                                    Pat::Float(f64::from(i) + 0.5),
+                                    Pat::Float(f64::from(j) + 0.5),
+                                ],
+                            ),
+                        }),
+                )
+                .expect("ground fact");
+            }
+        }
+    }
+    (spec, reg)
+}
+
+/// B7: one object with `h` timestamped status assertions (alternating
+/// values) and the continuity assumption active.
+pub fn temporal_history(h: usize) -> Specification {
+    let mut spec = Specification::new();
+    gdp::temporal::install_default(&mut spec).expect("temporal layer");
+    spec.activate_meta_model("continuity_assumption")
+        .expect("registered");
+    for t in 0..h {
+        let value = if t % 2 == 0 { "open" } else { "closed" };
+        spec.assert_fact(
+            FactPat::new("status")
+                .arg(value)
+                .arg("b1")
+                .time(TimeQual::At(Pat::Int(t as i64 * 10))),
+        )
+        .expect("ground fact");
+    }
+    spec
+}
+
+/// B8: `n` objects with fuzzy premises and the crisp/fuzzy rule pair used
+/// to compare plain inference against AC propagation.
+pub fn fuzzy_world(n: usize) -> Specification {
+    let mut spec = Specification::new();
+    for i in 0..n {
+        let obj = format!("o{i}");
+        let acc = 0.5 + 0.4 * ((i % 10) as f64) / 10.0;
+        spec.assert_fuzzy_fact(
+            FactPat::new("flooded").arg(Pat::Atom(obj.clone())),
+            acc,
+        )
+        .expect("fuzzy fact");
+        spec.assert_fuzzy_fact(FactPat::new("frozen").arg(Pat::Atom(obj)), 1.0 - acc / 2.0)
+            .expect("fuzzy fact");
+        // Crisp twins for the baseline.
+        let obj = format!("o{i}");
+        spec.assert_fact(FactPat::new("cflooded").arg(Pat::Atom(obj.clone())))
+            .expect("ground fact");
+        spec.assert_fact(FactPat::new("cfrozen").arg(Pat::Atom(obj)))
+            .expect("ground fact");
+    }
+    gdp::lang::load(&mut spec, "chazard(X) :- cflooded(X), cfrozen(X).")
+        .expect("crisp rule");
+    spec
+}
+
+/// B9: `m` models, each holding `facts_per_model` facts.
+pub fn model_world(m: usize, facts_per_model: usize) -> Specification {
+    let mut spec = Specification::new();
+    for model in 0..m {
+        let mname = format!("m{model}");
+        spec.declare_model(&mname);
+        for i in 0..facts_per_model {
+            spec.assert_fact(
+                FactPat::new("datum")
+                    .arg(Pat::Atom(format!("d{model}_{i}")))
+                    .model(Pat::Atom(mname.clone())),
+            )
+            .expect("ground fact");
+        }
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fact_base_counts() {
+        let spec = fact_base(100, true);
+        assert_eq!(spec.query(FactPat::new("site").arg("X").arg("N")).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn inference_chain_derives_at_depth() {
+        let spec = inference_chain(8, 3);
+        assert_eq!(spec.query(FactPat::new("level8").arg("X")).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn bridge_world_half_open() {
+        let spec = bridge_world(10, 3);
+        assert_eq!(spec.query(FactPat::new("open_road").arg("X")).unwrap().len(), 5);
+        assert_eq!(spec.query(FactPat::new("closed").arg("X")).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn spatial_world_answers_point_queries() {
+        let (spec, _reg) = spatial_world(8);
+        assert!(spec
+            .provable(
+                FactPat::new("zone")
+                    .arg("wet")
+                    .at(Pat::app("pt", vec![Pat::Float(0.7), Pat::Float(0.2)]))
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn temporal_history_supports_interval_queries() {
+        let spec = temporal_history(10);
+        assert!(spec
+            .provable(
+                FactPat::new("status").arg("open").arg("b1").time(TimeQual::At(Pat::Int(5)))
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn fuzzy_world_has_both_relations() {
+        let spec = fuzzy_world(5);
+        assert_eq!(spec.query(FactPat::new("chazard").arg("X")).unwrap().len(), 5);
+        assert!(!spec.provable(FactPat::new("flooded").arg("o0")).unwrap());
+    }
+
+    #[test]
+    fn model_world_respects_views() {
+        let mut spec = model_world(3, 4);
+        assert!(spec.query(FactPat::new("datum").arg("X")).unwrap().is_empty());
+        spec.set_world_view(&["omega", "m0", "m1"]).unwrap();
+        assert_eq!(spec.query(FactPat::new("datum").arg("X")).unwrap().len(), 8);
+    }
+}

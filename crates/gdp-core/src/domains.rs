@@ -1,0 +1,253 @@
+//! Semantic domains and many-sorted checking (§III.B–C).
+//!
+//! A semantic domain is "a set of values and operations over them" whose
+//! values "qualify properties of objects but may not themselves be treated
+//! as objects". Domains serve two purposes here:
+//!
+//! 1. **Assertion-time sort checking.** A predicate may declare a signature
+//!    (one [`Sort`] per argument); asserting a fact whose ground arguments
+//!    fall outside their sorts is rejected — the *strict* reading of
+//!    many-sorted logic.
+//! 2. **The `domain_member/2` native**, so constraints can *flag* anomalous
+//!    facts instead (the paper's reading: `average_temperature(green)(…)`
+//!    is asserted but a constraint derives `ERROR(bad_temp, green)`).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use gdp_engine::{FxHashMap, KnowledgeBase, Term};
+
+/// A semantic-domain definition: the membership test for its value set.
+#[derive(Clone)]
+pub enum DomainDef {
+    /// Real values in `[min, max]` (integers are accepted and widened).
+    FloatRange {
+        /// Inclusive lower bound.
+        min: f64,
+        /// Inclusive upper bound.
+        max: f64,
+    },
+    /// Integer values in `[min, max]`.
+    IntRange {
+        /// Inclusive lower bound.
+        min: i64,
+        /// Inclusive upper bound.
+        max: i64,
+    },
+    /// A finite set of atoms (e.g. vegetation zones).
+    Enumerated(Vec<String>),
+    /// Any number.
+    AnyNumber,
+    /// Any atom.
+    AnyAtom,
+    /// Any ground term — the unconstrained domain.
+    AnyGround,
+    /// A custom membership predicate over ground terms.
+    Custom(Arc<dyn Fn(&Term) -> bool + Send + Sync>),
+}
+
+impl std::fmt::Debug for DomainDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DomainDef::FloatRange { min, max } => write!(f, "FloatRange[{min}, {max}]"),
+            DomainDef::IntRange { min, max } => write!(f, "IntRange[{min}, {max}]"),
+            DomainDef::Enumerated(vs) => write!(f, "Enumerated({vs:?})"),
+            DomainDef::AnyNumber => write!(f, "AnyNumber"),
+            DomainDef::AnyAtom => write!(f, "AnyAtom"),
+            DomainDef::AnyGround => write!(f, "AnyGround"),
+            DomainDef::Custom(_) => write!(f, "Custom(..)"),
+        }
+    }
+}
+
+impl DomainDef {
+    /// Does the (ground) term belong to this domain?
+    pub fn contains(&self, t: &Term) -> bool {
+        match self {
+            DomainDef::FloatRange { min, max } => t
+                .as_f64()
+                .map(|v| *min <= v && v <= *max)
+                .unwrap_or(false),
+            DomainDef::IntRange { min, max } => t
+                .as_i64()
+                .map(|v| *min <= v && v <= *max)
+                .unwrap_or(false),
+            DomainDef::Enumerated(items) => match t {
+                Term::Atom(s) => {
+                    let name = s.as_str();
+                    items.contains(&name)
+                }
+                _ => false,
+            },
+            DomainDef::AnyNumber => matches!(t, Term::Int(_) | Term::Float(_)),
+            DomainDef::AnyAtom => matches!(t, Term::Atom(_)),
+            DomainDef::AnyGround => t.is_ground(),
+            DomainDef::Custom(f) => f(t),
+        }
+    }
+}
+
+/// The sort of one predicate argument.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Sort {
+    /// The argument must be a declared object designator.
+    Object,
+    /// The argument takes values from the named semantic domain.
+    Domain(String),
+    /// Unconstrained.
+    Any,
+}
+
+impl Sort {
+    /// Shorthand for `Sort::Domain`.
+    pub fn domain(name: &str) -> Sort {
+        Sort::Domain(name.to_string())
+    }
+}
+
+/// The shared, queryable table of domain definitions.
+///
+/// Shared behind `Arc<RwLock<…>>` because the `domain_member/2` native
+/// closure registered in the engine needs access at solve time while the
+/// specification keeps the ability to declare more domains.
+#[derive(Default, Debug)]
+pub struct DomainTable {
+    defs: FxHashMap<String, DomainDef>,
+}
+
+impl DomainTable {
+    /// Insert a definition; returns false if the name was already taken.
+    pub fn insert(&mut self, name: &str, def: DomainDef) -> bool {
+        if self.defs.contains_key(name) {
+            return false;
+        }
+        self.defs.insert(name.to_string(), def);
+        true
+    }
+
+    /// Look up a definition.
+    pub fn get(&self, name: &str) -> Option<&DomainDef> {
+        self.defs.get(name)
+    }
+
+    /// Is the name declared?
+    pub fn contains(&self, name: &str) -> bool {
+        self.defs.contains_key(name)
+    }
+
+    /// Number of declared domains.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True when no domain has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+}
+
+/// Register the `domain_member(Domain, Value)` native against `kb`,
+/// backed by `table`. The native *fails* (rather than erroring) on unknown
+/// domains or unbound values, in keeping with the paper's rule that a
+/// semantic-domain operation returning "false" reads as "not provable"
+/// (§III.B).
+pub fn register_domain_native(kb: &mut KnowledgeBase, table: Arc<RwLock<DomainTable>>) {
+    kb.register_native("domain_member", 2, move |store, args| {
+        let domain = store.deref(&args[0]).clone();
+        let value = gdp_engine::resolve_deep(store, &args[1]);
+        let Term::Atom(name) = domain else {
+            return Ok(false);
+        };
+        if !value.is_ground() {
+            return Ok(false);
+        }
+        let table = table.read();
+        Ok(table
+            .get(&name.as_str())
+            .map(|def| def.contains(&value))
+            .unwrap_or(false))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_engine::{Budget, Solver};
+
+    #[test]
+    fn range_domains() {
+        let d = DomainDef::FloatRange {
+            min: -100.0,
+            max: 200.0,
+        };
+        assert!(d.contains(&Term::float(45.0)));
+        assert!(d.contains(&Term::int(45))); // ints widen
+        assert!(!d.contains(&Term::float(500.0)));
+        assert!(!d.contains(&Term::atom("green")));
+    }
+
+    #[test]
+    fn enumerated_domain() {
+        let d = DomainDef::Enumerated(vec!["pine".into(), "oak".into()]);
+        assert!(d.contains(&Term::atom("pine")));
+        assert!(!d.contains(&Term::atom("cactus")));
+        assert!(!d.contains(&Term::int(1)));
+    }
+
+    #[test]
+    fn custom_domain() {
+        let even = DomainDef::Custom(Arc::new(|t: &Term| {
+            t.as_i64().map(|v| v % 2 == 0).unwrap_or(false)
+        }));
+        assert!(even.contains(&Term::int(4)));
+        assert!(!even.contains(&Term::int(3)));
+    }
+
+    #[test]
+    fn table_rejects_redeclaration() {
+        let mut t = DomainTable::default();
+        assert!(t.insert("temperature", DomainDef::AnyNumber));
+        assert!(!t.insert("temperature", DomainDef::AnyAtom));
+        assert!(t.contains("temperature"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn native_checks_membership() {
+        let mut kb = KnowledgeBase::new();
+        let table = Arc::new(RwLock::new(DomainTable::default()));
+        table.write().insert(
+            "temperature",
+            DomainDef::FloatRange {
+                min: -100.0,
+                max: 200.0,
+            },
+        );
+        register_domain_native(&mut kb, Arc::clone(&table));
+        let solver = Solver::new(&kb, Budget::default());
+        let goal = |v: Term| Term::pred("domain_member", vec![Term::atom("temperature"), v]);
+        assert!(solver.prove(goal(Term::float(45.0))).unwrap());
+        assert!(!solver.prove(goal(Term::atom("green"))).unwrap());
+        // Unknown domain fails silently (open world).
+        let g = Term::pred("domain_member", vec![Term::atom("nope"), Term::int(1)]);
+        assert!(!solver.prove(g).unwrap());
+        // Unbound value fails rather than erroring.
+        let g = Term::pred(
+            "domain_member",
+            vec![Term::atom("temperature"), Term::var(0)],
+        );
+        assert!(!solver.prove(g).unwrap());
+    }
+
+    #[test]
+    fn domains_declared_after_registration_are_seen() {
+        let mut kb = KnowledgeBase::new();
+        let table = Arc::new(RwLock::new(DomainTable::default()));
+        register_domain_native(&mut kb, Arc::clone(&table));
+        table.write().insert("parity", DomainDef::AnyNumber);
+        let solver = Solver::new(&kb, Budget::default());
+        let g = Term::pred("domain_member", vec![Term::atom("parity"), Term::int(1)]);
+        assert!(solver.prove(g).unwrap());
+    }
+}

@@ -1,0 +1,139 @@
+//! Specification-level errors.
+
+use std::fmt;
+
+use gdp_engine::EngineError;
+
+/// `Result` specialized to [`SpecError`].
+pub type SpecResult<T> = Result<T, SpecError>;
+
+/// Errors raised while building or querying a specification.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The underlying inference engine reported an error.
+    Engine(EngineError),
+    /// A rule violates the formula-language restrictions of §III.A —
+    /// typically a variable in a `not`/`forall` or in the head that is not
+    /// range-restricted by a positive body atom.
+    UnsafeRule {
+        /// The rule's head predicate.
+        rule: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A fact argument failed its declared semantic-domain (sort) check.
+    SortViolation {
+        /// Predicate the fact asserts.
+        predicate: String,
+        /// Zero-based argument position.
+        position: usize,
+        /// Expected domain name.
+        domain: String,
+        /// The offending value, rendered.
+        value: String,
+    },
+    /// A fact was asserted with the wrong number of arguments for its
+    /// declared signature.
+    ArityMismatch {
+        /// Predicate the fact asserts.
+        predicate: String,
+        /// Arity from the signature.
+        expected: usize,
+        /// Arity of the offending fact.
+        found: usize,
+    },
+    /// Reference to a semantic domain that has not been declared.
+    UnknownDomain(String),
+    /// Reference to a model that has not been declared.
+    UnknownModel(String),
+    /// Reference to a meta-model that has not been registered.
+    UnknownMetaModel(String),
+    /// Reference to a resolution function (logical space) that has not
+    /// been registered.
+    UnknownResolution(String),
+    /// An accuracy value outside the closed interval `[0, 1]` (§VII.B).
+    InvalidAccuracy(f64),
+    /// A basic fact must be ground — "basic facts … are simply assumed to
+    /// be true" of particular objects (§II.B); only virtual facts may
+    /// contain variables.
+    NonGroundFact(String),
+    /// A name was declared twice with conflicting definitions.
+    Redeclaration(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Engine(e) => write!(f, "engine: {e}"),
+            SpecError::UnsafeRule { rule, reason } => {
+                write!(f, "unsafe rule for `{rule}`: {reason}")
+            }
+            SpecError::SortViolation {
+                predicate,
+                position,
+                domain,
+                value,
+            } => write!(
+                f,
+                "sort violation: `{predicate}` argument {position} must be in domain \
+                 `{domain}`, got `{value}`"
+            ),
+            SpecError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "arity mismatch: `{predicate}` declared with {expected} arguments, \
+                 fact has {found}"
+            ),
+            SpecError::UnknownDomain(d) => write!(f, "unknown semantic domain `{d}`"),
+            SpecError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            SpecError::UnknownMetaModel(m) => write!(f, "unknown meta-model `{m}`"),
+            SpecError::UnknownResolution(r) => {
+                write!(f, "unknown resolution function (grid) `{r}`")
+            }
+            SpecError::InvalidAccuracy(a) => {
+                write!(f, "accuracy {a} outside the closed interval [0, 1]")
+            }
+            SpecError::Redeclaration(n) => write!(f, "`{n}` is already declared"),
+            SpecError::NonGroundFact(p) => write!(
+                f,
+                "basic fact for `{p}` contains variables; use a virtual-fact \
+                 definition instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<EngineError> for SpecError {
+    fn from(e: EngineError) -> SpecError {
+        SpecError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_error_converts() {
+        let e: SpecError = EngineError::DivisionByZero.into();
+        assert_eq!(e, SpecError::Engine(EngineError::DivisionByZero));
+    }
+
+    #[test]
+    fn display_mentions_details() {
+        let e = SpecError::SortViolation {
+            predicate: "average_temperature".into(),
+            position: 0,
+            domain: "temperature".into(),
+            value: "green".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("average_temperature"));
+        assert!(s.contains("green"));
+    }
+}

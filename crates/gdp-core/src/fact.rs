@@ -1,0 +1,329 @@
+//! Fact patterns — the user-facing shape of qualified facts.
+//!
+//! A [`FactPat`] describes a (possibly non-ground) fact: which model asserts
+//! it, where and when it holds, the predicate, and the argument list. It is
+//! the unit out of which basic facts, virtual-fact definitions, constraints,
+//! and queries are all built.
+
+use gdp_engine::{list_from_iter, Term};
+
+use crate::pattern::{Pat, VarTable};
+use crate::qualifiers::{SpaceQual, TimeQual};
+use crate::reify;
+
+/// How a fact pattern's argument list is described.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgsPat {
+    /// A fixed argument list `q(a1, …, an)`.
+    Fixed(Vec<Pat>),
+    /// A prefix of known arguments followed by a pattern for the rest —
+    /// `q(true | Rest)`. Meta-rules use this shape: the closed-world
+    /// assumption's `M'Q(false)(X)` is `[false | Xs]` (§IV.A).
+    HeadTail(Vec<Pat>, Pat),
+    /// The whole argument list as one pattern (a variable in meta-rules
+    /// that relate two occurrences of "the same fact").
+    Whole(Pat),
+}
+
+impl ArgsPat {
+    fn compile(&self, vt: &mut VarTable) -> Term {
+        match self {
+            ArgsPat::Fixed(items) => {
+                list_from_iter(items.iter().map(|p| vt.compile(p)).collect::<Vec<_>>())
+            }
+            ArgsPat::HeadTail(items, tail) => {
+                let tail = vt.compile(tail);
+                items
+                    .iter()
+                    .rev()
+                    .fold(tail, |acc, p| Term::cons(vt.compile(p), acc))
+            }
+            ArgsPat::Whole(p) => vt.compile(p),
+        }
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            ArgsPat::Fixed(items) => {
+                for p in items {
+                    p.collect_vars(out);
+                }
+            }
+            ArgsPat::HeadTail(items, tail) => {
+                for p in items {
+                    p.collect_vars(out);
+                }
+                tail.collect_vars(out);
+            }
+            ArgsPat::Whole(p) => p.collect_vars(out),
+        }
+    }
+}
+
+/// Which reified relation a fact pattern compiles into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Target {
+    /// `h/5` — direct storage; used for rule heads and raw assertions.
+    Holds,
+    /// `visible/5` — world-view-filtered lookup; used for rule bodies.
+    Visible,
+}
+
+/// A qualified fact pattern.
+///
+/// ```
+/// use gdp_core::FactPat;
+///
+/// // capital_of(X, Z)  — in whatever models are active
+/// let pat = FactPat::new("capital_of").arg("X").arg("Z");
+/// assert_eq!(pat.pred_name(), Some("capital_of".to_string()));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactPat {
+    /// The asserting model; `None` means "default model ω" in heads and
+    /// "any active model" in bodies/queries.
+    pub model: Option<Pat>,
+    /// Spatial qualifier.
+    pub space: SpaceQual,
+    /// Temporal qualifier.
+    pub time: TimeQual,
+    /// Predicate — usually an atom, a variable in meta-rules.
+    pub pred: Pat,
+    /// Argument list.
+    pub args: ArgsPat,
+}
+
+impl FactPat {
+    /// A fact pattern for predicate `pred` with no arguments or qualifiers.
+    pub fn new(pred: &str) -> FactPat {
+        FactPat {
+            model: None,
+            space: SpaceQual::Any,
+            time: TimeQual::Any,
+            pred: Pat::Atom(pred.to_string()),
+            args: ArgsPat::Fixed(Vec::new()),
+        }
+    }
+
+    /// A fact pattern whose predicate position is itself a pattern — used
+    /// by meta-rules that quantify over predicates (§IV.A).
+    pub fn meta(pred: impl Into<Pat>) -> FactPat {
+        FactPat {
+            model: None,
+            space: SpaceQual::Any,
+            time: TimeQual::Any,
+            pred: pred.into(),
+            args: ArgsPat::Fixed(Vec::new()),
+        }
+    }
+
+    /// Append an argument. `&str` arguments follow the Prolog convention:
+    /// capitalized = variable, otherwise atom.
+    pub fn arg(mut self, a: impl Into<Pat>) -> FactPat {
+        match &mut self.args {
+            ArgsPat::Fixed(items) | ArgsPat::HeadTail(items, _) => items.push(a.into()),
+            ArgsPat::Whole(_) => panic!("cannot append to a whole-list args pattern"),
+        }
+        self
+    }
+
+    /// Set all arguments at once.
+    pub fn args(mut self, args: Vec<Pat>) -> FactPat {
+        self.args = ArgsPat::Fixed(args);
+        self
+    }
+
+    /// Use an explicit args pattern (meta-rule shapes).
+    pub fn args_pat(mut self, args: ArgsPat) -> FactPat {
+        self.args = args;
+        self
+    }
+
+    /// Qualify with a model: `m'fact` (§III.D).
+    pub fn model(mut self, m: impl Into<Pat>) -> FactPat {
+        self.model = Some(m.into());
+        self
+    }
+
+    /// Qualify with a spatial operator.
+    pub fn space(mut self, q: SpaceQual) -> FactPat {
+        self.space = q;
+        self
+    }
+
+    /// Shorthand for the simple spatial operator `@p`.
+    pub fn at(self, p: impl Into<Pat>) -> FactPat {
+        self.space(SpaceQual::At(p.into()))
+    }
+
+    /// Qualify with a temporal operator.
+    pub fn time(mut self, q: TimeQual) -> FactPat {
+        self.time = q;
+        self
+    }
+
+    /// Shorthand for the simple temporal operator `&t`.
+    pub fn at_time(self, t: impl Into<Pat>) -> FactPat {
+        self.time(TimeQual::At(t.into()))
+    }
+
+    /// The predicate name, when it is a constant.
+    pub fn pred_name(&self) -> Option<String> {
+        match &self.pred {
+            Pat::Atom(a) => Some(a.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments, when fixed.
+    pub fn fixed_arity(&self) -> Option<usize> {
+        match &self.args {
+            ArgsPat::Fixed(items) => Some(items.len()),
+            _ => None,
+        }
+    }
+
+    /// The fixed argument patterns, when available.
+    pub fn fixed_args(&self) -> Option<&[Pat]> {
+        match &self.args {
+            ArgsPat::Fixed(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compile into the reified `h/5` or `visible/5` term.
+    ///
+    /// An unspecified model compiles to the default model ω for
+    /// [`Target::Holds`] and to a fresh variable ("whichever active model")
+    /// for [`Target::Visible`].
+    pub fn compile(&self, vt: &mut VarTable, target: Target) -> Term {
+        let model = match (&self.model, target) {
+            (Some(m), _) => vt.compile(m),
+            (None, Target::Holds) => Term::atom(crate::DEFAULT_MODEL),
+            (None, Target::Visible) => Term::var(vt.fresh()),
+        };
+        let space = self.space.compile(vt);
+        let time = self.time.compile(vt);
+        let pred = vt.compile(&self.pred);
+        let args = self.args.compile(vt);
+        match target {
+            Target::Holds => reify::holds(model, space, time, pred, args),
+            Target::Visible => reify::visible(model, space, time, pred, args),
+        }
+    }
+
+    /// Compile into the fuzzy relation: `fh/6` for storage targets,
+    /// `fvisible/6` (world-view filtered) for lookup targets.
+    pub fn compile_fuzzy(&self, vt: &mut VarTable, accuracy: &Pat, target: Target) -> Term {
+        let model = match (&self.model, target) {
+            (Some(m), _) => vt.compile(m),
+            (None, Target::Holds) => Term::atom(crate::DEFAULT_MODEL),
+            (None, Target::Visible) => Term::var(vt.fresh()),
+        };
+        let space = self.space.compile(vt);
+        let time = self.time.compile(vt);
+        let acc = vt.compile(accuracy);
+        let pred = vt.compile(&self.pred);
+        let args = self.args.compile(vt);
+        match target {
+            Target::Holds => reify::fuzzy_holds(model, space, time, acc, pred, args),
+            Target::Visible => reify::fuzzy_visible(model, space, time, acc, pred, args),
+        }
+    }
+
+    /// All named variables of the pattern, in first-occurrence order
+    /// (model, space, time, predicate, arguments).
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        if let Some(m) = &self.model {
+            m.collect_vars(out);
+        }
+        self.space.collect_vars(out);
+        self.time.collect_vars(out);
+        self.pred.collect_vars(out);
+        self.args.collect_vars(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_fact_compiles_to_default_model() {
+        let mut vt = VarTable::new();
+        let t = FactPat::new("road").arg("s1").compile(&mut vt, Target::Holds);
+        assert_eq!(t.to_string(), "h(omega, any, any, road, [s1])");
+    }
+
+    #[test]
+    fn visible_gets_fresh_model_var() {
+        let mut vt = VarTable::new();
+        let t = FactPat::new("road")
+            .arg("X")
+            .compile(&mut vt, Target::Visible);
+        // The fresh model variable is allocated before the argument vars.
+        assert_eq!(t.to_string(), "visible(_0, any, any, road, [_1])");
+    }
+
+    #[test]
+    fn explicit_model_is_kept() {
+        let mut vt = VarTable::new();
+        let t = FactPat::new("freezing_point")
+            .model("celsius")
+            .arg(Pat::Int(0))
+            .arg("x")
+            .compile(&mut vt, Target::Holds);
+        assert_eq!(t.to_string(), "h(celsius, any, any, freezing_point, [0, x])");
+    }
+
+    #[test]
+    fn spatial_and_temporal_quals() {
+        let mut vt = VarTable::new();
+        let t = FactPat::new("vegetation")
+            .arg("pine")
+            .arg("hill")
+            .at(Pat::app("pt", vec![Pat::Float(3.0), Pat::Float(4.0)]))
+            .at_time(Pat::Int(1986))
+            .compile(&mut vt, Target::Holds);
+        assert_eq!(
+            t.to_string(),
+            "h(omega, sat(pt(3.0, 4.0)), tat(1986), vegetation, [pine, hill])"
+        );
+    }
+
+    #[test]
+    fn head_tail_args_for_meta_rules() {
+        let mut vt = VarTable::new();
+        let t = FactPat::meta(Pat::var("Q"))
+            .args_pat(ArgsPat::HeadTail(
+                vec![Pat::atom("false")],
+                Pat::var("Xs"),
+            ))
+            .compile(&mut vt, Target::Holds);
+        assert_eq!(t.to_string(), "h(omega, any, any, _0, [false | _1])");
+    }
+
+    #[test]
+    fn fuzzy_compile_has_accuracy_slot() {
+        let mut vt = VarTable::new();
+        let t = FactPat::new("clarity")
+            .arg("image")
+            .compile_fuzzy(&mut vt, &Pat::Float(0.85), Target::Holds);
+        assert_eq!(
+            t.to_string(),
+            "fh(omega, any, any, 0.85, clarity, [image])"
+        );
+    }
+
+    #[test]
+    fn collect_vars_spans_all_positions() {
+        let f = FactPat::new("elevation")
+            .model(Pat::var("M"))
+            .arg("Z")
+            .arg("X")
+            .at(Pat::var("P"));
+        let mut vars = Vec::new();
+        f.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["M", "P", "Z", "X"]);
+    }
+}

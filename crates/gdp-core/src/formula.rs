@@ -1,0 +1,514 @@
+//! The formula language `F` (§III.A).
+//!
+//! The paper restricts rule bodies to a grammar chosen for Prolog
+//! executability: atomic facts, conjunction, disjunction, bounded universal
+//! quantification `∀Xj:(F2 → F3)`, and `not` — which "is not the logical
+//! negation but a test that a formula may not be shown to be true".
+//! Semantic-domain operations returning Booleans are admitted as if they
+//! were facts (§III.B); here that means arithmetic comparison, explicit
+//! unification, `is`, domain-membership tests, and aggregation.
+//!
+//! [`Formula::check_safety`] enforces the paper's range restrictions: the
+//! variables of a negated subformula must already be bound by an enclosing
+//! positive context (the `I2 ⊆ I` side conditions), and every head variable
+//! must be bound by the body (`K ⊆ I`).
+
+use gdp_engine::Term;
+
+use crate::fact::{FactPat, Target};
+use crate::pattern::{Pat, VarTable};
+
+/// Arithmetic/structural comparison operators usable in formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `<` numeric.
+    Lt,
+    /// `=<` numeric.
+    Le,
+    /// `>` numeric.
+    Gt,
+    /// `>=` numeric.
+    Ge,
+    /// `=:=` numeric equality.
+    NumEq,
+    /// `=\=` numeric inequality.
+    NumNe,
+    /// `\=` non-unifiability — the paper's `≠` (e.g. the two-capitals
+    /// constraint, §III.C).
+    NotUnify,
+}
+
+impl CmpOp {
+    fn functor(self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "=<",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::NumEq => "=:=",
+            CmpOp::NumNe => "=\\=",
+            CmpOp::NotUnify => "\\=",
+        }
+    }
+}
+
+/// Aggregation operators (the `avg` function of §V.C and relatives).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggOp {
+    /// Arithmetic mean; fails on an empty solution set.
+    Avg,
+    /// Sum; 0 on empty.
+    Sum,
+    /// Minimum; fails on empty.
+    Min,
+    /// Maximum; fails on empty.
+    Max,
+    /// Solution count (with duplicates).
+    Count,
+}
+
+impl AggOp {
+    fn atom(self) -> &'static str {
+        match self {
+            AggOp::Avg => "avg",
+            AggOp::Sum => "sum",
+            AggOp::Min => "min",
+            AggOp::Max => "max",
+            AggOp::Count => "count",
+        }
+    }
+}
+
+/// A body formula in the restricted grammar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Formula {
+    /// The trivially true formula.
+    True,
+    /// An atomic (possibly qualified) fact lookup.
+    Fact(FactPat),
+    /// An accuracy-qualified fact lookup `%A q(x)` against the fuzzy
+    /// relation (§VII.B); binds the accuracy pattern.
+    FuzzyFact(FactPat, Pat),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation as failure.
+    Not(Box<Formula>),
+    /// Bounded universal quantification `∀:(cond → then)`.
+    Forall(Box<Formula>, Box<Formula>),
+    /// Comparison between two value patterns.
+    Cmp(CmpOp, Pat, Pat),
+    /// Explicit unification `lhs = rhs`.
+    Unify(Pat, Pat),
+    /// Arithmetic evaluation `lhs is rhs`.
+    Is(Pat, Pat),
+    /// Membership test of a value in a declared semantic domain; compiles
+    /// to the `domain_member/2` native. Used for many-sorted constraints
+    /// (§III.C).
+    Domain(String, Pat),
+    /// The cardinality primitive `card(goal_instances) = N` (§VII.B):
+    /// counts distinct provable instances of the inner formula.
+    Card(Box<Formula>, Pat),
+    /// Aggregation: `agg(op, value_pattern, formula, result)`.
+    Agg(AggOp, Pat, Box<Formula>, Pat),
+    /// Escape hatch: a raw goal pattern passed to the engine verbatim
+    /// (used by the spatial/temporal/fuzzy crates for native predicates).
+    Raw(Pat),
+}
+
+impl Formula {
+    /// Conjunction of many formulas (`True` when empty).
+    pub fn all(mut items: Vec<Formula>) -> Formula {
+        match items.len() {
+            0 => Formula::True,
+            1 => items.pop().expect("len checked"),
+            _ => {
+                let mut it = items.into_iter().rev();
+                let last = it.next().expect("len checked");
+                it.fold(last, |acc, f| Formula::And(Box::new(f), Box::new(acc)))
+            }
+        }
+    }
+
+    /// Disjunction of many formulas (panics when empty).
+    pub fn any_of(items: Vec<Formula>) -> Formula {
+        let mut it = items.into_iter().rev();
+        let last = it.next().expect("Formula::any_of of empty vector");
+        it.fold(last, |acc, f| Formula::Or(Box::new(f), Box::new(acc)))
+    }
+
+    /// `fact(...)` shorthand.
+    pub fn fact(f: FactPat) -> Formula {
+        Formula::Fact(f)
+    }
+
+    /// `not(...)` shorthand.
+    #[allow(clippy::should_implement_trait)] // `not/1` is the formalism's name
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `and` shorthand.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// `or` shorthand.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// `forall` shorthand.
+    pub fn forall(cond: Formula, then: Formula) -> Formula {
+        Formula::Forall(Box::new(cond), Box::new(then))
+    }
+
+    /// Compile into an engine goal term. Body fact lookups go through the
+    /// world-view-filtered `visible/5` relation.
+    pub fn compile(&self, vt: &mut VarTable) -> Term {
+        match self {
+            Formula::True => Term::atom("true"),
+            Formula::Fact(f) => f.compile(vt, Target::Visible),
+            Formula::FuzzyFact(f, acc) => f.compile_fuzzy(vt, acc, Target::Visible),
+            Formula::And(a, b) => Term::and(a.compile(vt), b.compile(vt)),
+            Formula::Or(a, b) => Term::or(a.compile(vt), b.compile(vt)),
+            Formula::Not(f) => Term::not(f.compile(vt)),
+            Formula::Forall(c, t) => Term::forall(c.compile(vt), t.compile(vt)),
+            Formula::Cmp(op, a, b) => {
+                Term::pred(op.functor(), vec![vt.compile(a), vt.compile(b)])
+            }
+            Formula::Unify(a, b) => Term::unify(vt.compile(a), vt.compile(b)),
+            Formula::Is(a, b) => Term::pred("is", vec![vt.compile(a), vt.compile(b)]),
+            Formula::Domain(d, v) => {
+                Term::pred("domain_member", vec![Term::atom(d), vt.compile(v)])
+            }
+            Formula::Card(f, n) => {
+                Term::pred("card", vec![f.compile(vt), vt.compile(n)])
+            }
+            Formula::Agg(op, template, f, result) => Term::pred(
+                "aggregate",
+                vec![
+                    Term::atom(op.atom()),
+                    vt.compile(template),
+                    f.compile(vt),
+                    vt.compile(result),
+                ],
+            ),
+            Formula::Raw(p) => vt.compile(p),
+        }
+    }
+
+    /// Variables this formula *binds* when it succeeds (positive context).
+    fn binds(&self, out: &mut Vec<String>) {
+        match self {
+            Formula::True => {}
+            Formula::Fact(f) => f.collect_vars(out),
+            Formula::FuzzyFact(f, acc) => {
+                f.collect_vars(out);
+                acc.collect_vars(out);
+            }
+            Formula::And(a, b) => {
+                a.binds(out);
+                b.binds(out);
+            }
+            Formula::Or(a, b) => {
+                // Only variables bound on *every* branch are surely bound.
+                let mut la = Vec::new();
+                let mut lb = Vec::new();
+                a.binds(&mut la);
+                b.binds(&mut lb);
+                for v in la {
+                    if lb.contains(&v) && !out.contains(&v) {
+                        out.push(v);
+                    }
+                }
+            }
+            // Negation and forall bind nothing (their bindings do not
+            // escape), comparisons test only.
+            Formula::Not(_) | Formula::Forall(..) | Formula::Cmp(..) | Formula::Domain(..) => {}
+            Formula::Unify(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Formula::Is(a, _) => a.collect_vars(out),
+            Formula::Card(_, n) => n.collect_vars(out),
+            Formula::Agg(_, _, _, result) => result.collect_vars(out),
+            Formula::Raw(p) => p.collect_vars(out),
+        }
+    }
+
+    /// All variables mentioned anywhere in the formula.
+    pub fn mentions(&self, out: &mut Vec<String>) {
+        match self {
+            Formula::True => {}
+            Formula::Fact(f) => f.collect_vars(out),
+            Formula::FuzzyFact(f, acc) => {
+                f.collect_vars(out);
+                acc.collect_vars(out);
+            }
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Forall(a, b) => {
+                a.mentions(out);
+                b.mentions(out);
+            }
+            Formula::Not(f) => f.mentions(out),
+            Formula::Cmp(_, a, b) | Formula::Unify(a, b) | Formula::Is(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Formula::Domain(_, v) => v.collect_vars(out),
+            Formula::Card(f, n) => {
+                f.mentions(out);
+                n.collect_vars(out);
+            }
+            Formula::Agg(_, t, f, r) => {
+                t.collect_vars(out);
+                f.mentions(out);
+                r.collect_vars(out);
+            }
+            Formula::Raw(p) => p.collect_vars(out),
+        }
+    }
+
+    /// Check the paper's range restrictions. `head_vars` are the variables
+    /// the rule head exports (`Xk`); they must all be bound by the body.
+    ///
+    /// Returns a human-readable reason on violation.
+    pub fn check_safety(&self, head_vars: &[String]) -> Result<(), String> {
+        let mut bound = Vec::new();
+        self.check_inner(&mut bound)?;
+        for v in head_vars {
+            if !bound.contains(v) {
+                return Err(format!(
+                    "head variable `{v}` is not bound by any positive body atom \
+                     (K ⊆ I violated)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Walk the formula left to right maintaining the bound-variable set.
+    fn check_inner(&self, bound: &mut Vec<String>) -> Result<(), String> {
+        match self {
+            Formula::True => Ok(()),
+            Formula::Fact(_)
+            | Formula::FuzzyFact(..)
+            | Formula::Unify(..)
+            | Formula::Is(..)
+            | Formula::Card(..)
+            | Formula::Agg(..)
+            | Formula::Raw(_) => {
+                // Positive contexts: whatever they mention becomes bound.
+                // (For `is` the right-hand side should itself be bound, but
+                // the engine reports that dynamically as an instantiation
+                // error with better context.)
+                self.binds(bound);
+                // Inner formulas of card/agg are sub-queries; check them
+                // against the current bound set (they may introduce local
+                // variables freely).
+                if let Formula::Card(inner, _) | Formula::Agg(_, _, inner, _) = self {
+                    let mut local = bound.clone();
+                    inner.check_inner(&mut local)?;
+                }
+                Ok(())
+            }
+            Formula::And(a, b) => {
+                a.check_inner(bound)?;
+                b.check_inner(bound)
+            }
+            Formula::Or(a, b) => {
+                let mut ba = bound.clone();
+                let mut bb = bound.clone();
+                a.check_inner(&mut ba)?;
+                b.check_inner(&mut bb)?;
+                for v in ba {
+                    if bb.contains(&v) && !bound.contains(&v) {
+                        bound.push(v);
+                    }
+                }
+                Ok(())
+            }
+            Formula::Not(f) => {
+                // I2 ⊆ I: every variable of the negated formula must be
+                // bound already.
+                let mut inner = Vec::new();
+                f.mentions(&mut inner);
+                for v in &inner {
+                    if !bound.contains(v) {
+                        return Err(format!(
+                            "variable `{v}` occurs under `not` without being bound \
+                             by an earlier positive atom (I2 ⊆ I violated)"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Formula::Forall(cond, then) => {
+                // The condition may introduce fresh universally quantified
+                // variables Xj (j ∉ I); the conclusion may use only bound
+                // variables and those Xj.
+                let mut cond_vars = Vec::new();
+                cond.mentions(&mut cond_vars);
+                let mut local = bound.clone();
+                for v in cond_vars {
+                    if !local.contains(&v) {
+                        local.push(v);
+                    }
+                }
+                let mut then_vars = Vec::new();
+                then.mentions(&mut then_vars);
+                for v in &then_vars {
+                    if !local.contains(v) {
+                        return Err(format!(
+                            "variable `{v}` occurs in a forall conclusion without \
+                             being bound by the condition or an earlier atom"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Formula::Cmp(_, a, b) => {
+                let mut vars = Vec::new();
+                a.collect_vars(&mut vars);
+                b.collect_vars(&mut vars);
+                for v in &vars {
+                    if !bound.contains(v) {
+                        return Err(format!(
+                            "variable `{v}` used in a comparison before being bound"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            Formula::Domain(_, v) => {
+                let mut vars = Vec::new();
+                v.collect_vars(&mut vars);
+                for v in &vars {
+                    if !bound.contains(v) {
+                        return Err(format!(
+                            "variable `{v}` used in a domain test before being bound"
+                        ));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(pred: &str, args: Vec<&str>) -> Formula {
+        let mut f = FactPat::new(pred);
+        for a in args {
+            f = f.arg(a);
+        }
+        Formula::Fact(f)
+    }
+
+    #[test]
+    fn all_of_none_is_true() {
+        assert_eq!(Formula::all(vec![]), Formula::True);
+    }
+
+    #[test]
+    fn safe_rule_passes() {
+        // road(X), forall(bridge(Y, X), open(Y))  with head var X.
+        let body = Formula::and(
+            fact("road", vec!["X"]),
+            Formula::forall(fact("bridge", vec!["Y", "X"]), fact("open", vec!["Y"])),
+        );
+        assert!(body.check_safety(&["X".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn unbound_head_var_rejected() {
+        let body = fact("road", vec!["X"]);
+        let err = body.check_safety(&["Z".to_string()]).unwrap_err();
+        assert!(err.contains("Z"));
+    }
+
+    #[test]
+    fn naf_on_unbound_var_rejected() {
+        // not(open(X)) with X never bound.
+        let body = Formula::not(fact("open", vec!["X"]));
+        assert!(body.check_safety(&[]).is_err());
+        // bridge(X), not(open(X)) is fine.
+        let ok = Formula::and(fact("bridge", vec!["X"]), Formula::not(fact("open", vec!["X"])));
+        assert!(ok.check_safety(&["X".to_string()]).is_ok());
+    }
+
+    #[test]
+    fn forall_may_introduce_fresh_vars() {
+        // forall(bridge(Y, X), open(Y)) — Y fresh is allowed...
+        let body = Formula::and(
+            fact("road", vec!["X"]),
+            Formula::forall(fact("bridge", vec!["Y", "X"]), fact("open", vec!["Y"])),
+        );
+        assert!(body.check_safety(&[]).is_ok());
+        // ...but the conclusion may not smuggle in a brand-new variable.
+        let bad = Formula::forall(fact("bridge", vec!["Y"]), fact("status", vec!["Y", "Z"]));
+        assert!(bad.check_safety(&[]).is_err());
+    }
+
+    #[test]
+    fn or_binds_only_intersection() {
+        // (p(X) ; q(Y)), not(r(X))  — X not bound on the q branch.
+        let body = Formula::and(
+            Formula::or(fact("p", vec!["X"]), fact("q", vec!["Y"])),
+            Formula::not(fact("r", vec!["X"])),
+        );
+        assert!(body.check_safety(&[]).is_err());
+        // (p(X) ; q(X)), not(r(X)) — bound on both branches: fine.
+        let ok = Formula::and(
+            Formula::or(fact("p", vec!["X"]), fact("q", vec!["X"])),
+            Formula::not(fact("r", vec!["X"])),
+        );
+        assert!(ok.check_safety(&[]).is_ok());
+    }
+
+    #[test]
+    fn comparison_requires_bound_vars() {
+        let bad = Formula::Cmp(CmpOp::Gt, Pat::var("A"), Pat::Int(0));
+        assert!(bad.check_safety(&[]).is_err());
+        let ok = Formula::and(
+            fact("population", vec!["A", "X"]),
+            Formula::Cmp(CmpOp::Gt, Pat::var("A"), Pat::Int(0)),
+        );
+        assert!(ok.check_safety(&[]).is_ok());
+    }
+
+    #[test]
+    fn compile_produces_visible_lookups() {
+        let mut vt = VarTable::new();
+        let body = Formula::and(fact("road", vec!["X"]), Formula::not(fact("open", vec!["X"])));
+        let t = body.compile(&mut vt);
+        let s = t.to_string();
+        assert!(s.contains("visible("));
+        assert!(s.contains("not(visible("));
+    }
+
+    #[test]
+    fn card_compiles_to_engine_card() {
+        let mut vt = VarTable::new();
+        let f = Formula::Card(Box::new(fact("white", vec!["P"])), Pat::var("N"));
+        let s = f.compile(&mut vt).to_string();
+        assert!(s.starts_with("card("));
+    }
+
+    #[test]
+    fn agg_compiles_with_op_atom() {
+        let mut vt = VarTable::new();
+        let f = Formula::Agg(
+            AggOp::Avg,
+            Pat::var("Z"),
+            Box::new(fact("elevation", vec!["Z", "X"])),
+            Pat::var("Avg"),
+        );
+        let s = f.compile(&mut vt).to_string();
+        assert!(s.starts_with("aggregate(avg"));
+    }
+}

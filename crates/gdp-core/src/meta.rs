@@ -1,0 +1,157 @@
+//! Meta-models and the meta-view (§IV).
+//!
+//! A meta-model packages "one or more semantic domains, their associated
+//! operations, and pertinent meta-rules" so that rules of reasoning can be
+//! activated on demand and swapped without touching the rest of the
+//! formalization (§IV.C). Here a [`MetaModel`] is a named pack of raw
+//! engine clauses plus an optional native-registration hook for the domain
+//! operations (distance functions, resolution mapping, interpolation, …).
+//!
+//! The *meta-view* — "all the meta-models in use at one particular point in
+//! time" (§IV.D) — is managed by [`crate::Specification`]: activating a
+//! meta-model asserts its clauses under a dedicated clause group;
+//! deactivating retracts the group.
+
+use std::sync::Arc;
+
+use gdp_engine::{GroupId, KnowledgeBase};
+
+use crate::rule::RawClause;
+
+/// Hook run once when a meta-model is registered, used to install native
+/// predicates its rules rely on.
+pub type NativeSetup = Arc<dyn Fn(&mut KnowledgeBase) + Send + Sync>;
+
+/// A named, activatable pack of reasoning rules.
+#[derive(Clone)]
+pub struct MetaModel {
+    name: String,
+    doc: String,
+    clauses: Vec<RawClause>,
+    setup: Option<NativeSetup>,
+}
+
+impl std::fmt::Debug for MetaModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaModel")
+            .field("name", &self.name)
+            .field("clauses", &self.clauses.len())
+            .field("has_setup", &self.setup.is_some())
+            .finish()
+    }
+}
+
+impl MetaModel {
+    /// Start building a meta-model.
+    #[allow(clippy::new_ret_no_self)] // builder entry point
+    pub fn new(name: &str) -> MetaModelBuilder {
+        MetaModelBuilder {
+            name: name.to_string(),
+            doc: String::new(),
+            clauses: Vec::new(),
+            setup: None,
+        }
+    }
+
+    /// The meta-model's name (also its clause-group name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description shown in listings.
+    pub fn doc(&self) -> &str {
+        &self.doc
+    }
+
+    /// The rule pack.
+    pub fn clauses(&self) -> &[RawClause] {
+        &self.clauses
+    }
+
+    /// The clause group its rules are asserted under when active.
+    pub fn group(&self) -> GroupId {
+        GroupId::named(&format!("meta${}", self.name))
+    }
+
+    /// Run the native-registration hook (idempotent: natives are keyed by
+    /// name/arity, so re-registration simply overwrites).
+    pub fn run_setup(&self, kb: &mut KnowledgeBase) {
+        if let Some(setup) = &self.setup {
+            setup(kb);
+        }
+    }
+}
+
+/// Builder for [`MetaModel`].
+pub struct MetaModelBuilder {
+    name: String,
+    doc: String,
+    clauses: Vec<RawClause>,
+    setup: Option<NativeSetup>,
+}
+
+impl MetaModelBuilder {
+    /// Attach a one-line description.
+    pub fn doc(mut self, doc: &str) -> MetaModelBuilder {
+        self.doc = doc.to_string();
+        self
+    }
+
+    /// Add one clause to the rule pack.
+    pub fn clause(mut self, c: RawClause) -> MetaModelBuilder {
+        self.clauses.push(c);
+        self
+    }
+
+    /// Add many clauses.
+    pub fn clauses(mut self, cs: Vec<RawClause>) -> MetaModelBuilder {
+        self.clauses.extend(cs);
+        self
+    }
+
+    /// Attach the native-registration hook.
+    pub fn setup(
+        mut self,
+        f: impl Fn(&mut KnowledgeBase) + Send + Sync + 'static,
+    ) -> MetaModelBuilder {
+        self.setup = Some(Arc::new(f));
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> MetaModel {
+        MetaModel {
+            name: self.name,
+            doc: self.doc,
+            clauses: self.clauses,
+            setup: self.setup,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_engine::Term;
+
+    #[test]
+    fn builder_collects_clauses() {
+        let mm = MetaModel::new("cwa")
+            .doc("closed-world assumption")
+            .clause(RawClause::fact(Term::atom("marker")))
+            .build();
+        assert_eq!(mm.name(), "cwa");
+        assert_eq!(mm.clauses().len(), 1);
+        assert_eq!(mm.group(), GroupId::named("meta$cwa"));
+    }
+
+    #[test]
+    fn setup_hook_runs() {
+        let mm = MetaModel::new("with_native")
+            .setup(|kb| kb.register_native("marker_native", 0, |_, _| Ok(true)))
+            .build();
+        let mut kb = KnowledgeBase::new();
+        mm.run_setup(&mut kb);
+        assert!(kb.defined(gdp_engine::PredKey::new("marker_native", 0)));
+    }
+}

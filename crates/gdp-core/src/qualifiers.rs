@@ -1,0 +1,264 @@
+//! Spatial and temporal qualifier patterns (§V, §VI).
+//!
+//! These are the user-facing counterparts of the reified qualifier terms:
+//! pattern-level descriptions of *where* and *when* a fact holds, compiled
+//! against a [`crate::pattern::VarTable`] alongside the fact they qualify.
+
+use gdp_engine::Term;
+
+use crate::pattern::{Pat, VarTable};
+use crate::reify;
+
+/// A spatial qualifier pattern — one of the paper's four spatial operators,
+/// or unqualified (true everywhere once the simple-operator meta-model is
+/// active).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpaceQual {
+    /// No spatial qualification.
+    Any,
+    /// `@p` — true at position `p` (simple spatial operator).
+    At(Pat),
+    /// `@u[R]p` — true uniformly over the patch of logical space `R`
+    /// represented by `p`.
+    AreaUniform {
+        /// The resolution function (logical space).
+        res: Pat,
+        /// The representative point.
+        at: Pat,
+    },
+    /// `@s[R]p` — true somewhere in the patch (area sampled).
+    AreaSampled {
+        /// The resolution function (logical space).
+        res: Pat,
+        /// The representative point.
+        at: Pat,
+    },
+    /// `@a[R]p` — the fact's value is the average over the patch.
+    AreaAveraged {
+        /// The resolution function (logical space).
+        res: Pat,
+        /// The representative point.
+        at: Pat,
+    },
+}
+
+impl SpaceQual {
+    /// Compile to the reified qualifier term.
+    pub fn compile(&self, vt: &mut VarTable) -> Term {
+        match self {
+            SpaceQual::Any => reify::any(),
+            SpaceQual::At(p) => reify::space_at(vt.compile(p)),
+            SpaceQual::AreaUniform { res, at } => {
+                reify::space_uniform(vt.compile(res), vt.compile(at))
+            }
+            SpaceQual::AreaSampled { res, at } => {
+                reify::space_sampled(vt.compile(res), vt.compile(at))
+            }
+            SpaceQual::AreaAveraged { res, at } => {
+                reify::space_averaged(vt.compile(res), vt.compile(at))
+            }
+        }
+    }
+
+    /// Named variables occurring in the qualifier.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            SpaceQual::Any => {}
+            SpaceQual::At(p) => p.collect_vars(out),
+            SpaceQual::AreaUniform { res, at }
+            | SpaceQual::AreaSampled { res, at }
+            | SpaceQual::AreaAveraged { res, at } => {
+                res.collect_vars(out);
+                at.collect_vars(out);
+            }
+        }
+    }
+}
+
+/// A time interval with independently open/closed ends — the paper extends
+/// the interval-uniform operator to "all four open/closed combinations"
+/// (§VI.B).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntervalPat {
+    /// Lower bound.
+    pub lo: Pat,
+    /// Upper bound.
+    pub hi: Pat,
+    /// Whether the lower bound is included.
+    pub lo_closed: bool,
+    /// Whether the upper bound is included.
+    pub hi_closed: bool,
+}
+
+impl IntervalPat {
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: impl Into<Pat>, hi: impl Into<Pat>) -> IntervalPat {
+        IntervalPat {
+            lo: lo.into(),
+            hi: hi.into(),
+            lo_closed: true,
+            hi_closed: true,
+        }
+    }
+
+    /// Half-open interval `[lo, hi)` — the shape the continuity assumption
+    /// derives (§VI.B).
+    pub fn right_open(lo: impl Into<Pat>, hi: impl Into<Pat>) -> IntervalPat {
+        IntervalPat {
+            lo: lo.into(),
+            hi: hi.into(),
+            lo_closed: true,
+            hi_closed: false,
+        }
+    }
+
+    /// Compile to `iv(Lo, Hi, closed|open, closed|open)`.
+    pub fn compile(&self, vt: &mut VarTable) -> Term {
+        reify::interval(
+            vt.compile(&self.lo),
+            vt.compile(&self.hi),
+            self.lo_closed,
+            self.hi_closed,
+        )
+    }
+
+    /// Named variables occurring in the bounds.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        self.lo.collect_vars(out);
+        self.hi.collect_vars(out);
+    }
+}
+
+/// A temporal qualifier pattern — the temporal counterparts of the spatial
+/// operators (§VI.A), with the interval extension of §VI.B.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TimeQual {
+    /// No temporal qualification.
+    Any,
+    /// `&t` — true at instant `t`.
+    At(Pat),
+    /// `&u[interval]` — true throughout the interval.
+    IntervalUniform(IntervalPat),
+    /// `&s[interval]` — true at some instant within the interval.
+    IntervalSampled(IntervalPat),
+    /// `&a[interval]` — the fact's value is the average over the interval.
+    IntervalAveraged(IntervalPat),
+    /// `&now` — true at the present moment (§VI.B); expands through the
+    /// `now_is/1` kernel fact.
+    Now,
+    /// Cyclic phenomenon: true whenever the time of day/year/cycle —
+    /// `t mod period` — falls within the interval. The paper mentions this
+    /// extension of the interval-uniform operator without elaborating
+    /// (§VI.B); encoded as `cyc(Period, IV)`.
+    Cyclic {
+        /// Cycle length.
+        period: Pat,
+        /// Interval within each cycle (relative to the cycle start).
+        interval: IntervalPat,
+    },
+}
+
+impl TimeQual {
+    /// Compile to the reified qualifier term.
+    pub fn compile(&self, vt: &mut VarTable) -> Term {
+        match self {
+            TimeQual::Any => reify::any(),
+            TimeQual::At(p) => reify::time_at(vt.compile(p)),
+            TimeQual::IntervalUniform(iv) => reify::time_uniform(iv.compile(vt)),
+            TimeQual::IntervalSampled(iv) => reify::time_sampled(iv.compile(vt)),
+            TimeQual::IntervalAveraged(iv) => reify::time_averaged(iv.compile(vt)),
+            TimeQual::Now => Term::atom("now"),
+            TimeQual::Cyclic { period, interval } => Term::pred(
+                "cyc",
+                vec![vt.compile(period), interval.compile(vt)],
+            ),
+        }
+    }
+
+    /// Named variables occurring in the qualifier.
+    pub fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            TimeQual::Any | TimeQual::Now => {}
+            TimeQual::At(p) => p.collect_vars(out),
+            TimeQual::IntervalUniform(iv)
+            | TimeQual::IntervalSampled(iv)
+            | TimeQual::IntervalAveraged(iv) => iv.collect_vars(out),
+            TimeQual::Cyclic { period, interval } => {
+                period.collect_vars(out);
+                interval.collect_vars(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_any_is_any() {
+        let mut vt = VarTable::new();
+        assert_eq!(SpaceQual::Any.compile(&mut vt), Term::atom("any"));
+    }
+
+    #[test]
+    fn space_at_compiles_position() {
+        let mut vt = VarTable::new();
+        let q = SpaceQual::At(Pat::app("pt", vec![Pat::Float(1.0), Pat::Float(2.0)]));
+        assert_eq!(q.compile(&mut vt).to_string(), "sat(pt(1.0, 2.0))");
+    }
+
+    #[test]
+    fn area_uniform_shares_vars_with_table() {
+        let mut vt = VarTable::new();
+        let q = SpaceQual::AreaUniform {
+            res: Pat::var("R"),
+            at: Pat::var("P"),
+        };
+        let t = q.compile(&mut vt);
+        assert_eq!(t, reify::space_uniform(Term::var(0), Term::var(1)));
+        // Same names later compile to the same vars.
+        assert_eq!(vt.compile(&Pat::var("P")), Term::var(1));
+    }
+
+    #[test]
+    fn interval_combinations() {
+        let mut vt = VarTable::new();
+        let c = IntervalPat::closed(1970, 1980).compile(&mut vt);
+        assert_eq!(c.to_string(), "iv(1970, 1980, closed, closed)");
+        let ro = IntervalPat::right_open(1970, 1980).compile(&mut vt);
+        assert_eq!(ro.to_string(), "iv(1970, 1980, closed, open)");
+    }
+
+    #[test]
+    fn time_quals_compile() {
+        let mut vt = VarTable::new();
+        assert_eq!(
+            TimeQual::At(Pat::Int(1971)).compile(&mut vt).to_string(),
+            "tat(1971)"
+        );
+        assert_eq!(
+            TimeQual::IntervalUniform(IntervalPat::closed(1, 2))
+                .compile(&mut vt)
+                .to_string(),
+            "tu(iv(1, 2, closed, closed))"
+        );
+        assert_eq!(TimeQual::Now.compile(&mut vt), Term::atom("now"));
+    }
+
+    #[test]
+    fn collect_vars_covers_quals() {
+        let q = SpaceQual::AreaAveraged {
+            res: Pat::var("R"),
+            at: Pat::var("P"),
+        };
+        let mut vars = Vec::new();
+        q.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["R".to_string(), "P".to_string()]);
+
+        let t = TimeQual::IntervalSampled(IntervalPat::closed(Pat::var("T1"), Pat::var("T2")));
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec!["T1".to_string(), "T2".to_string()]);
+    }
+}

@@ -1,0 +1,227 @@
+//! The reified fact encoding.
+//!
+//! The paper's meta-facts are second-order: variables range over predicates
+//! and models (§IV.A). The standard way to execute that subset on a
+//! first-order engine is *reification*: every qualified fact is stored as a
+//! first-order term
+//!
+//! ```text
+//! h(Model, Space, Time, Pred, Args)
+//! ```
+//!
+//! so a meta-rule like the closed-world assumption quantifies over `Pred`
+//! and `Model` as ordinary variables. Accuracy-qualified facts (§VII) live
+//! in a *separate* relation
+//!
+//! ```text
+//! fh(Model, Space, Time, Accuracy, Pred, Args)
+//! ```
+//!
+//! because "a formula such as q(x) is not provable from facts of the form
+//! %a q(x)" (§VII.C) — crisp truth and graded truth must not leak into each
+//! other except through explicitly activated meta-rules.
+//!
+//! Qualifier encodings:
+//!
+//! | paper | term |
+//! |---|---|
+//! | unqualified | `any` |
+//! | `@p`  (simple spatial)       | `sat(P)` |
+//! | `@u[R]p` (area uniform)      | `su(R, P)` |
+//! | `@s[R]p` (area sampled)      | `ss(R, P)` |
+//! | `@a[R]p` (area averaged)     | `sa(R, P)` |
+//! | `&t`  (simple temporal)      | `tat(T)` |
+//! | `&u[l,u]` (interval uniform) | `tu(iv(L, U, LC, RC))` |
+//! | `&s[l,u]` (interval sampled) | `ts(iv(L, U, LC, RC))` |
+//! | `&a[l,u]` (interval averaged)| `ta(iv(L, U, LC, RC))` |
+//!
+//! where `LC`/`RC` are the atoms `closed`/`open` marking interval ends.
+
+use gdp_engine::{Sym, Term};
+
+/// Functor names of the reified encoding, interned once.
+pub mod functors {
+    use super::Sym;
+    use std::sync::OnceLock;
+
+    macro_rules! known {
+        ($($fn_name:ident => $text:expr;)*) => {
+            $(
+                /// Interned functor used by the reified encoding.
+                pub fn $fn_name() -> Sym {
+                    static S: OnceLock<Sym> = OnceLock::new();
+                    *S.get_or_init(|| Sym::new($text))
+                }
+            )*
+        };
+    }
+
+    known! {
+        holds => "h";
+        fuzzy_holds => "fh";
+        visible => "visible";
+        fuzzy_visible => "fvisible";
+        active_model => "active_model";
+        is_object => "is_object";
+        is_model => "is_model";
+        is_pred => "is_pred";
+        any => "any";
+        space_at => "sat";
+        space_uniform => "su";
+        space_sampled => "ss";
+        space_averaged => "sa";
+        time_at => "tat";
+        time_uniform => "tu";
+        time_sampled => "ts";
+        time_averaged => "ta";
+        interval => "iv";
+        closed => "closed";
+        open => "open";
+        error => "error";
+        res_def => "res_def";
+    }
+}
+
+/// The unqualified marker `any`.
+pub fn any() -> Term {
+    Term::Atom(functors::any())
+}
+
+/// Build `h(Model, Space, Time, Pred, Args)`.
+pub fn holds(model: Term, space: Term, time: Term, pred: Term, args: Term) -> Term {
+    Term::compound(functors::holds(), vec![model, space, time, pred, args])
+}
+
+/// Build `fh(Model, Space, Time, Accuracy, Pred, Args)`.
+pub fn fuzzy_holds(
+    model: Term,
+    space: Term,
+    time: Term,
+    accuracy: Term,
+    pred: Term,
+    args: Term,
+) -> Term {
+    Term::compound(
+        functors::fuzzy_holds(),
+        vec![model, space, time, accuracy, pred, args],
+    )
+}
+
+/// Build `visible(Model, Space, Time, Pred, Args)` — the world-view-filtered
+/// lookup used by rule bodies (§III.E: facts in inactive models "are assumed
+/// to be not provable").
+pub fn visible(model: Term, space: Term, time: Term, pred: Term, args: Term) -> Term {
+    Term::compound(functors::visible(), vec![model, space, time, pred, args])
+}
+
+/// Build `fvisible(Model, Space, Time, Accuracy, Pred, Args)` — the
+/// world-view-filtered counterpart of `fh/6`.
+pub fn fuzzy_visible(
+    model: Term,
+    space: Term,
+    time: Term,
+    accuracy: Term,
+    pred: Term,
+    args: Term,
+) -> Term {
+    Term::compound(
+        functors::fuzzy_visible(),
+        vec![model, space, time, accuracy, pred, args],
+    )
+}
+
+/// Build the spatial qualifier `sat(P)`.
+pub fn space_at(p: Term) -> Term {
+    Term::compound(functors::space_at(), vec![p])
+}
+
+/// Build `su(R, P)`.
+pub fn space_uniform(r: Term, p: Term) -> Term {
+    Term::compound(functors::space_uniform(), vec![r, p])
+}
+
+/// Build `ss(R, P)`.
+pub fn space_sampled(r: Term, p: Term) -> Term {
+    Term::compound(functors::space_sampled(), vec![r, p])
+}
+
+/// Build `sa(R, P)`.
+pub fn space_averaged(r: Term, p: Term) -> Term {
+    Term::compound(functors::space_averaged(), vec![r, p])
+}
+
+/// Build the temporal qualifier `tat(T)`.
+pub fn time_at(t: Term) -> Term {
+    Term::compound(functors::time_at(), vec![t])
+}
+
+/// Build `iv(Lo, Hi, LeftEnd, RightEnd)` with `closed`/`open` end markers.
+pub fn interval(lo: Term, hi: Term, left_closed: bool, right_closed: bool) -> Term {
+    let end = |closed: bool| {
+        Term::Atom(if closed {
+            functors::closed()
+        } else {
+            functors::open()
+        })
+    };
+    Term::compound(
+        functors::interval(),
+        vec![lo, hi, end(left_closed), end(right_closed)],
+    )
+}
+
+/// Build `tu(IV)`.
+pub fn time_uniform(iv: Term) -> Term {
+    Term::compound(functors::time_uniform(), vec![iv])
+}
+
+/// Build `ts(IV)`.
+pub fn time_sampled(iv: Term) -> Term {
+    Term::compound(functors::time_sampled(), vec![iv])
+}
+
+/// Build `ta(IV)`.
+pub fn time_averaged(iv: Term) -> Term {
+    Term::compound(functors::time_averaged(), vec![iv])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn holds_shape() {
+        let t = holds(
+            Term::atom("omega"),
+            any(),
+            any(),
+            Term::atom("road"),
+            Term::list(vec![Term::atom("s1")]),
+        );
+        assert_eq!(t.to_string(), "h(omega, any, any, road, [s1])");
+    }
+
+    #[test]
+    fn interval_encoding() {
+        let iv = interval(Term::int(1970), Term::int(1980), true, false);
+        assert_eq!(iv.to_string(), "iv(1970, 1980, closed, open)");
+    }
+
+    #[test]
+    fn qualifier_functor_arities() {
+        assert_eq!(space_uniform(Term::var(0), Term::var(1)).arity(), Some(2));
+        assert_eq!(time_at(Term::int(5)).arity(), Some(1));
+        assert_eq!(
+            fuzzy_holds(
+                Term::atom("omega"),
+                any(),
+                any(),
+                Term::float(0.8),
+                Term::atom("clarity"),
+                Term::nil()
+            )
+            .arity(),
+            Some(6)
+        );
+    }
+}

@@ -1,0 +1,1087 @@
+//! The specification database.
+//!
+//! A [`Specification`] is the executable counterpart of one GDP
+//! requirements document: it owns the knowledge base, the semantic-domain
+//! table, the object/model/predicate registries, the active world view
+//! (§III.E) and meta-view (§IV.D), and offers the assertion, definition,
+//! query, and consistency-checking API the rest of the system builds on.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use gdp_engine::{
+    list_to_vec, Budget, FxHashMap, FxHashSet, GroupId, KnowledgeBase, Solver, Term,
+};
+
+use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
+use crate::error::{SpecError, SpecResult};
+use crate::fact::{FactPat, Target};
+use crate::formula::Formula;
+use crate::meta::MetaModel;
+use crate::pattern::VarTable;
+use crate::reify::{self, functors};
+use crate::rule::{Constraint, RawClause, Rule};
+use crate::{DEFAULT_MODEL, ERROR_PRED};
+
+/// Clause groups used by the specification kernel.
+mod groups {
+    pub const KERNEL: &str = "kernel";
+    pub const WORLD_VIEW: &str = "wv";
+    pub const REGISTRY: &str = "registry";
+    pub const FACTS: &str = "facts";
+    pub const RULES: &str = "rules";
+    pub const NOW: &str = "now";
+}
+
+/// One answer to a query: named variables and their values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answer {
+    bindings: Vec<(String, Term)>,
+}
+
+impl Answer {
+    /// The value bound to the named variable.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, t)| t)
+    }
+
+    /// All `(name, value)` pairs.
+    pub fn bindings(&self) -> &[(String, Term)] {
+        &self.bindings
+    }
+}
+
+/// A constraint violation found by [`Specification::check_consistency`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// The model whose constraint fired.
+    pub model: Term,
+    /// The violation tag (first argument of `ERROR`).
+    pub error_type: Term,
+    /// Witness arguments.
+    pub witnesses: Vec<Term>,
+    /// Spatial qualifier of the violation (usually `any`).
+    pub space: Term,
+    /// Temporal qualifier of the violation (usually `any`).
+    pub time: Term,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}'ERROR({}", self.model, self.error_type)?;
+        for w in &self.witnesses {
+            write!(f, ", {w}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// How declared sorts are enforced at assertion time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum SortEnforcement {
+    /// Reject ill-sorted basic facts with [`SpecError::SortViolation`].
+    #[default]
+    Reject,
+    /// Accept everything; rely on user constraints (`Formula::Domain`) to
+    /// flag anomalies — the paper's own style (§III.C).
+    Off,
+}
+
+/// The executable specification database. See the module docs.
+pub struct Specification {
+    kb: KnowledgeBase,
+    domains: Arc<RwLock<DomainTable>>,
+    signatures: FxHashMap<(String, usize), Vec<Sort>>,
+    objects: FxHashSet<String>,
+    models: FxHashSet<String>,
+    meta_models: FxHashMap<String, MetaModel>,
+    active_meta: Vec<String>,
+    world_view: Vec<String>,
+    sort_enforcement: SortEnforcement,
+    step_limit: u64,
+    depth_limit: u32,
+}
+
+impl Default for Specification {
+    fn default() -> Self {
+        Specification::new()
+    }
+}
+
+impl std::fmt::Debug for Specification {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Specification")
+            .field("clauses", &self.kb.clause_count())
+            .field("objects", &self.objects.len())
+            .field("models", &self.models.len())
+            .field("world_view", &self.world_view)
+            .field("meta_view", &self.active_meta)
+            .finish()
+    }
+}
+
+impl Specification {
+    /// A fresh specification: default model ω declared and active, kernel
+    /// visibility rules installed, `domain_member/2` native registered.
+    pub fn new() -> Specification {
+        let mut spec = Specification {
+            kb: KnowledgeBase::new(),
+            domains: Arc::new(RwLock::new(DomainTable::default())),
+            signatures: FxHashMap::default(),
+            objects: FxHashSet::default(),
+            models: FxHashSet::default(),
+            meta_models: FxHashMap::default(),
+            active_meta: Vec::new(),
+            world_view: vec![DEFAULT_MODEL.to_string()],
+            sort_enforcement: SortEnforcement::default(),
+            step_limit: 10_000_000,
+            depth_limit: 256,
+        };
+        register_domain_native(&mut spec.kb, Arc::clone(&spec.domains));
+        spec.install_kernel();
+        spec.declare_model(DEFAULT_MODEL);
+        spec.apply_world_view();
+        spec
+    }
+
+    fn install_kernel(&mut self) {
+        let g = GroupId::named(groups::KERNEL);
+        // The reified relations put the model first, so classic first-
+        // argument indexing would degenerate to a scan (every fact shares
+        // ω). Index h/5 on the spatial qualifier, the predicate, and the
+        // argument list (keyed by its first element); fh/6 likewise.
+        self.kb.set_index_args(
+            gdp_engine::PredKey::new("h", 5),
+            &[1, 3, 4],
+        );
+        self.kb.set_index_args(
+            gdp_engine::PredKey::new("fh", 6),
+            &[1, 4, 5],
+        );
+        // visible(M, S, T, Q, A) :- active_model(M), h(M, S, T, Q, A).
+        let (m, s, t, q, a) = (
+            Term::var(0),
+            Term::var(1),
+            Term::var(2),
+            Term::var(3),
+            Term::var(4),
+        );
+        self.kb.assert_clause_in(
+            g,
+            reify::visible(m.clone(), s.clone(), t.clone(), q.clone(), a.clone()),
+            Term::and(
+                Term::compound(functors::active_model(), vec![m.clone()]),
+                reify::holds(m.clone(), s.clone(), t.clone(), q.clone(), a.clone()),
+            ),
+        );
+        // fvisible(M, S, T, Acc, Q, A) :- active_model(M), fh(M, S, T, Acc, Q, A).
+        let acc = Term::var(5);
+        self.kb.assert_clause_in(
+            g,
+            reify::fuzzy_visible(
+                m.clone(),
+                s.clone(),
+                t.clone(),
+                acc.clone(),
+                q.clone(),
+                a.clone(),
+            ),
+            Term::and(
+                Term::compound(functors::active_model(), vec![m.clone()]),
+                reify::fuzzy_holds(m, s, t, acc, q, a),
+            ),
+        );
+        // List membership — needed by meta-model rule packs (spatial
+        // acquisition, temporal intervals) and generally useful:
+        //   member(X, [X | _]).   member(X, [_ | T]) :- member(X, T).
+        let x = Term::var(0);
+        let t2 = Term::var(1);
+        self.kb.assert_clause_in(
+            g,
+            Term::pred("member", vec![x.clone(), Term::cons(x.clone(), t2.clone())]),
+            Term::atom("true"),
+        );
+        self.kb.assert_clause_in(
+            g,
+            Term::pred("member", vec![x.clone(), Term::cons(t2.clone(), Term::var(2))]),
+            Term::pred("member", vec![x, Term::var(2)]),
+        );
+    }
+
+    // ----- declarations ---------------------------------------------------
+
+    /// Declare an object designator (§II.A). Idempotent.
+    pub fn declare_object(&mut self, name: &str) {
+        if self.objects.insert(name.to_string()) {
+            self.kb.assert_clause_in(
+                GroupId::named(groups::REGISTRY),
+                Term::compound(functors::is_object(), vec![Term::atom(name)]),
+                Term::atom("true"),
+            );
+        }
+    }
+
+    /// Declare a model (§III.D). Idempotent. Declaring does not activate:
+    /// a model's facts stay invisible until a world view includes it.
+    pub fn declare_model(&mut self, name: &str) {
+        if self.models.insert(name.to_string()) {
+            self.kb.assert_clause_in(
+                GroupId::named(groups::REGISTRY),
+                Term::compound(functors::is_model(), vec![Term::atom(name)]),
+                Term::atom("true"),
+            );
+        }
+    }
+
+    /// Declare a semantic domain (§III.B).
+    pub fn declare_domain(&mut self, name: &str, def: DomainDef) -> SpecResult<()> {
+        if !self.domains.write().insert(name, def) {
+            return Err(SpecError::Redeclaration(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Declare a predicate with its argument sorts, enabling many-sorted
+    /// checking (§III.C). Domains named in the signature must be declared.
+    pub fn declare_predicate(&mut self, name: &str, sorts: Vec<Sort>) -> SpecResult<()> {
+        for s in &sorts {
+            if let Sort::Domain(d) = s {
+                if !self.domains.read().contains(d) {
+                    return Err(SpecError::UnknownDomain(d.clone()));
+                }
+            }
+        }
+        let key = (name.to_string(), sorts.len());
+        if self.signatures.contains_key(&key) {
+            return Err(SpecError::Redeclaration(format!("{name}/{}", key.1)));
+        }
+        self.register_predicate(name);
+        self.signatures.insert(key, sorts);
+        Ok(())
+    }
+
+    fn register_predicate(&mut self, name: &str) {
+        let head = Term::compound(functors::is_pred(), vec![Term::atom(name)]);
+        // Idempotence: only assert the registry fact once.
+        let already = self
+            .kb
+            .candidates(
+                gdp_engine::PredKey {
+                    name: functors::is_pred(),
+                    arity: 1,
+                },
+                &gdp_engine::BindStore::new(),
+                &[Term::atom(name)],
+            )
+            .iter()
+            .any(|c| c.head == head);
+        if !already {
+            self.kb
+                .assert_clause_in(GroupId::named(groups::REGISTRY), head, Term::atom("true"));
+        }
+    }
+
+    // ----- assertions -----------------------------------------------------
+
+    /// Assert a basic fact (§II.B). The pattern must be ground; sorts are
+    /// checked against the predicate's signature when one is declared and
+    /// enforcement is on. `Sort::Object` positions auto-register their
+    /// atoms as objects.
+    pub fn assert_fact(&mut self, fact: FactPat) -> SpecResult<()> {
+        let pred = fact
+            .pred_name()
+            .ok_or_else(|| SpecError::NonGroundFact(fact.pred.to_string()))?;
+        let mut vars = Vec::new();
+        fact.collect_vars(&mut vars);
+        if !vars.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        self.check_sorts(&pred, &fact)?;
+        if let Some(crate::pattern::Pat::Atom(m)) = &fact.model {
+            let m = m.clone();
+            self.declare_model(&m);
+        }
+        self.register_predicate(&pred);
+        let mut vt = VarTable::new();
+        let term = fact.compile(&mut vt, Target::Holds);
+        // A "ground" pattern may still contain wildcards; refuse those too.
+        if !vt.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        self.kb
+            .assert_clause_in(GroupId::named(groups::FACTS), term, Term::atom("true"));
+        Ok(())
+    }
+
+    /// Assert an accuracy-qualified fact `%a q(x)` (§VII.B). Stored in the
+    /// separate fuzzy relation: it does **not** make the crisp fact
+    /// provable.
+    pub fn assert_fuzzy_fact(&mut self, fact: FactPat, accuracy: f64) -> SpecResult<()> {
+        if !(0.0..=1.0).contains(&accuracy) {
+            return Err(SpecError::InvalidAccuracy(accuracy));
+        }
+        let pred = fact
+            .pred_name()
+            .ok_or_else(|| SpecError::NonGroundFact(fact.pred.to_string()))?;
+        let mut vars = Vec::new();
+        fact.collect_vars(&mut vars);
+        if !vars.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        if let Some(crate::pattern::Pat::Atom(m)) = &fact.model {
+            let m = m.clone();
+            self.declare_model(&m);
+        }
+        self.register_predicate(&pred);
+        let mut vt = VarTable::new();
+        let term = fact.compile_fuzzy(
+            &mut vt,
+            &crate::pattern::Pat::Float(accuracy),
+            Target::Holds,
+        );
+        if !vt.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        self.kb
+            .assert_clause_in(GroupId::named(groups::FACTS), term, Term::atom("true"));
+        Ok(())
+    }
+
+    /// Withdraw a previously asserted basic fact ("data are often
+    /// reinterpreted", §III.D — sometimes the raw datum itself is revised).
+    /// The pattern must be ground, exactly as it was asserted. Returns
+    /// whether a fact was removed.
+    pub fn retract_fact(&mut self, fact: FactPat) -> SpecResult<bool> {
+        let pred = fact
+            .pred_name()
+            .ok_or_else(|| SpecError::NonGroundFact(fact.pred.to_string()))?;
+        let mut vars = Vec::new();
+        fact.collect_vars(&mut vars);
+        if !vars.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        let mut vt = VarTable::new();
+        let term = fact.compile(&mut vt, Target::Holds);
+        if !vt.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        Ok(self.kb.retract_fact(&term))
+    }
+
+    /// Withdraw a previously asserted fuzzy fact with its exact accuracy.
+    pub fn retract_fuzzy_fact(&mut self, fact: FactPat, accuracy: f64) -> SpecResult<bool> {
+        let pred = fact
+            .pred_name()
+            .ok_or_else(|| SpecError::NonGroundFact(fact.pred.to_string()))?;
+        let mut vt = VarTable::new();
+        let term = fact.compile_fuzzy(
+            &mut vt,
+            &crate::pattern::Pat::Float(accuracy),
+            Target::Holds,
+        );
+        if !vt.is_empty() {
+            return Err(SpecError::NonGroundFact(pred));
+        }
+        Ok(self.kb.retract_fact(&term))
+    }
+
+    fn check_sorts(&mut self, pred: &str, fact: &FactPat) -> SpecResult<()> {
+        let Some(args) = fact.fixed_args() else {
+            return Ok(());
+        };
+        let Some(sorts) = self.signatures.get(&(pred.to_string(), args.len())).cloned() else {
+            // No signature for this arity. If another arity is declared,
+            // that's an arity mismatch worth reporting.
+            if self.signatures.keys().any(|(n, _)| n == pred) {
+                // Deterministic report: the smallest declared arity.
+                let expected = self
+                    .signatures
+                    .keys()
+                    .filter(|(n, _)| n == pred)
+                    .map(|(_, a)| *a)
+                    .min()
+                    .unwrap_or(0);
+                return Err(SpecError::ArityMismatch {
+                    predicate: pred.to_string(),
+                    expected,
+                    found: args.len(),
+                });
+            }
+            return Ok(());
+        };
+        for (i, (arg, sort)) in args.iter().zip(sorts.iter()).enumerate() {
+            let mut vt = VarTable::new();
+            let value = vt.compile(arg);
+            match sort {
+                Sort::Any => {}
+                Sort::Object => match &value {
+                    Term::Atom(s) => {
+                        let name = s.as_str();
+                        self.declare_object(&name);
+                    }
+                    other => {
+                        if self.sort_enforcement == SortEnforcement::Reject {
+                            return Err(SpecError::SortViolation {
+                                predicate: pred.to_string(),
+                                position: i,
+                                domain: "object".to_string(),
+                                value: other.to_string(),
+                            });
+                        }
+                    }
+                },
+                Sort::Domain(d) => {
+                    let ok = self
+                        .domains
+                        .read()
+                        .get(d)
+                        .map(|def| def.contains(&value))
+                        .unwrap_or(false);
+                    if !ok && self.sort_enforcement == SortEnforcement::Reject {
+                        return Err(SpecError::SortViolation {
+                            predicate: pred.to_string(),
+                            position: i,
+                            domain: d.clone(),
+                            value: value.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Define a virtual fact (§III.A). The rule is validated against the
+    /// formula-language range restrictions before being installed.
+    pub fn define(&mut self, rule: Rule) -> SpecResult<()> {
+        if let Some(p) = rule.head.pred_name() {
+            self.register_predicate(&p);
+        }
+        if let Some(crate::pattern::Pat::Atom(m)) = &rule.head.model {
+            let m = m.clone();
+            self.declare_model(&m);
+        }
+        let (clause, _vt) = rule.compile(GroupId::named(groups::RULES))?;
+        self.kb
+            .assert_clause_in(GroupId::named(groups::RULES), clause.head, clause.body);
+        Ok(())
+    }
+
+    /// Install a constraint (§III.C).
+    pub fn constrain(&mut self, constraint: Constraint) -> SpecResult<()> {
+        if let Some(crate::pattern::Pat::Atom(m)) = &constraint.model {
+            let m = m.clone();
+            self.declare_model(&m);
+        }
+        let (clause, _vt) = constraint.compile(GroupId::named(groups::RULES))?;
+        self.kb
+            .assert_clause_in(GroupId::named(groups::RULES), clause.head, clause.body);
+        Ok(())
+    }
+
+    // ----- world view (§III.E) ---------------------------------------------
+
+    /// Replace the world view: the set of models whose facts and
+    /// constraints are visible. Every model must have been declared.
+    pub fn set_world_view(&mut self, models: &[&str]) -> SpecResult<()> {
+        for m in models {
+            if !self.models.contains(*m) {
+                return Err(SpecError::UnknownModel((*m).to_string()));
+            }
+        }
+        self.world_view = models.iter().map(|m| m.to_string()).collect();
+        self.apply_world_view();
+        Ok(())
+    }
+
+    fn apply_world_view(&mut self) {
+        let g = GroupId::named(groups::WORLD_VIEW);
+        self.kb.retract_group(g);
+        for m in &self.world_view {
+            self.kb.assert_clause_in(
+                g,
+                Term::compound(functors::active_model(), vec![Term::atom(m)]),
+                Term::atom("true"),
+            );
+        }
+    }
+
+    /// The currently active world view.
+    pub fn world_view(&self) -> &[String] {
+        &self.world_view
+    }
+
+    // ----- meta-view (§IV) --------------------------------------------------
+
+    /// Register a meta-model (its natives are installed immediately; its
+    /// rules stay dormant until activated).
+    pub fn register_meta_model(&mut self, mm: MetaModel) {
+        mm.run_setup(&mut self.kb);
+        self.meta_models.insert(mm.name().to_string(), mm);
+    }
+
+    /// Activate a registered meta-model: its rule pack joins the knowledge
+    /// base under its own clause group. Idempotent.
+    pub fn activate_meta_model(&mut self, name: &str) -> SpecResult<()> {
+        let mm = self
+            .meta_models
+            .get(name)
+            .ok_or_else(|| SpecError::UnknownMetaModel(name.to_string()))?
+            .clone();
+        if self.active_meta.iter().any(|n| n == name) {
+            return Ok(());
+        }
+        let g = mm.group();
+        for c in mm.clauses() {
+            self.kb.assert_clause_in(g, c.head.clone(), c.body.clone());
+        }
+        self.active_meta.push(name.to_string());
+        Ok(())
+    }
+
+    /// Deactivate a meta-model, retracting its rule pack.
+    pub fn deactivate_meta_model(&mut self, name: &str) -> SpecResult<()> {
+        let mm = self
+            .meta_models
+            .get(name)
+            .ok_or_else(|| SpecError::UnknownMetaModel(name.to_string()))?;
+        self.kb.retract_group(mm.group());
+        self.active_meta.retain(|n| n != name);
+        Ok(())
+    }
+
+    /// The current meta-view (§IV.D): names of active meta-models, in
+    /// activation order.
+    pub fn meta_view(&self) -> &[String] {
+        &self.active_meta
+    }
+
+    /// Replace the whole meta-view at once.
+    pub fn set_meta_view(&mut self, names: &[&str]) -> SpecResult<()> {
+        // Validate before touching anything: a typo must not strip the
+        // current meta-view.
+        for n in names {
+            if !self.meta_models.contains_key(*n) {
+                return Err(SpecError::UnknownMetaModel((*n).to_string()));
+            }
+        }
+        let current: Vec<String> = self.active_meta.clone();
+        for n in current {
+            self.deactivate_meta_model(&n)?;
+        }
+        for n in names {
+            self.activate_meta_model(n)?;
+        }
+        Ok(())
+    }
+
+    // ----- time (shared kernel state for §VI) -------------------------------
+
+    /// Set the present moment (the `now` placeholder, §VI.B). Stored as the
+    /// kernel fact `now_is(t)`.
+    pub fn set_now(&mut self, t: f64) {
+        let g = GroupId::named(groups::NOW);
+        self.kb.retract_group(g);
+        self.kb.assert_clause_in(
+            g,
+            Term::pred("now_is", vec![Term::float(t)]),
+            Term::atom("true"),
+        );
+    }
+
+    // ----- queries ----------------------------------------------------------
+
+    fn budget(&self) -> Budget {
+        Budget::new(self.step_limit, self.depth_limit)
+    }
+
+    /// Adjust the per-query resource budget.
+    pub fn set_budget(&mut self, step_limit: u64, depth_limit: u32) {
+        self.step_limit = step_limit;
+        self.depth_limit = depth_limit;
+    }
+
+    /// All answers to a fact pattern, looked up through the active world
+    /// view.
+    pub fn query(&self, pat: FactPat) -> SpecResult<Vec<Answer>> {
+        self.query_n(pat, usize::MAX)
+    }
+
+    /// Up to `limit` answers to a fact pattern.
+    pub fn query_n(&self, pat: FactPat, limit: usize) -> SpecResult<Vec<Answer>> {
+        let mut vt = VarTable::new();
+        let goal = pat.compile(&mut vt, Target::Visible);
+        self.run_query(goal, vt, limit)
+    }
+
+    /// Like [`Specification::query`], with duplicate answers removed
+    /// (first-occurrence order kept). Facts derivable along several
+    /// meta-rule paths — e.g. a ground point inside a patch reachable both
+    /// directly and through a finer resolution — repeat in raw SLD output;
+    /// most callers want each answer once.
+    pub fn query_distinct(&self, pat: FactPat) -> SpecResult<Vec<Answer>> {
+        let mut answers = self.query(pat)?;
+        let mut seen: Vec<Answer> = Vec::new();
+        answers.retain(|a| {
+            if seen.contains(a) {
+                false
+            } else {
+                seen.push(a.clone());
+                true
+            }
+        });
+        Ok(answers)
+    }
+
+    /// Is the fact pattern provable under the active world view?
+    pub fn provable(&self, pat: FactPat) -> SpecResult<bool> {
+        let mut vt = VarTable::new();
+        let goal = pat.compile(&mut vt, Target::Visible);
+        Ok(Solver::new(&self.kb, self.budget()).prove(goal)?)
+    }
+
+    /// All answers to an arbitrary formula.
+    pub fn satisfy(&self, formula: &Formula) -> SpecResult<Vec<Answer>> {
+        let mut vt = VarTable::new();
+        let goal = formula.compile(&mut vt);
+        self.run_query(goal, vt, usize::MAX)
+    }
+
+    /// Is the formula satisfiable under the active world view?
+    pub fn satisfiable(&self, formula: &Formula) -> SpecResult<bool> {
+        let mut vt = VarTable::new();
+        let goal = formula.compile(&mut vt);
+        Ok(Solver::new(&self.kb, self.budget()).prove(goal)?)
+    }
+
+    fn run_query(&self, goal: Term, vt: VarTable, limit: usize) -> SpecResult<Vec<Answer>> {
+        let solver = Solver::new(&self.kb, self.budget());
+        let solutions = solver.solve(goal, limit)?;
+        let named: Vec<(String, u32)> = vt
+            .named()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        Ok(solutions
+            .into_iter()
+            .map(|sol| Answer {
+                bindings: named
+                    .iter()
+                    .map(|(n, v)| {
+                        let t = sol
+                            .get(gdp_engine::Var(*v))
+                            .cloned()
+                            .unwrap_or(Term::var(*v));
+                        (n.clone(), t)
+                    })
+                    .collect(),
+            })
+            .collect())
+    }
+
+    /// Explain why a fact pattern is provable (its first solution's proof
+    /// tree), or `None` when it is not. See [`crate::explain`].
+    pub fn explain_fact(&self, pat: FactPat) -> SpecResult<Option<crate::explain::Proof>> {
+        let mut vt = VarTable::new();
+        let goal = pat.compile(&mut vt, Target::Visible);
+        crate::explain::explain(self, goal)
+    }
+
+    /// Evaluate every constraint visible in the active world view and
+    /// return the violations (§III.C, §III.E). An empty result means the
+    /// world view is *consistent*.
+    pub fn check_consistency(&self) -> SpecResult<Vec<Violation>> {
+        let goal = reify::visible(
+            Term::var(0),
+            Term::var(1),
+            Term::var(2),
+            Term::atom(ERROR_PRED),
+            Term::var(3),
+        );
+        let solver = Solver::new(&self.kb, self.budget());
+        let solutions = solver.solve_all(goal)?;
+        let mut out = Vec::new();
+        for sol in solutions {
+            let model = sol.get(gdp_engine::Var(0)).cloned().unwrap_or(Term::var(0));
+            let space = sol.get(gdp_engine::Var(1)).cloned().unwrap_or(Term::var(1));
+            let time = sol.get(gdp_engine::Var(2)).cloned().unwrap_or(Term::var(2));
+            let args = sol.get(gdp_engine::Var(3)).cloned().unwrap_or(Term::nil());
+            let items = list_to_vec(&args).unwrap_or_default();
+            let (error_type, witnesses) = match items.split_first() {
+                Some((t, w)) => (t.clone(), w.to_vec()),
+                None => (Term::atom("unknown"), Vec::new()),
+            };
+            let v = Violation {
+                model,
+                error_type,
+                witnesses,
+                space,
+                time,
+            };
+            if !out.contains(&v) {
+                out.push(v);
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- low-level access (sibling crates, diagnostics) --------------------
+
+    /// The underlying knowledge base (read).
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The underlying knowledge base (write). Reserved for the spatial /
+    /// temporal / fuzzy / rendering layers; going around the assertion API
+    /// skips sort checking.
+    pub fn kb_mut(&mut self) -> &mut KnowledgeBase {
+        &mut self.kb
+    }
+
+    /// Shared handle to the semantic-domain table.
+    pub fn domain_table(&self) -> Arc<RwLock<DomainTable>> {
+        Arc::clone(&self.domains)
+    }
+
+    /// Assert a raw engine clause under a named group.
+    pub fn assert_raw(&mut self, group: &str, clause: RawClause) {
+        self.kb
+            .assert_clause_in(GroupId::named(group), clause.head, clause.body);
+    }
+
+    /// Retract a named clause group; returns the number of clauses removed.
+    pub fn retract_raw_group(&mut self, group: &str) -> usize {
+        self.kb.retract_group(GroupId::named(group))
+    }
+
+    /// Prove a raw engine goal (diagnostics and sibling crates).
+    pub fn prove_goal(&self, goal: Term) -> SpecResult<bool> {
+        Ok(Solver::new(&self.kb, self.budget()).prove(goal)?)
+    }
+
+    /// Solve a raw engine goal, returning engine-level solutions.
+    pub fn solve_goal(&self, goal: Term) -> SpecResult<Vec<gdp_engine::Solution>> {
+        Ok(Solver::new(&self.kb, self.budget()).solve_all(goal)?)
+    }
+
+    /// Declared objects.
+    pub fn objects(&self) -> impl Iterator<Item = &str> {
+        self.objects.iter().map(String::as_str)
+    }
+
+    /// Declared models.
+    pub fn models(&self) -> impl Iterator<Item = &str> {
+        self.models.iter().map(String::as_str)
+    }
+
+    /// Switch sort enforcement mode.
+    pub fn set_sort_enforcement(&mut self, mode: SortEnforcement) {
+        self.sort_enforcement = mode;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::CmpOp;
+    use crate::pattern::Pat;
+
+    fn fact(pred: &str, args: &[&str]) -> FactPat {
+        let mut f = FactPat::new(pred);
+        for a in args {
+            f = f.arg(*a);
+        }
+        f
+    }
+
+    #[test]
+    fn assert_and_query_basic_facts() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("road", &["s1"])).unwrap();
+        spec.assert_fact(fact("road", &["s2"])).unwrap();
+        let answers = spec.query(fact("road", &["X"])).unwrap();
+        assert_eq!(answers.len(), 2);
+        assert_eq!(answers[0].get("X").unwrap(), &Term::atom("s1"));
+    }
+
+    #[test]
+    fn non_ground_basic_fact_rejected() {
+        let mut spec = Specification::new();
+        let err = spec.assert_fact(fact("road", &["X"])).unwrap_err();
+        assert!(matches!(err, SpecError::NonGroundFact(_)));
+    }
+
+    #[test]
+    fn retract_fact_round_trip() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("road", &["s1"])).unwrap();
+        assert!(spec.provable(fact("road", &["s1"])).unwrap());
+        assert!(spec.retract_fact(fact("road", &["s1"])).unwrap());
+        assert!(!spec.provable(fact("road", &["s1"])).unwrap());
+        assert!(!spec.retract_fact(fact("road", &["s1"])).unwrap());
+        // Fuzzy retraction needs the exact accuracy.
+        spec.assert_fuzzy_fact(fact("clarity", &["img"]), 0.8).unwrap();
+        assert!(!spec.retract_fuzzy_fact(fact("clarity", &["img"]), 0.7).unwrap());
+        assert!(spec.retract_fuzzy_fact(fact("clarity", &["img"]), 0.8).unwrap());
+    }
+
+    #[test]
+    fn virtual_fact_derives() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("bridge", &["b1"])).unwrap();
+        spec.assert_fact(fact("open", &["b1"])).unwrap();
+        spec.define(Rule::new(
+            fact("known_status", &["X"]),
+            Formula::and(
+                Formula::fact(fact("bridge", &["X"])),
+                Formula::or(
+                    Formula::fact(fact("open", &["X"])),
+                    Formula::fact(fact("closed", &["X"])),
+                ),
+            ),
+        ))
+        .unwrap();
+        assert!(spec.provable(fact("known_status", &["b1"])).unwrap());
+    }
+
+    #[test]
+    fn query_distinct_dedups() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("p", &["a"])).unwrap();
+        // Two rules derive the same conclusion.
+        for _ in 0..2 {
+            spec.define(Rule::new(
+                fact("q", &["X"]),
+                Formula::fact(fact("p", &["X"])),
+            ))
+            .unwrap();
+        }
+        assert_eq!(spec.query(fact("q", &["X"])).unwrap().len(), 2);
+        assert_eq!(spec.query_distinct(fact("q", &["X"])).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn model_scoping_and_world_view() {
+        let mut spec = Specification::new();
+        spec.assert_fact(
+            fact("freezing_point", &[]).model("celsius").arg(Pat::Int(0)).arg("x"),
+        )
+        .unwrap();
+        // Not visible: celsius not in the world view.
+        assert!(!spec
+            .provable(fact("freezing_point", &[]).arg(Pat::Int(0)).arg("x"))
+            .unwrap());
+        spec.set_world_view(&["omega", "celsius"]).unwrap();
+        assert!(spec
+            .provable(fact("freezing_point", &[]).arg(Pat::Int(0)).arg("x"))
+            .unwrap());
+        // Query with explicit model qualifier.
+        assert!(spec
+            .provable(
+                fact("freezing_point", &[])
+                    .model("celsius")
+                    .arg(Pat::Int(0))
+                    .arg("x")
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_model_in_world_view_rejected() {
+        let mut spec = Specification::new();
+        assert!(matches!(
+            spec.set_world_view(&["nope"]),
+            Err(SpecError::UnknownModel(_))
+        ));
+    }
+
+    #[test]
+    fn consistency_checking_is_world_view_relative() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("capital_of", &["jc", "mo"])).unwrap();
+        spec.assert_fact(fact("capital_of", &["stl", "mo"]).model("rumor"))
+            .unwrap();
+        spec.constrain(
+            Constraint::new("two_capitals")
+                .witness("Z")
+                .when(Formula::all(vec![
+                    Formula::fact(fact("capital_of", &["X", "Z"])),
+                    Formula::fact(fact("capital_of", &["Y", "Z"])),
+                    Formula::Cmp(CmpOp::NotUnify, Pat::var("X"), Pat::var("Y")),
+                ])),
+        )
+        .unwrap();
+        // Default world view: only omega's fact — consistent.
+        assert!(spec.check_consistency().unwrap().is_empty());
+        // Include the rumor model: two capitals for mo — violation.
+        spec.set_world_view(&["omega", "rumor"]).unwrap();
+        let violations = spec.check_consistency().unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].error_type, Term::atom("two_capitals"));
+        assert_eq!(violations[0].witnesses, vec![Term::atom("mo")]);
+    }
+
+    #[test]
+    fn sorts_reject_bad_temperature() {
+        let mut spec = Specification::new();
+        spec.declare_domain(
+            "temperature",
+            DomainDef::FloatRange {
+                min: -100.0,
+                max: 200.0,
+            },
+        )
+        .unwrap();
+        spec.declare_predicate(
+            "average_temperature",
+            vec![Sort::domain("temperature"), Sort::Object],
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("average_temperature")
+                .arg(Pat::Float(45.0))
+                .arg("saint_louis"),
+        )
+        .unwrap();
+        let err = spec
+            .assert_fact(
+                FactPat::new("average_temperature")
+                    .arg("green")
+                    .arg("saint_louis"),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SpecError::SortViolation { .. }));
+        // Objects auto-registered from Sort::Object positions.
+        assert!(spec.objects().any(|o| o == "saint_louis"));
+    }
+
+    #[test]
+    fn sort_enforcement_off_admits_anomalies() {
+        let mut spec = Specification::new();
+        spec.set_sort_enforcement(SortEnforcement::Off);
+        spec.declare_domain("temperature", DomainDef::AnyNumber).unwrap();
+        spec.declare_predicate(
+            "average_temperature",
+            vec![Sort::domain("temperature"), Sort::Object],
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("average_temperature")
+                .arg("green")
+                .arg("saint_louis"),
+        )
+        .unwrap();
+        // The anomaly is in; a domain constraint can now flag it.
+        spec.constrain(
+            Constraint::new("bad_temp").witness("X").when(Formula::and(
+                Formula::fact(
+                    FactPat::new("average_temperature").arg("X").arg("Y"),
+                ),
+                Formula::not(Formula::Domain("temperature".into(), Pat::var("X"))),
+            )),
+        )
+        .unwrap();
+        let violations = spec.check_consistency().unwrap();
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].error_type, Term::atom("bad_temp"));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let mut spec = Specification::new();
+        spec.declare_predicate("road", vec![Sort::Object]).unwrap();
+        let err = spec.assert_fact(fact("road", &["a", "b"])).unwrap_err();
+        assert!(matches!(err, SpecError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn meta_model_activation_cycle() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("p", &["a"])).unwrap();
+        let mm = MetaModel::new("copy_p_to_q")
+            .clause(RawClause::rule(
+                reify::holds(
+                    Term::atom(DEFAULT_MODEL),
+                    reify::any(),
+                    reify::any(),
+                    Term::atom("q"),
+                    Term::var(0),
+                ),
+                reify::holds(
+                    Term::atom(DEFAULT_MODEL),
+                    reify::any(),
+                    reify::any(),
+                    Term::atom("p"),
+                    Term::var(0),
+                ),
+            ))
+            .build();
+        spec.register_meta_model(mm);
+        assert!(!spec.provable(fact("q", &["a"])).unwrap());
+        spec.activate_meta_model("copy_p_to_q").unwrap();
+        assert!(spec.provable(fact("q", &["a"])).unwrap());
+        assert_eq!(spec.meta_view(), &["copy_p_to_q".to_string()]);
+        spec.deactivate_meta_model("copy_p_to_q").unwrap();
+        assert!(!spec.provable(fact("q", &["a"])).unwrap());
+    }
+
+    #[test]
+    fn fuzzy_facts_do_not_prove_crisp_facts() {
+        let mut spec = Specification::new();
+        spec.assert_fuzzy_fact(fact("clarity", &["image"]), 0.85)
+            .unwrap();
+        // §VII.C: q(x) is not provable from %a q(x).
+        assert!(!spec.provable(fact("clarity", &["image"])).unwrap());
+        // But the fuzzy relation sees it.
+        let answers = spec
+            .satisfy(&Formula::FuzzyFact(
+                fact("clarity", &["image"]),
+                Pat::var("A"),
+            ))
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get("A").unwrap().as_f64(), Some(0.85));
+    }
+
+    #[test]
+    fn invalid_accuracy_rejected() {
+        let mut spec = Specification::new();
+        let err = spec
+            .assert_fuzzy_fact(fact("clarity", &["image"]), 1.5)
+            .unwrap_err();
+        assert_eq!(err, SpecError::InvalidAccuracy(1.5));
+    }
+
+    #[test]
+    fn set_now_updates() {
+        let mut spec = Specification::new();
+        spec.set_now(1990.0);
+        assert!(spec
+            .prove_goal(Term::pred("now_is", vec![Term::float(1990.0)]))
+            .unwrap());
+        spec.set_now(1991.0);
+        assert!(!spec
+            .prove_goal(Term::pred("now_is", vec![Term::float(1990.0)]))
+            .unwrap());
+    }
+
+    #[test]
+    fn satisfy_general_formula() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("population", &[]).arg("stl").arg(Pat::Int(2_800_000)))
+            .unwrap();
+        // large_city style query: population(X, N), N > 1_000_000.
+        let answers = spec
+            .satisfy(&Formula::and(
+                Formula::fact(FactPat::new("population").arg("X").arg("N")),
+                Formula::Cmp(CmpOp::Gt, Pat::var("N"), Pat::Int(1_000_000)),
+            ))
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get("X").unwrap(), &Term::atom("stl"));
+    }
+}

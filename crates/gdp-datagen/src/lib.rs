@@ -1,0 +1,23 @@
+//! # gdp-datagen — deterministic synthetic geography
+//!
+//! The paper's prototype was driven by Defense Mapping Agency / RADC data
+//! we cannot obtain. This crate generates the closest synthetic
+//! equivalents, exercising the same code paths (DESIGN.md documents the
+//! substitution): seeded value-noise terrain with lakes, islands, shores,
+//! and peaks; road networks with bridges over water; sparse bathymetric
+//! surveys with noisy, confidence-rated soundings; and census-style
+//! attribute records. Same seed, same world — every experiment is exactly
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod network;
+mod noise;
+mod survey;
+mod terrain;
+
+pub use network::{Bridge, City, Network, NetworkConfig, Road};
+pub use noise::ValueNoise;
+pub use survey::{Census, CensusRecord, DepthSample, DepthSurvey, SurveyConfig};
+pub use terrain::{Cover, Region, Terrain, TerrainConfig};

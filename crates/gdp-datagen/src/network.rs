@@ -1,0 +1,278 @@
+//! Synthetic transport networks: cities, roads, and bridges — the
+//! substrate for the paper's recurring road/bridge examples (§II.B,
+//! §III.A) at realistic scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::terrain::Terrain;
+
+/// A city site on the terrain.
+#[derive(Clone, Debug, PartialEq)]
+pub struct City {
+    /// Sequential id; city objects are named `city<id>`.
+    pub id: u32,
+    /// Cell coordinates.
+    pub cell: (u32, u32),
+    /// Synthetic population.
+    pub population: u32,
+}
+
+/// A road connecting two cities along a rasterized straight segment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Road {
+    /// Sequential id; road objects are named `road<id>`.
+    pub id: u32,
+    /// Endpoint city ids.
+    pub cities: (u32, u32),
+    /// The cells the road passes through, in order.
+    pub cells: Vec<(u32, u32)>,
+    /// Bridges along the road (indices into `cells` that are water).
+    pub bridges: Vec<Bridge>,
+}
+
+/// A bridge: a water cell a road crosses.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bridge {
+    /// Sequential id within the network; named `bridge<id>`.
+    pub id: u32,
+    /// The water cell being bridged.
+    pub cell: (u32, u32),
+    /// Whether the bridge is currently open (synthetic status).
+    pub open: bool,
+}
+
+/// A generated road network.
+#[derive(Clone, Debug)]
+pub struct Network {
+    /// City sites.
+    pub cities: Vec<City>,
+    /// Roads (a spanning tree over the cities, plus shortcuts).
+    pub roads: Vec<Road>,
+}
+
+/// Network generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of city sites to place (on land).
+    pub n_cities: u32,
+    /// Extra non-tree edges added as shortcuts.
+    pub extra_edges: u32,
+    /// Probability that a bridge is open.
+    pub open_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> NetworkConfig {
+        NetworkConfig {
+            seed: 0xB41D,
+            n_cities: 8,
+            extra_edges: 3,
+            open_probability: 0.8,
+        }
+    }
+}
+
+/// Rasterize a straight segment between cells (Bresenham).
+fn line(a: (u32, u32), b: (u32, u32)) -> Vec<(u32, u32)> {
+    let (mut x0, mut y0) = (i64::from(a.0), i64::from(a.1));
+    let (x1, y1) = (i64::from(b.0), i64::from(b.1));
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    let mut out = Vec::new();
+    loop {
+        out.push((x0 as u32, y0 as u32));
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+    out
+}
+
+impl Network {
+    /// Generate a network over `terrain`: city sites on land, a minimum
+    /// spanning tree of roads (Euclidean weights) plus random shortcuts,
+    /// with a bridge wherever a road crosses water.
+    pub fn generate(terrain: &Terrain, config: NetworkConfig) -> Network {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        // Place cities on distinct land cells.
+        let mut cities: Vec<City> = Vec::new();
+        let mut attempts = 0;
+        while cities.len() < config.n_cities as usize && attempts < 10_000 {
+            attempts += 1;
+            let i = rng.gen_range(0..terrain.width());
+            let j = rng.gen_range(0..terrain.height());
+            if terrain.is_water(i, j) || cities.iter().any(|c| c.cell == (i, j)) {
+                continue;
+            }
+            cities.push(City {
+                id: cities.len() as u32,
+                cell: (i, j),
+                population: rng.gen_range(10_000..3_000_000),
+            });
+        }
+
+        // Prim's MST over Euclidean distance.
+        let dist = |a: (u32, u32), b: (u32, u32)| {
+            let dx = f64::from(a.0) - f64::from(b.0);
+            let dy = f64::from(a.1) - f64::from(b.1);
+            (dx * dx + dy * dy).sqrt()
+        };
+        let n = cities.len();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        if n > 1 {
+            let mut in_tree = vec![false; n];
+            in_tree[0] = true;
+            for _ in 1..n {
+                let mut best: Option<(usize, usize, f64)> = None;
+                for (a, city_a) in cities.iter().enumerate().filter(|(a, _)| in_tree[*a]) {
+                    for (b, city_b) in cities.iter().enumerate().filter(|(b, _)| !in_tree[*b]) {
+                        let d = dist(city_a.cell, city_b.cell);
+                        if best.is_none_or(|(_, _, bd)| d < bd) {
+                            best = Some((a, b, d));
+                        }
+                    }
+                }
+                let (a, b, _) = best.expect("n > 1 guarantees a candidate");
+                in_tree[b] = true;
+                edges.push((a as u32, b as u32));
+            }
+            // Shortcuts.
+            for _ in 0..config.extra_edges {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                    edges.push((a, b));
+                }
+            }
+        }
+
+        // Rasterize roads and mark bridges.
+        let mut roads = Vec::new();
+        let mut bridge_id = 0;
+        for (road_id, (a, b)) in edges.into_iter().enumerate() {
+            let cells = line(cities[a as usize].cell, cities[b as usize].cell);
+            let bridges: Vec<Bridge> = cells
+                .iter()
+                .filter(|&&(i, j)| terrain.is_water(i, j))
+                .map(|&cell| {
+                    let bridge = Bridge {
+                        id: bridge_id,
+                        cell,
+                        open: rng.gen_bool(config.open_probability),
+                    };
+                    bridge_id += 1;
+                    bridge
+                })
+                .collect();
+            roads.push(Road {
+                id: road_id as u32,
+                cities: (a, b),
+                cells,
+                bridges,
+            });
+        }
+        Network { cities, roads }
+    }
+
+    /// Total bridge count.
+    pub fn bridge_count(&self) -> usize {
+        self.roads.iter().map(|r| r.bridges.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terrain::{Terrain, TerrainConfig};
+
+    fn setup() -> (Terrain, Network) {
+        let terrain = Terrain::generate(TerrainConfig::default());
+        let network = Network::generate(&terrain, NetworkConfig::default());
+        (terrain, network)
+    }
+
+    #[test]
+    fn deterministic() {
+        let (t, n1) = setup();
+        let n2 = Network::generate(&t, NetworkConfig::default());
+        assert_eq!(n1.cities, n2.cities);
+        assert_eq!(n1.roads.len(), n2.roads.len());
+    }
+
+    #[test]
+    fn cities_on_land() {
+        let (t, n) = setup();
+        assert_eq!(n.cities.len(), 8);
+        for c in &n.cities {
+            assert!(!t.is_water(c.cell.0, c.cell.1));
+        }
+    }
+
+    #[test]
+    fn roads_form_connected_network() {
+        let (_, n) = setup();
+        // MST + shortcuts: at least n_cities − 1 roads, all cities reachable.
+        assert!(n.roads.len() >= n.cities.len() - 1);
+        let mut reached = vec![false; n.cities.len()];
+        reached[0] = true;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for r in &n.roads {
+                let (a, b) = (r.cities.0 as usize, r.cities.1 as usize);
+                if reached[a] != reached[b] {
+                    reached[a] = true;
+                    reached[b] = true;
+                    changed = true;
+                }
+            }
+        }
+        assert!(reached.iter().all(|&r| r), "all cities connected by roads");
+    }
+
+    #[test]
+    fn bridges_are_on_water() {
+        let (t, n) = setup();
+        for r in &n.roads {
+            for b in &r.bridges {
+                assert!(t.is_water(b.cell.0, b.cell.1));
+            }
+        }
+    }
+
+    #[test]
+    fn road_cells_are_contiguous() {
+        let (_, n) = setup();
+        for r in &n.roads {
+            for w in r.cells.windows(2) {
+                let di = (i64::from(w[0].0) - i64::from(w[1].0)).abs();
+                let dj = (i64::from(w[0].1) - i64::from(w[1].1)).abs();
+                assert!(di <= 1 && dj <= 1, "road jumps cells");
+            }
+        }
+    }
+
+    #[test]
+    fn line_rasterization_endpoints() {
+        let l = line((0, 0), (3, 2));
+        assert_eq!(*l.first().unwrap(), (0, 0));
+        assert_eq!(*l.last().unwrap(), (3, 2));
+        // Degenerate segment.
+        assert_eq!(line((5, 5), (5, 5)), vec![(5, 5)]);
+    }
+}

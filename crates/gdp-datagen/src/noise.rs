@@ -1,0 +1,133 @@
+//! Deterministic value noise.
+//!
+//! The paper's prototype consumed Defense Mapping Agency data we do not
+//! have; the substitute terrain is generated from seeded, hash-based value
+//! noise with fractal octaves — deterministic for a given seed, so every
+//! experiment is exactly reproducible.
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixer.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Lattice value in `[0, 1)` for integer coordinates under a seed.
+fn lattice(seed: u64, x: i64, y: i64) -> f64 {
+    let h = mix(seed ^ mix(x as u64 ^ mix(y as u64)));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn smoothstep(t: f64) -> f64 {
+    t * t * (3.0 - 2.0 * t)
+}
+
+fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + (b - a) * t
+}
+
+/// Seeded value-noise field.
+#[derive(Clone, Copy, Debug)]
+pub struct ValueNoise {
+    seed: u64,
+}
+
+impl ValueNoise {
+    /// A noise field for the given seed.
+    pub fn new(seed: u64) -> ValueNoise {
+        ValueNoise { seed }
+    }
+
+    /// Single-octave smooth noise in `[0, 1)`.
+    pub fn sample(&self, x: f64, y: f64) -> f64 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let (ix, iy) = (x0 as i64, y0 as i64);
+        let (fx, fy) = (smoothstep(x - x0), smoothstep(y - y0));
+        let v00 = lattice(self.seed, ix, iy);
+        let v10 = lattice(self.seed, ix + 1, iy);
+        let v01 = lattice(self.seed, ix, iy + 1);
+        let v11 = lattice(self.seed, ix + 1, iy + 1);
+        lerp(lerp(v00, v10, fx), lerp(v01, v11, fx), fy)
+    }
+
+    /// Fractal (fBm) noise: `octaves` layers, each doubling frequency and
+    /// halving amplitude. Normalized to `[0, 1)`.
+    pub fn fbm(&self, x: f64, y: f64, octaves: u32) -> f64 {
+        let mut total = 0.0;
+        let mut amplitude = 1.0;
+        let mut frequency = 1.0;
+        let mut norm = 0.0;
+        for octave in 0..octaves.max(1) {
+            let field = ValueNoise {
+                seed: mix(self.seed ^ u64::from(octave)),
+            };
+            total += amplitude * field.sample(x * frequency, y * frequency);
+            norm += amplitude;
+            amplitude *= 0.5;
+            frequency *= 2.0;
+        }
+        total / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let n1 = ValueNoise::new(42);
+        let n2 = ValueNoise::new(42);
+        for (x, y) in [(0.1, 0.2), (3.7, 9.1), (-2.5, 4.0)] {
+            assert_eq!(n1.sample(x, y), n2.sample(x, y));
+            assert_eq!(n1.fbm(x, y, 4), n2.fbm(x, y, 4));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let n1 = ValueNoise::new(1);
+        let n2 = ValueNoise::new(2);
+        let same = (0..100)
+            .filter(|i| {
+                let x = f64::from(*i) * 0.37;
+                n1.sample(x, x * 1.3) == n2.sample(x, x * 1.3)
+            })
+            .count();
+        assert!(same < 5, "seeds should decorrelate the field");
+    }
+
+    #[test]
+    fn values_in_unit_interval() {
+        let n = ValueNoise::new(7);
+        for i in 0..50 {
+            for j in 0..50 {
+                let v = n.fbm(f64::from(i) * 0.23, f64::from(j) * 0.31, 5);
+                assert!((0.0..1.0).contains(&v), "fbm out of range: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn continuity_at_small_scales() {
+        // Neighboring samples should not jump wildly (smooth interpolation).
+        let n = ValueNoise::new(11);
+        let a = n.sample(5.50, 5.50);
+        let b = n.sample(5.51, 5.50);
+        assert!((a - b).abs() < 0.1);
+    }
+
+    #[test]
+    fn lattice_values_reasonably_uniform() {
+        // Crude uniformity check: mean of many lattice values near 0.5.
+        let mut sum = 0.0;
+        let count = 10_000;
+        for i in 0..count {
+            sum += lattice(99, i, -i * 3);
+        }
+        let mean = sum / count as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Synthetic surveys and census attributes.
+//!
+//! * [`DepthSurvey`] — sparse bathymetric samples along track lines with
+//!   measurement noise, for the ocean-depth interpolation example
+//!   (§VII.B): "a limited set of points is sampled and the value attached
+//!   to the points in between is computed using some mathematical
+//!   formula".
+//! * [`Census`] — per-city attribute records in the DIME spirit (§I):
+//!   population, founded year, and an average temperature.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::terrain::Terrain;
+
+/// One bathymetric sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DepthSample {
+    /// Cell coordinates of the sounding.
+    pub cell: (u32, u32),
+    /// Measured depth in meters (positive down), including noise.
+    pub depth: f64,
+    /// Instrument trust for this sounding, in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// A sparse depth survey over the water cells of a terrain.
+#[derive(Clone, Debug)]
+pub struct DepthSurvey {
+    /// The soundings, in track order.
+    pub samples: Vec<DepthSample>,
+}
+
+/// Survey generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SurveyConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Sample every `spacing`-th water cell along scan order.
+    pub spacing: u32,
+    /// Standard deviation of measurement noise in meters.
+    pub noise_sd: f64,
+}
+
+impl Default for SurveyConfig {
+    fn default() -> SurveyConfig {
+        SurveyConfig {
+            seed: 0x5EA,
+            spacing: 7,
+            noise_sd: 2.0,
+        }
+    }
+}
+
+impl DepthSurvey {
+    /// Run a survey: true depth is the terrain's negative elevation below
+    /// sea level; measurements add Gaussian-ish noise (sum of uniforms)
+    /// and carry a confidence that decreases with depth.
+    pub fn generate(terrain: &Terrain, config: SurveyConfig) -> DepthSurvey {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let sea = terrain.sea_level();
+        let mut samples = Vec::new();
+        let mut counter = 0;
+        for j in 0..terrain.height() {
+            for i in 0..terrain.width() {
+                if !terrain.is_water(i, j) {
+                    continue;
+                }
+                counter += 1;
+                if counter % config.spacing.max(1) != 0 {
+                    continue;
+                }
+                let true_depth = sea - terrain.elevation(i, j);
+                // Irwin–Hall approximation of a Gaussian.
+                let noise: f64 = (0..12).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>()
+                    * config.noise_sd;
+                let depth = (true_depth + noise).max(0.0);
+                let confidence = (1.0 - depth / (sea * 2.0)).clamp(0.3, 1.0);
+                samples.push(DepthSample {
+                    cell: (i, j),
+                    depth,
+                    confidence,
+                });
+            }
+        }
+        DepthSurvey { samples }
+    }
+
+    /// The two samples nearest to `cell` (Euclidean over cell indices),
+    /// for linear interpolation. `None` with fewer than two samples.
+    pub fn nearest_two(&self, cell: (u32, u32)) -> Option<(DepthSample, DepthSample)> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let d = |s: &DepthSample| {
+            let dx = f64::from(s.cell.0) - f64::from(cell.0);
+            let dy = f64::from(s.cell.1) - f64::from(cell.1);
+            dx * dx + dy * dy
+        };
+        let mut sorted: Vec<&DepthSample> = self.samples.iter().collect();
+        sorted.sort_by(|a, b| d(a).partial_cmp(&d(b)).expect("distances are finite"));
+        Some((*sorted[0], *sorted[1]))
+    }
+}
+
+/// One census record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CensusRecord {
+    /// City id this record describes.
+    pub city_id: u32,
+    /// Population count.
+    pub population: u32,
+    /// Founding year.
+    pub founded: i32,
+    /// Average annual temperature in °F.
+    pub avg_temperature: f64,
+}
+
+/// A census over a set of cities.
+#[derive(Clone, Debug)]
+pub struct Census {
+    /// The records, one per city.
+    pub records: Vec<CensusRecord>,
+}
+
+impl Census {
+    /// Generate records for `n_cities` cities.
+    pub fn generate(seed: u64, n_cities: u32) -> Census {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let records = (0..n_cities)
+            .map(|city_id| CensusRecord {
+                city_id,
+                population: rng.gen_range(5_000..4_000_000),
+                founded: rng.gen_range(1650..1950),
+                avg_temperature: rng.gen_range(35.0..75.0),
+            })
+            .collect();
+        Census { records }
+    }
+
+    /// Cities with population above the "large city" cutoff the paper's
+    /// §I example uses (one million).
+    pub fn large_cities(&self) -> impl Iterator<Item = &CensusRecord> {
+        self.records.iter().filter(|r| r.population > 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::terrain::{Terrain, TerrainConfig};
+
+    fn survey() -> (Terrain, DepthSurvey) {
+        let t = Terrain::generate(TerrainConfig::default());
+        let s = DepthSurvey::generate(&t, SurveyConfig::default());
+        (t, s)
+    }
+
+    #[test]
+    fn samples_on_water_and_deterministic() {
+        let (t, s) = survey();
+        assert!(!s.samples.is_empty());
+        for sample in &s.samples {
+            assert!(t.is_water(sample.cell.0, sample.cell.1));
+            assert!(sample.depth >= 0.0);
+            assert!((0.0..=1.0).contains(&sample.confidence));
+        }
+        let s2 = DepthSurvey::generate(&t, SurveyConfig::default());
+        assert_eq!(s.samples, s2.samples);
+    }
+
+    #[test]
+    fn sampling_is_sparse() {
+        let (t, s) = survey();
+        let water_cells = (0..t.height())
+            .flat_map(|j| (0..t.width()).map(move |i| (i, j)))
+            .filter(|&(i, j)| t.is_water(i, j))
+            .count();
+        assert!(s.samples.len() < water_cells / 3);
+    }
+
+    #[test]
+    fn noise_stays_bounded() {
+        let (t, s) = survey();
+        let sea = t.sea_level();
+        for sample in &s.samples {
+            let true_depth = sea - t.elevation(sample.cell.0, sample.cell.1);
+            // 12 uniforms in [-0.5, 0.5) × sd=2 → |noise| ≤ 12 (hard bound).
+            assert!((sample.depth - true_depth).abs() <= 12.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn nearest_two_orders_by_distance() {
+        let (_, s) = survey();
+        let probe = s.samples[0].cell;
+        let (a, b) = s.nearest_two(probe).unwrap();
+        assert_eq!(a.cell, probe); // the sample itself is nearest
+        assert_ne!(b.cell, probe);
+    }
+
+    #[test]
+    fn census_has_large_and_small_cities() {
+        let c = Census::generate(7, 50);
+        assert_eq!(c.records.len(), 50);
+        let large = c.large_cities().count();
+        assert!(large > 0 && large < 50, "large cities: {large}");
+        // Deterministic.
+        let c2 = Census::generate(7, 50);
+        assert_eq!(c.records, c2.records);
+    }
+}

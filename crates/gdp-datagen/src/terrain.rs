@@ -1,0 +1,487 @@
+//! Synthetic terrain: elevation grid, water bodies, islands, shores, and
+//! vegetation zones — the qualitative features the paper's examples need
+//! (elevation peaks §V.C, island thresholding and shore lines §V.D,
+//! vegetation patches §V.C).
+
+use crate::noise::ValueNoise;
+
+/// Terrain generation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TerrainConfig {
+    /// RNG seed; same seed, same terrain.
+    pub seed: u64,
+    /// Grid width in cells.
+    pub width: u32,
+    /// Grid height in cells.
+    pub height: u32,
+    /// Noise feature scale: larger = smoother terrain.
+    pub feature_scale: f64,
+    /// fBm octaves.
+    pub octaves: u32,
+    /// Elevation below this fraction of the range is water.
+    pub water_level: f64,
+    /// Maximum elevation in meters (sea level = water_level × this).
+    pub max_elevation: f64,
+}
+
+impl Default for TerrainConfig {
+    fn default() -> TerrainConfig {
+        TerrainConfig {
+            seed: 0xD1CE,
+            width: 64,
+            height: 64,
+            feature_scale: 16.0,
+            octaves: 4,
+            water_level: 0.45,
+            max_elevation: 1000.0,
+        }
+    }
+}
+
+/// Ground cover classes derived from elevation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cover {
+    /// Below water level.
+    Water,
+    /// Low land near water.
+    Marsh,
+    /// Mid elevations.
+    Forest,
+    /// High land.
+    Alpine,
+}
+
+impl Cover {
+    /// Atom name used when loading into a specification.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cover::Water => "water",
+            Cover::Marsh => "marsh",
+            Cover::Forest => "forest",
+            Cover::Alpine => "alpine",
+        }
+    }
+}
+
+/// A connected water or land region found by flood fill.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Region {
+    /// Sequential region id.
+    pub id: u32,
+    /// Member cells `(i, j)`.
+    pub cells: Vec<(u32, u32)>,
+    /// Does the region touch the map border?
+    pub touches_border: bool,
+}
+
+/// A generated terrain.
+#[derive(Clone, Debug)]
+pub struct Terrain {
+    config: TerrainConfig,
+    /// Row-major elevations in meters.
+    elevations: Vec<f64>,
+}
+
+impl Terrain {
+    /// Generate a terrain from the configuration.
+    pub fn generate(config: TerrainConfig) -> Terrain {
+        assert!(config.width > 0 && config.height > 0, "empty terrain");
+        let noise = ValueNoise::new(config.seed);
+        let mut elevations = Vec::with_capacity((config.width * config.height) as usize);
+        for j in 0..config.height {
+            for i in 0..config.width {
+                let x = f64::from(i) / config.feature_scale;
+                let y = f64::from(j) / config.feature_scale;
+                elevations.push(noise.fbm(x, y, config.octaves) * config.max_elevation);
+            }
+        }
+        Terrain { config, elevations }
+    }
+
+    /// The generation parameters.
+    pub fn config(&self) -> &TerrainConfig {
+        &self.config
+    }
+
+    /// Grid width in cells.
+    pub fn width(&self) -> u32 {
+        self.config.width
+    }
+
+    /// Grid height in cells.
+    pub fn height(&self) -> u32 {
+        self.config.height
+    }
+
+    /// Elevation of cell `(i, j)` in meters.
+    pub fn elevation(&self, i: u32, j: u32) -> f64 {
+        assert!(i < self.config.width && j < self.config.height);
+        self.elevations[(j * self.config.width + i) as usize]
+    }
+
+    /// Sea level in meters.
+    pub fn sea_level(&self) -> f64 {
+        self.config.water_level * self.config.max_elevation
+    }
+
+    /// Is cell `(i, j)` under water?
+    pub fn is_water(&self, i: u32, j: u32) -> bool {
+        self.elevation(i, j) < self.sea_level()
+    }
+
+    /// Ground cover class of a cell.
+    pub fn cover(&self, i: u32, j: u32) -> Cover {
+        let e = self.elevation(i, j) / self.config.max_elevation;
+        let w = self.config.water_level;
+        if e < w {
+            Cover::Water
+        } else if e < w + 0.10 {
+            Cover::Marsh
+        } else if e < w + 0.35 {
+            Cover::Forest
+        } else {
+            Cover::Alpine
+        }
+    }
+
+    /// Is the land cell a shore (land with at least one 4-neighbor water
+    /// cell)?
+    pub fn is_shore(&self, i: u32, j: u32) -> bool {
+        if self.is_water(i, j) {
+            return false;
+        }
+        self.neighbors4(i, j).any(|(ni, nj)| self.is_water(ni, nj))
+    }
+
+    fn neighbors4(&self, i: u32, j: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let (w, h) = (self.config.width, self.config.height);
+        [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)]
+            .into_iter()
+            .filter_map(move |(di, dj)| {
+                let ni = i64::from(i) + di;
+                let nj = i64::from(j) + dj;
+                if ni >= 0 && nj >= 0 && (ni as u32) < w && (nj as u32) < h {
+                    Some((ni as u32, nj as u32))
+                } else {
+                    None
+                }
+            })
+    }
+
+    /// Connected components of cells satisfying `pred` (4-connectivity).
+    pub fn regions(&self, pred: impl Fn(u32, u32) -> bool) -> Vec<Region> {
+        let w = self.config.width;
+        let h = self.config.height;
+        let mut seen = vec![false; (w * h) as usize];
+        let mut regions = Vec::new();
+        for j in 0..h {
+            for i in 0..w {
+                let idx = (j * w + i) as usize;
+                if seen[idx] || !pred(i, j) {
+                    continue;
+                }
+                // Flood fill.
+                let mut cells = Vec::new();
+                let mut touches_border = false;
+                let mut stack = vec![(i, j)];
+                seen[idx] = true;
+                while let Some((ci, cj)) = stack.pop() {
+                    cells.push((ci, cj));
+                    if ci == 0 || cj == 0 || ci == w - 1 || cj == h - 1 {
+                        touches_border = true;
+                    }
+                    for (ni, nj) in self.neighbors4(ci, cj) {
+                        let nidx = (nj * w + ni) as usize;
+                        if !seen[nidx] && pred(ni, nj) {
+                            seen[nidx] = true;
+                            stack.push((ni, nj));
+                        }
+                    }
+                }
+                cells.sort_unstable();
+                regions.push(Region {
+                    id: regions.len() as u32,
+                    cells,
+                    touches_border,
+                });
+            }
+        }
+        regions
+    }
+
+    /// Inland water bodies (water regions not touching the border).
+    pub fn lakes(&self) -> Vec<Region> {
+        self.regions(|i, j| self.is_water(i, j))
+            .into_iter()
+            .filter(|r| !r.touches_border)
+            .collect()
+    }
+
+    /// Islands: land regions entirely surrounded by water (not touching
+    /// the border).
+    pub fn islands(&self) -> Vec<Region> {
+        self.regions(|i, j| !self.is_water(i, j))
+            .into_iter()
+            .filter(|r| !r.touches_border)
+            .collect()
+    }
+
+    /// Local elevation maxima (strictly higher than all 4-neighbors) on
+    /// land — "elevation peaks" (§V.C).
+    pub fn peaks(&self) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for j in 0..self.config.height {
+            for i in 0..self.config.width {
+                if self.is_water(i, j) {
+                    continue;
+                }
+                let e = self.elevation(i, j);
+                if self.neighbors4(i, j).all(|(ni, nj)| self.elevation(ni, nj) < e) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Trace rivers: from each of the `count` highest peaks, follow the
+    /// steepest descent (8-neighborhood) until reaching water, the border,
+    /// or a local sink. Returns one cell path per river, source first.
+    ///
+    /// Rivers give road networks something to bridge and maps a natural
+    /// line feature (thinner than any patch — the `@s` operator's use
+    /// case, §V.C).
+    pub fn rivers(&self, count: usize) -> Vec<Vec<(u32, u32)>> {
+        let mut peaks = self.peaks();
+        peaks.sort_by(|a, b| {
+            self.elevation(b.0, b.1)
+                .partial_cmp(&self.elevation(a.0, a.1))
+                .expect("elevations are finite")
+        });
+        peaks
+            .into_iter()
+            .take(count)
+            .map(|source| self.trace_river(source))
+            .collect()
+    }
+
+    fn trace_river(&self, source: (u32, u32)) -> Vec<(u32, u32)> {
+        let mut path = vec![source];
+        let (mut ci, mut cj) = source;
+        // Bounded by the cell count: each step strictly descends.
+        for _ in 0..(self.config.width * self.config.height) {
+            if self.is_water(ci, cj) {
+                break;
+            }
+            let current = self.elevation(ci, cj);
+            let mut best: Option<((u32, u32), f64)> = None;
+            for dj in -1i64..=1 {
+                for di in -1i64..=1 {
+                    if di == 0 && dj == 0 {
+                        continue;
+                    }
+                    let ni = i64::from(ci) + di;
+                    let nj = i64::from(cj) + dj;
+                    if ni < 0
+                        || nj < 0
+                        || ni as u32 >= self.config.width
+                        || nj as u32 >= self.config.height
+                    {
+                        continue;
+                    }
+                    let (ni, nj) = (ni as u32, nj as u32);
+                    let e = self.elevation(ni, nj);
+                    if e < current && best.is_none_or(|(_, be)| e < be) {
+                        best = Some(((ni, nj), e));
+                    }
+                }
+            }
+            match best {
+                Some((next, _)) => {
+                    path.push(next);
+                    (ci, cj) = next;
+                }
+                None => break, // local sink
+            }
+        }
+        path
+    }
+
+    /// Fraction of cells that are water.
+    pub fn water_fraction(&self) -> f64 {
+        let water = (0..self.config.height)
+            .flat_map(|j| (0..self.config.width).map(move |i| (i, j)))
+            .filter(|&(i, j)| self.is_water(i, j))
+            .count();
+        water as f64 / (self.config.width * self.config.height) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terrain() -> Terrain {
+        Terrain::generate(TerrainConfig::default())
+    }
+
+    #[test]
+    fn deterministic() {
+        let t1 = terrain();
+        let t2 = terrain();
+        assert_eq!(t1.elevation(10, 20), t2.elevation(10, 20));
+        assert_eq!(t1.water_fraction(), t2.water_fraction());
+    }
+
+    #[test]
+    fn has_both_land_and_water() {
+        let t = terrain();
+        let f = t.water_fraction();
+        assert!(f > 0.05 && f < 0.95, "water fraction {f}");
+    }
+
+    #[test]
+    fn shores_border_water() {
+        let t = terrain();
+        let mut shores = 0;
+        for j in 0..t.height() {
+            for i in 0..t.width() {
+                if t.is_shore(i, j) {
+                    shores += 1;
+                    assert!(!t.is_water(i, j));
+                }
+            }
+        }
+        assert!(shores > 0, "a terrain with water must have shores");
+    }
+
+    #[test]
+    fn regions_partition_the_grid() {
+        let t = terrain();
+        let water: usize = t
+            .regions(|i, j| t.is_water(i, j))
+            .iter()
+            .map(|r| r.cells.len())
+            .sum();
+        let land: usize = t
+            .regions(|i, j| !t.is_water(i, j))
+            .iter()
+            .map(|r| r.cells.len())
+            .sum();
+        assert_eq!(water + land, (t.width() * t.height()) as usize);
+    }
+
+    #[test]
+    fn region_cells_are_connected() {
+        let t = terrain();
+        for region in t.regions(|i, j| t.is_water(i, j)).iter().take(5) {
+            // Every cell (beyond the first) has a 4-neighbor in the region.
+            let set: std::collections::HashSet<_> = region.cells.iter().copied().collect();
+            for &(i, j) in &region.cells {
+                if region.cells.len() == 1 {
+                    continue;
+                }
+                let has_neighbor = [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)]
+                    .iter()
+                    .any(|&(di, dj)| {
+                        let ni = i64::from(i) + di;
+                        let nj = i64::from(j) + dj;
+                        ni >= 0
+                            && nj >= 0
+                            && set.contains(&(ni as u32, nj as u32))
+                    });
+                assert!(has_neighbor, "isolated cell in region");
+            }
+        }
+    }
+
+    #[test]
+    fn peaks_are_local_maxima() {
+        let t = terrain();
+        let peaks = t.peaks();
+        assert!(!peaks.is_empty());
+        for (i, j) in peaks.into_iter().take(10) {
+            let e = t.elevation(i, j);
+            if i > 0 {
+                assert!(t.elevation(i - 1, j) < e);
+            }
+            if j > 0 {
+                assert!(t.elevation(i, j - 1) < e);
+            }
+        }
+    }
+
+    #[test]
+    fn cover_classes_follow_elevation() {
+        let t = terrain();
+        for j in 0..t.height() {
+            for i in 0..t.width() {
+                let c = t.cover(i, j);
+                assert_eq!(c == Cover::Water, t.is_water(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn rivers_flow_strictly_downhill() {
+        let t = terrain();
+        let rivers = t.rivers(3);
+        assert_eq!(rivers.len(), 3.min(t.peaks().len()));
+        for river in &rivers {
+            assert!(!river.is_empty());
+            // Strictly descending elevations along the path.
+            for w in river.windows(2) {
+                let e0 = t.elevation(w[0].0, w[0].1);
+                let e1 = t.elevation(w[1].0, w[1].1);
+                assert!(e1 < e0, "river must descend: {e0} -> {e1}");
+                // 8-connected steps.
+                let di = (i64::from(w[0].0) - i64::from(w[1].0)).abs();
+                let dj = (i64::from(w[0].1) - i64::from(w[1].1)).abs();
+                assert!(di <= 1 && dj <= 1);
+            }
+            // A river starts at a land peak.
+            let (si, sj) = river[0];
+            assert!(!t.is_water(si, sj));
+        }
+    }
+
+    #[test]
+    fn rivers_end_at_water_or_sink() {
+        let t = terrain();
+        for river in t.rivers(5) {
+            let &(ei, ej) = river.last().unwrap();
+            if !t.is_water(ei, ej) {
+                // Must be a genuine local sink: no lower 8-neighbor.
+                let e = t.elevation(ei, ej);
+                for dj in -1i64..=1 {
+                    for di in -1i64..=1 {
+                        let ni = i64::from(ei) + di;
+                        let nj = i64::from(ej) + dj;
+                        if (di, dj) == (0, 0)
+                            || ni < 0
+                            || nj < 0
+                            || ni as u32 >= t.width()
+                            || nj as u32 >= t.height()
+                        {
+                            continue;
+                        }
+                        assert!(t.elevation(ni as u32, nj as u32) >= e);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seed_changes_terrain() {
+        let t1 = terrain();
+        let t2 = Terrain::generate(TerrainConfig {
+            seed: 999,
+            ..TerrainConfig::default()
+        });
+        let diffs = (0..t1.width())
+            .filter(|&i| t1.elevation(i, 5) != t2.elevation(i, 5))
+            .count();
+        assert!(diffs > t1.width() as usize / 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! Arithmetic evaluation for `is/2` and the arithmetic comparison builtins.
+//!
+//! Semantic domains in the formalism are value spaces with operations
+//! (§III.B); the numeric ones (temperature, elevation, population, accuracy,
+//! coordinates) all bottom out in this evaluator.
+
+use crate::error::{EngineError, EngineResult};
+use crate::symbol::Sym;
+use crate::term::Term;
+use crate::unify::BindStore;
+
+/// A number produced by arithmetic evaluation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Num {
+    /// Exact integer.
+    Int(i64),
+    /// IEEE double (never NaN).
+    Float(f64),
+}
+
+impl Num {
+    /// Widen to `f64`.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Num::Int(i) => i as f64,
+            Num::Float(f) => f,
+        }
+    }
+
+    /// Convert back into a term (`Int` stays integral).
+    pub fn into_term(self) -> Term {
+        match self {
+            Num::Int(i) => Term::Int(i),
+            Num::Float(f) => Term::float(f),
+        }
+    }
+
+    /// Numeric comparison with int/float coercion.
+    pub fn compare(self, other: Num) -> std::cmp::Ordering {
+        match (self, other) {
+            (Num::Int(a), Num::Int(b)) => a.cmp(&b),
+            (a, b) => a
+                .as_f64()
+                .partial_cmp(&b.as_f64())
+                .expect("NaN excluded by construction"),
+        }
+    }
+}
+
+fn type_err(found: &Term) -> EngineError {
+    EngineError::TypeError {
+        context: "arithmetic",
+        expected: "evaluable expression",
+        found: found.clone(),
+    }
+}
+
+fn checked_float(v: f64, op: &'static str) -> EngineResult<Num> {
+    if v.is_nan() {
+        Err(EngineError::TypeError {
+            context: op,
+            expected: "a defined real result",
+            found: Term::atom("nan"),
+        })
+    } else {
+        Ok(Num::Float(v))
+    }
+}
+
+macro_rules! int_checked {
+    ($op:literal, $a:expr, $b:expr, $method:ident) => {
+        $a.$method($b)
+            .map(Num::Int)
+            .ok_or(EngineError::IntOverflow { op: $op })
+    };
+}
+
+/// Evaluate an arithmetic expression term under the current bindings.
+///
+/// Supported: numeric literals; `+ - * /` (with `/` producing a float unless
+/// both operands are integers and divide exactly); `//` (integer division),
+/// `mod`, unary `-`, `abs`, `min/2`, `max/2`, `sqrt`, `floor`, `ceiling`,
+/// `truncate`, `float/1`, `pi`.
+pub fn eval(store: &BindStore, t: &Term) -> EngineResult<Num> {
+    let t = store.deref(t).clone();
+    match &t {
+        Term::Int(i) => Ok(Num::Int(*i)),
+        Term::Float(f) => Ok(Num::Float(f.get())),
+        Term::Var(_) => Err(EngineError::Instantiation {
+            context: "arithmetic",
+        }),
+        Term::Atom(s) => eval_atom(*s, &t),
+        Term::Compound(f, args) => eval_compound(store, *f, args, &t),
+        Term::Str(_) => Err(type_err(&t)),
+    }
+}
+
+fn eval_atom(s: Sym, orig: &Term) -> EngineResult<Num> {
+    match s.as_str().as_str() {
+        "pi" => Ok(Num::Float(std::f64::consts::PI)),
+        "e" => Ok(Num::Float(std::f64::consts::E)),
+        _ => Err(type_err(orig)),
+    }
+}
+
+fn eval_compound(store: &BindStore, f: Sym, args: &[Term], orig: &Term) -> EngineResult<Num> {
+    let name = f.as_str();
+    match (name.as_str(), args.len()) {
+        ("+", 2) => bin(store, args, |a, b| match (a, b) {
+            (Num::Int(x), Num::Int(y)) => int_checked!("+", x, y, checked_add),
+            (x, y) => checked_float(x.as_f64() + y.as_f64(), "+"),
+        }),
+        ("-", 2) => bin(store, args, |a, b| match (a, b) {
+            (Num::Int(x), Num::Int(y)) => int_checked!("-", x, y, checked_sub),
+            (x, y) => checked_float(x.as_f64() - y.as_f64(), "-"),
+        }),
+        ("*", 2) => bin(store, args, |a, b| match (a, b) {
+            (Num::Int(x), Num::Int(y)) => int_checked!("*", x, y, checked_mul),
+            (x, y) => checked_float(x.as_f64() * y.as_f64(), "*"),
+        }),
+        ("/", 2) => bin(store, args, |a, b| match (a, b) {
+            (Num::Int(x), Num::Int(y)) => {
+                if y == 0 {
+                    Err(EngineError::DivisionByZero)
+                } else if x % y == 0 {
+                    Ok(Num::Int(x / y))
+                } else {
+                    Ok(Num::Float(x as f64 / y as f64))
+                }
+            }
+            (x, y) => {
+                if y.as_f64() == 0.0 {
+                    Err(EngineError::DivisionByZero)
+                } else {
+                    checked_float(x.as_f64() / y.as_f64(), "/")
+                }
+            }
+        }),
+        ("//", 2) => bin(store, args, |a, b| match (a, b) {
+            (Num::Int(x), Num::Int(y)) => {
+                if y == 0 {
+                    Err(EngineError::DivisionByZero)
+                } else {
+                    int_checked!("//", x, y, checked_div)
+                }
+            }
+            (_, _) => Err(EngineError::TypeError {
+                context: "//",
+                expected: "integers",
+                found: orig.clone(),
+            }),
+        }),
+        ("mod", 2) => bin(store, args, |a, b| match (a, b) {
+            (Num::Int(x), Num::Int(y)) => {
+                if y == 0 {
+                    Err(EngineError::DivisionByZero)
+                } else {
+                    Ok(Num::Int(x.rem_euclid(y)))
+                }
+            }
+            (_, _) => Err(EngineError::TypeError {
+                context: "mod",
+                expected: "integers",
+                found: orig.clone(),
+            }),
+        }),
+        ("min", 2) => bin(store, args, |a, b| {
+            Ok(if a.compare(b).is_le() { a } else { b })
+        }),
+        ("max", 2) => bin(store, args, |a, b| {
+            Ok(if a.compare(b).is_ge() { a } else { b })
+        }),
+        ("-", 1) => un(store, args, |a| match a {
+            Num::Int(x) => x
+                .checked_neg()
+                .map(Num::Int)
+                .ok_or(EngineError::IntOverflow { op: "-" }),
+            Num::Float(x) => Ok(Num::Float(-x)),
+        }),
+        ("abs", 1) => un(store, args, |a| match a {
+            Num::Int(x) => x
+                .checked_abs()
+                .map(Num::Int)
+                .ok_or(EngineError::IntOverflow { op: "abs" }),
+            Num::Float(x) => Ok(Num::Float(x.abs())),
+        }),
+        ("sqrt", 1) => un(store, args, |a| {
+            let v = a.as_f64();
+            if v < 0.0 {
+                Err(EngineError::TypeError {
+                    context: "sqrt",
+                    expected: "non-negative number",
+                    found: orig.clone(),
+                })
+            } else {
+                Ok(Num::Float(v.sqrt()))
+            }
+        }),
+        ("floor", 1) => un(store, args, |a| Ok(Num::Int(a.as_f64().floor() as i64))),
+        ("ceiling", 1) => un(store, args, |a| Ok(Num::Int(a.as_f64().ceil() as i64))),
+        ("truncate", 1) => un(store, args, |a| Ok(Num::Int(a.as_f64().trunc() as i64))),
+        ("float", 1) => un(store, args, |a| Ok(Num::Float(a.as_f64()))),
+        _ => Err(type_err(orig)),
+    }
+}
+
+fn bin(
+    store: &BindStore,
+    args: &[Term],
+    f: impl FnOnce(Num, Num) -> EngineResult<Num>,
+) -> EngineResult<Num> {
+    let a = eval(store, &args[0])?;
+    let b = eval(store, &args[1])?;
+    f(a, b)
+}
+
+fn un(
+    store: &BindStore,
+    args: &[Term],
+    f: impl FnOnce(Num) -> EngineResult<Num>,
+) -> EngineResult<Num> {
+    let a = eval(store, &args[0])?;
+    f(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: Term) -> EngineResult<Num> {
+        eval(&BindStore::new(), &t)
+    }
+
+    fn op(name: &str, a: Term, b: Term) -> Term {
+        Term::pred(name, vec![a, b])
+    }
+
+    #[test]
+    fn integer_arithmetic() {
+        assert_eq!(ev(op("+", Term::int(2), Term::int(3))), Ok(Num::Int(5)));
+        assert_eq!(ev(op("*", Term::int(4), Term::int(5))), Ok(Num::Int(20)));
+        assert_eq!(ev(op("-", Term::int(2), Term::int(7))), Ok(Num::Int(-5)));
+    }
+
+    #[test]
+    fn division_semantics() {
+        // Exact integer division stays integral; inexact promotes to float.
+        assert_eq!(ev(op("/", Term::int(6), Term::int(3))), Ok(Num::Int(2)));
+        assert_eq!(ev(op("/", Term::int(7), Term::int(2))), Ok(Num::Float(3.5)));
+        assert_eq!(
+            ev(op("/", Term::int(1), Term::int(0))),
+            Err(EngineError::DivisionByZero)
+        );
+        assert_eq!(ev(op("//", Term::int(7), Term::int(2))), Ok(Num::Int(3)));
+    }
+
+    #[test]
+    fn mod_is_euclidean() {
+        assert_eq!(ev(op("mod", Term::int(-7), Term::int(3))), Ok(Num::Int(2)));
+    }
+
+    #[test]
+    fn mixed_promotes_to_float() {
+        assert_eq!(
+            ev(op("+", Term::int(1), Term::float(0.5))),
+            Ok(Num::Float(1.5))
+        );
+    }
+
+    #[test]
+    fn nested_expressions() {
+        // (2 + 3) * 4
+        let e = op("*", op("+", Term::int(2), Term::int(3)), Term::int(4));
+        assert_eq!(ev(e), Ok(Num::Int(20)));
+    }
+
+    #[test]
+    fn unary_and_functions() {
+        assert_eq!(ev(Term::pred("-", vec![Term::int(5)])), Ok(Num::Int(-5)));
+        assert_eq!(ev(Term::pred("abs", vec![Term::int(-5)])), Ok(Num::Int(5)));
+        assert_eq!(
+            ev(Term::pred("sqrt", vec![Term::float(9.0)])),
+            Ok(Num::Float(3.0))
+        );
+        assert_eq!(
+            ev(Term::pred("floor", vec![Term::float(3.7)])),
+            Ok(Num::Int(3))
+        );
+        assert_eq!(
+            ev(op("min", Term::int(3), Term::float(2.5))),
+            Ok(Num::Float(2.5))
+        );
+        assert_eq!(ev(op("max", Term::int(3), Term::int(9))), Ok(Num::Int(9)));
+    }
+
+    #[test]
+    fn unbound_var_is_instantiation_error() {
+        assert_eq!(
+            ev(Term::var(0)),
+            Err(EngineError::Instantiation {
+                context: "arithmetic"
+            })
+        );
+    }
+
+    #[test]
+    fn non_evaluable_is_type_error() {
+        assert!(matches!(
+            ev(Term::atom("green")),
+            Err(EngineError::TypeError { .. })
+        ));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        assert_eq!(
+            ev(op("+", Term::int(i64::MAX), Term::int(1))),
+            Err(EngineError::IntOverflow { op: "+" })
+        );
+    }
+
+    #[test]
+    fn bindings_are_followed() {
+        let mut s = BindStore::new();
+        s.ensure(0);
+        assert!(s.unify(&Term::var(0), &Term::int(21)));
+        let e = op("*", Term::var(0), Term::int(2));
+        assert_eq!(eval(&s, &e), Ok(Num::Int(42)));
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(ev(Term::atom("pi")), Ok(Num::Float(std::f64::consts::PI)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Resource budgets.
+//!
+//! Logic programs over recursive rules can diverge; a requirements
+//! validation session must detect that and report it rather than hang. A
+//! [`Budget`] is shared (via `Rc<Cell<_>>`) between a solver and all the
+//! sub-solvers it spawns for `not`, `forall`, and aggregation goals, so a
+//! query cannot dodge its limit by hiding work inside a negation.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use crate::error::{EngineError, EngineResult};
+
+/// A shared step/depth budget for one top-level query.
+///
+/// Cloning a `Budget` yields a handle to the *same* counters.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    steps_left: Rc<Cell<u64>>,
+    step_limit: u64,
+    depth: Rc<Cell<u32>>,
+    depth_limit: u32,
+}
+
+impl Default for Budget {
+    /// A generous default: 10 million inference steps, 256 nested
+    /// sub-solver levels. Ample for every experiment in the paper while
+    /// still catching accidental non-termination in well under a second.
+    fn default() -> Budget {
+        Budget::new(10_000_000, 256)
+    }
+}
+
+impl Budget {
+    /// Create a budget with explicit limits.
+    pub fn new(step_limit: u64, depth_limit: u32) -> Budget {
+        Budget {
+            steps_left: Rc::new(Cell::new(step_limit)),
+            step_limit,
+            depth: Rc::new(Cell::new(0)),
+            depth_limit,
+        }
+    }
+
+    /// Effectively unlimited; for benchmarks where the budget check itself
+    /// should stay out of the measurement noise floor.
+    pub fn unlimited() -> Budget {
+        Budget::new(u64::MAX, u32::MAX)
+    }
+
+    /// Consume one inference step.
+    #[inline]
+    pub fn step(&self) -> EngineResult<()> {
+        let left = self.steps_left.get();
+        if left == 0 {
+            return Err(EngineError::StepLimit {
+                limit: self.step_limit,
+            });
+        }
+        self.steps_left.set(left - 1);
+        Ok(())
+    }
+
+    /// Enter a nested sub-solver (negation, forall, aggregation).
+    #[inline]
+    pub fn enter(&self) -> EngineResult<DepthGuard> {
+        let d = self.depth.get();
+        if d >= self.depth_limit {
+            return Err(EngineError::DepthLimit {
+                limit: self.depth_limit,
+            });
+        }
+        self.depth.set(d + 1);
+        Ok(DepthGuard {
+            depth: Rc::clone(&self.depth),
+        })
+    }
+
+    /// Steps consumed so far by this budget's query tree.
+    pub fn steps_used(&self) -> u64 {
+        self.step_limit.saturating_sub(self.steps_left.get())
+    }
+}
+
+/// RAII guard decrementing the nesting depth when a sub-solver finishes.
+pub struct DepthGuard {
+    depth: Rc<Cell<u32>>,
+}
+
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        self.depth.set(self.depth.get().saturating_sub(1));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_run_out() {
+        let b = Budget::new(3, 8);
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert!(b.step().is_ok());
+        assert_eq!(b.step(), Err(EngineError::StepLimit { limit: 3 }));
+        assert_eq!(b.steps_used(), 3);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let b = Budget::new(2, 8);
+        let b2 = b.clone();
+        b.step().unwrap();
+        b2.step().unwrap();
+        assert!(b.step().is_err());
+    }
+
+    #[test]
+    fn depth_guard_restores_on_drop() {
+        let b = Budget::new(100, 2);
+        let g1 = b.enter().unwrap();
+        let g2 = b.enter().unwrap();
+        assert!(b.enter().is_err());
+        drop(g2);
+        let g3 = b.enter().unwrap();
+        drop(g3);
+        drop(g1);
+        assert!(b.enter().is_ok());
+    }
+}

@@ -1,0 +1,550 @@
+//! Deterministic builtin predicates.
+//!
+//! These are the "operations over semantic-domain values returning Boolean
+//! values" the paper allows inside virtual-fact and constraint definitions
+//! (§III.B): unification, structural and arithmetic comparison, type tests,
+//! and term construction/inspection. Control constructs (`,`, `;`, `not`,
+//! `forall`, aggregation) live in the solver because they need choice points
+//! or sub-machines.
+
+use crate::arith;
+use crate::error::{EngineError, EngineResult};
+use crate::kb::PredKey;
+use crate::list::list_to_vec;
+use crate::symbol::{symbols, Sym};
+use crate::term::Term;
+use crate::unify::{resolve_deep, BindStore};
+
+/// Result of attempting to dispatch a goal as a builtin.
+pub enum BuiltinOutcome {
+    /// The builtin ran and succeeded (bindings retained).
+    Succeeded,
+    /// The builtin ran and failed.
+    Failed,
+    /// The key names no builtin; the solver should try natives and clauses.
+    NotABuiltin,
+}
+
+impl From<bool> for BuiltinOutcome {
+    fn from(b: bool) -> BuiltinOutcome {
+        if b {
+            BuiltinOutcome::Succeeded
+        } else {
+            BuiltinOutcome::Failed
+        }
+    }
+}
+
+/// Try to run `key(args…)` as a builtin.
+pub fn dispatch(
+    store: &mut BindStore,
+    key: PredKey,
+    args: &[Term],
+) -> EngineResult<BuiltinOutcome> {
+    let name = key.name;
+    let out: bool = if name == symbols::unify() && args.len() == 2 {
+        store.unify(&args[0], &args[1])
+    } else if name == symbols::not_unify() && args.len() == 2 {
+        // a \= b: succeeds iff unification fails; never leaves bindings.
+        let mark = store.mark();
+        let unified = store.unify(&args[0], &args[1]);
+        store.undo_to(mark);
+        !unified
+    } else if name == symbols::struct_eq() && args.len() == 2 {
+        resolve_deep(store, &args[0]) == resolve_deep(store, &args[1])
+    } else if name == symbols::struct_ne() && args.len() == 2 {
+        resolve_deep(store, &args[0]) != resolve_deep(store, &args[1])
+    } else if name == symbols::is() && args.len() == 2 {
+        let v = arith::eval(store, &args[1])?;
+        store.unify(&args[0], &v.into_term())
+    } else if args.len() == 2 && is_arith_cmp(name) {
+        let a = arith::eval(store, &args[0])?;
+        let b = arith::eval(store, &args[1])?;
+        let ord = a.compare(b);
+        arith_cmp_holds(name, ord)
+    } else if name == symbols::var_test() && args.len() == 1 {
+        matches!(store.deref(&args[0]), Term::Var(_))
+    } else if name == symbols::nonvar() && args.len() == 1 {
+        !matches!(store.deref(&args[0]), Term::Var(_))
+    } else if name == symbols::atom_test() && args.len() == 1 {
+        matches!(store.deref(&args[0]), Term::Atom(_))
+    } else if name == symbols::number() && args.len() == 1 {
+        matches!(store.deref(&args[0]), Term::Int(_) | Term::Float(_))
+    } else if name == symbols::ground() && args.len() == 1 {
+        resolve_deep(store, &args[0]).is_ground()
+    } else if name == symbols::functor() && args.len() == 3 {
+        return functor3(store, args).map(BuiltinOutcome::from);
+    } else if name == symbols::arg() && args.len() == 3 {
+        return arg3(store, args).map(BuiltinOutcome::from);
+    } else if name == symbols::univ() && args.len() == 2 {
+        return univ2(store, args).map(BuiltinOutcome::from);
+    } else if name == symbols::length() && args.len() == 2 {
+        let list = resolve_deep(store, &args[0]);
+        match list_to_vec(&list) {
+            Some(items) => store.unify(&args[1], &Term::Int(items.len() as i64)),
+            None => false,
+        }
+    } else if (name == symbols::msort() || name == symbols::sort()) && args.len() == 2 {
+        let list = resolve_deep(store, &args[0]);
+        let Some(mut items) = list_to_vec(&list) else {
+            return Ok(BuiltinOutcome::Failed);
+        };
+        items.sort_by(|a, b| a.order(b));
+        if name == symbols::sort() {
+            items.dedup();
+        }
+        store.unify(&args[1], &Term::list(items))
+    } else if name == symbols::reverse() && args.len() == 2 {
+        let list = resolve_deep(store, &args[0]);
+        let Some(mut items) = list_to_vec(&list) else {
+            return Ok(BuiltinOutcome::Failed);
+        };
+        items.reverse();
+        store.unify(&args[1], &Term::list(items))
+    } else if name == symbols::nth0() && args.len() == 3 {
+        let idx = match store.deref(&args[0]) {
+            Term::Int(n) => *n,
+            _ => return Ok(BuiltinOutcome::Failed),
+        };
+        let list = resolve_deep(store, &args[1]);
+        let Some(items) = list_to_vec(&list) else {
+            return Ok(BuiltinOutcome::Failed);
+        };
+        match usize::try_from(idx).ok().and_then(|i| items.get(i)) {
+            Some(item) => {
+                let item = item.clone();
+                store.unify(&args[2], &item)
+            }
+            None => false,
+        }
+    } else if name == symbols::sum_list() && args.len() == 2 {
+        let list = resolve_deep(store, &args[0]);
+        let Some(items) = list_to_vec(&list) else {
+            return Ok(BuiltinOutcome::Failed);
+        };
+        let mut total = 0.0;
+        for item in &items {
+            match item.as_f64() {
+                Some(v) => total += v,
+                None => {
+                    return Err(EngineError::TypeError {
+                        context: "sum_list/2",
+                        expected: "numeric list",
+                        found: item.clone(),
+                    })
+                }
+            }
+        }
+        store.unify(&args[1], &Term::float(total))
+    } else if name == symbols::compare() && args.len() == 3 {
+        let a = resolve_deep(store, &args[1]);
+        let b = resolve_deep(store, &args[2]);
+        let sym = match a.order(&b) {
+            std::cmp::Ordering::Less => "<",
+            std::cmp::Ordering::Equal => "=",
+            std::cmp::Ordering::Greater => ">",
+        };
+        store.unify(&args[0], &Term::atom(sym))
+    } else {
+        return Ok(BuiltinOutcome::NotABuiltin);
+    };
+    Ok(out.into())
+}
+
+fn is_arith_cmp(name: Sym) -> bool {
+    name == symbols::lt()
+        || name == symbols::le()
+        || name == symbols::gt()
+        || name == symbols::ge()
+        || name == symbols::arith_eq()
+        || name == symbols::arith_ne()
+}
+
+fn arith_cmp_holds(name: Sym, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    if name == symbols::lt() {
+        ord == Less
+    } else if name == symbols::le() {
+        ord != Greater
+    } else if name == symbols::gt() {
+        ord == Greater
+    } else if name == symbols::ge() {
+        ord != Less
+    } else if name == symbols::arith_eq() {
+        ord == Equal
+    } else {
+        ord != Equal
+    }
+}
+
+/// `functor(Term, Name, Arity)` — analysis and synthesis directions.
+fn functor3(store: &mut BindStore, args: &[Term]) -> EngineResult<bool> {
+    let t = store.deref(&args[0]).clone();
+    match &t {
+        Term::Var(_) => {
+            // Synthesis: Name and Arity must be bound.
+            let name = store.deref(&args[1]).clone();
+            let arity = store.deref(&args[2]).clone();
+            let (name, arity) = match (&name, &arity) {
+                (Term::Atom(s), Term::Int(n)) if *n >= 0 => (*s, *n as usize),
+                (t @ (Term::Int(_) | Term::Float(_) | Term::Str(_)), Term::Int(0)) => {
+                    return Ok(store.unify(&args[0], t));
+                }
+                (Term::Var(_), _) | (_, Term::Var(_)) => {
+                    return Err(EngineError::Instantiation {
+                        context: "functor/3",
+                    })
+                }
+                _ => {
+                    return Err(EngineError::TypeError {
+                        context: "functor/3",
+                        expected: "atom name and non-negative arity",
+                        found: name.clone(),
+                    })
+                }
+            };
+            let fresh_base = store.alloc_block(arity as u32);
+            let args_vec: Vec<Term> =
+                (0..arity as u32).map(|i| Term::var(fresh_base + i)).collect();
+            Ok(store.unify(&args[0], &Term::compound(name, args_vec)))
+        }
+        Term::Atom(s) => {
+            Ok(store.unify(&args[1], &Term::Atom(*s)) && store.unify(&args[2], &Term::Int(0)))
+        }
+        Term::Int(_) | Term::Float(_) | Term::Str(_) => {
+            Ok(store.unify(&args[1], &t) && store.unify(&args[2], &Term::Int(0)))
+        }
+        Term::Compound(f, fargs) => Ok(store.unify(&args[1], &Term::Atom(*f))
+            && store.unify(&args[2], &Term::Int(fargs.len() as i64))),
+    }
+}
+
+/// `arg(N, Term, Arg)` — N-th argument (1-based) of a compound.
+fn arg3(store: &mut BindStore, args: &[Term]) -> EngineResult<bool> {
+    let n = match store.deref(&args[0]) {
+        Term::Int(n) => *n,
+        Term::Var(_) => return Err(EngineError::Instantiation { context: "arg/3" }),
+        other => {
+            return Err(EngineError::TypeError {
+                context: "arg/3",
+                expected: "integer index",
+                found: other.clone(),
+            })
+        }
+    };
+    let t = store.deref(&args[1]).clone();
+    match &t {
+        Term::Compound(_, fargs) => {
+            if n < 1 || n as usize > fargs.len() {
+                return Ok(false);
+            }
+            let picked = fargs[(n - 1) as usize].clone();
+            Ok(store.unify(&args[2], &picked))
+        }
+        Term::Var(_) => Err(EngineError::Instantiation { context: "arg/3" }),
+        other => Err(EngineError::TypeError {
+            context: "arg/3",
+            expected: "compound term",
+            found: other.clone(),
+        }),
+    }
+}
+
+/// `Term =.. List` — "univ": decompose/construct a term from a list.
+fn univ2(store: &mut BindStore, args: &[Term]) -> EngineResult<bool> {
+    let t = store.deref(&args[0]).clone();
+    match &t {
+        Term::Var(_) => {
+            let list = resolve_deep(store, &args[1]);
+            let items = list_to_vec(&list).ok_or(EngineError::TypeError {
+                context: "=../2",
+                expected: "proper list",
+                found: list.clone(),
+            })?;
+            let Some((head, rest)) = items.split_first() else {
+                return Err(EngineError::TypeError {
+                    context: "=../2",
+                    expected: "non-empty list",
+                    found: list,
+                });
+            };
+            let built = match head {
+                Term::Atom(f) => Term::compound(*f, rest.to_vec()),
+                t @ (Term::Int(_) | Term::Float(_) | Term::Str(_)) if rest.is_empty() => {
+                    t.clone()
+                }
+                other => {
+                    return Err(EngineError::TypeError {
+                        context: "=../2",
+                        expected: "atom functor",
+                        found: other.clone(),
+                    })
+                }
+            };
+            Ok(store.unify(&args[0], &built))
+        }
+        Term::Atom(s) => Ok(store.unify(&args[1], &Term::list(vec![Term::Atom(*s)]))),
+        Term::Int(_) | Term::Float(_) | Term::Str(_) => {
+            Ok(store.unify(&args[1], &Term::list(vec![t.clone()])))
+        }
+        Term::Compound(f, fargs) => {
+            let mut items = Vec::with_capacity(fargs.len() + 1);
+            items.push(Term::Atom(*f));
+            items.extend(fargs.iter().cloned());
+            Ok(store.unify(&args[1], &Term::list(items)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::kb::KnowledgeBase;
+    use crate::solver::Solver;
+    use crate::term::Var;
+
+    fn run(goal: Term) -> Vec<crate::solver::Solution> {
+        let kb = KnowledgeBase::new();
+        Solver::new(&kb, Budget::default()).solve_all(goal).unwrap()
+    }
+
+    fn holds(goal: Term) -> bool {
+        let kb = KnowledgeBase::new();
+        Solver::new(&kb, Budget::default()).prove(goal).unwrap()
+    }
+
+    #[test]
+    fn is_evaluates() {
+        let sols = run(Term::pred(
+            "is",
+            vec![
+                Term::var(0),
+                Term::pred("+", vec![Term::int(40), Term::int(2)]),
+            ],
+        ));
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::Int(42));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(holds(Term::pred("<", vec![Term::int(1), Term::int(2)])));
+        assert!(!holds(Term::pred("<", vec![Term::int(2), Term::int(2)])));
+        assert!(holds(Term::pred("=<", vec![Term::int(2), Term::int(2)])));
+        assert!(holds(Term::pred(
+            "=:=",
+            vec![Term::int(2), Term::float(2.0)]
+        )));
+        assert!(holds(Term::pred(
+            ">",
+            vec![Term::float(2.5), Term::int(2)]
+        )));
+    }
+
+    #[test]
+    fn not_unify_leaves_no_bindings() {
+        // X \= a, X = b must succeed: \= may not bind X.
+        let goal = Term::and(
+            Term::pred("\\=", vec![Term::var(0), Term::var(1)]),
+            Term::atom("true"),
+        );
+        // X \= Y with both unbound: they *can* unify, so \= fails.
+        assert!(run(goal).is_empty());
+        assert!(holds(Term::pred(
+            "\\=",
+            vec![Term::atom("a"), Term::atom("b")]
+        )));
+    }
+
+    #[test]
+    fn structural_equality_distinguishes_unbound() {
+        // == is identity, not unifiability.
+        assert!(!holds(Term::pred("==", vec![Term::var(0), Term::atom("a")])));
+        assert!(holds(Term::pred("==", vec![Term::atom("a"), Term::atom("a")])));
+        assert!(holds(Term::pred("\\==", vec![Term::var(0), Term::var(1)])));
+    }
+
+    #[test]
+    fn type_tests() {
+        assert!(holds(Term::pred("var", vec![Term::var(0)])));
+        assert!(holds(Term::pred("atom", vec![Term::atom("x")])));
+        assert!(holds(Term::pred("number", vec![Term::float(1.5)])));
+        assert!(holds(Term::pred("ground", vec![Term::pred("f", vec![Term::int(1)])])));
+        assert!(!holds(Term::pred("ground", vec![Term::pred("f", vec![Term::var(0)])])));
+    }
+
+    #[test]
+    fn functor_analysis() {
+        let goal = Term::pred(
+            "functor",
+            vec![
+                Term::pred("elev", vec![Term::int(1), Term::int(2)]),
+                Term::var(0),
+                Term::var(1),
+            ],
+        );
+        let sols = run(goal);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("elev"));
+        assert_eq!(sols[0].get(Var(1)).unwrap(), &Term::Int(2));
+    }
+
+    #[test]
+    fn functor_synthesis() {
+        let goal = Term::pred(
+            "functor",
+            vec![Term::var(0), Term::atom("pt"), Term::int(2)],
+        );
+        let sols = run(goal);
+        let t = sols[0].get(Var(0)).unwrap();
+        assert_eq!(t.functor(), Some(Sym::new("pt")));
+        assert_eq!(t.arity(), Some(2));
+    }
+
+    #[test]
+    fn arg_picks() {
+        let goal = Term::pred(
+            "arg",
+            vec![
+                Term::int(2),
+                Term::pred("pt", vec![Term::int(3), Term::int(4)]),
+                Term::var(0),
+            ],
+        );
+        let sols = run(goal);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::Int(4));
+        // Out of range fails, not errors.
+        assert!(!holds(Term::pred(
+            "arg",
+            vec![
+                Term::int(5),
+                Term::pred("pt", vec![Term::int(3)]),
+                Term::var(0)
+            ]
+        )));
+    }
+
+    #[test]
+    fn univ_both_directions() {
+        let decompose = Term::pred(
+            "=..",
+            vec![
+                Term::pred("pt", vec![Term::int(1), Term::int(2)]),
+                Term::var(0),
+            ],
+        );
+        let sols = run(decompose);
+        assert_eq!(sols[0].get(Var(0)).unwrap().to_string(), "[pt, 1, 2]");
+
+        let compose = Term::pred(
+            "=..",
+            vec![
+                Term::var(0),
+                Term::list(vec![Term::atom("pt"), Term::int(1), Term::int(2)]),
+            ],
+        );
+        let sols = run(compose);
+        assert_eq!(
+            sols[0].get(Var(0)).unwrap(),
+            &Term::pred("pt", vec![Term::int(1), Term::int(2)])
+        );
+    }
+
+    #[test]
+    fn compare_orders() {
+        let goal = Term::pred(
+            "compare",
+            vec![Term::var(0), Term::int(1), Term::int(2)],
+        );
+        let sols = run(goal);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("<"));
+    }
+
+    #[test]
+    fn comparison_on_atom_is_type_error() {
+        let kb = KnowledgeBase::new();
+        let r = Solver::new(&kb, Budget::default()).prove(Term::pred(
+            "<",
+            vec![Term::atom("green"), Term::int(1)],
+        ));
+        assert!(matches!(r, Err(EngineError::TypeError { .. })));
+    }
+}
+
+#[cfg(test)]
+mod list_builtin_tests {
+    use super::*;
+    use crate::budget::Budget;
+    use crate::kb::KnowledgeBase;
+    use crate::solver::Solver;
+    use crate::term::Var;
+
+    fn run(goal: Term) -> Vec<crate::solver::Solution> {
+        let kb = KnowledgeBase::new();
+        Solver::new(&kb, Budget::default()).solve_all(goal).unwrap()
+    }
+
+    fn nums(items: &[i64]) -> Term {
+        Term::list(items.iter().map(|&v| Term::Int(v)).collect())
+    }
+
+    #[test]
+    fn length_of_lists() {
+        let sols = run(Term::pred("length", vec![nums(&[4, 5, 6]), Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::int(3));
+        let sols = run(Term::pred("length", vec![Term::nil(), Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::int(0));
+        // Improper list fails, not errors.
+        assert!(run(Term::pred(
+            "length",
+            vec![Term::cons(Term::int(1), Term::int(2)), Term::var(0)]
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn msort_keeps_duplicates_sort_drops_them() {
+        let input = nums(&[3, 1, 2, 1]);
+        let sols = run(Term::pred("msort", vec![input.clone(), Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap().to_string(), "[1, 1, 2, 3]");
+        let sols = run(Term::pred("sort", vec![input, Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap().to_string(), "[1, 2, 3]");
+    }
+
+    #[test]
+    fn reverse_and_nth0() {
+        let sols = run(Term::pred("reverse", vec![nums(&[1, 2, 3]), Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap().to_string(), "[3, 2, 1]");
+        let sols = run(Term::pred(
+            "nth0",
+            vec![Term::int(1), nums(&[7, 8, 9]), Term::var(0)],
+        ));
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::int(8));
+        // Out of range fails.
+        assert!(run(Term::pred(
+            "nth0",
+            vec![Term::int(9), nums(&[7]), Term::var(0)]
+        ))
+        .is_empty());
+    }
+
+    #[test]
+    fn sum_list_totals() {
+        let sols = run(Term::pred("sum_list", vec![nums(&[1, 2, 3]), Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap().as_f64(), Some(6.0));
+        let sols = run(Term::pred("sum_list", vec![Term::nil(), Term::var(0)]));
+        assert_eq!(sols[0].get(Var(0)).unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn sum_list_type_error_on_non_numbers() {
+        let kb = KnowledgeBase::new();
+        let goal = Term::pred(
+            "sum_list",
+            vec![Term::list(vec![Term::atom("x")]), Term::var(0)],
+        );
+        assert!(matches!(
+            Solver::new(&kb, Budget::default()).prove(goal),
+            Err(EngineError::TypeError { .. })
+        ));
+    }
+}

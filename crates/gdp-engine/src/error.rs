@@ -1,0 +1,136 @@
+//! Engine errors.
+//!
+//! The solver never panics on bad queries: type errors, instantiation
+//! errors, and exhausted resource budgets are all reported as values so that
+//! a requirements-specification session (an interactive, exploratory
+//! activity in the paper's setting) survives a malformed rule.
+
+use std::fmt;
+
+use crate::symbol::Sym;
+use crate::term::Term;
+
+/// `Result` specialized to [`EngineError`].
+pub type EngineResult<T> = Result<T, EngineError>;
+
+/// Everything that can go wrong while solving a goal.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The step budget was exhausted; the query may be non-terminating.
+    StepLimit {
+        /// The configured limit that was reached.
+        limit: u64,
+    },
+    /// The depth budget (nested sub-solver calls: `not`, `forall`,
+    /// aggregation) was exhausted.
+    DepthLimit {
+        /// The configured limit that was reached.
+        limit: u32,
+    },
+    /// An arithmetic builtin received a non-numeric, insufficiently
+    /// instantiated, or otherwise invalid argument.
+    TypeError {
+        /// The builtin that rejected the argument.
+        context: &'static str,
+        /// What was expected, e.g. "number" or "list".
+        expected: &'static str,
+        /// The offending (resolved) term.
+        found: Term,
+    },
+    /// A builtin required a bound argument but found an unbound variable.
+    Instantiation {
+        /// The builtin that required instantiation.
+        context: &'static str,
+    },
+    /// Integer division or modulus by zero.
+    DivisionByZero,
+    /// Integer overflow in arithmetic evaluation.
+    IntOverflow {
+        /// The operator that overflowed.
+        op: &'static str,
+    },
+    /// A goal term is not callable (e.g. a bare integer in goal position).
+    NotCallable {
+        /// The offending (resolved) term.
+        goal: Term,
+    },
+    /// A predicate was called that has no clauses and is not a builtin, and
+    /// the knowledge base is in strict mode. (In the default open-world mode
+    /// unknown predicates simply fail — "any fact that is not provable is
+    /// said to be undefined", §III.A.)
+    UnknownPredicate {
+        /// Functor of the unknown predicate.
+        name: Sym,
+        /// Arity of the unknown predicate.
+        arity: usize,
+    },
+    /// An aggregation goal produced a value set the aggregate is undefined
+    /// on (e.g. `avg` over zero solutions).
+    EmptyAggregate {
+        /// The aggregate operator, e.g. "avg".
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::StepLimit { limit } => {
+                write!(f, "inference step limit exhausted ({limit} steps)")
+            }
+            EngineError::DepthLimit { limit } => {
+                write!(f, "sub-solver depth limit exhausted ({limit} levels)")
+            }
+            EngineError::TypeError {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected {expected}, found `{found}`"),
+            EngineError::Instantiation { context } => {
+                write!(f, "{context}: argument insufficiently instantiated")
+            }
+            EngineError::DivisionByZero => write!(f, "division by zero"),
+            EngineError::IntOverflow { op } => write!(f, "integer overflow in `{op}`"),
+            EngineError::NotCallable { goal } => {
+                write!(f, "goal is not callable: `{goal}`")
+            }
+            EngineError::UnknownPredicate { name, arity } => {
+                write!(f, "unknown predicate {name}/{arity} (strict mode)")
+            }
+            EngineError::EmptyAggregate { op } => {
+                write!(f, "aggregate `{op}` undefined on an empty solution set")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::TypeError {
+            context: "is/2",
+            expected: "number",
+            found: Term::atom("green"),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("is/2"));
+        assert!(msg.contains("green"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            EngineError::DivisionByZero,
+            EngineError::DivisionByZero
+        );
+        assert_ne!(
+            EngineError::StepLimit { limit: 1 },
+            EngineError::StepLimit { limit: 2 }
+        );
+    }
+}

@@ -1,0 +1,774 @@
+//! The clause store.
+//!
+//! A [`KnowledgeBase`] holds Horn clauses grouped by predicate, with three
+//! features the formalism leans on heavily:
+//!
+//! * **Multi-argument indexing.** Roman's prototype accepted "Prolog's
+//!   computational inefficiency" (§I); reified facts make every fact a
+//!   `holds/5` clause whose *first* argument (the model) is almost always
+//!   the same atom, so classic first-argument indexing degenerates to a
+//!   scan. A predicate can therefore be indexed on several argument
+//!   positions ([`KnowledgeBase::set_index_args`]); each call picks the
+//!   most selective index for its (dereferenced) arguments. List-valued
+//!   arguments are keyed by their first element, which is what makes the
+//!   reified `h(M, S, T, Pred, [Obj | …])` representation discriminate on
+//!   the object. Indexing can be disabled wholesale
+//!   ([`KnowledgeBase::set_indexing`]) to act as the 1986-Prolog baseline
+//!   in benchmarks.
+//!
+//! * **Clause groups.** Meta-models "may be activated on demand" (§IV.C):
+//!   each clause belongs to a named [`GroupId`], and a whole group can be
+//!   retracted in one call. Activating a meta-model asserts its rule pack
+//!   under its group; deactivating retracts the group.
+//!
+//! * **Native predicates** — semi-determinate Rust callbacks used for
+//!   semantic-domain operations the paper treats as given (distance
+//!   functions, resolution functions, interpolation, …).
+
+use std::sync::Arc;
+
+use crate::error::EngineResult;
+use crate::hash::FxHashMap;
+use crate::symbol::{symbols, Sym};
+use crate::term::{F64, Term};
+use crate::unify::BindStore;
+
+/// Identifies a predicate: functor plus arity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PredKey {
+    /// Functor symbol.
+    pub name: Sym,
+    /// Number of arguments.
+    pub arity: u16,
+}
+
+impl PredKey {
+    /// Build a key from a functor name and arity.
+    pub fn new(name: &str, arity: usize) -> PredKey {
+        PredKey {
+            name: Sym::new(name),
+            arity: arity as u16,
+        }
+    }
+
+    /// Key describing a callable term (atom or compound).
+    pub fn of_term(t: &Term) -> Option<PredKey> {
+        Some(PredKey {
+            name: t.functor()?,
+            arity: t.arity()? as u16,
+        })
+    }
+}
+
+/// A named clause group. Groups are the engine-level mechanism behind the
+/// paper's models and meta-models: rule packs that can be asserted and
+/// retracted as a unit.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GroupId(Sym);
+
+impl GroupId {
+    /// Group with the given name.
+    pub fn named(name: &str) -> GroupId {
+        GroupId(Sym::new(name))
+    }
+
+    /// The default group for clauses asserted without an explicit group.
+    /// Named after the paper's default model ω (§III.D).
+    pub fn root() -> GroupId {
+        GroupId(Sym::new("omega"))
+    }
+
+    /// The group's name.
+    pub fn name(self) -> Sym {
+        self.0
+    }
+}
+
+/// A stored Horn clause `head :- body`, with variables numbered `0..n_vars`.
+#[derive(Clone, Debug)]
+pub struct Clause {
+    /// Clause head (an atom or compound term).
+    pub head: Term,
+    /// Clause body; `true` for facts.
+    pub body: Term,
+    /// Number of distinct variables; the solver allocates this many fresh
+    /// slots when activating the clause.
+    pub n_vars: u32,
+    /// The group this clause belongs to.
+    pub group: GroupId,
+}
+
+impl Clause {
+    /// Build a clause, computing `n_vars` from the head and body.
+    ///
+    /// Variables must be densely numbered starting at zero for the slot
+    /// allocation to be tight; sparse numbering is still correct, merely
+    /// wasteful, so it is accepted.
+    pub fn new(head: Term, body: Term, group: GroupId) -> Clause {
+        let n_vars = head
+            .max_var()
+            .into_iter()
+            .chain(body.max_var())
+            .max()
+            .map_or(0, |m| m + 1);
+        Clause {
+            head,
+            body,
+            n_vars,
+            group,
+        }
+    }
+}
+
+/// Index key for one argument position of a clause head.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum ArgKey {
+    Atom(Sym),
+    Int(i64),
+    Float(F64),
+    Str(Arc<str>),
+    /// Non-list compounds are indexed by functor/arity only.
+    Functor(Sym, u16),
+    /// Lists are indexed by their first element — the discriminating
+    /// position in the reified `[value/object | …]` argument lists.
+    ListHead(Box<ArgKey>),
+}
+
+impl ArgKey {
+    /// Key for a clause-head argument. `None` for variables and for lists
+    /// whose head is a variable (such clauses match any call).
+    fn of(t: &Term) -> Option<ArgKey> {
+        match t {
+            Term::Var(_) => None,
+            Term::Atom(s) => Some(ArgKey::Atom(*s)),
+            Term::Int(i) => Some(ArgKey::Int(*i)),
+            Term::Float(f) => Some(ArgKey::Float(*f)),
+            Term::Str(s) => Some(ArgKey::Str(s.clone())),
+            Term::Compound(f, args) => {
+                if *f == symbols::cons() && args.len() == 2 {
+                    Some(ArgKey::ListHead(Box::new(ArgKey::of(&args[0])?)))
+                } else {
+                    Some(ArgKey::Functor(*f, args.len() as u16))
+                }
+            }
+        }
+    }
+
+    /// Key for a *call* argument, following bindings one level deep (and
+    /// through the list head).
+    fn of_call(store: &BindStore, t: &Term) -> Option<ArgKey> {
+        match store.deref(t) {
+            Term::Var(_) => None,
+            Term::Atom(s) => Some(ArgKey::Atom(*s)),
+            Term::Int(i) => Some(ArgKey::Int(*i)),
+            Term::Float(f) => Some(ArgKey::Float(*f)),
+            Term::Str(s) => Some(ArgKey::Str(s.clone())),
+            Term::Compound(f, args) => {
+                if *f == symbols::cons() && args.len() == 2 {
+                    Some(ArgKey::ListHead(Box::new(ArgKey::of_call(
+                        store, &args[0],
+                    )?)))
+                } else {
+                    Some(ArgKey::Functor(*f, args.len() as u16))
+                }
+            }
+        }
+    }
+}
+
+/// One per-argument-position index.
+#[derive(Default)]
+struct ArgIndex {
+    pos: u16,
+    by_key: FxHashMap<ArgKey, Vec<u32>>,
+    /// Positions of clauses whose argument at `pos` carries no key.
+    var_clauses: Vec<u32>,
+}
+
+impl ArgIndex {
+    fn insert(&mut self, clause_pos: u32, head: &Term) {
+        match head.args().get(self.pos as usize).and_then(ArgKey::of) {
+            Some(key) => self.by_key.entry(key).or_default().push(clause_pos),
+            None => self.var_clauses.push(clause_pos),
+        }
+    }
+}
+
+#[derive(Default)]
+struct PredEntry {
+    clauses: Vec<Arc<Clause>>,
+    indexes: Vec<ArgIndex>,
+}
+
+impl PredEntry {
+    fn new(index_positions: &[u16]) -> PredEntry {
+        PredEntry {
+            clauses: Vec::new(),
+            indexes: index_positions
+                .iter()
+                .map(|&pos| ArgIndex {
+                    pos,
+                    ..ArgIndex::default()
+                })
+                .collect(),
+        }
+    }
+
+    fn rebuild_indexes(&mut self) {
+        for index in &mut self.indexes {
+            index.by_key.clear();
+            index.var_clauses.clear();
+        }
+        for (pos, clause) in self.clauses.iter().enumerate() {
+            for index in &mut self.indexes {
+                index.insert(pos as u32, &clause.head);
+            }
+        }
+    }
+
+    fn push(&mut self, clause: Arc<Clause>) {
+        let pos = self.clauses.len() as u32;
+        for index in &mut self.indexes {
+            index.insert(pos, &clause.head);
+        }
+        self.clauses.push(clause);
+    }
+}
+
+/// Result type a native predicate reports: `true` = succeed (bindings made
+/// through the store stay), `false` = fail.
+pub type NativeOutcome = EngineResult<bool>;
+
+/// A semi-determinate native predicate: receives the bind store and the raw
+/// (un-dereferenced) call arguments; may bind variables via
+/// [`BindStore::unify`]; succeeds at most once.
+pub type NativeFn = Arc<dyn Fn(&mut BindStore, &[Term]) -> NativeOutcome + Send + Sync>;
+
+/// The clause store. See the module docs.
+pub struct KnowledgeBase {
+    preds: FxHashMap<PredKey, PredEntry>,
+    natives: FxHashMap<PredKey, NativeFn>,
+    /// Index positions configured per predicate before/after its entry
+    /// exists; default is first-argument indexing.
+    index_config: FxHashMap<PredKey, Vec<u16>>,
+    indexing: bool,
+    strict: bool,
+    clause_count: usize,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        KnowledgeBase::new()
+    }
+}
+
+impl std::fmt::Debug for KnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnowledgeBase")
+            .field("predicates", &self.preds.len())
+            .field("clauses", &self.clause_count)
+            .field("natives", &self.natives.len())
+            .field("indexing", &self.indexing)
+            .field("strict", &self.strict)
+            .finish()
+    }
+}
+
+impl KnowledgeBase {
+    /// Empty knowledge base with indexing on and open-world (non-strict)
+    /// call semantics.
+    pub fn new() -> KnowledgeBase {
+        KnowledgeBase {
+            preds: FxHashMap::default(),
+            natives: FxHashMap::default(),
+            index_config: FxHashMap::default(),
+            indexing: true,
+            strict: false,
+            clause_count: 0,
+        }
+    }
+
+    /// Enable/disable argument indexing. With indexing off, every call
+    /// scans all clauses of the predicate — the 1986 baseline used by
+    /// `bench_indexing`.
+    pub fn set_indexing(&mut self, on: bool) {
+        self.indexing = on;
+    }
+
+    /// Whether argument indexing is enabled.
+    pub fn indexing(&self) -> bool {
+        self.indexing
+    }
+
+    /// Configure which argument positions of `key` are indexed. Each call
+    /// consults every configured index and follows the most selective one.
+    /// The default is `[0]` (classic first-argument indexing). Positions
+    /// beyond the predicate's arity are ignored.
+    pub fn set_index_args(&mut self, key: PredKey, positions: &[usize]) {
+        let positions: Vec<u16> = positions
+            .iter()
+            .filter(|&&p| p < key.arity as usize)
+            .map(|&p| p as u16)
+            .collect();
+        self.index_config.insert(key, positions.clone());
+        if let Some(entry) = self.preds.get_mut(&key) {
+            entry.indexes = positions
+                .iter()
+                .map(|&pos| ArgIndex {
+                    pos,
+                    ..ArgIndex::default()
+                })
+                .collect();
+            entry.rebuild_indexes();
+        }
+    }
+
+    fn index_positions(&self, key: PredKey) -> Vec<u16> {
+        self.index_config
+            .get(&key)
+            .cloned()
+            .unwrap_or_else(|| if key.arity > 0 { vec![0] } else { Vec::new() })
+    }
+
+    /// In strict mode, calling a predicate with no clauses and no native
+    /// implementation is an error; in the default open-world mode it simply
+    /// fails (the fact is "undefined", §III.A).
+    pub fn set_strict(&mut self, on: bool) {
+        self.strict = on;
+    }
+
+    /// Whether strict unknown-predicate mode is enabled.
+    pub fn strict(&self) -> bool {
+        self.strict
+    }
+
+    /// Total number of stored clauses.
+    pub fn clause_count(&self) -> usize {
+        self.clause_count
+    }
+
+    /// Number of predicates with at least one clause.
+    pub fn predicate_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Assert a ground or universally quantified fact into the root group.
+    pub fn assert_fact(&mut self, head: Term) {
+        self.assert_clause_in(GroupId::root(), head, Term::atom("true"));
+    }
+
+    /// Assert `head :- body` into the root group.
+    pub fn assert_clause(&mut self, head: Term, body: Term) {
+        self.assert_clause_in(GroupId::root(), head, body);
+    }
+
+    /// Assert `head :- body` into `group`.
+    pub fn assert_clause_in(&mut self, group: GroupId, head: Term, body: Term) {
+        let key = PredKey::of_term(&head)
+            .unwrap_or_else(|| panic!("clause head is not callable: {head}"));
+        let clause = Arc::new(Clause::new(head, body, group));
+        let positions = self.index_positions(key);
+        self.preds
+            .entry(key)
+            .or_insert_with(|| PredEntry::new(&positions))
+            .push(clause);
+        self.clause_count += 1;
+    }
+
+    /// Retract every clause belonging to `group`, across all predicates.
+    /// Returns the number of clauses removed.
+    pub fn retract_group(&mut self, group: GroupId) -> usize {
+        let mut removed = 0;
+        for entry in self.preds.values_mut() {
+            let before = entry.clauses.len();
+            entry.clauses.retain(|c| c.group != group);
+            let after = entry.clauses.len();
+            if after != before {
+                removed += before - after;
+                entry.rebuild_indexes();
+            }
+        }
+        self.preds.retain(|_, e| !e.clauses.is_empty());
+        self.clause_count -= removed;
+        removed
+    }
+
+    /// Retract the first stored *fact* (clause with body `true`) whose
+    /// head is structurally equal to `head`. Returns whether one was
+    /// removed. This is the engine-level support for withdrawing a basic
+    /// fact when the data it recorded is revised.
+    pub fn retract_fact(&mut self, head: &Term) -> bool {
+        let Some(key) = PredKey::of_term(head) else {
+            return false;
+        };
+        let Some(entry) = self.preds.get_mut(&key) else {
+            return false;
+        };
+        let truth = Term::atom("true");
+        let Some(pos) = entry
+            .clauses
+            .iter()
+            .position(|c| c.body == truth && c.head == *head)
+        else {
+            return false;
+        };
+        entry.clauses.remove(pos);
+        entry.rebuild_indexes();
+        if entry.clauses.is_empty() {
+            self.preds.remove(&key);
+        }
+        self.clause_count -= 1;
+        true
+    }
+
+    /// Retract all clauses of one predicate; returns how many were removed.
+    pub fn retract_predicate(&mut self, key: PredKey) -> usize {
+        match self.preds.remove(&key) {
+            Some(entry) => {
+                let n = entry.clauses.len();
+                self.clause_count -= n;
+                n
+            }
+            None => 0,
+        }
+    }
+
+    /// Does this group currently have any clauses?
+    pub fn group_active(&self, group: GroupId) -> bool {
+        self.preds
+            .values()
+            .any(|e| e.clauses.iter().any(|c| c.group == group))
+    }
+
+    /// Register a native predicate. Natives shadow clauses: if a predicate
+    /// has a native implementation, its clauses (if any) are ignored.
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        arity: usize,
+        f: impl Fn(&mut BindStore, &[Term]) -> NativeOutcome + Send + Sync + 'static,
+    ) {
+        self.natives.insert(PredKey::new(name, arity), Arc::new(f));
+    }
+
+    /// Look up a native implementation.
+    pub fn native(&self, key: PredKey) -> Option<&NativeFn> {
+        self.natives.get(&key)
+    }
+
+    /// Does the predicate have clauses or a native implementation?
+    pub fn defined(&self, key: PredKey) -> bool {
+        self.natives.contains_key(&key) || self.preds.contains_key(&key)
+    }
+
+    /// Candidate clauses for a call, in assertion order.
+    ///
+    /// With indexing enabled, every configured index whose call argument is
+    /// bound is consulted and the most selective one wins; otherwise (or
+    /// with indexing off) all clauses of the predicate are returned.
+    pub fn candidates(
+        &self,
+        key: PredKey,
+        store: &BindStore,
+        args: &[Term],
+    ) -> Vec<Arc<Clause>> {
+        let Some(entry) = self.preds.get(&key) else {
+            return Vec::new();
+        };
+        if !self.indexing {
+            return entry.clauses.clone();
+        }
+        // Pick the most selective applicable index.
+        let mut best: Option<(&[u32], &[u32])> = None;
+        for index in &entry.indexes {
+            let Some(arg) = args.get(index.pos as usize) else {
+                continue;
+            };
+            let Some(k) = ArgKey::of_call(store, arg) else {
+                continue;
+            };
+            let keyed = index.by_key.get(&k).map(Vec::as_slice).unwrap_or(&[]);
+            let vars = index.var_clauses.as_slice();
+            let size = keyed.len() + vars.len();
+            if best.is_none_or(|(bk, bv)| size < bk.len() + bv.len()) {
+                best = Some((keyed, vars));
+            }
+        }
+        match best {
+            None => entry.clauses.clone(),
+            Some((keyed, vars)) => {
+                // Merge the two sorted position lists to preserve assertion
+                // order (clause-selection order is observable through
+                // solution order).
+                let mut out = Vec::with_capacity(keyed.len() + vars.len());
+                let (mut i, mut j) = (0, 0);
+                while i < keyed.len() || j < vars.len() {
+                    let next = match (keyed.get(i), vars.get(j)) {
+                        (Some(&a), Some(&b)) => {
+                            if a < b {
+                                i += 1;
+                                a
+                            } else {
+                                j += 1;
+                                b
+                            }
+                        }
+                        (Some(&a), None) => {
+                            i += 1;
+                            a
+                        }
+                        (None, Some(&b)) => {
+                            j += 1;
+                            b
+                        }
+                        (None, None) => unreachable!(),
+                    };
+                    out.push(Arc::clone(&entry.clauses[next as usize]));
+                }
+                out
+            }
+        }
+    }
+
+    /// All clauses of a predicate, in assertion order (diagnostics, tests).
+    pub fn clauses_of(&self, key: PredKey) -> Vec<Arc<Clause>> {
+        self.preds
+            .get(&key)
+            .map(|e| e.clauses.clone())
+            .unwrap_or_default()
+    }
+
+    /// Iterate over every `(PredKey, clause)` pair (diagnostics).
+    pub fn iter_clauses(&self) -> impl Iterator<Item = (PredKey, &Arc<Clause>)> + '_ {
+        self.preds
+            .iter()
+            .flat_map(|(k, e)| e.clauses.iter().map(move |c| (*k, c)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(name: &str, args: Vec<Term>) -> Term {
+        Term::pred(name, args)
+    }
+
+    fn cands(kb: &KnowledgeBase, key: PredKey, args: Vec<Term>) -> Vec<Arc<Clause>> {
+        kb.candidates(key, &BindStore::new(), &args)
+    }
+
+    #[test]
+    fn assert_and_count() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("road", vec![Term::atom("s1")]));
+        kb.assert_fact(fact("road", vec![Term::atom("s2")]));
+        assert_eq!(kb.clause_count(), 2);
+        assert_eq!(kb.predicate_count(), 1);
+    }
+
+    #[test]
+    fn candidates_filtered_by_first_arg() {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..100 {
+            kb.assert_fact(fact("road", vec![Term::atom(&format!("s{i}"))]));
+        }
+        let key = PredKey::new("road", 1);
+        assert_eq!(cands(&kb, key, vec![Term::atom("s42")]).len(), 1);
+        assert_eq!(cands(&kb, key, vec![Term::var(0)]).len(), 100);
+    }
+
+    #[test]
+    fn var_headed_clauses_always_candidates() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("p", vec![Term::atom("a")]));
+        kb.assert_clause(fact("p", vec![Term::var(0)]), Term::atom("true"));
+        kb.assert_fact(fact("p", vec![Term::atom("b")]));
+        let got = cands(&kb, PredKey::new("p", 1), vec![Term::atom("b")]);
+        // The var-headed clause and the `b` clause, in assertion order.
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].head.args()[0], Term::var(0));
+        assert_eq!(got[1].head.args()[0], Term::atom("b"));
+    }
+
+    #[test]
+    fn unindexed_returns_everything() {
+        let mut kb = KnowledgeBase::new();
+        kb.set_indexing(false);
+        for i in 0..10 {
+            kb.assert_fact(fact("p", vec![Term::int(i)]));
+        }
+        assert_eq!(cands(&kb, PredKey::new("p", 1), vec![Term::int(3)]).len(), 10);
+    }
+
+    #[test]
+    fn compound_first_arg_indexed_by_functor() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("h", vec![Term::pred("pt", vec![Term::int(1)])]));
+        kb.assert_fact(fact("h", vec![Term::pred("iv", vec![Term::int(1)])]));
+        let got = cands(
+            &kb,
+            PredKey::new("h", 1),
+            vec![Term::pred("pt", vec![Term::var(0)])],
+        );
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn multi_arg_indexing_picks_most_selective() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("h", 3);
+        kb.set_index_args(key, &[0, 2]);
+        // 100 facts share the first arg; third arg is unique.
+        for i in 0..100 {
+            kb.assert_fact(fact(
+                "h",
+                vec![
+                    Term::atom("omega"),
+                    Term::int(i),
+                    Term::atom(&format!("o{i}")),
+                ],
+            ));
+        }
+        // First arg bound only: all 100.
+        assert_eq!(
+            cands(&kb, key, vec![Term::atom("omega"), Term::var(0), Term::var(1)]).len(),
+            100
+        );
+        // Third arg bound too: the unique one wins.
+        assert_eq!(
+            cands(
+                &kb,
+                key,
+                vec![Term::atom("omega"), Term::var(0), Term::atom("o42")]
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn list_head_indexing_discriminates() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("h", 2);
+        kb.set_index_args(key, &[1]);
+        for i in 0..50 {
+            kb.assert_fact(fact(
+                "h",
+                vec![
+                    Term::atom("site"),
+                    Term::list(vec![Term::atom(&format!("s{i}")), Term::int(i)]),
+                ],
+            ));
+        }
+        let got = cands(
+            &kb,
+            key,
+            vec![
+                Term::atom("site"),
+                Term::list(vec![Term::atom("s7"), Term::int(7)]),
+            ],
+        );
+        assert_eq!(got.len(), 1);
+        // A list headed by a variable matches everything.
+        let got = cands(
+            &kb,
+            key,
+            vec![
+                Term::atom("site"),
+                Term::cons(Term::var(0), Term::var(1)),
+            ],
+        );
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn index_config_applies_before_first_assertion() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("p", 2);
+        kb.set_index_args(key, &[1]);
+        kb.assert_fact(fact("p", vec![Term::atom("x"), Term::int(1)]));
+        kb.assert_fact(fact("p", vec![Term::atom("x"), Term::int(2)]));
+        assert_eq!(
+            cands(&kb, key, vec![Term::var(0), Term::int(2)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn call_args_deref_through_bindings() {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..10 {
+            kb.assert_fact(fact("p", vec![Term::int(i)]));
+        }
+        let mut store = BindStore::new();
+        store.ensure(0);
+        assert!(store.unify(&Term::var(0), &Term::int(3)));
+        let got = kb.candidates(PredKey::new("p", 1), &store, &[Term::var(0)]);
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn group_retraction() {
+        let mut kb = KnowledgeBase::new();
+        let g = GroupId::named("cwa_meta_model");
+        kb.assert_fact(fact("p", vec![Term::atom("base")]));
+        kb.assert_clause_in(g, fact("p", vec![Term::atom("meta")]), Term::atom("true"));
+        kb.assert_clause_in(g, fact("q", vec![Term::atom("meta")]), Term::atom("true"));
+        assert!(kb.group_active(g));
+        assert_eq!(kb.retract_group(g), 2);
+        assert!(!kb.group_active(g));
+        assert_eq!(kb.clause_count(), 1);
+        // Index rebuilt: remaining clause still findable.
+        assert_eq!(cands(&kb, PredKey::new("p", 1), vec![Term::atom("base")]).len(), 1);
+    }
+
+    #[test]
+    fn retract_fact_removes_exactly_one() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("p", vec![Term::int(1)]));
+        kb.assert_fact(fact("p", vec![Term::int(2)]));
+        kb.assert_clause(fact("p", vec![Term::int(3)]), Term::atom("q"));
+        assert!(kb.retract_fact(&fact("p", vec![Term::int(1)])));
+        assert!(!kb.retract_fact(&fact("p", vec![Term::int(1)])));
+        // Rules are not facts: retract_fact must not touch them.
+        assert!(!kb.retract_fact(&fact("p", vec![Term::int(3)])));
+        assert_eq!(kb.clause_count(), 2);
+        // Index rebuilt.
+        assert_eq!(cands(&kb, PredKey::new("p", 1), vec![Term::int(2)]).len(), 1);
+    }
+
+    #[test]
+    fn retract_predicate_removes_all() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("p", vec![Term::int(1)]));
+        kb.assert_fact(fact("p", vec![Term::int(2)]));
+        assert_eq!(kb.retract_predicate(PredKey::new("p", 1)), 2);
+        assert_eq!(kb.clause_count(), 0);
+    }
+
+    #[test]
+    fn natives_are_found() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_native("always", 0, |_, _| Ok(true));
+        assert!(kb.native(PredKey::new("always", 0)).is_some());
+        assert!(kb.defined(PredKey::new("always", 0)));
+        assert!(!kb.defined(PredKey::new("nothing", 0)));
+    }
+
+    #[test]
+    fn atom_fact_candidates() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::atom("raining"));
+        assert_eq!(cands(&kb, PredKey::new("raining", 0), vec![]).len(), 1);
+    }
+
+    #[test]
+    fn out_of_range_index_positions_ignored() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("p", 1);
+        kb.set_index_args(key, &[0, 5]);
+        kb.assert_fact(fact("p", vec![Term::atom("a")]));
+        assert_eq!(cands(&kb, key, vec![Term::atom("a")]).len(), 1);
+    }
+}

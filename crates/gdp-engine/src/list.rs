@@ -1,0 +1,119 @@
+//! Helpers for Prolog-style lists (`'.'(Head, Tail)` / `[]`).
+
+use crate::symbol::symbols;
+use crate::term::Term;
+use crate::unify::BindStore;
+
+/// Build a proper list term from an iterator.
+pub fn list_from_iter<I: IntoIterator<Item = Term>>(items: I) -> Term
+where
+    I::IntoIter: DoubleEndedIterator,
+{
+    items
+        .into_iter()
+        .rev()
+        .fold(Term::nil(), |tail, head| Term::cons(head, tail))
+}
+
+/// Convert a (fully resolved) proper list term into a `Vec`.
+///
+/// Returns `None` if the term is not a proper list (unbound tail, wrong
+/// functor, …).
+pub fn list_to_vec(t: &Term) -> Option<Vec<Term>> {
+    let mut out = Vec::new();
+    let mut cur = t;
+    loop {
+        match cur {
+            Term::Atom(s) if *s == symbols::nil() => return Some(out),
+            Term::Compound(c, args) if *c == symbols::cons() && args.len() == 2 => {
+                out.push(args[0].clone());
+                cur = &args[1];
+            }
+            _ => return None,
+        }
+    }
+}
+
+/// Iterator over the elements of a list term, dereferencing each cell
+/// through a [`BindStore`] so partially instantiated lists can be walked.
+pub struct ListIter<'a> {
+    store: &'a BindStore,
+    cur: Term,
+    /// Set when the walk hit something that is not a cons cell or nil.
+    pub improper: bool,
+}
+
+impl<'a> ListIter<'a> {
+    /// Start iterating `t` under `store`'s bindings.
+    pub fn new(store: &'a BindStore, t: &Term) -> ListIter<'a> {
+        ListIter {
+            store,
+            cur: t.clone(),
+            improper: false,
+        }
+    }
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = Term;
+
+    fn next(&mut self) -> Option<Term> {
+        let resolved = self.store.deref(&self.cur).clone();
+        match resolved {
+            Term::Atom(s) if s == symbols::nil() => None,
+            Term::Compound(c, args) if c == symbols::cons() && args.len() == 2 => {
+                let head = args[0].clone();
+                self.cur = args[1].clone();
+                Some(head)
+            }
+            _ => {
+                self.improper = true;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let items = vec![Term::int(1), Term::atom("a"), Term::float(2.5)];
+        let l = list_from_iter(items.clone());
+        assert_eq!(list_to_vec(&l), Some(items));
+    }
+
+    #[test]
+    fn empty_list() {
+        assert_eq!(list_to_vec(&Term::nil()), Some(vec![]));
+    }
+
+    #[test]
+    fn improper_list_rejected() {
+        let l = Term::cons(Term::int(1), Term::int(2));
+        assert_eq!(list_to_vec(&l), None);
+    }
+
+    #[test]
+    fn iter_follows_bindings() {
+        let mut store = BindStore::new();
+        store.ensure(0);
+        // [1 | X] with X bound to [2].
+        assert!(store.unify(&Term::var(0), &Term::list(vec![Term::int(2)])));
+        let l = Term::cons(Term::int(1), Term::var(0));
+        let items: Vec<Term> = ListIter::new(&store, &l).collect();
+        assert_eq!(items, vec![Term::int(1), Term::int(2)]);
+    }
+
+    #[test]
+    fn iter_flags_improper_tail() {
+        let store = BindStore::new();
+        let l = Term::cons(Term::int(1), Term::atom("oops"));
+        let mut it = ListIter::new(&store, &l);
+        assert_eq!(it.next(), Some(Term::int(1)));
+        assert_eq!(it.next(), None);
+        assert!(it.improper);
+    }
+}

@@ -1,0 +1,1068 @@
+//! The SLD resolution solver.
+//!
+//! An iterative, trail-based machine: the continuation (remaining goals) is
+//! a persistent cons list shared by choice points, backtracking undoes the
+//! trail to the recorded mark, and clause alternatives are cursors into the
+//! knowledge base's candidate lists. Nothing recurses on the host stack
+//! except sub-solvers, which are bounded by the [`Budget`]'s depth limit —
+//! sub-solvers implement exactly the constructs the paper's formula grammar
+//! needs beyond plain conjunction: `not` (negation as failure), `forall`
+//! (bounded universal quantification), and the aggregation primitives
+//! (`findall`, `card`, `aggregate`).
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use crate::budget::Budget;
+use crate::builtins::{self, BuiltinOutcome};
+use crate::error::{EngineError, EngineResult};
+use crate::kb::{Clause, KnowledgeBase, PredKey};
+use crate::symbol::{symbols, Sym};
+use crate::term::{Term, Var};
+use crate::unify::{resolve_deep, BindStore, TrailMark};
+
+/// One answer to a query: the query's variables with their resolved values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    bindings: Vec<(Var, Term)>,
+}
+
+impl Solution {
+    /// The value bound to `v`, if `v` occurred in the query.
+    ///
+    /// A variable left unbound by the solution maps to itself.
+    pub fn get(&self, v: Var) -> Option<&Term> {
+        self.bindings.iter().find(|(w, _)| *w == v).map(|(_, t)| t)
+    }
+
+    /// All `(variable, value)` pairs, in the variables' first-occurrence
+    /// order within the query.
+    pub fn bindings(&self) -> &[(Var, Term)] {
+        &self.bindings
+    }
+}
+
+/// Entry point for running queries against a [`KnowledgeBase`].
+pub struct Solver<'kb> {
+    kb: &'kb KnowledgeBase,
+    budget: Budget,
+}
+
+impl<'kb> Solver<'kb> {
+    /// A solver over `kb` with the given resource budget. The budget is
+    /// shared across all queries issued through this solver instance.
+    pub fn new(kb: &'kb KnowledgeBase, budget: Budget) -> Solver<'kb> {
+        Solver { kb, budget }
+    }
+
+    /// Collect up to `max_solutions` answers to `goal`.
+    pub fn solve(&self, goal: Term, max_solutions: usize) -> EngineResult<Vec<Solution>> {
+        let query_vars = goal.variables();
+        let mut machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        let mut out = Vec::new();
+        while out.len() < max_solutions && machine.next_solution()? {
+            out.push(Solution {
+                bindings: query_vars
+                    .iter()
+                    .map(|&v| (v, resolve_deep(&machine.store, &Term::Var(v))))
+                    .collect(),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Collect all answers to `goal`.
+    pub fn solve_all(&self, goal: Term) -> EngineResult<Vec<Solution>> {
+        self.solve(goal, usize::MAX)
+    }
+
+    /// Is `goal` provable at all?
+    pub fn prove(&self, goal: Term) -> EngineResult<bool> {
+        let mut machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        machine.next_solution()
+    }
+
+    /// Number of answers to `goal` (with duplicates; see `card` for the
+    /// distinct count the paper's cardinality primitive uses).
+    pub fn count(&self, goal: Term) -> EngineResult<usize> {
+        let mut machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        let mut n = 0;
+        while machine.next_solution()? {
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Stream answers lazily: each `next()` resumes the resolution machine
+    /// where the previous answer left off, so consumers pay only for the
+    /// solutions they take.
+    pub fn iter(&self, goal: Term) -> EngineResult<SolutionIter<'kb>> {
+        let query_vars = goal.variables();
+        let machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        Ok(SolutionIter {
+            machine,
+            query_vars,
+        })
+    }
+}
+
+/// Lazy solution stream returned by [`Solver::iter`].
+pub struct SolutionIter<'kb> {
+    machine: Machine<'kb>,
+    query_vars: Vec<Var>,
+}
+
+impl Iterator for SolutionIter<'_> {
+    type Item = EngineResult<Solution>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.machine.next_solution() {
+            Ok(true) => Some(Ok(Solution {
+                bindings: self
+                    .query_vars
+                    .iter()
+                    .map(|&v| (v, resolve_deep(&self.machine.store, &Term::Var(v))))
+                    .collect(),
+            })),
+            Ok(false) => None,
+            Err(e) => Some(Err(e)),
+        }
+    }
+}
+
+/// Renumber variables in first-occurrence order so alpha-equivalent terms
+/// compare equal (used by `card`'s distinct-instance counting).
+fn canonicalize_vars(t: &Term) -> Term {
+    fn walk(t: &Term, map: &mut crate::hash::FxHashMap<Var, u32>) -> Term {
+        match t {
+            Term::Var(v) => {
+                let next = map.len() as u32;
+                Term::Var(Var(*map.entry(*v).or_insert(next)))
+            }
+            Term::Compound(f, args) => {
+                let new_args: Vec<Term> = args.iter().map(|a| walk(a, map)).collect();
+                Term::Compound(*f, new_args.into())
+            }
+            other => other.clone(),
+        }
+    }
+    let mut map = crate::hash::FxHashMap::default();
+    walk(t, &mut map)
+}
+
+/// Persistent goal continuation.
+enum Cont {
+    Done,
+    Goal(Term, Rc<Cont>),
+}
+
+impl Cont {
+    fn push(rest: &Rc<Cont>, goal: Term) -> Rc<Cont> {
+        Rc::new(Cont::Goal(goal, Rc::clone(rest)))
+    }
+}
+
+impl Drop for Cont {
+    /// Iterative drop: a runaway query can build a continuation list
+    /// hundreds of thousands of cells long before its budget trips, and
+    /// the default recursive drop would overflow the host stack unwinding
+    /// it.
+    fn drop(&mut self) {
+        let mut next = match self {
+            Cont::Goal(_, rest) => Some(std::mem::replace(rest, Rc::new(Cont::Done))),
+            Cont::Done => None,
+        };
+        while let Some(rc) = next {
+            next = match Rc::try_unwrap(rc) {
+                Ok(mut cont) => {
+                    let taken = match &mut cont {
+                        Cont::Goal(_, rest) => {
+                            Some(std::mem::replace(rest, Rc::new(Cont::Done)))
+                        }
+                        Cont::Done => None,
+                    };
+                    // `cont` now has a trivial tail; its drop is shallow.
+                    taken
+                }
+                // Still shared: another handle keeps the rest alive.
+                Err(_) => None,
+            };
+        }
+    }
+}
+
+/// Pending alternatives at a choice point.
+enum Alts {
+    /// Remaining clause candidates for a user-predicate call.
+    Clauses {
+        goal: Term,
+        clauses: Vec<Arc<Clause>>,
+        next: usize,
+    },
+    /// The right branch of a disjunction.
+    Disjunct { right: Term },
+    /// Remaining integers for `between(L, H, X)`.
+    Between { var: Term, cur: i64, hi: i64 },
+}
+
+struct ChoicePoint {
+    cont: Rc<Cont>,
+    mark: TrailMark,
+    alts: Alts,
+}
+
+pub(crate) struct Machine<'kb> {
+    kb: &'kb KnowledgeBase,
+    pub(crate) store: BindStore,
+    cont: Rc<Cont>,
+    cps: Vec<ChoicePoint>,
+    budget: Budget,
+    /// False until the first `next_solution` call; subsequent calls must
+    /// backtrack before resuming the main loop.
+    started: bool,
+    /// Set when the machine has exhausted all alternatives.
+    exhausted: bool,
+}
+
+impl<'kb> Machine<'kb> {
+    pub(crate) fn start(
+        kb: &'kb KnowledgeBase,
+        budget: Budget,
+        goal: Term,
+    ) -> EngineResult<Machine<'kb>> {
+        let mut store = BindStore::new();
+        if let Some(max) = goal.max_var() {
+            store.ensure(max);
+        }
+        Ok(Machine {
+            kb,
+            store,
+            cont: Cont::push(&Rc::new(Cont::Done), goal),
+            cps: Vec::new(),
+            budget,
+            started: false,
+            exhausted: false,
+        })
+    }
+
+    /// Spawn a sub-machine sharing this machine's budget, over a goal that
+    /// has already been resolved against this machine's store. Unbound
+    /// variables of the outer store keep their identities (the sub-store is
+    /// sized to cover them, all slots unbound).
+    fn sub_machine(&self, goal: Term) -> EngineResult<Machine<'kb>> {
+        let mut store = BindStore::new();
+        if !self.store.is_empty() {
+            store.ensure(self.store.len() as u32 - 1);
+        }
+        if let Some(max) = goal.max_var() {
+            store.ensure(max);
+        }
+        Ok(Machine {
+            kb: self.kb,
+            store,
+            cont: Cont::push(&Rc::new(Cont::Done), goal),
+            cps: Vec::new(),
+            budget: self.budget.clone(),
+            started: false,
+            exhausted: false,
+        })
+    }
+
+    /// Advance to the next solution. Returns `Ok(false)` when no more exist.
+    pub(crate) fn next_solution(&mut self) -> EngineResult<bool> {
+        if self.exhausted {
+            return Ok(false);
+        }
+        if self.started {
+            // Re-entry: the previous solution's bindings are still in
+            // place; find another path.
+            if !self.backtrack()? {
+                return Ok(false);
+            }
+        }
+        self.started = true;
+        self.run()
+    }
+
+    fn run(&mut self) -> EngineResult<bool> {
+        loop {
+            let (goal, rest) = match &*self.cont {
+                Cont::Done => return Ok(true),
+                Cont::Goal(g, rest) => (g.clone(), Rc::clone(rest)),
+            };
+            self.cont = rest;
+            self.budget.step()?;
+            if !self.step_goal(goal)?
+                && !self.backtrack()? {
+                    return Ok(false);
+                }
+        }
+    }
+
+    /// Execute one goal. Returns `Ok(true)` to continue with the current
+    /// continuation, `Ok(false)` to fail into backtracking.
+    fn step_goal(&mut self, goal: Term) -> EngineResult<bool> {
+        let goal = self.store.deref(&goal).clone();
+        let key = match &goal {
+            Term::Var(_) => {
+                return Err(EngineError::Instantiation { context: "call" });
+            }
+            Term::Atom(s) => PredKey { name: *s, arity: 0 },
+            Term::Compound(f, args) => PredKey {
+                name: *f,
+                arity: args.len() as u16,
+            },
+            other => {
+                return Err(EngineError::NotCallable { goal: other.clone() });
+            }
+        };
+
+        // Control constructs first.
+        if let Some(done) = self.try_control(key.name, &goal)? {
+            return Ok(done);
+        }
+
+        // Builtins (arithmetic, comparison, type tests, term construction).
+        match builtins::dispatch(&mut self.store, key, goal.args())? {
+            BuiltinOutcome::Succeeded => return Ok(true),
+            BuiltinOutcome::Failed => return Ok(false),
+            BuiltinOutcome::NotABuiltin => {}
+        }
+
+        // Native predicates registered by higher layers.
+        if let Some(native) = self.kb.native(key) {
+            let native = Arc::clone(native);
+            return native(&mut self.store, goal.args());
+        }
+
+        // User predicates: clause resolution.
+        self.call_user(key, goal)
+    }
+
+    /// Handle control constructs; `None` means the goal is not a control
+    /// construct; `Some(cont?)` is the continue/fail outcome.
+    fn try_control(&mut self, name: Sym, goal: &Term) -> EngineResult<Option<bool>> {
+        let args = goal.args();
+        let out = if name == symbols::true_() && args.is_empty() {
+            Some(true)
+        } else if (name == symbols::fail() || name == Sym::new("false")) && args.is_empty() {
+            Some(false)
+        } else if name == symbols::and() && args.len() == 2 {
+            self.cont = Cont::push(&self.cont, args[1].clone());
+            self.cont = Cont::push(&self.cont, args[0].clone());
+            Some(true)
+        } else if name == symbols::or() && args.len() == 2 {
+            self.cps.push(ChoicePoint {
+                cont: Rc::clone(&self.cont),
+                mark: self.store.mark(),
+                alts: Alts::Disjunct {
+                    right: args[1].clone(),
+                },
+            });
+            self.cont = Cont::push(&self.cont, args[0].clone());
+            Some(true)
+        } else if name == symbols::not() && args.len() == 1 {
+            Some(!self.prove_sub(&args[0])?)
+        } else if name == symbols::forall() && args.len() == 2 {
+            // forall(C, T) holds iff no solution of C violates T:
+            // not((C, not(T))).
+            let counterexample = Term::and(args[0].clone(), Term::not(args[1].clone()));
+            Some(!self.prove_sub(&counterexample)?)
+        } else if name == symbols::once() && args.len() == 1 {
+            Some(self.once_sub(&args[0])?)
+        } else if name == symbols::call() && args.len() == 1 {
+            self.cont = Cont::push(&self.cont, args[0].clone());
+            Some(true)
+        } else if name == symbols::findall() && args.len() == 3 {
+            let items = self.findall_sub(&args[0], &args[1], false)?;
+            Some(self.store.unify(&Term::list(items), &args[2]))
+        } else if name == symbols::card() && args.len() == 2 {
+            // The paper's cardinality primitive (§VII.B): the number of
+            // *distinct* provable instances of the formula.
+            let items = self.findall_sub(&args[0], &args[0], true)?;
+            Some(self.store.unify(&Term::Int(items.len() as i64), &args[1]))
+        } else if name == symbols::aggregate() && args.len() == 4 {
+            Some(self.aggregate_sub(&args[0], &args[1], &args[2], &args[3])?)
+        } else if name == symbols::between() && args.len() == 3 {
+            Some(self.between(&args[0], &args[1], &args[2])?)
+        } else {
+            None
+        };
+        Ok(out)
+    }
+
+    /// NAF / forall support: is the (resolved) goal provable? Runs in a
+    /// sub-machine so no bindings escape.
+    fn prove_sub(&mut self, goal: &Term) -> EngineResult<bool> {
+        let _guard = self.budget.enter()?;
+        let resolved = resolve_deep(&self.store, goal);
+        let mut sub = self.sub_machine(resolved)?;
+        sub.next_solution()
+    }
+
+    /// `once(G)`: commit to the first solution of `G`, propagating its
+    /// bindings into the outer store by unifying `G` with the solved
+    /// instance.
+    fn once_sub(&mut self, goal: &Term) -> EngineResult<bool> {
+        let _guard = self.budget.enter()?;
+        let resolved = resolve_deep(&self.store, goal);
+        let mut sub = self.sub_machine(resolved.clone())?;
+        if sub.next_solution()? {
+            let instance = resolve_deep(&sub.store, &resolved);
+            Ok(self.store.unify(goal, &instance))
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Enumerate all solutions of `goal`, collecting the instantiated
+    /// `template` for each. With `distinct`, duplicates are dropped (the
+    /// `card` semantics).
+    fn findall_sub(
+        &mut self,
+        template: &Term,
+        goal: &Term,
+        distinct: bool,
+    ) -> EngineResult<Vec<Term>> {
+        let _guard = self.budget.enter()?;
+        // Resolve template and goal together so shared variables stay
+        // shared inside the sub-machine.
+        let pair = Term::pred("$pair", vec![template.clone(), goal.clone()]);
+        let pair = resolve_deep(&self.store, &pair);
+        let (template, goal) = (pair.args()[0].clone(), pair.args()[1].clone());
+        let mut sub = self.sub_machine(goal)?;
+        let mut out = Vec::new();
+        let mut seen = crate::hash::FxHashSet::default();
+        while sub.next_solution()? {
+            let inst = resolve_deep(&sub.store, &template);
+            if distinct {
+                // Dedup up to variable renaming: fresh sub-machine ids must
+                // not make alpha-equivalent instances look distinct.
+                if seen.insert(canonicalize_vars(&inst)) {
+                    out.push(inst);
+                }
+            } else {
+                out.push(inst);
+            }
+        }
+        Ok(out)
+    }
+
+    /// `aggregate(Op, Template, Goal, Result)` where `Op` is one of
+    /// `avg|sum|min|max|count`. `avg`, `min`, and `max` *fail* on an empty
+    /// solution set (no points → no average, matching the paper's area-
+    /// average meta-fact, which only derives a value when subarea values
+    /// exist); `sum` and `count` yield 0.
+    fn aggregate_sub(
+        &mut self,
+        op: &Term,
+        template: &Term,
+        goal: &Term,
+        result: &Term,
+    ) -> EngineResult<bool> {
+        let op = match self.store.deref(op) {
+            Term::Atom(s) => *s,
+            other => {
+                return Err(EngineError::TypeError {
+                    context: "aggregate/4",
+                    expected: "one of avg|sum|min|max|count",
+                    found: other.clone(),
+                })
+            }
+        };
+        let items = self.findall_sub(template, goal, false)?;
+        if op == symbols::count() {
+            return Ok(self
+                .store
+                .unify(&Term::Int(items.len() as i64), result));
+        }
+        let mut nums = Vec::with_capacity(items.len());
+        for item in &items {
+            match item.as_f64() {
+                Some(v) => nums.push(v),
+                None => {
+                    return Err(EngineError::TypeError {
+                        context: "aggregate/4",
+                        expected: "numeric template instances",
+                        found: item.clone(),
+                    })
+                }
+            }
+        }
+        let value = if op == symbols::sum() {
+            Some(nums.iter().sum::<f64>())
+        } else if nums.is_empty() {
+            None
+        } else if op == symbols::avg() {
+            Some(nums.iter().sum::<f64>() / nums.len() as f64)
+        } else if op == symbols::min() {
+            nums.iter().copied().reduce(f64::min)
+        } else if op == symbols::max() {
+            nums.iter().copied().reduce(f64::max)
+        } else {
+            return Err(EngineError::TypeError {
+                context: "aggregate/4",
+                expected: "one of avg|sum|min|max|count",
+                found: Term::Atom(op),
+            });
+        };
+        match value {
+            Some(v) => Ok(self.store.unify(&Term::float(v), result)),
+            None => Ok(false),
+        }
+    }
+
+    fn between(&mut self, lo: &Term, hi: &Term, x: &Term) -> EngineResult<bool> {
+        let lo = crate::arith::eval(&self.store, lo)?;
+        let hi = crate::arith::eval(&self.store, hi)?;
+        let (lo, hi) = match (lo, hi) {
+            (crate::arith::Num::Int(a), crate::arith::Num::Int(b)) => (a, b),
+            _ => {
+                return Err(EngineError::TypeError {
+                    context: "between/3",
+                    expected: "integer bounds",
+                    found: Term::atom("float"),
+                })
+            }
+        };
+        match self.store.deref(x).clone() {
+            Term::Int(v) => Ok(lo <= v && v <= hi),
+            Term::Var(_) => {
+                if lo > hi {
+                    return Ok(false);
+                }
+                if lo < hi {
+                    self.cps.push(ChoicePoint {
+                        cont: Rc::clone(&self.cont),
+                        mark: self.store.mark(),
+                        alts: Alts::Between {
+                            var: x.clone(),
+                            cur: lo + 1,
+                            hi,
+                        },
+                    });
+                }
+                Ok(self.store.unify(x, &Term::Int(lo)))
+            }
+            other => Err(EngineError::TypeError {
+                context: "between/3",
+                expected: "integer or variable",
+                found: other,
+            }),
+        }
+    }
+
+    fn call_user(&mut self, key: PredKey, goal: Term) -> EngineResult<bool> {
+        let clauses = self.kb.candidates(key, &self.store, goal.args());
+        if clauses.is_empty() {
+            if self.kb.strict() && !self.kb.defined(key) {
+                return Err(EngineError::UnknownPredicate {
+                    name: key.name,
+                    arity: key.arity as usize,
+                });
+            }
+            return Ok(false);
+        }
+        let mut alts = Alts::Clauses {
+            goal,
+            clauses,
+            next: 0,
+        };
+        let cont = Rc::clone(&self.cont);
+        let mark = self.store.mark();
+        if self.try_clause_alts(&mut alts)? {
+            // More candidates may remain; record them.
+            if let Alts::Clauses { clauses, next, .. } = &alts {
+                if *next < clauses.len() {
+                    self.cps.push(ChoicePoint { cont, mark, alts });
+                }
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Try clause candidates from the cursor until one's head unifies; on
+    /// success push its body and return true. The cursor is left at the
+    /// next untried candidate.
+    fn try_clause_alts(&mut self, alts: &mut Alts) -> EngineResult<bool> {
+        let Alts::Clauses {
+            goal,
+            clauses,
+            next,
+        } = alts
+        else {
+            unreachable!("try_clause_alts on non-clause alts");
+        };
+        while *next < clauses.len() {
+            let clause = Arc::clone(&clauses[*next]);
+            *next += 1;
+            self.budget.step()?;
+            let base = self.store.alloc_block(clause.n_vars);
+            let head = clause.head.offset_vars(base);
+            if self.store.unify(goal, &head) {
+                let body = clause.body.offset_vars(base);
+                if body != Term::Atom(symbols::true_()) {
+                    self.cont = Cont::push(&self.cont, body);
+                }
+                return Ok(true);
+            }
+            // Head mismatch: bindings already undone by unify's failure
+            // path; the allocated block is simply abandoned.
+        }
+        Ok(false)
+    }
+
+    /// Restore the most recent choice point that still has an alternative.
+    /// Returns false when none remain.
+    fn backtrack(&mut self) -> EngineResult<bool> {
+        while let Some(mut cp) = self.cps.pop() {
+            self.store.undo_to(cp.mark);
+            self.cont = Rc::clone(&cp.cont);
+            match &mut cp.alts {
+                Alts::Disjunct { right } => {
+                    self.cont = Cont::push(&self.cont, right.clone());
+                    return Ok(true);
+                }
+                Alts::Between { var, cur, hi } => {
+                    let (var, cur, hi) = (var.clone(), *cur, *hi);
+                    if cur < hi {
+                        self.cps.push(ChoicePoint {
+                            cont: Rc::clone(&cp.cont),
+                            mark: cp.mark,
+                            alts: Alts::Between {
+                                var: var.clone(),
+                                cur: cur + 1,
+                                hi,
+                            },
+                        });
+                    }
+                    if self.store.unify(&var, &Term::Int(cur)) {
+                        return Ok(true);
+                    }
+                    // Unification can only fail if `var` got bound by an
+                    // earlier goal on this path — keep backtracking.
+                }
+                Alts::Clauses { .. } => {
+                    let cont = Rc::clone(&cp.cont);
+                    let mark = cp.mark;
+                    let mut alts = cp.alts;
+                    if self.try_clause_alts(&mut alts)? {
+                        if let Alts::Clauses { clauses, next, .. } = &alts {
+                            if *next < clauses.len() {
+                                self.cps.push(ChoicePoint { cont, mark, alts });
+                            }
+                        }
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+        self.exhausted = true;
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KnowledgeBase;
+
+    fn kb_roads() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("road", vec![Term::atom("s1")]));
+        kb.assert_fact(Term::pred("road", vec![Term::atom("s2")]));
+        kb.assert_fact(Term::pred(
+            "road_intersection",
+            vec![Term::atom("s1"), Term::atom("s2")],
+        ));
+        kb
+    }
+
+    fn solve(kb: &KnowledgeBase, goal: Term) -> Vec<Solution> {
+        Solver::new(kb, Budget::default()).solve_all(goal).unwrap()
+    }
+
+    #[test]
+    fn ground_fact_query() {
+        let kb = kb_roads();
+        let s = Solver::new(&kb, Budget::default());
+        assert!(s.prove(Term::pred("road", vec![Term::atom("s1")])).unwrap());
+        assert!(!s.prove(Term::pred("road", vec![Term::atom("s9")])).unwrap());
+    }
+
+    #[test]
+    fn variable_query_enumerates() {
+        let kb = kb_roads();
+        let sols = solve(&kb, Term::pred("road", vec![Term::var(0)]));
+        let names: Vec<String> = sols
+            .iter()
+            .map(|s| s.get(Var(0)).unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["s1", "s2"]);
+    }
+
+    #[test]
+    fn conjunction_joins() {
+        let kb = kb_roads();
+        let goal = Term::and(
+            Term::pred("road", vec![Term::var(0)]),
+            Term::pred("road_intersection", vec![Term::var(0), Term::var(1)]),
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("s1"));
+        assert_eq!(sols[0].get(Var(1)).unwrap(), &Term::atom("s2"));
+    }
+
+    #[test]
+    fn disjunction_both_branches() {
+        let kb = kb_roads();
+        let goal = Term::or(
+            Term::pred("road", vec![Term::var(0)]),
+            Term::unify(Term::var(0), Term::atom("ferry")),
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols.len(), 3);
+        assert_eq!(sols[2].get(Var(0)).unwrap(), &Term::atom("ferry"));
+    }
+
+    #[test]
+    fn rules_chain() {
+        let mut kb = kb_roads();
+        // connected(X, Y) :- road_intersection(X, Y) ; road_intersection(Y, X).
+        kb.assert_clause(
+            Term::pred("connected", vec![Term::var(0), Term::var(1)]),
+            Term::or(
+                Term::pred("road_intersection", vec![Term::var(0), Term::var(1)]),
+                Term::pred("road_intersection", vec![Term::var(1), Term::var(0)]),
+            ),
+        );
+        let s = Solver::new(&kb, Budget::default());
+        assert!(s
+            .prove(Term::pred("connected", vec![Term::atom("s2"), Term::atom("s1")]))
+            .unwrap());
+    }
+
+    #[test]
+    fn naf_is_open_world_test() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("bridge", vec![Term::atom("b1")]));
+        kb.assert_fact(Term::pred("bridge", vec![Term::atom("b2")]));
+        kb.assert_fact(Term::pred("open", vec![Term::atom("b1")]));
+        // closed(X) :- bridge(X), not(open(X)).   (§III.A example)
+        kb.assert_clause(
+            Term::pred("closed", vec![Term::var(0)]),
+            Term::and(
+                Term::pred("bridge", vec![Term::var(0)]),
+                Term::not(Term::pred("open", vec![Term::var(0)])),
+            ),
+        );
+        let sols = solve(&kb, Term::pred("closed", vec![Term::var(0)]));
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("b2"));
+    }
+
+    #[test]
+    fn forall_all_bridges_open() {
+        let mut kb = KnowledgeBase::new();
+        for (b, r) in [("b1", "r1"), ("b2", "r1"), ("b3", "r2")] {
+            kb.assert_fact(Term::pred("bridge_on", vec![Term::atom(b), Term::atom(r)]));
+        }
+        kb.assert_fact(Term::pred("open", vec![Term::atom("b1")]));
+        kb.assert_fact(Term::pred("open", vec![Term::atom("b2")]));
+        kb.assert_fact(Term::pred("road", vec![Term::atom("r1")]));
+        kb.assert_fact(Term::pred("road", vec![Term::atom("r2")]));
+        // open_road(X) :- road(X), forall(bridge_on(Y, X), open(Y)).  (§III.A)
+        kb.assert_clause(
+            Term::pred("open_road", vec![Term::var(0)]),
+            Term::and(
+                Term::pred("road", vec![Term::var(0)]),
+                Term::forall(
+                    Term::pred("bridge_on", vec![Term::var(1), Term::var(0)]),
+                    Term::pred("open", vec![Term::var(1)]),
+                ),
+            ),
+        );
+        let sols = solve(&kb, Term::pred("open_road", vec![Term::var(0)]));
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("r1"));
+    }
+
+    #[test]
+    fn findall_collects_in_order() {
+        let kb = kb_roads();
+        let goal = Term::pred(
+            "findall",
+            vec![
+                Term::var(0),
+                Term::pred("road", vec![Term::var(0)]),
+                Term::var(1),
+            ],
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(1)).unwrap().to_string(), "[s1, s2]");
+    }
+
+    #[test]
+    fn findall_on_no_solutions_gives_nil() {
+        let kb = KnowledgeBase::new();
+        let goal = Term::pred(
+            "findall",
+            vec![
+                Term::var(0),
+                Term::pred("unicorn", vec![Term::var(0)]),
+                Term::var(1),
+            ],
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols[0].get(Var(1)).unwrap(), &Term::nil());
+    }
+
+    #[test]
+    fn card_counts_distinct_instances() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("color", vec![Term::atom("p1"), Term::atom("white")]));
+        kb.assert_fact(Term::pred("color", vec![Term::atom("p2"), Term::atom("white")]));
+        kb.assert_fact(Term::pred("color", vec![Term::atom("p2"), Term::atom("white")])); // duplicate
+        let goal = Term::pred(
+            "card",
+            vec![
+                Term::pred("color", vec![Term::var(0), Term::atom("white")]),
+                Term::var(1),
+            ],
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols[0].get(Var(1)).unwrap(), &Term::Int(2));
+    }
+
+    #[test]
+    fn card_dedups_alpha_equivalent_instances() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("p", vec![Term::atom("a")]));
+        // Two identical rules: q(X, Y) :- p(X).  Y stays unbound, with a
+        // different fresh id per derivation.
+        for _ in 0..2 {
+            kb.assert_clause(
+                Term::pred("q", vec![Term::var(0), Term::var(1)]),
+                Term::pred("p", vec![Term::var(0)]),
+            );
+        }
+        let goal = Term::pred(
+            "card",
+            vec![
+                Term::pred("q", vec![Term::var(0), Term::var(1)]),
+                Term::var(2),
+            ],
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols[0].get(Var(2)).unwrap(), &Term::Int(1));
+    }
+
+    #[test]
+    fn aggregate_avg_sum_min_max() {
+        let mut kb = KnowledgeBase::new();
+        for (p, v) in [("a", 10.0), ("b", 20.0), ("c", 60.0)] {
+            kb.assert_fact(Term::pred("elev", vec![Term::atom(p), Term::float(v)]));
+        }
+        let agg = |op: &str| {
+            Term::pred(
+                "aggregate",
+                vec![
+                    Term::atom(op),
+                    Term::var(0),
+                    Term::pred("elev", vec![Term::var(1), Term::var(0)]),
+                    Term::var(2),
+                ],
+            )
+        };
+        let get = |op: &str| {
+            let sols = solve(&kb, agg(op));
+            sols[0].get(Var(2)).unwrap().as_f64().unwrap()
+        };
+        assert_eq!(get("avg"), 30.0);
+        assert_eq!(get("sum"), 90.0);
+        assert_eq!(get("min"), 10.0);
+        assert_eq!(get("max"), 60.0);
+    }
+
+    #[test]
+    fn aggregate_avg_of_empty_fails() {
+        let kb = KnowledgeBase::new();
+        let goal = Term::pred(
+            "aggregate",
+            vec![
+                Term::atom("avg"),
+                Term::var(0),
+                Term::pred("no_such", vec![Term::var(0)]),
+                Term::var(1),
+            ],
+        );
+        assert!(solve(&kb, goal).is_empty());
+    }
+
+    #[test]
+    fn between_enumerates_and_tests() {
+        let kb = KnowledgeBase::new();
+        let goal = Term::pred("between", vec![Term::int(1), Term::int(4), Term::var(0)]);
+        let sols = solve(&kb, goal);
+        let vals: Vec<i64> = sols
+            .iter()
+            .map(|s| s.get(Var(0)).unwrap().as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![1, 2, 3, 4]);
+        let s = Solver::new(&kb, Budget::default());
+        assert!(s
+            .prove(Term::pred("between", vec![Term::int(1), Term::int(4), Term::int(3)]))
+            .unwrap());
+        assert!(!s
+            .prove(Term::pred("between", vec![Term::int(1), Term::int(4), Term::int(9)]))
+            .unwrap());
+    }
+
+    #[test]
+    fn once_commits_to_first() {
+        let kb = kb_roads();
+        let goal = Term::pred("once", vec![Term::pred("road", vec![Term::var(0)])]);
+        let sols = solve(&kb, goal);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("s1"));
+    }
+
+    #[test]
+    fn recursion_terminates_with_base_case() {
+        let mut kb = KnowledgeBase::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            kb.assert_fact(Term::pred("edge", vec![Term::atom(a), Term::atom(b)]));
+        }
+        kb.assert_clause(
+            Term::pred("path", vec![Term::var(0), Term::var(1)]),
+            Term::pred("edge", vec![Term::var(0), Term::var(1)]),
+        );
+        kb.assert_clause(
+            Term::pred("path", vec![Term::var(0), Term::var(1)]),
+            Term::and(
+                Term::pred("edge", vec![Term::var(0), Term::var(2)]),
+                Term::pred("path", vec![Term::var(2), Term::var(1)]),
+            ),
+        );
+        let s = Solver::new(&kb, Budget::default());
+        assert!(s
+            .prove(Term::pred("path", vec![Term::atom("a"), Term::atom("d")]))
+            .unwrap());
+        let sols = solve(&kb, Term::pred("path", vec![Term::atom("a"), Term::var(0)]));
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn infinite_recursion_hits_step_limit() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(Term::atom("loop"), Term::atom("loop"));
+        let s = Solver::new(&kb, Budget::new(10_000, 16));
+        assert!(matches!(
+            s.prove(Term::atom("loop")),
+            Err(EngineError::StepLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_predicate_fails_open_world() {
+        let kb = KnowledgeBase::new();
+        let s = Solver::new(&kb, Budget::default());
+        assert!(!s.prove(Term::atom("never_defined")).unwrap());
+    }
+
+    #[test]
+    fn unknown_predicate_errors_in_strict_mode() {
+        let mut kb = KnowledgeBase::new();
+        kb.set_strict(true);
+        let s = Solver::new(&kb, Budget::default());
+        assert!(matches!(
+            s.prove(Term::atom("never_defined")),
+            Err(EngineError::UnknownPredicate { .. })
+        ));
+    }
+
+    #[test]
+    fn native_predicates_run() {
+        let mut kb = KnowledgeBase::new();
+        kb.register_native("double", 2, |store, args| {
+            let x = crate::arith::eval(store, &args[0])?;
+            let doubled = Term::float(x.as_f64() * 2.0);
+            Ok(store.unify(&doubled, &args[1]))
+        });
+        let sols = solve(
+            &kb,
+            Term::pred("double", vec![Term::int(21), Term::var(0)]),
+        );
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap().as_f64(), Some(42.0));
+    }
+
+    #[test]
+    fn iter_streams_lazily_and_matches_solve_all() {
+        let kb = kb_roads();
+        let solver = Solver::new(&kb, Budget::default());
+        let goal = Term::pred("road", vec![Term::var(0)]);
+        let streamed: Vec<Solution> = solver
+            .iter(goal.clone())
+            .unwrap()
+            .collect::<EngineResult<Vec<_>>>()
+            .unwrap();
+        let collected = solver.solve_all(goal.clone()).unwrap();
+        assert_eq!(streamed, collected);
+        // Taking one answer does not force the rest.
+        let first = solver.iter(goal).unwrap().next().unwrap().unwrap();
+        assert_eq!(first.get(Var(0)).unwrap(), &Term::atom("s1"));
+    }
+
+    #[test]
+    fn iter_surfaces_errors() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(Term::atom("loop"), Term::atom("loop"));
+        let solver = Solver::new(&kb, Budget::new(1_000, 8));
+        let mut it = solver.iter(Term::atom("loop")).unwrap();
+        assert!(matches!(it.next(), Some(Err(EngineError::StepLimit { .. }))));
+    }
+
+    #[test]
+    fn solution_order_follows_clause_order() {
+        let mut kb = KnowledgeBase::new();
+        for name in ["first", "second", "third"] {
+            kb.assert_fact(Term::pred("item", vec![Term::atom(name)]));
+        }
+        let sols = solve(&kb, Term::pred("item", vec![Term::var(0)]));
+        let names: Vec<String> = sols
+            .iter()
+            .map(|s| s.get(Var(0)).unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn nested_naf() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::atom("p"));
+        let s = Solver::new(&kb, Budget::default());
+        // not(not(p)) should hold.
+        assert!(s.prove(Term::not(Term::not(Term::atom("p")))).unwrap());
+        assert!(!s.prove(Term::not(Term::atom("p"))).unwrap());
+        assert!(!s.prove(Term::not(Term::not(Term::atom("q")))).unwrap());
+    }
+
+    #[test]
+    fn naf_does_not_leak_bindings() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("p", vec![Term::atom("a")]));
+        // Goal: not(p(X)), X = b  — not(p(X)) fails (p(a) provable), so
+        // the whole conjunction fails; but crucially X must not come out
+        // bound to `a` on any path.
+        let goal = Term::and(
+            Term::not(Term::pred("p", vec![Term::var(0)])),
+            Term::unify(Term::var(0), Term::atom("b")),
+        );
+        assert!(solve(&kb, goal).is_empty());
+    }
+}

@@ -1,0 +1,297 @@
+//! Bindings, trail, and unification.
+//!
+//! The [`BindStore`] maps variable indices to optional terms and records
+//! every binding on a trail so backtracking can undo exactly the bindings
+//! made since a choice point. Unification is iterative (explicit work
+//! stack) so adversarially deep terms cannot overflow the host stack.
+
+use crate::term::{Term, Var};
+
+/// Variable bindings plus the undo trail.
+#[derive(Debug, Default)]
+pub struct BindStore {
+    slots: Vec<Option<Term>>,
+    trail: Vec<Var>,
+    /// When true, unification performs the occurs check, rejecting cyclic
+    /// bindings like `X = f(X)`. Off by default (like Prolog) because the
+    /// formalism's range-restricted rules never create cycles; switchable
+    /// for property tests and debugging.
+    pub occurs_check: bool,
+}
+
+/// A point on the trail to undo back to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrailMark(usize);
+
+impl BindStore {
+    /// Empty store.
+    pub fn new() -> BindStore {
+        BindStore::default()
+    }
+
+    /// Number of allocated variable slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when no variable slot has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Allocate `n` fresh unbound variables, returning the index of the
+    /// first. Used to rename a stored clause (variables `0..n`) apart.
+    pub fn alloc_block(&mut self, n: u32) -> u32 {
+        let base = self.slots.len() as u32;
+        self.slots
+            .extend(std::iter::repeat_with(|| None).take(n as usize));
+        base
+    }
+
+    /// Ensure slots exist for every variable index `<= max`.
+    pub fn ensure(&mut self, max: u32) {
+        if (max as usize) >= self.slots.len() {
+            self.slots.resize((max + 1) as usize, None);
+        }
+    }
+
+    /// Current trail position.
+    pub fn mark(&self) -> TrailMark {
+        TrailMark(self.trail.len())
+    }
+
+    /// Undo all bindings made since `mark`.
+    pub fn undo_to(&mut self, mark: TrailMark) {
+        while self.trail.len() > mark.0 {
+            let v = self.trail.pop().expect("trail underflow");
+            self.slots[v.0 as usize] = None;
+        }
+    }
+
+    /// Bind `v` (which must be unbound) to `t`, recording it on the trail.
+    fn bind(&mut self, v: Var, t: Term) {
+        debug_assert!(self.slots[v.0 as usize].is_none(), "rebinding bound var");
+        self.slots[v.0 as usize] = Some(t);
+        self.trail.push(v);
+    }
+
+    /// Follow the binding chain of `t` until an unbound variable or a
+    /// non-variable term is reached. Does not descend into compounds.
+    pub fn deref<'a>(&'a self, t: &'a Term) -> &'a Term {
+        let mut cur = t;
+        loop {
+            match cur {
+                Term::Var(v) => match &self.slots.get(v.0 as usize) {
+                    Some(Some(next)) => cur = next,
+                    _ => return cur,
+                },
+                _ => return cur,
+            }
+        }
+    }
+
+    /// Does `v` occur in (the dereferenced expansion of) `t`?
+    fn occurs(&self, v: Var, t: &Term) -> bool {
+        let mut stack = vec![t];
+        while let Some(t) = stack.pop() {
+            match self.deref(t) {
+                Term::Var(w)
+                    if *w == v => {
+                        return true;
+                    }
+                Term::Compound(_, args) => stack.extend(args.iter()),
+                _ => {}
+            }
+        }
+        false
+    }
+
+    /// Unify `a` and `b` under the current bindings.
+    ///
+    /// On success the new bindings stay in place (trailed); on failure every
+    /// binding made during the attempt is undone, so a failed head match
+    /// leaves the store exactly as it was.
+    pub fn unify(&mut self, a: &Term, b: &Term) -> bool {
+        let mark = self.mark();
+        if self.unify_inner(a, b) {
+            true
+        } else {
+            self.undo_to(mark);
+            false
+        }
+    }
+
+    fn unify_inner(&mut self, a: &Term, b: &Term) -> bool {
+        // Explicit work stack of pairs still to unify.
+        let mut work: Vec<(Term, Term)> = vec![(a.clone(), b.clone())];
+        while let Some((x, y)) = work.pop() {
+            let x = self.deref(&x).clone();
+            let y = self.deref(&y).clone();
+            match (x, y) {
+                (Term::Var(v), Term::Var(w)) if v == w => {}
+                (Term::Var(v), t) | (t, Term::Var(v)) => {
+                    if self.occurs_check && self.occurs(v, &t) {
+                        return false;
+                    }
+                    self.ensure(v.0);
+                    self.bind(v, t);
+                }
+                (Term::Atom(p), Term::Atom(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Term::Int(p), Term::Int(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Term::Float(p), Term::Float(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Term::Str(p), Term::Str(q)) => {
+                    if p != q {
+                        return false;
+                    }
+                }
+                (Term::Compound(f, xs), Term::Compound(g, ys)) => {
+                    if f != g || xs.len() != ys.len() {
+                        return false;
+                    }
+                    for (xi, yi) in xs.iter().zip(ys.iter()) {
+                        work.push((xi.clone(), yi.clone()));
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Resolve only the top level of `t`: follow variable chains but leave
+/// compound arguments untouched.
+pub fn resolve_shallow(store: &BindStore, t: &Term) -> Term {
+    store.deref(t).clone()
+}
+
+/// Fully substitute current bindings into `t`, producing a term in which
+/// every bound variable has been replaced by its (recursively resolved)
+/// value. Unbound variables remain as variables.
+pub fn resolve_deep(store: &BindStore, t: &Term) -> Term {
+    match store.deref(t) {
+        Term::Compound(f, args) => {
+            let resolved: Vec<Term> = args.iter().map(|a| resolve_deep(store, a)).collect();
+            Term::Compound(*f, resolved.into())
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> BindStore {
+        let mut s = BindStore::new();
+        s.ensure(31);
+        s
+    }
+
+    #[test]
+    fn unify_atoms() {
+        let mut s = store();
+        assert!(s.unify(&Term::atom("a"), &Term::atom("a")));
+        assert!(!s.unify(&Term::atom("a"), &Term::atom("b")));
+    }
+
+    #[test]
+    fn unify_var_binds() {
+        let mut s = store();
+        assert!(s.unify(&Term::var(0), &Term::atom("st_louis")));
+        assert_eq!(resolve_deep(&s, &Term::var(0)), Term::atom("st_louis"));
+    }
+
+    #[test]
+    fn unify_compound_recurses() {
+        let mut s = store();
+        let a = Term::pred("cap", vec![Term::var(0), Term::atom("mo")]);
+        let b = Term::pred("cap", vec![Term::atom("jc"), Term::var(1)]);
+        assert!(s.unify(&a, &b));
+        assert_eq!(resolve_deep(&s, &Term::var(0)), Term::atom("jc"));
+        assert_eq!(resolve_deep(&s, &Term::var(1)), Term::atom("mo"));
+    }
+
+    #[test]
+    fn failed_unify_undoes_partial_bindings() {
+        let mut s = store();
+        let a = Term::pred("f", vec![Term::var(0), Term::atom("x")]);
+        let b = Term::pred("f", vec![Term::atom("v"), Term::atom("y")]);
+        assert!(!s.unify(&a, &b));
+        // Var 0 must have been unbound again.
+        assert_eq!(resolve_deep(&s, &Term::var(0)), Term::var(0));
+    }
+
+    #[test]
+    fn var_var_aliasing() {
+        let mut s = store();
+        assert!(s.unify(&Term::var(0), &Term::var(1)));
+        assert!(s.unify(&Term::var(1), &Term::int(7)));
+        assert_eq!(resolve_deep(&s, &Term::var(0)), Term::int(7));
+    }
+
+    #[test]
+    fn trail_undo_restores() {
+        let mut s = store();
+        assert!(s.unify(&Term::var(0), &Term::atom("a")));
+        let mark = s.mark();
+        assert!(s.unify(&Term::var(1), &Term::atom("b")));
+        s.undo_to(mark);
+        assert_eq!(resolve_deep(&s, &Term::var(1)), Term::var(1));
+        assert_eq!(resolve_deep(&s, &Term::var(0)), Term::atom("a"));
+    }
+
+    #[test]
+    fn occurs_check_rejects_cycle() {
+        let mut s = store();
+        s.occurs_check = true;
+        let fx = Term::pred("f", vec![Term::var(0)]);
+        assert!(!s.unify(&Term::var(0), &fx));
+        // Without occurs check the same unification is accepted (Prolog
+        // behaviour); we don't resolve_deep it (that would loop), just
+        // verify acceptance.
+        let mut s2 = store();
+        assert!(s2.unify(&Term::var(0), &fx));
+    }
+
+    #[test]
+    fn deep_terms_do_not_overflow() {
+        // 100k-deep nesting; a recursive unifier would blow the stack.
+        // Rust's *Drop* of such a term is also recursive, so give this
+        // test (including the drop at the end) a generous stack — the
+        // point here is that unification itself is iterative.
+        std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(|| {
+                let mut deep1 = Term::atom("leaf");
+                let mut deep2 = Term::atom("leaf");
+                for _ in 0..100_000 {
+                    deep1 = Term::pred("n", vec![deep1]);
+                    deep2 = Term::pred("n", vec![deep2]);
+                }
+                let mut s = store();
+                assert!(s.unify(&deep1, &deep2));
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn ints_and_floats_do_not_unify() {
+        let mut s = store();
+        assert!(!s.unify(&Term::int(1), &Term::float(1.0)));
+    }
+}

@@ -1,0 +1,155 @@
+//! Fuzzy truth values and the min–max rule (§VII.A).
+//!
+//! "Fuzzy logic allows the truth value of a formula to take any value in
+//! the closed interval [0,1]." The table below is the paper's, implemented
+//! verbatim:
+//!
+//! | formula | truth |
+//! |---|---|
+//! | `¬F1` | `1 − TRUTH(F1)` |
+//! | `F1 ∧ F2` | `min` |
+//! | `F1 ∨ F2` | `max` |
+//! | `∀X: F1(X)` | `inf` over the domain |
+//! | `∃X: F1(X)` | `sup` over the domain |
+
+use std::fmt;
+
+/// A truth/accuracy value in the closed interval `[0, 1]`.
+///
+/// "Zero is interpreted as absolutely false, one is interpreted as
+/// absolutely true, and the values in between correspond to degrees of
+/// truth" (§VII.B).
+#[derive(Clone, Copy, PartialEq, PartialOrd)]
+pub struct Truth(f64);
+
+impl Truth {
+    /// Absolutely true.
+    pub const TRUE: Truth = Truth(1.0);
+    /// Absolutely false.
+    pub const FALSE: Truth = Truth(0.0);
+
+    /// Construct, returning `None` outside `[0, 1]` or for NaN.
+    pub fn new(v: f64) -> Option<Truth> {
+        if (0.0..=1.0).contains(&v) {
+            Some(Truth(v))
+        } else {
+            None
+        }
+    }
+
+    /// Construct, clamping into `[0, 1]`. Panics on NaN.
+    pub fn clamped(v: f64) -> Truth {
+        assert!(!v.is_nan(), "NaN is not a truth value");
+        Truth(v.clamp(0.0, 1.0))
+    }
+
+    /// The wrapped value.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Min–max negation `1 − t`.
+    #[allow(clippy::should_implement_trait)] // fuzzy negation, the paper's name
+    pub fn not(self) -> Truth {
+        Truth(1.0 - self.0)
+    }
+
+    /// Min–max conjunction.
+    pub fn and(self, other: Truth) -> Truth {
+        Truth(self.0.min(other.0))
+    }
+
+    /// Min–max disjunction.
+    pub fn or(self, other: Truth) -> Truth {
+        Truth(self.0.max(other.0))
+    }
+
+    /// `inf` over an iterator — the universal quantifier. Empty domains
+    /// yield `TRUE` (vacuous truth).
+    pub fn forall(values: impl IntoIterator<Item = Truth>) -> Truth {
+        values
+            .into_iter()
+            .fold(Truth::TRUE, |acc, t| acc.and(t))
+    }
+
+    /// `sup` over an iterator — the existential quantifier. Empty domains
+    /// yield `FALSE`.
+    pub fn exists(values: impl IntoIterator<Item = Truth>) -> Truth {
+        values
+            .into_iter()
+            .fold(Truth::FALSE, |acc, t| acc.or(t))
+    }
+
+    /// Is this one of the two classical values?
+    pub fn is_crisp(self) -> bool {
+        self.0 == 0.0 || self.0 == 1.0
+    }
+}
+
+impl fmt::Debug for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_bounds() {
+        assert!(Truth::new(0.5).is_some());
+        assert!(Truth::new(-0.1).is_none());
+        assert!(Truth::new(1.1).is_none());
+        assert!(Truth::new(f64::NAN).is_none());
+        assert_eq!(Truth::clamped(2.0).get(), 1.0);
+    }
+
+    #[test]
+    fn papers_flooded_frozen_example() {
+        // §VII.A: flooded(plain)=0.45, frozen(plain)=0.65 → conjunction 0.45.
+        let flooded = Truth::new(0.45).unwrap();
+        let frozen = Truth::new(0.65).unwrap();
+        assert_eq!(flooded.and(frozen).get(), 0.45);
+        // flooded=false, frozen=true → conjunction 0.00.
+        assert_eq!(Truth::FALSE.and(Truth::TRUE).get(), 0.0);
+    }
+
+    #[test]
+    fn min_max_laws() {
+        let a = Truth::new(0.3).unwrap();
+        let b = Truth::new(0.7).unwrap();
+        let approx = |x: Truth, y: f64| (x.get() - y).abs() < 1e-12;
+        assert!(approx(a.or(b), 0.7));
+        assert!(approx(a.not(), 0.7));
+        assert!(approx(a.not().not(), a.get()));
+        // De Morgan under min–max.
+        assert!(approx(a.and(b).not(), a.not().or(b.not()).get()));
+    }
+
+    #[test]
+    fn quantifiers() {
+        let vs = [0.9, 0.4, 0.6].map(|v| Truth::new(v).unwrap());
+        assert_eq!(Truth::forall(vs).get(), 0.4);
+        assert_eq!(Truth::exists(vs).get(), 0.9);
+        assert_eq!(Truth::forall([]).get(), 1.0);
+        assert_eq!(Truth::exists([]).get(), 0.0);
+    }
+
+    #[test]
+    fn two_valued_compatibility() {
+        // "Two-valued logic may be seen as a special case of fuzzy logic."
+        for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            let (ta, tb) = (Truth::clamped(a), Truth::clamped(b));
+            assert_eq!(ta.and(tb).get(), if a == 1.0 && b == 1.0 { 1.0 } else { 0.0 });
+            assert_eq!(ta.or(tb).get(), if a == 1.0 || b == 1.0 { 1.0 } else { 0.0 });
+            assert!(ta.and(tb).is_crisp());
+        }
+    }
+}

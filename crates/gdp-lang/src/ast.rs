@@ -1,0 +1,103 @@
+//! Parsed statements.
+//!
+//! The AST reuses `gdp-core`'s pattern/formula types directly — the
+//! language is a concrete syntax for exactly those structures, nothing
+//! more.
+
+use gdp_core::{Constraint, DomainDef, FactPat, Formula, Pat, Rule, Sort};
+
+/// One parsed statement.
+#[derive(Clone, Debug)]
+pub enum Statement {
+    /// `#domain name float(lo, hi).` and friends (§III.B).
+    Domain {
+        /// Domain name.
+        name: String,
+        /// Membership definition.
+        def: DomainDef,
+    },
+    /// `#predicate name(sort, …).` (§III.C many-sorted declarations).
+    Predicate {
+        /// Predicate name.
+        name: String,
+        /// Argument sorts.
+        sorts: Vec<Sort>,
+    },
+    /// `#model name.` (§III.D).
+    Model(String),
+    /// `#object name.` (§II.A).
+    Object(String),
+    /// `#world_view { m1, m2 }.` (§III.E).
+    WorldView(Vec<String>),
+    /// `#meta_view { mm1, mm2 }.` (§IV.D).
+    MetaView(Vec<String>),
+    /// `#activate name.` — activate one meta-model.
+    Activate(String),
+    /// `#deactivate name.`
+    Deactivate(String),
+    /// `#grid name square(x0, y0, cell, nx, ny).` — register a resolution
+    /// function (§V.B).
+    Grid {
+        /// Grid name.
+        name: String,
+        /// Extent origin x.
+        x0: f64,
+        /// Extent origin y.
+        y0: f64,
+        /// Square cell size.
+        cell: f64,
+        /// Cells along x.
+        nx: u32,
+        /// Cells along y.
+        ny: u32,
+    },
+    /// `#now t.` — set the present moment (§VI.B).
+    Now(f64),
+    /// `#retract fact.` — withdraw a previously asserted basic fact.
+    Retract(FactPat),
+    /// A basic fact (§II.B), possibly qualified.
+    Fact(FactPat),
+    /// `%a fact.` — an accuracy-qualified basic fact (§VII.B).
+    FuzzyFact(FactPat, f64),
+    /// A virtual-fact definition (§III.A).
+    Rule(Rule),
+    /// `%A head :- body.` — a definition with an accuracy-qualified
+    /// conclusion (§VII.B).
+    FuzzyRule {
+        /// Conclusion.
+        head: FactPat,
+        /// Accuracy pattern (must be bound by the body).
+        accuracy: Pat,
+        /// Defining formula.
+        body: Formula,
+    },
+    /// `constraint type(witnesses) :- body.` (§III.C).
+    Constraint(Constraint),
+    /// `?- formula.` — a query, returned to the caller rather than stored.
+    Query(Formula),
+}
+
+impl Statement {
+    /// Short tag for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Statement::Domain { .. } => "domain",
+            Statement::Predicate { .. } => "predicate",
+            Statement::Model(_) => "model",
+            Statement::Object(_) => "object",
+            Statement::WorldView(_) => "world_view",
+            Statement::MetaView(_) => "meta_view",
+            Statement::Activate(_) => "activate",
+            Statement::Deactivate(_) => "deactivate",
+            Statement::Grid { .. } => "grid",
+            Statement::Now(_) => "now",
+            Statement::Retract(_) => "retract",
+            Statement::Fact(_) => "fact",
+            Statement::FuzzyFact(..) => "fuzzy_fact",
+            Statement::Rule(_) => "rule",
+            Statement::FuzzyRule { .. } => "fuzzy_rule",
+            Statement::Constraint(_) => "constraint",
+            Statement::Query(_) => "query",
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Language-layer errors.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// `Result` specialized to [`LangError`].
+pub type LangResult<T> = Result<T, LangError>;
+
+/// Errors from lexing, parsing, or loading a specification source.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LangError {
+    /// Tokenization failed.
+    Lex {
+        /// Where.
+        pos: Pos,
+        /// Why.
+        message: String,
+    },
+    /// Parsing failed.
+    Parse {
+        /// Where.
+        pos: Pos,
+        /// Why.
+        message: String,
+    },
+    /// A parsed statement was rejected by the specification layer.
+    Load {
+        /// Statement index (0-based) within the source.
+        statement: usize,
+        /// The underlying specification error.
+        error: gdp_core::SpecError,
+    },
+    /// A directive referenced something the loader cannot provide (e.g. a
+    /// `#grid` directive without a spatial registry attached).
+    Unsupported {
+        /// Where.
+        pos: Pos,
+        /// Why.
+        message: String,
+    },
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
+            LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
+            LangError::Load { statement, error } => {
+                write!(f, "load error in statement {}: {error}", statement + 1)
+            }
+            LangError::Unsupported { pos, message } => {
+                write!(f, "unsupported at {pos}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_positions() {
+        let e = LangError::Parse {
+            pos: Pos { line: 3, col: 7 },
+            message: "expected `.`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 3:7: expected `.`");
+    }
+}

@@ -1,0 +1,316 @@
+//! Loading parsed statements into a specification.
+
+use gdp_core::{Answer, Formula, Specification};
+use gdp_spatial::{GridResolution, SpatialRegistry};
+
+use crate::ast::Statement;
+use crate::error::{LangError, LangResult};
+use crate::parser::parse_program;
+use crate::token::Pos;
+
+/// What a load produced.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoadSummary {
+    /// Basic facts asserted (crisp + fuzzy).
+    pub facts: usize,
+    /// Virtual-fact definitions installed (crisp + fuzzy).
+    pub rules: usize,
+    /// Constraints installed.
+    pub constraints: usize,
+    /// Directives executed.
+    pub directives: usize,
+    /// Results of each `?-` query, in source order.
+    pub query_results: Vec<Vec<Answer>>,
+}
+
+/// Loads source text into a [`Specification`], optionally with a
+/// [`SpatialRegistry`] for `#grid` directives.
+pub struct Loader<'a> {
+    spec: &'a mut Specification,
+    spatial: Option<&'a SpatialRegistry>,
+}
+
+impl<'a> Loader<'a> {
+    /// A loader without spatial support (`#grid` directives error).
+    pub fn new(spec: &'a mut Specification) -> Loader<'a> {
+        Loader {
+            spec,
+            spatial: None,
+        }
+    }
+
+    /// A loader that can register grids.
+    pub fn with_spatial(
+        spec: &'a mut Specification,
+        spatial: &'a SpatialRegistry,
+    ) -> Loader<'a> {
+        Loader {
+            spec,
+            spatial: Some(spatial),
+        }
+    }
+
+    /// Parse and execute `src`.
+    pub fn load_str(&mut self, src: &str) -> LangResult<LoadSummary> {
+        let statements = parse_program(src)?;
+        let mut summary = LoadSummary::default();
+        for (idx, stmt) in statements.into_iter().enumerate() {
+            self.apply(idx, stmt, &mut summary)?;
+        }
+        Ok(summary)
+    }
+
+    fn apply(
+        &mut self,
+        idx: usize,
+        stmt: Statement,
+        summary: &mut LoadSummary,
+    ) -> LangResult<()> {
+        let load_err = |error| LangError::Load {
+            statement: idx,
+            error,
+        };
+        match stmt {
+            Statement::Domain { name, def } => {
+                self.spec.declare_domain(&name, def).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Predicate { name, sorts } => {
+                self.spec.declare_predicate(&name, sorts).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Model(m) => {
+                self.spec.declare_model(&m);
+                summary.directives += 1;
+            }
+            Statement::Object(o) => {
+                self.spec.declare_object(&o);
+                summary.directives += 1;
+            }
+            Statement::WorldView(models) => {
+                let refs: Vec<&str> = models.iter().map(String::as_str).collect();
+                self.spec.set_world_view(&refs).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::MetaView(metas) => {
+                let refs: Vec<&str> = metas.iter().map(String::as_str).collect();
+                self.spec.set_meta_view(&refs).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Activate(m) => {
+                self.spec.activate_meta_model(&m).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Deactivate(m) => {
+                self.spec.deactivate_meta_model(&m).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Grid {
+                name,
+                x0,
+                y0,
+                cell,
+                nx,
+                ny,
+            } => {
+                let Some(spatial) = self.spatial else {
+                    return Err(LangError::Unsupported {
+                        pos: Pos { line: 0, col: 0 },
+                        message: format!(
+                            "#grid {name}: no spatial registry attached to this loader"
+                        ),
+                    });
+                };
+                spatial
+                    .add_grid(self.spec, &name, GridResolution::square(x0, y0, cell, nx, ny))
+                    .map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Now(t) => {
+                self.spec.set_now(t);
+                summary.directives += 1;
+            }
+            Statement::Retract(f) => {
+                self.spec.retract_fact(f).map_err(load_err)?;
+                summary.directives += 1;
+            }
+            Statement::Fact(f) => {
+                self.spec.assert_fact(f).map_err(load_err)?;
+                summary.facts += 1;
+            }
+            Statement::FuzzyFact(f, a) => {
+                self.spec.assert_fuzzy_fact(f, a).map_err(load_err)?;
+                summary.facts += 1;
+            }
+            Statement::Rule(r) => {
+                self.spec.define(r).map_err(load_err)?;
+                summary.rules += 1;
+            }
+            Statement::FuzzyRule {
+                head,
+                accuracy,
+                body,
+            } => {
+                gdp_fuzzy::define_fuzzy(self.spec, head, accuracy, body).map_err(load_err)?;
+                summary.rules += 1;
+            }
+            Statement::Constraint(c) => {
+                self.spec.constrain(c).map_err(load_err)?;
+                summary.constraints += 1;
+            }
+            Statement::Query(f) => {
+                let answers = self.spec.satisfy(&f).map_err(load_err)?;
+                summary.query_results.push(answers);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One-shot convenience: load `src` into `spec`.
+pub fn load(spec: &mut Specification, src: &str) -> LangResult<LoadSummary> {
+    Loader::new(spec).load_str(src)
+}
+
+/// One-shot convenience: evaluate a query string against `spec`.
+pub fn query(spec: &Specification, src: &str) -> LangResult<Vec<Answer>> {
+    let f: Formula = crate::parser::parse_formula(src)?;
+    spec.satisfy(&f).map_err(|error| LangError::Load {
+        statement: 0,
+        error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_engine::Term;
+
+    #[test]
+    fn loads_the_papers_bridge_world() {
+        let mut spec = Specification::new();
+        let summary = load(
+            &mut spec,
+            r#"
+            // §II.B basic facts
+            road(s1). road(s2).
+            road_intersection(s1, s2).
+            bridge(b1, s1). bridge(b2, s1). bridge(b3, s2).
+            open(b1). open(b2).
+
+            // §III.A virtual facts
+            open_road(X) :- road(X), forall(bridge(Y, X), open(Y)).
+            closed(X) :- bridge(X, R), not(open(X)).
+            known_status(X) :- bridge(X, R), (open(X) ; closed(X)).
+
+            ?- open_road(X).
+            ?- closed(B).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(summary.facts, 8);
+        assert_eq!(summary.rules, 3);
+        assert_eq!(summary.query_results.len(), 2);
+        let open_roads = &summary.query_results[0];
+        assert_eq!(open_roads.len(), 1);
+        assert_eq!(open_roads[0].get("X").unwrap(), &Term::atom("s1"));
+        let closed = &summary.query_results[1];
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].get("B").unwrap(), &Term::atom("b3"));
+    }
+
+    #[test]
+    fn load_errors_carry_statement_index() {
+        let mut spec = Specification::new();
+        // Statement 2 (0-based index 1) is unsafe: head var unbound.
+        let err = load(&mut spec, "p(a).\nghost(Z) :- p(X).").unwrap_err();
+        match err {
+            LangError::Load { statement, .. } => assert_eq!(statement, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_without_registry_is_unsupported() {
+        let mut spec = Specification::new();
+        let err = load(&mut spec, "#grid r1 square(0, 0, 10, 4, 4).").unwrap_err();
+        assert!(matches!(err, LangError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn grid_with_registry_registers() {
+        let mut spec = Specification::new();
+        let reg = gdp_spatial::install_default(&mut spec).unwrap();
+        let src = r#"
+            #grid r1 square(0, 0, 10, 4, 4).
+            @u[r1] pt(5.0, 5.0) zone(wetland).
+            ?- @ pt(3.0, 3.0) zone(wetland).
+        "#;
+        let summary = Loader::with_spatial(&mut spec, &reg).load_str(src).unwrap();
+        assert_eq!(summary.query_results[0].len(), 1);
+    }
+
+    #[test]
+    fn world_view_directive_switches_models() {
+        let mut spec = Specification::new();
+        load(
+            &mut spec,
+            r#"
+            #model celsius.
+            celsius'freezing_point(0)(x).
+            "#,
+        )
+        .unwrap();
+        assert!(query(&spec, "freezing_point(0)(x)").unwrap().is_empty());
+        load(&mut spec, "#world_view { omega, celsius }.").unwrap();
+        assert_eq!(query(&spec, "freezing_point(0)(x)").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn retract_directive_withdraws_facts() {
+        let mut spec = Specification::new();
+        load(&mut spec, "road(s1). road(s2).").unwrap();
+        assert_eq!(query(&spec, "road(X)").unwrap().len(), 2);
+        load(&mut spec, "#retract road(s1).").unwrap();
+        let left = query(&spec, "road(X)").unwrap();
+        assert_eq!(left.len(), 1);
+        assert_eq!(left[0].get("X").unwrap().to_string(), "s2");
+    }
+
+    #[test]
+    fn fuzzy_statements_load() {
+        let mut spec = Specification::new();
+        load(
+            &mut spec,
+            r#"
+            %0.85 clarity(image).
+            surveyed(c1). surveyed(c2).
+            %A coverage(region) :- card(surveyed(C), N), A is N / 10.
+            "#,
+        )
+        .unwrap();
+        let answers = query(&spec, "%A coverage(region)").unwrap();
+        assert_eq!(answers[0].get("A").unwrap().as_f64(), Some(0.2));
+    }
+
+    #[test]
+    fn sort_checking_applies_through_language() {
+        let mut spec = Specification::new();
+        let err = load(
+            &mut spec,
+            r#"
+            #domain temperature float(-100, 200).
+            #predicate average_temperature(temperature, object).
+            average_temperature(green)(saint_louis).
+            "#,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            LangError::Load {
+                error: gdp_core::SpecError::SortViolation { .. },
+                ..
+            }
+        ));
+    }
+}

@@ -1,0 +1,311 @@
+//! Pretty-printer: renders statements back into concrete syntax.
+//!
+//! `parse ∘ print` is the identity on the AST (up to formatting), which
+//! the property suite checks via print-idempotence.
+
+use gdp_core::{AggOp, CmpOp, DomainDef, FactPat, Formula, IntervalPat, Pat, Sort, SpaceQual, TimeQual};
+
+use crate::ast::Statement;
+
+/// Render one statement, including the final `.`.
+pub fn print_statement(s: &Statement) -> String {
+    match s {
+        Statement::Domain { name, def } => format!("#domain {name} {}.", print_domain(def)),
+        Statement::Predicate { name, sorts } => {
+            let sorts: Vec<String> = sorts
+                .iter()
+                .map(|s| match s {
+                    Sort::Object => "object".to_string(),
+                    Sort::Any => "any".to_string(),
+                    Sort::Domain(d) => d.clone(),
+                })
+                .collect();
+            format!("#predicate {name}({}).", sorts.join(", "))
+        }
+        Statement::Model(m) => format!("#model {m}."),
+        Statement::Object(o) => format!("#object {o}."),
+        Statement::WorldView(ms) => format!("#world_view {{ {} }}.", ms.join(", ")),
+        Statement::MetaView(ms) => format!("#meta_view {{ {} }}.", ms.join(", ")),
+        Statement::Activate(m) => format!("#activate {m}."),
+        Statement::Deactivate(m) => format!("#deactivate {m}."),
+        Statement::Grid {
+            name,
+            x0,
+            y0,
+            cell,
+            nx,
+            ny,
+        } => format!("#grid {name} square({x0}, {y0}, {cell}, {nx}, {ny})."),
+        Statement::Now(t) => format!("#now {t}."),
+        Statement::Retract(f) => format!("#retract {}.", print_fact(f)),
+        Statement::Fact(f) => format!("{}.", print_fact(f)),
+        Statement::FuzzyFact(f, a) => format!("%{a} {}.", print_fact(f)),
+        Statement::Rule(r) => format!("{} :- {}.", print_fact(&r.head), print_formula(&r.body)),
+        Statement::FuzzyRule {
+            head,
+            accuracy,
+            body,
+        } => format!(
+            "%{} {} :- {}.",
+            print_pat(accuracy),
+            print_fact(head),
+            print_formula(body)
+        ),
+        Statement::Constraint(c) => {
+            let witnesses: Vec<String> = c.witnesses.iter().map(print_pat).collect();
+            let head = if witnesses.is_empty() {
+                c.error_type.clone()
+            } else {
+                format!("{}({})", c.error_type, witnesses.join(", "))
+            };
+            format!("constraint {head} :- {}.", print_formula(&c.condition))
+        }
+        Statement::Query(f) => format!("?- {}.", print_formula(f)),
+    }
+}
+
+fn print_domain(def: &DomainDef) -> String {
+    match def {
+        DomainDef::FloatRange { min, max } => format!("float({min}, {max})"),
+        DomainDef::IntRange { min, max } => format!("int({min}, {max})"),
+        DomainDef::Enumerated(items) => format!("{{ {} }}", items.join(", ")),
+        DomainDef::AnyNumber => "number".to_string(),
+        DomainDef::AnyAtom => "atom".to_string(),
+        DomainDef::AnyGround => "any".to_string(),
+        DomainDef::Custom(_) => "any /* custom (not expressible in syntax) */".to_string(),
+    }
+}
+
+/// Render a fact pattern with its qualifiers.
+pub fn print_fact(f: &FactPat) -> String {
+    let mut out = String::new();
+    match &f.space {
+        SpaceQual::Any => {}
+        SpaceQual::At(p) => out.push_str(&format!("@ {} ", print_pat(p))),
+        SpaceQual::AreaUniform { res, at } => {
+            out.push_str(&format!("@u[{}] {} ", print_pat(res), print_pat(at)))
+        }
+        SpaceQual::AreaSampled { res, at } => {
+            out.push_str(&format!("@s[{}] {} ", print_pat(res), print_pat(at)))
+        }
+        SpaceQual::AreaAveraged { res, at } => {
+            out.push_str(&format!("@a[{}] {} ", print_pat(res), print_pat(at)))
+        }
+    }
+    match &f.time {
+        TimeQual::Any => {}
+        TimeQual::Now => out.push_str("& now "),
+        TimeQual::At(p) => out.push_str(&format!("& {} ", print_pat(p))),
+        TimeQual::IntervalUniform(iv) => out.push_str(&format!("&u{} ", print_interval(iv))),
+        TimeQual::IntervalSampled(iv) => out.push_str(&format!("&s{} ", print_interval(iv))),
+        TimeQual::IntervalAveraged(iv) => out.push_str(&format!("&a{} ", print_interval(iv))),
+        TimeQual::Cyclic { .. } => out.push_str("/* cyclic (API-only qualifier) */ "),
+    }
+    if let Some(m) = &f.model {
+        out.push_str(&format!("{}'", print_pat(m)));
+    }
+    out.push_str(&print_pat(&f.pred));
+    if let Some(args) = f.fixed_args() {
+        if !args.is_empty() {
+            let rendered: Vec<String> = args.iter().map(print_pat).collect();
+            out.push_str(&format!("({})", rendered.join(", ")));
+        }
+    }
+    out
+}
+
+fn print_interval(iv: &IntervalPat) -> String {
+    format!(
+        "{}{}, {}{}",
+        if iv.lo_closed { "[" } else { "(" },
+        print_pat(&iv.lo),
+        print_pat(&iv.hi),
+        if iv.hi_closed { "]" } else { ")" },
+    )
+}
+
+/// Render a formula.
+pub fn print_formula(f: &Formula) -> String {
+    match f {
+        Formula::True => "true".to_string(),
+        Formula::Fact(fp) => print_fact(fp),
+        Formula::FuzzyFact(fp, acc) => format!("%{} {}", print_pat(acc), print_fact(fp)),
+        Formula::And(a, b) => format!("{}, {}", print_formula(a), print_formula(b)),
+        Formula::Or(a, b) => format!("({} ; {})", print_formula(a), print_formula(b)),
+        Formula::Not(inner) => format!("not({})", print_formula(inner)),
+        Formula::Forall(c, t) => {
+            format!("forall({}, {})", print_formula(c), print_formula(t))
+        }
+        Formula::Cmp(op, a, b) => {
+            let sym = match op {
+                CmpOp::Lt => "<",
+                CmpOp::Le => "=<",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+                CmpOp::NumEq => "=:=",
+                CmpOp::NumNe => "=\\=",
+                CmpOp::NotUnify => "\\=",
+            };
+            format!("{} {} {}", print_pat(a), sym, print_pat(b))
+        }
+        Formula::Unify(a, b) => format!("{} = {}", print_pat(a), print_pat(b)),
+        Formula::Is(a, b) => format!("{} is {}", print_pat(a), print_pat(b)),
+        Formula::Domain(d, v) => format!("domain({d}, {})", print_pat(v)),
+        Formula::Card(inner, n) => {
+            format!("card({}, {})", print_formula(inner), print_pat(n))
+        }
+        Formula::Agg(op, t, inner, r) => {
+            let name = match op {
+                AggOp::Avg => "avg",
+                AggOp::Sum => "sum",
+                AggOp::Min => "min",
+                AggOp::Max => "max",
+                AggOp::Count => "count",
+            };
+            format!(
+                "{name}({}, {}, {})",
+                print_pat(t),
+                print_formula(inner),
+                print_pat(r)
+            )
+        }
+        Formula::Raw(p) => match p {
+            Pat::Compound(op, args)
+                if args.len() == 2 && matches!(op.as_str(), "==" | "\\==" | "=..") =>
+            {
+                format!("{} {op} {}", print_pat(&args[0]), print_pat(&args[1]))
+            }
+            other => print_pat(other),
+        },
+    }
+}
+
+/// Render a pattern, using infix notation for arithmetic.
+pub fn print_pat(p: &Pat) -> String {
+    match p {
+        Pat::Var(n) => n.clone(),
+        Pat::Wild => "_".to_string(),
+        Pat::Atom(a) => a.clone(),
+        Pat::Int(i) => i.to_string(),
+        Pat::Float(x) => {
+            if *x == x.trunc() && x.abs() < 1e15 {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            }
+        }
+        Pat::Str(s) => format!("{s:?}"),
+        Pat::Compound(op, args)
+            if args.len() == 2 && matches!(op.as_str(), "+" | "-" | "*" | "/" | "//" | "mod") =>
+        {
+            // Parenthesize operands to stay precedence-safe.
+            let needs_parens = |p: &Pat| {
+                matches!(p, Pat::Compound(o, a)
+                    if a.len() == 2
+                    && matches!(o.as_str(), "+" | "-" | "*" | "/" | "//" | "mod"))
+            };
+            let left = if needs_parens(&args[0]) {
+                format!("({})", print_pat(&args[0]))
+            } else {
+                print_pat(&args[0])
+            };
+            let right = if needs_parens(&args[1]) {
+                format!("({})", print_pat(&args[1]))
+            } else {
+                print_pat(&args[1])
+            };
+            format!("{left} {op} {right}")
+        }
+        Pat::Compound(f, args) if f == "." && args.len() == 2 => {
+            // Lists.
+            let mut items = vec![print_pat(&args[0])];
+            let mut tail = &args[1];
+            loop {
+                match tail {
+                    Pat::Compound(c, rest) if c == "." && rest.len() == 2 => {
+                        items.push(print_pat(&rest[0]));
+                        tail = &rest[1];
+                    }
+                    Pat::Term(t) if *t == gdp_engine::Term::nil() => {
+                        return format!("[{}]", items.join(", "));
+                    }
+                    other => {
+                        return format!("[{} | {}]", items.join(", "), print_pat(other));
+                    }
+                }
+            }
+        }
+        Pat::Compound(f, args) => {
+            let rendered: Vec<String> = args.iter().map(print_pat).collect();
+            format!("{f}({})", rendered.join(", "))
+        }
+        Pat::Term(t) => format!("{t}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    /// `print` is idempotent through a parse cycle.
+    fn idempotent(src: &str) {
+        let stmts = parse_program(src).unwrap();
+        let printed: Vec<String> = stmts.iter().map(print_statement).collect();
+        let reparsed = parse_program(&printed.join("\n"))
+            .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+        let reprinted: Vec<String> = reparsed.iter().map(print_statement).collect();
+        assert_eq!(printed, reprinted, "source: {src}");
+    }
+
+    #[test]
+    fn facts_round_trip() {
+        idempotent("road(s1).");
+        idempotent("average_temperature(50)(saint_louis).");
+        idempotent("celsius'freezing_point(0)(x).");
+        idempotent("@ pt(3.0, 4.0) vegetation(pine)(hill).");
+        idempotent("@u[r1] pt(5.0, 5.0) zone(wetland).");
+        idempotent("&u[1970, 1980) open(b1).");
+        idempotent("& now capital(jc).");
+        idempotent("%0.85 clarity(image).");
+    }
+
+    #[test]
+    fn rules_round_trip() {
+        idempotent("open_road(X) :- road(X), forall(bridge(Y, X), open(Y)).");
+        idempotent("closed(X) :- bridge(X), not(open(X)).");
+        idempotent("known(X) :- bridge(X), (open(X) ; closed(X)).");
+        idempotent("large_city(X) :- population(N)(X), N > 1000000.");
+        idempotent("d(X, Y) :- p(X), Y is X * 2 + 1.");
+        idempotent("m(A) :- avg(Z, elevation(Z)(X), A).");
+        idempotent("n(N) :- card(@ P white(image), N).");
+        idempotent("usable(X) :- %A clarity(X), A > 0.8.");
+        idempotent("%A coverage(region) :- card(surveyed(C), N), A is N / 10.");
+    }
+
+    #[test]
+    fn constraints_and_directives_round_trip() {
+        idempotent("constraint two_capitals(Z) :- capital_of(X, Z), capital_of(Y, Z), X \\= Y.");
+        idempotent("#domain temperature float(-100, 200).");
+        idempotent("#domain zone { pine, oak }.");
+        idempotent("#predicate average_temperature(temperature, object).");
+        idempotent("#world_view { omega, celsius }.");
+        idempotent("#grid r1 square(0, 0, 10, 4, 4).");
+        idempotent("#now 1990.");
+        idempotent("?- open_road(X).");
+    }
+
+    #[test]
+    fn lists_round_trip() {
+        idempotent("p([1, 2, 3]).");
+        idempotent("p([1 | T]) :- q(T).");
+    }
+
+    #[test]
+    fn nested_arithmetic_keeps_precedence() {
+        let stmts = parse_program("d(Y) :- p(X), Y is (X + 1) * 2.").unwrap();
+        let printed = print_statement(&stmts[0]);
+        assert!(printed.contains("(X + 1) * 2"));
+        idempotent("d(Y) :- p(X), Y is (X + 1) * 2.");
+    }
+}

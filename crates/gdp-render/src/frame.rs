@@ -1,0 +1,131 @@
+//! A software framebuffer with PPM and SVG writers.
+
+/// A 24-bit RGB color.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// CSS-style hex rendering, e.g. `#1f77b4`.
+    pub fn hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+}
+
+/// A width×height pixel buffer.
+#[derive(Clone, Debug)]
+pub struct Framebuffer {
+    width: u32,
+    height: u32,
+    pixels: Vec<Rgb>,
+}
+
+impl Framebuffer {
+    /// A buffer filled with `background`.
+    pub fn new(width: u32, height: u32, background: Rgb) -> Framebuffer {
+        assert!(width > 0 && height > 0, "empty framebuffer");
+        Framebuffer {
+            width,
+            height,
+            pixels: vec![background; (width * height) as usize],
+        }
+    }
+
+    /// Buffer width in pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Set one pixel; row 0 is the *top* row (image convention).
+    pub fn set(&mut self, x: u32, y: u32, color: Rgb) {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        self.pixels[(y * self.width + x) as usize] = color;
+    }
+
+    /// Read one pixel.
+    pub fn get(&self, x: u32, y: u32) -> Rgb {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Serialize as binary PPM (P6).
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        out.reserve(self.pixels.len() * 3);
+        for p in &self.pixels {
+            out.extend_from_slice(&[p.0, p.1, p.2]);
+        }
+        out
+    }
+
+    /// Serialize as SVG, one `cell_px`-sized rect per pixel (adjacent
+    /// same-color pixels in a row are merged into one rect).
+    pub fn to_svg(&self, cell_px: u32) -> String {
+        let mut svg = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\">\n",
+            self.width * cell_px,
+            self.height * cell_px
+        );
+        for y in 0..self.height {
+            let mut x = 0;
+            while x < self.width {
+                let color = self.get(x, y);
+                let mut run = 1;
+                while x + run < self.width && self.get(x + run, y) == color {
+                    run += 1;
+                }
+                svg.push_str(&format!(
+                    "<rect x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" fill=\"{}\"/>\n",
+                    x * cell_px,
+                    y * cell_px,
+                    run * cell_px,
+                    cell_px,
+                    color.hex()
+                ));
+                x += run;
+            }
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_round_trip() {
+        let mut fb = Framebuffer::new(4, 3, Rgb(0, 0, 0));
+        fb.set(2, 1, Rgb(255, 0, 0));
+        assert_eq!(fb.get(2, 1), Rgb(255, 0, 0));
+        assert_eq!(fb.get(0, 0), Rgb(0, 0, 0));
+    }
+
+    #[test]
+    fn ppm_header_and_size() {
+        let fb = Framebuffer::new(4, 3, Rgb(1, 2, 3));
+        let ppm = fb.to_ppm();
+        assert!(ppm.starts_with(b"P6\n4 3\n255\n"));
+        assert_eq!(ppm.len(), b"P6\n4 3\n255\n".len() + 4 * 3 * 3);
+        assert_eq!(&ppm[ppm.len() - 3..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn svg_merges_runs() {
+        let mut fb = Framebuffer::new(4, 1, Rgb(0, 0, 0));
+        fb.set(3, 0, Rgb(255, 255, 255));
+        let svg = fb.to_svg(10);
+        // One run of 3 black + one white pixel = 2 rects.
+        assert_eq!(svg.matches("<rect").count(), 2);
+        assert!(svg.contains("#ffffff"));
+    }
+
+    #[test]
+    fn hex_formatting() {
+        assert_eq!(Rgb(31, 119, 180).hex(), "#1f77b4");
+    }
+}

@@ -1,0 +1,21 @@
+//! # gdp-render — graphical rendering of logical information
+//!
+//! The prototype "provides the means for graphical rendering of logical
+//! information on a high resolution color display" (a Gould/DeAnza
+//! IP8500, §I). This crate is the software stand-in: it drives the same
+//! *logical* interface — per-patch queries of the spatial operators
+//! (`@u[R]p`, `@s[R]p`) against a [`gdp_core::Specification`] — and
+//! rasterizes the answers to ASCII maps, binary PPM images, and SVG.
+//!
+//! Nothing here inspects stored data structures directly: every pixel is
+//! the answer to a logic query, which is precisely the demonstration the
+//! prototype's display made.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod frame;
+mod renderer;
+
+pub use frame::{Framebuffer, Rgb};
+pub use renderer::{Layer, LayerOp, MapRenderer, Style};

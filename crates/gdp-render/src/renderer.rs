@@ -1,0 +1,359 @@
+//! Query-driven map rendering.
+//!
+//! A [`MapRenderer`] is a stack of [`Layer`]s over one logical space
+//! (grid). For each representative point of the grid, each layer asks the
+//! specification whether its predicate holds there — through `@u[R]p`
+//! (uniform: "this patch is water") or `@s[R]p` (sampled: "a road passes
+//! somewhere through this patch", the map-making case of §V.C) — and
+//! paints the cell when the answer is yes. Later layers draw on top.
+
+use gdp_core::{ArgsPat, FactPat, Pat, SpaceQual, SpecResult, Specification, TimeQual};
+use gdp_spatial::{Point, SpatialRegistry};
+
+use crate::frame::{Framebuffer, Rgb};
+
+/// How a layer queries its patch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LayerOp {
+    /// `@u[R]p` — the property holds uniformly over the patch.
+    Uniform,
+    /// `@s[R]p` — the property holds somewhere in the patch.
+    Sampled,
+}
+
+/// Visual style of one layer.
+#[derive(Clone, Copy, Debug)]
+pub struct Style {
+    /// Glyph used in ASCII output.
+    pub glyph: char,
+    /// Fill color used in PPM/SVG output.
+    pub color: Rgb,
+}
+
+/// One queryable map layer.
+#[derive(Clone, Debug)]
+pub struct Layer {
+    /// Predicate to query.
+    pub predicate: String,
+    /// Fixed arguments; `None` matches any argument list.
+    pub args: Option<Vec<Pat>>,
+    /// Query mode.
+    pub op: LayerOp,
+    /// Rendering style.
+    pub style: Style,
+}
+
+impl Layer {
+    /// A uniform-operator layer.
+    pub fn uniform(predicate: &str, glyph: char, color: Rgb) -> Layer {
+        Layer {
+            predicate: predicate.to_string(),
+            args: None,
+            op: LayerOp::Uniform,
+            style: Style { glyph, color },
+        }
+    }
+
+    /// A sampled-operator layer (point features that must still be drawn,
+    /// like roads thinner than the map resolution).
+    pub fn sampled(predicate: &str, glyph: char, color: Rgb) -> Layer {
+        Layer {
+            predicate: predicate.to_string(),
+            args: None,
+            op: LayerOp::Sampled,
+            style: Style { glyph, color },
+        }
+    }
+
+    /// Restrict the layer to facts with these exact arguments.
+    pub fn with_args(mut self, args: Vec<Pat>) -> Layer {
+        self.args = Some(args);
+        self
+    }
+
+    fn pattern(&self, grid: &str, rep: Point, time: &TimeQual) -> FactPat {
+        let mut fact = FactPat::new(&self.predicate);
+        fact = match &self.args {
+            Some(args) => fact.args(args.clone()),
+            None => fact.args_pat(ArgsPat::Whole(Pat::Wild)),
+        };
+        let at = Pat::Term(rep.to_term());
+        let res = Pat::atom(grid);
+        fact.space(match self.op {
+            LayerOp::Uniform => SpaceQual::AreaUniform { res, at },
+            LayerOp::Sampled => SpaceQual::AreaSampled { res, at },
+        })
+        .time(time.clone())
+    }
+}
+
+/// A renderer for one logical space.
+#[derive(Clone, Debug)]
+pub struct MapRenderer {
+    grid: String,
+    layers: Vec<Layer>,
+    background: Style,
+    time: TimeQual,
+}
+
+impl MapRenderer {
+    /// A renderer over the named (registered) grid.
+    pub fn new(grid: &str) -> MapRenderer {
+        MapRenderer {
+            grid: grid.to_string(),
+            layers: Vec::new(),
+            background: Style {
+                glyph: '.',
+                color: Rgb(20, 20, 28),
+            },
+            time: TimeQual::Any,
+        }
+    }
+
+    /// Render the map *as of* a temporal qualifier: every layer query is
+    /// additionally time-qualified, so historical maps come straight from
+    /// the temporal operators (e.g. the continuity assumption).
+    pub fn at_time(mut self, time: TimeQual) -> MapRenderer {
+        self.time = time;
+        self
+    }
+
+    /// Change the background style.
+    pub fn background(mut self, style: Style) -> MapRenderer {
+        self.background = style;
+        self
+    }
+
+    /// Push a layer (later layers draw on top).
+    pub fn layer(mut self, layer: Layer) -> MapRenderer {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Evaluate every layer at every patch; returns the style index map
+    /// (row-major, row 0 = *north*/top edge, matching image conventions).
+    fn evaluate(
+        &self,
+        spec: &Specification,
+        reg: &SpatialRegistry,
+    ) -> SpecResult<(u32, u32, Vec<Option<usize>>)> {
+        let grid = reg
+            .grid(&self.grid)
+            .ok_or_else(|| gdp_core::SpecError::UnknownResolution(self.grid.clone()))?;
+        let (nx, ny) = (grid.nx, grid.ny);
+        let mut cells: Vec<Option<usize>> = vec![None; (nx * ny) as usize];
+        for j in 0..ny {
+            for i in 0..nx {
+                let rep = grid.rep_of_cell(i, j);
+                // Image row 0 is the top; grid row 0 is the bottom.
+                let out_idx = (((ny - 1 - j) * nx) + i) as usize;
+                for (layer_idx, layer) in self.layers.iter().enumerate() {
+                    if spec.provable(layer.pattern(&self.grid, rep, &self.time))? {
+                        cells[out_idx] = Some(layer_idx);
+                    }
+                }
+            }
+        }
+        Ok((nx, ny, cells))
+    }
+
+    /// Render to an ASCII map (one glyph per patch, newline per row).
+    pub fn render_ascii(
+        &self,
+        spec: &Specification,
+        reg: &SpatialRegistry,
+    ) -> SpecResult<String> {
+        let (nx, ny, cells) = self.evaluate(spec, reg)?;
+        let mut out = String::with_capacity(((nx + 1) * ny) as usize);
+        for row in 0..ny {
+            for col in 0..nx {
+                let cell = cells[(row * nx + col) as usize];
+                out.push(match cell {
+                    Some(layer) => self.layers[layer].style.glyph,
+                    None => self.background.glyph,
+                });
+            }
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Render to a framebuffer (one pixel per patch).
+    pub fn render_frame(
+        &self,
+        spec: &Specification,
+        reg: &SpatialRegistry,
+    ) -> SpecResult<Framebuffer> {
+        let (nx, ny, cells) = self.evaluate(spec, reg)?;
+        let mut fb = Framebuffer::new(nx, ny, self.background.color);
+        for row in 0..ny {
+            for col in 0..nx {
+                if let Some(layer) = cells[(row * nx + col) as usize] {
+                    fb.set(col, row, self.layers[layer].style.color);
+                }
+            }
+        }
+        Ok(fb)
+    }
+
+    /// Render straight to PPM bytes.
+    pub fn render_ppm(
+        &self,
+        spec: &Specification,
+        reg: &SpatialRegistry,
+    ) -> SpecResult<Vec<u8>> {
+        Ok(self.render_frame(spec, reg)?.to_ppm())
+    }
+
+    /// Render straight to SVG with `cell_px`-sized cells.
+    pub fn render_svg(
+        &self,
+        spec: &Specification,
+        reg: &SpatialRegistry,
+        cell_px: u32,
+    ) -> SpecResult<String> {
+        Ok(self.render_frame(spec, reg)?.to_svg(cell_px))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_spatial::GridResolution;
+
+    fn setup() -> (Specification, SpatialRegistry) {
+        let mut spec = Specification::new();
+        let reg = gdp_spatial::install_default(&mut spec).unwrap();
+        reg.add_grid(&mut spec, "map", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+            .unwrap();
+        (spec, reg)
+    }
+
+    fn uniform_at(spec: &mut Specification, pred: &str, obj: &str, x: f64, y: f64) {
+        spec.assert_fact(
+            FactPat::new(pred).arg(obj).space(SpaceQual::AreaUniform {
+                res: Pat::atom("map"),
+                at: Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)]),
+            }),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn ascii_map_paints_patches() {
+        let (mut spec, reg) = setup();
+        // Water in the bottom-left patch, forest top-right.
+        uniform_at(&mut spec, "water", "lake1", 5.0, 5.0);
+        uniform_at(&mut spec, "forest", "wood1", 35.0, 35.0);
+        let map = MapRenderer::new("map")
+            .layer(Layer::uniform("water", '~', Rgb(40, 80, 200)))
+            .layer(Layer::uniform("forest", 'T', Rgb(30, 140, 60)));
+        let ascii = map.render_ascii(&spec, &reg).unwrap();
+        let rows: Vec<&str> = ascii.lines().collect();
+        assert_eq!(rows.len(), 4);
+        // Grid row 0 (y∈[0,10)) renders at the BOTTOM (image row 3).
+        assert_eq!(&rows[3][0..1], "~");
+        // Forest at top-right (image row 0, col 3).
+        assert_eq!(&rows[0][3..4], "T");
+        // Empty patch stays background.
+        assert_eq!(&rows[1][1..2], ".");
+    }
+
+    #[test]
+    fn sampled_layer_draws_thin_features() {
+        let (mut spec, reg) = setup();
+        // A road at a single point — thinner than the patch.
+        spec.assert_fact(
+            FactPat::new("road").arg("rc").space(SpaceQual::At(Pat::app(
+                "pt",
+                vec![Pat::Float(12.0), Pat::Float(3.0)],
+            ))),
+        )
+        .unwrap();
+        let map = MapRenderer::new("map").layer(Layer::sampled("road", '=', Rgb(200, 200, 0)));
+        let ascii = map.render_ascii(&spec, &reg).unwrap();
+        let rows: Vec<&str> = ascii.lines().collect();
+        assert_eq!(&rows[3][1..2], "=");
+        // A uniform layer would NOT see the point feature.
+        let strict = MapRenderer::new("map").layer(Layer::uniform("road", '=', Rgb(0, 0, 0)));
+        let ascii = strict.render_ascii(&spec, &reg).unwrap();
+        assert!(!ascii.contains('='));
+    }
+
+    #[test]
+    fn later_layers_draw_on_top() {
+        let (mut spec, reg) = setup();
+        uniform_at(&mut spec, "water", "lake1", 5.0, 5.0);
+        uniform_at(&mut spec, "ice", "floe1", 5.0, 5.0);
+        let map = MapRenderer::new("map")
+            .layer(Layer::uniform("water", '~', Rgb(0, 0, 255)))
+            .layer(Layer::uniform("ice", '*', Rgb(255, 255, 255)));
+        let ascii = map.render_ascii(&spec, &reg).unwrap();
+        assert!(ascii.contains('*'));
+        assert!(!ascii.contains('~'));
+    }
+
+    #[test]
+    fn frame_and_formats_agree() {
+        let (mut spec, reg) = setup();
+        uniform_at(&mut spec, "water", "lake1", 15.0, 25.0);
+        let map = MapRenderer::new("map").layer(Layer::uniform("water", '~', Rgb(1, 2, 3)));
+        let fb = map.render_frame(&spec, &reg).unwrap();
+        // Grid cell (1, 2) → image (col 1, row ny-1-2 = 1).
+        assert_eq!(fb.get(1, 1), Rgb(1, 2, 3));
+        let ppm = map.render_ppm(&spec, &reg).unwrap();
+        assert!(ppm.starts_with(b"P6\n4 4\n255\n"));
+        let svg = map.render_svg(&spec, &reg, 8).unwrap();
+        assert!(svg.contains("#010203"));
+    }
+
+    #[test]
+    fn unknown_grid_is_an_error() {
+        let (spec, reg) = setup();
+        let map = MapRenderer::new("nope");
+        assert!(map.render_ascii(&spec, &reg).is_err());
+    }
+
+    #[test]
+    fn temporal_rendering_respects_intervals() {
+        use gdp_core::IntervalPat;
+        let (mut spec, reg) = setup();
+        gdp_temporal::install_default(&mut spec).unwrap();
+        // The lake exists only during [1970, 1980).
+        spec.assert_fact(
+            FactPat::new("water")
+                .arg("ephemeral_lake")
+                .space(SpaceQual::AreaUniform {
+                    res: Pat::atom("map"),
+                    at: Pat::app("pt", vec![Pat::Float(5.0), Pat::Float(5.0)]),
+                })
+                .time(TimeQual::IntervalUniform(IntervalPat::right_open(
+                    1970, 1980,
+                ))),
+        )
+        .unwrap();
+        let map_at = |t: i64| {
+            MapRenderer::new("map")
+                .at_time(TimeQual::At(Pat::Int(t)))
+                .layer(Layer::uniform("water", '~', Rgb(0, 0, 255)))
+        };
+        let wet = map_at(1975).render_ascii(&spec, &reg).unwrap();
+        assert!(wet.contains('~'), "lake visible in 1975:
+{wet}");
+        let dry = map_at(1985).render_ascii(&spec, &reg).unwrap();
+        assert!(!dry.contains('~'), "lake gone by 1985:
+{dry}");
+    }
+
+    #[test]
+    fn layer_with_fixed_args_filters() {
+        let (mut spec, reg) = setup();
+        uniform_at(&mut spec, "vegetation", "pine", 5.0, 5.0);
+        uniform_at(&mut spec, "vegetation", "oak", 15.0, 5.0);
+        let pines = MapRenderer::new("map").layer(
+            Layer::uniform("vegetation", 'p', Rgb(0, 99, 0)).with_args(vec![Pat::atom("pine")]),
+        );
+        let ascii = pines.render_ascii(&spec, &reg).unwrap();
+        assert_eq!(ascii.matches('p').count(), 1);
+    }
+}

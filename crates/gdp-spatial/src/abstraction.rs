@@ -1,0 +1,166 @@
+//! Abstraction rules for map generalization (§V.D).
+//!
+//! "When the map generation is automated there is the need to specify the
+//! nature of the information loss incurred in the process of interpreting
+//! the data with regard to a lower resolution than originally formulated."
+//! Four rule families: **copying**, **thresholding**, **averaging**
+//! (covered by the `@a` operator, [`crate::ops::area_averaged`]), and
+//! **composition**. These are inherently application-specific, so this
+//! module provides *generators*: each returns the [`RawClause`]s for one
+//! concrete predicate/resolution pair, which the user packages into their
+//! own meta-model.
+
+use gdp_core::{MetaModel, Pat, RawClause};
+
+use crate::dsl::{a, goal, h, su, v};
+
+/// The `size` function of the island example: "a function that determines
+/// the number of points covered by some object at a specified resolution".
+/// Derived, not native:
+///
+/// ```text
+/// covered(X, R, P) :- h(M, su(R, P), T, Q, A), member(X, A).
+/// size_of(X, R, N) :- card(covered(X, R, P), N).
+/// ```
+///
+/// `card` counts *distinct* provable instances, so each patch counts once
+/// however many properties witness it.
+pub fn size_rules() -> Vec<RawClause> {
+    vec![
+        RawClause::build(
+            &goal("covered", vec![v("X"), v("R"), v("P")]),
+            &[
+                h(v("M"), su(v("R"), v("P")), v("T"), v("Q"), v("A")),
+                goal("member", vec![v("X"), v("A")]),
+            ],
+        ),
+        RawClause::build(
+            &goal("size_of", vec![v("X"), v("R"), v("N")]),
+            &[goal(
+                "card",
+                vec![goal("covered", vec![v("X"), v("R"), v("P")]), v("N")],
+            )],
+        ),
+    ]
+}
+
+/// A copying rule: every `from`-resolution patch fact for `pred` passes to
+/// the `to`-resolution patch containing it, unconditionally.
+pub fn copy_rule(pred: &str, from: &str, to: &str) -> RawClause {
+    RawClause::build(
+        &h(v("M"), su(a(to), v("P1")), v("T"), a(pred), v("A")),
+        &[
+            h(v("M"), su(a(from), v("P2")), v("T"), a(pred), v("A")),
+            goal("rmap", vec![a(to), v("P2"), v("P1")]),
+        ],
+    )
+}
+
+/// The combined copying/thresholding rule of the island example (§V.D):
+///
+/// ```text
+/// (∀R1,R2,P,X): (R2 >> R1) ∧ @R2(P) island(X) ∧ (size(X,R2) > delta)
+///                ⇒ @R1(P) island(X)
+/// ```
+///
+/// Facts for `pred` survive the transition to the coarser map only when
+/// the object covers more than `min_size` patches at the source
+/// resolution — smaller islands vanish from the low-resolution map.
+pub fn threshold_copy_rule(pred: &str, from: &str, to: &str, min_size: i64) -> RawClause {
+    RawClause::build(
+        &h(v("M"), su(a(to), v("P1")), v("T"), a(pred), v("A")),
+        &[
+            h(v("M"), su(a(from), v("P2")), v("T"), a(pred), v("A")),
+            // Filter against the (usually ground) target patch *before*
+            // the expensive size computation.
+            goal("rmap", vec![a(to), v("P2"), v("P1")]),
+            goal("member", vec![v("X"), v("A")]),
+            goal("size_of", vec![v("X"), a(from), v("N")]),
+            goal(">", vec![v("N"), Pat::Int(min_size)]),
+        ],
+    )
+}
+
+/// A composition rule in the shape of the shore-line example (§V.D):
+///
+/// ```text
+/// R1(P1) = R1(P2) ∧ @R2(P1) lake(X) ∧ @R2(P2) shore(X) ∧ (R2 >> R1)
+///   ⇒ @R1(P1) shore_line(X)
+/// ```
+///
+/// When two distinct `from`-resolution patches carrying `pred_a` and
+/// `pred_b` (of the same object) collapse into one `to`-resolution patch,
+/// that patch gains the new property `out_pred`.
+pub fn compose_rule(pred_a: &str, pred_b: &str, out_pred: &str, from: &str, to: &str) -> RawClause {
+    RawClause::build(
+        &h(
+            v("M"),
+            su(a(to), v("P0")),
+            v("T"),
+            a(out_pred),
+            Pat::app(".", vec![v("X"), Pat::Term(gdp_engine::Term::nil())]),
+        ),
+        &[
+            h(
+                v("M"),
+                su(a(from), v("P1")),
+                v("T"),
+                a(pred_a),
+                Pat::app(".", vec![v("X"), Pat::Term(gdp_engine::Term::nil())]),
+            ),
+            // Bind/check the target patch immediately so a ground query
+            // prunes the second enumeration to one coarse cell.
+            goal("rmap", vec![a(to), v("P1"), v("P0")]),
+            h(
+                v("M"),
+                su(a(from), v("P2")),
+                v("T"),
+                a(pred_b),
+                Pat::app(".", vec![v("X"), Pat::Term(gdp_engine::Term::nil())]),
+            ),
+            goal("\\==", vec![v("P1"), v("P2")]),
+            goal("rmap", vec![a(to), v("P2"), v("P0")]),
+        ],
+    )
+}
+
+/// Convenience: bundle the `size` helper rules plus any number of
+/// generated abstraction rules into one meta-model.
+pub fn abstraction_meta_model(name: &str, rules: Vec<RawClause>) -> MetaModel {
+    let mut builder = MetaModel::new(name)
+        .doc("application-specific map-generalization (abstraction) rules")
+        .clauses(size_rules());
+    for r in rules {
+        builder = builder.clause(r);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_clauses() {
+        assert_eq!(size_rules().len(), 2);
+        let r = threshold_copy_rule("island", "r2", "r1", 2);
+        let rendered = format!("{} :- {}", r.head, r.body);
+        assert!(rendered.contains("size_of("));
+        assert!(rendered.contains("su(r1"));
+        assert!(rendered.contains("su(r2"));
+    }
+
+    #[test]
+    fn compose_rule_requires_distinct_patches() {
+        let r = compose_rule("lake", "shore", "shore_line", "r2", "r1");
+        let rendered = format!("{} :- {}", r.head, r.body);
+        assert!(rendered.contains("\\=="));
+        assert!(rendered.contains("shore_line"));
+    }
+
+    #[test]
+    fn bundle_includes_size_rules() {
+        let mm = abstraction_meta_model("map_gen", vec![copy_rule("road", "r2", "r1")]);
+        assert_eq!(mm.clauses().len(), 3);
+    }
+}

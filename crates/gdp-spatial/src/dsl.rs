@@ -1,0 +1,66 @@
+//! Pattern-building helpers shared by the spatial rule packs.
+//!
+//! Meta-rules are stated over the reified `h/5` relation; these helpers
+//! keep the rule packs readable — `h(m, su(r, p), t, q, a)` instead of
+//! nested `Pat::app` pyramids.
+
+use gdp_core::Pat;
+
+/// `h(M, S, T, Q, A)` pattern.
+pub(crate) fn h(m: Pat, s: Pat, t: Pat, q: Pat, a: Pat) -> Pat {
+    Pat::app("h", vec![m, s, t, q, a])
+}
+
+/// `sat(P)` — simple spatial qualifier.
+pub(crate) fn sat(p: Pat) -> Pat {
+    Pat::app("sat", vec![p])
+}
+
+/// `su(R, P)` — area-uniform qualifier.
+pub(crate) fn su(r: Pat, p: Pat) -> Pat {
+    Pat::app("su", vec![r, p])
+}
+
+/// `ss(R, P)` — area-sampled qualifier.
+pub(crate) fn ss(r: Pat, p: Pat) -> Pat {
+    Pat::app("ss", vec![r, p])
+}
+
+/// `sa(R, P)` — area-averaged qualifier.
+pub(crate) fn sa(r: Pat, p: Pat) -> Pat {
+    Pat::app("sa", vec![r, p])
+}
+
+/// `[Head | Tail]` pattern.
+pub(crate) fn cons(head: Pat, tail: Pat) -> Pat {
+    Pat::app(".", vec![head, tail])
+}
+
+/// Variable shorthand.
+pub(crate) fn v(name: &str) -> Pat {
+    Pat::var(name)
+}
+
+/// Atom shorthand.
+pub(crate) fn a(name: &str) -> Pat {
+    Pat::atom(name)
+}
+
+/// Goal `p(args…)`.
+pub(crate) fn goal(name: &str, args: Vec<Pat>) -> Pat {
+    Pat::app(name, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_core::VarTable;
+
+    #[test]
+    fn helpers_compose() {
+        let mut vt = VarTable::new();
+        let pat = h(v("M"), su(a("r1"), v("P")), a("any"), a("elev"), cons(v("Y"), v("Rest")));
+        let t = vt.compile(&pat);
+        assert_eq!(t.to_string(), "h(_0, su(r1, _1), any, elev, [_2 | _3])");
+    }
+}

@@ -1,0 +1,402 @@
+//! # gdp-spatial — spatial qualification of facts (paper §V)
+//!
+//! "The concept of space is quintessential in geographic data processing."
+//! This crate supplies:
+//!
+//! * **absolute space** ([`coords`]): coordinate systems with distance and
+//!   direction functions (Cartesian, polar, simplified UTM);
+//! * **logical space** ([`GridResolution`]): finite-extent uniform-grid
+//!   resolution functions and the refinement relation `R2 >> R1`;
+//! * **the four spatial operators** ([`ops`]): `@p`, `@u[R]p`, `@s[R]p`,
+//!   `@a[R]p` as activatable meta-models whose rules transliterate the
+//!   paper's meta-facts;
+//! * **spatial properties** (`point_type`, `overlap`, `adjacent`) and
+//!   **abstraction rules** ([`abstraction`]: copying, thresholding,
+//!   composition — the island and shore-line examples);
+//! * the [`SpatialRegistry`], which names resolution functions, installs
+//!   the spatial natives (`rmap/3`, `cell_points/4`, `res_points/2`,
+//!   `dist/3`, `direction/3`, `adjacent_cells/3`), and materializes the
+//!   finite `refines/2` relation.
+//!
+//! ## Example — the vegetation patch (§V.C)
+//!
+//! ```
+//! use gdp_core::{FactPat, Pat, SpaceQual, Specification};
+//! use gdp_spatial::{GridResolution, SpatialRegistry, ops};
+//!
+//! let mut spec = Specification::new();
+//! let reg = SpatialRegistry::install(&mut spec);
+//! reg.add_grid(&mut spec, "r", GridResolution::square(0.0, 0.0, 10.0, 4, 4)).unwrap();
+//! spec.register_meta_model(ops::area_uniform());
+//! spec.activate_meta_model("spatial_uniform").unwrap();
+//!
+//! // @u[r](5,5) vegetation(pine)(land)
+//! spec.assert_fact(
+//!     FactPat::new("vegetation").arg("pine").arg("land").space(SpaceQual::AreaUniform {
+//!         res: Pat::atom("r"),
+//!         at: Pat::app("pt", vec![Pat::Float(5.0), Pat::Float(5.0)]),
+//!     }),
+//! ).unwrap();
+//!
+//! // Every point of the patch inherits it: @(3.2, 7.9) vegetation(pine)(land)?
+//! let at_point = FactPat::new("vegetation").arg("pine").arg("land")
+//!     .at(Pat::app("pt", vec![Pat::Float(3.2), Pat::Float(7.9)]));
+//! assert!(spec.provable(at_point).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod abstraction;
+pub mod coords;
+mod dsl;
+pub mod ops;
+mod registry;
+mod resolution;
+
+pub use coords::{Cartesian, CoordinateSystem, Point, Polar, SimplifiedUtm};
+pub use registry::SpatialRegistry;
+pub use resolution::GridResolution;
+
+/// Convenience: install the registry, register every spatial meta-model
+/// (operators + properties), and activate the operator packs most
+/// specifications want (`spatial_simple`, `spatial_uniform`,
+/// `spatial_sampled`, `spatial_averaged`).
+///
+/// The acquisition pack and `finite_resolution_view` are registered but
+/// left inactive — they answer only ground queries (see
+/// [`ops::area_uniform_acquisition`]).
+pub fn install_default(
+    spec: &mut gdp_core::Specification,
+) -> gdp_core::SpecResult<SpatialRegistry> {
+    let reg = SpatialRegistry::install(spec);
+    spec.register_meta_model(ops::simple_op());
+    spec.register_meta_model(ops::area_uniform());
+    spec.register_meta_model(ops::area_uniform_acquisition());
+    spec.register_meta_model(ops::finite_resolution_view());
+    spec.register_meta_model(ops::area_sampled());
+    spec.register_meta_model(ops::area_averaged());
+    spec.register_meta_model(ops::spatial_properties());
+    spec.register_meta_model(ops::direction_relations());
+    spec.activate_meta_model("spatial_simple")?;
+    spec.activate_meta_model("spatial_uniform")?;
+    spec.activate_meta_model("spatial_sampled")?;
+    spec.activate_meta_model("spatial_averaged")?;
+    Ok(reg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_core::{FactPat, Pat, SpaceQual, Specification};
+
+    fn pt(x: f64, y: f64) -> Pat {
+        Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)])
+    }
+
+    fn setup() -> (Specification, SpatialRegistry) {
+        let mut spec = Specification::new();
+        let reg = install_default(&mut spec).unwrap();
+        reg.add_grid(&mut spec, "coarse", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+            .unwrap();
+        reg.add_grid(&mut spec, "fine", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
+            .unwrap();
+        (spec, reg)
+    }
+
+    fn uniform(res: &str, x: f64, y: f64) -> SpaceQual {
+        SpaceQual::AreaUniform {
+            res: Pat::atom(res),
+            at: pt(x, y),
+        }
+    }
+
+    #[test]
+    fn space_independent_facts_hold_everywhere() {
+        let (mut spec, _) = setup();
+        spec.assert_fact(FactPat::new("country").arg("usa")).unwrap();
+        assert!(spec
+            .provable(FactPat::new("country").arg("usa").at(pt(3.0, 4.0)))
+            .unwrap());
+        assert!(spec
+            .provable(FactPat::new("country").arg("usa").at(pt(33.0, 14.0)))
+            .unwrap());
+    }
+
+    #[test]
+    fn uniform_patch_property_holds_at_member_points() {
+        let (mut spec, _) = setup();
+        // @u[coarse](5,5) vegetation(pine)(hill)
+        spec.assert_fact(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("hill")
+                .space(uniform("coarse", 5.0, 5.0)),
+        )
+        .unwrap();
+        // Holds at every point of the [0,10)² patch…
+        assert!(spec
+            .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(1.0, 9.0)))
+            .unwrap());
+        // …but not outside it.
+        assert!(!spec
+            .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(11.0, 9.0)))
+            .unwrap());
+    }
+
+    #[test]
+    fn uniform_property_inherited_by_finer_subareas() {
+        let (mut spec, _) = setup();
+        spec.assert_fact(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("hill")
+                .space(uniform("coarse", 5.0, 5.0)),
+        )
+        .unwrap();
+        // The fine patch (2.5, 7.5) lies inside the coarse patch (5, 5).
+        assert!(spec
+            .provable(
+                FactPat::new("vegetation")
+                    .arg("pine")
+                    .arg("hill")
+                    .space(uniform("fine", 2.5, 7.5))
+            )
+            .unwrap());
+        // A fine patch outside the asserted coarse patch does not inherit.
+        assert!(!spec
+            .provable(
+                FactPat::new("vegetation")
+                    .arg("pine")
+                    .arg("hill")
+                    .space(uniform("fine", 12.5, 7.5))
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn acquisition_when_all_subareas_agree() {
+        let (mut spec, _) = setup();
+        spec.activate_meta_model("spatial_uniform_acquisition").unwrap();
+        // Fill all four fine subpatches of coarse patch (5,5).
+        for (x, y) in [(2.5, 2.5), (7.5, 2.5), (2.5, 7.5), (7.5, 7.5)] {
+            spec.assert_fact(
+                FactPat::new("zone").arg("wetland").space(uniform("fine", x, y)),
+            )
+            .unwrap();
+        }
+        assert!(spec
+            .provable(FactPat::new("zone").arg("wetland").space(uniform("coarse", 5.0, 5.0)))
+            .unwrap());
+        // A patch with only partial coverage does not acquire.
+        spec.assert_fact(
+            FactPat::new("zone").arg("marsh").space(uniform("fine", 12.5, 2.5)),
+        )
+        .unwrap();
+        assert!(!spec
+            .provable(FactPat::new("zone").arg("marsh").space(uniform("coarse", 15.0, 5.0)))
+            .unwrap());
+    }
+
+    #[test]
+    fn sampled_road_survives_coarsening() {
+        let (mut spec, _) = setup();
+        // A thin road at a single absolute point (§V.C: "a road may still
+        // have to be drawn even when its actual thickness is much less
+        // than the map resolution").
+        spec.assert_fact(FactPat::new("road").arg("rc").at(pt(3.0, 3.0)))
+            .unwrap();
+        let sampled = |res: &str, x: f64, y: f64| {
+            FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
+                res: Pat::atom(res),
+                at: pt(x, y),
+            })
+        };
+        assert!(spec.provable(sampled("fine", 2.5, 2.5)).unwrap());
+        assert!(spec.provable(sampled("coarse", 5.0, 5.0)).unwrap());
+        assert!(!spec.provable(sampled("coarse", 15.0, 5.0)).unwrap());
+    }
+
+    #[test]
+    fn averaged_elevation_from_uniform_values() {
+        let (mut spec, _) = setup();
+        // Four fine patches with elevations 10, 20, 30, 40.
+        for ((x, y), z) in [(2.5, 2.5), (7.5, 2.5), (2.5, 7.5), (7.5, 7.5)]
+            .iter()
+            .zip([10.0, 20.0, 30.0, 40.0])
+        {
+            spec.assert_fact(
+                FactPat::new("elevation")
+                    .arg(Pat::Float(z))
+                    .arg("land")
+                    .space(uniform("fine", *x, *y)),
+            )
+            .unwrap();
+        }
+        let answers = spec
+            .query(
+                FactPat::new("elevation")
+                    .arg("Z")
+                    .arg("land")
+                    .space(SpaceQual::AreaAveraged {
+                        res: Pat::atom("coarse"),
+                        at: pt(5.0, 5.0),
+                    }),
+            )
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get("Z").unwrap().as_f64(), Some(25.0));
+    }
+
+    #[test]
+    fn averaged_fails_without_subarea_values() {
+        let (spec, _) = setup();
+        assert!(!spec
+            .provable(
+                FactPat::new("elevation")
+                    .arg("Z")
+                    .arg("land")
+                    .space(SpaceQual::AreaAveraged {
+                        res: Pat::atom("coarse"),
+                        at: pt(5.0, 5.0),
+                    })
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn overlap_and_point_type_properties() {
+        let (mut spec, _) = setup();
+        spec.activate_meta_model("spatial_properties").unwrap();
+        spec.declare_object("tower");
+        spec.declare_object("hill");
+        spec.declare_object("nowhere_obj");
+        // The tower has exactly one position-dependent fact.
+        spec.assert_fact(FactPat::new("structure").arg("tower").at(pt(3.0, 3.0)))
+            .unwrap();
+        // The hill spans two points.
+        spec.assert_fact(FactPat::new("terrain").arg("hill").at(pt(3.0, 3.0)))
+            .unwrap();
+        spec.assert_fact(FactPat::new("terrain").arg("hill").at(pt(13.0, 3.0)))
+            .unwrap();
+        assert!(spec.provable(FactPat::new("point_type").arg("tower")).unwrap());
+        assert!(!spec.provable(FactPat::new("point_type").arg("hill")).unwrap());
+        // Tower and hill share the point (3,3): overlap.
+        assert!(spec
+            .provable(FactPat::new("overlap").arg("tower").arg("hill"))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("overlap").arg("tower").arg("nowhere_obj"))
+            .unwrap());
+    }
+
+    #[test]
+    fn adjacency_at_given_resolution() {
+        let (mut spec, _) = setup();
+        spec.activate_meta_model("spatial_properties").unwrap();
+        spec.assert_fact(
+            FactPat::new("parcel").arg("farm_a").space(uniform("coarse", 5.0, 5.0)),
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("parcel").arg("farm_b").space(uniform("coarse", 15.0, 5.0)),
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("parcel").arg("farm_c").space(uniform("coarse", 35.0, 35.0)),
+        )
+        .unwrap();
+        assert!(spec
+            .provable(FactPat::new("adjacent").arg("farm_a").arg("farm_b").arg("coarse"))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("adjacent").arg("farm_a").arg("farm_c").arg("coarse"))
+            .unwrap());
+    }
+
+    #[test]
+    fn cardinal_direction_relations() {
+        let (mut spec, _) = setup();
+        spec.activate_meta_model("direction_relations").unwrap();
+        spec.assert_fact(
+            FactPat::new("town").arg("northville").space(uniform("coarse", 15.0, 35.0)),
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("town").arg("southburg").space(uniform("coarse", 15.0, 5.0)),
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("town").arg("eastham").space(uniform("coarse", 35.0, 5.0)),
+        )
+        .unwrap();
+        let rel = |p: &str, x: &str, y: &str| {
+            FactPat::new(p).arg(x).arg(y).arg("coarse")
+        };
+        assert!(spec.provable(rel("north_of", "northville", "southburg")).unwrap());
+        assert!(spec.provable(rel("south_of", "southburg", "northville")).unwrap());
+        assert!(spec.provable(rel("east_of", "eastham", "southburg")).unwrap());
+        assert!(spec.provable(rel("west_of", "southburg", "eastham")).unwrap());
+        assert!(!spec.provable(rel("north_of", "southburg", "northville")).unwrap());
+        assert!(!spec.provable(rel("north_of", "eastham", "southburg")).unwrap());
+    }
+
+    #[test]
+    fn island_thresholding() {
+        let (mut spec, _) = setup();
+        use crate::abstraction::{abstraction_meta_model, threshold_copy_rule};
+        spec.register_meta_model(abstraction_meta_model(
+            "map_gen",
+            vec![threshold_copy_rule("island", "fine", "coarse", 2)],
+        ));
+        spec.activate_meta_model("map_gen").unwrap();
+        // Big island: 3 fine patches. Small island: 1 fine patch.
+        for (x, y) in [(2.5, 2.5), (7.5, 2.5), (2.5, 7.5)] {
+            spec.assert_fact(
+                FactPat::new("island").arg("big_isle").space(uniform("fine", x, y)),
+            )
+            .unwrap();
+        }
+        spec.assert_fact(
+            FactPat::new("island").arg("small_isle").space(uniform("fine", 22.5, 2.5)),
+        )
+        .unwrap();
+        // Big island appears on the coarse map; the small one vanishes.
+        assert!(spec
+            .provable(FactPat::new("island").arg("big_isle").space(uniform("coarse", 5.0, 5.0)))
+            .unwrap());
+        assert!(!spec
+            .provable(
+                FactPat::new("island").arg("small_isle").space(uniform("coarse", 25.0, 5.0))
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn shoreline_composition() {
+        let (mut spec, _) = setup();
+        use crate::abstraction::{abstraction_meta_model, compose_rule};
+        spec.register_meta_model(abstraction_meta_model(
+            "shore_gen",
+            vec![compose_rule("lake", "shore", "shore_line", "fine", "coarse")],
+        ));
+        spec.activate_meta_model("shore_gen").unwrap();
+        // Lake and shore in two *different* fine patches of the same
+        // coarse patch.
+        spec.assert_fact(FactPat::new("lake").arg("erie").space(uniform("fine", 2.5, 2.5)))
+            .unwrap();
+        spec.assert_fact(FactPat::new("shore").arg("erie").space(uniform("fine", 7.5, 2.5)))
+            .unwrap();
+        assert!(spec
+            .provable(
+                FactPat::new("shore_line").arg("erie").space(uniform("coarse", 5.0, 5.0))
+            )
+            .unwrap());
+        // No shoreline where lake and shore do not meet within one patch.
+        assert!(!spec
+            .provable(
+                FactPat::new("shore_line").arg("erie").space(uniform("coarse", 15.0, 5.0))
+            )
+            .unwrap());
+    }
+}

@@ -1,0 +1,236 @@
+//! Logical space and finite resolution (§V.B).
+//!
+//! "The logical space is defined as a discrete subset of an absolute space
+//! … a mapping R that reduces patches from the absolute space into single
+//! points in the logical space. This function is called the resolution
+//! function." Here the resolution-function family is uniform grids with a
+//! finite extent; every patch (cell) is represented by its center point.
+//!
+//! Finiteness of the extent is deliberate: the paper notes that meta-facts
+//! quantifying over "all points P with R(P) = P0" only work "in a context
+//! where the set of values taken by P is finite" — a bounded grid makes
+//! every such set finite by construction.
+
+use crate::coords::Point;
+
+/// Relative tolerance for the grid-alignment arithmetic.
+const EPS: f64 = 1e-9;
+
+/// A uniform grid resolution function over a rectangular extent.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GridResolution {
+    /// Extent origin (lower-left corner).
+    pub x0: f64,
+    /// Extent origin (lower-left corner).
+    pub y0: f64,
+    /// Cell width.
+    pub cell_w: f64,
+    /// Cell height.
+    pub cell_h: f64,
+    /// Number of cells along x.
+    pub nx: u32,
+    /// Number of cells along y.
+    pub ny: u32,
+}
+
+impl GridResolution {
+    /// A grid over `[x0, x0 + nx·cell) × [y0, y0 + ny·cell)` with square
+    /// cells.
+    pub fn square(x0: f64, y0: f64, cell: f64, nx: u32, ny: u32) -> GridResolution {
+        assert!(cell > 0.0, "cell size must be positive");
+        assert!(nx > 0 && ny > 0, "grid must have at least one cell");
+        GridResolution {
+            x0,
+            y0,
+            cell_w: cell,
+            cell_h: cell,
+            nx,
+            ny,
+        }
+    }
+
+    /// Upper-right corner of the extent.
+    pub fn x1(&self) -> f64 {
+        self.x0 + self.cell_w * f64::from(self.nx)
+    }
+
+    /// Upper-right corner of the extent.
+    pub fn y1(&self) -> f64 {
+        self.y0 + self.cell_h * f64::from(self.ny)
+    }
+
+    /// Cell indices containing `p`, if `p` lies within the extent.
+    ///
+    /// Cells are half-open `[lo, hi)`, matching the paper's interval
+    /// diagram `[-p1-)[-p2-)…`.
+    pub fn cell_of(&self, p: Point) -> Option<(u32, u32)> {
+        let fx = (p.x - self.x0) / self.cell_w;
+        let fy = (p.y - self.y0) / self.cell_h;
+        if fx < -EPS || fy < -EPS {
+            return None;
+        }
+        let i = fx.floor().max(0.0) as u32;
+        let j = fy.floor().max(0.0) as u32;
+        if i >= self.nx || j >= self.ny {
+            return None;
+        }
+        Some((i, j))
+    }
+
+    /// The representative point (cell center) of cell `(i, j)`.
+    pub fn rep_of_cell(&self, i: u32, j: u32) -> Point {
+        Point::new(
+            self.x0 + (f64::from(i) + 0.5) * self.cell_w,
+            self.y0 + (f64::from(j) + 0.5) * self.cell_h,
+        )
+    }
+
+    /// Apply the resolution function: map an absolute-space point to its
+    /// representative point in the logical space. `None` outside the
+    /// extent.
+    pub fn map(&self, p: Point) -> Option<Point> {
+        let (i, j) = self.cell_of(p)?;
+        Some(self.rep_of_cell(i, j))
+    }
+
+    /// Iterate over every representative point of the logical space, row
+    /// by row from the origin.
+    pub fn rep_points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.ny).flat_map(move |j| (0..self.nx).map(move |i| self.rep_of_cell(i, j)))
+    }
+
+    /// Total number of points in the logical space.
+    pub fn point_count(&self) -> usize {
+        self.nx as usize * self.ny as usize
+    }
+
+    /// Is `self` a refinement of `coarse` (`self >> coarse`, §V.B)?
+    ///
+    /// `(∀P1, P2): self(P1) = self(P2) ⇒ coarse(P1) = coarse(P2)` — for
+    /// aligned uniform grids: every `self` cell lies entirely inside one
+    /// `coarse` cell, and the extents coincide.
+    pub fn refines(&self, coarse: &GridResolution) -> bool {
+        let ratio_w = coarse.cell_w / self.cell_w;
+        let ratio_h = coarse.cell_h / self.cell_h;
+        let aligned = |a: f64| (a - a.round()).abs() < EPS * a.abs().max(1.0);
+        // Cell sizes must divide (ratio ≥ 1 and integral) …
+        if ratio_w < 1.0 - EPS || ratio_h < 1.0 - EPS || !aligned(ratio_w) || !aligned(ratio_h) {
+            return false;
+        }
+        // … the origins must sit on a shared boundary …
+        if !aligned((coarse.x0 - self.x0) / self.cell_w)
+            || !aligned((coarse.y0 - self.y0) / self.cell_h)
+        {
+            return false;
+        }
+        // … and the extents must coincide (the common absolute space).
+        (self.x0 - coarse.x0).abs() < EPS
+            && (self.y0 - coarse.y0).abs() < EPS
+            && (self.x1() - coarse.x1()).abs() < EPS
+            && (self.y1() - coarse.y1()).abs() < EPS
+    }
+
+    /// Is the refinement *strict* (finer cells, not identical)?
+    pub fn strictly_refines(&self, coarse: &GridResolution) -> bool {
+        self.refines(coarse) && (self.cell_w < coarse.cell_w - EPS || self.cell_h < coarse.cell_h - EPS)
+    }
+
+    /// The representative points of `fine` lying within the `self`-cell
+    /// represented by `rep` (requires `fine.refines(self)` for meaningful
+    /// results). `None` if `rep` is not a representative point of `self`.
+    pub fn sub_points(&self, fine: &GridResolution, rep: Point) -> Option<Vec<Point>> {
+        let (i, j) = self.cell_of(rep)?;
+        // Verify rep actually is the representative point of its cell.
+        let canonical = self.rep_of_cell(i, j);
+        if (canonical.x - rep.x).abs() > EPS || (canonical.y - rep.y).abs() > EPS {
+            return None;
+        }
+        let lo_x = self.x0 + f64::from(i) * self.cell_w;
+        let hi_x = lo_x + self.cell_w;
+        let lo_y = self.y0 + f64::from(j) * self.cell_h;
+        let hi_y = lo_y + self.cell_h;
+        Some(
+            fine.rep_points()
+                .filter(|p| {
+                    p.x > lo_x - EPS && p.x < hi_x - EPS && p.y > lo_y - EPS && p.y < hi_y - EPS
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_to_cell_centers() {
+        let r = GridResolution::square(0.0, 0.0, 10.0, 4, 4);
+        assert_eq!(r.map(Point::new(3.0, 7.0)), Some(Point::new(5.0, 5.0)));
+        assert_eq!(r.map(Point::new(12.0, 12.0)), Some(Point::new(15.0, 15.0)));
+        // All points of one patch share the representative point.
+        assert_eq!(r.map(Point::new(0.1, 0.1)), r.map(Point::new(9.9, 9.9)));
+    }
+
+    #[test]
+    fn outside_extent_unmapped() {
+        let r = GridResolution::square(0.0, 0.0, 10.0, 4, 4);
+        assert_eq!(r.map(Point::new(-1.0, 5.0)), None);
+        assert_eq!(r.map(Point::new(40.5, 5.0)), None);
+    }
+
+    #[test]
+    fn rep_points_enumerates_all_cells() {
+        let r = GridResolution::square(0.0, 0.0, 1.0, 3, 2);
+        let pts: Vec<Point> = r.rep_points().collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], Point::new(0.5, 0.5));
+        assert_eq!(pts[5], Point::new(2.5, 1.5));
+        assert_eq!(r.point_count(), 6);
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let coarse = GridResolution::square(0.0, 0.0, 10.0, 4, 4);
+        let fine = GridResolution::square(0.0, 0.0, 5.0, 8, 8);
+        let finer = GridResolution::square(0.0, 0.0, 2.5, 16, 16);
+        assert!(fine.refines(&coarse));
+        assert!(finer.refines(&fine));
+        assert!(finer.refines(&coarse)); // transitive by construction
+        assert!(!coarse.refines(&fine)); // not symmetric
+        assert!(coarse.refines(&coarse)); // reflexive
+        assert!(!coarse.strictly_refines(&coarse));
+        assert!(fine.strictly_refines(&coarse));
+    }
+
+    #[test]
+    fn misaligned_grids_do_not_refine() {
+        let coarse = GridResolution::square(0.0, 0.0, 10.0, 4, 4);
+        let shifted = GridResolution::square(1.0, 0.0, 5.0, 8, 8);
+        assert!(!shifted.refines(&coarse));
+        let odd = GridResolution::square(0.0, 0.0, 3.0, 10, 10);
+        assert!(!odd.refines(&coarse));
+    }
+
+    #[test]
+    fn sub_points_cover_the_cell() {
+        let coarse = GridResolution::square(0.0, 0.0, 10.0, 2, 2);
+        let fine = GridResolution::square(0.0, 0.0, 5.0, 4, 4);
+        let rep = Point::new(5.0, 5.0); // cell (0,0) of coarse
+        let subs = coarse.sub_points(&fine, rep).unwrap();
+        assert_eq!(subs.len(), 4);
+        for p in &subs {
+            assert_eq!(coarse.map(*p), Some(rep));
+        }
+        // Not a representative point → None.
+        assert_eq!(coarse.sub_points(&fine, Point::new(1.0, 1.0)), None);
+    }
+
+    #[test]
+    fn negative_origin_grids() {
+        let r = GridResolution::square(-20.0, -20.0, 10.0, 4, 4);
+        assert_eq!(r.map(Point::new(-15.0, -15.0)), Some(Point::new(-15.0, -15.0)));
+        assert_eq!(r.map(Point::new(15.0, 15.0)), Some(Point::new(15.0, 15.0)));
+        assert_eq!(r.map(Point::new(25.0, 0.0)), None);
+    }
+}

@@ -1,0 +1,198 @@
+//! Time intervals with independently open/closed ends (§VI.B).
+//!
+//! The paper extends the interval-uniform operator to supply "an interval
+//! definition in place of the resolution function", covering all four
+//! open/closed end combinations: `&u[t1,t2]`, `&u(t1,t2]`, `&u[t1,t2)`,
+//! `&u(t1,t2)`.
+
+use gdp_engine::Term;
+
+/// A time interval over the real time axis.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Lower bound included?
+    pub lo_closed: bool,
+    /// Upper bound included?
+    pub hi_closed: bool,
+}
+
+impl Interval {
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            lo_closed: true,
+            hi_closed: true,
+        }
+    }
+
+    /// Half-open interval `[lo, hi)`.
+    pub fn right_open(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            lo_closed: true,
+            hi_closed: false,
+        }
+    }
+
+    /// Open interval `(lo, hi)`.
+    pub fn open(lo: f64, hi: f64) -> Interval {
+        Interval {
+            lo,
+            hi,
+            lo_closed: false,
+            hi_closed: false,
+        }
+    }
+
+    /// Does the interval contain instant `t`?
+    pub fn contains(&self, t: f64) -> bool {
+        let lo_ok = if self.lo_closed { t >= self.lo } else { t > self.lo };
+        let hi_ok = if self.hi_closed { t <= self.hi } else { t < self.hi };
+        lo_ok && hi_ok
+    }
+
+    /// Is the interval empty (no instant satisfies it)?
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && !(self.lo_closed && self.hi_closed))
+    }
+
+    /// Is `self` entirely contained in `other`?
+    pub fn subset_of(&self, other: &Interval) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        let lo_ok = self.lo > other.lo
+            || (self.lo == other.lo && (other.lo_closed || !self.lo_closed));
+        let hi_ok = self.hi < other.hi
+            || (self.hi == other.hi && (other.hi_closed || !self.hi_closed));
+        lo_ok && hi_ok
+    }
+
+    /// Do the intervals share at least one instant?
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        if self.is_empty() || other.is_empty() {
+            return false;
+        }
+        // Compare the later lower bound against the earlier upper bound.
+        let (lo, lo_closed) = if self.lo > other.lo {
+            (self.lo, self.lo_closed)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_closed)
+        } else {
+            (self.lo, self.lo_closed && other.lo_closed)
+        };
+        let (hi, hi_closed) = if self.hi < other.hi {
+            (self.hi, self.hi_closed)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_closed)
+        } else {
+            (self.hi, self.hi_closed && other.hi_closed)
+        };
+        lo < hi || (lo == hi && lo_closed && hi_closed)
+    }
+
+    /// Encode as `iv(Lo, Hi, closed|open, closed|open)`.
+    pub fn to_term(&self) -> Term {
+        let end = |closed: bool| Term::atom(if closed { "closed" } else { "open" });
+        Term::pred(
+            "iv",
+            vec![
+                Term::float(self.lo),
+                Term::float(self.hi),
+                end(self.lo_closed),
+                end(self.hi_closed),
+            ],
+        )
+    }
+
+    /// Decode from a ground `iv/4` term (integer bounds accepted).
+    pub fn from_term(t: &Term) -> Option<Interval> {
+        if t.functor()?.as_str() != "iv" || t.arity() != Some(4) {
+            return None;
+        }
+        let args = t.args();
+        let end = |t: &Term| match t.as_atom()?.as_str().as_str() {
+            "closed" => Some(true),
+            "open" => Some(false),
+            _ => None,
+        };
+        Some(Interval {
+            lo: args[0].as_f64()?,
+            hi: args[1].as_f64()?,
+            lo_closed: end(&args[2])?,
+            hi_closed: end(&args[3])?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_respects_ends() {
+        let c = Interval::closed(1.0, 2.0);
+        assert!(c.contains(1.0) && c.contains(2.0) && c.contains(1.5));
+        let o = Interval::open(1.0, 2.0);
+        assert!(!o.contains(1.0) && !o.contains(2.0) && o.contains(1.5));
+        let ro = Interval::right_open(1.0, 2.0);
+        assert!(ro.contains(1.0) && !ro.contains(2.0));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Interval::closed(2.0, 1.0).is_empty());
+        assert!(Interval::open(1.0, 1.0).is_empty());
+        assert!(!Interval::closed(1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn subset_relation() {
+        let big = Interval::closed(0.0, 10.0);
+        assert!(Interval::closed(2.0, 3.0).subset_of(&big));
+        assert!(Interval::closed(0.0, 10.0).subset_of(&big));
+        assert!(!Interval::closed(0.0, 11.0).subset_of(&big));
+        // Open superset does not contain closed endpoints.
+        let open_big = Interval::open(0.0, 10.0);
+        assert!(!Interval::closed(0.0, 5.0).subset_of(&open_big));
+        assert!(Interval::open(0.0, 5.0).subset_of(&open_big));
+        // Empty intervals are subsets of everything.
+        assert!(Interval::open(5.0, 5.0).subset_of(&Interval::closed(99.0, 100.0)));
+    }
+
+    #[test]
+    fn overlap_relation() {
+        let a = Interval::closed(0.0, 5.0);
+        assert!(a.overlaps(&Interval::closed(5.0, 9.0))); // touch at closed 5
+        assert!(!a.overlaps(&Interval::open(5.0, 9.0))); // open end excludes 5
+        assert!(!Interval::right_open(0.0, 5.0).overlaps(&Interval::closed(5.0, 9.0)));
+        assert!(a.overlaps(&Interval::closed(-3.0, 0.5)));
+        assert!(!a.overlaps(&Interval::closed(6.0, 7.0)));
+    }
+
+    #[test]
+    fn term_round_trip() {
+        let iv = Interval::right_open(1970.0, 1980.0);
+        let t = iv.to_term();
+        assert_eq!(t.to_string(), "iv(1970.0, 1980.0, closed, open)");
+        assert_eq!(Interval::from_term(&t), Some(iv));
+        // Integer bounds accepted on decode.
+        let t2 = Term::pred(
+            "iv",
+            vec![
+                Term::int(1),
+                Term::int(2),
+                Term::atom("closed"),
+                Term::atom("closed"),
+            ],
+        );
+        assert_eq!(Interval::from_term(&t2), Some(Interval::closed(1.0, 2.0)));
+    }
+}

@@ -1,0 +1,293 @@
+//! # gdp-temporal — temporal qualification of facts (paper §VI)
+//!
+//! Time as a one-dimensional space: instants, arbitrary intervals with
+//! independently open/closed ends, the temporal counterparts of the four
+//! spatial operators, the *comprehension principle* and *continuity
+//! assumption* (after Clifford & Warren), the `now`/`past`/`present`/
+//! `future` machinery, and the cyclic-phenomena extension.
+//!
+//! ## Example — bridge status over time (continuity assumption, §VI.B)
+//!
+//! ```
+//! use gdp_core::{FactPat, IntervalPat, Pat, Specification, TimeQual};
+//! use gdp_temporal::install_default;
+//!
+//! let mut spec = Specification::new();
+//! install_default(&mut spec).unwrap();
+//! spec.activate_meta_model("continuity_assumption").unwrap();
+//!
+//! // &1970 status(open)(b1).   &1980 status(closed)(b1).
+//! spec.assert_fact(FactPat::new("status").arg("open").arg("b1")
+//!     .time(TimeQual::At(Pat::Int(1970)))).unwrap();
+//! spec.assert_fact(FactPat::new("status").arg("closed").arg("b1")
+//!     .time(TimeQual::At(Pat::Int(1980)))).unwrap();
+//!
+//! // The bridge stayed open throughout [1970, 1980).
+//! let throughout = FactPat::new("status").arg("open").arg("b1")
+//!     .time(TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1980)));
+//! assert!(spec.provable(throughout).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod interval;
+mod natives;
+pub mod ops;
+
+pub use interval::Interval;
+pub use natives::install;
+
+/// Convenience: install the temporal natives, register every temporal
+/// meta-model, and activate the operator packs most specifications want
+/// (`temporal_simple`, `temporal_uniform`, `temporal_sampled`,
+/// `temporal_averaged`, `now_model`).
+///
+/// The comprehension principle, continuity assumption, and cyclic
+/// extension are registered but left inactive: they change what counts as
+/// true and are exactly the kind of "alternate reasoning rules" the paper
+/// says users should opt into per application (§IV.C).
+pub fn install_default(spec: &mut gdp_core::Specification) -> gdp_core::SpecResult<()> {
+    install(spec);
+    spec.register_meta_model(ops::temporal_simple());
+    spec.register_meta_model(ops::interval_uniform());
+    spec.register_meta_model(ops::interval_sampled());
+    spec.register_meta_model(ops::interval_averaged());
+    spec.register_meta_model(ops::comprehension_principle());
+    spec.register_meta_model(ops::continuity_assumption());
+    spec.register_meta_model(ops::now_model());
+    spec.register_meta_model(ops::cyclic_phenomena());
+    spec.activate_meta_model("temporal_simple")?;
+    spec.activate_meta_model("temporal_uniform")?;
+    spec.activate_meta_model("temporal_sampled")?;
+    spec.activate_meta_model("temporal_averaged")?;
+    spec.activate_meta_model("now_model")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_core::{FactPat, IntervalPat, Pat, Specification, TimeQual};
+    use gdp_engine::Term;
+
+    fn setup() -> Specification {
+        let mut spec = Specification::new();
+        install_default(&mut spec).unwrap();
+        spec
+    }
+
+    fn at(t: i64) -> TimeQual {
+        TimeQual::At(Pat::Int(t))
+    }
+
+    fn uniform(lo: i64, hi: i64) -> TimeQual {
+        TimeQual::IntervalUniform(IntervalPat::closed(lo, hi))
+    }
+
+    #[test]
+    fn time_independent_facts_hold_at_instants() {
+        let mut spec = setup();
+        spec.assert_fact(FactPat::new("river").arg("missouri")).unwrap();
+        assert!(spec
+            .provable(FactPat::new("river").arg("missouri").time(at(1986)))
+            .unwrap());
+    }
+
+    #[test]
+    fn uniform_interval_holds_at_member_instants() {
+        let mut spec = setup();
+        spec.assert_fact(
+            FactPat::new("open").arg("b1").time(uniform(1970, 1980)),
+        )
+        .unwrap();
+        assert!(spec
+            .provable(FactPat::new("open").arg("b1").time(at(1975)))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("open").arg("b1").time(at(1985)))
+            .unwrap());
+        // Subinterval inheritance.
+        assert!(spec
+            .provable(FactPat::new("open").arg("b1").time(uniform(1972, 1978)))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("open").arg("b1").time(uniform(1972, 1988)))
+            .unwrap());
+    }
+
+    #[test]
+    fn open_ends_respected() {
+        let mut spec = setup();
+        spec.assert_fact(
+            FactPat::new("flooded").arg("plain").time(TimeQual::IntervalUniform(
+                IntervalPat::right_open(10, 20),
+            )),
+        )
+        .unwrap();
+        assert!(spec
+            .provable(FactPat::new("flooded").arg("plain").time(at(10)))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("flooded").arg("plain").time(at(20)))
+            .unwrap());
+    }
+
+    #[test]
+    fn sampled_interval_from_instant() {
+        let mut spec = setup();
+        spec.assert_fact(FactPat::new("sighting").arg("eagle").time(at(1975)))
+            .unwrap();
+        let sampled = |lo: i64, hi: i64| {
+            FactPat::new("sighting").arg("eagle").time(TimeQual::IntervalSampled(
+                IntervalPat::closed(lo, hi),
+            ))
+        };
+        assert!(spec.provable(sampled(1970, 1980)).unwrap());
+        assert!(!spec.provable(sampled(1980, 1990)).unwrap());
+    }
+
+    #[test]
+    fn averaged_interval_value() {
+        let mut spec = setup();
+        for (t, v) in [(1970, 40.0), (1972, 50.0), (1974, 60.0), (1990, 99.0)] {
+            spec.assert_fact(
+                FactPat::new("temperature")
+                    .arg(Pat::Float(v))
+                    .arg("stl")
+                    .time(at(t)),
+            )
+            .unwrap();
+        }
+        let answers = spec
+            .query(
+                FactPat::new("temperature")
+                    .arg("Z")
+                    .arg("stl")
+                    .time(TimeQual::IntervalAveraged(IntervalPat::closed(1970, 1980))),
+            )
+            .unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(answers[0].get("Z").unwrap().as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn comprehension_principle_is_opt_in() {
+        let mut spec = setup();
+        spec.assert_fact(FactPat::new("dry").arg("lakebed").time(at(1975)))
+            .unwrap();
+        let claim = FactPat::new("dry").arg("lakebed").time(uniform(1970, 1980));
+        // Without the principle: one sample does not make it uniform.
+        assert!(!spec.provable(claim.clone()).unwrap());
+        spec.activate_meta_model("comprehension_principle").unwrap();
+        assert!(spec.provable(claim.clone()).unwrap());
+        spec.deactivate_meta_model("comprehension_principle").unwrap();
+        assert!(!spec.provable(claim).unwrap());
+    }
+
+    #[test]
+    fn continuity_assumption_persists_values() {
+        let mut spec = setup();
+        spec.activate_meta_model("continuity_assumption").unwrap();
+        spec.assert_fact(FactPat::new("status").arg("open").arg("b1").time(at(1970)))
+            .unwrap();
+        spec.assert_fact(FactPat::new("status").arg("closed").arg("b1").time(at(1980)))
+            .unwrap();
+        // Uniformly open over [1970, 1980) …
+        assert!(spec
+            .provable(
+                FactPat::new("status").arg("open").arg("b1").time(
+                    TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1980))
+                )
+            )
+            .unwrap());
+        // … hence open at 1975 (via the uniform operator) …
+        assert!(spec
+            .provable(FactPat::new("status").arg("open").arg("b1").time(at(1975)))
+            .unwrap());
+        // … and NOT closed at 1975.
+        assert!(!spec
+            .provable(FactPat::new("status").arg("closed").arg("b1").time(at(1975)))
+            .unwrap());
+    }
+
+    #[test]
+    fn continuity_blocked_by_intermediate_assertion() {
+        let mut spec = setup();
+        spec.activate_meta_model("continuity_assumption").unwrap();
+        for (t, s) in [(1970, "open"), (1975, "closed"), (1980, "open")] {
+            spec.assert_fact(FactPat::new("status").arg(s).arg("b1").time(at(t)))
+                .unwrap();
+        }
+        // "open" does not persist across the 1975 "closed" assertion.
+        assert!(!spec
+            .provable(
+                FactPat::new("status").arg("open").arg("b1").time(
+                    TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1980))
+                )
+            )
+            .unwrap());
+        assert!(spec
+            .provable(
+                FactPat::new("status").arg("open").arg("b1").time(
+                    TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1975))
+                )
+            )
+            .unwrap());
+    }
+
+    #[test]
+    fn past_present_future_example() {
+        // The paper's example: the year is 1990; past(1971) is provable,
+        // present(1971) and future(1971) are not.
+        let mut spec = setup();
+        spec.set_now(1990.0);
+        let g = |p: &str| Term::pred(p, vec![Term::int(1971)]);
+        assert!(spec.prove_goal(g("past")).unwrap());
+        assert!(!spec.prove_goal(g("present")).unwrap());
+        assert!(!spec.prove_goal(g("future")).unwrap());
+        assert!(spec
+            .prove_goal(Term::pred("future", vec![Term::int(2001)]))
+            .unwrap());
+    }
+
+    #[test]
+    fn now_qualified_facts_follow_the_present() {
+        let mut spec = setup();
+        spec.set_now(1990.0);
+        spec.assert_fact(FactPat::new("capital").arg("jc").time(TimeQual::Now))
+            .unwrap();
+        assert!(spec
+            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1990.0))))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1985.0))))
+            .unwrap());
+        // The present moves; the fact follows.
+        spec.set_now(1995.0);
+        assert!(spec
+            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1995.0))))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1990.0))))
+            .unwrap());
+    }
+
+    #[test]
+    fn cyclic_phenomena_repeat() {
+        let mut spec = setup();
+        spec.activate_meta_model("cyclic_phenomena").unwrap();
+        // Tide is high during the first quarter of each 12-hour cycle.
+        spec.assert_fact(FactPat::new("high_tide").arg("bay").time(TimeQual::Cyclic {
+            period: Pat::Float(12.0),
+            interval: IntervalPat::right_open(0.0, 3.0),
+        }))
+        .unwrap();
+        let at_t = |t: f64| FactPat::new("high_tide").arg("bay").time(TimeQual::At(Pat::Float(t)));
+        assert!(spec.provable(at_t(1.0)).unwrap());
+        assert!(spec.provable(at_t(13.0)).unwrap());
+        assert!(spec.provable(at_t(25.5)).unwrap());
+        assert!(!spec.provable(at_t(5.0)).unwrap());
+        assert!(!spec.provable(at_t(17.0)).unwrap());
+    }
+}

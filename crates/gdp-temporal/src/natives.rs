@@ -1,0 +1,162 @@
+//! Native predicates of the temporal semantic domain.
+//!
+//! These are the "operations over them" of the time domain (§III.B, §VI):
+//! interval membership, subinterval and overlap tests, temporal resolution
+//! mapping, and the cyclic-phenomenon test. All are semi-determinate and
+//! fail (open-world) rather than erroring on insufficiently instantiated
+//! arguments.
+
+use gdp_core::Specification;
+use gdp_engine::resolve_deep;
+
+use crate::interval::Interval;
+
+/// Install the temporal natives into `spec`. Idempotent.
+pub fn install(spec: &mut Specification) {
+    let kb = spec.kb_mut();
+
+    // in_interval(T, IV): ground instant within ground interval.
+    kb.register_native("in_interval", 2, |store, args| {
+        let t = resolve_deep(store, &args[0]);
+        let iv = resolve_deep(store, &args[1]);
+        let (Some(t), Some(iv)) = (t.as_f64(), Interval::from_term(&iv)) else {
+            return Ok(false);
+        };
+        Ok(iv.contains(t))
+    });
+
+    // subinterval(Inner, Outer).
+    kb.register_native("subinterval", 2, |store, args| {
+        let inner = resolve_deep(store, &args[0]);
+        let outer = resolve_deep(store, &args[1]);
+        let (Some(inner), Some(outer)) =
+            (Interval::from_term(&inner), Interval::from_term(&outer))
+        else {
+            return Ok(false);
+        };
+        Ok(inner.subset_of(&outer))
+    });
+
+    // intervals_overlap(IV1, IV2).
+    kb.register_native("intervals_overlap", 2, |store, args| {
+        let a = resolve_deep(store, &args[0]);
+        let b = resolve_deep(store, &args[1]);
+        let (Some(a), Some(b)) = (Interval::from_term(&a), Interval::from_term(&b)) else {
+            return Ok(false);
+        };
+        Ok(a.overlaps(&b))
+    });
+
+    // in_cycle(T, Period, IV): (T mod Period) within IV — the cyclic
+    // phenomena extension (§VI.B).
+    kb.register_native("in_cycle", 3, |store, args| {
+        let t = resolve_deep(store, &args[0]);
+        let period = resolve_deep(store, &args[1]);
+        let iv = resolve_deep(store, &args[2]);
+        let (Some(t), Some(period), Some(iv)) =
+            (t.as_f64(), period.as_f64(), Interval::from_term(&iv))
+        else {
+            return Ok(false);
+        };
+        if period <= 0.0 {
+            return Ok(false);
+        }
+        Ok(iv.contains(t.rem_euclid(period)))
+    });
+
+    // t_cell(Cell, T, IV): the width-`Cell` temporal-resolution patch
+    // containing T, as an interval [k·Cell, (k+1)·Cell). This is how the
+    // resolution-function view of time (§VI.A) unifies with the interval
+    // view (§VI.B): a logical-time point *is* its patch interval.
+    kb.register_native("t_cell", 3, |store, args| {
+        let cell = resolve_deep(store, &args[0]);
+        let t = resolve_deep(store, &args[1]);
+        let (Some(cell), Some(t)) = (cell.as_f64(), t.as_f64()) else {
+            return Ok(false);
+        };
+        if cell <= 0.0 {
+            return Ok(false);
+        }
+        let k = (t / cell).floor();
+        let iv = Interval::right_open(k * cell, (k + 1.0) * cell);
+        Ok(store.unify(&iv.to_term(), &args[2]))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gdp_engine::Term;
+
+    fn spec() -> Specification {
+        let mut s = Specification::new();
+        install(&mut s);
+        s
+    }
+
+    fn iv(lo: f64, hi: f64) -> Term {
+        Interval::closed(lo, hi).to_term()
+    }
+
+    #[test]
+    fn in_interval_checks() {
+        let s = spec();
+        let g = |t: f64| Term::pred("in_interval", vec![Term::float(t), iv(1.0, 2.0)]);
+        assert!(s.prove_goal(g(1.5)).unwrap());
+        assert!(!s.prove_goal(g(2.5)).unwrap());
+        // Integer instants accepted.
+        let g2 = Term::pred("in_interval", vec![Term::int(1), iv(1.0, 2.0)]);
+        assert!(s.prove_goal(g2).unwrap());
+    }
+
+    #[test]
+    fn natives_fail_on_garbage() {
+        let s = spec();
+        let g = Term::pred(
+            "in_interval",
+            vec![Term::atom("yesterday"), Term::atom("whenever")],
+        );
+        assert!(!s.prove_goal(g).unwrap());
+        let g = Term::pred("subinterval", vec![Term::var(0), iv(0.0, 1.0)]);
+        assert!(!s.prove_goal(g).unwrap());
+    }
+
+    #[test]
+    fn subinterval_and_overlap() {
+        let s = spec();
+        let g = Term::pred("subinterval", vec![iv(1.0, 2.0), iv(0.0, 5.0)]);
+        assert!(s.prove_goal(g).unwrap());
+        let g = Term::pred("intervals_overlap", vec![iv(1.0, 3.0), iv(2.0, 5.0)]);
+        assert!(s.prove_goal(g).unwrap());
+        let g = Term::pred("intervals_overlap", vec![iv(1.0, 2.0), iv(3.0, 5.0)]);
+        assert!(!s.prove_goal(g).unwrap());
+    }
+
+    #[test]
+    fn cyclic_membership() {
+        let s = spec();
+        // Day length 24; night hours [22, 24) ∪ [0, 6) — check one side.
+        let night = Interval::right_open(0.0, 6.0).to_term();
+        let g = |t: f64| {
+            Term::pred(
+                "in_cycle",
+                vec![Term::float(t), Term::float(24.0), night.clone()],
+            )
+        };
+        assert!(s.prove_goal(g(27.0)).unwrap()); // 27 mod 24 = 3 → night
+        assert!(!s.prove_goal(g(36.0)).unwrap()); // noon
+        assert!(s.prove_goal(g(-23.0)).unwrap()); // rem_euclid: 1 → night
+    }
+
+    #[test]
+    fn t_cell_builds_patch_interval() {
+        let s = spec();
+        let g = Term::pred(
+            "t_cell",
+            vec![Term::float(10.0), Term::float(23.0), Term::var(0)],
+        );
+        let sols = s.solve_goal(g).unwrap();
+        let got = Interval::from_term(sols[0].get(gdp_engine::Var(0)).unwrap()).unwrap();
+        assert_eq!(got, Interval::right_open(20.0, 30.0));
+    }
+}

@@ -1,0 +1,320 @@
+//! Temporal operators and reasoning models as meta-models (§VI).
+//!
+//! "All the spatial operators have temporal counterparts … temporal logic
+//! may be seen as a special case of the positional logic." Each constructor
+//! below returns one activatable rule pack:
+//!
+//! * [`temporal_simple`] — time-independent facts hold at every instant;
+//! * [`interval_uniform`] / [`interval_sampled`] / [`interval_averaged`] —
+//!   the `&u`, `&s`, `&a` operators over arbitrary intervals (§VI.B);
+//! * [`comprehension_principle`] and [`continuity_assumption`] — the two
+//!   Clifford & Warren models the paper formalizes (§VI.B);
+//! * [`now_model`] — `now`, `past`, `present`, `future`;
+//! * [`cyclic_phenomena`] — the cyclic extension the paper mentions.
+
+use gdp_core::{MetaModel, Pat, RawClause};
+
+fn v(name: &str) -> Pat {
+    Pat::var(name)
+}
+
+fn a(name: &str) -> Pat {
+    Pat::atom(name)
+}
+
+fn goal(name: &str, args: Vec<Pat>) -> Pat {
+    Pat::app(name, args)
+}
+
+fn h(m: Pat, s: Pat, t: Pat, q: Pat, args: Pat) -> Pat {
+    Pat::app("h", vec![m, s, t, q, args])
+}
+
+fn tat(t: Pat) -> Pat {
+    Pat::app("tat", vec![t])
+}
+
+fn tu(iv: Pat) -> Pat {
+    Pat::app("tu", vec![iv])
+}
+
+fn ts(iv: Pat) -> Pat {
+    Pat::app("ts", vec![iv])
+}
+
+fn ta(iv: Pat) -> Pat {
+    Pat::app("ta", vec![iv])
+}
+
+fn cons(head: Pat, tail: Pat) -> Pat {
+    Pat::app(".", vec![head, tail])
+}
+
+/// The simple temporal operator `&t` (§VI.A): time-independent facts are
+/// true at every instant. Guarded by `nonvar(T)` for the same reason as
+/// the spatial counterpart — answers point queries, never enumerates the
+/// continuum.
+pub fn temporal_simple() -> MetaModel {
+    MetaModel::new("temporal_simple")
+        .doc("simple temporal operator: time-independent facts hold at every instant")
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("T")]),
+                h(v("M"), v("S"), a("any"), v("Q"), v("A")),
+            ],
+        ))
+        .build()
+}
+
+/// The interval-uniform operator `&u[t1,t2]` (§VI.B):
+///
+/// * `&u[T1,T2] Q(X) ∧ (T1 ≤ T ≤ T2) ⇒ &T Q(X)` (the paper's closed-case
+///   definition; open ends handled by the interval encoding);
+/// * a uniform fact is inherited by every subinterval.
+pub fn interval_uniform() -> MetaModel {
+    MetaModel::new("temporal_uniform")
+        .doc("interval-uniform operator: interval facts hold at member instants and subintervals")
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("T")]),
+                h(v("M"), v("S"), tu(v("IV")), v("Q"), v("A")),
+                goal("in_interval", vec![v("T"), v("IV")]),
+            ],
+        ))
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), tu(v("IV2")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("IV2")]),
+                h(v("M"), v("S"), tu(v("IV1")), v("Q"), v("A")),
+                goal("\\==", vec![v("IV1"), v("IV2")]),
+                goal("subinterval", vec![v("IV2"), v("IV1")]),
+            ],
+        ))
+        .build()
+}
+
+/// The interval-sampled operator `&s[t1,t2]` (§VI.A/B): the interval holds
+/// a sample if any instant within it does, if any subinterval does, or if
+/// an overlapping uniform interval does.
+pub fn interval_sampled() -> MetaModel {
+    MetaModel::new("temporal_sampled")
+        .doc("interval-sampled operator: an interval holds a sample if any instant in it does")
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), ts(v("IV")), v("Q"), v("A")),
+            &[
+                h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+                goal("in_interval", vec![v("T"), v("IV")]),
+            ],
+        ))
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), ts(v("IV1")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("IV1")]),
+                h(v("M"), v("S"), ts(v("IV2")), v("Q"), v("A")),
+                goal("\\==", vec![v("IV1"), v("IV2")]),
+                goal("subinterval", vec![v("IV2"), v("IV1")]),
+            ],
+        ))
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), ts(v("IV")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("IV")]),
+                h(v("M"), v("S"), tu(v("IV2")), v("Q"), v("A")),
+                goal("intervals_overlap", vec![v("IV"), v("IV2")]),
+            ],
+        ))
+        .build()
+}
+
+/// The interval-averaged operator `&a[t1,t2]` (§VI.A): the fact's value
+/// (first argument, by the same convention as `@a`) is the mean of the
+/// instant-qualified values within the interval.
+pub fn interval_averaged() -> MetaModel {
+    MetaModel::new("temporal_averaged")
+        .doc("interval-averaged operator: interval value is the mean of instant values within")
+        .clause(RawClause::build(
+            &h(
+                v("M"),
+                v("S"),
+                ta(v("IV")),
+                v("Q"),
+                cons(v("Y0"), v("Rest")),
+            ),
+            &[goal(
+                "aggregate",
+                vec![
+                    a("avg"),
+                    v("Y"),
+                    Pat::app(
+                        ",",
+                        vec![
+                            h(v("M"), v("S"), tat(v("T")), v("Q"), cons(v("Y"), v("Rest"))),
+                            goal("in_interval", vec![v("T"), v("IV")]),
+                        ],
+                    ),
+                    v("Y0"),
+                ],
+            )],
+        ))
+        .build()
+}
+
+/// The comprehension principle (§VI.B, after Clifford & Warren): "although
+/// some fact may not be uniformly true over some interval of interest, it
+/// is often expedient to assume that it is":
+/// `&T Q(X) ∧ (t1 ≤ T ≤ t2) ⇒ &u[t1,t2] Q(X)`.
+pub fn comprehension_principle() -> MetaModel {
+    MetaModel::new("comprehension_principle")
+        .doc("comprehension principle: one witness instant makes an interval uniformly true")
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), tu(v("IV")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("IV")]),
+                h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+                goal("in_interval", vec![v("T"), v("IV")]),
+            ],
+        ))
+        .build()
+}
+
+/// The continuity assumption (§VI.B): when only one value of a semantic
+/// domain may qualify an object at a time, "assume that a fact holds true
+/// as long as no conflicting fact has been asserted":
+///
+/// ```text
+/// &T1 Q(Y1)(X) ∧ &T2 Q(Y2)(X) ∧ (∀T: T1 < T < T2 → not(&T Q(Y)(X)))
+///   ⇒ &u[T1,T2) Q(Y1)(X)
+/// ```
+pub fn continuity_assumption() -> MetaModel {
+    MetaModel::new("continuity_assumption")
+        .doc("continuity assumption: a value persists until the next conflicting assertion")
+        .clause(RawClause::build(
+            &h(
+                v("M"),
+                v("S"),
+                tu(Pat::app(
+                    "iv",
+                    vec![v("T1"), v("T2"), a("closed"), a("open")],
+                )),
+                v("Q"),
+                cons(v("Y1"), v("Rest")),
+            ),
+            &[
+                h(v("M"), v("S"), tat(v("T1")), v("Q"), cons(v("Y1"), v("Rest"))),
+                h(v("M"), v("S"), tat(v("T2")), v("Q"), cons(v("Y2"), v("Rest"))),
+                goal("<", vec![v("T1"), v("T2")]),
+                // No assertion strictly between T1 and T2.
+                goal(
+                    "not",
+                    vec![Pat::app(
+                        ",",
+                        vec![
+                            h(v("M"), v("S"), tat(v("T")), v("Q"), cons(v("Y"), v("Rest"))),
+                            Pat::app(
+                                ",",
+                                vec![
+                                    goal(">", vec![v("T"), v("T1")]),
+                                    goal("<", vec![v("T"), v("T2")]),
+                                ],
+                            ),
+                        ],
+                    )],
+                ),
+            ],
+        ))
+        .build()
+}
+
+/// The present moment (§VI.B): `past/1`, `present/1`, `future/1` against
+/// the kernel's `now_is/1` fact, and the `&now` expansion
+/// `&now Q(X) ∧ present(T) ⇒ &T Q(X)`.
+pub fn now_model() -> MetaModel {
+    MetaModel::new("now_model")
+        .doc("the present moment: past/present/future and the `now` placeholder")
+        // Two clauses: the first *binds* an unbound instant to the
+        // stored present; the second *tests* a bound instant numerically,
+        // so integer-valued queries match the float-valued `now_is` fact.
+        .clause(RawClause::build(
+            &goal("present", vec![v("T")]),
+            &[goal("var", vec![v("T")]), goal("now_is", vec![v("T")])],
+        ))
+        .clause(RawClause::build(
+            &goal("present", vec![v("T")]),
+            &[
+                goal("nonvar", vec![v("T")]),
+                goal("now_is", vec![v("N")]),
+                goal("=:=", vec![v("T"), v("N")]),
+            ],
+        ))
+        .clause(RawClause::build(
+            &goal("past", vec![v("T")]),
+            &[
+                goal("now_is", vec![v("N")]),
+                goal("<", vec![v("T"), v("N")]),
+            ],
+        ))
+        .clause(RawClause::build(
+            &goal("future", vec![v("T")]),
+            &[
+                goal("now_is", vec![v("N")]),
+                goal(">", vec![v("T"), v("N")]),
+            ],
+        ))
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+            &[
+                h(v("M"), v("S"), a("now"), v("Q"), v("A")),
+                goal("present", vec![v("T")]),
+            ],
+        ))
+        .build()
+}
+
+/// Cyclic phenomena (the extension §VI.B mentions without detailing): a
+/// fact qualified `cyc(Period, IV)` holds at every instant whose phase
+/// within the cycle falls in the interval.
+pub fn cyclic_phenomena() -> MetaModel {
+    MetaModel::new("cyclic_phenomena")
+        .doc("cyclic extension of the interval-uniform operator")
+        .clause(RawClause::build(
+            &h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+            &[
+                goal("nonvar", vec![v("T")]),
+                h(
+                    v("M"),
+                    v("S"),
+                    Pat::app("cyc", vec![v("Period"), v("IV")]),
+                    v("Q"),
+                    v("A"),
+                ),
+                goal("in_cycle", vec![v("T"), v("Period"), v("IV")]),
+            ],
+        ))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packs_have_expected_sizes() {
+        assert_eq!(temporal_simple().clauses().len(), 1);
+        assert_eq!(interval_uniform().clauses().len(), 2);
+        assert_eq!(interval_sampled().clauses().len(), 3);
+        assert_eq!(interval_averaged().clauses().len(), 1);
+        assert_eq!(comprehension_principle().clauses().len(), 1);
+        assert_eq!(continuity_assumption().clauses().len(), 1);
+        assert_eq!(now_model().clauses().len(), 5);
+        assert_eq!(cyclic_phenomena().clauses().len(), 1);
+    }
+
+    #[test]
+    fn continuity_head_is_right_open() {
+        let mm = continuity_assumption();
+        let head = mm.clauses()[0].head.to_string();
+        assert!(head.contains("closed, open"), "head: {head}");
+    }
+}

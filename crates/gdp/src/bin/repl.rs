@@ -1,0 +1,191 @@
+//! gdp-repl — an interactive requirements-specification shell.
+//!
+//! The paper frames specification as an interactive validation activity;
+//! this shell is the workbench: type statements in the specification
+//! language (terminated by `.`), query with `?- … .`, and use `:`-commands
+//! for session control.
+//!
+//! ```text
+//! $ cargo run -p gdp --bin gdp-repl
+//! gdp> bridge(b1). bridge(b2). open(b1).
+//! gdp> closed(X) :- bridge(X), not(open(X)).
+//! gdp> ?- closed(X).
+//! X = b2
+//! gdp> :why closed(b2)
+//! closed(b2)   [rule in rules] …
+//! ```
+
+use std::io::{BufRead, Write};
+
+use gdp::lang::{parse_formula, Loader};
+use gdp::prelude::*;
+
+const HELP: &str = "\
+statements  any specification-language statement ending in `.`
+            (facts, rules, constraints, #directives, `?- query.`)
+:load FILE  load a specification file
+:why GOAL   explain why a fact is provable (proof tree)
+:check      run consistency checking against the active world view
+:views      show the active world view and meta-view
+:stats      knowledge-base statistics
+:budget S D set the per-query step and depth budget
+:help       this text
+:quit       exit";
+
+fn main() {
+    let mut spec = match gdp::standard_spec() {
+        Ok((spec, reg)) => Session { spec, reg },
+        Err(e) => {
+            eprintln!("failed to initialize: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Make the fuzzy rule packs available out of the box.
+    spec.spec
+        .register_meta_model(gdp::fuzzy::unified_fuzzy(gdp::fuzzy::UnifyPolicy::Max));
+
+    println!("gdp-repl — formal GDP requirements shell (:help for help)");
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    loop {
+        if buffer.is_empty() {
+            print!("gdp> ");
+        } else {
+            print!("...> ");
+        }
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            if !spec.command(trimmed) {
+                break;
+            }
+            continue;
+        }
+        buffer.push_str(&line);
+        // A statement ends with `.` at end of line (ignoring whitespace).
+        if trimmed.ends_with('.') {
+            let source = std::mem::take(&mut buffer);
+            spec.run_source(&source);
+        }
+    }
+}
+
+struct Session {
+    spec: Specification,
+    reg: SpatialRegistry,
+}
+
+impl Session {
+    fn run_source(&mut self, source: &str) {
+        match Loader::with_spatial(&mut self.spec, &self.reg).load_str(source) {
+            Ok(summary) => {
+                for answers in &summary.query_results {
+                    if answers.is_empty() {
+                        println!("no.");
+                        continue;
+                    }
+                    // Deduplicate repeated derivations for display.
+                    let mut seen = Vec::new();
+                    for answer in answers {
+                        let line = if answer.bindings().is_empty() {
+                            "yes.".to_string()
+                        } else {
+                            answer
+                                .bindings()
+                                .iter()
+                                .map(|(name, value)| format!("{name} = {value}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        };
+                        if !seen.contains(&line) {
+                            println!("{line}");
+                            seen.push(line);
+                        }
+                    }
+                }
+                let loaded = summary.facts + summary.rules + summary.constraints;
+                if loaded > 0 {
+                    println!(
+                        "ok ({} facts, {} rules, {} constraints)",
+                        summary.facts, summary.rules, summary.constraints
+                    );
+                }
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+
+    /// Returns false to quit.
+    fn command(&mut self, input: &str) -> bool {
+        let (cmd, rest) = match input.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (input, ""),
+        };
+        match cmd {
+            ":quit" | ":q" | ":exit" => return false,
+            ":help" | ":h" => println!("{HELP}"),
+            ":load" => match std::fs::read_to_string(rest) {
+                Ok(source) => self.run_source(&source),
+                Err(e) => println!("error: cannot read {rest}: {e}"),
+            },
+            ":why" => match parse_formula(rest) {
+                Ok(gdp::core::Formula::Fact(pat)) => {
+                    match self.spec.explain_fact(pat) {
+                        Ok(Some(proof)) => print!("{}", proof.render()),
+                        Ok(None) => println!("not provable."),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                Ok(_) => println!("error: :why takes a single fact goal"),
+                Err(e) => println!("error: {e}"),
+            },
+            ":check" => match self.spec.check_consistency() {
+                Ok(violations) if violations.is_empty() => {
+                    println!("consistent (no constraint violations).")
+                }
+                Ok(violations) => {
+                    for v in violations {
+                        println!("{v}");
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ":views" => {
+                println!("world view: {}", self.spec.world_view().join(", "));
+                println!("meta view:  {}", self.spec.meta_view().join(", "));
+            }
+            ":stats" => {
+                println!(
+                    "{} clauses across {} predicates; grids: {}",
+                    self.spec.kb().clause_count(),
+                    self.spec.kb().predicate_count(),
+                    self.reg.grid_names().join(", ")
+                );
+            }
+            ":budget" => {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                match (
+                    parts.first().and_then(|s| s.parse::<u64>().ok()),
+                    parts.get(1).and_then(|s| s.parse::<u32>().ok()),
+                ) {
+                    (Some(steps), Some(depth)) => {
+                        self.spec.set_budget(steps, depth);
+                        println!("budget: {steps} steps, depth {depth}");
+                    }
+                    _ => println!("usage: :budget <steps> <depth>"),
+                }
+            }
+            other => println!("unknown command {other} (:help for help)"),
+        }
+        true
+    }
+}

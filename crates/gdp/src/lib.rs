@@ -1,0 +1,116 @@
+//! # gdp — Formal Specification of Geographic Data Processing Requirements
+//!
+//! An executable implementation of the formalism from Gruia-Catalin Roman,
+//! *"Formal Specification of Geographic Data Processing Requirements"*
+//! (Proc. 2nd International Conference on Data Engineering, 1986; IEEE CS
+//! Outstanding Paper Award; reprinted IEEE TKDE 2(4), 1990).
+//!
+//! The formalism specifies the *data and knowledge requirements* of
+//! geographic data processing systems in a representation-independent,
+//! executable subset of first-order logic, with second-order meta-rules
+//! for user-defined reasoning about space, time, and accuracy. This crate
+//! re-exports the whole system:
+//!
+//! | crate | paper section | contents |
+//! |---|---|---|
+//! | [`engine`] | — | the logic substrate (SLD resolution, NAF, aggregation) |
+//! | [`core`] | §II–IV | objects, facts, virtual facts, domains, constraints, models, world views, meta-models |
+//! | [`spatial`] | §V | absolute/logical space, the four spatial operators, abstraction rules |
+//! | [`temporal`] | §VI | intervals, temporal operators, comprehension/continuity, `now` |
+//! | [`fuzzy`] | §VII | fuzzy logic, thresholds, the unified operator, `AC` propagation |
+//! | [`lang`] | — | the concrete textual syntax the prototype implies |
+//! | [`datagen`] | — | synthetic geography (substitute for DMA data) |
+//! | [`render`] | §I | ASCII/PPM/SVG rendering of logical information |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gdp::prelude::*;
+//!
+//! let mut spec = Specification::new();
+//! gdp::lang::load(&mut spec, r#"
+//!     bridge(b1). bridge(b2). open(b1).
+//!     closed(X) :- bridge(X), not(open(X)).
+//! "#).unwrap();
+//! assert!(spec.provable(FactPat::new("closed").arg("b2")).unwrap());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use gdp_core as core;
+pub use gdp_datagen as datagen;
+pub use gdp_engine as engine;
+pub use gdp_fuzzy as fuzzy;
+pub use gdp_lang as lang;
+pub use gdp_render as render;
+pub use gdp_spatial as spatial;
+pub use gdp_temporal as temporal;
+
+/// The most common imports, together.
+pub mod prelude {
+    pub use gdp_core::{
+        Answer, ArgsPat, CmpOp, Constraint, DomainDef, FactPat, Formula, IntervalPat, MetaModel,
+        Pat, RawClause, Rule, Sort, SortEnforcement, SpaceQual, SpecError, SpecResult,
+        Specification, TimeQual, Violation,
+    };
+    pub use gdp_engine::{Budget, KnowledgeBase, Solver, Term};
+    pub use gdp_spatial::{GridResolution, Point, SpatialRegistry};
+    pub use gdp_temporal::Interval;
+}
+
+/// Build a specification with the spatial and temporal layers installed
+/// with their default meta-models, returning the spatial registry handle.
+///
+/// This is the configuration most examples and experiments start from;
+/// fuzzy meta-models stay opt-in (register what you need from
+/// [`fuzzy::ops`]).
+pub fn standard_spec(
+) -> gdp_core::SpecResult<(gdp_core::Specification, gdp_spatial::SpatialRegistry)> {
+    let mut spec = gdp_core::Specification::new();
+    let registry = gdp_spatial::install_default(&mut spec)?;
+    gdp_temporal::install_default(&mut spec)?;
+    Ok((spec, registry))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn standard_spec_has_both_layers() {
+        let (spec, _reg) = crate::standard_spec().unwrap();
+        let meta = spec.meta_view();
+        assert!(meta.iter().any(|m| m == "spatial_uniform"));
+        assert!(meta.iter().any(|m| m == "temporal_uniform"));
+    }
+
+    #[test]
+    fn layers_compose_spacetime_facts() {
+        let (mut spec, reg) = crate::standard_spec().unwrap();
+        reg.add_grid(&mut spec, "g", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
+            .unwrap();
+        // A patch fact valid only during [1970, 1980).
+        spec.assert_fact(
+            FactPat::new("flooded")
+                .arg("plain")
+                .space(SpaceQual::AreaUniform {
+                    res: Pat::atom("g"),
+                    at: Pat::app("pt", vec![Pat::Float(5.0), Pat::Float(5.0)]),
+                })
+                .time(TimeQual::IntervalUniform(IntervalPat::right_open(
+                    1970, 1980,
+                ))),
+        )
+        .unwrap();
+        let probe = |x: f64, t: i64| {
+            FactPat::new("flooded")
+                .arg("plain")
+                .at(Pat::app("pt", vec![Pat::Float(x), Pat::Float(3.0)]))
+                .time(TimeQual::At(Pat::Int(t)))
+        };
+        assert!(spec.provable(probe(3.0, 1975)).unwrap());
+        assert!(!spec.provable(probe(3.0, 1985)).unwrap());
+        assert!(!spec.provable(probe(13.0, 1975)).unwrap());
+    }
+}

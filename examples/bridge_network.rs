@@ -1,0 +1,150 @@
+//! Bridge network: a generated road network loaded as facts, the paper's
+//! `open_road` logic at scale, bridge histories under the continuity
+//! assumption (§VI.B), and world views separating planning assumptions
+//! from field reports (§III.D–E).
+//!
+//! Run with: `cargo run -p gdp --example bridge_network`
+
+use gdp::datagen::{Network, NetworkConfig, Terrain, TerrainConfig};
+use gdp::prelude::*;
+
+fn at_year(y: i64) -> TimeQual {
+    TimeQual::At(Pat::Int(y))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let terrain = Terrain::generate(TerrainConfig {
+        seed: 7,
+        water_level: 0.5,
+        ..TerrainConfig::default()
+    });
+    let network = Network::generate(&terrain, NetworkConfig::default());
+    println!(
+        "network: {} cities, {} roads, {} bridges",
+        network.cities.len(),
+        network.roads.len(),
+        network.bridge_count()
+    );
+
+    let (mut spec, _reg) = gdp::standard_spec()?;
+
+    // ----- load the network as basic facts ----------------------------------
+    spec.declare_predicate("road", vec![Sort::Object])?;
+    spec.declare_predicate("bridge", vec![Sort::Object, Sort::Object])?;
+    for city in &network.cities {
+        let name = format!("city{}", city.id);
+        spec.assert_fact(
+            FactPat::new("population")
+                .arg(Pat::Int(i64::from(city.population)))
+                .arg(name.as_str()),
+        )?;
+    }
+    for road in &network.roads {
+        let rname = format!("road{}", road.id);
+        spec.assert_fact(FactPat::new("road").arg(rname.as_str()))?;
+        spec.assert_fact(
+            FactPat::new("connects")
+                .arg(rname.as_str())
+                .arg(format!("city{}", road.cities.0).as_str())
+                .arg(format!("city{}", road.cities.1).as_str()),
+        )?;
+        for bridge in &road.bridges {
+            let bname = format!("bridge{}", bridge.id);
+            spec.assert_fact(
+                FactPat::new("bridge").arg(bname.as_str()).arg(rname.as_str()),
+            )?;
+            if bridge.open {
+                spec.assert_fact(FactPat::new("open").arg(bname.as_str()))?;
+            }
+        }
+    }
+
+    // ----- the paper's §III.A rules ------------------------------------------
+    gdp::lang::load(
+        &mut spec,
+        r#"
+        open_road(X) :- road(X), forall(bridge(Y, X), open(Y)).
+        closed(X) :- bridge(X, R), not(open(X)).
+        reachable(A, B) :- connects(R, A, B), open_road(R).
+        reachable(A, B) :- connects(R, B, A), open_road(R).
+        "#,
+    )?;
+
+    let open_roads = spec.query(FactPat::new("open_road").arg("R"))?;
+    let closed_bridges = spec.query(FactPat::new("closed").arg("B"))?;
+    println!(
+        "{} of {} roads fully open; {} bridges presumed closed",
+        open_roads.len(),
+        network.roads.len(),
+        closed_bridges.len()
+    );
+    let reachable = spec.query(FactPat::new("reachable").arg("city0").arg("B"))?;
+    println!(
+        "city0 directly reaches: {:?}",
+        reachable
+            .iter()
+            .map(|a| a.get("B").unwrap().to_string())
+            .collect::<Vec<_>>()
+    );
+
+    // ----- §VI: bridge history under the continuity assumption ---------------
+    spec.activate_meta_model("continuity_assumption")?;
+    gdp::lang::load(
+        &mut spec,
+        r#"
+        & 1970 status(open)(bridge0).
+        & 1978 status(repairs)(bridge0).
+        & 1981 status(open)(bridge0).
+        "#,
+    )?;
+    for year in [1974, 1979, 1985] {
+        let open_then = spec.provable(
+            FactPat::new("status").arg("open").arg("bridge0").time(at_year(year)),
+        )?;
+        let repairs_then = spec.provable(
+            FactPat::new("status")
+                .arg("repairs")
+                .arg("bridge0")
+                .time(at_year(year)),
+        )?;
+        println!(
+            "bridge0 in {year}: open={open_then} repairs={repairs_then} \
+             (value persists until the next conflicting assertion)"
+        );
+    }
+
+    // past/present/future (§VI.B): the year is 1990.
+    spec.set_now(1990.0);
+    let past = spec.prove_goal(Term::pred("past", vec![Term::int(1971)]))?;
+    let future = spec.prove_goal(Term::pred("future", vec![Term::int(1971)]))?;
+    println!("with now=1990: past(1971)={past}, future(1971)={future}");
+
+    // ----- §III.D–E: planning vs field models --------------------------------
+    // Planners assume bridge1 is open; a field report says otherwise.
+    spec.declare_model("planning");
+    spec.declare_model("field_report");
+    spec.assert_fact(FactPat::new("open").arg("bridge1").model("planning"))?;
+    spec.assert_fact(FactPat::new("damaged").arg("bridge1").model("field_report"))?;
+    spec.constrain(
+        Constraint::new("open_but_damaged")
+            .witness("B")
+            .when(Formula::and(
+                Formula::fact(FactPat::new("open").arg("B")),
+                Formula::fact(FactPat::new("damaged").arg("B")),
+            )),
+    )?;
+    for view in [
+        vec!["omega", "planning"],
+        vec!["omega", "field_report"],
+        vec!["omega", "planning", "field_report"],
+    ] {
+        spec.set_world_view(&view)?;
+        let violations = spec.check_consistency()?;
+        println!(
+            "world view {view:?}: {} violations",
+            violations.len()
+        );
+    }
+
+    Ok(())
+}

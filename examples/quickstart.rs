@@ -1,0 +1,90 @@
+//! Quickstart: the paper's own bridge-and-road world (§II–III), written in
+//! the specification language, queried, and consistency-checked.
+//!
+//! Run with: `cargo run -p gdp --example quickstart`
+
+use gdp::lang::{load, query};
+use gdp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut spec = Specification::new();
+
+    // ----- §II.B: basic facts; §III.A: virtual facts ------------------------
+    let summary = load(
+        &mut spec,
+        r#"
+        // Raw data: roads, intersections, bridges, and what we know of
+        // their status (positive facts only — §II.B).
+        road(s1). road(s2).
+        road_intersection(s1, s2).
+        bridge(b1, s1). bridge(b2, s1). bridge(b3, s2).
+        open(b1). open(b2).
+
+        // "A road is open if all bridges on that road are open."
+        open_road(X) :- road(X), forall(bridge(Y, X), open(Y)).
+
+        // "A bridge that is not open is assumed to be closed."
+        closed(X) :- bridge(X, R), not(open(X)).
+
+        // "A bridge that is open or closed has a known status."
+        known_status(X) :- bridge(X, R), (open(X) ; closed(X)).
+
+        // §I: "any city whose population exceeds one million is a large city"
+        population(2800000)(saint_louis).
+        population(40000)(jefferson_city).
+        large_city(X) :- population(N)(X), N > 1000000.
+        "#,
+    )?;
+    println!(
+        "loaded {} facts, {} rules\n",
+        summary.facts, summary.rules
+    );
+
+    println!("open roads:");
+    for answer in query(&spec, "open_road(X)")? {
+        println!("  {}", answer.get("X").unwrap());
+    }
+
+    println!("closed bridges (negation as failure — open world, §III.A):");
+    for answer in query(&spec, "closed(B)")? {
+        println!("  {}", answer.get("B").unwrap());
+    }
+
+    println!("large cities:");
+    for answer in query(&spec, "large_city(C)")? {
+        println!("  {}", answer.get("C").unwrap());
+    }
+
+    // ----- §III.C–E: constraints, models, world views -----------------------
+    load(
+        &mut spec,
+        r#"
+        // Two sources disagree about Missouri's capital; the rumor lives
+        // in its own model (§III.D).
+        capital_of(jefferson_city, missouri).
+        rumor'capital_of(saint_louis, missouri).
+
+        // "Each state has only one capital city" (§III.C).
+        constraint two_capitals(Z) :-
+            capital_of(X, Z), capital_of(Y, Z), X \= Y.
+        "#,
+    )?;
+
+    let violations = spec.check_consistency()?;
+    println!(
+        "\nconsistency under the default world view (omega only): {} violations",
+        violations.len()
+    );
+
+    // Admit the rumor model: now the constraint fires (§III.E — "a
+    // constraint violation may occur in one world view but not in the
+    // other").
+    spec.set_world_view(&["omega", "rumor"])?;
+    let violations = spec.check_consistency()?;
+    println!("consistency with the rumor model admitted:");
+    for v in &violations {
+        println!("  {v}");
+    }
+
+    Ok(())
+}

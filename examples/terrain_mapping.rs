@@ -1,0 +1,216 @@
+//! Terrain mapping: synthetic terrain loaded as spatial facts, queried
+//! through the spatial operators (§V), generalized to a coarser map with
+//! the island-thresholding and shore-line abstraction rules (§V.D), and
+//! rendered — the IP8500 demonstration, in software.
+//!
+//! Run with: `cargo run -p gdp --example terrain_mapping`
+//! Writes `terrain_fine.ppm` / `terrain_coarse.ppm` / `terrain.svg` into
+//! the working directory.
+
+use gdp::datagen::{Terrain, TerrainConfig};
+use gdp::prelude::*;
+use gdp::render::{Layer, MapRenderer, Rgb};
+use gdp::spatial::abstraction::{abstraction_meta_model, compose_rule, threshold_copy_rule};
+
+fn pt(x: f64, y: f64) -> Pat {
+    Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)])
+}
+
+fn uniform(res: &str, x: f64, y: f64) -> SpaceQual {
+    SpaceQual::AreaUniform {
+        res: Pat::atom(res),
+        at: pt(x, y),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- synthetic world (substitute for DMA map data) --------------------
+    let terrain = Terrain::generate(TerrainConfig {
+        seed: 60,
+        width: 32,
+        height: 32,
+        feature_scale: 9.0,
+        octaves: 4,
+        water_level: 0.52,
+        max_elevation: 1000.0,
+    });
+    println!(
+        "terrain: {}x{} cells, {:.0}% water, {} lakes, {} islands, {} peaks",
+        terrain.width(),
+        terrain.height(),
+        terrain.water_fraction() * 100.0,
+        terrain.lakes().len(),
+        terrain.islands().len(),
+        terrain.peaks().len(),
+    );
+
+    // ----- specification: two logical spaces, fine refines coarse -----------
+    let (mut spec, reg) = gdp::standard_spec()?;
+    spec.set_budget(200_000_000, 256);
+    let fine = GridResolution::square(0.0, 0.0, 1.0, terrain.width(), terrain.height());
+    let coarse = GridResolution::square(0.0, 0.0, 4.0, terrain.width() / 4, terrain.height() / 4);
+    reg.add_grid(&mut spec, "fine", fine)?;
+    reg.add_grid(&mut spec, "coarse", coarse)?;
+
+    // Load terrain as @u[fine] facts: cover classes, water, shores, and
+    // island membership.
+    let islands = terrain.islands();
+    for j in 0..terrain.height() {
+        for i in 0..terrain.width() {
+            let (cx, cy) = (f64::from(i) + 0.5, f64::from(j) + 0.5);
+            let cover = terrain.cover(i, j);
+            spec.assert_fact(
+                FactPat::new("cover")
+                    .arg(cover.name())
+                    .arg("land")
+                    .space(uniform("fine", cx, cy)),
+            )?;
+            if terrain.is_water(i, j) {
+                spec.assert_fact(
+                    FactPat::new("water").arg("sea").space(uniform("fine", cx, cy)),
+                )?;
+            }
+            if terrain.is_shore(i, j) {
+                spec.assert_fact(
+                    FactPat::new("shore").arg("sea").space(uniform("fine", cx, cy)),
+                )?;
+            }
+            spec.assert_fact(
+                FactPat::new("elevation")
+                    .arg(Pat::Float(terrain.elevation(i, j)))
+                    .arg("land")
+                    .space(uniform("fine", cx, cy)),
+            )?;
+        }
+    }
+    for island in &islands {
+        let name = format!("island{}", island.id);
+        for &(i, j) in &island.cells {
+            spec.assert_fact(
+                FactPat::new("island")
+                    .arg(name.as_str())
+                    .space(uniform("fine", f64::from(i) + 0.5, f64::from(j) + 0.5)),
+            )?;
+        }
+    }
+    // Rivers are line features thinner than any patch: assert them as
+    // simple point facts so only the sampled operator can see them (§V.C).
+    let rivers = terrain.rivers(2);
+    for (idx, river) in rivers.iter().enumerate() {
+        let name = format!("river{idx}");
+        for &(i, j) in river {
+            spec.assert_fact(
+                FactPat::new("river")
+                    .arg(name.as_str())
+                    .at(pt(f64::from(i) + 0.5, f64::from(j) + 0.5)),
+            )?;
+        }
+    }
+    println!(
+        "loaded {} clauses ({} rivers traced)",
+        spec.kb().clause_count(),
+        rivers.len()
+    );
+
+    // ----- §V.C: operators at work ------------------------------------------
+    // Point query through @u: what's the cover at (10.3, 20.7)?
+    let answers = spec.query(
+        FactPat::new("cover").arg("C").arg("land").at(pt(10.3, 20.7)),
+    )?;
+    println!(
+        "cover at (10.3, 20.7): {}",
+        answers
+            .first()
+            .and_then(|a| a.get("C").cloned())
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "unknown".into())
+    );
+
+    // Area average through @a: mean elevation of a coarse patch.
+    let answers = spec.query(
+        FactPat::new("elevation")
+            .arg("Z")
+            .arg("land")
+            .space(SpaceQual::AreaAveraged {
+                res: Pat::atom("coarse"),
+                at: pt(2.0, 2.0),
+            }),
+    )?;
+    if let Some(z) = answers.first().and_then(|a| a.get("Z").and_then(Term::as_f64)) {
+        println!("average elevation of coarse patch (2,2): {z:.1} m");
+    }
+
+    // ----- rendering (the IP8500 stand-in) -----------------------------------
+    // The source map renders *before* the generalization meta-model is
+    // activated: once active, a fine-grid island query also explores the
+    // derived coarse island patches (and each derivation re-counts island
+    // sizes), which is semantically sound but turns every fine-map miss
+    // into a size computation.
+    let fine_map = MapRenderer::new("fine")
+        .layer(Layer::uniform("cover", '^', Rgb(130, 130, 140)).with_args(vec![
+            Pat::atom("alpine"),
+            Pat::atom("land"),
+        ]))
+        .layer(Layer::uniform("cover", 'T', Rgb(34, 120, 50)).with_args(vec![
+            Pat::atom("forest"),
+            Pat::atom("land"),
+        ]))
+        .layer(Layer::uniform("cover", 'm', Rgb(110, 140, 70)).with_args(vec![
+            Pat::atom("marsh"),
+            Pat::atom("land"),
+        ]))
+        .layer(Layer::uniform("water", '~', Rgb(40, 80, 180)))
+        .layer(Layer::uniform("island", 'o', Rgb(220, 180, 80)))
+        .layer(Layer::sampled("river", 'r', Rgb(90, 160, 255)));
+    println!("\nfine map (32x32):\n{}", fine_map.render_ascii(&spec, &reg)?);
+    // One frame evaluation serves both raster formats.
+    let fine_frame = fine_map.render_frame(&spec, &reg)?;
+    std::fs::write("terrain_fine.ppm", fine_frame.to_ppm())?;
+    std::fs::write("terrain.svg", fine_frame.to_svg(12))?;
+
+    // ----- §V.D: map generalization ------------------------------------------
+    // Islands survive only if they cover > 2 fine patches; lake+shore
+    // compose into a coarse shore_line.
+    spec.register_meta_model(abstraction_meta_model(
+        "map_generalization",
+        vec![
+            threshold_copy_rule("island", "fine", "coarse", 2),
+            compose_rule("water", "shore", "shore_line", "fine", "coarse"),
+        ],
+    ));
+    spec.activate_meta_model("map_generalization")?;
+
+    let mut kept = 0;
+    for island in &islands {
+        let name = format!("island{}", island.id);
+        let (i, j) = island.cells[0];
+        let rep = coarse
+            .map(Point::new(f64::from(i) + 0.5, f64::from(j) + 0.5))
+            .expect("island cell inside extent");
+        let visible = spec.provable(
+            FactPat::new("island")
+                .arg(name.as_str())
+                .space(uniform("coarse", rep.x, rep.y)),
+        )?;
+        if visible {
+            kept += 1;
+        }
+        println!(
+            "  island{} ({} patches) -> {} on the coarse map",
+            island.id,
+            island.cells.len(),
+            if visible { "kept" } else { "dropped" }
+        );
+    }
+    println!("{kept}/{} islands survive generalization", islands.len());
+
+    let coarse_map = MapRenderer::new("coarse")
+        .layer(Layer::sampled("water", '~', Rgb(40, 80, 180)))
+        .layer(Layer::uniform("shore_line", '#', Rgb(240, 220, 100)))
+        .layer(Layer::uniform("island", 'o', Rgb(220, 180, 80)));
+    println!("coarse map (8x8) after generalization:\n{}", coarse_map.render_ascii(&spec, &reg)?);
+    std::fs::write("terrain_coarse.ppm", coarse_map.render_frame(&spec, &reg)?.to_ppm())?;
+    println!("wrote terrain_fine.ppm, terrain_coarse.ppm, terrain.svg");
+
+    Ok(())
+}

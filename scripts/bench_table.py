@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Extract Criterion median estimates from a `cargo bench` log into the
+markdown table EXPERIMENTS.md embeds.
+
+Usage: python3 scripts/bench_table.py bench_output.txt
+"""
+import re
+import sys
+from collections import OrderedDict
+
+
+def main(path: str) -> None:
+    # Short names:  B1_x/100    time: [lo med hi]
+    # Long names wrap: the name prints on its own line, `time:` on the next.
+    inline = re.compile(r"^(\S+?)\s+time:\s+\[\S+ \S+ ([0-9.]+) (\S+)")
+    bare_time = re.compile(r"^\s+time:\s+\[\S+ \S+ ([0-9.]+) (\S+)")
+    name_line = re.compile(r"^([A-Za-z0-9_]+/\S+)\s*$")
+    rows = OrderedDict()
+    last_name = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = inline.match(line)
+            if m:
+                rows[m.group(1)] = (float(m.group(2)), m.group(3).rstrip("]"))
+                last_name = None
+                continue
+            m = name_line.match(line)
+            if m:
+                last_name = m.group(1)
+                continue
+            m = bare_time.match(line)
+            if m and last_name:
+                rows[last_name] = (float(m.group(1)), m.group(2).rstrip("]"))
+                last_name = None
+    groups = OrderedDict()
+    for name, (med, unit) in rows.items():
+        group, _, param = name.partition("/")
+        groups.setdefault(group, []).append((param or "-", med, unit))
+    print("| benchmark | parameter | median |")
+    print("|-----------|-----------|--------|")
+    for group in sorted(groups, key=bench_sort_key):
+        for param, med, unit in groups[group]:
+            print(f"| {group} | {param} | {med:g} {unit} |")
+
+
+def bench_sort_key(name: str):
+    m = re.match(r"B(\d+)", name)
+    return (int(m.group(1)) if m else 99, name)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt")

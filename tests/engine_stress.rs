@@ -1,0 +1,223 @@
+//! Engine stress tests: classic logic programs with deep backtracking,
+//! exercising clause resolution, arithmetic, NAF, and the choice-point
+//! machinery well beyond the formalism's typical rule shapes.
+
+use gdp::core::{Pat, RawClause};
+use gdp::prelude::*;
+
+fn v(name: &str) -> Pat {
+    Pat::var(name)
+}
+
+fn g(name: &str, args: Vec<Pat>) -> Pat {
+    Pat::app(name, args)
+}
+
+fn cons(h: Pat, t: Pat) -> Pat {
+    Pat::app(".", vec![h, t])
+}
+
+fn nil() -> Pat {
+    Pat::Term(Term::nil())
+}
+
+fn assert_clauses(kb: &mut KnowledgeBase, clauses: Vec<RawClause>) {
+    for c in clauses {
+        kb.assert_clause(c.head, c.body);
+    }
+}
+
+/// select/3 and permutation/2 as ordinary clauses.
+fn list_program() -> Vec<RawClause> {
+    vec![
+        // select(X, [X|T], T).
+        RawClause::build(
+            &g("select", vec![v("X"), cons(v("X"), v("T")), v("T")]),
+            &[],
+        ),
+        // select(X, [H|T], [H|R]) :- select(X, T, R).
+        RawClause::build(
+            &g(
+                "select",
+                vec![v("X"), cons(v("H"), v("T")), cons(v("H"), v("R"))],
+            ),
+            &[g("select", vec![v("X"), v("T"), v("R")])],
+        ),
+        // perm([], []).
+        RawClause::build(&g("perm", vec![nil(), nil()]), &[]),
+        // perm(L, [X|P]) :- select(X, L, R), perm(R, P).
+        RawClause::build(
+            &g("perm", vec![v("L"), cons(v("X"), v("P"))]),
+            &[
+                g("select", vec![v("X"), v("L"), v("R")]),
+                g("perm", vec![v("R"), v("P")]),
+            ],
+        ),
+    ]
+}
+
+fn queens_program() -> Vec<RawClause> {
+    let mut clauses = list_program();
+    clauses.extend(vec![
+        // safe([]).
+        RawClause::build(&g("safe", vec![nil()]), &[]),
+        // safe([Q|Qs]) :- no_attack(Q, Qs, 1), safe(Qs).
+        RawClause::build(
+            &g("safe", vec![cons(v("Q"), v("Qs"))]),
+            &[
+                g("no_attack", vec![v("Q"), v("Qs"), Pat::Int(1)]),
+                g("safe", vec![v("Qs")]),
+            ],
+        ),
+        // no_attack(_, [], _).
+        RawClause::build(&g("no_attack", vec![v("Q"), nil(), v("D")]), &[]),
+        // no_attack(Q, [Q2|Qs], D) :-
+        //     Q =\= Q2 + D, Q =\= Q2 - D, D2 is D + 1,
+        //     no_attack(Q, Qs, D2).
+        RawClause::build(
+            &g("no_attack", vec![v("Q"), cons(v("Q2"), v("Qs")), v("D")]),
+            &[
+                g("=\\=", vec![v("Q"), g("+", vec![v("Q2"), v("D")])]),
+                g("=\\=", vec![v("Q"), g("-", vec![v("Q2"), v("D")])]),
+                g("is", vec![v("D2"), g("+", vec![v("D"), Pat::Int(1)])]),
+                g("no_attack", vec![v("Q"), v("Qs"), v("D2")]),
+            ],
+        ),
+        // queens(L, Qs) :- perm(L, Qs), safe(Qs).
+        RawClause::build(
+            &g("queens", vec![v("L"), v("Qs")]),
+            &[
+                g("perm", vec![v("L"), v("Qs")]),
+                g("safe", vec![v("Qs")]),
+            ],
+        ),
+    ]);
+    clauses
+}
+
+#[test]
+fn six_queens_has_exactly_four_solutions() {
+    let mut kb = KnowledgeBase::new();
+    assert_clauses(&mut kb, queens_program());
+    let columns = Term::list((1..=6).map(Term::int).collect());
+    let goal = Term::pred("queens", vec![columns, Term::var(0)]);
+    let solver = Solver::new(&kb, Budget::new(50_000_000, 256));
+    let solutions = solver.solve_all(goal).unwrap();
+    assert_eq!(solutions.len(), 4, "6-queens has 4 solutions");
+    // Spot-check one known solution.
+    let boards: Vec<String> = solutions
+        .iter()
+        .map(|s| s.get(gdp::engine::Var(0)).unwrap().to_string())
+        .collect();
+    assert!(boards.contains(&"[2, 4, 6, 1, 3, 5]".to_string()), "{boards:?}");
+}
+
+#[test]
+fn permutations_enumerate_completely() {
+    let mut kb = KnowledgeBase::new();
+    assert_clauses(&mut kb, list_program());
+    let items = Term::list((1..=5).map(Term::int).collect());
+    let goal = Term::pred("perm", vec![items, Term::var(0)]);
+    let solver = Solver::new(&kb, Budget::default());
+    assert_eq!(solver.count(goal).unwrap(), 120); // 5!
+}
+
+#[test]
+fn map_three_coloring() {
+    // Color a small adjacency map with 3 colors via generate-and-test.
+    let mut kb = KnowledgeBase::new();
+    for color in ["red", "green", "blue"] {
+        kb.assert_fact(Term::pred("color", vec![Term::atom(color)]));
+    }
+    // neighbors: a-b, a-c, b-c, b-d, c-d  (K4 minus a-d: 3-colorable)
+    let pairs = [("A", "B"), ("A", "C"), ("B", "C"), ("B", "D"), ("C", "D")];
+    let mut body = vec![
+        g("color", vec![v("A")]),
+        g("color", vec![v("B")]),
+        g("color", vec![v("C")]),
+        g("color", vec![v("D")]),
+    ];
+    for (x, y) in pairs {
+        body.push(g("\\==", vec![v(x), v(y)]));
+    }
+    let head = g("coloring", vec![v("A"), v("B"), v("C"), v("D")]);
+    let clause = RawClause::build(&head, &body);
+    kb.assert_clause(clause.head, clause.body);
+    let goal = Term::pred(
+        "coloring",
+        vec![Term::var(0), Term::var(1), Term::var(2), Term::var(3)],
+    );
+    let solver = Solver::new(&kb, Budget::default());
+    let solutions = solver.solve_all(goal).unwrap();
+    // 3 choices for A; B,C must differ from A and each other (2×1); D
+    // differs from B and C → exactly 1 choice (A's color) … total 3·2·1·1.
+    assert_eq!(solutions.len(), 6);
+}
+
+#[test]
+fn ackermann_style_recursion_respects_budget() {
+    // peano addition and a deliberately explosive double recursion.
+    let mut kb = KnowledgeBase::new();
+    let s = |p: Pat| Pat::app("s", vec![p]);
+    let add0 = RawClause::build(
+        &g("add", vec![Pat::atom("z"), v("Y"), v("Y")]),
+        &[],
+    );
+    let add1 = RawClause::build(
+        &g("add", vec![s(v("X")), v("Y"), s(v("Z"))]),
+        &[g("add", vec![v("X"), v("Y"), v("Z")])],
+    );
+    kb.assert_clause(add0.head, add0.body);
+    kb.assert_clause(add1.head, add1.body);
+    // 3 + 2 = 5 in peano terms.
+    fn peano(n: u32) -> Term {
+        (0..n).fold(Term::atom("z"), |acc, _| Term::pred("s", vec![acc]))
+    }
+    let solver = Solver::new(&kb, Budget::default());
+    let goal = Term::pred("add", vec![peano(3), peano(2), Term::var(0)]);
+    let sols = solver.solve_all(goal).unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols[0].get(gdp::engine::Var(0)).unwrap(), &peano(5));
+    // Reverse mode: which X + Y = 5? Enumerates all six splits.
+    let goal = Term::pred("add", vec![Term::var(0), Term::var(1), peano(5)]);
+    assert_eq!(solver.count(goal).unwrap(), 6);
+}
+
+#[test]
+fn deep_conjunction_chains_stay_iterative() {
+    // 50_000-goal conjunction: would overflow a recursive interpreter.
+    // (Run on a large stack only because Rust's *Drop* of the nested `,`
+    // term is itself recursive — the solver never recurses on it.)
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let mut kb = KnowledgeBase::new();
+            kb.assert_fact(Term::atom("tick"));
+            let goals = vec![Term::atom("tick"); 50_000];
+            let goal = Term::conj(goals);
+            let solver = Solver::new(&kb, Budget::new(1_000_000, 64));
+            assert!(solver.prove(goal).unwrap());
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn wide_backtracking_through_disjunctions() {
+    // (a1;a2;…;a20) × (b1;…;b20) joined on a shared variable with only
+    // the last pair matching: forces full cross-product backtracking.
+    let mut kb = KnowledgeBase::new();
+    for i in 0..20 {
+        kb.assert_fact(Term::pred("left", vec![Term::int(i)]));
+        kb.assert_fact(Term::pred("right", vec![Term::int(i + 19)]));
+    }
+    let goal = Term::conj(vec![
+        Term::pred("left", vec![Term::var(0)]),
+        Term::pred("right", vec![Term::var(0)]),
+    ]);
+    let solver = Solver::new(&kb, Budget::default());
+    let sols = solver.solve_all(goal).unwrap();
+    assert_eq!(sols.len(), 1);
+    assert_eq!(sols[0].get(gdp::engine::Var(0)).unwrap(), &Term::int(19));
+}

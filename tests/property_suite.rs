@@ -1,0 +1,371 @@
+//! Property-based tests (proptest) over the system's core invariants:
+//! unification, NAF consistency, interval algebra, fuzzy algebra, grid
+//! refinement, and parser round-trips.
+
+use proptest::prelude::*;
+
+use gdp::fuzzy::Truth;
+use gdp::prelude::*;
+use gdp::temporal::Interval;
+
+// ---------- term / unification properties ----------------------------------
+
+fn arb_ground_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-1000i64..1000).prop_map(Term::int),
+        (-100.0f64..100.0).prop_map(Term::float),
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| Term::atom(&s)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        ("[a-z][a-z0-9_]{0,4}", prop::collection::vec(inner, 1..4))
+            .prop_map(|(f, args)| Term::pred(&f, args))
+    })
+}
+
+proptest! {
+    /// Unification of a term with itself always succeeds and binds nothing.
+    #[test]
+    fn unify_reflexive(t in arb_ground_term()) {
+        let mut store = gdp::engine::BindStore::new();
+        prop_assert!(store.unify(&t, &t));
+    }
+
+    /// A fresh variable unifies with any ground term and resolves to it.
+    #[test]
+    fn unify_var_binds_ground(t in arb_ground_term()) {
+        let mut store = gdp::engine::BindStore::new();
+        store.ensure(0);
+        prop_assert!(store.unify(&Term::var(0), &t));
+        prop_assert_eq!(gdp::engine::resolve_deep(&store, &Term::var(0)), t);
+    }
+
+    /// Unification is symmetric on ground terms.
+    #[test]
+    fn unify_symmetric(a in arb_ground_term(), b in arb_ground_term()) {
+        let mut s1 = gdp::engine::BindStore::new();
+        let mut s2 = gdp::engine::BindStore::new();
+        prop_assert_eq!(s1.unify(&a, &b), s2.unify(&b, &a));
+    }
+
+    /// The standard order of terms is total and antisymmetric on samples.
+    #[test]
+    fn term_order_total(a in arb_ground_term(), b in arb_ground_term()) {
+        use std::cmp::Ordering;
+        let ab = a.order(&b);
+        let ba = b.order(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        if ab == Ordering::Equal {
+            prop_assert_eq!(&a, &b);
+        }
+    }
+}
+
+// ---------- solver properties -----------------------------------------------
+
+proptest! {
+    /// NAF consistency: for any set of ground facts, `q` and `not(q)` are
+    /// never both provable, and exactly one of them always is.
+    #[test]
+    fn naf_excluded_middle(
+        present in prop::collection::hash_set("[a-d]", 0..4),
+        probe in "[a-f]",
+    ) {
+        let mut kb = KnowledgeBase::new();
+        for name in &present {
+            kb.assert_fact(Term::pred("p", vec![Term::atom(name)]));
+        }
+        let solver = Solver::new(&kb, Budget::default());
+        let goal = Term::pred("p", vec![Term::atom(&probe)]);
+        let pos = solver.prove(goal.clone()).unwrap();
+        let neg = solver.prove(Term::not(goal)).unwrap();
+        prop_assert!(pos != neg);
+        prop_assert_eq!(pos, present.contains(&probe));
+    }
+
+    /// `card` counts exactly the number of distinct asserted facts.
+    #[test]
+    fn card_counts_distinct(names in prop::collection::hash_set("[a-z]{1,3}", 0..12)) {
+        let mut kb = KnowledgeBase::new();
+        for n in &names {
+            kb.assert_fact(Term::pred("item", vec![Term::atom(n)]));
+            // Duplicate assertion must not inflate the count.
+            kb.assert_fact(Term::pred("item", vec![Term::atom(n)]));
+        }
+        let solver = Solver::new(&kb, Budget::default());
+        let goal = Term::pred(
+            "card",
+            vec![Term::pred("item", vec![Term::var(0)]), Term::var(1)],
+        );
+        let sols = solver.solve_all(goal).unwrap();
+        prop_assert_eq!(
+            sols[0].get(gdp::engine::Var(1)).unwrap(),
+            &Term::int(names.len() as i64)
+        );
+    }
+
+    /// findall preserves assertion order and multiplicity.
+    #[test]
+    fn findall_order_and_multiplicity(values in prop::collection::vec(0i64..50, 0..12)) {
+        let mut kb = KnowledgeBase::new();
+        for v in &values {
+            kb.assert_fact(Term::pred("v", vec![Term::int(*v)]));
+        }
+        let solver = Solver::new(&kb, Budget::default());
+        let goal = Term::pred(
+            "findall",
+            vec![
+                Term::var(0),
+                Term::pred("v", vec![Term::var(0)]),
+                Term::var(1),
+            ],
+        );
+        let sols = solver.solve_all(goal).unwrap();
+        let list = sols[0].get(gdp::engine::Var(1)).unwrap().clone();
+        let items = gdp::engine::list_to_vec(&list).unwrap();
+        let expected: Vec<Term> = values.iter().map(|v| Term::int(*v)).collect();
+        prop_assert_eq!(items, expected);
+    }
+}
+
+// ---------- interval algebra --------------------------------------------------
+
+fn arb_interval() -> impl Strategy<Value = Interval> {
+    (-100.0f64..100.0, 0.0f64..50.0, any::<bool>(), any::<bool>()).prop_map(
+        |(lo, len, lc, hc)| Interval {
+            lo,
+            hi: lo + len,
+            lo_closed: lc,
+            hi_closed: hc,
+        },
+    )
+}
+
+proptest! {
+    /// Subset is reflexive and transitive; contained points agree.
+    #[test]
+    fn interval_subset_laws(a in arb_interval(), b in arb_interval(), t in -150.0f64..150.0) {
+        prop_assert!(a.subset_of(&a));
+        if a.subset_of(&b) && a.contains(t) {
+            prop_assert!(b.contains(t));
+        }
+    }
+
+    /// Overlap is symmetric, and implied by a shared point.
+    #[test]
+    fn interval_overlap_laws(a in arb_interval(), b in arb_interval(), t in -150.0f64..150.0) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+        if a.contains(t) && b.contains(t) {
+            prop_assert!(a.overlaps(&b));
+        }
+    }
+
+    /// Interval terms round-trip through the reified encoding.
+    #[test]
+    fn interval_term_round_trip(a in arb_interval()) {
+        prop_assert_eq!(Interval::from_term(&a.to_term()), Some(a));
+    }
+}
+
+// ---------- fuzzy algebra ------------------------------------------------------
+
+fn arb_truth() -> impl Strategy<Value = Truth> {
+    (0.0f64..=1.0).prop_map(|v| Truth::new(v).unwrap())
+}
+
+proptest! {
+    /// Min–max lattice laws: commutativity, associativity, absorption,
+    /// idempotence, De Morgan, involution.
+    #[test]
+    fn fuzzy_lattice_laws(a in arb_truth(), b in arb_truth(), c in arb_truth()) {
+        let eq = |x: Truth, y: Truth| (x.get() - y.get()).abs() < 1e-12;
+        prop_assert!(eq(a.and(b), b.and(a)));
+        prop_assert!(eq(a.or(b), b.or(a)));
+        prop_assert!(eq(a.and(b.and(c)), a.and(b).and(c)));
+        prop_assert!(eq(a.or(a.and(b)), a));
+        prop_assert!(eq(a.and(a), a));
+        prop_assert!(eq(a.and(b).not(), a.not().or(b.not())));
+        prop_assert!(eq(a.not().not(), a));
+    }
+
+    /// Conjunction never exceeds either operand (the paper's conservative
+    /// guarantee: "no fact will be given an accuracy greater than…").
+    #[test]
+    fn conjunction_is_conservative(a in arb_truth(), b in arb_truth()) {
+        prop_assert!(a.and(b).get() <= a.get());
+        prop_assert!(a.and(b).get() <= b.get());
+        prop_assert!(a.or(b).get() >= a.get());
+    }
+
+    /// AC over asserted accuracies: conjunction accuracy equals the min of
+    /// the inputs, and never exceeds either.
+    #[test]
+    fn ac_conjunction_is_min(x in 0.0f64..=1.0, y in 0.0f64..=1.0) {
+        use gdp::fuzzy::ac::{ac_of, AcOptions};
+        let mut spec = Specification::new();
+        spec.assert_fuzzy_fact(FactPat::new("p").arg("o"), x).unwrap();
+        spec.assert_fuzzy_fact(FactPat::new("q").arg("o"), y).unwrap();
+        let f = Formula::and(
+            Formula::fact(FactPat::new("p").arg("o")),
+            Formula::fact(FactPat::new("q").arg("o")),
+        );
+        let got = ac_of(&spec, &f, &AcOptions::default()).unwrap().unwrap();
+        prop_assert!((got - x.min(y)).abs() < 1e-12);
+    }
+}
+
+// ---------- grid refinement ------------------------------------------------------
+
+proptest! {
+    /// Refinement by an integer factor holds, and mapping commutes: the
+    /// coarse patch of a point equals the coarse patch of its fine
+    /// representative.
+    #[test]
+    fn refinement_mapping_commutes(
+        factor in 2u32..5,
+        nx in 2u32..6,
+        x in 0.0f64..1.0,
+        y in 0.0f64..1.0,
+    ) {
+        let coarse = GridResolution::square(0.0, 0.0, f64::from(factor), nx, nx);
+        let fine = GridResolution::square(0.0, 0.0, 1.0, nx * factor, nx * factor);
+        prop_assert!(fine.refines(&coarse));
+        prop_assert!(!coarse.strictly_refines(&fine));
+        let p = Point::new(x * coarse.x1() * 0.999, y * coarse.y1() * 0.999);
+        let via_fine = fine.map(p).and_then(|fp| coarse.map(fp));
+        prop_assert_eq!(via_fine, coarse.map(p));
+    }
+
+    /// The paper's refinement definition: R2(P1) = R2(P2) ⇒ R1(P1) = R1(P2).
+    #[test]
+    fn refinement_definition(
+        x1 in 0.0f64..20.0, y1 in 0.0f64..20.0,
+        x2 in 0.0f64..20.0, y2 in 0.0f64..20.0,
+    ) {
+        let r1 = GridResolution::square(0.0, 0.0, 10.0, 2, 2);
+        let r2 = GridResolution::square(0.0, 0.0, 2.5, 8, 8);
+        prop_assert!(r2.refines(&r1));
+        let (p1, p2) = (Point::new(x1, y1), Point::new(x2, y2));
+        if r2.map(p1) == r2.map(p2) {
+            prop_assert_eq!(r1.map(p1), r1.map(p2));
+        }
+    }
+}
+
+// ---------- parser round-trip -----------------------------------------------------
+
+proptest! {
+    /// Printed facts re-parse to the same printed form, for generated
+    /// predicate/argument combinations.
+    #[test]
+    fn fact_print_parse_idempotent(
+        pred in "[a-z][a-z0-9_]{0,8}",
+        atoms in prop::collection::vec("[a-z][a-z0-9_]{0,6}", 0..4),
+        ints in prop::collection::vec(-1000i64..1000, 0..3),
+    ) {
+        // Reserved formula keywords can't be predicate names in the syntax.
+        prop_assume!(!matches!(
+            pred.as_str(),
+            "not" | "forall" | "card" | "avg" | "sum" | "min" | "max"
+                | "count" | "domain" | "true" | "is" | "mod" | "constraint"
+        ));
+        let mut fact = FactPat::new(&pred);
+        for a in &atoms {
+            fact = fact.arg(Pat::Atom(a.clone()));
+        }
+        for i in &ints {
+            fact = fact.arg(Pat::Int(*i));
+        }
+        let printed = format!("{}.", gdp::lang::print_fact(&fact));
+        let parsed = gdp::lang::parse_program(&printed).unwrap();
+        let reprinted = gdp::lang::print_statement(&parsed[0]);
+        prop_assert_eq!(printed, reprinted);
+    }
+
+    /// Arbitrary accuracies survive the fuzzy-fact syntax.
+    #[test]
+    fn fuzzy_fact_accuracy_round_trip(acc in 0.001f64..=0.999) {
+        let src = format!("%{acc} clarity(image).");
+        let parsed = gdp::lang::parse_program(&src).unwrap();
+        match &parsed[0] {
+            gdp::lang::Statement::FuzzyFact(_, a) => prop_assert_eq!(*a, acc),
+            other => prop_assert!(false, "unexpected statement {:?}", other.kind()),
+        }
+    }
+}
+
+// ---------- reify/decode consistency --------------------------------------------------
+
+proptest! {
+    /// Compiling a fact to the reified encoding and decoding it back
+    /// yields exactly the concrete syntax the printer produces — the
+    /// explanation facility and the language agree on notation.
+    #[test]
+    fn decode_matches_printer(
+        pred in "[a-z][a-z0-9_]{0,8}",
+        args in prop::collection::vec(
+            prop_oneof![
+                "[a-z][a-z0-9_]{0,5}".prop_map(Pat::Atom),
+                (-999i64..999).prop_map(Pat::Int),
+            ],
+            0..4,
+        ),
+        with_model in proptest::bool::ANY,
+        at_point in proptest::option::of((-50i64..50, -50i64..50)),
+    ) {
+        prop_assume!(!matches!(
+            pred.as_str(),
+            "not" | "forall" | "card" | "avg" | "sum" | "min" | "max"
+                | "count" | "domain" | "true" | "is" | "mod" | "constraint" | "raw"
+        ));
+        let mut fact = FactPat::new(&pred).args(args);
+        if with_model {
+            fact = fact.model(Pat::atom("survey84"));
+        }
+        if let Some((x, y)) = at_point {
+            fact = fact.at(Pat::app("pt", vec![Pat::Int(x), Pat::Int(y)]));
+        }
+        let mut vt = gdp::core::VarTable::new();
+        let compiled = fact.compile(&mut vt, gdp::core::Target::Holds);
+        prop_assert_eq!(gdp::core::decode(&compiled), gdp::lang::print_fact(&fact));
+    }
+}
+
+// ---------- specification-level invariants ------------------------------------------
+
+proptest! {
+    /// Whatever ground facts are asserted, a consistent spec stays
+    /// consistent under world-view switching when no constraints exist.
+    #[test]
+    fn no_constraints_no_violations(
+        facts in prop::collection::vec(("[a-h]", "[a-h]"), 0..10),
+    ) {
+        let mut spec = Specification::new();
+        spec.declare_model("alt");
+        for (p, o) in &facts {
+            spec.assert_fact(FactPat::new(p).arg(Pat::Atom(o.clone()))).unwrap();
+            spec.assert_fact(
+                FactPat::new(p).arg(Pat::Atom(o.clone())).model("alt"),
+            ).unwrap();
+        }
+        prop_assert!(spec.check_consistency().unwrap().is_empty());
+        spec.set_world_view(&["omega", "alt"]).unwrap();
+        prop_assert!(spec.check_consistency().unwrap().is_empty());
+    }
+
+    /// Asserted facts are always provable; never-asserted probes never are
+    /// (soundness + no spurious derivation without rules).
+    #[test]
+    fn assertion_provability_soundness(
+        present in prop::collection::hash_set("[a-e]", 1..5),
+        probe in "[a-g]",
+    ) {
+        let mut spec = Specification::new();
+        for o in &present {
+            spec.assert_fact(FactPat::new("site").arg(Pat::Atom(o.clone()))).unwrap();
+        }
+        let provable = spec
+            .provable(FactPat::new("site").arg(Pat::Atom(probe.clone())))
+            .unwrap();
+        prop_assert_eq!(provable, present.contains(&probe));
+    }
+}

@@ -1,0 +1,89 @@
+//! The specification corpus: every `.gdp` file under `specs/` must load
+//! cleanly, and — by corpus convention — every `?-` query in a file must
+//! return at least one answer.
+
+use gdp::lang::Loader;
+
+fn corpus_dir() -> std::path::PathBuf {
+    // Tests run with the crate under crates/gdp; specs/ is two levels up.
+    let candidates = [
+        std::path::PathBuf::from("specs"),
+        std::path::PathBuf::from("../../specs"),
+    ];
+    candidates
+        .into_iter()
+        .find(|p| p.is_dir())
+        .expect("specs/ directory not found")
+}
+
+fn check_file(name: &str) {
+    let path = corpus_dir().join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let (mut spec, reg) = gdp::standard_spec().expect("standard spec");
+    let summary = Loader::with_spatial(&mut spec, &reg)
+        .load_str(&source)
+        .unwrap_or_else(|e| panic!("{name} failed to load: {e}"));
+    assert!(
+        !summary.query_results.is_empty(),
+        "{name} has no validation queries"
+    );
+    for (i, answers) in summary.query_results.iter().enumerate() {
+        assert!(
+            !answers.is_empty(),
+            "{name}: query #{} returned no answers",
+            i + 1
+        );
+    }
+}
+
+#[test]
+fn missouri_gazetteer_loads_and_validates() {
+    check_file("missouri.gdp");
+}
+
+#[test]
+fn harbor_chart_loads_and_validates() {
+    check_file("harbor.gdp");
+}
+
+#[test]
+fn bridge_timeline_loads_and_validates() {
+    check_file("timeline.gdp");
+}
+
+#[test]
+fn survey_quality_loads_and_validates() {
+    check_file("survey_quality.gdp");
+}
+
+/// The gazetteer's constraints fire exactly as designed once the folklore
+/// model is admitted.
+#[test]
+fn missouri_constraints_are_world_view_relative() {
+    let source = std::fs::read_to_string(corpus_dir().join("missouri.gdp")).unwrap();
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    Loader::with_spatial(&mut spec, &reg).load_str(&source).unwrap();
+    assert!(spec.check_consistency().unwrap().is_empty());
+    spec.set_world_view(&["omega", "folklore"]).unwrap();
+    let violations = spec.check_consistency().unwrap();
+    assert_eq!(violations.len(), 1);
+    assert_eq!(
+        violations[0].error_type,
+        gdp::prelude::Term::atom("two_capitals")
+    );
+}
+
+/// The survey file's doubtful-station constraint flags exactly station_c.
+#[test]
+fn survey_quality_flags_doubtful_station() {
+    let source = std::fs::read_to_string(corpus_dir().join("survey_quality.gdp")).unwrap();
+    let (mut spec, reg) = gdp::standard_spec().unwrap();
+    Loader::with_spatial(&mut spec, &reg).load_str(&source).unwrap();
+    let violations = spec.check_consistency().unwrap();
+    assert_eq!(violations.len(), 1);
+    assert_eq!(
+        violations[0].witnesses,
+        vec![gdp::prelude::Term::atom("station_c")]
+    );
+}

@@ -1,0 +1,170 @@
+//! World-view and meta-view integration: multiple models and multiple
+//! meta-models interacting in one specification — the paper's central
+//! "multiple views of data and knowledge may coexist in the same
+//! formalization" claim.
+
+use gdp::fuzzy::{threshold_model, unified_fuzzy, UnifyPolicy};
+use gdp::lang::load;
+use gdp::prelude::*;
+
+/// Three data models (1962 survey, 1984 survey, planning assumptions);
+/// queries and consistency are relative to the selected world view.
+#[test]
+fn multi_model_reinterpretation() {
+    let mut spec = Specification::new();
+    load(
+        &mut spec,
+        r#"
+        // The same terrain, surveyed twice ("data reinterpretation that
+        // occurs with the passage of time", §III.D).
+        survey62'landuse(farmland)(parcel9).
+        survey84'landuse(suburb)(parcel9).
+        planning'zoned(residential)(parcel9).
+
+        constraint farm_in_suburb(P) :-
+            landuse(farmland)(P), zoned(residential)(P).
+        "#,
+    )
+    .unwrap();
+
+    // Each survey alone is consistent with the plan or not:
+    spec.set_world_view(&["omega", "survey62", "planning"]).unwrap();
+    assert_eq!(spec.check_consistency().unwrap().len(), 1);
+    spec.set_world_view(&["omega", "survey84", "planning"]).unwrap();
+    assert!(spec.check_consistency().unwrap().is_empty());
+
+    // Queries see exactly the active models' facts.
+    spec.set_world_view(&["omega", "survey62"]).unwrap();
+    assert!(spec
+        .provable(FactPat::new("landuse").arg("farmland").arg("parcel9"))
+        .unwrap());
+    assert!(!spec
+        .provable(FactPat::new("landuse").arg("suburb").arg("parcel9"))
+        .unwrap());
+}
+
+/// Rules read through the world view too: a virtual fact derived from a
+/// model-qualified premise appears and disappears with the model.
+#[test]
+fn virtual_facts_follow_world_view() {
+    let mut spec = Specification::new();
+    load(
+        &mut spec,
+        r#"
+        field'damaged(bridge1).
+        unusable(X) :- damaged(X).
+        "#,
+    )
+    .unwrap();
+    assert!(!spec.provable(FactPat::new("unusable").arg("bridge1")).unwrap());
+    spec.set_world_view(&["omega", "field"]).unwrap();
+    assert!(spec.provable(FactPat::new("unusable").arg("bridge1")).unwrap());
+    spec.set_world_view(&["omega"]).unwrap();
+    assert!(!spec.provable(FactPat::new("unusable").arg("bridge1")).unwrap());
+}
+
+/// Meta-models compose: threshold promotion (fuzzy) feeding the temporal
+/// comprehension principle, each independently activatable.
+#[test]
+fn meta_models_compose_across_domains() {
+    let mut spec = Specification::new();
+    gdp::temporal::install_default(&mut spec).unwrap();
+    spec.declare_model("trusted");
+    spec.register_meta_model(threshold_model("trust80", "trusted", 0.8));
+
+    // A trusted sighting at 1975 (fuzzy, promoted) should — under the
+    // comprehension principle — make the decade "uniformly" true.
+    spec.assert_fuzzy_fact(
+        FactPat::new("sighted")
+            .arg("eagle")
+            .time(TimeQual::At(Pat::Int(1975))),
+        0.9,
+    )
+    .unwrap();
+    let decade = FactPat::new("sighted").arg("eagle").time(TimeQual::IntervalUniform(
+        IntervalPat::closed(1970, 1980),
+    ));
+
+    // Nothing active: not provable.
+    assert!(!spec.provable(decade.clone()).unwrap());
+    // Promotion alone: the instant fact exists but not the interval.
+    spec.activate_meta_model("trust80").unwrap();
+    spec.set_world_view(&["omega", "trusted"]).unwrap();
+    assert!(!spec.provable(decade.clone()).unwrap());
+    // Comprehension on top: now the interval holds.
+    spec.activate_meta_model("comprehension_principle").unwrap();
+    assert!(spec.provable(decade.clone()).unwrap());
+    // Deactivate promotion: the chain collapses.
+    spec.deactivate_meta_model("trust80").unwrap();
+    assert!(!spec.provable(decade).unwrap());
+}
+
+/// The meta-view is inspectable and replaceable wholesale (§IV.D).
+#[test]
+fn meta_view_wholesale_replacement() {
+    let mut spec = Specification::new();
+    gdp::temporal::install_default(&mut spec).unwrap();
+    let initial: Vec<String> = spec.meta_view().to_vec();
+    assert!(initial.contains(&"temporal_uniform".to_string()));
+    spec.set_meta_view(&["temporal_simple", "now_model"]).unwrap();
+    assert_eq!(spec.meta_view().len(), 2);
+    // temporal_uniform rules are gone: interval facts no longer spread.
+    load(&mut spec, "&u[1970, 1980] open(b1).").unwrap();
+    assert!(!spec
+        .provable(FactPat::new("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .unwrap());
+    spec.set_meta_view(&["temporal_simple", "now_model", "temporal_uniform"])
+        .unwrap();
+    assert!(spec
+        .provable(FactPat::new("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .unwrap());
+}
+
+/// Unknown names are reported, not silently ignored.
+#[test]
+fn unknown_view_members_error() {
+    let mut spec = Specification::new();
+    assert!(matches!(
+        spec.set_world_view(&["omega", "never_declared"]),
+        Err(SpecError::UnknownModel(_))
+    ));
+    assert!(matches!(
+        spec.activate_meta_model("never_registered"),
+        Err(SpecError::UnknownMetaModel(_))
+    ));
+}
+
+/// Conflicting accuracy qualifications from different models: the unified
+/// operator sees only the active world view's qualifications.
+#[test]
+fn unified_accuracy_is_world_view_relative() {
+    let mut spec = Specification::new();
+    spec.register_meta_model(unified_fuzzy(UnifyPolicy::Max));
+    spec.activate_meta_model("unified_fuzzy_max").unwrap();
+    spec.assert_fuzzy_fact(FactPat::new("clear").arg("pass"), 0.4).unwrap();
+    spec.assert_fuzzy_fact(
+        FactPat::new("clear").arg("pass").model("optimists"),
+        0.95,
+    )
+    .unwrap();
+    let unified = |spec: &Specification| -> Option<f64> {
+        let answers = spec
+            .solve_goal(Term::pred(
+                "unified_acc",
+                vec![
+                    Term::atom("any"),
+                    Term::atom("any"),
+                    Term::atom("clear"),
+                    Term::list(vec![Term::atom("pass")]),
+                    Term::var(0),
+                ],
+            ))
+            .unwrap();
+        answers
+            .first()
+            .and_then(|s| s.get(gdp::engine::Var(0)).and_then(Term::as_f64))
+    };
+    assert_eq!(unified(&spec), Some(0.4));
+    spec.set_world_view(&["omega", "optimists"]).unwrap();
+    assert_eq!(unified(&spec), Some(0.95));
+}
