@@ -1,0 +1,266 @@
+//! In-tree stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the `criterion` 0.5 API its benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`] /
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros. It measures wall-clock time and prints one
+//! line per benchmark (median, min..max over the collected samples).
+//!
+//! Sampling is adaptive: the first iteration doubles as calibration and
+//! as the first sample, and further samples are taken only while the
+//! per-benchmark time budget (default 3 s, `GDP_BENCH_BUDGET_MS` to
+//! override) has room. A benchmark whose single iteration exceeds the
+//! budget therefore costs exactly one iteration — essential here because
+//! the untabled baselines are intentionally slow.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+fn time_budget() -> Duration {
+    let ms = std::env::var("GDP_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(3_000);
+    Duration::from_millis(ms)
+}
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with an explicit function name and parameter.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Identifier carrying only a parameter (the group name provides
+    /// the function part).
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected.
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Timing context handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    deadline: Instant,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly, collecting wall-clock samples until the
+    /// sample target or the time budget is reached (whichever first).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if self.samples.len() >= self.max_samples || Instant::now() >= self.deadline {
+                return;
+            }
+        }
+    }
+}
+
+/// A named set of related benchmarks, printed under a common prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the target number of samples per benchmark (the time budget
+    /// may cut collection short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmark `routine`, passing it the bencher and `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        self.run(&label, |b| routine(b, input));
+        self
+    }
+
+    /// Benchmark `routine` under the given name.
+    pub fn bench_function<N: IntoBenchmarkId, F>(&mut self, id: N, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_label());
+        self.run(&label, |b| routine(b));
+        self
+    }
+
+    fn run<F: FnOnce(&mut Bencher)>(&mut self, label: &str, routine: F) {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            deadline: Instant::now() + time_budget(),
+            max_samples: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(label, &mut bencher.samples);
+    }
+
+    /// End the group (printing happens per-benchmark; this is a no-op
+    /// kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(label: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{label:<44} (no samples: bencher.iter was not called)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{label:<44} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accept and ignore CLI configuration (API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named [`BenchmarkGroup`].
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Print the trailing summary (a no-op; results print as they run).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Bundle benchmark functions into a callable group, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups (benches use
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(5);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, _| {
+            b.iter(|| runs += 1)
+        });
+        group.finish();
+        assert!((1..=5).contains(&runs));
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 32).label, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.000 s");
+    }
+}

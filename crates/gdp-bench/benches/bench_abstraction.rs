@@ -30,10 +30,13 @@ fn bench_area_average(c: &mut Criterion) {
                 .unwrap();
             }
         }
-        let probe = FactPat::new("elev").arg("Z").arg("land").space(SpaceQual::AreaAveraged {
-            res: Pat::atom("coarse"),
-            at: pt(2.0, 2.0),
-        });
+        let probe = FactPat::new("elev")
+            .arg("Z")
+            .arg("land")
+            .space(SpaceQual::AreaAveraged {
+                res: Pat::atom("coarse"),
+                at: pt(2.0, 2.0),
+            });
         group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
             b.iter(|| {
                 let answers = spec.query_n(probe.clone(), 1).unwrap();
@@ -54,10 +57,12 @@ fn bench_island_threshold(c: &mut Criterion) {
             vec![threshold_copy_rule("zone", "fine", "coarse", 4)],
         ));
         spec.activate_meta_model("gen").unwrap();
-        let probe = FactPat::new("zone").arg("wet").space(SpaceQual::AreaUniform {
-            res: Pat::atom("coarse"),
-            at: pt(2.0, 2.0),
-        });
+        let probe = FactPat::new("zone")
+            .arg("wet")
+            .space(SpaceQual::AreaUniform {
+                res: Pat::atom("coarse"),
+                at: pt(2.0, 2.0),
+            });
         group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
             b.iter(|| spec.provable(probe.clone()).unwrap());
         });

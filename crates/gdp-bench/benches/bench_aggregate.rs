@@ -18,10 +18,7 @@ fn bench_card(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let answers = spec.satisfy(&formula).unwrap();
-                assert_eq!(
-                    answers[0].get("Count").unwrap(),
-                    &Term::int(n as i64)
-                );
+                assert_eq!(answers[0].get("Count").unwrap(), &Term::int(n as i64));
             });
         });
     }

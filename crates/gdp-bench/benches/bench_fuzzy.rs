@@ -37,8 +37,7 @@ fn bench_ac_propagation(c: &mut Criterion) {
             b.iter(|| {
                 // Fresh spec per iteration: derive_accuracies asserts.
                 let mut spec = fuzzy_world(n);
-                let derived =
-                    derive_accuracies(&mut spec, &rule, &AcOptions::default()).unwrap();
+                let derived = derive_accuracies(&mut spec, &rule, &AcOptions::default()).unwrap();
                 assert_eq!(derived, n);
             });
         });

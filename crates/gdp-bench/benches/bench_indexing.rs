@@ -22,11 +22,9 @@ fn bench_indexed_vs_scan(c: &mut Criterion) {
             let probe = FactPat::new("site")
                 .arg(Pat::Atom(format!("s{}", n - 1)))
                 .arg(Pat::Int((n - 1) as i64));
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| b.iter(|| assert!(spec.provable(probe.clone()).unwrap())),
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| assert!(spec.provable(probe.clone()).unwrap()))
+            });
         }
     }
     group.finish();

@@ -28,10 +28,12 @@ fn bench_sampled_at_coarse(c: &mut Criterion) {
     group.sample_size(10);
     for g in [8u32, 16, 32] {
         let (spec, _reg) = spatial_world(g);
-        let probe = FactPat::new("zone").arg("wet").space(SpaceQual::AreaSampled {
-            res: Pat::atom("coarse"),
-            at: pt(2.0, 2.0),
-        });
+        let probe = FactPat::new("zone")
+            .arg("wet")
+            .space(SpaceQual::AreaSampled {
+                res: Pat::atom("coarse"),
+                at: pt(2.0, 2.0),
+            });
         group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, _| {
             b.iter(|| assert!(spec.provable(probe.clone()).unwrap()));
         });

@@ -1,0 +1,79 @@
+//! T10 — tabled resolution: the answer table against the two workloads the
+//! paper's "notorious inefficiency" shows up in.
+//!
+//! * the B7 history sweep: instant lookups under the continuity
+//!   assumption are O(h³) in the assertion history because every lookup
+//!   re-enumerates interval candidates and re-runs the negation scans;
+//!   with tabling the first lookup pays that price once and every later
+//!   lookup replays the memoized answers;
+//! * the B2 depth sweep: a `table_all` configuration memoizes each rule
+//!   level of the inference chain, so repeated queries stop re-deriving
+//!   the whole chain.
+//!
+//! Benchmarked with tabling off and on over the *same* workload builders,
+//! so the two rows of each pair are directly comparable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::{inference_chain, temporal_history};
+
+fn bench_b7_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T10_tabling_b7_history");
+    group.sample_size(10);
+    for h in [10usize, 100, 1_000] {
+        for tabling in [false, true] {
+            let mut spec = temporal_history(h);
+            // The untabled h=1000 lookup needs billions of steps; lift the
+            // step limit entirely so both configurations run to completion.
+            spec.set_budget(u64::MAX, 256);
+            spec.enable_tabling(tabling);
+            let t = (h as i64 / 2) * 10 + 5;
+            let value = if (h / 2) % 2 == 0 { "open" } else { "closed" };
+            let probe = FactPat::new("status")
+                .arg(value)
+                .arg("b1")
+                .time(TimeQual::At(Pat::Int(t)));
+            let label = if tabling { "tabled" } else { "untabled" };
+            if tabling {
+                // Warm the table: the first lookup pays the full O(h³)
+                // enumeration once (same cost as one untabled query — see
+                // that row); what tabling buys, and what this row measures,
+                // is every subsequent lookup over the unchanged history.
+                assert!(spec.provable(probe.clone()).unwrap());
+            }
+            group.bench_with_input(BenchmarkId::new(label, h), &h, |b, _| {
+                b.iter(|| assert!(spec.provable(probe.clone()).unwrap()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_b2_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T10_tabling_b2_depth");
+    group.sample_size(10);
+    for depth in [2usize, 8, 32, 64] {
+        for tabling in [false, true] {
+            let mut spec = inference_chain(depth, 10);
+            spec.enable_tabling(tabling);
+            spec.set_table_all(tabling);
+            let goal = FactPat::new(&format!("level{depth}")).arg("X");
+            let label = if tabling { "tabled" } else { "untabled" };
+            if tabling {
+                // Warm the table (see bench_b7_history): measure replay,
+                // not the one-time build.
+                assert_eq!(spec.query(goal.clone()).unwrap().len(), 10);
+            }
+            group.bench_with_input(BenchmarkId::new(label, depth), &depth, |b, _| {
+                b.iter(|| {
+                    let answers = spec.query(goal.clone()).unwrap();
+                    assert_eq!(answers.len(), 10);
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_b7_history, bench_b2_depth);
+criterion_main!(benches);

@@ -45,9 +45,10 @@ fn bench_interval_average(c: &mut Criterion) {
             )
             .unwrap();
         }
-        let probe = FactPat::new("temp").arg("Z").arg("stl").time(
-            TimeQual::IntervalAveraged(IntervalPat::closed(0, h as i64)),
-        );
+        let probe = FactPat::new("temp")
+            .arg("Z")
+            .arg("stl")
+            .time(TimeQual::IntervalAveraged(IntervalPat::closed(0, h as i64)));
         group.bench_with_input(BenchmarkId::from_parameter(h), &h, |b, _| {
             b.iter(|| {
                 let answers = spec.query_n(probe.clone(), 1).unwrap();

@@ -239,9 +239,7 @@ fn e06() -> ExperimentRecord {
         "IV.A-B",
         "meta-facts: closed-world assumption over predicates/objects",
         "b2 assumed false: true; b1 negated: false",
-        format!(
-            "b2 assumed false: {b2_false}; b1 negated: {b1_false}"
-        ),
+        format!("b2 assumed false: {b2_false}; b1 negated: {b1_false}"),
     )
 }
 
@@ -249,13 +247,14 @@ fn e07() -> ExperimentRecord {
     let mut spec = Specification::new();
     gdp::temporal::install_default(&mut spec).unwrap();
     load(&mut spec, "& 1975 dry(lakebed).").unwrap();
-    let claim = FactPat::new("dry").arg("lakebed").time(TimeQual::IntervalUniform(
-        IntervalPat::closed(1970, 1980),
-    ));
+    let claim = FactPat::new("dry")
+        .arg("lakebed")
+        .time(TimeQual::IntervalUniform(IntervalPat::closed(1970, 1980)));
     let before = spec.provable(claim.clone()).unwrap();
     spec.activate_meta_model("comprehension_principle").unwrap();
     let during = spec.provable(claim.clone()).unwrap();
-    spec.deactivate_meta_model("comprehension_principle").unwrap();
+    spec.deactivate_meta_model("comprehension_principle")
+        .unwrap();
     let after = spec.provable(claim).unwrap();
     record(
         "E7",
@@ -273,8 +272,12 @@ fn e07() -> ExperimentRecord {
 
 fn e08() -> ExperimentRecord {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r", GridResolution::square(0.0, 0.0, 1.0, 16, 16))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r",
+        GridResolution::square(0.0, 0.0, 1.0, 16, 16),
+    )
+    .unwrap();
     load(
         &mut spec,
         r#"
@@ -289,7 +292,12 @@ fn e08() -> ExperimentRecord {
     )
     .unwrap();
     let veg = spec
-        .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(3.0, 4.0)))
+        .provable(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("hill")
+                .at(pt(3.0, 4.0)),
+        )
         .unwrap();
     let peaks = query(&spec, "@ P elevation_peak(Z)(hill)").unwrap();
     record(
@@ -311,27 +319,49 @@ fn e08() -> ExperimentRecord {
 
 fn e09() -> ExperimentRecord {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r1",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
         .unwrap();
     spec.assert_fact(
-        FactPat::new("vegetation").arg("pine").arg("land").space(uniform("r1", 5.0, 5.0)),
+        FactPat::new("vegetation")
+            .arg("pine")
+            .arg("land")
+            .space(uniform("r1", 5.0, 5.0)),
     )
     .unwrap();
     let at_point = spec
-        .provable(FactPat::new("vegetation").arg("pine").arg("land").at(pt(2.0, 8.0)))
+        .provable(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("land")
+                .at(pt(2.0, 8.0)),
+        )
         .unwrap();
     let finer = spec
-        .provable(FactPat::new("vegetation").arg("pine").arg("land").space(uniform("r2", 7.5, 2.5)))
+        .provable(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("land")
+                .space(uniform("r2", 7.5, 2.5)),
+        )
         .unwrap();
-    spec.activate_meta_model("spatial_uniform_acquisition").unwrap();
+    spec.activate_meta_model("spatial_uniform_acquisition")
+        .unwrap();
     for (x, y) in [(12.5, 2.5), (17.5, 2.5), (12.5, 7.5), (17.5, 7.5)] {
         spec.assert_fact(FactPat::new("soil").arg("clay").space(uniform("r2", x, y)))
             .unwrap();
     }
     let acquired = spec
-        .provable(FactPat::new("soil").arg("clay").space(uniform("r1", 15.0, 5.0)))
+        .provable(
+            FactPat::new("soil")
+                .arg("clay")
+                .space(uniform("r1", 15.0, 5.0)),
+        )
         .unwrap();
     record(
         "E9",
@@ -344,21 +374,33 @@ fn e09() -> ExperimentRecord {
 
 fn e10() -> ExperimentRecord {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "map", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "map",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     spec.assert_fact(FactPat::new("road").arg("rc").at(pt(13.0, 7.0)))
         .unwrap();
     let hit = spec
-        .provable(FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
-            res: Pat::atom("map"),
-            at: pt(15.0, 5.0),
-        }))
+        .provable(
+            FactPat::new("road")
+                .arg("rc")
+                .space(SpaceQual::AreaSampled {
+                    res: Pat::atom("map"),
+                    at: pt(15.0, 5.0),
+                }),
+        )
         .unwrap();
     let miss = spec
-        .provable(FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
-            res: Pat::atom("map"),
-            at: pt(35.0, 5.0),
-        }))
+        .provable(
+            FactPat::new("road")
+                .arg("rc")
+                .space(SpaceQual::AreaSampled {
+                    res: Pat::atom("map"),
+                    at: pt(35.0, 5.0),
+                }),
+        )
         .unwrap();
     record(
         "E10",
@@ -371,10 +413,18 @@ fn e10() -> ExperimentRecord {
 
 fn e11() -> ExperimentRecord {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 20.0, 2, 2))
-        .unwrap();
-    reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r1",
+        GridResolution::square(0.0, 0.0, 20.0, 2, 2),
+    )
+    .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r2",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     for ((x, y), z) in [(5.0, 5.0), (15.0, 5.0), (5.0, 15.0), (15.0, 15.0)]
         .iter()
         .zip([100.0, 200.0, 300.0, 400.0])
@@ -389,10 +439,13 @@ fn e11() -> ExperimentRecord {
     }
     let answers = spec
         .query(
-            FactPat::new("elevation").arg("Z").arg("land").space(SpaceQual::AreaAveraged {
-                res: Pat::atom("r1"),
-                at: pt(10.0, 10.0),
-            }),
+            FactPat::new("elevation")
+                .arg("Z")
+                .arg("land")
+                .space(SpaceQual::AreaAveraged {
+                    res: Pat::atom("r1"),
+                    at: pt(10.0, 10.0),
+                }),
         )
         .unwrap();
     record(
@@ -414,8 +467,12 @@ fn e11() -> ExperimentRecord {
 fn e12() -> ExperimentRecord {
     use gdp::spatial::abstraction::{abstraction_meta_model, compose_rule, threshold_copy_rule};
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r1",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
         .unwrap();
     spec.register_meta_model(abstraction_meta_model(
@@ -430,29 +487,51 @@ fn e12() -> ExperimentRecord {
         spec.assert_fact(FactPat::new("island").arg("big").space(uniform("r2", x, y)))
             .unwrap();
     }
-    spec.assert_fact(FactPat::new("island").arg("small").space(uniform("r2", 22.5, 2.5)))
-        .unwrap();
-    spec.assert_fact(FactPat::new("lake").arg("erie").space(uniform("r2", 32.5, 32.5)))
-        .unwrap();
-    spec.assert_fact(FactPat::new("shore").arg("erie").space(uniform("r2", 37.5, 32.5)))
-        .unwrap();
+    spec.assert_fact(
+        FactPat::new("island")
+            .arg("small")
+            .space(uniform("r2", 22.5, 2.5)),
+    )
+    .unwrap();
+    spec.assert_fact(
+        FactPat::new("lake")
+            .arg("erie")
+            .space(uniform("r2", 32.5, 32.5)),
+    )
+    .unwrap();
+    spec.assert_fact(
+        FactPat::new("shore")
+            .arg("erie")
+            .space(uniform("r2", 37.5, 32.5)),
+    )
+    .unwrap();
     let big = spec
-        .provable(FactPat::new("island").arg("big").space(uniform("r1", 5.0, 5.0)))
+        .provable(
+            FactPat::new("island")
+                .arg("big")
+                .space(uniform("r1", 5.0, 5.0)),
+        )
         .unwrap();
     let small = spec
-        .provable(FactPat::new("island").arg("small").space(uniform("r1", 25.0, 5.0)))
+        .provable(
+            FactPat::new("island")
+                .arg("small")
+                .space(uniform("r1", 25.0, 5.0)),
+        )
         .unwrap();
     let shoreline = spec
-        .provable(FactPat::new("shore_line").arg("erie").space(uniform("r1", 35.0, 35.0)))
+        .provable(
+            FactPat::new("shore_line")
+                .arg("erie")
+                .space(uniform("r1", 35.0, 35.0)),
+        )
         .unwrap();
     record(
         "E12",
         "V.D",
         "abstraction: island thresholding + shore-line composition",
         "big kept: true; small kept: false; shore_line: true",
-        format!(
-            "big kept: {big}; small kept: {small}; shore_line: {shoreline}"
-        ),
+        format!("big kept: {big}; small kept: {small}; shore_line: {shoreline}"),
     )
 }
 
@@ -460,7 +539,9 @@ fn e13() -> ExperimentRecord {
     let mut spec = Specification::new();
     gdp::temporal::install_default(&mut spec).unwrap();
     spec.set_now(1990.0);
-    let past = spec.prove_goal(Term::pred("past", vec![Term::int(1971)])).unwrap();
+    let past = spec
+        .prove_goal(Term::pred("past", vec![Term::int(1971)]))
+        .unwrap();
     let present = spec
         .prove_goal(Term::pred("present", vec![Term::int(1971)]))
         .unwrap();
@@ -471,14 +552,21 @@ fn e13() -> ExperimentRecord {
     )
     .unwrap();
     let persisted = spec
-        .provable(FactPat::new("status").arg("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .provable(
+            FactPat::new("status")
+                .arg("open")
+                .arg("b1")
+                .time(TimeQual::At(Pat::Int(1975))),
+        )
         .unwrap();
     record(
         "E13",
         "VI.B",
         "temporal models: past(1971) in 1990; continuity assumption",
         "past(1971): true; present(1971): false; open@1975 via continuity: true",
-        format!("past(1971): {past}; present(1971): {present}; open@1975 via continuity: {persisted}"),
+        format!(
+            "past(1971): {past}; present(1971): {present}; open@1975 via continuity: {persisted}"
+        ),
     )
 }
 
@@ -520,7 +608,8 @@ fn e14() -> ExperimentRecord {
         "conjunction = 0.45; clarity = 0.6",
         format!(
             "conjunction = {}; clarity = {}",
-            conj.map(|v| format!("{v}")).unwrap_or_else(|| "failure".into()),
+            conj.map(|v| format!("{v}"))
+                .unwrap_or_else(|| "failure".into()),
             clarity[0].get("A").unwrap()
         ),
     )
@@ -542,12 +631,10 @@ fn e15() -> ExperimentRecord {
     let promoted = spec.provable(FactPat::new("passable").arg("ford")).unwrap();
     spec.assert_fuzzy_fact(FactPat::new("clarity").arg("img7"), 0.6)
         .unwrap();
-    spec.constrain(
-        Constraint::new("bad_image").witness("X").when(Formula::and(
-            Formula::FuzzyFact(FactPat::new("clarity").arg("X"), Pat::var("A")),
-            Formula::Cmp(CmpOp::Lt, Pat::var("A"), Pat::Float(0.8)),
-        )),
-    )
+    spec.constrain(Constraint::new("bad_image").witness("X").when(Formula::and(
+        Formula::FuzzyFact(FactPat::new("clarity").arg("X"), Pat::var("A")),
+        Formula::Cmp(CmpOp::Lt, Pat::var("A"), Pat::Float(0.8)),
+    )))
     .unwrap();
     let flagged = spec
         .check_consistency()
@@ -566,8 +653,10 @@ fn e15() -> ExperimentRecord {
 fn e16() -> ExperimentRecord {
     let mut spec = Specification::new();
     for (obj, f, z) in [("plain", 0.45, 0.65), ("valley", 1.0, 0.0)] {
-        spec.assert_fuzzy_fact(FactPat::new("flooded").arg(obj), f).unwrap();
-        spec.assert_fuzzy_fact(FactPat::new("frozen").arg(obj), z).unwrap();
+        spec.assert_fuzzy_fact(FactPat::new("flooded").arg(obj), f)
+            .unwrap();
+        spec.assert_fuzzy_fact(FactPat::new("frozen").arg(obj), z)
+            .unwrap();
     }
     let rule = Rule::new(
         FactPat::new("hazard").arg("X"),

@@ -145,11 +145,8 @@ pub fn fuzzy_world(n: usize) -> Specification {
     for i in 0..n {
         let obj = format!("o{i}");
         let acc = 0.5 + 0.4 * ((i % 10) as f64) / 10.0;
-        spec.assert_fuzzy_fact(
-            FactPat::new("flooded").arg(Pat::Atom(obj.clone())),
-            acc,
-        )
-        .expect("fuzzy fact");
+        spec.assert_fuzzy_fact(FactPat::new("flooded").arg(Pat::Atom(obj.clone())), acc)
+            .expect("fuzzy fact");
         spec.assert_fuzzy_fact(FactPat::new("frozen").arg(Pat::Atom(obj)), 1.0 - acc / 2.0)
             .expect("fuzzy fact");
         // Crisp twins for the baseline.
@@ -159,8 +156,7 @@ pub fn fuzzy_world(n: usize) -> Specification {
         spec.assert_fact(FactPat::new("cfrozen").arg(Pat::Atom(obj)))
             .expect("ground fact");
     }
-    gdp::lang::load(&mut spec, "chazard(X) :- cflooded(X), cfrozen(X).")
-        .expect("crisp rule");
+    gdp::lang::load(&mut spec, "chazard(X) :- cflooded(X), cfrozen(X).").expect("crisp rule");
     spec
 }
 
@@ -189,20 +185,36 @@ mod tests {
     #[test]
     fn fact_base_counts() {
         let spec = fact_base(100, true);
-        assert_eq!(spec.query(FactPat::new("site").arg("X").arg("N")).unwrap().len(), 100);
+        assert_eq!(
+            spec.query(FactPat::new("site").arg("X").arg("N"))
+                .unwrap()
+                .len(),
+            100
+        );
     }
 
     #[test]
     fn inference_chain_derives_at_depth() {
         let spec = inference_chain(8, 3);
-        assert_eq!(spec.query(FactPat::new("level8").arg("X")).unwrap().len(), 3);
+        assert_eq!(
+            spec.query(FactPat::new("level8").arg("X")).unwrap().len(),
+            3
+        );
     }
 
     #[test]
     fn bridge_world_half_open() {
         let spec = bridge_world(10, 3);
-        assert_eq!(spec.query(FactPat::new("open_road").arg("X")).unwrap().len(), 5);
-        assert_eq!(spec.query(FactPat::new("closed").arg("X")).unwrap().len(), 5);
+        assert_eq!(
+            spec.query(FactPat::new("open_road").arg("X"))
+                .unwrap()
+                .len(),
+            5
+        );
+        assert_eq!(
+            spec.query(FactPat::new("closed").arg("X")).unwrap().len(),
+            5
+        );
     }
 
     #[test]
@@ -222,7 +234,10 @@ mod tests {
         let spec = temporal_history(10);
         assert!(spec
             .provable(
-                FactPat::new("status").arg("open").arg("b1").time(TimeQual::At(Pat::Int(5)))
+                FactPat::new("status")
+                    .arg("open")
+                    .arg("b1")
+                    .time(TimeQual::At(Pat::Int(5)))
             )
             .unwrap());
     }
@@ -230,14 +245,20 @@ mod tests {
     #[test]
     fn fuzzy_world_has_both_relations() {
         let spec = fuzzy_world(5);
-        assert_eq!(spec.query(FactPat::new("chazard").arg("X")).unwrap().len(), 5);
+        assert_eq!(
+            spec.query(FactPat::new("chazard").arg("X")).unwrap().len(),
+            5
+        );
         assert!(!spec.provable(FactPat::new("flooded").arg("o0")).unwrap());
     }
 
     #[test]
     fn model_world_respects_views() {
         let mut spec = model_world(3, 4);
-        assert!(spec.query(FactPat::new("datum").arg("X")).unwrap().is_empty());
+        assert!(spec
+            .query(FactPat::new("datum").arg("X"))
+            .unwrap()
+            .is_empty());
         spec.set_world_view(&["omega", "m0", "m1"]).unwrap();
         assert_eq!(spec.query(FactPat::new("datum").arg("X")).unwrap().len(), 8);
     }

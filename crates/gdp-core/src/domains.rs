@@ -65,14 +65,12 @@ impl DomainDef {
     /// Does the (ground) term belong to this domain?
     pub fn contains(&self, t: &Term) -> bool {
         match self {
-            DomainDef::FloatRange { min, max } => t
-                .as_f64()
-                .map(|v| *min <= v && v <= *max)
-                .unwrap_or(false),
-            DomainDef::IntRange { min, max } => t
-                .as_i64()
-                .map(|v| *min <= v && v <= *max)
-                .unwrap_or(false),
+            DomainDef::FloatRange { min, max } => {
+                t.as_f64().map(|v| *min <= v && v <= *max).unwrap_or(false)
+            }
+            DomainDef::IntRange { min, max } => {
+                t.as_i64().map(|v| *min <= v && v <= *max).unwrap_or(false)
+            }
             DomainDef::Enumerated(items) => match t {
                 Term::Atom(s) => {
                     let name = s.as_str();

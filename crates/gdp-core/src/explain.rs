@@ -7,9 +7,7 @@
 //! proof tree; [`Proof::render`] prints it with reified facts decoded back
 //! into the paper's notation (`model'@p q(args)`).
 
-use gdp_engine::{
-    resolve_deep, symbols, Budget, EngineError, GroupId, PredKey, Solver, Term,
-};
+use gdp_engine::{resolve_deep, symbols, Budget, EngineError, GroupId, PredKey, Solver, Term};
 
 use crate::error::SpecResult;
 use crate::reify::functors;
@@ -135,25 +133,23 @@ pub fn decode(t: &Term) -> String {
         return t.to_string();
     };
     let args = t.args();
-    let (model, space, time, acc, pred, fact_args) = if (functor == functors::holds()
-        || functor == functors::visible())
-        && args.len() == 5
-    {
-        (&args[0], &args[1], &args[2], None, &args[3], &args[4])
-    } else if (functor == functors::fuzzy_holds() || functor == functors::fuzzy_visible())
-        && args.len() == 6
-    {
-        (
-            &args[0],
-            &args[1],
-            &args[2],
-            Some(&args[3]),
-            &args[4],
-            &args[5],
-        )
-    } else {
-        return t.to_string();
-    };
+    let (model, space, time, acc, pred, fact_args) =
+        if (functor == functors::holds() || functor == functors::visible()) && args.len() == 5 {
+            (&args[0], &args[1], &args[2], None, &args[3], &args[4])
+        } else if (functor == functors::fuzzy_holds() || functor == functors::fuzzy_visible())
+            && args.len() == 6
+        {
+            (
+                &args[0],
+                &args[1],
+                &args[2],
+                Some(&args[3]),
+                &args[4],
+                &args[5],
+            )
+        } else {
+            return t.to_string();
+        };
     let mut out = String::new();
     if let Some(a) = acc {
         out.push_str(&format!("%{a} "));
@@ -358,11 +354,7 @@ fn explain_ground(spec: &Specification, goal: &Term, depth: usize) -> SpecResult
 }
 
 /// Explain a (ground) conjunction as a flat list of child proofs.
-fn explain_conjuncts(
-    spec: &Specification,
-    body: &Term,
-    depth: usize,
-) -> SpecResult<Vec<Proof>> {
+fn explain_conjuncts(spec: &Specification, body: &Term, depth: usize) -> SpecResult<Vec<Proof>> {
     if let Some(f) = body.functor() {
         if f == symbols::and() && body.args().len() == 2 {
             let mut left = explain_conjuncts(spec, &body.args()[0], depth)?;
@@ -482,18 +474,12 @@ mod tests {
     fn decode_renders_paper_notation() {
         let h = crate::reify::holds(
             Term::atom("celsius"),
-            crate::reify::space_at(Term::pred(
-                "pt",
-                vec![Term::float(3.0), Term::float(4.0)],
-            )),
+            crate::reify::space_at(Term::pred("pt", vec![Term::float(3.0), Term::float(4.0)])),
             Term::Atom(functors::any()),
             Term::atom("vegetation"),
             Term::list(vec![Term::atom("pine"), Term::atom("hill")]),
         );
-        assert_eq!(
-            decode(&h),
-            "@ pt(3.0, 4.0) celsius'vegetation(pine, hill)"
-        );
+        assert_eq!(decode(&h), "@ pt(3.0, 4.0) celsius'vegetation(pine, hill)");
         let fh = crate::reify::fuzzy_holds(
             Term::atom(crate::DEFAULT_MODEL),
             Term::Atom(functors::any()),

@@ -251,7 +251,9 @@ mod tests {
     #[test]
     fn basic_fact_compiles_to_default_model() {
         let mut vt = VarTable::new();
-        let t = FactPat::new("road").arg("s1").compile(&mut vt, Target::Holds);
+        let t = FactPat::new("road")
+            .arg("s1")
+            .compile(&mut vt, Target::Holds);
         assert_eq!(t.to_string(), "h(omega, any, any, road, [s1])");
     }
 
@@ -273,7 +275,10 @@ mod tests {
             .arg(Pat::Int(0))
             .arg("x")
             .compile(&mut vt, Target::Holds);
-        assert_eq!(t.to_string(), "h(celsius, any, any, freezing_point, [0, x])");
+        assert_eq!(
+            t.to_string(),
+            "h(celsius, any, any, freezing_point, [0, x])"
+        );
     }
 
     #[test]
@@ -295,10 +300,7 @@ mod tests {
     fn head_tail_args_for_meta_rules() {
         let mut vt = VarTable::new();
         let t = FactPat::meta(Pat::var("Q"))
-            .args_pat(ArgsPat::HeadTail(
-                vec![Pat::atom("false")],
-                Pat::var("Xs"),
-            ))
+            .args_pat(ArgsPat::HeadTail(vec![Pat::atom("false")], Pat::var("Xs")))
             .compile(&mut vt, Target::Holds);
         assert_eq!(t.to_string(), "h(omega, any, any, _0, [false | _1])");
     }
@@ -306,13 +308,12 @@ mod tests {
     #[test]
     fn fuzzy_compile_has_accuracy_slot() {
         let mut vt = VarTable::new();
-        let t = FactPat::new("clarity")
-            .arg("image")
-            .compile_fuzzy(&mut vt, &Pat::Float(0.85), Target::Holds);
-        assert_eq!(
-            t.to_string(),
-            "fh(omega, any, any, 0.85, clarity, [image])"
+        let t = FactPat::new("clarity").arg("image").compile_fuzzy(
+            &mut vt,
+            &Pat::Float(0.85),
+            Target::Holds,
         );
+        assert_eq!(t.to_string(), "fh(omega, any, any, 0.85, clarity, [image])");
     }
 
     #[test]

@@ -175,17 +175,13 @@ impl Formula {
             Formula::Or(a, b) => Term::or(a.compile(vt), b.compile(vt)),
             Formula::Not(f) => Term::not(f.compile(vt)),
             Formula::Forall(c, t) => Term::forall(c.compile(vt), t.compile(vt)),
-            Formula::Cmp(op, a, b) => {
-                Term::pred(op.functor(), vec![vt.compile(a), vt.compile(b)])
-            }
+            Formula::Cmp(op, a, b) => Term::pred(op.functor(), vec![vt.compile(a), vt.compile(b)]),
             Formula::Unify(a, b) => Term::unify(vt.compile(a), vt.compile(b)),
             Formula::Is(a, b) => Term::pred("is", vec![vt.compile(a), vt.compile(b)]),
             Formula::Domain(d, v) => {
                 Term::pred("domain_member", vec![Term::atom(d), vt.compile(v)])
             }
-            Formula::Card(f, n) => {
-                Term::pred("card", vec![f.compile(vt), vt.compile(n)])
-            }
+            Formula::Card(f, n) => Term::pred("card", vec![f.compile(vt), vt.compile(n)]),
             Formula::Agg(op, template, f, result) => Term::pred(
                 "aggregate",
                 vec![
@@ -437,7 +433,10 @@ mod tests {
         let body = Formula::not(fact("open", vec!["X"]));
         assert!(body.check_safety(&[]).is_err());
         // bridge(X), not(open(X)) is fine.
-        let ok = Formula::and(fact("bridge", vec!["X"]), Formula::not(fact("open", vec!["X"])));
+        let ok = Formula::and(
+            fact("bridge", vec!["X"]),
+            Formula::not(fact("open", vec!["X"])),
+        );
         assert!(ok.check_safety(&["X".to_string()]).is_ok());
     }
 
@@ -484,7 +483,10 @@ mod tests {
     #[test]
     fn compile_produces_visible_lookups() {
         let mut vt = VarTable::new();
-        let body = Formula::and(fact("road", vec!["X"]), Formula::not(fact("open", vec!["X"])));
+        let body = Formula::and(
+            fact("road", vec!["X"]),
+            Formula::not(fact("open", vec!["X"])),
+        );
         let t = body.compile(&mut vt);
         let s = t.to_string();
         assert!(s.contains("visible("));

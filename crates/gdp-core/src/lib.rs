@@ -50,9 +50,9 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-pub mod explain;
 mod domains;
 mod error;
+pub mod explain;
 mod fact;
 mod formula;
 mod meta;
@@ -63,8 +63,8 @@ pub mod rule;
 mod spec;
 
 pub use domains::{DomainDef, DomainTable, Sort};
-pub use explain::{decode, explain, Proof};
 pub use error::{SpecError, SpecResult};
+pub use explain::{decode, explain, Proof};
 pub use fact::{ArgsPat, FactPat, Target};
 pub use formula::{AggOp, CmpOp, Formula};
 pub use meta::{MetaModel, MetaModelBuilder};

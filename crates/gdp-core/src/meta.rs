@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use gdp_engine::{GroupId, KnowledgeBase};
+use gdp_engine::{GroupId, KnowledgeBase, PredKey};
 
 use crate::rule::RawClause;
 
@@ -29,6 +29,7 @@ pub struct MetaModel {
     doc: String,
     clauses: Vec<RawClause>,
     setup: Option<NativeSetup>,
+    tabled: Vec<PredKey>,
 }
 
 impl std::fmt::Debug for MetaModel {
@@ -37,6 +38,7 @@ impl std::fmt::Debug for MetaModel {
             .field("name", &self.name)
             .field("clauses", &self.clauses.len())
             .field("has_setup", &self.setup.is_some())
+            .field("tabled", &self.tabled)
             .finish()
     }
 }
@@ -50,6 +52,7 @@ impl MetaModel {
             doc: String::new(),
             clauses: Vec::new(),
             setup: None,
+            tabled: Vec::new(),
         }
     }
 
@@ -73,11 +76,21 @@ impl MetaModel {
         GroupId::named(&format!("meta${}", self.name))
     }
 
+    /// Predicates this meta-model nominates for answer tabling (memoized
+    /// only when the specification enables tabling).
+    pub fn tabled(&self) -> &[PredKey] {
+        &self.tabled
+    }
+
     /// Run the native-registration hook (idempotent: natives are keyed by
-    /// name/arity, so re-registration simply overwrites).
+    /// name/arity, so re-registration simply overwrites) and mark the
+    /// model's tabling nominations on the KB.
     pub fn run_setup(&self, kb: &mut KnowledgeBase) {
         if let Some(setup) = &self.setup {
             setup(kb);
+        }
+        for &key in &self.tabled {
+            kb.mark_tabled(key);
         }
     }
 }
@@ -88,6 +101,7 @@ pub struct MetaModelBuilder {
     doc: String,
     clauses: Vec<RawClause>,
     setup: Option<NativeSetup>,
+    tabled: Vec<PredKey>,
 }
 
 impl MetaModelBuilder {
@@ -118,6 +132,14 @@ impl MetaModelBuilder {
         self
     }
 
+    /// Nominate `name/arity` for answer tabling. The mark takes effect
+    /// when the model is registered; answers are actually memoized only
+    /// while the specification's tabling switch is on.
+    pub fn table(mut self, name: &str, arity: usize) -> MetaModelBuilder {
+        self.tabled.push(PredKey::new(name, arity));
+        self
+    }
+
     /// Finish.
     pub fn build(self) -> MetaModel {
         MetaModel {
@@ -125,6 +147,7 @@ impl MetaModelBuilder {
             doc: self.doc,
             clauses: self.clauses,
             setup: self.setup,
+            tabled: self.tabled,
         }
     }
 }

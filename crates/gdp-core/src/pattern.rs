@@ -54,10 +54,9 @@ impl Pat {
     /// order, into `out` (deduplicated).
     pub fn collect_vars(&self, out: &mut Vec<String>) {
         match self {
-            Pat::Var(n)
-                if !out.iter().any(|v| v == n) => {
-                    out.push(n.clone());
-                }
+            Pat::Var(n) if !out.iter().any(|v| v == n) => {
+                out.push(n.clone());
+            }
             Pat::Compound(_, args) => {
                 for a in args {
                     a.collect_vars(out);
@@ -235,7 +234,10 @@ mod tests {
     fn collect_vars_dedups_in_order() {
         let p = Pat::app(
             "f",
-            vec![Pat::var("B"), Pat::app("g", vec![Pat::var("A"), Pat::var("B")])],
+            vec![
+                Pat::var("B"),
+                Pat::app("g", vec![Pat::var("A"), Pat::var("B")]),
+            ],
         );
         let mut vars = Vec::new();
         p.collect_vars(&mut vars);

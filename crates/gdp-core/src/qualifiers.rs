@@ -168,10 +168,9 @@ impl TimeQual {
             TimeQual::IntervalSampled(iv) => reify::time_sampled(iv.compile(vt)),
             TimeQual::IntervalAveraged(iv) => reify::time_averaged(iv.compile(vt)),
             TimeQual::Now => Term::atom("now"),
-            TimeQual::Cyclic { period, interval } => Term::pred(
-                "cyc",
-                vec![vt.compile(period), interval.compile(vt)],
-            ),
+            TimeQual::Cyclic { period, interval } => {
+                Term::pred("cyc", vec![vt.compile(period), interval.compile(vt)])
+            }
         }
     }
 

@@ -8,10 +8,10 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use gdp_engine::{
-    list_to_vec, Budget, FxHashMap, FxHashSet, GroupId, KnowledgeBase, Solver, Term,
+    list_to_vec, Budget, FxHashMap, FxHashSet, GroupId, KnowledgeBase, Solver, SolverStats, Term,
 };
 
 use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
@@ -104,6 +104,9 @@ pub struct Specification {
     sort_enforcement: SortEnforcement,
     step_limit: u64,
     depth_limit: u32,
+    /// Execution counters of the most recent query (interior mutability:
+    /// queries take `&self`).
+    last_stats: Mutex<SolverStats>,
 }
 
 impl Default for Specification {
@@ -140,11 +143,25 @@ impl Specification {
             sort_enforcement: SortEnforcement::default(),
             step_limit: 10_000_000,
             depth_limit: 256,
+            last_stats: Mutex::new(SolverStats::default()),
         };
         register_domain_native(&mut spec.kb, Arc::clone(&spec.domains));
         spec.install_kernel();
         spec.declare_model(DEFAULT_MODEL);
         spec.apply_world_view();
+        // Ablation hook: `GDP_TABLING=on` (nominated predicates) or
+        // `GDP_TABLING=all` flips answer tabling on for every
+        // specification, so whole harnesses (the E1–E16 experiment runner,
+        // integration suites) can be re-run tabled without code changes.
+        // Unset or any other value leaves tabling off — the default.
+        match std::env::var("GDP_TABLING").as_deref() {
+            Ok("on") => spec.enable_tabling(true),
+            Ok("all") => {
+                spec.enable_tabling(true);
+                spec.set_table_all(true);
+            }
+            _ => {}
+        }
         spec
     }
 
@@ -154,14 +171,10 @@ impl Specification {
         // argument indexing would degenerate to a scan (every fact shares
         // ω). Index h/5 on the spatial qualifier, the predicate, and the
         // argument list (keyed by its first element); fh/6 likewise.
-        self.kb.set_index_args(
-            gdp_engine::PredKey::new("h", 5),
-            &[1, 3, 4],
-        );
-        self.kb.set_index_args(
-            gdp_engine::PredKey::new("fh", 6),
-            &[1, 4, 5],
-        );
+        self.kb
+            .set_index_args(gdp_engine::PredKey::new("h", 5), &[1, 3, 4]);
+        self.kb
+            .set_index_args(gdp_engine::PredKey::new("fh", 6), &[1, 4, 5]);
         // visible(M, S, T, Q, A) :- active_model(M), h(M, S, T, Q, A).
         let (m, s, t, q, a) = (
             Term::var(0),
@@ -207,7 +220,10 @@ impl Specification {
         );
         self.kb.assert_clause_in(
             g,
-            Term::pred("member", vec![x.clone(), Term::cons(t2.clone(), Term::var(2))]),
+            Term::pred(
+                "member",
+                vec![x.clone(), Term::cons(t2.clone(), Term::var(2))],
+            ),
             Term::pred("member", vec![x, Term::var(2)]),
         );
     }
@@ -393,7 +409,11 @@ impl Specification {
         let Some(args) = fact.fixed_args() else {
             return Ok(());
         };
-        let Some(sorts) = self.signatures.get(&(pred.to_string(), args.len())).cloned() else {
+        let Some(sorts) = self
+            .signatures
+            .get(&(pred.to_string(), args.len()))
+            .cloned()
+        else {
             // No signature for this arity. If another arity is declared,
             // that's an arity mismatch worth reporting.
             if self.signatures.keys().any(|(n, _)| n == pred) {
@@ -599,6 +619,46 @@ impl Specification {
         Budget::new(self.step_limit, self.depth_limit)
     }
 
+    /// Snapshot a solver's counters as the most recent query's stats.
+    fn record_stats(&self, solver: &Solver<'_>) {
+        *self.last_stats.lock() = solver.stats();
+    }
+
+    /// Execution counters of the most recent query run through this
+    /// specification (steps, clause resolutions, and answer-table
+    /// hit/miss/insert/invalidation counts).
+    pub fn solver_stats(&self) -> SolverStats {
+        *self.last_stats.lock()
+    }
+
+    /// Cumulative answer-table counters over the KB's lifetime.
+    pub fn table_stats(&self) -> gdp_engine::TableStats {
+        self.kb.table().stats()
+    }
+
+    // ----- tabling ----------------------------------------------------------
+
+    /// Switch goal-level answer tabling on or off (off by default). While
+    /// on, predicates nominated by registered meta-models (and any marked
+    /// through [`gdp_engine::KnowledgeBase::mark_tabled`]) have their
+    /// complete answer sets memoized across queries; knowledge-base
+    /// mutations invalidate affected entries automatically via the KB
+    /// epoch.
+    pub fn enable_tabling(&mut self, on: bool) {
+        self.kb.set_tabling(on);
+    }
+
+    /// Is answer tabling enabled?
+    pub fn tabling_enabled(&self) -> bool {
+        self.kb.tabling_enabled()
+    }
+
+    /// Table every user predicate instead of only the nominated ones
+    /// (effective only while tabling is enabled).
+    pub fn set_table_all(&mut self, on: bool) {
+        self.kb.set_table_all(on);
+    }
+
     /// Adjust the per-query resource budget.
     pub fn set_budget(&mut self, step_limit: u64, depth_limit: u32) {
         self.step_limit = step_limit;
@@ -641,7 +701,10 @@ impl Specification {
     pub fn provable(&self, pat: FactPat) -> SpecResult<bool> {
         let mut vt = VarTable::new();
         let goal = pat.compile(&mut vt, Target::Visible);
-        Ok(Solver::new(&self.kb, self.budget()).prove(goal)?)
+        let solver = Solver::new(&self.kb, self.budget());
+        let out = solver.prove(goal);
+        self.record_stats(&solver);
+        Ok(out?)
     }
 
     /// All answers to an arbitrary formula.
@@ -655,16 +718,18 @@ impl Specification {
     pub fn satisfiable(&self, formula: &Formula) -> SpecResult<bool> {
         let mut vt = VarTable::new();
         let goal = formula.compile(&mut vt);
-        Ok(Solver::new(&self.kb, self.budget()).prove(goal)?)
+        let solver = Solver::new(&self.kb, self.budget());
+        let out = solver.prove(goal);
+        self.record_stats(&solver);
+        Ok(out?)
     }
 
     fn run_query(&self, goal: Term, vt: VarTable, limit: usize) -> SpecResult<Vec<Answer>> {
         let solver = Solver::new(&self.kb, self.budget());
-        let solutions = solver.solve(goal, limit)?;
-        let named: Vec<(String, u32)> = vt
-            .named()
-            .map(|(n, v)| (n.to_string(), v))
-            .collect();
+        let solutions = solver.solve(goal, limit);
+        self.record_stats(&solver);
+        let solutions = solutions?;
+        let named: Vec<(String, u32)> = vt.named().map(|(n, v)| (n.to_string(), v)).collect();
         Ok(solutions
             .into_iter()
             .map(|sol| Answer {
@@ -702,7 +767,9 @@ impl Specification {
             Term::var(3),
         );
         let solver = Solver::new(&self.kb, self.budget());
-        let solutions = solver.solve_all(goal)?;
+        let solutions = solver.solve_all(goal);
+        self.record_stats(&solver);
+        let solutions = solutions?;
         let mut out = Vec::new();
         for sol in solutions {
             let model = sol.get(gdp_engine::Var(0)).cloned().unwrap_or(Term::var(0));
@@ -760,12 +827,18 @@ impl Specification {
 
     /// Prove a raw engine goal (diagnostics and sibling crates).
     pub fn prove_goal(&self, goal: Term) -> SpecResult<bool> {
-        Ok(Solver::new(&self.kb, self.budget()).prove(goal)?)
+        let solver = Solver::new(&self.kb, self.budget());
+        let out = solver.prove(goal);
+        self.record_stats(&solver);
+        Ok(out?)
     }
 
     /// Solve a raw engine goal, returning engine-level solutions.
     pub fn solve_goal(&self, goal: Term) -> SpecResult<Vec<gdp_engine::Solution>> {
-        Ok(Solver::new(&self.kb, self.budget()).solve_all(goal)?)
+        let solver = Solver::new(&self.kb, self.budget());
+        let out = solver.solve_all(goal);
+        self.record_stats(&solver);
+        Ok(out?)
     }
 
     /// Declared objects.
@@ -824,9 +897,14 @@ mod tests {
         assert!(!spec.provable(fact("road", &["s1"])).unwrap());
         assert!(!spec.retract_fact(fact("road", &["s1"])).unwrap());
         // Fuzzy retraction needs the exact accuracy.
-        spec.assert_fuzzy_fact(fact("clarity", &["img"]), 0.8).unwrap();
-        assert!(!spec.retract_fuzzy_fact(fact("clarity", &["img"]), 0.7).unwrap());
-        assert!(spec.retract_fuzzy_fact(fact("clarity", &["img"]), 0.8).unwrap());
+        spec.assert_fuzzy_fact(fact("clarity", &["img"]), 0.8)
+            .unwrap();
+        assert!(!spec
+            .retract_fuzzy_fact(fact("clarity", &["img"]), 0.7)
+            .unwrap());
+        assert!(spec
+            .retract_fuzzy_fact(fact("clarity", &["img"]), 0.8)
+            .unwrap());
     }
 
     #[test]
@@ -868,7 +946,10 @@ mod tests {
     fn model_scoping_and_world_view() {
         let mut spec = Specification::new();
         spec.assert_fact(
-            fact("freezing_point", &[]).model("celsius").arg(Pat::Int(0)).arg("x"),
+            fact("freezing_point", &[])
+                .model("celsius")
+                .arg(Pat::Int(0))
+                .arg("x"),
         )
         .unwrap();
         // Not visible: celsius not in the world view.
@@ -963,7 +1044,8 @@ mod tests {
     fn sort_enforcement_off_admits_anomalies() {
         let mut spec = Specification::new();
         spec.set_sort_enforcement(SortEnforcement::Off);
-        spec.declare_domain("temperature", DomainDef::AnyNumber).unwrap();
+        spec.declare_domain("temperature", DomainDef::AnyNumber)
+            .unwrap();
         spec.declare_predicate(
             "average_temperature",
             vec![Sort::domain("temperature"), Sort::Object],
@@ -976,14 +1058,10 @@ mod tests {
         )
         .unwrap();
         // The anomaly is in; a domain constraint can now flag it.
-        spec.constrain(
-            Constraint::new("bad_temp").witness("X").when(Formula::and(
-                Formula::fact(
-                    FactPat::new("average_temperature").arg("X").arg("Y"),
-                ),
-                Formula::not(Formula::Domain("temperature".into(), Pat::var("X"))),
-            )),
-        )
+        spec.constrain(Constraint::new("bad_temp").witness("X").when(Formula::and(
+            Formula::fact(FactPat::new("average_temperature").arg("X").arg("Y")),
+            Formula::not(Formula::Domain("temperature".into(), Pat::var("X"))),
+        )))
         .unwrap();
         let violations = spec.check_consistency().unwrap();
         assert_eq!(violations.len(), 1);

@@ -72,8 +72,8 @@ impl DepthSurvey {
                 }
                 let true_depth = sea - terrain.elevation(i, j);
                 // Irwin–Hall approximation of a Gaussian.
-                let noise: f64 = (0..12).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>()
-                    * config.noise_sd;
+                let noise: f64 =
+                    (0..12).map(|_| rng.gen_range(-0.5..0.5)).sum::<f64>() * config.noise_sd;
                 let depth = (true_depth + noise).max(0.0);
                 let confidence = (1.0 - depth / (sea * 2.0)).clamp(0.3, 1.0);
                 samples.push(DepthSample {

@@ -236,7 +236,10 @@ impl Terrain {
                     continue;
                 }
                 let e = self.elevation(i, j);
-                if self.neighbors4(i, j).all(|(ni, nj)| self.elevation(ni, nj) < e) {
+                if self
+                    .neighbors4(i, j)
+                    .all(|(ni, nj)| self.elevation(ni, nj) < e)
+                {
                     out.push((i, j));
                 }
             }
@@ -381,15 +384,14 @@ mod tests {
                 if region.cells.len() == 1 {
                     continue;
                 }
-                let has_neighbor = [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)]
-                    .iter()
-                    .any(|&(di, dj)| {
-                        let ni = i64::from(i) + di;
-                        let nj = i64::from(j) + dj;
-                        ni >= 0
-                            && nj >= 0
-                            && set.contains(&(ni as u32, nj as u32))
-                    });
+                let has_neighbor =
+                    [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)]
+                        .iter()
+                        .any(|&(di, dj)| {
+                            let ni = i64::from(i) + di;
+                            let nj = i64::from(j) + dj;
+                            ni >= 0 && nj >= 0 && set.contains(&(ni as u32, nj as u32))
+                        });
                 assert!(has_neighbor, "isolated cell in region");
             }
         }

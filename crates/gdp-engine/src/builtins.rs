@@ -204,8 +204,9 @@ fn functor3(store: &mut BindStore, args: &[Term]) -> EngineResult<bool> {
                 }
             };
             let fresh_base = store.alloc_block(arity as u32);
-            let args_vec: Vec<Term> =
-                (0..arity as u32).map(|i| Term::var(fresh_base + i)).collect();
+            let args_vec: Vec<Term> = (0..arity as u32)
+                .map(|i| Term::var(fresh_base + i))
+                .collect();
             Ok(store.unify(&args[0], &Term::compound(name, args_vec)))
         }
         Term::Atom(s) => {
@@ -270,9 +271,7 @@ fn univ2(store: &mut BindStore, args: &[Term]) -> EngineResult<bool> {
             };
             let built = match head {
                 Term::Atom(f) => Term::compound(*f, rest.to_vec()),
-                t @ (Term::Int(_) | Term::Float(_) | Term::Str(_)) if rest.is_empty() => {
-                    t.clone()
-                }
+                t @ (Term::Int(_) | Term::Float(_) | Term::Str(_)) if rest.is_empty() => t.clone(),
                 other => {
                     return Err(EngineError::TypeError {
                         context: "=../2",
@@ -335,10 +334,7 @@ mod tests {
             "=:=",
             vec![Term::int(2), Term::float(2.0)]
         )));
-        assert!(holds(Term::pred(
-            ">",
-            vec![Term::float(2.5), Term::int(2)]
-        )));
+        assert!(holds(Term::pred(">", vec![Term::float(2.5), Term::int(2)])));
     }
 
     #[test]
@@ -359,8 +355,14 @@ mod tests {
     #[test]
     fn structural_equality_distinguishes_unbound() {
         // == is identity, not unifiability.
-        assert!(!holds(Term::pred("==", vec![Term::var(0), Term::atom("a")])));
-        assert!(holds(Term::pred("==", vec![Term::atom("a"), Term::atom("a")])));
+        assert!(!holds(Term::pred(
+            "==",
+            vec![Term::var(0), Term::atom("a")]
+        )));
+        assert!(holds(Term::pred(
+            "==",
+            vec![Term::atom("a"), Term::atom("a")]
+        )));
         assert!(holds(Term::pred("\\==", vec![Term::var(0), Term::var(1)])));
     }
 
@@ -369,8 +371,14 @@ mod tests {
         assert!(holds(Term::pred("var", vec![Term::var(0)])));
         assert!(holds(Term::pred("atom", vec![Term::atom("x")])));
         assert!(holds(Term::pred("number", vec![Term::float(1.5)])));
-        assert!(holds(Term::pred("ground", vec![Term::pred("f", vec![Term::int(1)])])));
-        assert!(!holds(Term::pred("ground", vec![Term::pred("f", vec![Term::var(0)])])));
+        assert!(holds(Term::pred(
+            "ground",
+            vec![Term::pred("f", vec![Term::int(1)])]
+        )));
+        assert!(!holds(Term::pred(
+            "ground",
+            vec![Term::pred("f", vec![Term::var(0)])]
+        )));
     }
 
     #[test]
@@ -451,10 +459,7 @@ mod tests {
 
     #[test]
     fn compare_orders() {
-        let goal = Term::pred(
-            "compare",
-            vec![Term::var(0), Term::int(1), Term::int(2)],
-        );
+        let goal = Term::pred("compare", vec![Term::var(0), Term::int(1), Term::int(2)]);
         let sols = run(goal);
         assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("<"));
     }
@@ -462,10 +467,8 @@ mod tests {
     #[test]
     fn comparison_on_atom_is_type_error() {
         let kb = KnowledgeBase::new();
-        let r = Solver::new(&kb, Budget::default()).prove(Term::pred(
-            "<",
-            vec![Term::atom("green"), Term::int(1)],
-        ));
+        let r = Solver::new(&kb, Budget::default())
+            .prove(Term::pred("<", vec![Term::atom("green"), Term::int(1)]));
         assert!(matches!(r, Err(EngineError::TypeError { .. })));
     }
 }

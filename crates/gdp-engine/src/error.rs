@@ -124,10 +124,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            EngineError::DivisionByZero,
-            EngineError::DivisionByZero
-        );
+        assert_eq!(EngineError::DivisionByZero, EngineError::DivisionByZero);
         assert_ne!(
             EngineError::StepLimit { limit: 1 },
             EngineError::StepLimit { limit: 2 }

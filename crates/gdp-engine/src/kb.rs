@@ -28,9 +28,10 @@
 use std::sync::Arc;
 
 use crate::error::EngineResult;
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::symbol::{symbols, Sym};
-use crate::term::{F64, Term};
+use crate::table::AnswerTable;
+use crate::term::{Term, F64};
 use crate::unify::BindStore;
 
 /// Identifies a predicate: functor plus arity.
@@ -254,6 +255,18 @@ pub struct KnowledgeBase {
     indexing: bool,
     strict: bool,
     clause_count: usize,
+    /// Modification counter: bumped by every operation that can change
+    /// what is derivable. Cached table entries carry the epoch they were
+    /// built at and are dropped on mismatch.
+    epoch: u64,
+    /// Master switch for tabled resolution (off by default).
+    tabling_enabled: bool,
+    /// Table every user predicate, not just the marked ones.
+    table_all: bool,
+    /// Predicates opted into tabling.
+    tabled: FxHashSet<PredKey>,
+    /// The memoized answer cache shared by all solvers over this KB.
+    table: AnswerTable,
 }
 
 impl Default for KnowledgeBase {
@@ -270,6 +283,8 @@ impl std::fmt::Debug for KnowledgeBase {
             .field("natives", &self.natives.len())
             .field("indexing", &self.indexing)
             .field("strict", &self.strict)
+            .field("epoch", &self.epoch)
+            .field("tabling", &self.tabling_enabled)
             .finish()
     }
 }
@@ -285,7 +300,67 @@ impl KnowledgeBase {
             indexing: true,
             strict: false,
             clause_count: 0,
+            epoch: 0,
+            tabling_enabled: false,
+            table_all: false,
+            tabled: FxHashSet::default(),
+            table: AnswerTable::new(),
         }
+    }
+
+    /// Record a change that can affect what is derivable: advance the
+    /// epoch, implicitly invalidating every cached table entry.
+    fn bump_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The current modification epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    // ----- tabling ----------------------------------------------------------
+
+    /// Master switch for tabled resolution. Off by default; turning it on
+    /// makes the solver consult the answer table for predicates marked via
+    /// [`KnowledgeBase::mark_tabled`] (or all of them under
+    /// [`KnowledgeBase::set_table_all`]).
+    pub fn set_tabling(&mut self, on: bool) {
+        self.tabling_enabled = on;
+    }
+
+    /// Whether tabled resolution is enabled.
+    pub fn tabling_enabled(&self) -> bool {
+        self.tabling_enabled
+    }
+
+    /// Table every user predicate instead of only the marked ones (still
+    /// gated on [`KnowledgeBase::set_tabling`]).
+    pub fn set_table_all(&mut self, on: bool) {
+        self.table_all = on;
+    }
+
+    /// Whether all user predicates are tabled.
+    pub fn table_all(&self) -> bool {
+        self.table_all
+    }
+
+    /// Opt one predicate into tabling. Marking is independent of the
+    /// master switch, so meta-models can mark their expensive predicates
+    /// unconditionally and the user decides with
+    /// [`KnowledgeBase::set_tabling`].
+    pub fn mark_tabled(&mut self, key: PredKey) {
+        self.tabled.insert(key);
+    }
+
+    /// Should calls to this predicate go through the answer table?
+    pub fn is_tabled(&self, key: PredKey) -> bool {
+        self.tabling_enabled && (self.table_all || self.tabled.contains(&key))
+    }
+
+    /// The shared answer table (diagnostics and the solver).
+    pub fn table(&self) -> &AnswerTable {
+        &self.table
     }
 
     /// Enable/disable argument indexing. With indexing off, every call
@@ -293,6 +368,7 @@ impl KnowledgeBase {
     /// `bench_indexing`.
     pub fn set_indexing(&mut self, on: bool) {
         self.indexing = on;
+        self.bump_epoch();
     }
 
     /// Whether argument indexing is enabled.
@@ -321,13 +397,17 @@ impl KnowledgeBase {
                 .collect();
             entry.rebuild_indexes();
         }
+        self.bump_epoch();
     }
 
     fn index_positions(&self, key: PredKey) -> Vec<u16> {
-        self.index_config
-            .get(&key)
-            .cloned()
-            .unwrap_or_else(|| if key.arity > 0 { vec![0] } else { Vec::new() })
+        self.index_config.get(&key).cloned().unwrap_or_else(|| {
+            if key.arity > 0 {
+                vec![0]
+            } else {
+                Vec::new()
+            }
+        })
     }
 
     /// In strict mode, calling a predicate with no clauses and no native
@@ -335,6 +415,7 @@ impl KnowledgeBase {
     /// fails (the fact is "undefined", §III.A).
     pub fn set_strict(&mut self, on: bool) {
         self.strict = on;
+        self.bump_epoch();
     }
 
     /// Whether strict unknown-predicate mode is enabled.
@@ -373,6 +454,7 @@ impl KnowledgeBase {
             .or_insert_with(|| PredEntry::new(&positions))
             .push(clause);
         self.clause_count += 1;
+        self.bump_epoch();
     }
 
     /// Retract every clause belonging to `group`, across all predicates.
@@ -390,6 +472,9 @@ impl KnowledgeBase {
         }
         self.preds.retain(|_, e| !e.clauses.is_empty());
         self.clause_count -= removed;
+        if removed > 0 {
+            self.bump_epoch();
+        }
         removed
     }
 
@@ -418,6 +503,7 @@ impl KnowledgeBase {
             self.preds.remove(&key);
         }
         self.clause_count -= 1;
+        self.bump_epoch();
         true
     }
 
@@ -427,6 +513,7 @@ impl KnowledgeBase {
             Some(entry) => {
                 let n = entry.clauses.len();
                 self.clause_count -= n;
+                self.bump_epoch();
                 n
             }
             None => 0,
@@ -449,6 +536,7 @@ impl KnowledgeBase {
         f: impl Fn(&mut BindStore, &[Term]) -> NativeOutcome + Send + Sync + 'static,
     ) {
         self.natives.insert(PredKey::new(name, arity), Arc::new(f));
+        self.bump_epoch();
     }
 
     /// Look up a native implementation.
@@ -466,12 +554,7 @@ impl KnowledgeBase {
     /// With indexing enabled, every configured index whose call argument is
     /// bound is consulted and the most selective one wins; otherwise (or
     /// with indexing off) all clauses of the predicate are returned.
-    pub fn candidates(
-        &self,
-        key: PredKey,
-        store: &BindStore,
-        args: &[Term],
-    ) -> Vec<Arc<Clause>> {
+    pub fn candidates(&self, key: PredKey, store: &BindStore, args: &[Term]) -> Vec<Arc<Clause>> {
         let Some(entry) = self.preds.get(&key) else {
             return Vec::new();
         };
@@ -598,7 +681,10 @@ mod tests {
         for i in 0..10 {
             kb.assert_fact(fact("p", vec![Term::int(i)]));
         }
-        assert_eq!(cands(&kb, PredKey::new("p", 1), vec![Term::int(3)]).len(), 10);
+        assert_eq!(
+            cands(&kb, PredKey::new("p", 1), vec![Term::int(3)]).len(),
+            10
+        );
     }
 
     #[test]
@@ -632,7 +718,12 @@ mod tests {
         }
         // First arg bound only: all 100.
         assert_eq!(
-            cands(&kb, key, vec![Term::atom("omega"), Term::var(0), Term::var(1)]).len(),
+            cands(
+                &kb,
+                key,
+                vec![Term::atom("omega"), Term::var(0), Term::var(1)]
+            )
+            .len(),
             100
         );
         // Third arg bound too: the unique one wins.
@@ -674,10 +765,7 @@ mod tests {
         let got = cands(
             &kb,
             key,
-            vec![
-                Term::atom("site"),
-                Term::cons(Term::var(0), Term::var(1)),
-            ],
+            vec![Term::atom("site"), Term::cons(Term::var(0), Term::var(1))],
         );
         assert_eq!(got.len(), 50);
     }
@@ -689,10 +777,7 @@ mod tests {
         kb.set_index_args(key, &[1]);
         kb.assert_fact(fact("p", vec![Term::atom("x"), Term::int(1)]));
         kb.assert_fact(fact("p", vec![Term::atom("x"), Term::int(2)]));
-        assert_eq!(
-            cands(&kb, key, vec![Term::var(0), Term::int(2)]).len(),
-            1
-        );
+        assert_eq!(cands(&kb, key, vec![Term::var(0), Term::int(2)]).len(), 1);
     }
 
     #[test]
@@ -720,7 +805,10 @@ mod tests {
         assert!(!kb.group_active(g));
         assert_eq!(kb.clause_count(), 1);
         // Index rebuilt: remaining clause still findable.
-        assert_eq!(cands(&kb, PredKey::new("p", 1), vec![Term::atom("base")]).len(), 1);
+        assert_eq!(
+            cands(&kb, PredKey::new("p", 1), vec![Term::atom("base")]).len(),
+            1
+        );
     }
 
     #[test]
@@ -735,7 +823,10 @@ mod tests {
         assert!(!kb.retract_fact(&fact("p", vec![Term::int(3)])));
         assert_eq!(kb.clause_count(), 2);
         // Index rebuilt.
-        assert_eq!(cands(&kb, PredKey::new("p", 1), vec![Term::int(2)]).len(), 1);
+        assert_eq!(
+            cands(&kb, PredKey::new("p", 1), vec![Term::int(2)]).len(),
+            1
+        );
     }
 
     #[test]

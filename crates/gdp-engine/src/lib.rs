@@ -47,6 +47,7 @@ mod kb;
 mod list;
 mod solver;
 mod symbol;
+pub mod table;
 mod term;
 mod unify;
 
@@ -57,7 +58,8 @@ pub use error::{EngineError, EngineResult};
 pub use hash::{FxHashMap, FxHashSet};
 pub use kb::{Clause, GroupId, KnowledgeBase, NativeFn, NativeOutcome, PredKey};
 pub use list::{list_from_iter, list_to_vec, ListIter};
-pub use solver::{Solution, SolutionIter, Solver};
+pub use solver::{Solution, SolutionIter, Solver, SolverStats};
 pub use symbol::{symbols, Sym};
-pub use term::{F64, Term, Var};
-pub use unify::{BindStore, resolve_deep, resolve_shallow};
+pub use table::{AnswerTable, CachedAnswer, TableStats};
+pub use term::{Term, Var, F64};
+pub use unify::{resolve_deep, resolve_shallow, BindStore};

@@ -10,14 +10,17 @@
 //! (bounded universal quantification), and the aggregation primitives
 //! (`findall`, `card`, `aggregate`).
 
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
 use crate::budget::Budget;
 use crate::builtins::{self, BuiltinOutcome};
 use crate::error::{EngineError, EngineResult};
+use crate::hash::FxHashSet;
 use crate::kb::{Clause, KnowledgeBase, PredKey};
 use crate::symbol::{symbols, Sym};
+use crate::table::{self, CachedAnswer, Lookup};
 use crate::term::{Term, Var};
 use crate::unify::{resolve_deep, BindStore, TrailMark};
 
@@ -42,23 +45,77 @@ impl Solution {
     }
 }
 
+/// Execution counters for one [`Solver`], accumulated across all queries
+/// it runs. Readable after any `solve`/`prove`/`count`/`iter` via
+/// [`Solver::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Inference steps consumed from the budget.
+    pub steps: u64,
+    /// Clause-head resolution attempts.
+    pub resolutions: u64,
+    /// Tabled calls answered from a completed table.
+    pub table_hits: u64,
+    /// Tabled calls that had to enumerate (or fell back to plain SLD).
+    pub table_misses: u64,
+    /// Completed answer sets this solver recorded.
+    pub table_inserts: u64,
+    /// Stale (out-of-epoch) entries this solver's lookups dropped.
+    pub table_invalidations: u64,
+}
+
+/// Shared mutable counters behind [`SolverStats`]; `Rc<Cell>` like the
+/// budget, so sub-machines spawned for `not`/`forall`/aggregation report
+/// into the same totals.
+#[derive(Default)]
+pub(crate) struct Counters {
+    resolutions: Cell<u64>,
+    table_hits: Cell<u64>,
+    table_misses: Cell<u64>,
+    table_inserts: Cell<u64>,
+    table_invalidations: Cell<u64>,
+}
+
 /// Entry point for running queries against a [`KnowledgeBase`].
 pub struct Solver<'kb> {
     kb: &'kb KnowledgeBase,
     budget: Budget,
+    counters: Rc<Counters>,
 }
 
 impl<'kb> Solver<'kb> {
     /// A solver over `kb` with the given resource budget. The budget is
     /// shared across all queries issued through this solver instance.
     pub fn new(kb: &'kb KnowledgeBase, budget: Budget) -> Solver<'kb> {
-        Solver { kb, budget }
+        Solver {
+            kb,
+            budget,
+            counters: Rc::new(Counters::default()),
+        }
+    }
+
+    /// Execution counters accumulated so far (across every query this
+    /// solver instance has run, including sub-solvers).
+    pub fn stats(&self) -> SolverStats {
+        SolverStats {
+            steps: self.budget.steps_used(),
+            resolutions: self.counters.resolutions.get(),
+            table_hits: self.counters.table_hits.get(),
+            table_misses: self.counters.table_misses.get(),
+            table_inserts: self.counters.table_inserts.get(),
+            table_invalidations: self.counters.table_invalidations.get(),
+        }
     }
 
     /// Collect up to `max_solutions` answers to `goal`.
     pub fn solve(&self, goal: Term, max_solutions: usize) -> EngineResult<Vec<Solution>> {
         let query_vars = goal.variables();
-        let mut machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        let mut machine = Machine::start(
+            self.kb,
+            self.budget.clone(),
+            Rc::clone(&self.counters),
+            goal,
+        )?;
         let mut out = Vec::new();
         while out.len() < max_solutions && machine.next_solution()? {
             out.push(Solution {
@@ -78,14 +135,24 @@ impl<'kb> Solver<'kb> {
 
     /// Is `goal` provable at all?
     pub fn prove(&self, goal: Term) -> EngineResult<bool> {
-        let mut machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        let mut machine = Machine::start(
+            self.kb,
+            self.budget.clone(),
+            Rc::clone(&self.counters),
+            goal,
+        )?;
         machine.next_solution()
     }
 
     /// Number of answers to `goal` (with duplicates; see `card` for the
     /// distinct count the paper's cardinality primitive uses).
     pub fn count(&self, goal: Term) -> EngineResult<usize> {
-        let mut machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        let mut machine = Machine::start(
+            self.kb,
+            self.budget.clone(),
+            Rc::clone(&self.counters),
+            goal,
+        )?;
         let mut n = 0;
         while machine.next_solution()? {
             n += 1;
@@ -98,7 +165,12 @@ impl<'kb> Solver<'kb> {
     /// solutions they take.
     pub fn iter(&self, goal: Term) -> EngineResult<SolutionIter<'kb>> {
         let query_vars = goal.variables();
-        let machine = Machine::start(self.kb, self.budget.clone(), goal)?;
+        let machine = Machine::start(
+            self.kb,
+            self.budget.clone(),
+            Rc::clone(&self.counters),
+            goal,
+        )?;
         Ok(SolutionIter {
             machine,
             query_vars,
@@ -130,26 +202,6 @@ impl Iterator for SolutionIter<'_> {
     }
 }
 
-/// Renumber variables in first-occurrence order so alpha-equivalent terms
-/// compare equal (used by `card`'s distinct-instance counting).
-fn canonicalize_vars(t: &Term) -> Term {
-    fn walk(t: &Term, map: &mut crate::hash::FxHashMap<Var, u32>) -> Term {
-        match t {
-            Term::Var(v) => {
-                let next = map.len() as u32;
-                Term::Var(Var(*map.entry(*v).or_insert(next)))
-            }
-            Term::Compound(f, args) => {
-                let new_args: Vec<Term> = args.iter().map(|a| walk(a, map)).collect();
-                Term::Compound(*f, new_args.into())
-            }
-            other => other.clone(),
-        }
-    }
-    let mut map = crate::hash::FxHashMap::default();
-    walk(t, &mut map)
-}
-
 /// Persistent goal continuation.
 enum Cont {
     Done,
@@ -176,9 +228,7 @@ impl Drop for Cont {
             next = match Rc::try_unwrap(rc) {
                 Ok(mut cont) => {
                     let taken = match &mut cont {
-                        Cont::Goal(_, rest) => {
-                            Some(std::mem::replace(rest, Rc::new(Cont::Done)))
-                        }
+                        Cont::Goal(_, rest) => Some(std::mem::replace(rest, Rc::new(Cont::Done))),
                         Cont::Done => None,
                     };
                     // `cont` now has a trivial tail; its drop is shallow.
@@ -203,6 +253,12 @@ enum Alts {
     Disjunct { right: Term },
     /// Remaining integers for `between(L, H, X)`.
     Between { var: Term, cur: i64, hi: i64 },
+    /// Remaining cached answers for a tabled call.
+    Answers {
+        goal: Term,
+        answers: Arc<Vec<CachedAnswer>>,
+        next: usize,
+    },
 }
 
 struct ChoicePoint {
@@ -217,6 +273,12 @@ pub(crate) struct Machine<'kb> {
     cont: Rc<Cont>,
     cps: Vec<ChoicePoint>,
     budget: Budget,
+    counters: Rc<Counters>,
+    /// Call patterns currently being enumerated for the answer table; a
+    /// recursive tabled call to one of these falls back to plain SLD
+    /// resolution rather than consulting an incomplete table. Shared with
+    /// every sub-machine, like the budget.
+    in_progress: Rc<RefCell<FxHashSet<Term>>>,
     /// False until the first `next_solution` call; subsequent calls must
     /// backtrack before resuming the main loop.
     started: bool,
@@ -228,6 +290,7 @@ impl<'kb> Machine<'kb> {
     pub(crate) fn start(
         kb: &'kb KnowledgeBase,
         budget: Budget,
+        counters: Rc<Counters>,
         goal: Term,
     ) -> EngineResult<Machine<'kb>> {
         let mut store = BindStore::new();
@@ -240,6 +303,8 @@ impl<'kb> Machine<'kb> {
             cont: Cont::push(&Rc::new(Cont::Done), goal),
             cps: Vec::new(),
             budget,
+            counters,
+            in_progress: Rc::new(RefCell::new(FxHashSet::default())),
             started: false,
             exhausted: false,
         })
@@ -263,6 +328,8 @@ impl<'kb> Machine<'kb> {
             cont: Cont::push(&Rc::new(Cont::Done), goal),
             cps: Vec::new(),
             budget: self.budget.clone(),
+            counters: Rc::clone(&self.counters),
+            in_progress: Rc::clone(&self.in_progress),
             started: false,
             exhausted: false,
         })
@@ -292,10 +359,9 @@ impl<'kb> Machine<'kb> {
             };
             self.cont = rest;
             self.budget.step()?;
-            if !self.step_goal(goal)?
-                && !self.backtrack()? {
-                    return Ok(false);
-                }
+            if !self.step_goal(goal)? && !self.backtrack()? {
+                return Ok(false);
+            }
         }
     }
 
@@ -313,7 +379,9 @@ impl<'kb> Machine<'kb> {
                 arity: args.len() as u16,
             },
             other => {
-                return Err(EngineError::NotCallable { goal: other.clone() });
+                return Err(EngineError::NotCallable {
+                    goal: other.clone(),
+                });
             }
         };
 
@@ -335,8 +403,131 @@ impl<'kb> Machine<'kb> {
             return native(&mut self.store, goal.args());
         }
 
+        // Tabled predicates: consult the memoized answer cache first.
+        if self.kb.is_tabled(key) {
+            return self.call_tabled(key, goal);
+        }
+
         // User predicates: clause resolution.
         self.call_user(key, goal)
+    }
+
+    /// Resolve a call to a tabled predicate via the KB's answer table:
+    /// replay a completed answer set on a hit, or enumerate the complete
+    /// set in a sub-machine, record it, and replay it on a miss. Falls
+    /// back to plain SLD resolution when the same call pattern is already
+    /// being enumerated (recursion) or when entering a sub-machine would
+    /// exceed the depth budget (a plain call would not).
+    fn call_tabled(&mut self, key: PredKey, goal: Term) -> EngineResult<bool> {
+        let resolved = resolve_deep(&self.store, &goal);
+        let (pattern, _) = table::canonicalize(&resolved);
+        if self.in_progress.borrow().contains(&pattern) {
+            // Recursive call into a pattern mid-enumeration: the table is
+            // incomplete, so resolve it the ordinary way (counted as
+            // neither hit nor miss).
+            return self.call_user(key, goal);
+        }
+        match self.kb.table().lookup(&pattern, self.kb.epoch()) {
+            Lookup::Hit(answers) => {
+                self.counters
+                    .table_hits
+                    .set(self.counters.table_hits.get() + 1);
+                self.replay(goal, answers)
+            }
+            Lookup::Miss { invalidated } => {
+                self.counters
+                    .table_misses
+                    .set(self.counters.table_misses.get() + 1);
+                if invalidated {
+                    self.counters
+                        .table_invalidations
+                        .set(self.counters.table_invalidations.get() + 1);
+                }
+                let Ok(_guard) = self.budget.enter() else {
+                    // The enumeration sub-machine would blow the depth
+                    // limit where a plain call would not; stay equivalent
+                    // to the untabled solver.
+                    return self.call_user(key, goal);
+                };
+                self.in_progress.borrow_mut().insert(pattern.clone());
+                let result = self.enumerate_answers(&resolved);
+                self.in_progress.borrow_mut().remove(&pattern);
+                let answers = Arc::new(result?);
+                self.kb
+                    .table()
+                    .insert(pattern, self.kb.epoch(), Arc::clone(&answers));
+                self.counters
+                    .table_inserts
+                    .set(self.counters.table_inserts.get() + 1);
+                self.replay(goal, answers)
+            }
+        }
+    }
+
+    /// Exhaustively enumerate the solutions of `resolved` in a sub-machine
+    /// and return them as canonicalized cached answers (duplicates and
+    /// order preserved — both are observable through `count` and solution
+    /// streams). A budget error aborts without recording, so only
+    /// completed enumerations ever reach the table.
+    fn enumerate_answers(&mut self, resolved: &Term) -> EngineResult<Vec<CachedAnswer>> {
+        let mut sub = self.sub_machine(resolved.clone())?;
+        let mut answers = Vec::new();
+        while sub.next_solution()? {
+            let inst = resolve_deep(&sub.store, resolved);
+            let (term, n_vars) = table::canonicalize(&inst);
+            answers.push(CachedAnswer { term, n_vars });
+        }
+        Ok(answers)
+    }
+
+    /// Unify `goal` against cached answers, with a choice point for the
+    /// remainder — the same renaming-apart discipline as clause
+    /// activation, minus the bodies.
+    fn replay(&mut self, goal: Term, answers: Arc<Vec<CachedAnswer>>) -> EngineResult<bool> {
+        let mut alts = Alts::Answers {
+            goal,
+            answers,
+            next: 0,
+        };
+        let cont = Rc::clone(&self.cont);
+        let mark = self.store.mark();
+        if self.try_answer_alts(&mut alts)? {
+            if let Alts::Answers { answers, next, .. } = &alts {
+                if *next < answers.len() {
+                    self.cps.push(ChoicePoint { cont, mark, alts });
+                }
+            }
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Try cached answers from the cursor until one unifies with the goal.
+    fn try_answer_alts(&mut self, alts: &mut Alts) -> EngineResult<bool> {
+        let Alts::Answers {
+            goal,
+            answers,
+            next,
+        } = alts
+        else {
+            unreachable!("try_answer_alts on non-answer alts");
+        };
+        while *next < answers.len() {
+            let answer = &answers[*next];
+            *next += 1;
+            self.budget.step()?;
+            let instance = if answer.n_vars == 0 {
+                answer.term.clone()
+            } else {
+                let base = self.store.alloc_block(answer.n_vars);
+                answer.term.offset_vars(base)
+            };
+            if self.store.unify(goal, &instance) {
+                return Ok(true);
+            }
+        }
+        Ok(false)
     }
 
     /// Handle control constructs; `None` means the goal is not a control
@@ -438,7 +629,7 @@ impl<'kb> Machine<'kb> {
             if distinct {
                 // Dedup up to variable renaming: fresh sub-machine ids must
                 // not make alpha-equivalent instances look distinct.
-                if seen.insert(canonicalize_vars(&inst)) {
+                if seen.insert(table::canonicalize_vars(&inst)) {
                     out.push(inst);
                 }
             } else {
@@ -472,9 +663,7 @@ impl<'kb> Machine<'kb> {
         };
         let items = self.findall_sub(template, goal, false)?;
         if op == symbols::count() {
-            return Ok(self
-                .store
-                .unify(&Term::Int(items.len() as i64), result));
+            return Ok(self.store.unify(&Term::Int(items.len() as i64), result));
         }
         let mut nums = Vec::with_capacity(items.len());
         for item in &items {
@@ -599,6 +788,9 @@ impl<'kb> Machine<'kb> {
             let clause = Arc::clone(&clauses[*next]);
             *next += 1;
             self.budget.step()?;
+            self.counters
+                .resolutions
+                .set(self.counters.resolutions.get() + 1);
             let base = self.store.alloc_block(clause.n_vars);
             let head = clause.head.offset_vars(base);
             if self.store.unify(goal, &head) {
@@ -651,6 +843,19 @@ impl<'kb> Machine<'kb> {
                     if self.try_clause_alts(&mut alts)? {
                         if let Alts::Clauses { clauses, next, .. } = &alts {
                             if *next < clauses.len() {
+                                self.cps.push(ChoicePoint { cont, mark, alts });
+                            }
+                        }
+                        return Ok(true);
+                    }
+                }
+                Alts::Answers { .. } => {
+                    let cont = Rc::clone(&cp.cont);
+                    let mark = cp.mark;
+                    let mut alts = cp.alts;
+                    if self.try_answer_alts(&mut alts)? {
+                        if let Alts::Answers { answers, next, .. } = &alts {
+                            if *next < answers.len() {
                                 self.cps.push(ChoicePoint { cont, mark, alts });
                             }
                         }
@@ -741,7 +946,10 @@ mod tests {
         );
         let s = Solver::new(&kb, Budget::default());
         assert!(s
-            .prove(Term::pred("connected", vec![Term::atom("s2"), Term::atom("s1")]))
+            .prove(Term::pred(
+                "connected",
+                vec![Term::atom("s2"), Term::atom("s1")]
+            ))
             .unwrap());
     }
 
@@ -824,9 +1032,18 @@ mod tests {
     #[test]
     fn card_counts_distinct_instances() {
         let mut kb = KnowledgeBase::new();
-        kb.assert_fact(Term::pred("color", vec![Term::atom("p1"), Term::atom("white")]));
-        kb.assert_fact(Term::pred("color", vec![Term::atom("p2"), Term::atom("white")]));
-        kb.assert_fact(Term::pred("color", vec![Term::atom("p2"), Term::atom("white")])); // duplicate
+        kb.assert_fact(Term::pred(
+            "color",
+            vec![Term::atom("p1"), Term::atom("white")],
+        ));
+        kb.assert_fact(Term::pred(
+            "color",
+            vec![Term::atom("p2"), Term::atom("white")],
+        ));
+        kb.assert_fact(Term::pred(
+            "color",
+            vec![Term::atom("p2"), Term::atom("white")],
+        )); // duplicate
         let goal = Term::pred(
             "card",
             vec![
@@ -915,10 +1132,16 @@ mod tests {
         assert_eq!(vals, vec![1, 2, 3, 4]);
         let s = Solver::new(&kb, Budget::default());
         assert!(s
-            .prove(Term::pred("between", vec![Term::int(1), Term::int(4), Term::int(3)]))
+            .prove(Term::pred(
+                "between",
+                vec![Term::int(1), Term::int(4), Term::int(3)]
+            ))
             .unwrap());
         assert!(!s
-            .prove(Term::pred("between", vec![Term::int(1), Term::int(4), Term::int(9)]))
+            .prove(Term::pred(
+                "between",
+                vec![Term::int(1), Term::int(4), Term::int(9)]
+            ))
             .unwrap());
     }
 
@@ -993,10 +1216,7 @@ mod tests {
             let doubled = Term::float(x.as_f64() * 2.0);
             Ok(store.unify(&doubled, &args[1]))
         });
-        let sols = solve(
-            &kb,
-            Term::pred("double", vec![Term::int(21), Term::var(0)]),
-        );
+        let sols = solve(&kb, Term::pred("double", vec![Term::int(21), Term::var(0)]));
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0].get(Var(0)).unwrap().as_f64(), Some(42.0));
     }
@@ -1024,7 +1244,10 @@ mod tests {
         kb.assert_clause(Term::atom("loop"), Term::atom("loop"));
         let solver = Solver::new(&kb, Budget::new(1_000, 8));
         let mut it = solver.iter(Term::atom("loop")).unwrap();
-        assert!(matches!(it.next(), Some(Err(EngineError::StepLimit { .. }))));
+        assert!(matches!(
+            it.next(),
+            Some(Err(EngineError::StepLimit { .. }))
+        ));
     }
 
     #[test]
@@ -1064,5 +1287,169 @@ mod tests {
             Term::unify(Term::var(0), Term::atom("b")),
         );
         assert!(solve(&kb, goal).is_empty());
+    }
+
+    // ---- tabling -----------------------------------------------------
+
+    fn tabled_kb_roads() -> KnowledgeBase {
+        let mut kb = kb_roads();
+        kb.set_tabling(true);
+        kb.mark_tabled(PredKey {
+            name: Sym::new("road"),
+            arity: 1,
+        });
+        kb
+    }
+
+    #[test]
+    fn tabled_solutions_match_untabled() {
+        let plain = kb_roads();
+        let tabled = tabled_kb_roads();
+        for goal in [
+            Term::pred("road", vec![Term::var(0)]),
+            Term::pred("road", vec![Term::atom("s1")]),
+            Term::pred("road", vec![Term::atom("s9")]),
+            Term::and(
+                Term::pred("road", vec![Term::var(0)]),
+                Term::pred("road_intersection", vec![Term::var(0), Term::var(1)]),
+            ),
+            Term::not(Term::pred("road", vec![Term::atom("s2")])),
+        ] {
+            assert_eq!(
+                solve(&plain, goal.clone()),
+                solve(&tabled, goal.clone()),
+                "tabled/untabled divergence on {goal}"
+            );
+            // Run twice so the second pass replays from the table.
+            assert_eq!(solve(&plain, goal.clone()), solve(&tabled, goal));
+        }
+        assert!(!tabled.table().is_empty());
+    }
+
+    #[test]
+    fn tabled_hit_skips_resolution() {
+        let kb = tabled_kb_roads();
+        let goal = Term::pred("road", vec![Term::var(0)]);
+        let s1 = Solver::new(&kb, Budget::default());
+        assert_eq!(s1.solve_all(goal.clone()).unwrap().len(), 2);
+        let stats = s1.stats();
+        assert_eq!(stats.table_misses, 1);
+        assert_eq!(stats.table_inserts, 1);
+        assert_eq!(stats.table_hits, 0);
+        // A fresh solver over the same KB replays the cached answers
+        // without touching a single clause.
+        let s2 = Solver::new(&kb, Budget::default());
+        assert_eq!(s2.solve_all(goal).unwrap().len(), 2);
+        let stats = s2.stats();
+        assert_eq!(stats.table_hits, 1);
+        assert_eq!(stats.resolutions, 0);
+    }
+
+    #[test]
+    fn tabled_variants_share_an_entry() {
+        let kb = tabled_kb_roads();
+        let s = Solver::new(&kb, Budget::default());
+        assert_eq!(
+            s.solve_all(Term::pred("road", vec![Term::var(3)]))
+                .unwrap()
+                .len(),
+            2
+        );
+        assert_eq!(
+            s.solve_all(Term::pred("road", vec![Term::var(7)]))
+                .unwrap()
+                .len(),
+            2
+        );
+        let stats = s.stats();
+        assert_eq!(stats.table_misses, 1, "alpha-variant should hit");
+        assert_eq!(stats.table_hits, 1);
+    }
+
+    #[test]
+    fn assert_invalidates_table() {
+        let mut kb = tabled_kb_roads();
+        let goal = Term::pred("road", vec![Term::var(0)]);
+        assert_eq!(solve(&kb, goal.clone()).len(), 2);
+        kb.assert_fact(Term::pred("road", vec![Term::atom("s3")]));
+        // The stale entry must be dropped, not replayed.
+        assert_eq!(solve(&kb, goal.clone()).len(), 3);
+        kb.retract_fact(&Term::pred("road", vec![Term::atom("s1")]));
+        assert_eq!(solve(&kb, goal).len(), 2);
+        assert!(kb.table().stats().invalidations >= 1);
+    }
+
+    #[test]
+    fn tabled_recursion_terminates() {
+        let mut kb = KnowledgeBase::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d")] {
+            kb.assert_fact(Term::pred("edge", vec![Term::atom(a), Term::atom(b)]));
+        }
+        // path(X, Y) :- edge(X, Y) ; (edge(X, Z), path(Z, Y)).
+        kb.assert_clause(
+            Term::pred("path", vec![Term::var(0), Term::var(1)]),
+            Term::or(
+                Term::pred("edge", vec![Term::var(0), Term::var(1)]),
+                Term::and(
+                    Term::pred("edge", vec![Term::var(0), Term::var(2)]),
+                    Term::pred("path", vec![Term::var(2), Term::var(1)]),
+                ),
+            ),
+        );
+        let plain_sols = solve(&kb, Term::pred("path", vec![Term::atom("a"), Term::var(0)]));
+        kb.set_tabling(true);
+        kb.mark_tabled(PredKey {
+            name: Sym::new("path"),
+            arity: 2,
+        });
+        let tabled_sols = solve(&kb, Term::pred("path", vec![Term::atom("a"), Term::var(0)]));
+        assert_eq!(plain_sols, tabled_sols);
+        // Second query replays from the completed table.
+        assert_eq!(
+            tabled_sols,
+            solve(&kb, Term::pred("path", vec![Term::atom("a"), Term::var(0)]))
+        );
+    }
+
+    #[test]
+    fn naf_over_tabled_predicate() {
+        let kb = tabled_kb_roads();
+        let s = Solver::new(&kb, Budget::default());
+        assert!(!s
+            .prove(Term::not(Term::pred("road", vec![Term::var(0)])))
+            .unwrap());
+        assert!(s
+            .prove(Term::not(Term::pred("road", vec![Term::atom("s9")])))
+            .unwrap());
+        // And again, now served from the table.
+        assert!(s
+            .prove(Term::not(Term::pred("road", vec![Term::atom("s9")])))
+            .unwrap());
+    }
+
+    #[test]
+    fn table_all_tables_every_user_predicate() {
+        let mut kb = kb_roads();
+        kb.set_tabling(true);
+        kb.set_table_all(true);
+        let goal = Term::pred("road_intersection", vec![Term::var(0), Term::var(1)]);
+        assert_eq!(solve(&kb, goal.clone()).len(), 1);
+        assert_eq!(solve(&kb, goal).len(), 1);
+        assert!(kb.table().stats().hits >= 1);
+    }
+
+    #[test]
+    fn tabling_off_by_default() {
+        let kb = kb_roads();
+        assert!(!kb.tabling_enabled());
+        let goal = Term::pred("road", vec![Term::var(0)]);
+        assert_eq!(solve(&kb, goal.clone()).len(), 2);
+        assert!(kb.table().is_empty());
+        let s = Solver::new(&kb, Budget::default());
+        s.solve_all(goal).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.table_misses, 0);
+        assert!(stats.resolutions > 0);
+        assert!(stats.steps > 0);
     }
 }

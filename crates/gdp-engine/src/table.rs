@@ -1,0 +1,275 @@
+//! Tabled resolution: a memoized answer cache for the SLD solver.
+//!
+//! The paper accepts "Prolog's computational inefficiency" as the price of
+//! flexibility (§I); this module removes the recomputation part of that
+//! price without touching the semantics. An [`AnswerTable`] maps
+//! *canonicalized call patterns* — goals with their variables renamed in
+//! first-occurrence order, so `p(X, Y)` and `p(A, B)` share one entry — to
+//! the **complete** answer set the solver found for that pattern. The
+//! solver consults the table before clause resolution for predicates
+//! marked tabled (see [`crate::KnowledgeBase::mark_tabled`]) and replays
+//! the cached answers instead of re-deriving them.
+//!
+//! Three rules keep this sound:
+//!
+//! * **Only completed enumerations are stored.** An entry is inserted only
+//!   after the sub-enumeration exhausted every alternative within budget.
+//!   Negation-as-failure and bounded `forall` therefore never observe a
+//!   partial answer set: a hit *is* a completed table.
+//! * **Epoch invalidation.** [`crate::KnowledgeBase`] carries an epoch
+//!   counter bumped by every mutation (assert, retract, group activation
+//!   and deactivation, native registration). Entries record the epoch
+//!   they were built at and are dropped on mismatch at lookup time, so no
+//!   stale answer survives an update.
+//! * **Recursion guard.** While a call pattern is being enumerated, a
+//!   recursive call to the same pattern falls back to plain SLD
+//!   resolution instead of consulting the (incomplete) table.
+//!
+//! The table lives inside the knowledge base behind a `parking_lot` lock
+//! because [`crate::Solver::solve`] takes `&self`: queries only hold a
+//! shared borrow of the KB, and the mutating operations all take `&mut`,
+//! which is what makes "the epoch cannot move during a solve" a
+//! compile-time guarantee.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::hash::FxHashMap;
+use crate::term::{Term, Var};
+
+/// One cached answer: the canonicalized solved instance of the call
+/// pattern, with `n_vars` residual unbound variables numbered `0..n_vars`.
+/// Replay allocates a fresh block of that many variables, offsets the
+/// term into it, and unifies with the caller's goal — the same renaming-
+/// apart discipline clause activation uses.
+#[derive(Clone, Debug)]
+pub struct CachedAnswer {
+    /// Canonicalized answer instance.
+    pub term: Term,
+    /// Number of distinct residual variables in `term`.
+    pub n_vars: u32,
+}
+
+/// Cumulative counters for table activity (monotonic over the table's
+/// lifetime; snapshot via [`AnswerTable::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Lookups answered from a completed table.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Completed answer sets recorded.
+    pub inserts: u64,
+    /// Entries dropped because their epoch no longer matched.
+    pub invalidations: u64,
+}
+
+/// Outcome of [`AnswerTable::lookup`].
+pub enum Lookup {
+    /// A completed answer set built at the current epoch.
+    Hit(Arc<Vec<CachedAnswer>>),
+    /// No usable entry; `invalidated` reports whether a stale entry was
+    /// dropped on the way.
+    Miss {
+        /// A stale entry was dropped by this lookup.
+        invalidated: bool,
+    },
+}
+
+#[derive(Debug)]
+struct TableEntry {
+    epoch: u64,
+    answers: Arc<Vec<CachedAnswer>>,
+}
+
+#[derive(Default)]
+struct TableInner {
+    entries: FxHashMap<Term, TableEntry>,
+    stats: TableStats,
+}
+
+/// The memoized answer cache. See the module docs.
+#[derive(Default)]
+pub struct AnswerTable {
+    inner: Mutex<TableInner>,
+}
+
+impl std::fmt::Debug for AnswerTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock();
+        f.debug_struct("AnswerTable")
+            .field("entries", &inner.entries.len())
+            .field("stats", &inner.stats)
+            .finish()
+    }
+}
+
+impl AnswerTable {
+    /// Empty table.
+    pub fn new() -> AnswerTable {
+        AnswerTable::default()
+    }
+
+    /// Look up a canonicalized call pattern. An entry built at a different
+    /// epoch is dropped (counted as an invalidation) and reported as a
+    /// miss.
+    pub fn lookup(&self, pattern: &Term, epoch: u64) -> Lookup {
+        let mut inner = self.inner.lock();
+        match inner.entries.get(pattern) {
+            Some(entry) if entry.epoch == epoch => {
+                let answers = Arc::clone(&entry.answers);
+                inner.stats.hits += 1;
+                Lookup::Hit(answers)
+            }
+            Some(_) => {
+                inner.entries.remove(pattern);
+                inner.stats.invalidations += 1;
+                inner.stats.misses += 1;
+                Lookup::Miss { invalidated: true }
+            }
+            None => {
+                inner.stats.misses += 1;
+                Lookup::Miss { invalidated: false }
+            }
+        }
+    }
+
+    /// Record the complete answer set for a call pattern at `epoch`.
+    pub fn insert(&self, pattern: Term, epoch: u64, answers: Arc<Vec<CachedAnswer>>) {
+        let mut inner = self.inner.lock();
+        inner.entries.insert(pattern, TableEntry { epoch, answers });
+        inner.stats.inserts += 1;
+    }
+
+    /// Drop every entry (stats are kept).
+    pub fn clear(&self) {
+        self.inner.lock().entries.clear();
+    }
+
+    /// Number of cached call patterns.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Is the table empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn stats(&self) -> TableStats {
+        self.inner.lock().stats
+    }
+}
+
+/// Renumber variables in first-occurrence order, returning the canonical
+/// term and the number of distinct variables. Alpha-equivalent terms map
+/// to the same canonical term, which is what lets `p(X, Y)` and `p(A, B)`
+/// share a table entry.
+pub fn canonicalize(t: &Term) -> (Term, u32) {
+    fn walk(t: &Term, map: &mut FxHashMap<Var, u32>) -> Term {
+        match t {
+            Term::Var(v) => {
+                let next = map.len() as u32;
+                Term::Var(Var(*map.entry(*v).or_insert(next)))
+            }
+            Term::Compound(f, args) => {
+                let new_args: Vec<Term> = args.iter().map(|a| walk(a, map)).collect();
+                Term::Compound(*f, new_args.into())
+            }
+            other => other.clone(),
+        }
+    }
+    let mut map = FxHashMap::default();
+    let canon = walk(t, &mut map);
+    (canon, map.len() as u32)
+}
+
+/// Renumber variables in first-occurrence order (canonical term only).
+pub fn canonicalize_vars(t: &Term) -> Term {
+    canonicalize(t).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn goal(vars: &[u32]) -> Term {
+        Term::pred("p", vars.iter().map(|&v| Term::var(v)).collect())
+    }
+
+    #[test]
+    fn variants_share_a_pattern() {
+        assert_eq!(canonicalize_vars(&goal(&[7, 9])), goal(&[0, 1]));
+        assert_eq!(
+            canonicalize_vars(&goal(&[3, 4])),
+            canonicalize_vars(&goal(&[10, 2]))
+        );
+        // Repeated variables stay repeated; distinct stay distinct.
+        assert_ne!(
+            canonicalize_vars(&goal(&[5, 5])),
+            canonicalize_vars(&goal(&[5, 6]))
+        );
+    }
+
+    #[test]
+    fn canonicalize_counts_vars() {
+        let t = Term::pred(
+            "f",
+            vec![Term::var(8), Term::atom("a"), Term::var(8), Term::var(2)],
+        );
+        let (canon, n) = canonicalize(&t);
+        assert_eq!(n, 2);
+        assert_eq!(
+            canon,
+            Term::pred(
+                "f",
+                vec![Term::var(0), Term::atom("a"), Term::var(0), Term::var(1)],
+            )
+        );
+    }
+
+    #[test]
+    fn lookup_hit_miss_and_epoch_invalidation() {
+        let table = AnswerTable::new();
+        let pat = canonicalize_vars(&goal(&[1]));
+        assert!(matches!(
+            table.lookup(&pat, 0),
+            Lookup::Miss { invalidated: false }
+        ));
+        table.insert(
+            pat.clone(),
+            0,
+            Arc::new(vec![CachedAnswer {
+                term: Term::pred("p", vec![Term::atom("a")]),
+                n_vars: 0,
+            }]),
+        );
+        let Lookup::Hit(answers) = table.lookup(&pat, 0) else {
+            panic!("expected hit");
+        };
+        assert_eq!(answers.len(), 1);
+        // Same pattern at a newer epoch: stale entry dropped.
+        assert!(matches!(
+            table.lookup(&pat, 1),
+            Lookup::Miss { invalidated: true }
+        ));
+        assert!(table.is_empty());
+        let stats = table.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.inserts, 1);
+        assert_eq!(stats.invalidations, 1);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let table = AnswerTable::new();
+        table.insert(Term::atom("q"), 0, Arc::new(Vec::new()));
+        assert_eq!(table.len(), 1);
+        table.clear();
+        assert!(table.is_empty());
+        assert_eq!(table.stats().inserts, 1);
+    }
+}

@@ -62,7 +62,9 @@ impl Eq for F64 {}
 impl Ord for F64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Safe: NaN is excluded by construction.
-        self.0.partial_cmp(&other.0).expect("NaN excluded by construction")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN excluded by construction")
     }
 }
 
@@ -246,10 +248,9 @@ impl Term {
     pub fn variables(&self) -> Vec<Var> {
         fn walk(t: &Term, out: &mut Vec<Var>) {
             match t {
-                Term::Var(v)
-                    if !out.contains(v) => {
-                        out.push(*v);
-                    }
+                Term::Var(v) if !out.contains(v) => {
+                    out.push(*v);
+                }
                 Term::Compound(_, args) => {
                     for a in args.iter() {
                         walk(a, out);
@@ -278,8 +279,7 @@ impl Term {
                 if args.iter().all(Term::is_ground) {
                     self.clone()
                 } else {
-                    let new_args: Vec<Term> =
-                        args.iter().map(|a| a.offset_vars(offset)).collect();
+                    let new_args: Vec<Term> = args.iter().map(|a| a.offset_vars(offset)).collect();
                     Term::Compound(*f, new_args.into())
                 }
             }
@@ -387,9 +387,7 @@ impl fmt::Display for Term {
                         write!(f, "{head}")?;
                         match tail {
                             Term::Atom(s) if *s == symbols::nil() => break,
-                            Term::Compound(c, rest)
-                                if *c == symbols::cons() && rest.len() == 2 =>
-                            {
+                            Term::Compound(c, rest) if *c == symbols::cons() && rest.len() == 2 => {
                                 write!(f, ", ")?;
                                 head = &rest[0];
                                 tail = &rest[1];
@@ -471,7 +469,10 @@ mod tests {
     fn variables_in_first_occurrence_order() {
         let t = Term::pred(
             "f",
-            vec![Term::var(2), Term::pred("g", vec![Term::var(0), Term::var(2)])],
+            vec![
+                Term::var(2),
+                Term::pred("g", vec![Term::var(0), Term::var(2)]),
+            ],
         );
         assert_eq!(t.variables(), vec![Var(2), Var(0)]);
     }

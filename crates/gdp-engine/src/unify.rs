@@ -95,10 +95,9 @@ impl BindStore {
         let mut stack = vec![t];
         while let Some(t) = stack.pop() {
             match self.deref(t) {
-                Term::Var(w)
-                    if *w == v => {
-                        return true;
-                    }
+                Term::Var(w) if *w == v => {
+                    return true;
+                }
                 Term::Compound(_, args) => stack.extend(args.iter()),
                 _ => {}
             }

@@ -123,19 +123,16 @@ fn subst_formula(f: &Formula, b: &Bindings) -> Formula {
         Formula::True => Formula::True,
         Formula::Fact(fp) => Formula::Fact(subst_fact(fp, b)),
         Formula::FuzzyFact(fp, acc) => Formula::FuzzyFact(subst_fact(fp, b), subst_pat(acc, b)),
-        Formula::And(x, y) => Formula::And(
-            Box::new(subst_formula(x, b)),
-            Box::new(subst_formula(y, b)),
-        ),
-        Formula::Or(x, y) => Formula::Or(
-            Box::new(subst_formula(x, b)),
-            Box::new(subst_formula(y, b)),
-        ),
+        Formula::And(x, y) => {
+            Formula::And(Box::new(subst_formula(x, b)), Box::new(subst_formula(y, b)))
+        }
+        Formula::Or(x, y) => {
+            Formula::Or(Box::new(subst_formula(x, b)), Box::new(subst_formula(y, b)))
+        }
         Formula::Not(x) => Formula::Not(Box::new(subst_formula(x, b))),
-        Formula::Forall(c, t) => Formula::Forall(
-            Box::new(subst_formula(c, b)),
-            Box::new(subst_formula(t, b)),
-        ),
+        Formula::Forall(c, t) => {
+            Formula::Forall(Box::new(subst_formula(c, b)), Box::new(subst_formula(t, b)))
+        }
         Formula::Cmp(op, x, y) => Formula::Cmp(*op, subst_pat(x, b), subst_pat(y, b)),
         Formula::Unify(x, y) => Formula::Unify(subst_pat(x, b), subst_pat(y, b)),
         Formula::Is(x, y) => Formula::Is(subst_pat(x, b), subst_pat(y, b)),
@@ -197,10 +194,7 @@ fn atom_accuracy(
     );
     let sols = spec.solve_goal(goal)?;
     if let Some(sol) = sols.first() {
-        if let Some(a) = sol
-            .get(gdp_engine::Var(result_var))
-            .and_then(Term::as_f64)
-        {
+        if let Some(a) = sol.get(gdp_engine::Var(result_var)).and_then(Term::as_f64) {
             return Ok(Some(a));
         }
     }
@@ -336,8 +330,10 @@ mod tests {
     #[test]
     fn conjunction_takes_min() {
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("flooded", &["plain"]), 0.45).unwrap();
-        spec.assert_fuzzy_fact(fact("frozen", &["plain"]), 0.65).unwrap();
+        spec.assert_fuzzy_fact(fact("flooded", &["plain"]), 0.45)
+            .unwrap();
+        spec.assert_fuzzy_fact(fact("frozen", &["plain"]), 0.65)
+            .unwrap();
         let f = Formula::and(
             Formula::fact(fact("flooded", &["plain"])),
             Formula::fact(fact("frozen", &["plain"])),
@@ -369,7 +365,8 @@ mod tests {
     fn crisp_facts_count_as_one_by_default() {
         let mut spec = Specification::new();
         spec.assert_fact(fact("road", &["s1"])).unwrap();
-        spec.assert_fuzzy_fact(fact("passable", &["s1"]), 0.7).unwrap();
+        spec.assert_fuzzy_fact(fact("passable", &["s1"]), 0.7)
+            .unwrap();
         let f = Formula::and(
             Formula::fact(fact("road", &["s1"])),
             Formula::fact(fact("passable", &["s1"])),
@@ -385,16 +382,15 @@ mod tests {
     #[test]
     fn negation_as_failure_semantics() {
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("wet", &["field"]), 0.8).unwrap();
+        spec.assert_fuzzy_fact(fact("wet", &["field"]), 0.8)
+            .unwrap();
         let ok = Formula::and(
             Formula::fact(fact("wet", &["field"])),
             Formula::not(Formula::fact(fact("frozen", &["field"]))),
         );
-        assert_eq!(
-            ac_of(&spec, &ok, &AcOptions::default()).unwrap(),
-            Some(0.8)
-        );
-        spec.assert_fuzzy_fact(fact("frozen", &["field"]), 0.2).unwrap();
+        assert_eq!(ac_of(&spec, &ok, &AcOptions::default()).unwrap(), Some(0.8));
+        spec.assert_fuzzy_fact(fact("frozen", &["field"]), 0.2)
+            .unwrap();
         // frozen now (fuzzily) provable → the negation fails the formula.
         assert_eq!(ac_of(&spec, &ok, &AcOptions::default()).unwrap(), None);
     }
@@ -412,17 +408,16 @@ mod tests {
             Formula::fact(fact("bridge", &["Y"])),
             Formula::fact(fact("open", &["Y"])),
         );
-        assert_eq!(
-            ac_of(&spec, &f, &AcOptions::default()).unwrap(),
-            Some(0.6)
-        );
+        assert_eq!(ac_of(&spec, &f, &AcOptions::default()).unwrap(), Some(0.6));
     }
 
     #[test]
     fn derive_accuracies_generates_fuzzy_conclusions() {
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("flooded", &["plain"]), 0.45).unwrap();
-        spec.assert_fuzzy_fact(fact("frozen", &["plain"]), 0.65).unwrap();
+        spec.assert_fuzzy_fact(fact("flooded", &["plain"]), 0.45)
+            .unwrap();
+        spec.assert_fuzzy_fact(fact("frozen", &["plain"]), 0.65)
+            .unwrap();
         let rule = Rule::new(
             fact("hazard", &["X"]),
             Formula::and(
@@ -433,7 +428,10 @@ mod tests {
         let n = derive_accuracies(&mut spec, &rule, &AcOptions::default()).unwrap();
         assert_eq!(n, 1);
         let answers = spec
-            .satisfy(&Formula::FuzzyFact(fact("hazard", &["plain"]), Pat::var("A")))
+            .satisfy(&Formula::FuzzyFact(
+                fact("hazard", &["plain"]),
+                Pat::var("A"),
+            ))
             .unwrap();
         assert_eq!(answers[0].get("A").unwrap().as_f64(), Some(0.45));
         // The crisp conclusion is still not provable (§VII separation).

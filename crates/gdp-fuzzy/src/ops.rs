@@ -68,13 +68,7 @@ pub fn threshold_model(name: &str, target_model: &str, tau: f64) -> MetaModel {
     MetaModel::new(name)
         .doc("promote fuzzy facts above an accuracy threshold into a designated model")
         .clause(RawClause::build(
-            &h(
-                Pat::atom(target_model),
-                v("S"),
-                v("T"),
-                v("Q"),
-                v("A"),
-            ),
+            &h(Pat::atom(target_model), v("S"), v("T"), v("Q"), v("A")),
             &[
                 fvisible(v("M"), v("S"), v("T"), v("Acc"), v("Q"), v("A")),
                 goal(">", vec![v("Acc"), Pat::Float(tau)]),
@@ -113,21 +107,12 @@ pub fn unified_threshold_model(name: &str, target_model: &str, tau: f64) -> Meta
     MetaModel::new(name)
         .doc("promote facts whose unified accuracy exceeds a threshold into a model")
         .clause(RawClause::build(
-            &h(
-                Pat::atom(target_model),
-                v("S"),
-                v("T"),
-                v("Q"),
-                v("A"),
-            ),
+            &h(Pat::atom(target_model), v("S"), v("T"), v("Q"), v("A")),
             &[
                 // Ground the fact shape first: unified_acc aggregates over
                 // *all* matching fuzzy facts, so the fact must be fixed.
                 fvisible(v("M"), v("S"), v("T"), v("AnyAcc"), v("Q"), v("A")),
-                goal(
-                    "unified_acc",
-                    vec![v("S"), v("T"), v("Q"), v("A"), v("U")],
-                ),
+                goal("unified_acc", vec![v("S"), v("T"), v("Q"), v("A"), v("U")]),
                 goal(">", vec![v("U"), Pat::Float(tau)]),
             ],
         ))
@@ -177,8 +162,10 @@ mod tests {
     #[test]
     fn threshold_promotes_into_model_only() {
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("passable", &["ford1"]), 0.9).unwrap();
-        spec.assert_fuzzy_fact(fact("passable", &["ford2"]), 0.5).unwrap();
+        spec.assert_fuzzy_fact(fact("passable", &["ford1"]), 0.9)
+            .unwrap();
+        spec.assert_fuzzy_fact(fact("passable", &["ford2"]), 0.5)
+            .unwrap();
         spec.declare_model("trusted");
         spec.register_meta_model(threshold_model("trust80", "trusted", 0.8));
         spec.activate_meta_model("trust80").unwrap();
@@ -194,7 +181,8 @@ mod tests {
         // §VII.C case 1: definitions that ignore the fuzzy operator never
         // see fuzzy facts at all.
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("clarity", &["image"]), 0.99).unwrap();
+        spec.assert_fuzzy_fact(fact("clarity", &["image"]), 0.99)
+            .unwrap();
         assert!(!spec.provable(fact("clarity", &["image"])).unwrap());
     }
 
@@ -206,8 +194,10 @@ mod tests {
             (UnifyPolicy::Avg, 0.6),
         ] {
             let mut spec = Specification::new();
-            spec.assert_fuzzy_fact(fact("depth_ok", &["site"]), 0.3).unwrap();
-            spec.assert_fuzzy_fact(fact("depth_ok", &["site"]), 0.9).unwrap();
+            spec.assert_fuzzy_fact(fact("depth_ok", &["site"]), 0.3)
+                .unwrap();
+            spec.assert_fuzzy_fact(fact("depth_ok", &["site"]), 0.9)
+                .unwrap();
             let name = format!("unified_fuzzy_{}", policy.atom());
             spec.register_meta_model(unified_fuzzy(policy));
             spec.activate_meta_model(&name).unwrap();
@@ -218,7 +208,10 @@ mod tests {
                         Pat::atom("any"),
                         Pat::atom("any"),
                         Pat::atom("depth_ok"),
-                        Pat::app(".", vec![Pat::atom("site"), Pat::Term(gdp_engine::Term::nil())]),
+                        Pat::app(
+                            ".",
+                            vec![Pat::atom("site"), Pat::Term(gdp_engine::Term::nil())],
+                        ),
                         v("A"),
                     ],
                 )))
@@ -232,8 +225,10 @@ mod tests {
     #[test]
     fn unified_threshold_uses_best_accuracy() {
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("route_clear", &["r1"]), 0.5).unwrap();
-        spec.assert_fuzzy_fact(fact("route_clear", &["r1"]), 0.8).unwrap();
+        spec.assert_fuzzy_fact(fact("route_clear", &["r1"]), 0.5)
+            .unwrap();
+        spec.assert_fuzzy_fact(fact("route_clear", &["r1"]), 0.8)
+            .unwrap();
         spec.declare_model("mission");
         spec.register_meta_model(unified_fuzzy(UnifyPolicy::Max));
         spec.register_meta_model(unified_threshold_model("mt75", "mission", 0.75));
@@ -258,14 +253,8 @@ mod tests {
             fact("coverage", &["region"]),
             v("A"),
             Formula::and(
-                Formula::Card(
-                    Box::new(Formula::fact(fact("surveyed", &["C"]))),
-                    v("N"),
-                ),
-                Formula::Is(
-                    v("A"),
-                    Pat::app("/", vec![v("N"), Pat::Int(10)]),
-                ),
+                Formula::Card(Box::new(Formula::fact(fact("surveyed", &["C"]))), v("N")),
+                Formula::Is(v("A"), Pat::app("/", vec![v("N"), Pat::Int(10)])),
             ),
         )
         .unwrap();
@@ -294,16 +283,18 @@ mod tests {
         // §VII.E first case: error triggered by the accuracy of a fact.
         use gdp_core::Constraint;
         let mut spec = Specification::new();
-        spec.assert_fuzzy_fact(fact("clarity", &["img7"]), 0.6).unwrap();
-        spec.constrain(
-            Constraint::new("bad_image").witness("X").when(Formula::and(
-                Formula::FuzzyFact(fact("clarity", &["X"]), v("A")),
-                Formula::Cmp(CmpOp::Lt, v("A"), Pat::Float(0.8)),
-            )),
-        )
+        spec.assert_fuzzy_fact(fact("clarity", &["img7"]), 0.6)
+            .unwrap();
+        spec.constrain(Constraint::new("bad_image").witness("X").when(Formula::and(
+            Formula::FuzzyFact(fact("clarity", &["X"]), v("A")),
+            Formula::Cmp(CmpOp::Lt, v("A"), Pat::Float(0.8)),
+        )))
         .unwrap();
         let violations = spec.check_consistency().unwrap();
         assert_eq!(violations.len(), 1);
-        assert_eq!(violations[0].error_type, gdp_engine::Term::atom("bad_image"));
+        assert_eq!(
+            violations[0].error_type,
+            gdp_engine::Term::atom("bad_image")
+        );
     }
 }

@@ -67,17 +67,13 @@ impl Truth {
     /// `inf` over an iterator — the universal quantifier. Empty domains
     /// yield `TRUE` (vacuous truth).
     pub fn forall(values: impl IntoIterator<Item = Truth>) -> Truth {
-        values
-            .into_iter()
-            .fold(Truth::TRUE, |acc, t| acc.and(t))
+        values.into_iter().fold(Truth::TRUE, |acc, t| acc.and(t))
     }
 
     /// `sup` over an iterator — the existential quantifier. Empty domains
     /// yield `FALSE`.
     pub fn exists(values: impl IntoIterator<Item = Truth>) -> Truth {
-        values
-            .into_iter()
-            .fold(Truth::FALSE, |acc, t| acc.or(t))
+        values.into_iter().fold(Truth::FALSE, |acc, t| acc.or(t))
     }
 
     /// Is this one of the two classical values?
@@ -147,8 +143,14 @@ mod tests {
         // "Two-valued logic may be seen as a special case of fuzzy logic."
         for (a, b) in [(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
             let (ta, tb) = (Truth::clamped(a), Truth::clamped(b));
-            assert_eq!(ta.and(tb).get(), if a == 1.0 && b == 1.0 { 1.0 } else { 0.0 });
-            assert_eq!(ta.or(tb).get(), if a == 1.0 || b == 1.0 { 1.0 } else { 0.0 });
+            assert_eq!(
+                ta.and(tb).get(),
+                if a == 1.0 && b == 1.0 { 1.0 } else { 0.0 }
+            );
+            assert_eq!(
+                ta.or(tb).get(),
+                if a == 1.0 || b == 1.0 { 1.0 } else { 0.0 }
+            );
             assert!(ta.and(tb).is_crisp());
         }
     }

@@ -40,10 +40,7 @@ impl<'a> Loader<'a> {
     }
 
     /// A loader that can register grids.
-    pub fn with_spatial(
-        spec: &'a mut Specification,
-        spatial: &'a SpatialRegistry,
-    ) -> Loader<'a> {
+    pub fn with_spatial(spec: &'a mut Specification, spatial: &'a SpatialRegistry) -> Loader<'a> {
         Loader {
             spec,
             spatial: Some(spatial),
@@ -60,12 +57,7 @@ impl<'a> Loader<'a> {
         Ok(summary)
     }
 
-    fn apply(
-        &mut self,
-        idx: usize,
-        stmt: Statement,
-        summary: &mut LoadSummary,
-    ) -> LangResult<()> {
+    fn apply(&mut self, idx: usize, stmt: Statement, summary: &mut LoadSummary) -> LangResult<()> {
         let load_err = |error| LangError::Load {
             statement: idx,
             error,
@@ -76,7 +68,9 @@ impl<'a> Loader<'a> {
                 summary.directives += 1;
             }
             Statement::Predicate { name, sorts } => {
-                self.spec.declare_predicate(&name, sorts).map_err(load_err)?;
+                self.spec
+                    .declare_predicate(&name, sorts)
+                    .map_err(load_err)?;
                 summary.directives += 1;
             }
             Statement::Model(m) => {
@@ -122,7 +116,11 @@ impl<'a> Loader<'a> {
                     });
                 };
                 spatial
-                    .add_grid(self.spec, &name, GridResolution::square(x0, y0, cell, nx, ny))
+                    .add_grid(
+                        self.spec,
+                        &name,
+                        GridResolution::square(x0, y0, cell, nx, ny),
+                    )
                     .map_err(load_err)?;
                 summary.directives += 1;
             }

@@ -259,10 +259,7 @@ impl Parser {
                     }
                 }
                 self.expect(&Tok::RParen)?;
-                Ok(Statement::Predicate {
-                    name: pname,
-                    sorts,
-                })
+                Ok(Statement::Predicate { name: pname, sorts })
             }
             "model" => Ok(Statement::Model(self.atom()?)),
             "object" => Ok(Statement::Object(self.atom()?)),
@@ -605,9 +602,7 @@ impl Parser {
             // comparison (e.g. `f(X) = Y`), rebuilt from the fact parts.
             if self.peek_cmp().is_some() {
                 let lhs = match fact.fixed_args() {
-                    Some([]) => {
-                        Pat::Atom(fact.pred_name().expect("plain call has a name"))
-                    }
+                    Some([]) => Pat::Atom(fact.pred_name().expect("plain call has a name")),
                     Some(args) => Pat::app(
                         &fact.pred_name().expect("plain call has a name"),
                         args.to_vec(),
@@ -624,9 +619,7 @@ impl Parser {
 
     fn peek_cmp(&self) -> Option<String> {
         match self.peek() {
-            Tok::Op(op) if !matches!(op.as_str(), "+" | "-" | "*" | "/" | "//") => {
-                Some(op.clone())
-            }
+            Tok::Op(op) if !matches!(op.as_str(), "+" | "-" | "*" | "/" | "//") => Some(op.clone()),
             Tok::Atom(a) if a == "is" => Some("is".into()),
             _ => None,
         }
@@ -940,7 +933,10 @@ mod tests {
             other => panic!("{other:?}"),
         }
         assert!(matches!(one("#now 1990."), Statement::Now(_)));
-        assert!(matches!(one("#activate spatial_simple."), Statement::Activate(_)));
+        assert!(matches!(
+            one("#activate spatial_simple."),
+            Statement::Activate(_)
+        ));
     }
 
     #[test]
@@ -980,10 +976,8 @@ mod tests {
 
     #[test]
     fn multiple_statements() {
-        let stmts = parse_program(
-            "road(s1). road(s2).\nroad_intersection(s1, s2).\n?- road(X).",
-        )
-        .unwrap();
+        let stmts =
+            parse_program("road(s1). road(s2).\nroad_intersection(s1, s2).\n?- road(X).").unwrap();
         assert_eq!(stmts.len(), 4);
     }
 

@@ -3,7 +3,9 @@
 //! `parse ∘ print` is the identity on the AST (up to formatting), which
 //! the property suite checks via print-idempotence.
 
-use gdp_core::{AggOp, CmpOp, DomainDef, FactPat, Formula, IntervalPat, Pat, Sort, SpaceQual, TimeQual};
+use gdp_core::{
+    AggOp, CmpOp, DomainDef, FactPat, Formula, IntervalPat, Pat, Sort, SpaceQual, TimeQual,
+};
 
 use crate::ast::Statement;
 

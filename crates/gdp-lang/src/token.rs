@@ -536,11 +536,7 @@ mod tests {
     use super::*;
 
     fn toks(src: &str) -> Vec<Tok> {
-        tokenize(src)
-            .unwrap()
-            .into_iter()
-            .map(|s| s.tok)
-            .collect()
+        tokenize(src).unwrap().into_iter().map(|s| s.tok).collect()
     }
 
     #[test]

@@ -158,11 +158,7 @@ impl MapRenderer {
     }
 
     /// Render to an ASCII map (one glyph per patch, newline per row).
-    pub fn render_ascii(
-        &self,
-        spec: &Specification,
-        reg: &SpatialRegistry,
-    ) -> SpecResult<String> {
+    pub fn render_ascii(&self, spec: &Specification, reg: &SpatialRegistry) -> SpecResult<String> {
         let (nx, ny, cells) = self.evaluate(spec, reg)?;
         let mut out = String::with_capacity(((nx + 1) * ny) as usize);
         for row in 0..ny {
@@ -197,11 +193,7 @@ impl MapRenderer {
     }
 
     /// Render straight to PPM bytes.
-    pub fn render_ppm(
-        &self,
-        spec: &Specification,
-        reg: &SpatialRegistry,
-    ) -> SpecResult<Vec<u8>> {
+    pub fn render_ppm(&self, spec: &Specification, reg: &SpatialRegistry) -> SpecResult<Vec<u8>> {
         Ok(self.render_frame(spec, reg)?.to_ppm())
     }
 
@@ -224,18 +216,20 @@ mod tests {
     fn setup() -> (Specification, SpatialRegistry) {
         let mut spec = Specification::new();
         let reg = gdp_spatial::install_default(&mut spec).unwrap();
-        reg.add_grid(&mut spec, "map", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-            .unwrap();
+        reg.add_grid(
+            &mut spec,
+            "map",
+            GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+        )
+        .unwrap();
         (spec, reg)
     }
 
     fn uniform_at(spec: &mut Specification, pred: &str, obj: &str, x: f64, y: f64) {
-        spec.assert_fact(
-            FactPat::new(pred).arg(obj).space(SpaceQual::AreaUniform {
-                res: Pat::atom("map"),
-                at: Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)]),
-            }),
-        )
+        spec.assert_fact(FactPat::new(pred).arg(obj).space(SpaceQual::AreaUniform {
+            res: Pat::atom("map"),
+            at: Pat::app("pt", vec![Pat::Float(x), Pat::Float(y)]),
+        }))
         .unwrap();
     }
 
@@ -263,12 +257,10 @@ mod tests {
     fn sampled_layer_draws_thin_features() {
         let (mut spec, reg) = setup();
         // A road at a single point — thinner than the patch.
-        spec.assert_fact(
-            FactPat::new("road").arg("rc").space(SpaceQual::At(Pat::app(
-                "pt",
-                vec![Pat::Float(12.0), Pat::Float(3.0)],
-            ))),
-        )
+        spec.assert_fact(FactPat::new("road").arg("rc").space(SpaceQual::At(Pat::app(
+            "pt",
+            vec![Pat::Float(12.0), Pat::Float(3.0)],
+        ))))
         .unwrap();
         let map = MapRenderer::new("map").layer(Layer::sampled("road", '=', Rgb(200, 200, 0)));
         let ascii = map.render_ascii(&spec, &reg).unwrap();
@@ -338,11 +330,17 @@ mod tests {
                 .layer(Layer::uniform("water", '~', Rgb(0, 0, 255)))
         };
         let wet = map_at(1975).render_ascii(&spec, &reg).unwrap();
-        assert!(wet.contains('~'), "lake visible in 1975:
-{wet}");
+        assert!(
+            wet.contains('~'),
+            "lake visible in 1975:
+{wet}"
+        );
         let dry = map_at(1985).render_ascii(&spec, &reg).unwrap();
-        assert!(!dry.contains('~'), "lake gone by 1985:
-{dry}");
+        assert!(
+            !dry.contains('~'),
+            "lake gone by 1985:
+{dry}"
+        );
     }
 
     #[test]

@@ -176,8 +176,17 @@ mod tests {
     #[test]
     fn utm_bearing_is_clockwise_from_north() {
         let o = Point::new(0.0, 0.0);
-        assert!(approx(SimplifiedUtm.direction(o, Point::new(0.0, 1.0)), 0.0));
-        assert!(approx(SimplifiedUtm.direction(o, Point::new(1.0, 0.0)), 90.0));
-        assert!(approx(SimplifiedUtm.direction(o, Point::new(0.0, -1.0)), 180.0));
+        assert!(approx(
+            SimplifiedUtm.direction(o, Point::new(0.0, 1.0)),
+            0.0
+        ));
+        assert!(approx(
+            SimplifiedUtm.direction(o, Point::new(1.0, 0.0)),
+            90.0
+        ));
+        assert!(approx(
+            SimplifiedUtm.direction(o, Point::new(0.0, -1.0)),
+            180.0
+        ));
     }
 }

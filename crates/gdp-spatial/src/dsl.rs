@@ -59,7 +59,13 @@ mod tests {
     #[test]
     fn helpers_compose() {
         let mut vt = VarTable::new();
-        let pat = h(v("M"), su(a("r1"), v("P")), a("any"), a("elev"), cons(v("Y"), v("Rest")));
+        let pat = h(
+            v("M"),
+            su(a("r1"), v("P")),
+            a("any"),
+            a("elev"),
+            cons(v("Y"), v("Rest")),
+        );
         let t = vt.compile(&pat);
         assert_eq!(t.to_string(), "h(_0, su(r1, _1), any, elev, [_2 | _3])");
     }

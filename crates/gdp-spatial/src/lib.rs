@@ -97,10 +97,18 @@ mod tests {
     fn setup() -> (Specification, SpatialRegistry) {
         let mut spec = Specification::new();
         let reg = install_default(&mut spec).unwrap();
-        reg.add_grid(&mut spec, "coarse", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-            .unwrap();
-        reg.add_grid(&mut spec, "fine", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
-            .unwrap();
+        reg.add_grid(
+            &mut spec,
+            "coarse",
+            GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+        )
+        .unwrap();
+        reg.add_grid(
+            &mut spec,
+            "fine",
+            GridResolution::square(0.0, 0.0, 5.0, 8, 8),
+        )
+        .unwrap();
         (spec, reg)
     }
 
@@ -114,7 +122,8 @@ mod tests {
     #[test]
     fn space_independent_facts_hold_everywhere() {
         let (mut spec, _) = setup();
-        spec.assert_fact(FactPat::new("country").arg("usa")).unwrap();
+        spec.assert_fact(FactPat::new("country").arg("usa"))
+            .unwrap();
         assert!(spec
             .provable(FactPat::new("country").arg("usa").at(pt(3.0, 4.0)))
             .unwrap());
@@ -136,11 +145,21 @@ mod tests {
         .unwrap();
         // Holds at every point of the [0,10)² patch…
         assert!(spec
-            .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(1.0, 9.0)))
+            .provable(
+                FactPat::new("vegetation")
+                    .arg("pine")
+                    .arg("hill")
+                    .at(pt(1.0, 9.0))
+            )
             .unwrap());
         // …but not outside it.
         assert!(!spec
-            .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(11.0, 9.0)))
+            .provable(
+                FactPat::new("vegetation")
+                    .arg("pine")
+                    .arg("hill")
+                    .at(pt(11.0, 9.0))
+            )
             .unwrap());
     }
 
@@ -177,24 +196,37 @@ mod tests {
     #[test]
     fn acquisition_when_all_subareas_agree() {
         let (mut spec, _) = setup();
-        spec.activate_meta_model("spatial_uniform_acquisition").unwrap();
+        spec.activate_meta_model("spatial_uniform_acquisition")
+            .unwrap();
         // Fill all four fine subpatches of coarse patch (5,5).
         for (x, y) in [(2.5, 2.5), (7.5, 2.5), (2.5, 7.5), (7.5, 7.5)] {
             spec.assert_fact(
-                FactPat::new("zone").arg("wetland").space(uniform("fine", x, y)),
+                FactPat::new("zone")
+                    .arg("wetland")
+                    .space(uniform("fine", x, y)),
             )
             .unwrap();
         }
         assert!(spec
-            .provable(FactPat::new("zone").arg("wetland").space(uniform("coarse", 5.0, 5.0)))
+            .provable(
+                FactPat::new("zone")
+                    .arg("wetland")
+                    .space(uniform("coarse", 5.0, 5.0))
+            )
             .unwrap());
         // A patch with only partial coverage does not acquire.
         spec.assert_fact(
-            FactPat::new("zone").arg("marsh").space(uniform("fine", 12.5, 2.5)),
+            FactPat::new("zone")
+                .arg("marsh")
+                .space(uniform("fine", 12.5, 2.5)),
         )
         .unwrap();
         assert!(!spec
-            .provable(FactPat::new("zone").arg("marsh").space(uniform("coarse", 15.0, 5.0)))
+            .provable(
+                FactPat::new("zone")
+                    .arg("marsh")
+                    .space(uniform("coarse", 15.0, 5.0))
+            )
             .unwrap());
     }
 
@@ -207,10 +239,12 @@ mod tests {
         spec.assert_fact(FactPat::new("road").arg("rc").at(pt(3.0, 3.0)))
             .unwrap();
         let sampled = |res: &str, x: f64, y: f64| {
-            FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
-                res: Pat::atom(res),
-                at: pt(x, y),
-            })
+            FactPat::new("road")
+                .arg("rc")
+                .space(SpaceQual::AreaSampled {
+                    res: Pat::atom(res),
+                    at: pt(x, y),
+                })
         };
         assert!(spec.provable(sampled("fine", 2.5, 2.5)).unwrap());
         assert!(spec.provable(sampled("coarse", 5.0, 5.0)).unwrap());
@@ -233,16 +267,13 @@ mod tests {
             )
             .unwrap();
         }
-        let answers = spec
-            .query(
-                FactPat::new("elevation")
-                    .arg("Z")
-                    .arg("land")
-                    .space(SpaceQual::AreaAveraged {
-                        res: Pat::atom("coarse"),
-                        at: pt(5.0, 5.0),
-                    }),
-            )
+        let answers =
+            spec.query(FactPat::new("elevation").arg("Z").arg("land").space(
+                SpaceQual::AreaAveraged {
+                    res: Pat::atom("coarse"),
+                    at: pt(5.0, 5.0),
+                },
+            ))
             .unwrap();
         assert_eq!(answers.len(), 1);
         assert_eq!(answers[0].get("Z").unwrap().as_f64(), Some(25.0));
@@ -252,15 +283,12 @@ mod tests {
     fn averaged_fails_without_subarea_values() {
         let (spec, _) = setup();
         assert!(!spec
-            .provable(
-                FactPat::new("elevation")
-                    .arg("Z")
-                    .arg("land")
-                    .space(SpaceQual::AreaAveraged {
-                        res: Pat::atom("coarse"),
-                        at: pt(5.0, 5.0),
-                    })
-            )
+            .provable(FactPat::new("elevation").arg("Z").arg("land").space(
+                SpaceQual::AreaAveraged {
+                    res: Pat::atom("coarse"),
+                    at: pt(5.0, 5.0),
+                }
+            ))
             .unwrap());
     }
 
@@ -279,8 +307,12 @@ mod tests {
             .unwrap();
         spec.assert_fact(FactPat::new("terrain").arg("hill").at(pt(13.0, 3.0)))
             .unwrap();
-        assert!(spec.provable(FactPat::new("point_type").arg("tower")).unwrap());
-        assert!(!spec.provable(FactPat::new("point_type").arg("hill")).unwrap());
+        assert!(spec
+            .provable(FactPat::new("point_type").arg("tower"))
+            .unwrap());
+        assert!(!spec
+            .provable(FactPat::new("point_type").arg("hill"))
+            .unwrap());
         // Tower and hill share the point (3,3): overlap.
         assert!(spec
             .provable(FactPat::new("overlap").arg("tower").arg("hill"))
@@ -295,22 +327,38 @@ mod tests {
         let (mut spec, _) = setup();
         spec.activate_meta_model("spatial_properties").unwrap();
         spec.assert_fact(
-            FactPat::new("parcel").arg("farm_a").space(uniform("coarse", 5.0, 5.0)),
+            FactPat::new("parcel")
+                .arg("farm_a")
+                .space(uniform("coarse", 5.0, 5.0)),
         )
         .unwrap();
         spec.assert_fact(
-            FactPat::new("parcel").arg("farm_b").space(uniform("coarse", 15.0, 5.0)),
+            FactPat::new("parcel")
+                .arg("farm_b")
+                .space(uniform("coarse", 15.0, 5.0)),
         )
         .unwrap();
         spec.assert_fact(
-            FactPat::new("parcel").arg("farm_c").space(uniform("coarse", 35.0, 35.0)),
+            FactPat::new("parcel")
+                .arg("farm_c")
+                .space(uniform("coarse", 35.0, 35.0)),
         )
         .unwrap();
         assert!(spec
-            .provable(FactPat::new("adjacent").arg("farm_a").arg("farm_b").arg("coarse"))
+            .provable(
+                FactPat::new("adjacent")
+                    .arg("farm_a")
+                    .arg("farm_b")
+                    .arg("coarse")
+            )
             .unwrap());
         assert!(!spec
-            .provable(FactPat::new("adjacent").arg("farm_a").arg("farm_c").arg("coarse"))
+            .provable(
+                FactPat::new("adjacent")
+                    .arg("farm_a")
+                    .arg("farm_c")
+                    .arg("coarse")
+            )
             .unwrap());
     }
 
@@ -319,26 +367,42 @@ mod tests {
         let (mut spec, _) = setup();
         spec.activate_meta_model("direction_relations").unwrap();
         spec.assert_fact(
-            FactPat::new("town").arg("northville").space(uniform("coarse", 15.0, 35.0)),
+            FactPat::new("town")
+                .arg("northville")
+                .space(uniform("coarse", 15.0, 35.0)),
         )
         .unwrap();
         spec.assert_fact(
-            FactPat::new("town").arg("southburg").space(uniform("coarse", 15.0, 5.0)),
+            FactPat::new("town")
+                .arg("southburg")
+                .space(uniform("coarse", 15.0, 5.0)),
         )
         .unwrap();
         spec.assert_fact(
-            FactPat::new("town").arg("eastham").space(uniform("coarse", 35.0, 5.0)),
+            FactPat::new("town")
+                .arg("eastham")
+                .space(uniform("coarse", 35.0, 5.0)),
         )
         .unwrap();
-        let rel = |p: &str, x: &str, y: &str| {
-            FactPat::new(p).arg(x).arg(y).arg("coarse")
-        };
-        assert!(spec.provable(rel("north_of", "northville", "southburg")).unwrap());
-        assert!(spec.provable(rel("south_of", "southburg", "northville")).unwrap());
-        assert!(spec.provable(rel("east_of", "eastham", "southburg")).unwrap());
-        assert!(spec.provable(rel("west_of", "southburg", "eastham")).unwrap());
-        assert!(!spec.provable(rel("north_of", "southburg", "northville")).unwrap());
-        assert!(!spec.provable(rel("north_of", "eastham", "southburg")).unwrap());
+        let rel = |p: &str, x: &str, y: &str| FactPat::new(p).arg(x).arg(y).arg("coarse");
+        assert!(spec
+            .provable(rel("north_of", "northville", "southburg"))
+            .unwrap());
+        assert!(spec
+            .provable(rel("south_of", "southburg", "northville"))
+            .unwrap());
+        assert!(spec
+            .provable(rel("east_of", "eastham", "southburg"))
+            .unwrap());
+        assert!(spec
+            .provable(rel("west_of", "southburg", "eastham"))
+            .unwrap());
+        assert!(!spec
+            .provable(rel("north_of", "southburg", "northville"))
+            .unwrap());
+        assert!(!spec
+            .provable(rel("north_of", "eastham", "southburg"))
+            .unwrap());
     }
 
     #[test]
@@ -353,21 +417,31 @@ mod tests {
         // Big island: 3 fine patches. Small island: 1 fine patch.
         for (x, y) in [(2.5, 2.5), (7.5, 2.5), (2.5, 7.5)] {
             spec.assert_fact(
-                FactPat::new("island").arg("big_isle").space(uniform("fine", x, y)),
+                FactPat::new("island")
+                    .arg("big_isle")
+                    .space(uniform("fine", x, y)),
             )
             .unwrap();
         }
         spec.assert_fact(
-            FactPat::new("island").arg("small_isle").space(uniform("fine", 22.5, 2.5)),
+            FactPat::new("island")
+                .arg("small_isle")
+                .space(uniform("fine", 22.5, 2.5)),
         )
         .unwrap();
         // Big island appears on the coarse map; the small one vanishes.
         assert!(spec
-            .provable(FactPat::new("island").arg("big_isle").space(uniform("coarse", 5.0, 5.0)))
+            .provable(
+                FactPat::new("island")
+                    .arg("big_isle")
+                    .space(uniform("coarse", 5.0, 5.0))
+            )
             .unwrap());
         assert!(!spec
             .provable(
-                FactPat::new("island").arg("small_isle").space(uniform("coarse", 25.0, 5.0))
+                FactPat::new("island")
+                    .arg("small_isle")
+                    .space(uniform("coarse", 25.0, 5.0))
             )
             .unwrap());
     }
@@ -378,24 +452,42 @@ mod tests {
         use crate::abstraction::{abstraction_meta_model, compose_rule};
         spec.register_meta_model(abstraction_meta_model(
             "shore_gen",
-            vec![compose_rule("lake", "shore", "shore_line", "fine", "coarse")],
+            vec![compose_rule(
+                "lake",
+                "shore",
+                "shore_line",
+                "fine",
+                "coarse",
+            )],
         ));
         spec.activate_meta_model("shore_gen").unwrap();
         // Lake and shore in two *different* fine patches of the same
         // coarse patch.
-        spec.assert_fact(FactPat::new("lake").arg("erie").space(uniform("fine", 2.5, 2.5)))
-            .unwrap();
-        spec.assert_fact(FactPat::new("shore").arg("erie").space(uniform("fine", 7.5, 2.5)))
-            .unwrap();
+        spec.assert_fact(
+            FactPat::new("lake")
+                .arg("erie")
+                .space(uniform("fine", 2.5, 2.5)),
+        )
+        .unwrap();
+        spec.assert_fact(
+            FactPat::new("shore")
+                .arg("erie")
+                .space(uniform("fine", 7.5, 2.5)),
+        )
+        .unwrap();
         assert!(spec
             .provable(
-                FactPat::new("shore_line").arg("erie").space(uniform("coarse", 5.0, 5.0))
+                FactPat::new("shore_line")
+                    .arg("erie")
+                    .space(uniform("coarse", 5.0, 5.0))
             )
             .unwrap());
         // No shoreline where lake and shore do not meet within one patch.
         assert!(!spec
             .provable(
-                FactPat::new("shore_line").arg("erie").space(uniform("coarse", 15.0, 5.0))
+                FactPat::new("shore_line")
+                    .arg("erie")
+                    .space(uniform("coarse", 15.0, 5.0))
             )
             .unwrap());
     }

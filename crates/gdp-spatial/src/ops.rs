@@ -47,6 +47,9 @@ pub fn simple_op() -> MetaModel {
 pub fn area_uniform() -> MetaModel {
     MetaModel::new("spatial_uniform")
         .doc("area-uniform operator: patch properties hold at member points and finer subareas")
+        // Patch inheritance re-derives the same h/5 instances along many
+        // refinement paths; nominate h/5 for answer tabling.
+        .table("h", 5)
         .clause(RawClause::build(
             &h(v("M"), sat(v("P")), v("T"), v("Q"), v("A")),
             &[
@@ -80,6 +83,9 @@ pub fn area_uniform() -> MetaModel {
 pub fn area_uniform_acquisition() -> MetaModel {
     MetaModel::new("spatial_uniform_acquisition")
         .doc("area-uniform acquisition: a patch acquires a property all its subpatches share")
+        // The bounded-forall over subpatches re-proves each subpatch fact
+        // once per enclosing patch; nominate h/5 for answer tabling.
+        .table("h", 5)
         .clause(RawClause::build(
             &h(v("M"), su(v("R1"), v("P1")), v("T"), v("Q"), v("A")),
             &[
@@ -125,6 +131,7 @@ pub fn finite_resolution_view() -> MetaModel {
 pub fn area_sampled() -> MetaModel {
     MetaModel::new("spatial_sampled")
         .doc("area-sampled operator: a patch holds a sample if any point or subpatch does")
+        .table("h", 5)
         .clause(RawClause::build(
             &h(v("M"), ss(v("R"), v("P0")), v("T"), v("Q"), v("A")),
             &[
@@ -199,6 +206,9 @@ pub fn area_averaged() -> MetaModel {
     };
     MetaModel::new("spatial_averaged")
         .doc("area-averaged operator: patch value is the mean of subpatch values")
+        // Each enclosing patch's average re-enumerates every subpatch
+        // value; nominate h/5 for answer tabling.
+        .table("h", 5)
         .clause(from(su))
         .clause(from(sa))
         .build()
@@ -210,18 +220,20 @@ pub fn area_averaged() -> MetaModel {
 /// independent manner are true at every point in space … they are excluded
 /// from consideration").
 pub fn spatial_properties() -> MetaModel {
-    let not_space_independent = |q: Pat, args: Pat, m: Pat| {
-        goal(
-            "not",
-            vec![h(m, a("any"), a("any"), q, args)],
-        )
-    };
+    let not_space_independent =
+        |q: Pat, args: Pat, m: Pat| goal("not", vec![h(m, a("any"), a("any"), q, args)]);
     MetaModel::new("spatial_properties")
         .doc("derived geometric properties: point_type, overlap, adjacent")
         // point_type(X): all position-dependent properties of X are true at
         // a single point (§V.D).
         .clause(RawClause::build(
-            &h(v("M"), a("any"), a("any"), a("point_type"), Pat::app(".", vec![v("X"), Pat::Term(gdp_engine::Term::nil())])),
+            &h(
+                v("M"),
+                a("any"),
+                a("any"),
+                a("point_type"),
+                Pat::app(".", vec![v("X"), Pat::Term(gdp_engine::Term::nil())]),
+            ),
             &[
                 goal("is_model", vec![v("M")]),
                 goal("is_object", vec![v("X")]),
@@ -257,7 +269,13 @@ pub fn spatial_properties() -> MetaModel {
                 a("any"),
                 a("any"),
                 a("overlap"),
-                Pat::app(".", vec![v("X"), Pat::app(".", vec![v("Y"), Pat::Term(gdp_engine::Term::nil())])]),
+                Pat::app(
+                    ".",
+                    vec![
+                        v("X"),
+                        Pat::app(".", vec![v("Y"), Pat::Term(gdp_engine::Term::nil())]),
+                    ],
+                ),
             ),
             &[
                 goal("is_model", vec![v("M")]),
@@ -295,7 +313,10 @@ pub fn spatial_properties() -> MetaModel {
                         v("X"),
                         Pat::app(
                             ".",
-                            vec![v("Y"), Pat::app(".", vec![v("R"), Pat::Term(gdp_engine::Term::nil())])],
+                            vec![
+                                v("Y"),
+                                Pat::app(".", vec![v("R"), Pat::Term(gdp_engine::Term::nil())]),
+                            ],
                         ),
                     ],
                 ),

@@ -147,11 +147,9 @@ impl SpatialRegistry {
             let coarse = store.deref(&args[0]).clone();
             let fine = store.deref(&args[1]).clone();
             let rep = resolve_deep(store, &args[2]);
-            let (Some(coarse), Some(fine), Some(rep)) = (
-                coarse.as_atom(),
-                fine.as_atom(),
-                Point::from_term(&rep),
-            ) else {
+            let (Some(coarse), Some(fine), Some(rep)) =
+                (coarse.as_atom(), fine.as_atom(), Point::from_term(&rep))
+            else {
                 return Ok(false);
             };
             let (coarse_grid, fine_grid) = {
@@ -190,9 +188,8 @@ impl SpatialRegistry {
             };
             match grid {
                 Some(g) => {
-                    let list = list_from_iter(
-                        g.rep_points().map(Point::to_term).collect::<Vec<_>>(),
-                    );
+                    let list =
+                        list_from_iter(g.rep_points().map(Point::to_term).collect::<Vec<_>>());
                     Ok(store.unify(&list, &args[1]))
                 }
                 None => Ok(false),
@@ -259,8 +256,12 @@ mod tests {
     fn setup() -> (Specification, SpatialRegistry) {
         let mut spec = Specification::new();
         let reg = SpatialRegistry::install(&mut spec);
-        reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-            .unwrap();
+        reg.add_grid(
+            &mut spec,
+            "r1",
+            GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+        )
+        .unwrap();
         reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
             .unwrap();
         (spec, reg)
@@ -302,10 +303,7 @@ mod tests {
         assert!(!spec.prove_goal(unknown).unwrap());
         // Unbound point: fails, not errors (the paper's "bound to fail"
         // infinite-set case).
-        let unbound = Term::pred(
-            "rmap",
-            vec![Term::atom("r1"), Term::var(0), Term::var(1)],
-        );
+        let unbound = Term::pred("rmap", vec![Term::atom("r1"), Term::var(0), Term::var(1)]);
         assert!(!spec.prove_goal(unbound).unwrap());
     }
 
@@ -321,8 +319,12 @@ mod tests {
     #[test]
     fn refines_facts_link_later_registrations() {
         let (mut spec, reg) = setup();
-        reg.add_grid(&mut spec, "r4", GridResolution::square(0.0, 0.0, 2.5, 16, 16))
-            .unwrap();
+        reg.add_grid(
+            &mut spec,
+            "r4",
+            GridResolution::square(0.0, 0.0, 2.5, 16, 16),
+        )
+        .unwrap();
         for coarser in ["r1", "r2"] {
             let goal = Term::pred("refines", vec![Term::atom("r4"), Term::atom(coarser)]);
             assert!(spec.prove_goal(goal).unwrap(), "r4 should refine {coarser}");

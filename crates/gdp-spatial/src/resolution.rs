@@ -132,7 +132,8 @@ impl GridResolution {
 
     /// Is the refinement *strict* (finer cells, not identical)?
     pub fn strictly_refines(&self, coarse: &GridResolution) -> bool {
-        self.refines(coarse) && (self.cell_w < coarse.cell_w - EPS || self.cell_h < coarse.cell_h - EPS)
+        self.refines(coarse)
+            && (self.cell_w < coarse.cell_w - EPS || self.cell_h < coarse.cell_h - EPS)
     }
 
     /// The representative points of `fine` lying within the `self`-cell
@@ -229,7 +230,10 @@ mod tests {
     #[test]
     fn negative_origin_grids() {
         let r = GridResolution::square(-20.0, -20.0, 10.0, 4, 4);
-        assert_eq!(r.map(Point::new(-15.0, -15.0)), Some(Point::new(-15.0, -15.0)));
+        assert_eq!(
+            r.map(Point::new(-15.0, -15.0)),
+            Some(Point::new(-15.0, -15.0))
+        );
         assert_eq!(r.map(Point::new(15.0, 15.0)), Some(Point::new(15.0, 15.0)));
         assert_eq!(r.map(Point::new(25.0, 0.0)), None);
     }

@@ -53,8 +53,16 @@ impl Interval {
 
     /// Does the interval contain instant `t`?
     pub fn contains(&self, t: f64) -> bool {
-        let lo_ok = if self.lo_closed { t >= self.lo } else { t > self.lo };
-        let hi_ok = if self.hi_closed { t <= self.hi } else { t < self.hi };
+        let lo_ok = if self.lo_closed {
+            t >= self.lo
+        } else {
+            t > self.lo
+        };
+        let hi_ok = if self.hi_closed {
+            t <= self.hi
+        } else {
+            t < self.hi
+        };
         lo_ok && hi_ok
     }
 
@@ -68,10 +76,10 @@ impl Interval {
         if self.is_empty() {
             return true;
         }
-        let lo_ok = self.lo > other.lo
-            || (self.lo == other.lo && (other.lo_closed || !self.lo_closed));
-        let hi_ok = self.hi < other.hi
-            || (self.hi == other.hi && (other.hi_closed || !self.hi_closed));
+        let lo_ok =
+            self.lo > other.lo || (self.lo == other.lo && (other.lo_closed || !self.lo_closed));
+        let hi_ok =
+            self.hi < other.hi || (self.hi == other.hi && (other.hi_closed || !self.hi_closed));
         lo_ok && hi_ok
     }
 

@@ -88,7 +88,8 @@ mod tests {
     #[test]
     fn time_independent_facts_hold_at_instants() {
         let mut spec = setup();
-        spec.assert_fact(FactPat::new("river").arg("missouri")).unwrap();
+        spec.assert_fact(FactPat::new("river").arg("missouri"))
+            .unwrap();
         assert!(spec
             .provable(FactPat::new("river").arg("missouri").time(at(1986)))
             .unwrap());
@@ -97,10 +98,8 @@ mod tests {
     #[test]
     fn uniform_interval_holds_at_member_instants() {
         let mut spec = setup();
-        spec.assert_fact(
-            FactPat::new("open").arg("b1").time(uniform(1970, 1980)),
-        )
-        .unwrap();
+        spec.assert_fact(FactPat::new("open").arg("b1").time(uniform(1970, 1980)))
+            .unwrap();
         assert!(spec
             .provable(FactPat::new("open").arg("b1").time(at(1975)))
             .unwrap());
@@ -120,9 +119,9 @@ mod tests {
     fn open_ends_respected() {
         let mut spec = setup();
         spec.assert_fact(
-            FactPat::new("flooded").arg("plain").time(TimeQual::IntervalUniform(
-                IntervalPat::right_open(10, 20),
-            )),
+            FactPat::new("flooded")
+                .arg("plain")
+                .time(TimeQual::IntervalUniform(IntervalPat::right_open(10, 20))),
         )
         .unwrap();
         assert!(spec
@@ -139,9 +138,9 @@ mod tests {
         spec.assert_fact(FactPat::new("sighting").arg("eagle").time(at(1975)))
             .unwrap();
         let sampled = |lo: i64, hi: i64| {
-            FactPat::new("sighting").arg("eagle").time(TimeQual::IntervalSampled(
-                IntervalPat::closed(lo, hi),
-            ))
+            FactPat::new("sighting")
+                .arg("eagle")
+                .time(TimeQual::IntervalSampled(IntervalPat::closed(lo, hi)))
         };
         assert!(spec.provable(sampled(1970, 1980)).unwrap());
         assert!(!spec.provable(sampled(1980, 1990)).unwrap());
@@ -181,7 +180,8 @@ mod tests {
         assert!(!spec.provable(claim.clone()).unwrap());
         spec.activate_meta_model("comprehension_principle").unwrap();
         assert!(spec.provable(claim.clone()).unwrap());
-        spec.deactivate_meta_model("comprehension_principle").unwrap();
+        spec.deactivate_meta_model("comprehension_principle")
+            .unwrap();
         assert!(!spec.provable(claim).unwrap());
     }
 
@@ -191,14 +191,22 @@ mod tests {
         spec.activate_meta_model("continuity_assumption").unwrap();
         spec.assert_fact(FactPat::new("status").arg("open").arg("b1").time(at(1970)))
             .unwrap();
-        spec.assert_fact(FactPat::new("status").arg("closed").arg("b1").time(at(1980)))
-            .unwrap();
+        spec.assert_fact(
+            FactPat::new("status")
+                .arg("closed")
+                .arg("b1")
+                .time(at(1980)),
+        )
+        .unwrap();
         // Uniformly open over [1970, 1980) …
         assert!(spec
             .provable(
-                FactPat::new("status").arg("open").arg("b1").time(
-                    TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1980))
-                )
+                FactPat::new("status")
+                    .arg("open")
+                    .arg("b1")
+                    .time(TimeQual::IntervalUniform(IntervalPat::right_open(
+                        1970, 1980
+                    )))
             )
             .unwrap());
         // … hence open at 1975 (via the uniform operator) …
@@ -207,7 +215,12 @@ mod tests {
             .unwrap());
         // … and NOT closed at 1975.
         assert!(!spec
-            .provable(FactPat::new("status").arg("closed").arg("b1").time(at(1975)))
+            .provable(
+                FactPat::new("status")
+                    .arg("closed")
+                    .arg("b1")
+                    .time(at(1975))
+            )
             .unwrap());
     }
 
@@ -222,16 +235,22 @@ mod tests {
         // "open" does not persist across the 1975 "closed" assertion.
         assert!(!spec
             .provable(
-                FactPat::new("status").arg("open").arg("b1").time(
-                    TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1980))
-                )
+                FactPat::new("status")
+                    .arg("open")
+                    .arg("b1")
+                    .time(TimeQual::IntervalUniform(IntervalPat::right_open(
+                        1970, 1980
+                    )))
             )
             .unwrap());
         assert!(spec
             .provable(
-                FactPat::new("status").arg("open").arg("b1").time(
-                    TimeQual::IntervalUniform(IntervalPat::right_open(1970, 1975))
-                )
+                FactPat::new("status")
+                    .arg("open")
+                    .arg("b1")
+                    .time(TimeQual::IntervalUniform(IntervalPat::right_open(
+                        1970, 1975
+                    )))
             )
             .unwrap());
     }
@@ -258,18 +277,34 @@ mod tests {
         spec.assert_fact(FactPat::new("capital").arg("jc").time(TimeQual::Now))
             .unwrap();
         assert!(spec
-            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1990.0))))
+            .provable(
+                FactPat::new("capital")
+                    .arg("jc")
+                    .time(TimeQual::At(Pat::Float(1990.0)))
+            )
             .unwrap());
         assert!(!spec
-            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1985.0))))
+            .provable(
+                FactPat::new("capital")
+                    .arg("jc")
+                    .time(TimeQual::At(Pat::Float(1985.0)))
+            )
             .unwrap());
         // The present moves; the fact follows.
         spec.set_now(1995.0);
         assert!(spec
-            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1995.0))))
+            .provable(
+                FactPat::new("capital")
+                    .arg("jc")
+                    .time(TimeQual::At(Pat::Float(1995.0)))
+            )
             .unwrap());
         assert!(!spec
-            .provable(FactPat::new("capital").arg("jc").time(TimeQual::At(Pat::Float(1990.0))))
+            .provable(
+                FactPat::new("capital")
+                    .arg("jc")
+                    .time(TimeQual::At(Pat::Float(1990.0)))
+            )
             .unwrap());
     }
 
@@ -283,7 +318,11 @@ mod tests {
             interval: IntervalPat::right_open(0.0, 3.0),
         }))
         .unwrap();
-        let at_t = |t: f64| FactPat::new("high_tide").arg("bay").time(TimeQual::At(Pat::Float(t)));
+        let at_t = |t: f64| {
+            FactPat::new("high_tide")
+                .arg("bay")
+                .time(TimeQual::At(Pat::Float(t)))
+        };
         assert!(spec.provable(at_t(1.0)).unwrap());
         assert!(spec.provable(at_t(13.0)).unwrap());
         assert!(spec.provable(at_t(25.5)).unwrap());

@@ -29,8 +29,7 @@ pub fn install(spec: &mut Specification) {
     kb.register_native("subinterval", 2, |store, args| {
         let inner = resolve_deep(store, &args[0]);
         let outer = resolve_deep(store, &args[1]);
-        let (Some(inner), Some(outer)) =
-            (Interval::from_term(&inner), Interval::from_term(&outer))
+        let (Some(inner), Some(outer)) = (Interval::from_term(&inner), Interval::from_term(&outer))
         else {
             return Ok(false);
         };

@@ -190,6 +190,10 @@ pub fn comprehension_principle() -> MetaModel {
 pub fn continuity_assumption() -> MetaModel {
     MetaModel::new("continuity_assumption")
         .doc("continuity assumption: a value persists until the next conflicting assertion")
+        // The no-conflicting-assertion check makes lookup O(h³) in the
+        // history length; nominate h/5 for answer tabling so repeated
+        // queries over an unchanged history replay the memoized answers.
+        .table("h", 5)
         .clause(RawClause::build(
             &h(
                 v("M"),
@@ -202,8 +206,20 @@ pub fn continuity_assumption() -> MetaModel {
                 cons(v("Y1"), v("Rest")),
             ),
             &[
-                h(v("M"), v("S"), tat(v("T1")), v("Q"), cons(v("Y1"), v("Rest"))),
-                h(v("M"), v("S"), tat(v("T2")), v("Q"), cons(v("Y2"), v("Rest"))),
+                h(
+                    v("M"),
+                    v("S"),
+                    tat(v("T1")),
+                    v("Q"),
+                    cons(v("Y1"), v("Rest")),
+                ),
+                h(
+                    v("M"),
+                    v("S"),
+                    tat(v("T2")),
+                    v("Q"),
+                    cons(v("Y2"), v("Rest")),
+                ),
                 goal("<", vec![v("T1"), v("T2")]),
                 // No assertion strictly between T1 and T2.
                 goal(

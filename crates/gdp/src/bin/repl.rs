@@ -27,7 +27,8 @@ statements  any specification-language statement ending in `.`
 :why GOAL   explain why a fact is provable (proof tree)
 :check      run consistency checking against the active world view
 :views      show the active world view and meta-view
-:stats      knowledge-base statistics
+:stats      knowledge-base, solver, and answer-table statistics
+:table MODE answer tabling: on | off | all | status
 :budget S D set the per-query step and depth budget
 :help       this text
 :quit       exit";
@@ -138,13 +139,11 @@ impl Session {
                 Err(e) => println!("error: cannot read {rest}: {e}"),
             },
             ":why" => match parse_formula(rest) {
-                Ok(gdp::core::Formula::Fact(pat)) => {
-                    match self.spec.explain_fact(pat) {
-                        Ok(Some(proof)) => print!("{}", proof.render()),
-                        Ok(None) => println!("not provable."),
-                        Err(e) => println!("error: {e}"),
-                    }
-                }
+                Ok(gdp::core::Formula::Fact(pat)) => match self.spec.explain_fact(pat) {
+                    Ok(Some(proof)) => print!("{}", proof.render()),
+                    Ok(None) => println!("not provable."),
+                    Err(e) => println!("error: {e}"),
+                },
                 Ok(_) => println!("error: :why takes a single fact goal"),
                 Err(e) => println!("error: {e}"),
             },
@@ -170,7 +169,44 @@ impl Session {
                     self.spec.kb().predicate_count(),
                     self.reg.grid_names().join(", ")
                 );
+                let s = self.spec.solver_stats();
+                println!(
+                    "last query: {} steps, {} clause resolutions, table {} hit / {} miss",
+                    s.steps, s.resolutions, s.table_hits, s.table_misses
+                );
+                let t = self.spec.table_stats();
+                println!(
+                    "answer table ({}): {} entries; lifetime {} hits, {} misses, {} inserts, {} invalidations",
+                    if self.spec.tabling_enabled() { "on" } else { "off" },
+                    self.spec.kb().table().len(),
+                    t.hits, t.misses, t.inserts, t.invalidations
+                );
             }
+            ":table" => match rest {
+                "on" => {
+                    self.spec.enable_tabling(true);
+                    println!("answer tabling on (nominated predicates).");
+                }
+                "off" => {
+                    self.spec.enable_tabling(false);
+                    println!("answer tabling off.");
+                }
+                "all" => {
+                    self.spec.enable_tabling(true);
+                    self.spec.set_table_all(true);
+                    println!("answer tabling on for every user predicate.");
+                }
+                "status" | "" => println!(
+                    "answer tabling is {} ({} cached call patterns).",
+                    if self.spec.tabling_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    },
+                    self.spec.kb().table().len()
+                ),
+                other => println!("usage: :table on|off|all|status (got {other})"),
+            },
             ":budget" => {
                 let parts: Vec<&str> = rest.split_whitespace().collect();
                 match (

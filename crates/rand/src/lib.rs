@@ -1,0 +1,212 @@
+//! In-tree stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the subset of the `rand` 0.8 API that `gdp-datagen` uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`]
+//! extension methods `gen_range` / `gen_bool`. The generator is
+//! xoshiro256\*\* seeded through splitmix64 — deterministic for a given
+//! seed, statistically solid for synthetic-data generation, and *not*
+//! cryptographic (neither is the real `StdRng` guaranteed stable across
+//! versions, so exact streams were never part of the contract).
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range using `rng`.
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange<$t> for std::ops::Range<$t> {
+                fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "gen_range on empty range");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Modulo bias is ≤ span/2⁶⁴ — irrelevant for the
+                    // synthetic-data spans used here.
+                    let offset = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + offset as i128) as $t
+                }
+            }
+            impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+                fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (lo, hi) = self.into_inner();
+                    assert!(lo <= hi, "gen_range on empty range");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let offset = (rng.next_u64() as u128) % span;
+                    (lo as i128 + offset as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for std::ops::RangeInclusive<f32> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + (unit_f64(rng) as f32) * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_one<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + (unit_f64(rng) as f32) * (self.end - self.start)
+    }
+}
+
+/// A uniform draw from [0, 1) with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_one(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        unit_f64(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256\*\* generator (the stand-in for `StdRng`).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Expand the seed with splitmix64, the recommended seeding
+            // procedure for the xoshiro family.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(10..20u32);
+            assert!((10..20).contains(&v));
+            let f = rng.gen_range(-0.5..0.5f64);
+            assert!((-0.5..0.5).contains(&f));
+            let i = rng.gen_range(1650..1950i32);
+            assert!((1650..1950).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..1_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((300..700).contains(&hits), "suspicious p=0.5 count {hits}");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0..u64::MAX) == b.gen_range(0..u64::MAX))
+            .count();
+        assert_eq!(same, 0);
+    }
+}

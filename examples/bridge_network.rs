@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for bridge in &road.bridges {
             let bname = format!("bridge{}", bridge.id);
             spec.assert_fact(
-                FactPat::new("bridge").arg(bname.as_str()).arg(rname.as_str()),
+                FactPat::new("bridge")
+                    .arg(bname.as_str())
+                    .arg(rname.as_str()),
             )?;
             if bridge.open {
                 spec.assert_fact(FactPat::new("open").arg(bname.as_str()))?;
@@ -99,7 +101,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     for year in [1974, 1979, 1985] {
         let open_then = spec.provable(
-            FactPat::new("status").arg("open").arg("bridge0").time(at_year(year)),
+            FactPat::new("status")
+                .arg("open")
+                .arg("bridge0")
+                .time(at_year(year)),
         )?;
         let repairs_then = spec.provable(
             FactPat::new("status")
@@ -140,10 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         spec.set_world_view(&view)?;
         let violations = spec.check_consistency()?;
-        println!(
-            "world view {view:?}: {} violations",
-            violations.len()
-        );
+        println!("world view {view:?}: {} violations", violations.len());
     }
 
     Ok(())

@@ -76,10 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         FactPat::new("clarity").arg("image"),
         Pat::var("A"),
     ))?;
-    println!(
-        "picture clarity: {}",
-        clarity[0].get("A").unwrap()
-    );
+    println!("picture clarity: {}", clarity[0].get("A").unwrap());
 
     // ----- §VII.C–D: thresholds and the unified operator ----------------------
     spec.declare_model("trusted");

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         large_city(X) :- population(N)(X), N > 1000000.
         "#,
     )?;
-    println!(
-        "loaded {} facts, {} rules\n",
-        summary.facts, summary.rules
-    );
+    println!("loaded {} facts, {} rules\n", summary.facts, summary.rules);
 
     println!("open roads:");
     for answer in query(&spec, "open_road(X)")? {

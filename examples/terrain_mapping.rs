@@ -67,12 +67,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )?;
             if terrain.is_water(i, j) {
                 spec.assert_fact(
-                    FactPat::new("water").arg("sea").space(uniform("fine", cx, cy)),
+                    FactPat::new("water")
+                        .arg("sea")
+                        .space(uniform("fine", cx, cy)),
                 )?;
             }
             if terrain.is_shore(i, j) {
                 spec.assert_fact(
-                    FactPat::new("shore").arg("sea").space(uniform("fine", cx, cy)),
+                    FactPat::new("shore")
+                        .arg("sea")
+                        .space(uniform("fine", cx, cy)),
                 )?;
             }
             spec.assert_fact(
@@ -86,11 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for island in &islands {
         let name = format!("island{}", island.id);
         for &(i, j) in &island.cells {
-            spec.assert_fact(
-                FactPat::new("island")
-                    .arg(name.as_str())
-                    .space(uniform("fine", f64::from(i) + 0.5, f64::from(j) + 0.5)),
-            )?;
+            spec.assert_fact(FactPat::new("island").arg(name.as_str()).space(uniform(
+                "fine",
+                f64::from(i) + 0.5,
+                f64::from(j) + 0.5,
+            )))?;
         }
     }
     // Rivers are line features thinner than any patch: assert them as
@@ -115,7 +119,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ----- §V.C: operators at work ------------------------------------------
     // Point query through @u: what's the cover at (10.3, 20.7)?
     let answers = spec.query(
-        FactPat::new("cover").arg("C").arg("land").at(pt(10.3, 20.7)),
+        FactPat::new("cover")
+            .arg("C")
+            .arg("land")
+            .at(pt(10.3, 20.7)),
     )?;
     println!(
         "cover at (10.3, 20.7): {}",
@@ -127,16 +134,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Area average through @a: mean elevation of a coarse patch.
-    let answers = spec.query(
-        FactPat::new("elevation")
-            .arg("Z")
-            .arg("land")
-            .space(SpaceQual::AreaAveraged {
-                res: Pat::atom("coarse"),
-                at: pt(2.0, 2.0),
-            }),
-    )?;
-    if let Some(z) = answers.first().and_then(|a| a.get("Z").and_then(Term::as_f64)) {
+    let answers = spec.query(FactPat::new("elevation").arg("Z").arg("land").space(
+        SpaceQual::AreaAveraged {
+            res: Pat::atom("coarse"),
+            at: pt(2.0, 2.0),
+        },
+    ))?;
+    if let Some(z) = answers
+        .first()
+        .and_then(|a| a.get("Z").and_then(Term::as_f64))
+    {
         println!("average elevation of coarse patch (2,2): {z:.1} m");
     }
 
@@ -147,22 +154,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // sizes), which is semantically sound but turns every fine-map miss
     // into a size computation.
     let fine_map = MapRenderer::new("fine")
-        .layer(Layer::uniform("cover", '^', Rgb(130, 130, 140)).with_args(vec![
-            Pat::atom("alpine"),
-            Pat::atom("land"),
-        ]))
-        .layer(Layer::uniform("cover", 'T', Rgb(34, 120, 50)).with_args(vec![
-            Pat::atom("forest"),
-            Pat::atom("land"),
-        ]))
-        .layer(Layer::uniform("cover", 'm', Rgb(110, 140, 70)).with_args(vec![
-            Pat::atom("marsh"),
-            Pat::atom("land"),
-        ]))
+        .layer(
+            Layer::uniform("cover", '^', Rgb(130, 130, 140))
+                .with_args(vec![Pat::atom("alpine"), Pat::atom("land")]),
+        )
+        .layer(
+            Layer::uniform("cover", 'T', Rgb(34, 120, 50))
+                .with_args(vec![Pat::atom("forest"), Pat::atom("land")]),
+        )
+        .layer(
+            Layer::uniform("cover", 'm', Rgb(110, 140, 70))
+                .with_args(vec![Pat::atom("marsh"), Pat::atom("land")]),
+        )
         .layer(Layer::uniform("water", '~', Rgb(40, 80, 180)))
         .layer(Layer::uniform("island", 'o', Rgb(220, 180, 80)))
         .layer(Layer::sampled("river", 'r', Rgb(90, 160, 255)));
-    println!("\nfine map (32x32):\n{}", fine_map.render_ascii(&spec, &reg)?);
+    println!(
+        "\nfine map (32x32):\n{}",
+        fine_map.render_ascii(&spec, &reg)?
+    );
     // One frame evaluation serves both raster formats.
     let fine_frame = fine_map.render_frame(&spec, &reg)?;
     std::fs::write("terrain_fine.ppm", fine_frame.to_ppm())?;
@@ -208,8 +218,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .layer(Layer::sampled("water", '~', Rgb(40, 80, 180)))
         .layer(Layer::uniform("shore_line", '#', Rgb(240, 220, 100)))
         .layer(Layer::uniform("island", 'o', Rgb(220, 180, 80)));
-    println!("coarse map (8x8) after generalization:\n{}", coarse_map.render_ascii(&spec, &reg)?);
-    std::fs::write("terrain_coarse.ppm", coarse_map.render_frame(&spec, &reg)?.to_ppm())?;
+    println!(
+        "coarse map (8x8) after generalization:\n{}",
+        coarse_map.render_ascii(&spec, &reg)?
+    );
+    std::fs::write(
+        "terrain_coarse.ppm",
+        coarse_map.render_frame(&spec, &reg)?.to_ppm(),
+    )?;
     println!("wrote terrain_fine.ppm, terrain_coarse.ppm, terrain.svg");
 
     Ok(())

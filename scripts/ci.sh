@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The checks enforced before merge (see CONTRIBUTING.md): formatting,
+# lint-free clippy, a release build, and the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --release --workspace
+
+echo "ci: all checks passed"

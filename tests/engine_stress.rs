@@ -86,10 +86,7 @@ fn queens_program() -> Vec<RawClause> {
         // queens(L, Qs) :- perm(L, Qs), safe(Qs).
         RawClause::build(
             &g("queens", vec![v("L"), v("Qs")]),
-            &[
-                g("perm", vec![v("L"), v("Qs")]),
-                g("safe", vec![v("Qs")]),
-            ],
+            &[g("perm", vec![v("L"), v("Qs")]), g("safe", vec![v("Qs")])],
         ),
     ]);
     clauses
@@ -109,7 +106,10 @@ fn six_queens_has_exactly_four_solutions() {
         .iter()
         .map(|s| s.get(gdp::engine::Var(0)).unwrap().to_string())
         .collect();
-    assert!(boards.contains(&"[2, 4, 6, 1, 3, 5]".to_string()), "{boards:?}");
+    assert!(
+        boards.contains(&"[2, 4, 6, 1, 3, 5]".to_string()),
+        "{boards:?}"
+    );
 }
 
 #[test]
@@ -159,10 +159,7 @@ fn ackermann_style_recursion_respects_budget() {
     // peano addition and a deliberately explosive double recursion.
     let mut kb = KnowledgeBase::new();
     let s = |p: Pat| Pat::app("s", vec![p]);
-    let add0 = RawClause::build(
-        &g("add", vec![Pat::atom("z"), v("Y"), v("Y")]),
-        &[],
-    );
+    let add0 = RawClause::build(&g("add", vec![Pat::atom("z"), v("Y"), v("Y")]), &[]);
     let add1 = RawClause::build(
         &g("add", vec![s(v("X")), v("Y"), s(v("Z"))]),
         &[g("add", vec![v("X"), v("Y"), v("Z")])],

@@ -24,11 +24,7 @@ fn uniform(res: &str, x: f64, y: f64) -> SpaceQual {
 #[test]
 fn e01_basic_facts() {
     let mut spec = Specification::new();
-    load(
-        &mut spec,
-        "road(s1). road(s2). road_intersection(s1, s2).",
-    )
-    .unwrap();
+    load(&mut spec, "road(s1). road(s2). road_intersection(s1, s2).").unwrap();
     assert!(spec.provable(FactPat::new("road").arg("s1")).unwrap());
     assert!(spec
         .provable(FactPat::new("road_intersection").arg("s1").arg("s2"))
@@ -99,7 +95,10 @@ fn e04_constraints() {
     )
     .unwrap();
     let violations = spec.check_consistency().unwrap();
-    let types: Vec<String> = violations.iter().map(|v| v.error_type.to_string()).collect();
+    let types: Vec<String> = violations
+        .iter()
+        .map(|v| v.error_type.to_string())
+        .collect();
     assert!(types.contains(&"bad_temp".to_string()), "{types:?}");
     assert!(types.contains(&"two_capitals".to_string()), "{types:?}");
     // The well-sorted temperature is NOT flagged.
@@ -132,7 +131,8 @@ fn e05_models_and_world_views() {
     let answers = query(&spec, "freezing_point(T)(x)").unwrap();
     assert_eq!(answers.len(), 1);
     assert_eq!(answers[0].get("T").unwrap(), &Term::int(0));
-    spec.set_world_view(&["omega", "celsius", "fahrenheit"]).unwrap();
+    spec.set_world_view(&["omega", "celsius", "fahrenheit"])
+        .unwrap();
     assert_eq!(query(&spec, "freezing_point(T)(x)").unwrap().len(), 2);
 }
 
@@ -233,16 +233,17 @@ fn e07_meta_view() {
     let mut spec = Specification::new();
     gdp::temporal::install_default(&mut spec).unwrap();
     load(&mut spec, "& 1975 dry(lakebed).").unwrap();
-    let claim = FactPat::new("dry").arg("lakebed").time(TimeQual::IntervalUniform(
-        IntervalPat::closed(1970, 1980),
-    ));
+    let claim = FactPat::new("dry")
+        .arg("lakebed")
+        .time(TimeQual::IntervalUniform(IntervalPat::closed(1970, 1980)));
     assert!(!spec.provable(claim.clone()).unwrap());
     spec.activate_meta_model("comprehension_principle").unwrap();
     assert!(spec.provable(claim.clone()).unwrap());
     assert!(spec
         .meta_view()
         .contains(&"comprehension_principle".to_string()));
-    spec.deactivate_meta_model("comprehension_principle").unwrap();
+    spec.deactivate_meta_model("comprehension_principle")
+        .unwrap();
     assert!(!spec.provable(claim).unwrap());
 }
 
@@ -252,8 +253,12 @@ fn e07_meta_view() {
 #[test]
 fn e08_simple_spatial_operator() {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r", GridResolution::square(0.0, 0.0, 1.0, 16, 16))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r",
+        GridResolution::square(0.0, 0.0, 1.0, 16, 16),
+    )
+    .unwrap();
     load(
         &mut spec,
         r#"
@@ -270,7 +275,12 @@ fn e08_simple_spatial_operator() {
     )
     .unwrap();
     assert!(spec
-        .provable(FactPat::new("vegetation").arg("pine").arg("hill").at(pt(3.0, 4.0)))
+        .provable(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("hill")
+                .at(pt(3.0, 4.0))
+        )
         .unwrap());
     // The 120 m point is a peak; the 90 m point is not (120 is nearby).
     assert!(spec
@@ -296,32 +306,52 @@ fn e08_simple_spatial_operator() {
 #[test]
 fn e09_area_uniform() {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r1",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
         .unwrap();
     spec.assert_fact(
-        FactPat::new("vegetation").arg("pine").arg("land").space(uniform("r1", 5.0, 5.0)),
+        FactPat::new("vegetation")
+            .arg("pine")
+            .arg("land")
+            .space(uniform("r1", 5.0, 5.0)),
     )
     .unwrap();
     // Point inheritance.
     assert!(spec
-        .provable(FactPat::new("vegetation").arg("pine").arg("land").at(pt(2.0, 8.0)))
+        .provable(
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("land")
+                .at(pt(2.0, 8.0))
+        )
         .unwrap());
     // Finer-subarea inheritance (r2 >> r1).
     assert!(spec
         .provable(
-            FactPat::new("vegetation").arg("pine").arg("land").space(uniform("r2", 7.5, 2.5))
+            FactPat::new("vegetation")
+                .arg("pine")
+                .arg("land")
+                .space(uniform("r2", 7.5, 2.5))
         )
         .unwrap());
     // Acquisition (opt-in): all four r2 subpatches ⇒ the r1 patch.
-    spec.activate_meta_model("spatial_uniform_acquisition").unwrap();
+    spec.activate_meta_model("spatial_uniform_acquisition")
+        .unwrap();
     for (x, y) in [(12.5, 2.5), (17.5, 2.5), (12.5, 7.5), (17.5, 7.5)] {
         spec.assert_fact(FactPat::new("soil").arg("clay").space(uniform("r2", x, y)))
             .unwrap();
     }
     assert!(spec
-        .provable(FactPat::new("soil").arg("clay").space(uniform("r1", 15.0, 5.0)))
+        .provable(
+            FactPat::new("soil")
+                .arg("clay")
+                .space(uniform("r1", 15.0, 5.0))
+        )
         .unwrap());
 }
 
@@ -331,15 +361,21 @@ fn e09_area_uniform() {
 #[test]
 fn e10_area_sampled() {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "map", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "map",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     spec.assert_fact(FactPat::new("road").arg("rc").at(pt(13.0, 7.0)))
         .unwrap();
     let sampled = |x: f64, y: f64| {
-        FactPat::new("road").arg("rc").space(SpaceQual::AreaSampled {
-            res: Pat::atom("map"),
-            at: pt(x, y),
-        })
+        FactPat::new("road")
+            .arg("rc")
+            .space(SpaceQual::AreaSampled {
+                res: Pat::atom("map"),
+                at: pt(x, y),
+            })
     };
     assert!(spec.provable(sampled(15.0, 5.0)).unwrap());
     assert!(!spec.provable(sampled(35.0, 5.0)).unwrap());
@@ -349,10 +385,18 @@ fn e10_area_sampled() {
 #[test]
 fn e11_area_averaged() {
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 20.0, 2, 2))
-        .unwrap();
-    reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r1",
+        GridResolution::square(0.0, 0.0, 20.0, 2, 2),
+    )
+    .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r2",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     for ((x, y), z) in [(5.0, 5.0), (15.0, 5.0), (5.0, 15.0), (15.0, 15.0)]
         .iter()
         .zip([100.0, 200.0, 300.0, 400.0])
@@ -367,10 +411,13 @@ fn e11_area_averaged() {
     }
     let answers = spec
         .query(
-            FactPat::new("elevation").arg("Z").arg("land").space(SpaceQual::AreaAveraged {
-                res: Pat::atom("r1"),
-                at: pt(10.0, 10.0),
-            }),
+            FactPat::new("elevation")
+                .arg("Z")
+                .arg("land")
+                .space(SpaceQual::AreaAveraged {
+                    res: Pat::atom("r1"),
+                    at: pt(10.0, 10.0),
+                }),
         )
         .unwrap();
     assert_eq!(answers.len(), 1);
@@ -383,8 +430,12 @@ fn e11_area_averaged() {
 fn e12_abstraction_rules() {
     use gdp::spatial::abstraction::{abstraction_meta_model, compose_rule, threshold_copy_rule};
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    reg.add_grid(&mut spec, "r1", GridResolution::square(0.0, 0.0, 10.0, 4, 4))
-        .unwrap();
+    reg.add_grid(
+        &mut spec,
+        "r1",
+        GridResolution::square(0.0, 0.0, 10.0, 4, 4),
+    )
+    .unwrap();
     reg.add_grid(&mut spec, "r2", GridResolution::square(0.0, 0.0, 5.0, 8, 8))
         .unwrap();
     spec.register_meta_model(abstraction_meta_model(
@@ -400,21 +451,45 @@ fn e12_abstraction_rules() {
         spec.assert_fact(FactPat::new("island").arg("big").space(uniform("r2", x, y)))
             .unwrap();
     }
-    spec.assert_fact(FactPat::new("island").arg("small").space(uniform("r2", 22.5, 2.5)))
-        .unwrap();
+    spec.assert_fact(
+        FactPat::new("island")
+            .arg("small")
+            .space(uniform("r2", 22.5, 2.5)),
+    )
+    .unwrap();
     assert!(spec
-        .provable(FactPat::new("island").arg("big").space(uniform("r1", 5.0, 5.0)))
+        .provable(
+            FactPat::new("island")
+                .arg("big")
+                .space(uniform("r1", 5.0, 5.0))
+        )
         .unwrap());
     assert!(!spec
-        .provable(FactPat::new("island").arg("small").space(uniform("r1", 25.0, 5.0)))
+        .provable(
+            FactPat::new("island")
+                .arg("small")
+                .space(uniform("r1", 25.0, 5.0))
+        )
         .unwrap());
     // Shoreline: lake and shore patches collapsing into one r1 patch.
-    spec.assert_fact(FactPat::new("lake").arg("erie").space(uniform("r2", 32.5, 32.5)))
-        .unwrap();
-    spec.assert_fact(FactPat::new("shore").arg("erie").space(uniform("r2", 37.5, 32.5)))
-        .unwrap();
+    spec.assert_fact(
+        FactPat::new("lake")
+            .arg("erie")
+            .space(uniform("r2", 32.5, 32.5)),
+    )
+    .unwrap();
+    spec.assert_fact(
+        FactPat::new("shore")
+            .arg("erie")
+            .space(uniform("r2", 37.5, 32.5)),
+    )
+    .unwrap();
     assert!(spec
-        .provable(FactPat::new("shore_line").arg("erie").space(uniform("r1", 35.0, 35.0)))
+        .provable(
+            FactPat::new("shore_line")
+                .arg("erie")
+                .space(uniform("r1", 35.0, 35.0))
+        )
         .unwrap());
 }
 
@@ -426,7 +501,9 @@ fn e13_temporal_models() {
     gdp::temporal::install_default(&mut spec).unwrap();
     spec.set_now(1990.0);
     // past/present/future (§VI.B).
-    assert!(spec.prove_goal(Term::pred("past", vec![Term::int(1971)])).unwrap());
+    assert!(spec
+        .prove_goal(Term::pred("past", vec![Term::int(1971)]))
+        .unwrap());
     assert!(!spec
         .prove_goal(Term::pred("present", vec![Term::int(1971)]))
         .unwrap());
@@ -443,13 +520,21 @@ fn e13_temporal_models() {
     .unwrap();
     assert!(spec
         .provable(
-            FactPat::new("status").arg("open").arg("b1").time(TimeQual::IntervalUniform(
-                IntervalPat::right_open(1970, 1980)
-            ))
+            FactPat::new("status")
+                .arg("open")
+                .arg("b1")
+                .time(TimeQual::IntervalUniform(IntervalPat::right_open(
+                    1970, 1980
+                )))
         )
         .unwrap());
     assert!(spec
-        .provable(FactPat::new("status").arg("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .provable(
+            FactPat::new("status")
+                .arg("open")
+                .arg("b1")
+                .time(TimeQual::At(Pat::Int(1975)))
+        )
         .unwrap());
 
     // Comprehension: one sighting makes the decade "uniformly" true.
@@ -457,9 +542,9 @@ fn e13_temporal_models() {
     load(&mut spec, "& 1975 sighted(eagle).").unwrap();
     assert!(spec
         .provable(
-            FactPat::new("sighted").arg("eagle").time(TimeQual::IntervalUniform(
-                IntervalPat::closed(1970, 1980)
-            ))
+            FactPat::new("sighted")
+                .arg("eagle")
+                .time(TimeQual::IntervalUniform(IntervalPat::closed(1970, 1980)))
         )
         .unwrap());
 }
@@ -555,12 +640,10 @@ fn e15_fuzzy_pragmatics() {
     // Fuzzy constraint (§VII.E): flag images below clarity 0.8.
     spec.assert_fuzzy_fact(FactPat::new("clarity").arg("img7"), 0.6)
         .unwrap();
-    spec.constrain(
-        Constraint::new("bad_image").witness("X").when(Formula::and(
-            Formula::FuzzyFact(FactPat::new("clarity").arg("X"), Pat::var("A")),
-            Formula::Cmp(CmpOp::Lt, Pat::var("A"), Pat::Float(0.8)),
-        )),
-    )
+    spec.constrain(Constraint::new("bad_image").witness("X").when(Formula::and(
+        Formula::FuzzyFact(FactPat::new("clarity").arg("X"), Pat::var("A")),
+        Formula::Cmp(CmpOp::Lt, Pat::var("A"), Pat::Float(0.8)),
+    )))
     .unwrap();
     let violations = spec.check_consistency().unwrap();
     assert!(violations
@@ -612,7 +695,7 @@ fn e16_ac_propagation() {
     };
     assert_eq!(get_acc(&spec, "plain"), 0.45); // min–max
     assert_eq!(get_acc(&spec, "valley"), 0.0); // two-valued degeneracy: 1 ∧ 0 = 0
-    // Disjunction takes max; negation-as-failure fails on provable facts.
+                                               // Disjunction takes max; negation-as-failure fails on provable facts.
     let disj = Formula::or(
         Formula::fact(FactPat::new("flooded").arg("plain")),
         Formula::fact(FactPat::new("frozen").arg("plain")),

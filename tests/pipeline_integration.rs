@@ -31,8 +31,15 @@ fn language_drives_the_full_stack() {
     assert_eq!(summary.query_results.len(), 2);
     // Multiple derivation paths (direct sample + via the finer grid) may
     // repeat the answer; what matters is provability.
-    assert!(!summary.query_results[0].is_empty(), "beacon sampled at coarse");
-    assert_eq!(summary.query_results[1].len(), 1, "point inside water patch");
+    assert!(
+        !summary.query_results[0].is_empty(),
+        "beacon sampled at coarse"
+    );
+    assert_eq!(
+        summary.query_results[1].len(),
+        1,
+        "point inside water patch"
+    );
 }
 
 /// Generated network → facts → the paper's road logic, end to end, with
@@ -44,13 +51,19 @@ fn network_roundtrip_matches_ground_truth() {
     let mut spec = Specification::new();
     for road in &network.roads {
         let rname = format!("road{}", road.id);
-        spec.assert_fact(FactPat::new("road").arg(rname.as_str())).unwrap();
+        spec.assert_fact(FactPat::new("road").arg(rname.as_str()))
+            .unwrap();
         for bridge in &road.bridges {
             let bname = format!("bridge{}", bridge.id);
-            spec.assert_fact(FactPat::new("bridge").arg(bname.as_str()).arg(rname.as_str()))
-                .unwrap();
+            spec.assert_fact(
+                FactPat::new("bridge")
+                    .arg(bname.as_str())
+                    .arg(rname.as_str()),
+            )
+            .unwrap();
             if bridge.open {
-                spec.assert_fact(FactPat::new("open").arg(bname.as_str())).unwrap();
+                spec.assert_fact(FactPat::new("open").arg(bname.as_str()))
+                    .unwrap();
             }
         }
     }
@@ -92,16 +105,18 @@ fn rendering_agrees_with_ground_truth() {
         for i in 0..8 {
             if terrain.is_water(i, j) {
                 spec.assert_fact(
-                    FactPat::new("water").arg("sea").space(SpaceQual::AreaUniform {
-                        res: Pat::atom("g"),
-                        at: Pat::app(
-                            "pt",
-                            vec![
-                                Pat::Float(f64::from(i) + 0.5),
-                                Pat::Float(f64::from(j) + 0.5),
-                            ],
-                        ),
-                    }),
+                    FactPat::new("water")
+                        .arg("sea")
+                        .space(SpaceQual::AreaUniform {
+                            res: Pat::atom("g"),
+                            at: Pat::app(
+                                "pt",
+                                vec![
+                                    Pat::Float(f64::from(i) + 0.5),
+                                    Pat::Float(f64::from(j) + 0.5),
+                                ],
+                            ),
+                        }),
                 )
                 .unwrap();
             }
@@ -140,7 +155,10 @@ fn spacetime_composition_through_language() {
     let summary = Loader::with_spatial(&mut spec, &reg).load_str(src).unwrap();
     // Two derivation orders (space-then-time, time-then-space) repeat
     // the ground answer; provability is the claim.
-    assert!(!summary.query_results[0].is_empty(), "inside patch & interval");
+    assert!(
+        !summary.query_results[0].is_empty(),
+        "inside patch & interval"
+    );
     assert_eq!(summary.query_results[1].len(), 0, "outside interval");
     assert_eq!(summary.query_results[2].len(), 0, "outside patch");
 }
@@ -165,7 +183,9 @@ fn runaway_specification_reports_step_limit() {
     ));
     assert!(matches!(
         result,
-        Err(SpecError::Engine(gdp::engine::EngineError::StepLimit { .. }))
+        Err(SpecError::Engine(
+            gdp::engine::EngineError::StepLimit { .. }
+        ))
     ));
 }
 

@@ -130,14 +130,14 @@ proptest! {
 // ---------- interval algebra --------------------------------------------------
 
 fn arb_interval() -> impl Strategy<Value = Interval> {
-    (-100.0f64..100.0, 0.0f64..50.0, any::<bool>(), any::<bool>()).prop_map(
-        |(lo, len, lc, hc)| Interval {
+    (-100.0f64..100.0, 0.0f64..50.0, any::<bool>(), any::<bool>()).prop_map(|(lo, len, lc, hc)| {
+        Interval {
             lo,
             hi: lo + len,
             lo_closed: lc,
             hi_closed: hc,
-        },
-    )
+        }
+    })
 }
 
 proptest! {

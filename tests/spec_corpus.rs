@@ -63,7 +63,9 @@ fn survey_quality_loads_and_validates() {
 fn missouri_constraints_are_world_view_relative() {
     let source = std::fs::read_to_string(corpus_dir().join("missouri.gdp")).unwrap();
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    Loader::with_spatial(&mut spec, &reg).load_str(&source).unwrap();
+    Loader::with_spatial(&mut spec, &reg)
+        .load_str(&source)
+        .unwrap();
     assert!(spec.check_consistency().unwrap().is_empty());
     spec.set_world_view(&["omega", "folklore"]).unwrap();
     let violations = spec.check_consistency().unwrap();
@@ -79,7 +81,9 @@ fn missouri_constraints_are_world_view_relative() {
 fn survey_quality_flags_doubtful_station() {
     let source = std::fs::read_to_string(corpus_dir().join("survey_quality.gdp")).unwrap();
     let (mut spec, reg) = gdp::standard_spec().unwrap();
-    Loader::with_spatial(&mut spec, &reg).load_str(&source).unwrap();
+    Loader::with_spatial(&mut spec, &reg)
+        .load_str(&source)
+        .unwrap();
     let violations = spec.check_consistency().unwrap();
     assert_eq!(violations.len(), 1);
     assert_eq!(

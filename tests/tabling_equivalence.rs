@@ -1,0 +1,223 @@
+//! Tabled resolution must be observationally equivalent to plain SLD
+//! resolution: for any knowledge base and goal, the solution set (with
+//! duplicates) is identical with tabling on and off — including goals
+//! under negation-as-failure, whose soundness depends on the table only
+//! ever serving *completed* answer sets.
+
+use proptest::prelude::*;
+
+use gdp::engine::{Budget, KnowledgeBase, Solver, Term};
+
+const ATOMS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// The rule packs every generated KB carries, spanning the constructs the
+/// solver treats specially: conjunction, disjunction, recursion, and NAF.
+fn install_rules(kb: &mut KnowledgeBase) {
+    let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+    // r(X) :- p(X), q(X).
+    kb.assert_clause(
+        Term::pred("r", vec![x.clone()]),
+        Term::and(
+            Term::pred("p", vec![x.clone()]),
+            Term::pred("q", vec![x.clone()]),
+        ),
+    );
+    // s(X, Y) :- e(X, Y) ; e(Y, X).
+    kb.assert_clause(
+        Term::pred("s", vec![x.clone(), y.clone()]),
+        Term::or(
+            Term::pred("e", vec![x.clone(), y.clone()]),
+            Term::pred("e", vec![y.clone(), x.clone()]),
+        ),
+    );
+    // t(X, Y) :- e(X, Y) ; (e(X, Z), t(Z, Y)).   (recursive reachability)
+    kb.assert_clause(
+        Term::pred("t", vec![x.clone(), y.clone()]),
+        Term::or(
+            Term::pred("e", vec![x.clone(), y.clone()]),
+            Term::and(
+                Term::pred("e", vec![x.clone(), z.clone()]),
+                Term::pred("t", vec![z.clone(), y.clone()]),
+            ),
+        ),
+    );
+    // u(X) :- p(X), not(q(X)).   (NAF over a tabled predicate)
+    kb.assert_clause(
+        Term::pred("u", vec![x.clone()]),
+        Term::and(
+            Term::pred("p", vec![x.clone()]),
+            Term::not(Term::pred("q", vec![x])),
+        ),
+    );
+}
+
+fn build_kb(unary: &[(u8, u8)], edges: &[(u8, u8)], tabled: bool) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    for &(p, a) in unary {
+        let name = if p == 0 { "p" } else { "q" };
+        kb.assert_fact(Term::pred(
+            name,
+            vec![Term::atom(ATOMS[a as usize % ATOMS.len()])],
+        ));
+    }
+    for &(a, b) in edges {
+        let (a, b) = (a as usize % ATOMS.len(), b as usize % ATOMS.len());
+        // Keep the edge relation acyclic (edges point "up" the atom
+        // order): the recursive reachability rule `t/2` diverges on
+        // cycles under plain SLD, and the property needs both solvers to
+        // terminate.
+        if a >= b {
+            continue;
+        }
+        kb.assert_fact(Term::pred(
+            "e",
+            vec![Term::atom(ATOMS[a]), Term::atom(ATOMS[b])],
+        ));
+    }
+    install_rules(&mut kb);
+    if tabled {
+        kb.set_tabling(true);
+        kb.set_table_all(true);
+    }
+    kb
+}
+
+fn arb_goal() -> impl Strategy<Value = Term> {
+    let atom = (0usize..ATOMS.len())
+        .prop_map(|i| Term::atom(ATOMS[i]))
+        .boxed();
+    prop_oneof![
+        Just(Term::pred("r", vec![Term::var(0)])),
+        Just(Term::pred("s", vec![Term::var(0), Term::var(1)])),
+        Just(Term::pred("u", vec![Term::var(0)])),
+        atom.clone()
+            .prop_map(|a| Term::pred("t", vec![a, Term::var(0)])),
+        atom.clone()
+            .prop_map(|a| Term::not(Term::pred("r", vec![a]))),
+        atom.clone()
+            .prop_map(|a| Term::not(Term::pred("t", vec![a, Term::var(0)]))),
+        (atom.clone(), atom).prop_map(|(a, b)| Term::and(
+            Term::pred("t", vec![a, Term::var(0)]),
+            Term::not(Term::pred("e", vec![Term::var(0), b])),
+        )),
+    ]
+}
+
+/// Render a solution set order-insensitively.
+fn solution_fingerprint(solver: &Solver<'_>, goal: &Term) -> Vec<String> {
+    let mut rendered: Vec<String> = solver
+        .solve_all(goal.clone())
+        .expect("solve within budget")
+        .iter()
+        .map(|sol| {
+            sol.bindings()
+                .iter()
+                .map(|(v, t)| format!("{v:?}={t}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect();
+    rendered.sort();
+    rendered
+}
+
+proptest! {
+    /// For random fact sets and goals, tabling changes no observable
+    /// outcome: same solution multiset, same provability, same count.
+    #[test]
+    fn tabled_equals_untabled(
+        unary in prop::collection::vec((0u8..2, 0u8..5), 0..12),
+        edges in prop::collection::vec((0u8..5, 0u8..5), 0..10),
+        goals in prop::collection::vec(arb_goal(), 1..5),
+    ) {
+        let plain_kb = build_kb(&unary, &edges, false);
+        let tabled_kb = build_kb(&unary, &edges, true);
+        for goal in &goals {
+            // Fresh solvers per goal: the budget is shared across all
+            // queries of one solver instance.
+            let plain = Solver::new(&plain_kb, Budget::default());
+            let tabled = Solver::new(&tabled_kb, Budget::default());
+            prop_assert_eq!(
+                solution_fingerprint(&plain, goal),
+                solution_fingerprint(&tabled, goal),
+                "solution sets diverge on {}", goal
+            );
+            // Replay path: the second evaluation is served from the table.
+            prop_assert_eq!(
+                solution_fingerprint(&plain, goal),
+                solution_fingerprint(&tabled, goal),
+                "replayed solution sets diverge on {}", goal
+            );
+            prop_assert_eq!(
+                plain.prove(goal.clone()).unwrap(),
+                tabled.prove(goal.clone()).unwrap()
+            );
+            prop_assert_eq!(
+                plain.count(goal.clone()).unwrap(),
+                tabled.count(goal.clone()).unwrap()
+            );
+        }
+    }
+}
+
+/// Mutating the knowledge base between queries bumps its epoch; stale
+/// table entries must be invalidated, never replayed.
+#[test]
+fn epoch_invalidation_between_queries() {
+    let mut kb = build_kb(&[(0, 0), (0, 1), (1, 0)], &[(0, 1)], true);
+    let goal = Term::pred("r", vec![Term::var(0)]);
+    // r(X) ≡ p(X) ∧ q(X): only `a` qualifies initially.
+    assert_eq!(
+        Solver::new(&kb, Budget::default())
+            .solve_all(goal.clone())
+            .unwrap()
+            .len(),
+        1
+    );
+    let epoch_before = kb.epoch();
+    kb.assert_fact(Term::pred("q", vec![Term::atom("b")]));
+    assert!(kb.epoch() > epoch_before, "assert must bump the epoch");
+    assert_eq!(
+        Solver::new(&kb, Budget::default())
+            .solve_all(goal.clone())
+            .unwrap()
+            .len(),
+        2,
+        "stale table entry served after assert"
+    );
+    kb.retract_fact(&Term::pred("q", vec![Term::atom("a")]));
+    assert_eq!(
+        Solver::new(&kb, Budget::default())
+            .solve_all(goal)
+            .unwrap()
+            .len(),
+        1,
+        "stale table entry served after retract"
+    );
+    assert!(kb.table().stats().invalidations >= 1);
+}
+
+/// Tabling marks survive the whole stack: a `Specification` with tabling
+/// enabled must answer exactly as one without, and expose the solver's
+/// execution counters after each query.
+#[test]
+fn specification_level_equivalence() {
+    use gdp::core::{FactPat, Pat, Specification};
+
+    let build = |tabling: bool| -> Specification {
+        let (mut spec, _reg) = gdp::standard_spec().expect("standard spec");
+        spec.enable_tabling(tabling);
+        spec.assert_fact(FactPat::new("road").arg("r1")).unwrap();
+        spec.assert_fact(FactPat::new("road").arg("r2")).unwrap();
+        spec
+    };
+    let plain = build(false);
+    let tabled = build(true);
+    let pat = || FactPat::new("road").arg(Pat::var("X"));
+    assert_eq!(plain.query(pat()).unwrap(), tabled.query(pat()).unwrap());
+    // Second query replays; answers must not change.
+    assert_eq!(plain.query(pat()).unwrap(), tabled.query(pat()).unwrap());
+    assert!(tabled.tabling_enabled());
+    assert!(!plain.tabling_enabled());
+    assert!(plain.solver_stats().steps > 0);
+}

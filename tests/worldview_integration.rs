@@ -28,9 +28,11 @@ fn multi_model_reinterpretation() {
     .unwrap();
 
     // Each survey alone is consistent with the plan or not:
-    spec.set_world_view(&["omega", "survey62", "planning"]).unwrap();
+    spec.set_world_view(&["omega", "survey62", "planning"])
+        .unwrap();
     assert_eq!(spec.check_consistency().unwrap().len(), 1);
-    spec.set_world_view(&["omega", "survey84", "planning"]).unwrap();
+    spec.set_world_view(&["omega", "survey84", "planning"])
+        .unwrap();
     assert!(spec.check_consistency().unwrap().is_empty());
 
     // Queries see exactly the active models' facts.
@@ -56,11 +58,17 @@ fn virtual_facts_follow_world_view() {
         "#,
     )
     .unwrap();
-    assert!(!spec.provable(FactPat::new("unusable").arg("bridge1")).unwrap());
+    assert!(!spec
+        .provable(FactPat::new("unusable").arg("bridge1"))
+        .unwrap());
     spec.set_world_view(&["omega", "field"]).unwrap();
-    assert!(spec.provable(FactPat::new("unusable").arg("bridge1")).unwrap());
+    assert!(spec
+        .provable(FactPat::new("unusable").arg("bridge1"))
+        .unwrap());
     spec.set_world_view(&["omega"]).unwrap();
-    assert!(!spec.provable(FactPat::new("unusable").arg("bridge1")).unwrap());
+    assert!(!spec
+        .provable(FactPat::new("unusable").arg("bridge1"))
+        .unwrap());
 }
 
 /// Meta-models compose: threshold promotion (fuzzy) feeding the temporal
@@ -81,9 +89,9 @@ fn meta_models_compose_across_domains() {
         0.9,
     )
     .unwrap();
-    let decade = FactPat::new("sighted").arg("eagle").time(TimeQual::IntervalUniform(
-        IntervalPat::closed(1970, 1980),
-    ));
+    let decade = FactPat::new("sighted")
+        .arg("eagle")
+        .time(TimeQual::IntervalUniform(IntervalPat::closed(1970, 1980)));
 
     // Nothing active: not provable.
     assert!(!spec.provable(decade.clone()).unwrap());
@@ -106,17 +114,26 @@ fn meta_view_wholesale_replacement() {
     gdp::temporal::install_default(&mut spec).unwrap();
     let initial: Vec<String> = spec.meta_view().to_vec();
     assert!(initial.contains(&"temporal_uniform".to_string()));
-    spec.set_meta_view(&["temporal_simple", "now_model"]).unwrap();
+    spec.set_meta_view(&["temporal_simple", "now_model"])
+        .unwrap();
     assert_eq!(spec.meta_view().len(), 2);
     // temporal_uniform rules are gone: interval facts no longer spread.
     load(&mut spec, "&u[1970, 1980] open(b1).").unwrap();
     assert!(!spec
-        .provable(FactPat::new("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .provable(
+            FactPat::new("open")
+                .arg("b1")
+                .time(TimeQual::At(Pat::Int(1975)))
+        )
         .unwrap());
     spec.set_meta_view(&["temporal_simple", "now_model", "temporal_uniform"])
         .unwrap();
     assert!(spec
-        .provable(FactPat::new("open").arg("b1").time(TimeQual::At(Pat::Int(1975))))
+        .provable(
+            FactPat::new("open")
+                .arg("b1")
+                .time(TimeQual::At(Pat::Int(1975)))
+        )
         .unwrap());
 }
 
@@ -141,12 +158,10 @@ fn unified_accuracy_is_world_view_relative() {
     let mut spec = Specification::new();
     spec.register_meta_model(unified_fuzzy(UnifyPolicy::Max));
     spec.activate_meta_model("unified_fuzzy_max").unwrap();
-    spec.assert_fuzzy_fact(FactPat::new("clear").arg("pass"), 0.4).unwrap();
-    spec.assert_fuzzy_fact(
-        FactPat::new("clear").arg("pass").model("optimists"),
-        0.95,
-    )
-    .unwrap();
+    spec.assert_fuzzy_fact(FactPat::new("clear").arg("pass"), 0.4)
+        .unwrap();
+    spec.assert_fuzzy_fact(FactPat::new("clear").arg("pass").model("optimists"), 0.95)
+        .unwrap();
     let unified = |spec: &Specification| -> Option<f64> {
         let answers = spec
             .solve_goal(Term::pred(
