@@ -1,0 +1,92 @@
+//! T11 — parallel world-view audit and batch solving: wall-clock scaling
+//! of `Specification::audit_world_views` and `ParallelSolver::solve_batch`
+//! over 1/2/4/8 workers.
+//!
+//! The audit workload (`audit_world`) gives every world-view member an
+//! equally-sized, independent error derivation (a quadratic pair scan per
+//! model), so the per-model goals the audit fans out are a balanced batch:
+//! the speedup at `w` workers approaches `min(w, models)` minus the merge
+//! and thread-spawn overhead. The batch workload stresses the same
+//! machinery on plain engine goals (transitive closure over a chain).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::audit_world;
+
+fn bench_audit_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T11_parallel_audit");
+    group.sample_size(10);
+    let spec = audit_world(8, 120);
+    // Baseline: the sequential checker the audit must agree with.
+    let expected = spec.check_consistency().expect("sequential audit");
+    assert_eq!(expected.len(), 8, "one planted violation per model");
+    group.bench_function("sequential_check", |b| {
+        b.iter(|| {
+            let violations = spec.check_consistency().unwrap();
+            assert_eq!(violations.len(), 8);
+        });
+    });
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("audit", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let report = spec.audit_world_views(workers).unwrap();
+                    assert_eq!(report.violations.len(), 8);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_batch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T11_parallel_batch");
+    group.sample_size(10);
+    // A chain graph: t/2 reachability from node i enumerates the whole
+    // suffix, so earlier-rooted goals are more expensive — a deliberately
+    // *unbalanced* batch that exercises the work-stealing cursor.
+    let mut kb = KnowledgeBase::new();
+    let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+    kb.assert_clause(
+        Term::pred("t", vec![x.clone(), y.clone()]),
+        Term::or(
+            Term::pred("e", vec![x.clone(), y.clone()]),
+            Term::and(
+                Term::pred("e", vec![x.clone(), z.clone()]),
+                Term::pred("t", vec![z, y]),
+            ),
+        ),
+    );
+    let n = 160usize;
+    for i in 0..n - 1 {
+        kb.assert_fact(Term::pred(
+            "e",
+            vec![
+                Term::atom(&format!("n{i}")),
+                Term::atom(&format!("n{}", i + 1)),
+            ],
+        ));
+    }
+    let goals: Vec<Term> = (0..32)
+        .map(|i| Term::pred("t", vec![Term::atom(&format!("n{}", i * 4)), Term::var(0)]))
+        .collect();
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("solve_batch", workers),
+            &workers,
+            |b, &workers| {
+                let par = ParallelSolver::new(&kb, workers);
+                b.iter(|| {
+                    let results = par.solve_batch(&goals);
+                    assert!(results.iter().all(|r| r.is_ok()));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit_scaling, bench_batch_scaling);
+criterion_main!(benches);

@@ -178,6 +178,64 @@ pub fn model_world(m: usize, facts_per_model: usize) -> Specification {
     spec
 }
 
+/// T11: `models` survey models, each holding `readings` integer readings
+/// and a model-scoped pair constraint over them. The world view activates
+/// every model, so a full audit has one independent, equally-sized
+/// error-derivation per member — the workload the parallel audit
+/// distributes across workers.
+///
+/// Each model plants exactly one violating pair (the readings `0` and
+/// `readings - 1` are `readings - 1` apart), so the audit must do the full
+/// quadratic pair scan *and* its answer count is checkable.
+pub fn audit_world(models: usize, readings: usize) -> Specification {
+    let mut spec = Specification::new();
+    let mut view: Vec<String> = vec!["omega".to_string()];
+    for m in 0..models {
+        let mname = format!("m{m}");
+        spec.declare_model(&mname);
+        view.push(mname.clone());
+        for i in 0..readings {
+            spec.assert_fact(
+                FactPat::new("reading")
+                    .arg(Pat::Atom(format!("o{m}_{i}")))
+                    .arg(Pat::Int(i as i64))
+                    .model(Pat::Atom(mname.clone())),
+            )
+            .expect("ground fact");
+        }
+        spec.constrain(
+            Constraint::new("reading_gap")
+                .model(Pat::Atom(mname.clone()))
+                .witness(Pat::var("X"))
+                .witness(Pat::var("Y"))
+                .when(Formula::all(vec![
+                    Formula::fact(
+                        FactPat::new("reading")
+                            .arg(Pat::var("X"))
+                            .arg(Pat::var("V1"))
+                            .model(Pat::Atom(mname.clone())),
+                    ),
+                    Formula::fact(
+                        FactPat::new("reading")
+                            .arg(Pat::var("Y"))
+                            .arg(Pat::var("V2"))
+                            .model(Pat::Atom(mname.clone())),
+                    ),
+                    Formula::Cmp(CmpOp::Lt, Pat::var("V1"), Pat::var("V2")),
+                    Formula::Cmp(
+                        CmpOp::NumEq,
+                        Pat::var("V2"),
+                        Pat::app("+", vec![Pat::var("V1"), Pat::Int(readings as i64 - 1)]),
+                    ),
+                ])),
+        )
+        .expect("safe constraint");
+    }
+    let view_refs: Vec<&str> = view.iter().map(String::as_str).collect();
+    spec.set_world_view(&view_refs).expect("declared models");
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,6 +308,15 @@ mod tests {
             5
         );
         assert!(!spec.provable(FactPat::new("flooded").arg("o0")).unwrap());
+    }
+
+    #[test]
+    fn audit_world_plants_one_violation_per_model() {
+        let spec = audit_world(4, 20);
+        let violations = spec.check_consistency().unwrap();
+        assert_eq!(violations.len(), 4);
+        let report = spec.audit_world_views(4).unwrap();
+        assert_eq!(report.violations, violations);
     }
 
     #[test]

@@ -260,43 +260,27 @@ fn explain_ground(spec: &Specification, goal: &Term, depth: usize) -> SpecResult
             }
             return explain_ground(spec, &args[1], depth + 1);
         }
-        if f == symbols::not() && args.len() == 1 {
+        if (f == symbols::not() || f == symbols::absent()) && args.len() == 1 {
+            // `absent((C, absent(T)))` is the compiled form of
+            // `forall(C, T)`; decode it back into the quantifier so the
+            // proof tree shows one conclusion proof per condition instance.
+            if f == symbols::absent() {
+                if let Term::Compound(c, conj) = &args[0] {
+                    if *c == symbols::and() && conj.len() == 2 {
+                        if let Term::Compound(inner, t) = &conj[1] {
+                            if *inner == symbols::absent() && t.len() == 1 {
+                                return explain_forall(spec, goal, &conj[0], &t[0], depth);
+                            }
+                        }
+                    }
+                }
+            }
             return Ok(Proof::Naf {
                 goal: args[0].clone(),
             });
         }
         if f == symbols::forall() && args.len() == 2 {
-            // One child proof of the conclusion per condition instance.
-            let solver = Solver::new(spec.kb(), Budget::default());
-            let cond = args[0].clone();
-            let cond_solutions = solver.solve_all(cond.clone())?;
-            let mut children = Vec::new();
-            for sol in cond_solutions {
-                let mut then = args[1].clone();
-                let mut cond_inst = cond.clone();
-                for (var, value) in sol.bindings() {
-                    then = substitute(&then, *var, value);
-                    cond_inst = substitute(&cond_inst, *var, value);
-                }
-                // Residual variables in the conclusion (e.g. the fresh
-                // model variable of a `visible` lookup) are grounded by
-                // its own first solution before recursing.
-                if !then.is_ground() {
-                    let sols = solver.solve(then.clone(), 1)?;
-                    if let Some(sol) = sols.first() {
-                        for (var, value) in sol.bindings() {
-                            then = substitute(&then, *var, value);
-                        }
-                    }
-                }
-                if then.is_ground() {
-                    children.push(explain_ground(spec, &then, depth + 1)?);
-                }
-            }
-            return Ok(Proof::Forall {
-                goal: goal.clone(),
-                children,
-            });
+            return explain_forall(spec, goal, &args[0], &args[1], depth);
         }
     }
 
@@ -354,6 +338,45 @@ fn explain_ground(spec: &Specification, goal: &Term, depth: usize) -> SpecResult
 }
 
 /// Explain a (ground) conjunction as a flat list of child proofs.
+/// Explain a held universal quantifier (`forall(C, T)` or its compiled
+/// `absent((C, absent(T)))` form): one child proof of the conclusion per
+/// condition instance.
+fn explain_forall(
+    spec: &Specification,
+    goal: &Term,
+    cond: &Term,
+    then_tpl: &Term,
+    depth: usize,
+) -> SpecResult<Proof> {
+    let solver = Solver::new(spec.kb(), Budget::default());
+    let cond_solutions = solver.solve_all(cond.clone())?;
+    let mut children = Vec::new();
+    for sol in cond_solutions {
+        let mut then = then_tpl.clone();
+        for (var, value) in sol.bindings() {
+            then = substitute(&then, *var, value);
+        }
+        // Residual variables in the conclusion (e.g. the fresh model
+        // variable of a `visible` lookup) are grounded by its own first
+        // solution before recursing.
+        if !then.is_ground() {
+            let sols = solver.solve(then.clone(), 1)?;
+            if let Some(sol) = sols.first() {
+                for (var, value) in sol.bindings() {
+                    then = substitute(&then, *var, value);
+                }
+            }
+        }
+        if then.is_ground() {
+            children.push(explain_ground(spec, &then, depth + 1)?);
+        }
+    }
+    Ok(Proof::Forall {
+        goal: goal.clone(),
+        children,
+    })
+}
+
 fn explain_conjuncts(spec: &Specification, body: &Term, depth: usize) -> SpecResult<Vec<Proof>> {
     if let Some(f) = body.functor() {
         if f == symbols::and() && body.args().len() == 2 {

@@ -173,8 +173,19 @@ impl Formula {
             Formula::FuzzyFact(f, acc) => f.compile_fuzzy(vt, acc, Target::Visible),
             Formula::And(a, b) => Term::and(a.compile(vt), b.compile(vt)),
             Formula::Or(a, b) => Term::or(a.compile(vt), b.compile(vt)),
-            Formula::Not(f) => Term::not(f.compile(vt)),
-            Formula::Forall(c, t) => Term::forall(c.compile(vt), t.compile(vt)),
+            // User-level negation compiles to the engine's *existential*
+            // negation `absent/1`, not strict `not/1`: the compiled body is
+            // a `visible/5` lookup whose model variable is existential by
+            // construction ("not visible in any active model"), so the
+            // strict form would flounder on every negated literal. The
+            // paper's I2 ⊆ I range restriction on *user* variables is
+            // enforced statically by [`Formula::check_safety`] instead.
+            Formula::Not(f) => Term::absent(f.compile(vt)),
+            // Same for forall: absent((C, absent(T))) — no solution of the
+            // condition escapes the conclusion in any active model.
+            Formula::Forall(c, t) => {
+                Term::absent(Term::and(c.compile(vt), Term::absent(t.compile(vt))))
+            }
             Formula::Cmp(op, a, b) => Term::pred(op.functor(), vec![vt.compile(a), vt.compile(b)]),
             Formula::Unify(a, b) => Term::unify(vt.compile(a), vt.compile(b)),
             Formula::Is(a, b) => Term::pred("is", vec![vt.compile(a), vt.compile(b)]),
@@ -490,7 +501,9 @@ mod tests {
         let t = body.compile(&mut vt);
         let s = t.to_string();
         assert!(s.contains("visible("));
-        assert!(s.contains("not(visible("));
+        // Negated lookups use the existential form: the model variable of
+        // `visible/5` is unbound by design, which strict `not/1` rejects.
+        assert!(s.contains("absent(visible("), "compiled: {s}");
     }
 
     #[test]

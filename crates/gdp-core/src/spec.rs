@@ -70,6 +70,22 @@ pub struct Violation {
     pub time: Term,
 }
 
+/// The result of a parallel world-view audit
+/// ([`Specification::audit_world_views`]).
+#[derive(Clone, Debug)]
+pub struct AuditReport {
+    /// All violations, deduplicated, in the sequential audit's order
+    /// (world-view order, then derivation order within each model).
+    pub violations: Vec<Violation>,
+    /// Violations each world-view member contributed (after global
+    /// deduplication), in world-view order.
+    pub per_model: Vec<(String, usize)>,
+    /// Execution counters merged across all workers.
+    pub stats: SolverStats,
+    /// The worker count actually used.
+    pub workers: usize,
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}'ERROR({}", self.model, self.error_type)?;
@@ -709,13 +725,28 @@ impl Specification {
 
     /// All answers to an arbitrary formula.
     pub fn satisfy(&self, formula: &Formula) -> SpecResult<Vec<Answer>> {
+        Self::check_query_safety(formula)?;
         let mut vt = VarTable::new();
         let goal = formula.compile(&mut vt);
         self.run_query(goal, vt, usize::MAX)
     }
 
+    /// Queries obey the same range restrictions as rule bodies (with no
+    /// head to export): a top-level `not(open(X))` with free `X` is the
+    /// floundering query the paper's I2 ⊆ I side condition forbids, and is
+    /// reported here rather than silently answered closed-world.
+    fn check_query_safety(formula: &Formula) -> SpecResult<()> {
+        formula
+            .check_safety(&[])
+            .map_err(|reason| SpecError::UnsafeRule {
+                rule: "?-".to_string(),
+                reason,
+            })
+    }
+
     /// Is the formula satisfiable under the active world view?
     pub fn satisfiable(&self, formula: &Formula) -> SpecResult<bool> {
+        Self::check_query_safety(formula)?;
         let mut vt = VarTable::new();
         let goal = formula.compile(&mut vt);
         let solver = Solver::new(&self.kb, self.budget());
@@ -769,30 +800,98 @@ impl Specification {
         let solver = Solver::new(&self.kb, self.budget());
         let solutions = solver.solve_all(goal);
         self.record_stats(&solver);
-        let solutions = solutions?;
         let mut out = Vec::new();
-        for sol in solutions {
+        for sol in solutions? {
             let model = sol.get(gdp_engine::Var(0)).cloned().unwrap_or(Term::var(0));
-            let space = sol.get(gdp_engine::Var(1)).cloned().unwrap_or(Term::var(1));
-            let time = sol.get(gdp_engine::Var(2)).cloned().unwrap_or(Term::var(2));
-            let args = sol.get(gdp_engine::Var(3)).cloned().unwrap_or(Term::nil());
-            let items = list_to_vec(&args).unwrap_or_default();
-            let (error_type, witnesses) = match items.split_first() {
-                Some((t, w)) => (t.clone(), w.to_vec()),
-                None => (Term::atom("unknown"), Vec::new()),
-            };
-            let v = Violation {
-                model,
-                error_type,
-                witnesses,
-                space,
-                time,
-            };
+            let v = Self::violation_from(model, &sol);
             if !out.contains(&v) {
                 out.push(v);
             }
         }
         Ok(out)
+    }
+
+    /// Decode one `visible(M, S, T, error, A)` solution into a
+    /// [`Violation`]. `model` is supplied by the caller: the sequential
+    /// audit reads it from the solution's first variable, the per-model
+    /// parallel audit already knows it (the goal carries it ground).
+    fn violation_from(model: Term, sol: &gdp_engine::Solution) -> Violation {
+        let space = sol.get(gdp_engine::Var(1)).cloned().unwrap_or(Term::var(1));
+        let time = sol.get(gdp_engine::Var(2)).cloned().unwrap_or(Term::var(2));
+        let args = sol.get(gdp_engine::Var(3)).cloned().unwrap_or(Term::nil());
+        let items = list_to_vec(&args).unwrap_or_default();
+        let (error_type, witnesses) = match items.split_first() {
+            Some((t, w)) => (t.clone(), w.to_vec()),
+            None => (Term::atom("unknown"), Vec::new()),
+        };
+        Violation {
+            model,
+            error_type,
+            witnesses,
+            space,
+            time,
+        }
+    }
+
+    /// The parallel counterpart of [`Self::check_consistency`]: fan one
+    /// `ERROR`-derivation goal per world-view member across `workers`
+    /// threads (the paper's per-world-view consistency story, §III.C/§VI,
+    /// is an independent-goal fan-out: each model's constraint violations
+    /// derive without reference to the others').
+    ///
+    /// The merge is deterministic and reproduces the sequential audit
+    /// exactly: the kernel's `visible/5` clause enumerates models in
+    /// `active_model` assertion order — which *is* the world-view order —
+    /// so concatenating per-model answers in world-view order and then
+    /// deduplicating globally yields the identical violation list,
+    /// byte-for-byte, at any worker count.
+    ///
+    /// The step budget is global: each worker receives an equal share, so
+    /// the audit can consume at most the same budget as the sequential
+    /// check. Merged per-worker counters are recorded as the
+    /// specification's last stats and returned in the report.
+    pub fn audit_world_views(&self, workers: usize) -> SpecResult<AuditReport> {
+        let goals: Vec<Term> = self
+            .world_view
+            .iter()
+            .map(|m| {
+                reify::visible(
+                    Term::atom(m),
+                    Term::var(1),
+                    Term::var(2),
+                    Term::atom(ERROR_PRED),
+                    Term::var(3),
+                )
+            })
+            .collect();
+        let par = gdp_engine::ParallelSolver::with_budget(
+            &self.kb,
+            workers,
+            self.step_limit,
+            self.depth_limit,
+        );
+        let results = par.solve_batch(&goals);
+        let stats = par.stats();
+        *self.last_stats.lock() = stats;
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut per_model = Vec::with_capacity(self.world_view.len());
+        for (name, result) in self.world_view.iter().zip(results) {
+            let mut count = 0usize;
+            for sol in result? {
+                let v = Self::violation_from(Term::atom(name), &sol);
+                if !violations.contains(&v) {
+                    violations.push(v);
+                    count += 1;
+                }
+            }
+            per_model.push((name.clone(), count));
+        }
+        Ok(AuditReport {
+            violations,
+            per_model,
+            stats,
+            workers: par.workers(),
+        })
     }
 
     // ----- low-level access (sibling crates, diagnostics) --------------------

@@ -67,6 +67,33 @@ fn checked_float(v: f64, op: &'static str) -> EngineResult<Num> {
     }
 }
 
+/// Convert an already-rounded float to `i64`, rejecting NaN and values
+/// outside the representable range instead of letting `as` turn NaN into 0
+/// and saturate everything else (the dual of [`checked_float`]).
+///
+/// The range test is exact in f64: `-2^63` is representable, and every
+/// float `< 2^63` (the first unrepresentable bound — `i64::MAX` itself
+/// rounds *up* to `2^63` as a float) fits after rounding.
+pub(crate) fn checked_int(v: f64, op: &'static str) -> EngineResult<Num> {
+    if v.is_nan() {
+        Err(EngineError::TypeError {
+            context: op,
+            expected: "a defined real result",
+            found: Term::atom("nan"),
+        })
+    } else {
+        // `i64::MIN as f64` is -2^63 exactly; its negation 2^63 is the
+        // first unrepresentable magnitude (`i64::MAX` itself rounds *up*
+        // to 2^63 as a float), hence `>=` above and `<` below.
+        let bound = -(i64::MIN as f64);
+        if v >= bound || v < -bound {
+            Err(EngineError::IntOverflow { op })
+        } else {
+            Ok(Num::Int(v as i64))
+        }
+    }
+}
+
 macro_rules! int_checked {
     ($op:literal, $a:expr, $b:expr, $method:ident) => {
         $a.$method($b)
@@ -196,9 +223,18 @@ fn eval_compound(store: &BindStore, f: Sym, args: &[Term], orig: &Term) -> Engin
                 Ok(Num::Float(v.sqrt()))
             }
         }),
-        ("floor", 1) => un(store, args, |a| Ok(Num::Int(a.as_f64().floor() as i64))),
-        ("ceiling", 1) => un(store, args, |a| Ok(Num::Int(a.as_f64().ceil() as i64))),
-        ("truncate", 1) => un(store, args, |a| Ok(Num::Int(a.as_f64().trunc() as i64))),
+        ("floor", 1) => un(store, args, |a| match a {
+            Num::Int(_) => Ok(a),
+            Num::Float(x) => checked_int(x.floor(), "floor"),
+        }),
+        ("ceiling", 1) => un(store, args, |a| match a {
+            Num::Int(_) => Ok(a),
+            Num::Float(x) => checked_int(x.ceil(), "ceiling"),
+        }),
+        ("truncate", 1) => un(store, args, |a| match a {
+            Num::Int(_) => Ok(a),
+            Num::Float(x) => checked_int(x.trunc(), "truncate"),
+        }),
         ("float", 1) => un(store, args, |a| Ok(Num::Float(a.as_f64()))),
         _ => Err(type_err(orig)),
     }
@@ -316,6 +352,65 @@ mod tests {
         assert_eq!(
             ev(op("+", Term::int(i64::MAX), Term::int(1))),
             Err(EngineError::IntOverflow { op: "+" })
+        );
+    }
+
+    #[test]
+    fn float_to_int_conversions_are_range_checked() {
+        // A value far beyond i64 must not saturate silently.
+        assert_eq!(
+            ev(Term::pred("floor", vec![Term::float(1.0e300)])),
+            Err(EngineError::IntOverflow { op: "floor" })
+        );
+        assert_eq!(
+            ev(Term::pred("ceiling", vec![Term::float(-1.0e300)])),
+            Err(EngineError::IntOverflow { op: "ceiling" })
+        );
+        assert_eq!(
+            ev(Term::pred("truncate", vec![Term::float(f64::INFINITY)])),
+            Err(EngineError::IntOverflow { op: "truncate" })
+        );
+    }
+
+    #[test]
+    fn float_to_int_boundary_cases() {
+        // i64::MIN is exactly representable as f64 and must convert.
+        assert_eq!(
+            ev(Term::pred("truncate", vec![Term::float(i64::MIN as f64)])),
+            Ok(Num::Int(i64::MIN))
+        );
+        // 2^63 (what `i64::MAX as f64` rounds up to) is the first
+        // unrepresentable magnitude; the old `as` cast saturated it.
+        assert_eq!(
+            ev(Term::pred("floor", vec![Term::float(i64::MAX as f64)])),
+            Err(EngineError::IntOverflow { op: "floor" })
+        );
+        // The largest float strictly below 2^63 still fits.
+        let below = 9.223372036854775e18_f64;
+        assert!(below < -(i64::MIN as f64));
+        assert!(matches!(
+            ev(Term::pred("floor", vec![Term::float(below)])),
+            Ok(Num::Int(_))
+        ));
+        // Integer arguments pass through untouched.
+        assert_eq!(
+            ev(Term::pred("floor", vec![Term::int(i64::MAX)])),
+            Ok(Num::Int(i64::MAX))
+        );
+    }
+
+    #[test]
+    fn nan_conversion_is_type_error() {
+        // NaN cannot enter through `Term::float` (the F64 wrapper rejects
+        // it), so exercise the checked conversion directly: the old `as`
+        // cast turned NaN into 0.
+        assert_eq!(
+            checked_int(f64::NAN, "truncate"),
+            Err(EngineError::TypeError {
+                context: "truncate",
+                expected: "a defined real result",
+                found: Term::atom("nan"),
+            })
         );
     }
 

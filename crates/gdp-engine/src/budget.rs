@@ -48,6 +48,16 @@ impl Budget {
         Budget::new(u64::MAX, u32::MAX)
     }
 
+    /// The configured step limit.
+    pub fn step_limit(&self) -> u64 {
+        self.step_limit
+    }
+
+    /// The configured depth limit.
+    pub fn depth_limit(&self) -> u32 {
+        self.depth_limit
+    }
+
     /// Consume one inference step.
     #[inline]
     pub fn step(&self) -> EngineResult<()> {

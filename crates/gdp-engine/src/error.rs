@@ -70,6 +70,17 @@ pub enum EngineError {
         /// The aggregate operator, e.g. "avg".
         op: &'static str,
     },
+    /// `not(G)` (or the negation inside a desugared `forall`) was reached
+    /// while `G` still contained unbound variables. Closed-world evaluation
+    /// of a non-ground negation is unsound (§III.A: "any fact that is not
+    /// provable is said to be undefined", not false-for-every-instance), so
+    /// the engine reports the floundering instead of silently answering.
+    /// Bind the variables first, or use `absent(G)` when the existential
+    /// closed-world reading ("no instance of G is derivable") is intended.
+    NonGroundNegation {
+        /// The (resolved) negated goal, still containing variables.
+        goal: Term,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -99,6 +110,13 @@ impl fmt::Display for EngineError {
             }
             EngineError::EmptyAggregate { op } => {
                 write!(f, "aggregate `{op}` undefined on an empty solution set")
+            }
+            EngineError::NonGroundNegation { goal } => {
+                write!(
+                    f,
+                    "non-ground goal under negation: `{goal}` (bind its variables \
+                     before `not`, or use `absent/1` for the existential reading)"
+                )
             }
         }
     }

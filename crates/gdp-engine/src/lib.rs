@@ -45,6 +45,7 @@ mod error;
 mod hash;
 mod kb;
 mod list;
+mod parallel;
 mod solver;
 mod symbol;
 pub mod table;
@@ -58,6 +59,7 @@ pub use error::{EngineError, EngineResult};
 pub use hash::{FxHashMap, FxHashSet};
 pub use kb::{Clause, GroupId, KnowledgeBase, NativeFn, NativeOutcome, PredKey};
 pub use list::{list_from_iter, list_to_vec, ListIter};
+pub use parallel::ParallelSolver;
 pub use solver::{Solution, SolutionIter, Solver, SolverStats};
 pub use symbol::{symbols, Sym};
 pub use table::{AnswerTable, CachedAnswer, TableStats};

@@ -1,0 +1,306 @@
+//! Parallel query evaluation over a shared, read-only knowledge base.
+//!
+//! The engine's execution model makes an embarrassingly-parallel layer
+//! cheap to state and prove correct:
+//!
+//! * A [`KnowledgeBase`] is *read-only during solving* — every mutation
+//!   takes `&mut self` (and bumps the epoch), so handing `&KnowledgeBase`
+//!   to N threads is data-race-free by construction. The shared interior
+//!   state is all behind locks: the answer table ([`crate::AnswerTable`])
+//!   sits in a `parking_lot::Mutex`, native predicates are
+//!   `Arc<dyn Fn … + Send + Sync>`, and the global symbol interner is an
+//!   `RwLock` (see the `const`-asserted bounds below).
+//! * A [`Solver`] is deliberately *single-threaded* — its budget and
+//!   counters are `Rc<Cell<_>>` — so each worker builds its own solver
+//!   over the shared base rather than sharing one.
+//!
+//! [`ParallelSolver::solve_batch`] fans a batch of independent goals over
+//! a configurable number of workers using [`std::thread::scope`]: scoped
+//! threads borrow the knowledge base directly (no `Arc` cloning, no 'static
+//! bound), and the scope's join is the natural merge point for per-worker
+//! [`SolverStats`]. Workers pull goals off a shared atomic cursor, so an
+//! expensive goal does not stall the rest of the batch behind a static
+//! partition.
+//!
+//! Budgets: each worker receives `step_limit / workers` steps (remainder
+//! distributed one-per-worker from the front), so the batch as a whole can
+//! consume at most the configured global step limit — the same contract a
+//! sequential solver gives one query stream. Depth limits are per worker;
+//! nesting depth is a per-derivation property, not a shared resource.
+//!
+//! Tabling: workers share the knowledge base's answer table. The table
+//! only ever serves *completed*, epoch-tagged answer sets behind its lock,
+//! so concurrent readers preserve the PR-1 invariants; two workers racing
+//! to complete the same call pattern both insert the identical answer set
+//! (enumeration over an immutable base is deterministic) and last-write
+//! simply wins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use parking_lot::Mutex;
+
+use crate::budget::Budget;
+use crate::error::EngineResult;
+use crate::kb::KnowledgeBase;
+use crate::solver::{Solution, Solver, SolverStats};
+use crate::term::Term;
+
+// The whole point of the audit: sharing a knowledge base (and its answer
+// table) across scoped threads is only sound if these bounds hold, so
+// state them where the compiler checks them on every build.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<KnowledgeBase>();
+    assert_send_sync::<crate::table::AnswerTable>();
+    assert_send_sync::<ParallelSolver<'_>>();
+};
+
+/// A fan-out driver: solves batches of independent goals across worker
+/// threads sharing one read-only [`KnowledgeBase`].
+///
+/// Construction is cheap; the threads live only for the duration of each
+/// [`solve_batch`](Self::solve_batch) call (scoped, not pooled — see
+/// DESIGN.md §6.8 for the trade-off).
+pub struct ParallelSolver<'kb> {
+    kb: &'kb KnowledgeBase,
+    workers: usize,
+    step_limit: u64,
+    depth_limit: u32,
+    stats: Mutex<SolverStats>,
+}
+
+impl<'kb> ParallelSolver<'kb> {
+    /// A parallel solver with the default per-batch budget (the same
+    /// limits [`Budget::default`] gives a sequential query stream).
+    ///
+    /// `workers == 0` is treated as 1.
+    pub fn new(kb: &'kb KnowledgeBase, workers: usize) -> ParallelSolver<'kb> {
+        let default = Budget::default();
+        Self::with_budget(kb, workers, default.step_limit(), default.depth_limit())
+    }
+
+    /// A parallel solver with an explicit *global* budget: the per-worker
+    /// step budgets sum to `step_limit`.
+    pub fn with_budget(
+        kb: &'kb KnowledgeBase,
+        workers: usize,
+        step_limit: u64,
+        depth_limit: u32,
+    ) -> ParallelSolver<'kb> {
+        ParallelSolver {
+            kb,
+            workers: workers.max(1),
+            step_limit,
+            depth_limit,
+            stats: Mutex::new(SolverStats::default()),
+        }
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Merged execution counters across all workers of all batches this
+    /// solver has run.
+    pub fn stats(&self) -> SolverStats {
+        *self.stats.lock()
+    }
+
+    /// The step budget worker `w` of `active` receives: an even split of
+    /// the global limit, remainder spread one step each from the front.
+    fn worker_budget(&self, w: usize, active: usize) -> Budget {
+        let base = self.step_limit / active as u64;
+        let extra = u64::from((w as u64) < self.step_limit % active as u64);
+        Budget::new(base + extra, self.depth_limit)
+    }
+
+    /// Solve every goal in `goals` independently, returning one result per
+    /// goal **in input order**. Goal `i`'s result is exactly what
+    /// `Solver::solve_all(goals[i])` returns over the same base (same
+    /// solutions, same solution order), regardless of worker count or
+    /// scheduling — only wall-clock and the step-budget partition differ.
+    pub fn solve_batch(&self, goals: &[Term]) -> Vec<EngineResult<Vec<Solution>>> {
+        self.run_batch(goals, |solver, goal| solver.solve_all(goal.clone()))
+    }
+
+    /// Batched provability: one `Solver::prove` outcome per goal, in input
+    /// order.
+    pub fn prove_batch(&self, goals: &[Term]) -> Vec<EngineResult<bool>> {
+        self.run_batch(goals, |solver, goal| solver.prove(goal.clone()))
+    }
+
+    fn run_batch<T: Send>(
+        &self,
+        goals: &[Term],
+        eval: impl Fn(&Solver<'_>, &Term) -> EngineResult<T> + Sync,
+    ) -> Vec<EngineResult<T>> {
+        if goals.is_empty() {
+            return Vec::new();
+        }
+        let active = self.workers.min(goals.len());
+        let cursor = AtomicUsize::new(0);
+        // One pre-allocated slot per goal: workers write disjoint indices,
+        // so the per-slot locks are uncontended; they exist to satisfy the
+        // borrow checker, not to serialize anything.
+        let slots: Vec<Mutex<Option<EngineResult<T>>>> =
+            goals.iter().map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for w in 0..active {
+                let (cursor, slots, eval) = (&cursor, &slots, &eval);
+                scope.spawn(move || {
+                    // Budgets and solvers are built *inside* the worker:
+                    // both are Rc-based and deliberately !Send.
+                    let solver = Solver::new(self.kb, self.worker_budget(w, active));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(goal) = goals.get(i) else { break };
+                        *slots[i].lock() = Some(eval(&solver, goal));
+                    }
+                    self.stats.lock().absorb(&solver.stats());
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("batch scope filled every slot"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::EngineError;
+    use crate::term::Var;
+
+    fn kb_edges(tabled: bool) -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for (a, b) in [("a", "b"), ("b", "c"), ("c", "d"), ("a", "c")] {
+            kb.assert_fact(Term::pred("e", vec![Term::atom(a), Term::atom(b)]));
+        }
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        kb.assert_clause(
+            Term::pred("t", vec![x.clone(), y.clone()]),
+            Term::or(
+                Term::pred("e", vec![x.clone(), y.clone()]),
+                Term::and(
+                    Term::pred("e", vec![x, z.clone()]),
+                    Term::pred("t", vec![z, y]),
+                ),
+            ),
+        );
+        if tabled {
+            kb.set_tabling(true);
+            kb.set_table_all(true);
+        }
+        kb
+    }
+
+    fn reach_goals() -> Vec<Term> {
+        ["a", "b", "c", "d"]
+            .into_iter()
+            .map(|s| Term::pred("t", vec![Term::atom(s), Term::var(0)]))
+            .collect()
+    }
+
+    fn render(results: &[EngineResult<Vec<Solution>>]) -> Vec<Vec<String>> {
+        results
+            .iter()
+            .map(|r| {
+                r.as_ref()
+                    .unwrap()
+                    .iter()
+                    .map(|s| format!("{:?}", s.bindings()))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_per_goal_and_order() {
+        for tabled in [false, true] {
+            let kb = kb_edges(tabled);
+            let goals = reach_goals();
+            let sequential: Vec<_> = goals
+                .iter()
+                .map(|g| Solver::new(&kb, Budget::default()).solve_all(g.clone()))
+                .collect();
+            for workers in [1, 2, 4, 8] {
+                let par = ParallelSolver::new(&kb, workers);
+                let batch = par.solve_batch(&goals);
+                assert_eq!(
+                    render(&batch),
+                    render(&sequential),
+                    "divergence at {workers} workers, tabled={tabled}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn worker_budgets_sum_to_global() {
+        let kb = kb_edges(false);
+        let par = ParallelSolver::with_budget(&kb, 3, 10, 64);
+        assert_eq!(
+            (0..3)
+                .map(|w| par.worker_budget(w, 3).step_limit())
+                .sum::<u64>(),
+            10
+        );
+        // And an exhausted worker reports the limit, not a wrong answer.
+        let goals = reach_goals();
+        let starved = ParallelSolver::with_budget(&kb, 1, 3, 64);
+        let results = starved.solve_batch(&goals);
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(EngineError::StepLimit { .. }))));
+    }
+
+    #[test]
+    fn merged_stats_cover_all_workers() {
+        let kb = kb_edges(true);
+        let goals = reach_goals();
+        let par = ParallelSolver::new(&kb, 4);
+        let batch = par.solve_batch(&goals);
+        assert!(batch.iter().all(Result::is_ok));
+        let stats = par.stats();
+        assert!(stats.steps > 0);
+        assert!(stats.resolutions > 0);
+        // Every goal either consulted or populated the shared table.
+        assert!(stats.table_misses + stats.table_hits >= goals.len() as u64);
+        // A second batch over the now-warm shared table replays answers.
+        let par2 = ParallelSolver::new(&kb, 4);
+        par2.solve_batch(&goals);
+        assert!(par2.stats().table_hits > 0);
+    }
+
+    #[test]
+    fn prove_batch_matches_sequential() {
+        let kb = kb_edges(false);
+        let goals = vec![
+            Term::pred("t", vec![Term::atom("a"), Term::atom("d")]),
+            Term::pred("t", vec![Term::atom("d"), Term::atom("a")]),
+            Term::not(Term::pred("e", vec![Term::atom("d"), Term::atom("a")])),
+        ];
+        let par = ParallelSolver::new(&kb, 2);
+        let proved: Vec<bool> = par
+            .prove_batch(&goals)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+        assert_eq!(proved, vec![true, false, true]);
+    }
+
+    #[test]
+    fn solutions_bind_the_query_variables() {
+        let kb = kb_edges(false);
+        let goals = vec![Term::pred("e", vec![Term::atom("a"), Term::var(0)])];
+        let par = ParallelSolver::new(&kb, 2);
+        let results = par.solve_batch(&goals);
+        let sols = results[0].as_ref().unwrap();
+        assert_eq!(sols.len(), 2);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("b"));
+    }
+}

@@ -64,6 +64,19 @@ pub struct SolverStats {
     pub table_invalidations: u64,
 }
 
+impl SolverStats {
+    /// Component-wise accumulation — merging per-worker reports from a
+    /// parallel batch into one global view.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.steps += other.steps;
+        self.resolutions += other.resolutions;
+        self.table_hits += other.table_hits;
+        self.table_misses += other.table_misses;
+        self.table_inserts += other.table_inserts;
+        self.table_invalidations += other.table_invalidations;
+    }
+}
+
 /// Shared mutable counters behind [`SolverStats`]; `Rc<Cell>` like the
 /// budget, so sub-machines spawned for `not`/`forall`/aggregation report
 /// into the same totals.
@@ -553,10 +566,27 @@ impl<'kb> Machine<'kb> {
             self.cont = Cont::push(&self.cont, args[0].clone());
             Some(true)
         } else if name == symbols::not() && args.len() == 1 {
+            // Floundering check (§III.A): closed-world evaluation of a
+            // non-ground negation is unsound — `not(open(X))` with unbound
+            // `X` is neither "no X is open" nor "some X is not open" under
+            // SLDNF. Report it instead of silently answering.
+            let negated = resolve_deep(&self.store, &args[0]);
+            if !negated.is_ground() {
+                return Err(EngineError::NonGroundNegation { goal: negated });
+            }
+            Some(!self.prove_resolved(negated)?)
+        } else if name == symbols::absent() && args.len() == 1 {
+            // Existentially-closed negation: "no instance of G is
+            // derivable". Free variables are local to the negation by
+            // construction, so no groundness requirement applies.
             Some(!self.prove_sub(&args[0])?)
         } else if name == symbols::forall() && args.len() == 2 {
             // forall(C, T) holds iff no solution of C violates T:
-            // not((C, not(T))).
+            // absent((C, not(T))). The outer negation is existential over
+            // the quantified variables (they are *meant* to be free); the
+            // inner `not(T)` is still groundness-checked when the
+            // sub-machine reaches it, after C has bound them — catching
+            // non-range-restricted forall templates.
             let counterexample = Term::and(args[0].clone(), Term::not(args[1].clone()));
             Some(!self.prove_sub(&counterexample)?)
         } else if name == symbols::once() && args.len() == 1 {
@@ -585,8 +615,14 @@ impl<'kb> Machine<'kb> {
     /// NAF / forall support: is the (resolved) goal provable? Runs in a
     /// sub-machine so no bindings escape.
     fn prove_sub(&mut self, goal: &Term) -> EngineResult<bool> {
-        let _guard = self.budget.enter()?;
         let resolved = resolve_deep(&self.store, goal);
+        self.prove_resolved(resolved)
+    }
+
+    /// As [`Self::prove_sub`], for a goal already resolved against the
+    /// current store.
+    fn prove_resolved(&mut self, resolved: Term) -> EngineResult<bool> {
+        let _guard = self.budget.enter()?;
         let mut sub = self.sub_machine(resolved)?;
         sub.next_solution()
     }
@@ -1276,17 +1312,93 @@ mod tests {
     }
 
     #[test]
-    fn naf_does_not_leak_bindings() {
+    fn naf_non_ground_goal_is_reported() {
+        // §III.A regression: `not(open(X))` with unbound X used to be
+        // answered closed-world (flounder silently); it must now be a
+        // reported error.
         let mut kb = KnowledgeBase::new();
-        kb.assert_fact(Term::pred("p", vec![Term::atom("a")]));
-        // Goal: not(p(X)), X = b  — not(p(X)) fails (p(a) provable), so
-        // the whole conjunction fails; but crucially X must not come out
-        // bound to `a` on any path.
+        kb.assert_fact(Term::pred("open", vec![Term::atom("b1")]));
+        let s = Solver::new(&kb, Budget::default());
+        let err = s
+            .prove(Term::not(Term::pred("open", vec![Term::var(0)])))
+            .unwrap_err();
+        match err {
+            EngineError::NonGroundNegation { goal } => {
+                assert_eq!(goal, Term::pred("open", vec![Term::var(0)]));
+            }
+            other => panic!("expected NonGroundNegation, got {other:?}"),
+        }
+        // The same holds mid-conjunction: the negation is reached before
+        // `X = b` could ever bind X, and the old behaviour silently
+        // failed the whole conjunction.
         let goal = Term::and(
-            Term::not(Term::pred("p", vec![Term::var(0)])),
+            Term::not(Term::pred("open", vec![Term::var(0)])),
             Term::unify(Term::var(0), Term::atom("b")),
         );
-        assert!(solve(&kb, goal).is_empty());
+        assert!(matches!(
+            s.solve_all(goal),
+            Err(EngineError::NonGroundNegation { .. })
+        ));
+    }
+
+    #[test]
+    fn naf_ground_by_evaluation_time_is_fine() {
+        // `bridge(X), not(open(X))` is safe: X is bound by the positive
+        // literal before the negation is evaluated.
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("bridge", vec![Term::atom("b1")]));
+        kb.assert_fact(Term::pred("bridge", vec![Term::atom("b2")]));
+        kb.assert_fact(Term::pred("open", vec![Term::atom("b1")]));
+        let goal = Term::and(
+            Term::pred("bridge", vec![Term::var(0)]),
+            Term::not(Term::pred("open", vec![Term::var(0)])),
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("b2"));
+    }
+
+    #[test]
+    fn absent_allows_existential_variables() {
+        // `absent(G)` is the explicit existentially-closed reading: no
+        // instance of G is derivable. Unbound variables are fine.
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("open", vec![Term::atom("b1")]));
+        let s = Solver::new(&kb, Budget::default());
+        // Some bridge is open → absent fails.
+        assert!(!s
+            .prove(Term::absent(Term::pred("open", vec![Term::var(0)])))
+            .unwrap());
+        // Nothing is closed → absent succeeds.
+        assert!(s
+            .prove(Term::absent(Term::pred("closed", vec![Term::var(0)])))
+            .unwrap());
+        // And no bindings leak out of the failed scan.
+        let goal = Term::and(
+            Term::absent(Term::pred("closed", vec![Term::var(0)])),
+            Term::unify(Term::var(0), Term::atom("b")),
+        );
+        let sols = solve(&kb, goal);
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("b"));
+    }
+
+    #[test]
+    fn forall_non_range_restricted_template_is_reported() {
+        // forall(member(X, L), p(X, Y)) with Y unbound: the quantified X
+        // is legal, but the template's free Y floundering inside the
+        // desugared inner not(T) must be reported.
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("q", vec![Term::atom("a")]));
+        let s = Solver::new(&kb, Budget::default());
+        let goal = Term::forall(
+            Term::pred("q", vec![Term::var(0)]),
+            Term::pred("p", vec![Term::var(0), Term::var(1)]),
+        );
+        assert!(matches!(
+            s.prove(goal),
+            Err(EngineError::NonGroundNegation { .. })
+        ));
     }
 
     // ---- tabling -----------------------------------------------------
@@ -1415,8 +1527,14 @@ mod tests {
     fn naf_over_tabled_predicate() {
         let kb = tabled_kb_roads();
         let s = Solver::new(&kb, Budget::default());
+        // Non-ground negation is an error even when the predicate is
+        // tabled; `absent/1` provides the existential reading.
+        assert!(matches!(
+            s.prove(Term::not(Term::pred("road", vec![Term::var(0)]))),
+            Err(EngineError::NonGroundNegation { .. })
+        ));
         assert!(!s
-            .prove(Term::not(Term::pred("road", vec![Term::var(0)])))
+            .prove(Term::absent(Term::pred("road", vec![Term::var(0)])))
             .unwrap());
         assert!(s
             .prove(Term::not(Term::pred("road", vec![Term::atom("s9")])))

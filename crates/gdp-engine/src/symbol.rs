@@ -127,6 +127,7 @@ pub mod symbols {
         and => ",";
         or => ";";
         not => "not";
+        absent => "absent";
         forall => "forall";
         true_ => "true";
         fail => "fail";

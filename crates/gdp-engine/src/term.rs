@@ -188,6 +188,16 @@ impl Term {
         Term::Compound(symbols::not(), Arc::from(vec![g]))
     }
 
+    /// Existentially-closed negation `absent(g)`: succeeds iff *no instance*
+    /// of `g` is derivable. Unlike [`Term::not`], unbound variables in `g`
+    /// are read as existentially quantified inside the negation, so the goal
+    /// need not be ground. This is the explicit closed-world test that
+    /// assumption meta-models (e.g. the continuity assumption, §VI.B) use to
+    /// scan an assertion history for conflicting entries.
+    pub fn absent(g: Term) -> Term {
+        Term::Compound(symbols::absent(), Arc::from(vec![g]))
+    }
+
     /// Bounded universal quantification `forall(cond, then)`: every solution
     /// of `cond` must satisfy `then`. This is the `∀Xj:(F2 → F3)` production
     /// of the paper's formula grammar (§III.A).

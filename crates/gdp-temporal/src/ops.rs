@@ -221,9 +221,13 @@ pub fn continuity_assumption() -> MetaModel {
                     cons(v("Y2"), v("Rest")),
                 ),
                 goal("<", vec![v("T1"), v("T2")]),
-                // No assertion strictly between T1 and T2.
+                // No assertion strictly between T1 and T2. `T` and `Y` are
+                // local existential variables — unbound at evaluation time —
+                // so this must be `absent/1` (existentially-closed
+                // negation), not `not/1`, whose floundering check rejects
+                // non-ground goals.
                 goal(
-                    "not",
+                    "absent",
                     vec![Pat::app(
                         ",",
                         vec![

@@ -26,8 +26,10 @@ statements  any specification-language statement ending in `.`
 :load FILE  load a specification file
 :why GOAL   explain why a fact is provable (proof tree)
 :check      run consistency checking against the active world view
+:audit [-j N]  parallel world-view audit (N workers; default: all cores)
 :views      show the active world view and meta-view
 :stats      knowledge-base, solver, and answer-table statistics
+            (after :audit these are the merged per-worker counters)
 :table MODE answer tabling: on | off | all | status
 :budget S D set the per-query step and depth budget
 :help       this text
@@ -83,6 +85,22 @@ fn main() {
 struct Session {
     spec: Specification,
     reg: SpatialRegistry,
+}
+
+/// Parse the `:audit` argument list: empty, or `-j N`.
+fn parse_audit_workers(rest: &str) -> Result<usize, String> {
+    let parts: Vec<&str> = rest.split_whitespace().collect();
+    match parts.as_slice() {
+        [] => Ok(std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)),
+        ["-j", n] => {
+            n.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(|| {
+                format!("usage: :audit [-j N] (N must be a positive integer, got {n})")
+            })
+        }
+        _ => Err("usage: :audit [-j N]".to_string()),
+    }
 }
 
 impl Session {
@@ -158,6 +176,48 @@ impl Session {
                 }
                 Err(e) => println!("error: {e}"),
             },
+            ":audit" => {
+                let workers = match parse_audit_workers(rest) {
+                    Ok(w) => w,
+                    Err(msg) => {
+                        println!("{msg}");
+                        return true;
+                    }
+                };
+                match self.spec.audit_world_views(workers) {
+                    Ok(report) => {
+                        if report.violations.is_empty() {
+                            println!(
+                                "consistent across {} world-view member(s) ({} workers).",
+                                report.per_model.len(),
+                                report.workers
+                            );
+                        } else {
+                            for v in &report.violations {
+                                println!("{v}");
+                            }
+                            let breakdown = report
+                                .per_model
+                                .iter()
+                                .map(|(m, n)| format!("{m}: {n}"))
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            println!(
+                                "{} violation(s) ({}); {} workers",
+                                report.violations.len(),
+                                breakdown,
+                                report.workers
+                            );
+                        }
+                        let s = report.stats;
+                        println!(
+                            "merged: {} steps, {} clause resolutions, table {} hit / {} miss",
+                            s.steps, s.resolutions, s.table_hits, s.table_misses
+                        );
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
             ":views" => {
                 println!("world view: {}", self.spec.world_view().join(", "));
                 println!("meta view:  {}", self.spec.meta_view().join(", "));

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # The checks enforced before merge (see CONTRIBUTING.md): formatting,
-# lint-free clippy, a release build, and the full test suite.
+# lint-free clippy, a release build, and the full test suite — the latter
+# run across the tabling × test-concurrency matrix, because answer tabling
+# (GDP_TABLING) and the parallel audit layer must not change observable
+# behaviour under either knob.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +16,24 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --release --workspace
+# GDP_TABLING: unset = solver default (off), on = nominated predicates,
+# all = every user predicate. RUST_TEST_THREADS=1 serializes the test
+# binaries themselves — shaking out any test-order or shared-state
+# assumptions the default parallel test runner would mask (and vice
+# versa). The unset/default cell is the tier-1 configuration.
+for tabling in unset on all; do
+    for test_threads in default 1; do
+        env_args=()
+        label="tabling=$tabling"
+        if [ "$tabling" != unset ]; then
+            env_args+=("GDP_TABLING=$tabling")
+        fi
+        if [ "$test_threads" != default ]; then
+            env_args+=("RUST_TEST_THREADS=$test_threads")
+        fi
+        echo "==> cargo test [$label, test-threads=$test_threads]"
+        env "${env_args[@]}" cargo test -q --release --workspace
+    done
+done
 
 echo "ci: all checks passed"
