@@ -1,0 +1,59 @@
+//! gdp-profile — a per-predicate breakdown of the audit workloads.
+//!
+//! Runs the T11 synthetic world-view audit workload and (when the corpus
+//! is reachable) the Missouri specification's consistency check with the
+//! engine profiler attached, and prints the hot-predicate tables backing
+//! the T12 section of EXPERIMENTS.md:
+//!
+//! ```text
+//! $ cargo run --release -p gdp-bench --bin gdp-profile
+//! ```
+
+use gdp::core::Specification;
+use gdp_bench::workloads::audit_world;
+
+fn profile_consistency(label: &str, spec: &mut Specification) {
+    spec.set_profile(true);
+    spec.reset_profile();
+    let violations = spec.check_consistency().expect("consistency audit");
+    let stats = spec.solver_stats();
+    let prof = spec.profile();
+    println!("== {label} ==");
+    println!(
+        "{} violation(s); {} steps, {} clause resolutions",
+        violations.len(),
+        stats.steps,
+        stats.resolutions
+    );
+    assert_eq!(
+        prof.total_steps(),
+        stats.steps,
+        "profiler must account for every solver step"
+    );
+    print!("{}", prof.render());
+    println!();
+}
+
+fn main() {
+    let mut synthetic = audit_world(8, 120);
+    profile_consistency(
+        "T12a synthetic audit workload (8 models x 120 readings)",
+        &mut synthetic,
+    );
+
+    let missouri = ["specs/missouri.gdp", "../../specs/missouri.gdp"]
+        .into_iter()
+        .map(std::path::PathBuf::from)
+        .find(|p| p.is_file());
+    match missouri {
+        Some(path) => {
+            let source = std::fs::read_to_string(&path).expect("read missouri.gdp");
+            let (mut spec, reg) = gdp::standard_spec().expect("standard spec");
+            gdp::lang::Loader::with_spatial(&mut spec, &reg)
+                .load_str(&source)
+                .expect("load missouri.gdp");
+            profile_consistency("T12b specs/missouri.gdp consistency audit", &mut spec);
+        }
+        None => println!("specs/missouri.gdp not found; skipping the corpus profile"),
+    }
+}

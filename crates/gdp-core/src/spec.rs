@@ -11,7 +11,8 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use gdp_engine::{
-    list_to_vec, Budget, FxHashMap, FxHashSet, GroupId, KnowledgeBase, Solver, SolverStats, Term,
+    list_to_vec, Budget, FxHashMap, FxHashSet, GroupId, KnowledgeBase, ObserverSink, Profiler,
+    RingTrace, Solver, SolverStats, Term, TraceSink,
 };
 
 use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
@@ -123,6 +124,17 @@ pub struct Specification {
     /// Execution counters of the most recent query (interior mutability:
     /// queries take `&self`).
     last_stats: Mutex<SolverStats>,
+    /// Keep a bounded port-event ring for each query (off by default).
+    trace_enabled: bool,
+    /// Accumulate a per-predicate profile across queries (off by default).
+    profile_enabled: bool,
+    /// Ring capacity used while tracing: the last N port events survive.
+    trace_capacity: usize,
+    /// The accumulated per-predicate profile (interior mutability: queries
+    /// take `&self`, like `last_stats`).
+    profiler: Mutex<Profiler>,
+    /// The port-event ring of the most recent traced query.
+    last_trace: Mutex<Option<RingTrace>>,
 }
 
 impl Default for Specification {
@@ -160,6 +172,11 @@ impl Specification {
             step_limit: 10_000_000,
             depth_limit: 256,
             last_stats: Mutex::new(SolverStats::default()),
+            trace_enabled: false,
+            profile_enabled: false,
+            trace_capacity: 512,
+            profiler: Mutex::new(Profiler::new()),
+            last_trace: Mutex::new(None),
         };
         register_domain_native(&mut spec.kb, Arc::clone(&spec.domains));
         spec.install_kernel();
@@ -177,6 +194,15 @@ impl Specification {
                 spec.set_table_all(true);
             }
             _ => {}
+        }
+        // Observability hooks, same spirit: `GDP_TRACE=1` keeps a bounded
+        // ring of port events per query, `GDP_PROFILE=1` accumulates a
+        // per-predicate profile. Both off (and costing nothing) by default.
+        if matches!(std::env::var("GDP_TRACE").as_deref(), Ok("1") | Ok("on")) {
+            spec.set_trace(true);
+        }
+        if matches!(std::env::var("GDP_PROFILE").as_deref(), Ok("1") | Ok("on")) {
+            spec.set_profile(true);
         }
         spec
     }
@@ -636,8 +662,67 @@ impl Specification {
     }
 
     /// Snapshot a solver's counters as the most recent query's stats.
-    fn record_stats(&self, solver: &Solver<'_>) {
+    fn record_stats<S: TraceSink>(&self, solver: &Solver<'_, S>) {
         *self.last_stats.lock() = solver.stats();
+    }
+
+    /// Is any observation (tracing or profiling) requested? When false,
+    /// queries run on the `NullSink` fast path with zero overhead.
+    fn observing(&self) -> bool {
+        self.trace_enabled || self.profile_enabled
+    }
+
+    /// Build the observer for one query from the current settings.
+    fn observer_sink(&self) -> ObserverSink {
+        ObserverSink::new(
+            self.profile_enabled,
+            self.trace_enabled.then_some(self.trace_capacity),
+        )
+    }
+
+    /// Fold one query's observations back into the specification: the
+    /// profile accumulates, the trace ring replaces the previous one.
+    fn harvest(&self, sink: ObserverSink) {
+        let (prof, ring) = sink.into_parts();
+        if let Some(p) = prof {
+            self.profiler.lock().absorb(&p);
+        }
+        if let Some(r) = ring {
+            *self.last_trace.lock() = Some(r);
+        }
+    }
+
+    /// The shared solve path: every `&self` query funnels through here (or
+    /// [`Self::prove_inner`]) so observation is wired in exactly once.
+    fn solve_n_goal(&self, goal: Term, limit: usize) -> SpecResult<Vec<gdp_engine::Solution>> {
+        if self.observing() {
+            let solver = Solver::with_sink(&self.kb, self.budget(), self.observer_sink());
+            let out = solver.solve(goal, limit);
+            self.record_stats(&solver);
+            self.harvest(solver.into_sink());
+            Ok(out?)
+        } else {
+            let solver = Solver::new(&self.kb, self.budget());
+            let out = solver.solve(goal, limit);
+            self.record_stats(&solver);
+            Ok(out?)
+        }
+    }
+
+    /// The shared prove path; see [`Self::solve_n_goal`].
+    fn prove_inner(&self, goal: Term) -> SpecResult<bool> {
+        if self.observing() {
+            let solver = Solver::with_sink(&self.kb, self.budget(), self.observer_sink());
+            let out = solver.prove(goal);
+            self.record_stats(&solver);
+            self.harvest(solver.into_sink());
+            Ok(out?)
+        } else {
+            let solver = Solver::new(&self.kb, self.budget());
+            let out = solver.prove(goal);
+            self.record_stats(&solver);
+            Ok(out?)
+        }
     }
 
     /// Execution counters of the most recent query run through this
@@ -681,6 +766,57 @@ impl Specification {
         self.depth_limit = depth_limit;
     }
 
+    // ----- observability ----------------------------------------------------
+
+    /// Switch port-event tracing on or off (off by default). While on,
+    /// every query keeps the last [`Self::set_trace_capacity`] port events
+    /// (Call/Exit/Redo/Fail plus table and native ports) in a ring
+    /// retrievable with [`Self::last_trace`] — a post-mortem of what the
+    /// solver was doing right before a failure or budget exhaustion.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace_enabled = on;
+    }
+
+    /// Is port-event tracing enabled?
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Set how many port events the trace ring retains per query
+    /// (default 512).
+    pub fn set_trace_capacity(&mut self, capacity: usize) {
+        self.trace_capacity = capacity;
+    }
+
+    /// The port-event ring of the most recent traced query, or `None` when
+    /// no query has run with tracing on.
+    pub fn last_trace(&self) -> Option<RingTrace> {
+        self.last_trace.lock().clone()
+    }
+
+    /// Switch per-predicate profiling on or off (off by default). While
+    /// on, every query folds its per-predicate call/exit/redo/fail/step
+    /// counters into an accumulated [`Profiler`] retrievable with
+    /// [`Self::profile`].
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile_enabled = on;
+    }
+
+    /// Is per-predicate profiling enabled?
+    pub fn profile_enabled(&self) -> bool {
+        self.profile_enabled
+    }
+
+    /// A snapshot of the accumulated per-predicate profile.
+    pub fn profile(&self) -> Profiler {
+        self.profiler.lock().clone()
+    }
+
+    /// Clear the accumulated profile (e.g. to isolate one workload).
+    pub fn reset_profile(&self) {
+        *self.profiler.lock() = Profiler::new();
+    }
+
     /// All answers to a fact pattern, looked up through the active world
     /// view.
     pub fn query(&self, pat: FactPat) -> SpecResult<Vec<Answer>> {
@@ -717,10 +853,7 @@ impl Specification {
     pub fn provable(&self, pat: FactPat) -> SpecResult<bool> {
         let mut vt = VarTable::new();
         let goal = pat.compile(&mut vt, Target::Visible);
-        let solver = Solver::new(&self.kb, self.budget());
-        let out = solver.prove(goal);
-        self.record_stats(&solver);
-        Ok(out?)
+        self.prove_inner(goal)
     }
 
     /// All answers to an arbitrary formula.
@@ -749,17 +882,11 @@ impl Specification {
         Self::check_query_safety(formula)?;
         let mut vt = VarTable::new();
         let goal = formula.compile(&mut vt);
-        let solver = Solver::new(&self.kb, self.budget());
-        let out = solver.prove(goal);
-        self.record_stats(&solver);
-        Ok(out?)
+        self.prove_inner(goal)
     }
 
     fn run_query(&self, goal: Term, vt: VarTable, limit: usize) -> SpecResult<Vec<Answer>> {
-        let solver = Solver::new(&self.kb, self.budget());
-        let solutions = solver.solve(goal, limit);
-        self.record_stats(&solver);
-        let solutions = solutions?;
+        let solutions = self.solve_n_goal(goal, limit)?;
         let named: Vec<(String, u32)> = vt.named().map(|(n, v)| (n.to_string(), v)).collect();
         Ok(solutions
             .into_iter()
@@ -797,11 +924,9 @@ impl Specification {
             Term::atom(ERROR_PRED),
             Term::var(3),
         );
-        let solver = Solver::new(&self.kb, self.budget());
-        let solutions = solver.solve_all(goal);
-        self.record_stats(&solver);
+        let solutions = self.solve_n_goal(goal, usize::MAX)?;
         let mut out = Vec::new();
-        for sol in solutions? {
+        for sol in solutions {
             let model = sol.get(gdp_engine::Var(0)).cloned().unwrap_or(Term::var(0));
             let v = Self::violation_from(model, &sol);
             if !out.contains(&v) {
@@ -864,15 +989,24 @@ impl Specification {
                 )
             })
             .collect();
-        let par = gdp_engine::ParallelSolver::with_budget(
+        let mut par = gdp_engine::ParallelSolver::with_budget(
             &self.kb,
             workers,
             self.step_limit,
             self.depth_limit,
         );
+        if self.profile_enabled {
+            // Per-worker profiles merge at the batch join, exactly like
+            // the per-worker stats. (The trace ring stays sequential-only:
+            // interleaved per-worker event orders are not meaningful.)
+            par.enable_profile();
+        }
         let results = par.solve_batch(&goals);
         let stats = par.stats();
         *self.last_stats.lock() = stats;
+        if let Some(p) = par.profile() {
+            self.profiler.lock().absorb(&p);
+        }
         let mut violations: Vec<Violation> = Vec::new();
         let mut per_model = Vec::with_capacity(self.world_view.len());
         for (name, result) in self.world_view.iter().zip(results) {
@@ -926,18 +1060,12 @@ impl Specification {
 
     /// Prove a raw engine goal (diagnostics and sibling crates).
     pub fn prove_goal(&self, goal: Term) -> SpecResult<bool> {
-        let solver = Solver::new(&self.kb, self.budget());
-        let out = solver.prove(goal);
-        self.record_stats(&solver);
-        Ok(out?)
+        self.prove_inner(goal)
     }
 
     /// Solve a raw engine goal, returning engine-level solutions.
     pub fn solve_goal(&self, goal: Term) -> SpecResult<Vec<gdp_engine::Solution>> {
-        let solver = Solver::new(&self.kb, self.budget());
-        let out = solver.solve_all(goal);
-        self.record_stats(&solver);
-        Ok(out?)
+        self.solve_n_goal(goal, usize::MAX)
     }
 
     /// Declared objects.
@@ -1244,6 +1372,55 @@ mod tests {
         assert!(!spec
             .prove_goal(Term::pred("now_is", vec![Term::float(1990.0)]))
             .unwrap());
+    }
+
+    #[test]
+    fn observability_captures_trace_and_profile() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("road", &["s1"])).unwrap();
+        assert!(spec.last_trace().is_none());
+        assert!(spec.profile().is_empty());
+        spec.set_trace(true);
+        spec.set_profile(true);
+        assert!(spec.provable(fact("road", &["s1"])).unwrap());
+        let trace = spec.last_trace().unwrap();
+        assert!(!trace.is_empty());
+        // The query goes through visible/5, and the trace says so.
+        assert!(trace.render().contains("visible"));
+        // Every step the solver took is attributed to some predicate.
+        let prof = spec.profile();
+        assert_eq!(prof.total_steps(), spec.solver_stats().steps);
+        // Observation must not change the verdict.
+        spec.set_trace(false);
+        spec.set_profile(false);
+        assert!(spec.provable(fact("road", &["s1"])).unwrap());
+    }
+
+    #[test]
+    fn profiled_parallel_audit_merges_workers() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("capital_of", &["jc", "mo"])).unwrap();
+        spec.assert_fact(fact("capital_of", &["stl", "mo"]).model("rumor"))
+            .unwrap();
+        spec.constrain(
+            Constraint::new("two_capitals")
+                .witness("Z")
+                .when(Formula::all(vec![
+                    Formula::fact(fact("capital_of", &["X", "Z"])),
+                    Formula::fact(fact("capital_of", &["Y", "Z"])),
+                    Formula::Cmp(CmpOp::NotUnify, Pat::var("X"), Pat::var("Y")),
+                ])),
+        )
+        .unwrap();
+        spec.set_world_view(&["omega", "rumor"]).unwrap();
+        spec.set_profile(true);
+        spec.reset_profile();
+        let report = spec.audit_world_views(4).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        let prof = spec.profile();
+        assert_eq!(prof.total_steps(), report.stats.steps);
+        let row_sum: u64 = prof.rows().iter().map(|(_, p)| p.steps).sum();
+        assert_eq!(row_sum, report.stats.steps);
     }
 
     #[test]

@@ -90,6 +90,13 @@ impl Budget {
     pub fn steps_used(&self) -> u64 {
         self.step_limit.saturating_sub(self.steps_left.get())
     }
+
+    /// Current sub-solver nesting depth (0 at the top level). Trace events
+    /// carry this so a rendered trace shows which nesting level emitted
+    /// them.
+    pub fn depth(&self) -> u32 {
+        self.depth.get()
+    }
 }
 
 /// RAII guard decrementing the nesting depth when a sub-solver finishes.

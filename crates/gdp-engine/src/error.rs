@@ -64,6 +64,16 @@ pub enum EngineError {
         /// Arity of the unknown predicate.
         arity: usize,
     },
+    /// A goal's argument count exceeds the engine's maximum predicate
+    /// arity (`u16::MAX`). Reported instead of silently truncating the
+    /// arity, which would make two predicates whose arities differ by
+    /// 65536 collide in dispatch.
+    ArityOverflow {
+        /// Functor of the oversized goal.
+        name: Sym,
+        /// The actual argument count.
+        arity: usize,
+    },
     /// An aggregation goal produced a value set the aggregate is undefined
     /// on (e.g. `avg` over zero solutions).
     EmptyAggregate {
@@ -107,6 +117,14 @@ impl fmt::Display for EngineError {
             }
             EngineError::UnknownPredicate { name, arity } => {
                 write!(f, "unknown predicate {name}/{arity} (strict mode)")
+            }
+            EngineError::ArityOverflow { name, arity } => {
+                write!(
+                    f,
+                    "predicate {name} called with {arity} arguments, \
+                     exceeding the engine maximum of {}",
+                    u16::MAX
+                )
             }
             EngineError::EmptyAggregate { op } => {
                 write!(f, "aggregate `{op}` undefined on an empty solution set")

@@ -44,19 +44,39 @@ pub struct PredKey {
 }
 
 impl PredKey {
+    /// Largest arity a predicate key can represent. Arities beyond this
+    /// are rejected (never silently truncated — a `p/65537` call must not
+    /// dispatch to `p/1` clauses).
+    pub const MAX_ARITY: usize = u16::MAX as usize;
+
     /// Build a key from a functor name and arity.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `arity` exceeds [`PredKey::MAX_ARITY`]; use
+    /// [`PredKey::try_new`] when the arity is not statically known to be
+    /// small.
     pub fn new(name: &str, arity: usize) -> PredKey {
-        PredKey {
-            name: Sym::new(name),
-            arity: arity as u16,
-        }
+        PredKey::try_new(name, arity)
+            .unwrap_or_else(|| panic!("predicate arity {arity} exceeds {}", PredKey::MAX_ARITY))
     }
 
-    /// Key describing a callable term (atom or compound).
+    /// Build a key from a functor name and arity, or `None` when the arity
+    /// exceeds [`PredKey::MAX_ARITY`].
+    pub fn try_new(name: &str, arity: usize) -> Option<PredKey> {
+        Some(PredKey {
+            name: Sym::new(name),
+            arity: u16::try_from(arity).ok()?,
+        })
+    }
+
+    /// Key describing a callable term (atom or compound). `None` for
+    /// non-callable terms and for compounds whose arity exceeds
+    /// [`PredKey::MAX_ARITY`].
     pub fn of_term(t: &Term) -> Option<PredKey> {
         Some(PredKey {
             name: t.functor()?,
-            arity: t.arity()? as u16,
+            arity: u16::try_from(t.arity()?).ok()?,
         })
     }
 }
@@ -128,8 +148,12 @@ enum ArgKey {
     Int(i64),
     Float(F64),
     Str(Arc<str>),
-    /// Non-list compounds are indexed by functor/arity only.
-    Functor(Sym, u16),
+    /// Non-list compounds are indexed by functor/arity only. The arity is
+    /// kept at full width — unlike [`PredKey`], an index key has no
+    /// representation limit to enforce, and truncating here would be an
+    /// avoidable (if sound: candidates are filtered by head unification)
+    /// over-approximation.
+    Functor(Sym, usize),
     /// Lists are indexed by their first element — the discriminating
     /// position in the reified `[value/object | …]` argument lists.
     ListHead(Box<ArgKey>),
@@ -149,7 +173,7 @@ impl ArgKey {
                 if *f == symbols::cons() && args.len() == 2 {
                     Some(ArgKey::ListHead(Box::new(ArgKey::of(&args[0])?)))
                 } else {
-                    Some(ArgKey::Functor(*f, args.len() as u16))
+                    Some(ArgKey::Functor(*f, args.len()))
                 }
             }
         }
@@ -170,7 +194,7 @@ impl ArgKey {
                         store, &args[0],
                     )?)))
                 } else {
-                    Some(ArgKey::Functor(*f, args.len() as u16))
+                    Some(ArgKey::Functor(*f, args.len()))
                 }
             }
         }
@@ -445,8 +469,12 @@ impl KnowledgeBase {
 
     /// Assert `head :- body` into `group`.
     pub fn assert_clause_in(&mut self, group: GroupId, head: Term, body: Term) {
-        let key = PredKey::of_term(&head)
-            .unwrap_or_else(|| panic!("clause head is not callable: {head}"));
+        let key = PredKey::of_term(&head).unwrap_or_else(|| {
+            panic!(
+                "clause head is not callable (or its arity exceeds {}): {head}",
+                PredKey::MAX_ARITY
+            )
+        });
         let clause = Arc::new(Clause::new(head, body, group));
         let positions = self.index_positions(key);
         self.preds
@@ -852,6 +880,28 @@ mod tests {
         let mut kb = KnowledgeBase::new();
         kb.assert_fact(Term::atom("raining"));
         assert_eq!(cands(&kb, PredKey::new("raining", 0), vec![]).len(), 1);
+    }
+
+    #[test]
+    fn pred_key_arity_is_checked_not_truncated() {
+        // `p/65537` must not become `p/1`: the checked constructors reject
+        // it instead of letting the arities collide modulo 2^16.
+        assert!(PredKey::try_new("p", PredKey::MAX_ARITY).is_some());
+        assert!(PredKey::try_new("p", PredKey::MAX_ARITY + 1).is_none());
+        assert!(PredKey::try_new("p", PredKey::MAX_ARITY + 2).is_none());
+        let args: Vec<Term> = (0..PredKey::MAX_ARITY as u32 + 2).map(Term::var).collect();
+        let oversized = Term::pred("p", args);
+        assert_eq!(PredKey::of_term(&oversized), None);
+        assert_eq!(
+            PredKey::of_term(&Term::pred("p", vec![Term::var(0)])),
+            Some(PredKey::new("p", 1))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 65535")]
+    fn pred_key_new_panics_on_oversized_arity() {
+        let _ = PredKey::new("p", PredKey::MAX_ARITY + 1);
     }
 
     #[test]

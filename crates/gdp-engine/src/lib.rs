@@ -50,6 +50,7 @@ mod solver;
 mod symbol;
 pub mod table;
 mod term;
+pub mod trace;
 mod unify;
 
 pub mod arith;
@@ -64,4 +65,8 @@ pub use solver::{Solution, SolutionIter, Solver, SolverStats};
 pub use symbol::{symbols, Sym};
 pub use table::{AnswerTable, CachedAnswer, TableStats};
 pub use term::{Term, Var, F64};
+pub use trace::{
+    NullSink, ObserverSink, Port, PredProfile, PrintSink, Profiler, RingTrace, TraceEvent,
+    TraceSink,
+};
 pub use unify::{resolve_deep, resolve_shallow, BindStore};

@@ -45,6 +45,7 @@ use crate::error::EngineResult;
 use crate::kb::KnowledgeBase;
 use crate::solver::{Solution, Solver, SolverStats};
 use crate::term::Term;
+use crate::trace::{NullSink, Profiler, TraceSink};
 
 // The whole point of the audit: sharing a knowledge base (and its answer
 // table) across scoped threads is only sound if these bounds hold, so
@@ -68,6 +69,7 @@ pub struct ParallelSolver<'kb> {
     step_limit: u64,
     depth_limit: u32,
     stats: Mutex<SolverStats>,
+    profile: Option<Mutex<Profiler>>,
 }
 
 impl<'kb> ParallelSolver<'kb> {
@@ -94,7 +96,24 @@ impl<'kb> ParallelSolver<'kb> {
             step_limit,
             depth_limit,
             stats: Mutex::new(SolverStats::default()),
+            profile: None,
         }
+    }
+
+    /// Switch on per-predicate profiling for subsequent batches. Each
+    /// worker profiles its own goals into a private [`Profiler`] sink,
+    /// and the per-worker profiles are merged at the batch join point,
+    /// exactly like [`SolverStats`] absorption.
+    pub fn enable_profile(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Mutex::new(Profiler::new()));
+        }
+    }
+
+    /// A snapshot of the merged per-predicate profile across all batches
+    /// run so far, or `None` when profiling was never enabled.
+    pub fn profile(&self) -> Option<Profiler> {
+        self.profile.as_ref().map(|p| p.lock().clone())
     }
 
     /// The configured worker count.
@@ -122,19 +141,54 @@ impl<'kb> ParallelSolver<'kb> {
     /// solutions, same solution order), regardless of worker count or
     /// scheduling — only wall-clock and the step-budget partition differ.
     pub fn solve_batch(&self, goals: &[Term]) -> Vec<EngineResult<Vec<Solution>>> {
-        self.run_batch(goals, |solver, goal| solver.solve_all(goal.clone()))
+        // The eval closure cannot be generic over the sink type, so each
+        // sink choice gets its own (identical) closure literal.
+        if let Some(profile) = &self.profile {
+            self.run_batch(
+                goals,
+                |solver, goal| solver.solve_all(goal.clone()),
+                Profiler::new,
+                |p| profile.lock().absorb(&p),
+            )
+        } else {
+            self.run_batch(
+                goals,
+                |solver, goal| solver.solve_all(goal.clone()),
+                || NullSink,
+                |_| {},
+            )
+        }
     }
 
     /// Batched provability: one `Solver::prove` outcome per goal, in input
     /// order.
     pub fn prove_batch(&self, goals: &[Term]) -> Vec<EngineResult<bool>> {
-        self.run_batch(goals, |solver, goal| solver.prove(goal.clone()))
+        if let Some(profile) = &self.profile {
+            self.run_batch(
+                goals,
+                |solver, goal| solver.prove(goal.clone()),
+                Profiler::new,
+                |p| profile.lock().absorb(&p),
+            )
+        } else {
+            self.run_batch(
+                goals,
+                |solver, goal| solver.prove(goal.clone()),
+                || NullSink,
+                |_| {},
+            )
+        }
     }
 
-    fn run_batch<T: Send>(
+    /// The shared fan-out loop. `mk_sink` builds one private trace sink
+    /// per worker (sinks, like solvers, never cross threads); `merge` is
+    /// called with each worker's sink at the join point.
+    fn run_batch<S: TraceSink, T: Send>(
         &self,
         goals: &[Term],
-        eval: impl Fn(&Solver<'_>, &Term) -> EngineResult<T> + Sync,
+        eval: impl Fn(&Solver<'_, S>, &Term) -> EngineResult<T> + Sync,
+        mk_sink: impl Fn() -> S + Sync,
+        merge: impl Fn(S) + Sync,
     ) -> Vec<EngineResult<T>> {
         if goals.is_empty() {
             return Vec::new();
@@ -148,17 +202,21 @@ impl<'kb> ParallelSolver<'kb> {
             goals.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for w in 0..active {
-                let (cursor, slots, eval) = (&cursor, &slots, &eval);
+                let (cursor, slots, eval, mk_sink, merge) =
+                    (&cursor, &slots, &eval, &mk_sink, &merge);
                 scope.spawn(move || {
-                    // Budgets and solvers are built *inside* the worker:
-                    // both are Rc-based and deliberately !Send.
-                    let solver = Solver::new(self.kb, self.worker_budget(w, active));
+                    // Budgets, solvers, and sinks are built *inside* the
+                    // worker: the first two are Rc-based and deliberately
+                    // !Send, and the sink follows the same discipline.
+                    let solver =
+                        Solver::with_sink(self.kb, self.worker_budget(w, active), mk_sink());
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(goal) = goals.get(i) else { break };
                         *slots[i].lock() = Some(eval(&solver, goal));
                     }
                     self.stats.lock().absorb(&solver.stats());
+                    merge(solver.into_sink());
                 });
             }
         });
@@ -291,6 +349,24 @@ mod tests {
             .map(Result::unwrap)
             .collect();
         assert_eq!(proved, vec![true, false, true]);
+    }
+
+    #[test]
+    fn profiled_batch_merges_worker_profiles() {
+        use crate::kb::PredKey;
+        let kb = kb_edges(false);
+        let goals = reach_goals();
+        let mut par = ParallelSolver::new(&kb, 4);
+        par.enable_profile();
+        let batch = par.solve_batch(&goals);
+        assert!(batch.iter().all(Result::is_ok));
+        let prof = par.profile().unwrap();
+        // The merged profile accounts for every step every worker took.
+        assert_eq!(prof.total_steps(), par.stats().steps);
+        assert!(prof.profile_of(PredKey::new("t", 2)).unwrap().calls > 0);
+        // Profiling must not perturb the answers.
+        let plain = ParallelSolver::new(&kb, 4);
+        assert_eq!(render(&plain.solve_batch(&goals)), render(&batch));
     }
 
     #[test]

@@ -22,7 +22,22 @@ use crate::kb::{Clause, KnowledgeBase, PredKey};
 use crate::symbol::{symbols, Sym};
 use crate::table::{self, CachedAnswer, Lookup};
 use crate::term::{Term, Var};
+use crate::trace::{NullSink, Port, TraceEvent, TraceSink};
 use crate::unify::{resolve_deep, BindStore, TrailMark};
+
+/// Goals whose ports are not reported: pure scheduling constructs that a
+/// human reading a trace does not think of as calls.
+fn untraced_port(key: PredKey) -> bool {
+    (key.name == symbols::and() && key.arity == 2)
+        || (key.name == symbols::true_() && key.arity == 0)
+}
+
+/// Attribution key for budget steps spent on goals that have no predicate
+/// key (unbound-variable and non-callable goal errors), so the profiler's
+/// step totals still partition `SolverStats::steps` exactly.
+fn invalid_goal_key() -> PredKey {
+    PredKey::new("$invalid_goal", 0)
+}
 
 /// One answer to a query: the query's variables with their resolved values.
 #[derive(Clone, Debug, PartialEq)]
@@ -90,20 +105,39 @@ pub(crate) struct Counters {
 }
 
 /// Entry point for running queries against a [`KnowledgeBase`].
-pub struct Solver<'kb> {
+///
+/// The solver is generic over its [`TraceSink`]; the default [`NullSink`]
+/// has `ENABLED == false`, so every trace emission site in the machine is
+/// statically compiled away on the untraced path (see DESIGN.md §6.9).
+pub struct Solver<'kb, S: TraceSink = NullSink> {
     kb: &'kb KnowledgeBase,
     budget: Budget,
     counters: Rc<Counters>,
+    /// Shared with every sub-machine, like the budget and counters, so
+    /// events from `not`/`forall`/aggregation sub-solvers land in the same
+    /// stream (tagged with their nesting depth).
+    sink: Rc<RefCell<S>>,
 }
 
 impl<'kb> Solver<'kb> {
     /// A solver over `kb` with the given resource budget. The budget is
     /// shared across all queries issued through this solver instance.
     pub fn new(kb: &'kb KnowledgeBase, budget: Budget) -> Solver<'kb> {
+        Solver::with_sink(kb, budget, NullSink)
+    }
+}
+
+impl<'kb, S: TraceSink> Solver<'kb, S> {
+    /// A solver over `kb` that reports port-model events and step
+    /// attribution into `sink` (e.g. a [`crate::Profiler`] or
+    /// [`crate::RingTrace`]). Answers are identical to an untraced solver;
+    /// only observation is added.
+    pub fn with_sink(kb: &'kb KnowledgeBase, budget: Budget, sink: S) -> Solver<'kb, S> {
         Solver {
             kb,
             budget,
             counters: Rc::new(Counters::default()),
+            sink: Rc::new(RefCell::new(sink)),
         }
     }
 
@@ -120,15 +154,40 @@ impl<'kb> Solver<'kb> {
         }
     }
 
-    /// Collect up to `max_solutions` answers to `goal`.
-    pub fn solve(&self, goal: Term, max_solutions: usize) -> EngineResult<Vec<Solution>> {
-        let query_vars = goal.variables();
-        let mut machine = Machine::start(
+    /// Read access to the attached sink (inspect a profiler or ring
+    /// mid-session).
+    pub fn sink(&self) -> std::cell::Ref<'_, S> {
+        self.sink.borrow()
+    }
+
+    /// Consume the solver and return its sink with everything it
+    /// collected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a [`SolutionIter`] from this solver is still alive (the
+    /// iterator shares the sink).
+    pub fn into_sink(self) -> S {
+        match Rc::try_unwrap(self.sink) {
+            Ok(cell) => cell.into_inner(),
+            Err(_) => panic!("into_sink while a solution iterator is still alive"),
+        }
+    }
+
+    fn machine(&self, goal: Term) -> EngineResult<Machine<'kb, S>> {
+        Machine::start(
             self.kb,
             self.budget.clone(),
             Rc::clone(&self.counters),
+            Rc::clone(&self.sink),
             goal,
-        )?;
+        )
+    }
+
+    /// Collect up to `max_solutions` answers to `goal`.
+    pub fn solve(&self, goal: Term, max_solutions: usize) -> EngineResult<Vec<Solution>> {
+        let query_vars = goal.variables();
+        let mut machine = self.machine(goal)?;
         let mut out = Vec::new();
         while out.len() < max_solutions && machine.next_solution()? {
             out.push(Solution {
@@ -148,24 +207,14 @@ impl<'kb> Solver<'kb> {
 
     /// Is `goal` provable at all?
     pub fn prove(&self, goal: Term) -> EngineResult<bool> {
-        let mut machine = Machine::start(
-            self.kb,
-            self.budget.clone(),
-            Rc::clone(&self.counters),
-            goal,
-        )?;
+        let mut machine = self.machine(goal)?;
         machine.next_solution()
     }
 
     /// Number of answers to `goal` (with duplicates; see `card` for the
     /// distinct count the paper's cardinality primitive uses).
     pub fn count(&self, goal: Term) -> EngineResult<usize> {
-        let mut machine = Machine::start(
-            self.kb,
-            self.budget.clone(),
-            Rc::clone(&self.counters),
-            goal,
-        )?;
+        let mut machine = self.machine(goal)?;
         let mut n = 0;
         while machine.next_solution()? {
             n += 1;
@@ -176,14 +225,9 @@ impl<'kb> Solver<'kb> {
     /// Stream answers lazily: each `next()` resumes the resolution machine
     /// where the previous answer left off, so consumers pay only for the
     /// solutions they take.
-    pub fn iter(&self, goal: Term) -> EngineResult<SolutionIter<'kb>> {
+    pub fn iter(&self, goal: Term) -> EngineResult<SolutionIter<'kb, S>> {
         let query_vars = goal.variables();
-        let machine = Machine::start(
-            self.kb,
-            self.budget.clone(),
-            Rc::clone(&self.counters),
-            goal,
-        )?;
+        let machine = self.machine(goal)?;
         Ok(SolutionIter {
             machine,
             query_vars,
@@ -192,12 +236,12 @@ impl<'kb> Solver<'kb> {
 }
 
 /// Lazy solution stream returned by [`Solver::iter`].
-pub struct SolutionIter<'kb> {
-    machine: Machine<'kb>,
+pub struct SolutionIter<'kb, S: TraceSink = NullSink> {
+    machine: Machine<'kb, S>,
     query_vars: Vec<Var>,
 }
 
-impl Iterator for SolutionIter<'_> {
+impl<S: TraceSink> Iterator for SolutionIter<'_, S> {
     type Item = EngineResult<Solution>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -280,13 +324,16 @@ struct ChoicePoint {
     alts: Alts,
 }
 
-pub(crate) struct Machine<'kb> {
+pub(crate) struct Machine<'kb, S: TraceSink = NullSink> {
     kb: &'kb KnowledgeBase,
     pub(crate) store: BindStore,
     cont: Rc<Cont>,
     cps: Vec<ChoicePoint>,
     budget: Budget,
     counters: Rc<Counters>,
+    /// Trace sink shared with sub-machines; every use is statically
+    /// guarded by `S::ENABLED`.
+    sink: Rc<RefCell<S>>,
     /// Call patterns currently being enumerated for the answer table; a
     /// recursive tabled call to one of these falls back to plain SLD
     /// resolution rather than consulting an incomplete table. Shared with
@@ -299,13 +346,14 @@ pub(crate) struct Machine<'kb> {
     exhausted: bool,
 }
 
-impl<'kb> Machine<'kb> {
+impl<'kb, S: TraceSink> Machine<'kb, S> {
     pub(crate) fn start(
         kb: &'kb KnowledgeBase,
         budget: Budget,
         counters: Rc<Counters>,
+        sink: Rc<RefCell<S>>,
         goal: Term,
-    ) -> EngineResult<Machine<'kb>> {
+    ) -> EngineResult<Machine<'kb, S>> {
         let mut store = BindStore::new();
         if let Some(max) = goal.max_var() {
             store.ensure(max);
@@ -317,6 +365,7 @@ impl<'kb> Machine<'kb> {
             cps: Vec::new(),
             budget,
             counters,
+            sink,
             in_progress: Rc::new(RefCell::new(FxHashSet::default())),
             started: false,
             exhausted: false,
@@ -326,12 +375,11 @@ impl<'kb> Machine<'kb> {
     /// Spawn a sub-machine sharing this machine's budget, over a goal that
     /// has already been resolved against this machine's store. Unbound
     /// variables of the outer store keep their identities (the sub-store is
-    /// sized to cover them, all slots unbound).
-    fn sub_machine(&self, goal: Term) -> EngineResult<Machine<'kb>> {
+    /// sized to cover them by length, all slots unbound — sizing by
+    /// `ensure(len - 1)` used to underflow on an empty outer store).
+    fn sub_machine(&self, goal: Term) -> EngineResult<Machine<'kb, S>> {
         let mut store = BindStore::new();
-        if !self.store.is_empty() {
-            store.ensure(self.store.len() as u32 - 1);
-        }
+        store.ensure_len(self.store.len());
         if let Some(max) = goal.max_var() {
             store.ensure(max);
         }
@@ -342,10 +390,33 @@ impl<'kb> Machine<'kb> {
             cps: Vec::new(),
             budget: self.budget.clone(),
             counters: Rc::clone(&self.counters),
+            sink: Rc::clone(&self.sink),
             in_progress: Rc::clone(&self.in_progress),
             started: false,
             exhausted: false,
         })
+    }
+
+    /// Report a port-model event. Call sites guard on `S::ENABLED` so the
+    /// event construction (and any goal clone feeding it) is compiled away
+    /// for the [`NullSink`].
+    fn emit(&self, port: Port, key: PredKey, goal: Term) {
+        debug_assert!(S::ENABLED, "emit on a disabled sink");
+        let event = TraceEvent {
+            port,
+            depth: self.budget.depth(),
+            key,
+            goal,
+        };
+        self.sink.borrow_mut().event(&event);
+    }
+
+    /// Attribute one consumed budget step to `key` (profiling).
+    #[inline]
+    fn attribute_step(&self, key: PredKey) {
+        if S::ENABLED {
+            self.sink.borrow_mut().step(key);
+        }
     }
 
     /// Advance to the next solution. Returns `Ok(false)` when no more exist.
@@ -371,7 +442,6 @@ impl<'kb> Machine<'kb> {
                 Cont::Goal(g, rest) => (g.clone(), Rc::clone(rest)),
             };
             self.cont = rest;
-            self.budget.step()?;
             if !self.step_goal(goal)? && !self.backtrack()? {
                 return Ok(false);
             }
@@ -381,23 +451,59 @@ impl<'kb> Machine<'kb> {
     /// Execute one goal. Returns `Ok(true)` to continue with the current
     /// continuation, `Ok(false)` to fail into backtracking.
     fn step_goal(&mut self, goal: Term) -> EngineResult<bool> {
+        // The budget step for dispatching this goal is consumed (and, when
+        // a sink is attached, attributed) here, so profiler step totals
+        // partition `SolverStats::steps` exactly.
+        self.budget.step()?;
         let goal = self.store.deref(&goal).clone();
         let key = match &goal {
             Term::Var(_) => {
+                self.attribute_step(invalid_goal_key());
                 return Err(EngineError::Instantiation { context: "call" });
             }
             Term::Atom(s) => PredKey { name: *s, arity: 0 },
-            Term::Compound(f, args) => PredKey {
-                name: *f,
-                arity: args.len() as u16,
+            Term::Compound(f, args) => match u16::try_from(args.len()) {
+                Ok(arity) => PredKey { name: *f, arity },
+                // Never truncate: a `p/65537` call must not dispatch to
+                // `p/1` clauses.
+                Err(_) => {
+                    self.attribute_step(invalid_goal_key());
+                    return Err(EngineError::ArityOverflow {
+                        name: *f,
+                        arity: args.len(),
+                    });
+                }
             },
             other => {
+                self.attribute_step(invalid_goal_key());
                 return Err(EngineError::NotCallable {
                     goal: other.clone(),
                 });
             }
         };
+        self.attribute_step(key);
 
+        if S::ENABLED && !untraced_port(key) {
+            self.emit(Port::Call, key, goal.clone());
+            let out = self.dispatch(key, goal.clone());
+            match &out {
+                // Resolved on exit so the trace shows the bindings the
+                // goal succeeded with.
+                Ok(true) => self.emit(Port::Exit, key, resolve_deep(&self.store, &goal)),
+                Ok(false) => self.emit(Port::Fail, key, goal),
+                // Errors propagate without a port of their own; the last
+                // Call in the ring shows where the failure happened.
+                Err(_) => {}
+            }
+            out
+        } else {
+            self.dispatch(key, goal)
+        }
+    }
+
+    /// Dispatch a dereferenced, keyed goal: control constructs, builtins,
+    /// natives, tabled calls, then user-clause resolution.
+    fn dispatch(&mut self, key: PredKey, goal: Term) -> EngineResult<bool> {
         // Control constructs first.
         if let Some(done) = self.try_control(key.name, &goal)? {
             return Ok(done);
@@ -412,6 +518,9 @@ impl<'kb> Machine<'kb> {
 
         // Native predicates registered by higher layers.
         if let Some(native) = self.kb.native(key) {
+            if S::ENABLED {
+                self.emit(Port::NativeCall, key, goal.clone());
+            }
             let native = Arc::clone(native);
             return native(&mut self.store, goal.args());
         }
@@ -445,6 +554,9 @@ impl<'kb> Machine<'kb> {
                 self.counters
                     .table_hits
                     .set(self.counters.table_hits.get() + 1);
+                if S::ENABLED {
+                    self.emit(Port::TableHit, key, resolved.clone());
+                }
                 self.replay(goal, answers)
             }
             Lookup::Miss { invalidated } => {
@@ -472,6 +584,9 @@ impl<'kb> Machine<'kb> {
                 self.counters
                     .table_inserts
                     .set(self.counters.table_inserts.get() + 1);
+                if S::ENABLED {
+                    self.emit(Port::TableInsert, key, resolved.clone());
+                }
                 self.replay(goal, answers)
             }
         }
@@ -526,10 +641,18 @@ impl<'kb> Machine<'kb> {
         else {
             unreachable!("try_answer_alts on non-answer alts");
         };
+        let step_key = if S::ENABLED {
+            Some(PredKey::of_term(goal).unwrap_or_else(invalid_goal_key))
+        } else {
+            None
+        };
         while *next < answers.len() {
             let answer = &answers[*next];
             *next += 1;
             self.budget.step()?;
+            if let Some(key) = step_key {
+                self.attribute_step(key);
+            }
             let instance = if answer.n_vars == 0 {
                 answer.term.clone()
             } else {
@@ -820,10 +943,18 @@ impl<'kb> Machine<'kb> {
         else {
             unreachable!("try_clause_alts on non-clause alts");
         };
+        let step_key = if S::ENABLED {
+            Some(PredKey::of_term(goal).unwrap_or_else(invalid_goal_key))
+        } else {
+            None
+        };
         while *next < clauses.len() {
             let clause = Arc::clone(&clauses[*next]);
             *next += 1;
             self.budget.step()?;
+            if let Some(key) = step_key {
+                self.attribute_step(key);
+            }
             self.counters
                 .resolutions
                 .set(self.counters.resolutions.get() + 1);
@@ -850,7 +981,15 @@ impl<'kb> Machine<'kb> {
             self.cont = Rc::clone(&cp.cont);
             match &mut cp.alts {
                 Alts::Disjunct { right } => {
-                    self.cont = Cont::push(&self.cont, right.clone());
+                    let right = right.clone();
+                    if S::ENABLED {
+                        let key = PredKey {
+                            name: symbols::or(),
+                            arity: 2,
+                        };
+                        self.emit(Port::Redo, key, right.clone());
+                    }
+                    self.cont = Cont::push(&self.cont, right);
                     return Ok(true);
                 }
                 Alts::Between { var, cur, hi } => {
@@ -866,35 +1005,42 @@ impl<'kb> Machine<'kb> {
                             },
                         });
                     }
+                    if S::ENABLED {
+                        let key = PredKey {
+                            name: symbols::between(),
+                            arity: 3,
+                        };
+                        self.emit(
+                            Port::Redo,
+                            key,
+                            Term::compound(
+                                symbols::between(),
+                                vec![Term::Int(cur), Term::Int(hi), var.clone()],
+                            ),
+                        );
+                    }
                     if self.store.unify(&var, &Term::Int(cur)) {
+                        if S::ENABLED {
+                            let key = PredKey {
+                                name: symbols::between(),
+                                arity: 3,
+                            };
+                            self.emit(
+                                Port::Exit,
+                                key,
+                                Term::compound(
+                                    symbols::between(),
+                                    vec![Term::Int(cur), Term::Int(hi), Term::Int(cur)],
+                                ),
+                            );
+                        }
                         return Ok(true);
                     }
                     // Unification can only fail if `var` got bound by an
                     // earlier goal on this path — keep backtracking.
                 }
-                Alts::Clauses { .. } => {
-                    let cont = Rc::clone(&cp.cont);
-                    let mark = cp.mark;
-                    let mut alts = cp.alts;
-                    if self.try_clause_alts(&mut alts)? {
-                        if let Alts::Clauses { clauses, next, .. } = &alts {
-                            if *next < clauses.len() {
-                                self.cps.push(ChoicePoint { cont, mark, alts });
-                            }
-                        }
-                        return Ok(true);
-                    }
-                }
-                Alts::Answers { .. } => {
-                    let cont = Rc::clone(&cp.cont);
-                    let mark = cp.mark;
-                    let mut alts = cp.alts;
-                    if self.try_answer_alts(&mut alts)? {
-                        if let Alts::Answers { answers, next, .. } = &alts {
-                            if *next < answers.len() {
-                                self.cps.push(ChoicePoint { cont, mark, alts });
-                            }
-                        }
+                Alts::Clauses { .. } | Alts::Answers { .. } => {
+                    if self.resume_stored_alts(cp)? {
                         return Ok(true);
                     }
                 }
@@ -902,6 +1048,49 @@ impl<'kb> Machine<'kb> {
         }
         self.exhausted = true;
         Ok(false)
+    }
+
+    /// Resume a clause or cached-answer choice point, emitting the
+    /// Redo/Exit/Fail ports around the retry.
+    fn resume_stored_alts(&mut self, cp: ChoicePoint) -> EngineResult<bool> {
+        let cont = cp.cont;
+        let mark = cp.mark;
+        let mut alts = cp.alts;
+        let redo: Option<(PredKey, Term)> = if S::ENABLED {
+            let goal = match &alts {
+                Alts::Clauses { goal, .. } | Alts::Answers { goal, .. } => goal,
+                _ => unreachable!("resume_stored_alts on control alts"),
+            };
+            let key = PredKey::of_term(goal).unwrap_or_else(invalid_goal_key);
+            self.emit(Port::Redo, key, goal.clone());
+            Some((key, goal.clone()))
+        } else {
+            None
+        };
+        let resumed = match &alts {
+            Alts::Clauses { .. } => self.try_clause_alts(&mut alts)?,
+            Alts::Answers { .. } => self.try_answer_alts(&mut alts)?,
+            _ => unreachable!("resume_stored_alts on control alts"),
+        };
+        if resumed {
+            let more = match &alts {
+                Alts::Clauses { clauses, next, .. } => *next < clauses.len(),
+                Alts::Answers { answers, next, .. } => *next < answers.len(),
+                _ => unreachable!("resume_stored_alts on control alts"),
+            };
+            if more {
+                self.cps.push(ChoicePoint { cont, mark, alts });
+            }
+            if let Some((key, goal)) = redo {
+                self.emit(Port::Exit, key, resolve_deep(&self.store, &goal));
+            }
+            Ok(true)
+        } else {
+            if let Some((key, goal)) = redo {
+                self.emit(Port::Fail, key, goal);
+            }
+            Ok(false)
+        }
     }
 }
 
@@ -1569,5 +1758,127 @@ mod tests {
         assert_eq!(stats.table_misses, 0);
         assert!(stats.resolutions > 0);
         assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn sub_machine_renaming_handles_empty_store() {
+        // Regression: spawning a sub-solver (here for `not/1`) before any
+        // variable has been bound used to size the child store from
+        // `len - 1`, which underflows when the parent store is empty.
+        let kb = KnowledgeBase::new();
+        let s = Solver::new(&kb, Budget::default());
+        assert!(s.prove(Term::not(Term::atom("q"))).unwrap());
+    }
+
+    #[test]
+    fn oversized_arity_is_an_error_not_a_truncation() {
+        let kb = KnowledgeBase::new();
+        let s = Solver::new(&kb, Budget::default());
+        let goal = Term::pred("huge", vec![Term::Int(0); PredKey::MAX_ARITY + 1]);
+        assert!(matches!(
+            s.prove(goal),
+            Err(EngineError::ArityOverflow { arity, .. }) if arity == PredKey::MAX_ARITY + 1
+        ));
+    }
+
+    #[test]
+    fn cyclic_solution_renders_without_hanging() {
+        // With the occurs check off (the default), `X = f(X)` succeeds and
+        // binds X cyclically. Reading the solution back must terminate,
+        // cutting the cycle at the variable.
+        let kb = KnowledgeBase::new();
+        let s = Solver::new(&kb, Budget::default());
+        let goal = Term::unify(Term::var(0), Term::pred("f", vec![Term::var(0)]));
+        let sols = s.solve_all(goal).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0].get(Var(0)).unwrap().to_string(), "f(_0)");
+    }
+
+    #[test]
+    fn ring_trace_records_the_port_sequence() {
+        use crate::trace::RingTrace;
+        let kb = kb_roads();
+        let solver = Solver::with_sink(&kb, Budget::default(), RingTrace::new(64));
+        let sols = solver
+            .solve_all(Term::pred("road", vec![Term::var(0)]))
+            .unwrap();
+        assert_eq!(sols.len(), 2);
+        let ring = solver.into_sink();
+        let ports: Vec<(Port, String)> = ring
+            .events()
+            .map(|e| (e.port, e.goal.to_string()))
+            .collect();
+        assert_eq!(
+            ports,
+            vec![
+                (Port::Call, "road(_0)".to_string()),
+                (Port::Exit, "road(s1)".to_string()),
+                (Port::Redo, "road(_0)".to_string()),
+                (Port::Exit, "road(s2)".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn failing_query_ends_its_trace_with_fail() {
+        use crate::trace::RingTrace;
+        let kb = kb_roads();
+        let solver = Solver::with_sink(&kb, Budget::default(), RingTrace::new(64));
+        assert!(!solver
+            .prove(Term::pred("road", vec![Term::atom("s9")]))
+            .unwrap());
+        let ring = solver.into_sink();
+        let last = ring.events().last().unwrap();
+        assert_eq!(last.port, Port::Fail);
+        assert_eq!(last.goal.to_string(), "road(s9)");
+    }
+
+    #[test]
+    fn table_ports_surface_hits_and_inserts() {
+        use crate::trace::RingTrace;
+        let kb = tabled_kb_roads();
+        let goal = Term::pred("road", vec![Term::var(0)]);
+        let solver = Solver::with_sink(&kb, Budget::default(), RingTrace::new(256));
+        solver.solve_all(goal.clone()).unwrap();
+        solver.solve_all(goal).unwrap();
+        let ring = solver.into_sink();
+        assert!(ring.events().any(|e| e.port == Port::TableInsert));
+        assert!(ring.events().any(|e| e.port == Port::TableHit));
+    }
+
+    #[test]
+    fn profiler_step_totals_match_solver_stats() {
+        use crate::trace::Profiler;
+        let kb = kb_roads();
+        let goal = Term::and(
+            Term::pred("road", vec![Term::var(0)]),
+            Term::pred("road_intersection", vec![Term::var(0), Term::var(1)]),
+        );
+        let traced = Solver::with_sink(&kb, Budget::default(), Profiler::new());
+        let traced_sols = traced.solve_all(goal.clone()).unwrap();
+        let steps = traced.stats().steps;
+        let prof = traced.into_sink();
+        assert!(steps > 0);
+        assert_eq!(prof.total_steps(), steps);
+        let row_sum: u64 = prof.rows().iter().map(|(_, p)| p.steps).sum();
+        assert_eq!(row_sum, steps);
+        // Observation must not perturb the answers.
+        assert_eq!(traced_sols, solve(&kb, goal));
+    }
+
+    #[test]
+    fn tracing_does_not_change_step_counts() {
+        use crate::trace::ObserverSink;
+        let kb = kb_roads();
+        let goal = Term::or(
+            Term::pred("road", vec![Term::var(0)]),
+            Term::pred("road_intersection", vec![Term::var(0), Term::var(1)]),
+        );
+        let plain = Solver::new(&kb, Budget::default());
+        plain.solve_all(goal.clone()).unwrap();
+        let traced = Solver::with_sink(&kb, Budget::default(), ObserverSink::new(true, Some(8)));
+        traced.solve_all(goal).unwrap();
+        assert_eq!(plain.stats().steps, traced.stats().steps);
+        assert_eq!(plain.stats().resolutions, traced.stats().resolutions);
     }
 }

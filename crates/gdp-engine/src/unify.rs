@@ -55,6 +55,16 @@ impl BindStore {
         }
     }
 
+    /// Ensure at least `len` slots exist. Unlike [`BindStore::ensure`]
+    /// this takes a slot *count*, not a maximum index, so it is safe to
+    /// call with the length of another (possibly empty) store — no
+    /// `len - 1` underflow.
+    pub fn ensure_len(&mut self, len: usize) {
+        if len > self.slots.len() {
+            self.slots.resize(len, None);
+        }
+    }
+
     /// Current trail position.
     pub fn mark(&self) -> TrailMark {
         TrailMark(self.trail.len())
@@ -179,13 +189,54 @@ pub fn resolve_shallow(store: &BindStore, t: &Term) -> Term {
 /// Fully substitute current bindings into `t`, producing a term in which
 /// every bound variable has been replaced by its (recursively resolved)
 /// value. Unbound variables remain as variables.
+///
+/// With the occurs check off (the default), the store may hold cyclic
+/// bindings like `X = f(X)`. Resolution terminates on those by leaving the
+/// variable in place where its own expansion reaches it again, so the
+/// cycle renders as `f(X)` instead of looping forever. Acyclic stores are
+/// resolved exactly as before.
 pub fn resolve_deep(store: &BindStore, t: &Term) -> Term {
-    match store.deref(t) {
-        Term::Compound(f, args) => {
-            let resolved: Vec<Term> = args.iter().map(|a| resolve_deep(store, a)).collect();
-            Term::Compound(*f, resolved.into())
+    resolve_guarded(store, t, &mut Vec::new())
+}
+
+/// Recursive worker for [`resolve_deep`]. `chain` holds the variables
+/// whose bindings are currently being expanded on the path from the root;
+/// re-encountering one of them means the store is cyclic, and the cycle is
+/// cut by returning the variable unexpanded.
+fn resolve_guarded<'a>(store: &'a BindStore, t: &'a Term, chain: &mut Vec<Var>) -> Term {
+    let base = chain.len();
+    let mut cur = t;
+    loop {
+        match cur {
+            Term::Var(v) => {
+                if chain.contains(v) {
+                    chain.truncate(base);
+                    return Term::Var(*v);
+                }
+                match store.slots.get(v.0 as usize) {
+                    Some(Some(next)) => {
+                        chain.push(*v);
+                        cur = next;
+                    }
+                    _ => {
+                        chain.truncate(base);
+                        return Term::Var(*v);
+                    }
+                }
+            }
+            Term::Compound(f, args) => {
+                let resolved: Vec<Term> = args
+                    .iter()
+                    .map(|a| resolve_guarded(store, a, chain))
+                    .collect();
+                chain.truncate(base);
+                return Term::Compound(*f, resolved.into());
+            }
+            other => {
+                chain.truncate(base);
+                return other.clone();
+            }
         }
-        other => other.clone(),
     }
 }
 
@@ -259,10 +310,54 @@ mod tests {
         let fx = Term::pred("f", vec![Term::var(0)]);
         assert!(!s.unify(&Term::var(0), &fx));
         // Without occurs check the same unification is accepted (Prolog
-        // behaviour); we don't resolve_deep it (that would loop), just
-        // verify acceptance.
+        // behaviour).
         let mut s2 = store();
         assert!(s2.unify(&Term::var(0), &fx));
+    }
+
+    #[test]
+    fn resolve_deep_terminates_on_cyclic_binding() {
+        // With the occurs check off, `X = f(X)` is accepted; resolving and
+        // printing X must terminate (cutting the cycle at the variable)
+        // instead of looping forever.
+        let mut s = store();
+        assert!(s.unify(&Term::var(0), &Term::pred("f", vec![Term::var(0)])));
+        let resolved = resolve_deep(&s, &Term::var(0));
+        assert_eq!(resolved, Term::pred("f", vec![Term::var(0)]));
+        assert_eq!(format!("X = {resolved}"), "X = f(_0)");
+        // Mutual cycle through two variables: X = g(Y), Y = g(X).
+        let mut s2 = store();
+        assert!(s2.unify(&Term::var(0), &Term::pred("g", vec![Term::var(1)])));
+        assert!(s2.unify(&Term::var(1), &Term::pred("g", vec![Term::var(0)])));
+        let resolved = resolve_deep(&s2, &Term::var(0));
+        assert_eq!(
+            resolved,
+            Term::pred("g", vec![Term::pred("g", vec![Term::var(0)])])
+        );
+    }
+
+    #[test]
+    fn resolve_deep_still_expands_repeated_acyclic_vars() {
+        // The cycle guard must only trip on a variable inside its *own*
+        // expansion, not on legitimate repeated occurrences.
+        let mut s = store();
+        assert!(s.unify(&Term::var(1), &Term::atom("a")));
+        let t = Term::pred("p", vec![Term::var(1), Term::var(1)]);
+        assert_eq!(
+            resolve_deep(&s, &t),
+            Term::pred("p", vec![Term::atom("a"), Term::atom("a")])
+        );
+    }
+
+    #[test]
+    fn ensure_len_is_safe_on_empty_store() {
+        let mut s = BindStore::new();
+        s.ensure_len(0); // the `ensure(len - 1)` form underflowed here
+        assert_eq!(s.len(), 0);
+        s.ensure_len(3);
+        assert_eq!(s.len(), 3);
+        s.ensure_len(2); // never shrinks
+        assert_eq!(s.len(), 3);
     }
 
     #[test]

@@ -31,6 +31,10 @@ statements  any specification-language statement ending in `.`
 :stats      knowledge-base, solver, and answer-table statistics
             (after :audit these are the merged per-worker counters)
 :table MODE answer tabling: on | off | all | status
+:trace MODE port-event tracing: on | off | show | status
+            (`show` prints the last traced query's final events)
+:profile [MODE]  per-predicate profiler: no argument prints the
+            hot-predicate table; on | off | reset manage it
 :budget S D set the per-query step and depth budget
 :help       this text
 :quit       exit";
@@ -266,6 +270,59 @@ impl Session {
                     self.spec.kb().table().len()
                 ),
                 other => println!("usage: :table on|off|all|status (got {other})"),
+            },
+            ":trace" => match rest {
+                "on" => {
+                    self.spec.set_trace(true);
+                    println!("port-event tracing on (:trace show after a query).");
+                }
+                "off" => {
+                    self.spec.set_trace(false);
+                    println!("port-event tracing off.");
+                }
+                "show" | "" => match self.spec.last_trace() {
+                    Some(trace) => print!("{}", trace.render()),
+                    None => println!("no traced query yet (:trace on, then run one)."),
+                },
+                "status" => println!(
+                    "port-event tracing is {}.",
+                    if self.spec.trace_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                ),
+                other => println!("usage: :trace on|off|show|status (got {other})"),
+            },
+            ":profile" => match rest {
+                "on" => {
+                    self.spec.set_profile(true);
+                    println!("per-predicate profiling on.");
+                }
+                "off" => {
+                    self.spec.set_profile(false);
+                    println!("per-predicate profiling off.");
+                }
+                "reset" => {
+                    self.spec.reset_profile();
+                    println!("profile cleared.");
+                }
+                "" => {
+                    let prof = self.spec.profile();
+                    if prof.is_empty() {
+                        println!(
+                            "no profile data ({}).",
+                            if self.spec.profile_enabled() {
+                                "run a query first"
+                            } else {
+                                ":profile on, then run a query"
+                            }
+                        );
+                    } else {
+                        print!("{}", prof.render());
+                    }
+                }
+                other => println!("usage: :profile [on|off|reset] (got {other})"),
             },
             ":budget" => {
                 let parts: Vec<&str> = rest.split_whitespace().collect();

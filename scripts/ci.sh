@@ -36,4 +36,12 @@ for tabling in unset on all; do
     done
 done
 
+# Observability legs: GDP_TRACE/GDP_PROFILE route every Specification
+# query through the observed solver path, so the whole suite doubles as
+# an equivalence check that tracing and profiling never change answers.
+echo "==> cargo test [trace=1]"
+env GDP_TRACE=1 cargo test -q --release --workspace
+echo "==> cargo test [profile=1, tabling=on]"
+env GDP_PROFILE=1 GDP_TABLING=on cargo test -q --release --workspace
+
 echo "ci: all checks passed"
