@@ -71,7 +71,9 @@ pub use meta::{MetaModel, MetaModelBuilder};
 pub use pattern::{Pat, VarTable};
 pub use qualifiers::{IntervalPat, SpaceQual, TimeQual};
 pub use rule::{Constraint, ConstraintBuilder, RawClause, Rule};
-pub use spec::{Answer, AuditReport, SortEnforcement, Specification, Violation};
+pub use spec::{
+    Answer, AuditFailure, AuditReport, RetryPolicy, SortEnforcement, Specification, Violation,
+};
 
 /// The default model ω (§III.D): "any fact or constraint violation that is
 /// not explicitly qualified by some model is associated with a default

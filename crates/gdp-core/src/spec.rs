@@ -7,12 +7,13 @@
 //! query, and consistency-checking API the rest of the system builds on.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 
 use gdp_engine::{
-    list_to_vec, Budget, FxHashMap, FxHashSet, GroupId, KnowledgeBase, ObserverSink, Profiler,
-    RingTrace, Solver, SolverStats, Term, TraceSink,
+    list_to_vec, Budget, CancelToken, ChaosConfig, EngineError, FxHashMap, FxHashSet, GroupId,
+    KnowledgeBase, ObserverSink, Profiler, RingTrace, Solver, SolverStats, Term, TraceSink,
 };
 
 use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
@@ -71,6 +72,65 @@ pub struct Violation {
     pub time: Term,
 }
 
+/// One world-view member the audit could not fully evaluate: its goal,
+/// the final error after any retries, and how many retries were spent.
+/// Collected in [`AuditReport::incomplete`] — the audit is degraded, not
+/// destroyed, by a failing goal.
+#[derive(Clone, Debug)]
+pub struct AuditFailure {
+    /// The world-view member whose audit goal failed.
+    pub model: String,
+    /// The per-model `ERROR`-derivation goal that failed.
+    pub goal: Term,
+    /// The error that finally stopped the goal.
+    pub error: EngineError,
+    /// Retries attempted under the active [`RetryPolicy`] before giving
+    /// up (0 when the error was not recoverable or retries were off).
+    pub attempts: u32,
+}
+
+/// How [`Specification::audit_world_views`] (and
+/// [`Specification::check_consistency`]) re-attempt goals that exhausted
+/// their budget. Each retry runs sequentially with the step limit
+/// multiplied by `escalation` once more; only errors where
+/// [`EngineError::is_recoverable`] holds (step/depth exhaustion) are
+/// retried — deadlines and cancellations are externally imposed stops,
+/// and panics are bugs no budget fixes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per goal (0 disables retrying — the default).
+    pub attempts: u32,
+    /// Step-limit multiplier applied per retry (clamped to ≥ 2).
+    pub escalation: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 0,
+            escalation: 4,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy retrying up to `attempts` times with the default 4×
+    /// step-limit escalation.
+    pub fn retries(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The step limit for retry number `attempt` (1-based) over a base
+    /// limit, saturating at `u64::MAX`.
+    fn escalated(&self, base: u64, attempt: u32) -> u64 {
+        let factor = self.escalation.max(2);
+        (0..attempt).fold(base, |acc, _| acc.saturating_mul(factor))
+    }
+}
+
 /// The result of a parallel world-view audit
 /// ([`Specification::audit_world_views`]).
 #[derive(Clone, Debug)]
@@ -81,10 +141,21 @@ pub struct AuditReport {
     /// Violations each world-view member contributed (after global
     /// deduplication), in world-view order.
     pub per_model: Vec<(String, usize)>,
+    /// World-view members whose audit goal failed (after any retries):
+    /// the report's violations are exactly those derivable from the
+    /// *other* members — partial but honest. Empty on a clean audit.
+    pub incomplete: Vec<AuditFailure>,
     /// Execution counters merged across all workers.
     pub stats: SolverStats,
     /// The worker count actually used.
     pub workers: usize,
+}
+
+impl AuditReport {
+    /// Did every world-view member evaluate to completion?
+    pub fn is_complete(&self) -> bool {
+        self.incomplete.is_empty()
+    }
 }
 
 impl std::fmt::Display for Violation {
@@ -135,6 +206,16 @@ pub struct Specification {
     profiler: Mutex<Profiler>,
     /// The port-event ring of the most recent traced query.
     last_trace: Mutex<Option<RingTrace>>,
+    /// Optional wall-clock bound attached to every query budget.
+    deadline: Option<Duration>,
+    /// The session's cancellation token, attached to every query budget.
+    /// Cloned out via [`Self::cancel_token`] so e.g. a Ctrl-C handler can
+    /// trip it from another thread.
+    cancel: CancelToken,
+    /// How audits re-attempt budget-exhausted goals.
+    retry: RetryPolicy,
+    /// Deterministic fault injection for audits (tests / `GDP_CHAOS`).
+    chaos: Option<ChaosConfig>,
 }
 
 impl Default for Specification {
@@ -177,6 +258,10 @@ impl Specification {
             trace_capacity: 512,
             profiler: Mutex::new(Profiler::new()),
             last_trace: Mutex::new(None),
+            deadline: None,
+            cancel: CancelToken::new(),
+            retry: RetryPolicy::default(),
+            chaos: None,
         };
         register_domain_native(&mut spec.kb, Arc::clone(&spec.domains));
         spec.install_kernel();
@@ -204,6 +289,11 @@ impl Specification {
         if matches!(std::env::var("GDP_PROFILE").as_deref(), Ok("1") | Ok("on")) {
             spec.set_profile(true);
         }
+        // Fault-injection hook: `GDP_CHAOS=<seed>` (or `kind:K`) arms the
+        // deterministic chaos harness for every audit this specification
+        // runs — the CI chaos leg re-runs the fault-tolerance suite under
+        // a seed matrix this way. Unset: no injection, no overhead.
+        spec.chaos = ChaosConfig::from_env();
         spec
     }
 
@@ -658,7 +748,17 @@ impl Specification {
     // ----- queries ----------------------------------------------------------
 
     fn budget(&self) -> Budget {
-        Budget::new(self.step_limit, self.depth_limit)
+        self.budget_with_steps(self.step_limit)
+    }
+
+    /// A query budget with an explicit step limit (retries escalate it)
+    /// and the session's deadline and cancellation token attached.
+    fn budget_with_steps(&self, step_limit: u64) -> Budget {
+        let mut budget = Budget::new(step_limit, self.depth_limit).with_cancel(self.cancel.clone());
+        if let Some(d) = self.deadline {
+            budget = budget.with_deadline_in(d);
+        }
+        budget
     }
 
     /// Snapshot a solver's counters as the most recent query's stats.
@@ -695,14 +795,25 @@ impl Specification {
     /// The shared solve path: every `&self` query funnels through here (or
     /// [`Self::prove_inner`]) so observation is wired in exactly once.
     fn solve_n_goal(&self, goal: Term, limit: usize) -> SpecResult<Vec<gdp_engine::Solution>> {
+        self.solve_n_goal_budget(goal, limit, self.budget())
+    }
+
+    /// [`Self::solve_n_goal`] with an explicit budget (the retry path
+    /// escalates step limits per attempt).
+    fn solve_n_goal_budget(
+        &self,
+        goal: Term,
+        limit: usize,
+        budget: Budget,
+    ) -> SpecResult<Vec<gdp_engine::Solution>> {
         if self.observing() {
-            let solver = Solver::with_sink(&self.kb, self.budget(), self.observer_sink());
+            let solver = Solver::with_sink(&self.kb, budget, self.observer_sink());
             let out = solver.solve(goal, limit);
             self.record_stats(&solver);
             self.harvest(solver.into_sink());
             Ok(out?)
         } else {
-            let solver = Solver::new(&self.kb, self.budget());
+            let solver = Solver::new(&self.kb, budget);
             let out = solver.solve(goal, limit);
             self.record_stats(&solver);
             Ok(out?)
@@ -764,6 +875,51 @@ impl Specification {
     pub fn set_budget(&mut self, step_limit: u64, depth_limit: u32) {
         self.step_limit = step_limit;
         self.depth_limit = depth_limit;
+    }
+
+    // ----- fault tolerance --------------------------------------------------
+
+    /// Bound every query and audit by wall-clock time in addition to
+    /// steps (`None` — the default — removes the bound). The deadline is
+    /// per query: it starts when the query starts.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// The configured wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// A handle to the session's cancellation token. Trip it from any
+    /// thread ([`CancelToken::cancel`]) to stop the in-flight query with
+    /// [`EngineError::Cancelled`]; [`CancelToken::reset`] re-arms it for
+    /// the next query. The specification itself never resets the token —
+    /// the interactive layer decides when a cancellation is consumed.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Configure how audits retry budget-exhausted goals.
+    pub fn set_retry(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The active retry policy.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Arm (or disarm) deterministic fault injection for audits. Also set
+    /// at construction from the `GDP_CHAOS` environment variable; tests
+    /// computing a fault-free baseline should explicitly pass `None`.
+    pub fn set_chaos(&mut self, chaos: Option<ChaosConfig>) {
+        self.chaos = chaos;
+    }
+
+    /// The active fault-injection point, if any.
+    pub fn chaos(&self) -> Option<ChaosConfig> {
+        self.chaos
     }
 
     // ----- observability ----------------------------------------------------
@@ -916,6 +1072,12 @@ impl Specification {
     /// Evaluate every constraint visible in the active world view and
     /// return the violations (§III.C, §III.E). An empty result means the
     /// world view is *consistent*.
+    ///
+    /// Budget-exhausted checks are retried under the active
+    /// [`RetryPolicy`] with escalated step limits before the error is
+    /// surfaced. (The sequential check evaluates one goal, so there is no
+    /// partial report to degrade to — use
+    /// [`Self::audit_world_views`] for per-member degraded evaluation.)
     pub fn check_consistency(&self) -> SpecResult<Vec<Violation>> {
         let goal = reify::visible(
             Term::var(0),
@@ -924,7 +1086,19 @@ impl Specification {
             Term::atom(ERROR_PRED),
             Term::var(3),
         );
-        let solutions = self.solve_n_goal(goal, usize::MAX)?;
+        let mut attempt = 0u32;
+        let solutions = loop {
+            let budget = self.budget_with_steps(self.retry.escalated(self.step_limit, attempt));
+            match self.solve_n_goal_budget(goal.clone(), usize::MAX, budget) {
+                Ok(solutions) => break solutions,
+                Err(SpecError::Engine(e))
+                    if e.is_recoverable() && attempt < self.retry.attempts =>
+                {
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        };
         let mut out = Vec::new();
         for sol in solutions {
             let model = sol.get(gdp_engine::Var(0)).cloned().unwrap_or(Term::var(0));
@@ -934,6 +1108,31 @@ impl Specification {
             }
         }
         Ok(out)
+    }
+
+    /// The violations one world-view member's constraints derive, in
+    /// derivation order, *without* cross-model deduplication — the raw
+    /// per-model list [`Self::audit_world_views`] merges. Exposed so the
+    /// fault-tolerance harness can state its key property ("a degraded
+    /// audit equals the fault-free audit restricted to the goals that
+    /// completed") against independently computed per-model baselines.
+    pub fn violations_for_model(&self, model: &str) -> SpecResult<Vec<Violation>> {
+        let solutions = self.solve_n_goal(Self::audit_goal(model), usize::MAX)?;
+        Ok(solutions
+            .iter()
+            .map(|sol| Self::violation_from(Term::atom(model), sol))
+            .collect())
+    }
+
+    /// The per-model `ERROR`-derivation goal the audit fans out.
+    fn audit_goal(model: &str) -> Term {
+        reify::visible(
+            Term::atom(model),
+            Term::var(1),
+            Term::var(2),
+            Term::atom(ERROR_PRED),
+            Term::var(3),
+        )
     }
 
     /// Decode one `visible(M, S, T, error, A)` solution into a
@@ -973,21 +1172,26 @@ impl Specification {
     ///
     /// The step budget is global: each worker receives an equal share, so
     /// the audit can consume at most the same budget as the sequential
-    /// check. Merged per-worker counters are recorded as the
-    /// specification's last stats and returned in the report.
+    /// check. Merged per-worker counters (including any retry attempts)
+    /// are recorded as the specification's last stats and returned in the
+    /// report.
+    ///
+    /// ## Degraded-mode evaluation
+    ///
+    /// A failing goal no longer aborts the audit. Each member's goal that
+    /// errors — budget exhaustion, deadline, cancellation, or a contained
+    /// panic — is first re-attempted under the active [`RetryPolicy`]
+    /// (budget-recoverable errors only, sequentially, with escalated step
+    /// limits), and if it still fails it is recorded in
+    /// [`AuditReport::incomplete`] with a zero count in
+    /// [`AuditReport::per_model`], while every other member's violations
+    /// are reported normally. Callers decide whether a partial audit is
+    /// acceptable via [`AuditReport::is_complete`].
     pub fn audit_world_views(&self, workers: usize) -> SpecResult<AuditReport> {
         let goals: Vec<Term> = self
             .world_view
             .iter()
-            .map(|m| {
-                reify::visible(
-                    Term::atom(m),
-                    Term::var(1),
-                    Term::var(2),
-                    Term::atom(ERROR_PRED),
-                    Term::var(3),
-                )
-            })
+            .map(|m| Self::audit_goal(m))
             .collect();
         let mut par = gdp_engine::ParallelSolver::with_budget(
             &self.kb,
@@ -1001,31 +1205,111 @@ impl Specification {
             // interleaved per-worker event orders are not meaningful.)
             par.enable_profile();
         }
+        par.set_deadline(self.deadline);
+        par.set_cancel(self.cancel.clone());
+        par.set_chaos(self.chaos);
         let results = par.solve_batch(&goals);
-        let stats = par.stats();
-        *self.last_stats.lock() = stats;
+        let mut stats = par.stats();
         if let Some(p) = par.profile() {
             self.profiler.lock().absorb(&p);
         }
         let mut violations: Vec<Violation> = Vec::new();
         let mut per_model = Vec::with_capacity(self.world_view.len());
-        for (name, result) in self.world_view.iter().zip(results) {
-            let mut count = 0usize;
-            for sol in result? {
-                let v = Self::violation_from(Term::atom(name), &sol);
-                if !violations.contains(&v) {
-                    violations.push(v);
-                    count += 1;
+        let mut incomplete = Vec::new();
+        for ((name, goal), result) in self.world_view.iter().zip(&goals).zip(results) {
+            let result = match result {
+                Ok(solutions) => Ok(solutions),
+                Err(e) => self.retry_audit_goal(goal, e, &mut stats),
+            };
+            match result {
+                Ok(solutions) => {
+                    let mut count = 0usize;
+                    for sol in solutions {
+                        let v = Self::violation_from(Term::atom(name), &sol);
+                        if !violations.contains(&v) {
+                            violations.push(v);
+                            count += 1;
+                        }
+                    }
+                    per_model.push((name.clone(), count));
+                }
+                Err((error, attempts)) => {
+                    per_model.push((name.clone(), 0));
+                    incomplete.push(AuditFailure {
+                        model: name.clone(),
+                        goal: goal.clone(),
+                        error,
+                        attempts,
+                    });
                 }
             }
-            per_model.push((name.clone(), count));
         }
+        *self.last_stats.lock() = stats;
         Ok(AuditReport {
             violations,
             per_model,
             stats,
+            incomplete,
             workers: par.workers(),
         })
+    }
+
+    /// Re-attempt one audit goal that failed in the parallel fan-out.
+    /// Only budget-recoverable errors ([`EngineError::is_recoverable`])
+    /// are retried, sequentially, each attempt under an escalated step
+    /// limit; the fault-injection token is deliberately *not* re-attached,
+    /// so an injected fault costs one attempt, not the whole policy. Every
+    /// attempt's counters fold into `stats` so the merged ledger still
+    /// reconciles with the absorbed profile. Returns the solutions, or the
+    /// final error together with the number of retry attempts made.
+    fn retry_audit_goal(
+        &self,
+        goal: &Term,
+        first: EngineError,
+        stats: &mut SolverStats,
+    ) -> Result<Vec<gdp_engine::Solution>, (EngineError, u32)> {
+        let mut error = first;
+        let mut attempt = 0u32;
+        while error.is_recoverable() && attempt < self.retry.attempts {
+            attempt += 1;
+            let budget = self.budget_with_steps(self.retry.escalated(self.step_limit, attempt));
+            // catch_unwind mirrors the parallel solver's per-goal isolation:
+            // a panicking native must degrade this member, not the audit.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                if self.profile_enabled {
+                    let solver = Solver::with_sink(&self.kb, budget, Profiler::new());
+                    let out = solver.solve(goal.clone(), usize::MAX);
+                    let s = solver.stats();
+                    (out, s, Some(solver.into_sink()))
+                } else {
+                    let solver = Solver::new(&self.kb, budget);
+                    let out = solver.solve(goal.clone(), usize::MAX);
+                    let s = solver.stats();
+                    (out, s, None)
+                }
+            }));
+            match outcome {
+                Ok((out, s, prof)) => {
+                    stats.absorb(&s);
+                    if let Some(p) = prof {
+                        self.profiler.lock().absorb(&p);
+                    }
+                    match out {
+                        Ok(solutions) => return Ok(solutions),
+                        Err(e) => error = e,
+                    }
+                }
+                Err(payload) => {
+                    let message = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    error = EngineError::GoalPanicked { message };
+                }
+            }
+        }
+        Err((error, attempt))
     }
 
     // ----- low-level access (sibling crates, diagnostics) --------------------
@@ -1421,6 +1705,140 @@ mod tests {
         assert_eq!(prof.total_steps(), report.stats.steps);
         let row_sum: u64 = prof.rows().iter().map(|(_, p)| p.steps).sum();
         assert_eq!(row_sum, report.stats.steps);
+    }
+
+    /// A world view whose `omega` member carries a cheap satisfied
+    /// constraint and whose `bad` member carries a constraint over a
+    /// divergent rule (`loop(a) :- loop(a)`), so `bad`'s audit goal can
+    /// only end by exhausting a resource bound.
+    fn spec_with_divergent_member() -> Specification {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("marker", &["m1"]).model("bad"))
+            .unwrap();
+        spec.assert_fact(fact("capital_of", &["jc", "mo"])).unwrap();
+        spec.assert_fact(fact("capital_of", &["stl", "mo"]))
+            .unwrap();
+        spec.define(Rule::new(
+            fact("loop", &["a"]),
+            Formula::fact(fact("loop", &["a"])),
+        ))
+        .unwrap();
+        spec.constrain(
+            Constraint::new("two_capitals")
+                .witness("Z")
+                .when(Formula::all(vec![
+                    Formula::fact(fact("capital_of", &["X", "Z"])),
+                    Formula::fact(fact("capital_of", &["Y", "Z"])),
+                    Formula::Cmp(CmpOp::NotUnify, Pat::var("X"), Pat::var("Y")),
+                ])),
+        )
+        .unwrap();
+        spec.constrain(
+            Constraint::new("diverges")
+                .model("bad")
+                .when(Formula::fact(fact("loop", &["a"]))),
+        )
+        .unwrap();
+        spec.set_world_view(&["omega", "bad"]).unwrap();
+        spec
+    }
+
+    #[test]
+    fn audit_degrades_per_member_on_budget_exhaustion() {
+        let mut spec = spec_with_divergent_member();
+        spec.set_budget(4_000, 64);
+        let report = spec.audit_world_views(2).unwrap();
+        // omega's violation is still found...
+        assert_eq!(report.violations.len(), 1);
+        // ...and the divergent member is reported, not fatal.
+        assert!(!report.is_complete());
+        assert_eq!(report.incomplete.len(), 1);
+        let failure = &report.incomplete[0];
+        assert_eq!(failure.model, "bad");
+        assert_eq!(failure.attempts, 0); // default policy: no retries
+        assert!(failure.error.is_recoverable());
+        assert_eq!(
+            report.per_model,
+            vec![("omega".to_string(), 1), ("bad".to_string(), 0)]
+        );
+    }
+
+    #[test]
+    fn deadline_degrades_divergent_audit_member() {
+        let mut spec = spec_with_divergent_member();
+        spec.set_budget(u64::MAX, 64);
+        spec.set_deadline(Some(Duration::from_millis(25)));
+        let report = spec.audit_world_views(2).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        assert!(report
+            .incomplete
+            .iter()
+            .any(|f| matches!(f.error, EngineError::DeadlineExceeded { .. })));
+        // A deadline is not budget-recoverable: no retries were burned.
+        assert_eq!(report.incomplete[0].attempts, 0);
+    }
+
+    #[test]
+    fn retry_policy_rescues_budget_limited_audit_goals() {
+        let mut spec = Specification::new();
+        // Enough facts that the constraint's quadratic join exceeds the
+        // base per-worker budget but fits an escalated one.
+        let names: Vec<String> = (0..40).map(|i| format!("x{i}")).collect();
+        for n in &names {
+            spec.assert_fact(fact("p", &[n.as_str()])).unwrap();
+        }
+        spec.constrain(
+            Constraint::new("crowded")
+                .witness("X")
+                .witness("Y")
+                .when(Formula::all(vec![
+                    Formula::fact(fact("p", &["X"])),
+                    Formula::fact(fact("p", &["Y"])),
+                    Formula::Cmp(CmpOp::NotUnify, Pat::var("X"), Pat::var("Y")),
+                ])),
+        )
+        .unwrap();
+        spec.set_budget(2_000, 64);
+        spec.set_profile(true);
+        spec.reset_profile();
+
+        // Without retries the goal is budget-limited...
+        let report = spec.audit_world_views(1).unwrap();
+        assert!(!report.is_complete());
+        assert!(matches!(
+            report.incomplete[0].error,
+            EngineError::StepLimit { .. }
+        ));
+
+        // ...and with an escalating policy the same audit completes.
+        spec.set_retry(RetryPolicy::retries(3));
+        spec.reset_profile();
+        let report = spec.audit_world_views(1).unwrap();
+        assert!(report.is_complete(), "escalation should rescue the goal");
+        assert_eq!(report.violations.len(), 40 * 39);
+        // Retry attempts fold into the merged ledger: the absorbed profile
+        // still accounts for every recorded step.
+        let prof = spec.profile();
+        assert_eq!(prof.total_steps(), report.stats.steps);
+    }
+
+    #[test]
+    fn violations_for_model_matches_audit_restriction() {
+        let mut spec = spec_with_divergent_member();
+        spec.set_budget(4_000, 64);
+        let report = spec.audit_world_views(2).unwrap();
+        let mut expected: Vec<Violation> = Vec::new();
+        for (name, _) in report.per_model.iter() {
+            if report.incomplete.iter().any(|f| &f.model == name) {
+                continue;
+            }
+            for v in spec.violations_for_model(name).unwrap() {
+                if !expected.contains(&v) {
+                    expected.push(v);
+                }
+            }
+        }
+        assert_eq!(report.violations, expected);
     }
 
     #[test]

@@ -5,11 +5,102 @@
 //! [`Budget`] is shared (via `Rc<Cell<_>>`) between a solver and all the
 //! sub-solvers it spawns for `not`, `forall`, and aggregation goals, so a
 //! query cannot dodge its limit by hiding work inside a negation.
+//!
+//! Beyond the step and depth counters, a budget can carry two *external*
+//! bounds, both checked amortized (every [`CHECK_INTERVAL`] steps, so the
+//! hot path stays a decrement-and-compare):
+//!
+//! * a wall-clock **deadline** ([`Budget::with_deadline`]) — steps bound
+//!   work, but a step over a pathological index or a slow native has no
+//!   fixed cost, so interactive sessions also want a bound in seconds;
+//! * one or more [`CancelToken`]s ([`Budget::with_cancel`]) — a shared
+//!   atomic flag a *different thread* (a Ctrl-C handler, a supervising
+//!   audit, a fault-injection harness) can trip to stop the query
+//!   cooperatively. The solver keeps its single-threaded `Rc` interior;
+//!   only the token crosses threads.
 
 use std::cell::Cell;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use crate::error::{EngineError, EngineResult};
+
+/// External bounds are polled every this many steps. A power of two: the
+/// check is `left & (CHECK_INTERVAL - 1) == 0` on the already-loaded step
+/// counter, so the common case adds one AND and one branch per step.
+pub const CHECK_INTERVAL: u64 = 1024;
+
+const FAULT_NONE: u8 = 0;
+const FAULT_CANCELLED: u8 = 1;
+const FAULT_EXPIRED: u8 = 2;
+
+/// A shared cancellation flag.
+///
+/// Cloning yields a handle to the *same* flag; the token is `Send + Sync`
+/// (an `Arc` over an atomic), so one side can hand a clone to another
+/// thread — a signal handler, a watchdog — and keep solving on its own.
+/// Solvers notice a tripped token at the next amortized budget check and
+/// return [`EngineError::Cancelled`] (or [`EngineError::DeadlineExceeded`]
+/// after [`CancelToken::expire`]) as an ordinary error value: cancellation
+/// is cooperative, never a thread kill, so no lock, table, or knowledge
+/// base is ever left mid-mutation.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicU8>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Trip the token: every budget holding a handle reports
+    /// [`EngineError::Cancelled`] at its next check.
+    pub fn cancel(&self) {
+        self.flag.store(FAULT_CANCELLED, Ordering::Relaxed);
+    }
+
+    /// Trip the token as a *deadline*: every budget holding a handle
+    /// reports [`EngineError::DeadlineExceeded`] at its next check. Used
+    /// by the fault-injection harness ([`crate::ChaosSink`]) to force
+    /// deadline expiry deterministically, without depending on wall-clock
+    /// timing.
+    pub fn expire(&self) {
+        self.flag.store(FAULT_EXPIRED, Ordering::Relaxed);
+    }
+
+    /// Has the token been tripped (by either [`cancel`](Self::cancel) or
+    /// [`expire`](Self::expire))?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) != FAULT_NONE
+    }
+
+    /// Clear the token so the next query can reuse it (a REPL resets its
+    /// Ctrl-C token before each statement).
+    pub fn reset(&self) {
+        self.flag.store(FAULT_NONE, Ordering::Relaxed);
+    }
+
+    fn check(&self, deadline_ms: u64) -> EngineResult<()> {
+        match self.flag.load(Ordering::Relaxed) {
+            FAULT_NONE => Ok(()),
+            FAULT_EXPIRED => Err(EngineError::DeadlineExceeded {
+                limit_ms: deadline_ms,
+            }),
+            _ => Err(EngineError::Cancelled),
+        }
+    }
+}
+
+/// A wall-clock deadline carried by a budget.
+#[derive(Clone, Copy, Debug)]
+struct Deadline {
+    at: Instant,
+    limit_ms: u64,
+}
 
 /// A shared step/depth budget for one top-level query.
 ///
@@ -20,6 +111,10 @@ pub struct Budget {
     step_limit: u64,
     depth: Rc<Cell<u32>>,
     depth_limit: u32,
+    deadline: Option<Deadline>,
+    /// Usually zero or one token; an audit batch under fault injection
+    /// carries two (the user's and the harness's).
+    signals: Vec<CancelToken>,
 }
 
 impl Default for Budget {
@@ -39,6 +134,8 @@ impl Budget {
             step_limit,
             depth: Rc::new(Cell::new(0)),
             depth_limit,
+            deadline: None,
+            signals: Vec::new(),
         }
     }
 
@@ -46,6 +143,28 @@ impl Budget {
     /// should stay out of the measurement noise floor.
     pub fn unlimited() -> Budget {
         Budget::new(u64::MAX, u32::MAX)
+    }
+
+    /// Attach a wall-clock deadline at an absolute instant. `limit_ms` is
+    /// reported in the resulting [`EngineError::DeadlineExceeded`]; an
+    /// audit batch passes the same instant to every worker so the whole
+    /// batch shares one deadline.
+    pub fn with_deadline(mut self, at: Instant, limit_ms: u64) -> Budget {
+        self.deadline = Some(Deadline { at, limit_ms });
+        self
+    }
+
+    /// Attach a wall-clock deadline `after` from now.
+    pub fn with_deadline_in(self, after: Duration) -> Budget {
+        let ms = after.as_millis().min(u128::from(u64::MAX)) as u64;
+        self.with_deadline(Instant::now() + after, ms)
+    }
+
+    /// Attach a cancellation token. May be called more than once; every
+    /// attached token is polled at the amortized check.
+    pub fn with_cancel(mut self, token: CancelToken) -> Budget {
+        self.signals.push(token);
+        self
     }
 
     /// The configured step limit.
@@ -59,6 +178,12 @@ impl Budget {
     }
 
     /// Consume one inference step.
+    ///
+    /// External bounds (deadline, cancellation) are polled first, every
+    /// [`CHECK_INTERVAL`] steps — *before* the step is consumed, so a step
+    /// the solver never attributes to a predicate is never counted. This
+    /// keeps the profiler's ledger reconciling exactly with
+    /// [`Self::steps_used`] on every exit path.
     #[inline]
     pub fn step(&self) -> EngineResult<()> {
         let left = self.steps_left.get();
@@ -67,7 +192,29 @@ impl Budget {
                 limit: self.step_limit,
             });
         }
+        if left & (CHECK_INTERVAL - 1) == 0 {
+            self.check_external()?;
+        }
         self.steps_left.set(left - 1);
+        Ok(())
+    }
+
+    /// Poll the external bounds. Out of line: the hot path pays only the
+    /// interval test.
+    #[cold]
+    #[inline(never)]
+    fn check_external(&self) -> EngineResult<()> {
+        let deadline_ms = self.deadline.map_or(0, |d| d.limit_ms);
+        for token in &self.signals {
+            token.check(deadline_ms)?;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d.at {
+                return Err(EngineError::DeadlineExceeded {
+                    limit_ms: d.limit_ms,
+                });
+            }
+        }
         Ok(())
     }
 
@@ -100,6 +247,12 @@ impl Budget {
 }
 
 /// RAII guard decrementing the nesting depth when a sub-solver finishes.
+///
+/// The decrement runs in `Drop`, so the depth counter is restored on
+/// *every* exit path — early returns, `?` propagation, and panic unwinds
+/// alike. That last case is what makes the parallel solver's per-goal
+/// `catch_unwind` isolation sound: a panicking native inside a `not(...)`
+/// leaves the shared depth counter exactly where it was.
 pub struct DepthGuard {
     depth: Rc<Cell<u32>>,
 }
@@ -144,5 +297,76 @@ mod tests {
         drop(g3);
         drop(g1);
         assert!(b.enter().is_ok());
+    }
+
+    #[test]
+    fn depth_guard_restores_across_unwind() {
+        let b = Budget::new(100, 4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g1 = b.enter().unwrap();
+            let _g2 = b.enter().unwrap();
+            panic!("boom");
+        }));
+        assert!(result.is_err());
+        // Both guards unwound: the depth is back to the top level and the
+        // budget is as usable as before the panic.
+        assert_eq!(b.depth(), 0);
+        let g = b.enter().unwrap();
+        assert_eq!(b.depth(), 1);
+        drop(g);
+    }
+
+    #[test]
+    fn cancel_token_trips_within_one_interval() {
+        let token = CancelToken::new();
+        let b = Budget::new(u64::MAX, 8).with_cancel(token.clone());
+        token.cancel();
+        let mut steps = 0u64;
+        let err = loop {
+            match b.step() {
+                Ok(()) => steps += 1,
+                Err(e) => break e,
+            }
+            assert!(steps <= CHECK_INTERVAL, "cancellation was not observed");
+        };
+        assert_eq!(err, EngineError::Cancelled);
+        // And the token can be cleared for the next query.
+        token.reset();
+        assert!(!token.is_cancelled());
+        assert!(b.step().is_ok());
+    }
+
+    #[test]
+    fn expired_token_reports_deadline() {
+        let token = CancelToken::new();
+        let b = Budget::new(u64::MAX, 8).with_cancel(token.clone());
+        token.expire();
+        let err = loop {
+            if let Err(e) = b.step() {
+                break e;
+            }
+        };
+        assert_eq!(err, EngineError::DeadlineExceeded { limit_ms: 0 });
+    }
+
+    #[test]
+    fn past_deadline_trips() {
+        let b = Budget::new(u64::MAX, 8).with_deadline(Instant::now(), 7);
+        let err = loop {
+            if let Err(e) = b.step() {
+                break e;
+            }
+        };
+        assert_eq!(err, EngineError::DeadlineExceeded { limit_ms: 7 });
+    }
+
+    #[test]
+    fn external_failure_consumes_no_step() {
+        let token = CancelToken::new();
+        let b = Budget::new(CHECK_INTERVAL * 4, 8).with_cancel(token.clone());
+        token.cancel();
+        let used_before = b.steps_used();
+        assert_eq!(b.step(), Err(EngineError::Cancelled));
+        assert_eq!(b.steps_used(), used_before);
     }
 }

@@ -14,12 +14,37 @@ use crate::term::Term;
 pub type EngineResult<T> = Result<T, EngineError>;
 
 /// Everything that can go wrong while solving a goal.
+///
+/// Marked `#[non_exhaustive]`: fault-tolerance work keeps adding ways a
+/// goal can stop (deadlines, cancellation, panic capture), and downstream
+/// matches must not break each time. Classify errors with
+/// [`EngineError::is_resource_limit`] / [`EngineError::is_recoverable`]
+/// rather than enumerating variants.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum EngineError {
     /// The step budget was exhausted; the query may be non-terminating.
     StepLimit {
         /// The configured limit that was reached.
         limit: u64,
+    },
+    /// The budget's wall-clock deadline passed (or was force-expired by
+    /// the fault-injection harness).
+    DeadlineExceeded {
+        /// The configured deadline in milliseconds (0 when the expiry was
+        /// injected without a configured deadline).
+        limit_ms: u64,
+    },
+    /// The query was cancelled cooperatively through a
+    /// [`crate::CancelToken`] (Ctrl-C in the REPL, a supervising audit,
+    /// the fault-injection harness).
+    Cancelled,
+    /// The goal's evaluation panicked (a buggy native predicate, or an
+    /// injected fault) and the panic was contained at the per-goal
+    /// isolation boundary instead of unwinding across the API.
+    GoalPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
     },
     /// The depth budget (nested sub-solver calls: `not`, `forall`,
     /// aggregation) was exhausted.
@@ -93,11 +118,49 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// Did the goal stop because a configured resource bound — steps,
+    /// depth, or wall-clock deadline — ran out? These are properties of
+    /// the *budget*, not of the goal: the same goal may well succeed under
+    /// a larger one.
+    pub fn is_resource_limit(&self) -> bool {
+        matches!(
+            self,
+            EngineError::StepLimit { .. }
+                | EngineError::DepthLimit { .. }
+                | EngineError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// Would re-running the goal with an escalated step/depth budget
+    /// plausibly succeed? True exactly for [`EngineError::StepLimit`] and
+    /// [`EngineError::DepthLimit`] — a deadline or cancellation is an
+    /// externally imposed stop (retrying inside the same deadline is
+    /// futile), and a panic or semantic error is a bug in the goal, which
+    /// no budget fixes. This is the predicate a retry policy keys on.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            EngineError::StepLimit { .. } | EngineError::DepthLimit { .. }
+        )
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::StepLimit { limit } => {
                 write!(f, "inference step limit exhausted ({limit} steps)")
+            }
+            EngineError::DeadlineExceeded { limit_ms: 0 } => {
+                write!(f, "wall-clock deadline exceeded")
+            }
+            EngineError::DeadlineExceeded { limit_ms } => {
+                write!(f, "wall-clock deadline exceeded ({limit_ms} ms)")
+            }
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::GoalPanicked { message } => {
+                write!(f, "goal evaluation panicked: {message}")
             }
             EngineError::DepthLimit { limit } => {
                 write!(f, "sub-solver depth limit exhausted ({limit} levels)")
@@ -156,6 +219,23 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("is/2"));
         assert!(msg.contains("green"));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(EngineError::StepLimit { limit: 1 }.is_resource_limit());
+        assert!(EngineError::StepLimit { limit: 1 }.is_recoverable());
+        assert!(EngineError::DepthLimit { limit: 1 }.is_recoverable());
+        assert!(EngineError::DeadlineExceeded { limit_ms: 10 }.is_resource_limit());
+        assert!(!EngineError::DeadlineExceeded { limit_ms: 10 }.is_recoverable());
+        assert!(!EngineError::Cancelled.is_resource_limit());
+        assert!(!EngineError::Cancelled.is_recoverable());
+        let panicked = EngineError::GoalPanicked {
+            message: "boom".into(),
+        };
+        assert!(!panicked.is_resource_limit());
+        assert!(!panicked.is_recoverable());
+        assert!(!EngineError::DivisionByZero.is_resource_limit());
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 mod budget;
 mod builtins;
+pub mod chaos;
 mod error;
 mod hash;
 mod kb;
@@ -55,7 +56,8 @@ mod unify;
 
 pub mod arith;
 
-pub use budget::Budget;
+pub use budget::{Budget, CancelToken, DepthGuard, CHECK_INTERVAL};
+pub use chaos::{ChaosConfig, ChaosSink, FaultKind};
 pub use error::{EngineError, EngineResult};
 pub use hash::{FxHashMap, FxHashSet};
 pub use kb::{Clause, GroupId, KnowledgeBase, NativeFn, NativeOutcome, PredKey};

@@ -35,13 +35,16 @@
 //! (enumeration over an immutable base is deterministic) and last-write
 //! simply wins.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::thread;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use crate::budget::Budget;
-use crate::error::EngineResult;
+use crate::budget::{Budget, CancelToken};
+use crate::chaos::{ChaosConfig, ChaosSink};
+use crate::error::{EngineError, EngineResult};
 use crate::kb::KnowledgeBase;
 use crate::solver::{Solution, Solver, SolverStats};
 use crate::term::Term;
@@ -57,6 +60,48 @@ const _: fn() = || {
     assert_send_sync::<ParallelSolver<'_>>();
 };
 
+/// Expand the four sink configurations (profiling × chaos) of one batch
+/// entry point. A macro rather than a helper function because the `eval`
+/// closure must be monomorphized per sink type and closures cannot be
+/// generic over a type parameter.
+macro_rules! dispatch_batch {
+    ($self:expr, $goals:expr, $eval:expr) => {{
+        let this = $self;
+        match (&this.profile, this.chaos) {
+            (Some(profile), None) => this.run_batch(
+                $goals,
+                $eval,
+                Profiler::new,
+                |p| profile.lock().absorb(&p),
+                None,
+            ),
+            (None, None) => this.run_batch($goals, $eval, || NullSink, |_| {}, None),
+            (Some(profile), Some(cfg)) => {
+                let token = CancelToken::new();
+                let mk = {
+                    let token = token.clone();
+                    move || ChaosSink::new(cfg, token.clone(), Profiler::new())
+                };
+                this.run_batch(
+                    $goals,
+                    $eval,
+                    mk,
+                    |s: ChaosSink<Profiler>| profile.lock().absorb(&s.into_inner()),
+                    Some(token),
+                )
+            }
+            (None, Some(cfg)) => {
+                let token = CancelToken::new();
+                let mk = {
+                    let token = token.clone();
+                    move || ChaosSink::new(cfg, token.clone(), NullSink)
+                };
+                this.run_batch($goals, $eval, mk, |_: ChaosSink| {}, Some(token))
+            }
+        }
+    }};
+}
+
 /// A fan-out driver: solves batches of independent goals across worker
 /// threads sharing one read-only [`KnowledgeBase`].
 ///
@@ -70,6 +115,9 @@ pub struct ParallelSolver<'kb> {
     depth_limit: u32,
     stats: Mutex<SolverStats>,
     profile: Option<Mutex<Profiler>>,
+    deadline: Option<Duration>,
+    cancel: Option<CancelToken>,
+    chaos: Option<ChaosConfig>,
 }
 
 impl<'kb> ParallelSolver<'kb> {
@@ -97,7 +145,32 @@ impl<'kb> ParallelSolver<'kb> {
             depth_limit,
             stats: Mutex::new(SolverStats::default()),
             profile: None,
+            deadline: None,
+            cancel: None,
+            chaos: None,
         }
+    }
+
+    /// Bound each subsequent batch by wall-clock time as well as steps:
+    /// the deadline instant is computed once per batch and shared by
+    /// every worker, and an exceeded deadline fails the affected goals
+    /// with [`EngineError::DeadlineExceeded`].
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
+    /// Attach a cancellation token polled by every worker's budget, so one
+    /// external trip (a Ctrl-C handler, a supervisor) stops the whole
+    /// batch cooperatively with [`EngineError::Cancelled`] results.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// Arm deterministic fault injection: each worker's trace sink is
+    /// wrapped in a [`ChaosSink`] firing at the configured event index
+    /// (counted per worker). See [`crate::chaos`].
+    pub fn set_chaos(&mut self, chaos: Option<ChaosConfig>) {
+        self.chaos = chaos;
     }
 
     /// Switch on per-predicate profiling for subsequent batches. Each
@@ -142,59 +215,53 @@ impl<'kb> ParallelSolver<'kb> {
     /// scheduling — only wall-clock and the step-budget partition differ.
     pub fn solve_batch(&self, goals: &[Term]) -> Vec<EngineResult<Vec<Solution>>> {
         // The eval closure cannot be generic over the sink type, so each
-        // sink choice gets its own (identical) closure literal.
-        if let Some(profile) = &self.profile {
-            self.run_batch(
-                goals,
-                |solver, goal| solver.solve_all(goal.clone()),
-                Profiler::new,
-                |p| profile.lock().absorb(&p),
-            )
-        } else {
-            self.run_batch(
-                goals,
-                |solver, goal| solver.solve_all(goal.clone()),
-                || NullSink,
-                |_| {},
-            )
-        }
+        // sink configuration (profiling × chaos) gets its own (identical)
+        // closure literal, spelled once by the macro below.
+        dispatch_batch!(self, goals, |solver, goal| solver.solve_all(goal.clone()))
     }
 
     /// Batched provability: one `Solver::prove` outcome per goal, in input
     /// order.
     pub fn prove_batch(&self, goals: &[Term]) -> Vec<EngineResult<bool>> {
-        if let Some(profile) = &self.profile {
-            self.run_batch(
-                goals,
-                |solver, goal| solver.prove(goal.clone()),
-                Profiler::new,
-                |p| profile.lock().absorb(&p),
-            )
-        } else {
-            self.run_batch(
-                goals,
-                |solver, goal| solver.prove(goal.clone()),
-                || NullSink,
-                |_| {},
-            )
-        }
+        dispatch_batch!(self, goals, |solver, goal| solver.prove(goal.clone()))
     }
 
     /// The shared fan-out loop. `mk_sink` builds one private trace sink
     /// per worker (sinks, like solvers, never cross threads); `merge` is
-    /// called with each worker's sink at the join point.
+    /// called with each worker's sink at the join point; `extra_cancel` is
+    /// an additional token attached to every worker budget (the chaos
+    /// harness's channel from sink to budget).
+    ///
+    /// Each goal is evaluated inside `catch_unwind`: a panicking native
+    /// (or injected fault) is converted into an
+    /// [`EngineError::GoalPanicked`] result for *that goal only*. This is
+    /// sound because everything a panic can interrupt is unwind-safe by
+    /// construction — `DepthGuard` restores the depth counter in `Drop`,
+    /// `RefCell` borrows release on unwind, the per-machine tabling
+    /// in-progress set dies with its machine, and the shared answer table
+    /// only ever stores *completed* answer sets (its lock is never held
+    /// across an emission site, so a panic cannot poison a half-written
+    /// entry). The worker then continues with the same solver and sink.
     fn run_batch<S: TraceSink, T: Send>(
         &self,
         goals: &[Term],
         eval: impl Fn(&Solver<'_, S>, &Term) -> EngineResult<T> + Sync,
         mk_sink: impl Fn() -> S + Sync,
         merge: impl Fn(S) + Sync,
+        extra_cancel: Option<CancelToken>,
     ) -> Vec<EngineResult<T>> {
         if goals.is_empty() {
             return Vec::new();
         }
         let active = self.workers.min(goals.len());
         let cursor = AtomicUsize::new(0);
+        // One shared deadline instant for the whole batch.
+        let deadline = self.deadline.map(|d| {
+            (
+                Instant::now() + d,
+                d.as_millis().min(u64::MAX.into()) as u64,
+            )
+        });
         // One pre-allocated slot per goal: workers write disjoint indices,
         // so the per-slot locks are uncontended; they exist to satisfy the
         // borrow checker, not to serialize anything.
@@ -202,18 +269,33 @@ impl<'kb> ParallelSolver<'kb> {
             goals.iter().map(|_| Mutex::new(None)).collect();
         thread::scope(|scope| {
             for w in 0..active {
-                let (cursor, slots, eval, mk_sink, merge) =
-                    (&cursor, &slots, &eval, &mk_sink, &merge);
+                let (cursor, slots, eval, mk_sink, merge, extra_cancel) =
+                    (&cursor, &slots, &eval, &mk_sink, &merge, &extra_cancel);
                 scope.spawn(move || {
                     // Budgets, solvers, and sinks are built *inside* the
                     // worker: the first two are Rc-based and deliberately
                     // !Send, and the sink follows the same discipline.
-                    let solver =
-                        Solver::with_sink(self.kb, self.worker_budget(w, active), mk_sink());
+                    let mut budget = self.worker_budget(w, active);
+                    if let Some((at, ms)) = deadline {
+                        budget = budget.with_deadline(at, ms);
+                    }
+                    if let Some(token) = &self.cancel {
+                        budget = budget.with_cancel(token.clone());
+                    }
+                    if let Some(token) = extra_cancel {
+                        budget = budget.with_cancel(token.clone());
+                    }
+                    let solver = Solver::with_sink(self.kb, budget, mk_sink());
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(goal) = goals.get(i) else { break };
-                        *slots[i].lock() = Some(eval(&solver, goal));
+                        let result = catch_unwind(AssertUnwindSafe(|| eval(&solver, goal)))
+                            .unwrap_or_else(|payload| {
+                                Err(EngineError::GoalPanicked {
+                                    message: panic_message(payload.as_ref()),
+                                })
+                            });
+                        *slots[i].lock() = Some(result);
                     }
                     self.stats.lock().absorb(&solver.stats());
                     merge(solver.into_sink());
@@ -224,6 +306,18 @@ impl<'kb> ParallelSolver<'kb> {
             .into_iter()
             .map(|slot| slot.into_inner().expect("batch scope filled every slot"))
             .collect()
+    }
+}
+
+/// Render a caught panic payload (the `&str` / `String` cases cover
+/// `panic!` with a message; anything else is opaque by design).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -367,6 +461,124 @@ mod tests {
         // Profiling must not perturb the answers.
         let plain = ParallelSolver::new(&kb, 4);
         assert_eq!(render(&plain.solve_batch(&goals)), render(&batch));
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_to_its_goal() {
+        let mut kb = kb_edges(true);
+        kb.register_native("boom", 0, |_, _| panic!("native exploded"));
+        let mut goals = reach_goals();
+        goals.insert(2, Term::pred("boom", vec![]));
+        // Sequential expectation for the non-panicking goals.
+        let expected: Vec<_> = reach_goals()
+            .iter()
+            .map(|g| {
+                Solver::new(&kb, Budget::default())
+                    .solve_all(g.clone())
+                    .unwrap()
+            })
+            .collect();
+        crate::chaos::tests_support::with_quiet_panics(|| {
+            for workers in [1, 4] {
+                let par = ParallelSolver::new(&kb, workers);
+                let results = par.solve_batch(&goals);
+                assert_eq!(results.len(), 5);
+                match &results[2] {
+                    Err(EngineError::GoalPanicked { message }) => {
+                        assert!(message.contains("native exploded"))
+                    }
+                    other => panic!("expected GoalPanicked, got {other:?}"),
+                }
+                for (i, expect) in [(0, 0), (1, 1), (3, 2), (4, 3)] {
+                    assert_eq!(
+                        results[i].as_ref().unwrap(),
+                        &expected[expect],
+                        "goal {i} perturbed at {workers} workers"
+                    );
+                }
+                // The shared answer table stayed usable: a fresh batch over
+                // the warmed table still answers correctly.
+                let again = ParallelSolver::new(&kb, workers);
+                let rerun = again.solve_batch(&reach_goals());
+                for (r, expect) in rerun.iter().zip(&expected) {
+                    assert_eq!(r.as_ref().unwrap(), expect);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn cancel_token_stops_the_whole_batch() {
+        // A divergent goal: t/2 over a cyclic edge set has no failure
+        // frontier under plain SLD, so only the budget can stop it.
+        let mut cyclic = KnowledgeBase::new();
+        for (a, b) in [("a", "b"), ("b", "a")] {
+            cyclic.assert_fact(Term::pred("e", vec![Term::atom(a), Term::atom(b)]));
+        }
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        cyclic.assert_clause(
+            Term::pred("t", vec![x.clone(), y.clone()]),
+            Term::and(
+                Term::pred("e", vec![x, z.clone()]),
+                Term::pred("t", vec![z, y]),
+            ),
+        );
+        let mut par = ParallelSolver::with_budget(&cyclic, 2, u64::MAX, 64);
+        let token = crate::budget::CancelToken::new();
+        par.set_cancel(token.clone());
+        let goals = vec![
+            Term::pred("t", vec![Term::atom("a"), Term::atom("q")]),
+            Term::pred("t", vec![Term::atom("b"), Term::atom("q")]),
+        ];
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            token.cancel();
+        });
+        let results = par.solve_batch(&goals);
+        canceller.join().unwrap();
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(EngineError::Cancelled))));
+    }
+
+    #[test]
+    fn batch_deadline_bounds_divergent_goals() {
+        let mut cyclic = KnowledgeBase::new();
+        cyclic.assert_fact(Term::pred("e", vec![Term::atom("a"), Term::atom("a")]));
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        cyclic.assert_clause(
+            Term::pred("t", vec![x.clone(), y.clone()]),
+            Term::and(
+                Term::pred("e", vec![x, z.clone()]),
+                Term::pred("t", vec![z, y]),
+            ),
+        );
+        let mut par = ParallelSolver::with_budget(&cyclic, 2, u64::MAX, 64);
+        par.set_deadline(Some(std::time::Duration::from_millis(50)));
+        let start = std::time::Instant::now();
+        let results = par.solve_batch(&[Term::pred("t", vec![Term::atom("a"), Term::atom("q")])]);
+        assert!(matches!(
+            results[0],
+            Err(EngineError::DeadlineExceeded { limit_ms: 50 })
+        ));
+        assert!(start.elapsed() < std::time::Duration::from_secs(30));
+    }
+
+    #[test]
+    fn profile_reconciles_when_a_worker_errors_mid_batch() {
+        let kb = kb_edges(false);
+        let goals = reach_goals();
+        // Starve the batch: some goals exhaust their share of the budget.
+        let mut par = ParallelSolver::with_budget(&kb, 2, 40, 64);
+        par.enable_profile();
+        let results = par.solve_batch(&goals);
+        assert!(results
+            .iter()
+            .any(|r| matches!(r, Err(EngineError::StepLimit { .. }))));
+        // Every consumed step is still attributed: the merged profile
+        // covers the merged stats exactly, errors notwithstanding.
+        let prof = par.profile().unwrap();
+        assert_eq!(prof.total_steps(), par.stats().steps);
     }
 
     #[test]

@@ -28,9 +28,17 @@ pub enum LangError {
     Load {
         /// Statement index (0-based) within the source.
         statement: usize,
+        /// Source line the statement starts on (1-based; 0 when unknown,
+        /// e.g. for queries built at runtime).
+        line: u32,
         /// The underlying specification error.
         error: gdp_core::SpecError,
     },
+    /// Several independent diagnostics from one load. The loader recovers
+    /// at clause boundaries and keeps applying well-formed statements, so
+    /// a source with multiple defects reports *all* of them in one pass
+    /// instead of one per edit-reload cycle.
+    Batch(Vec<LangError>),
     /// A directive referenced something the loader cannot provide (e.g. a
     /// `#grid` directive without a spatial registry attached).
     Unsupported {
@@ -41,13 +49,48 @@ pub enum LangError {
     },
 }
 
+impl LangError {
+    /// The individual diagnostics behind this error: a
+    /// [`LangError::Batch`] yields its members, anything else yields
+    /// itself. Lets interactive frontends print one line per problem
+    /// without matching on the batch structure.
+    pub fn diagnostics(&self) -> Vec<&LangError> {
+        match self {
+            LangError::Batch(errors) => errors.iter().collect(),
+            other => vec![other],
+        }
+    }
+}
+
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LangError::Lex { pos, message } => write!(f, "lex error at {pos}: {message}"),
             LangError::Parse { pos, message } => write!(f, "parse error at {pos}: {message}"),
-            LangError::Load { statement, error } => {
+            LangError::Load {
+                statement,
+                line: 0,
+                error,
+            } => {
                 write!(f, "load error in statement {}: {error}", statement + 1)
+            }
+            LangError::Load {
+                statement,
+                line,
+                error,
+            } => {
+                write!(
+                    f,
+                    "load error in statement {} (line {line}): {error}",
+                    statement + 1
+                )
+            }
+            LangError::Batch(errors) => {
+                write!(f, "{} errors:", errors.len())?;
+                for e in errors {
+                    write!(f, "\n  {e}")?;
+                }
+                Ok(())
             }
             LangError::Unsupported { pos, message } => {
                 write!(f, "unsupported at {pos}: {message}")

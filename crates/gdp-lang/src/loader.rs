@@ -5,7 +5,7 @@ use gdp_spatial::{GridResolution, SpatialRegistry};
 
 use crate::ast::Statement;
 use crate::error::{LangError, LangResult};
-use crate::parser::parse_program;
+use crate::parser::parse_program_diagnostics;
 use crate::token::Pos;
 
 /// What a load produced.
@@ -48,18 +48,40 @@ impl<'a> Loader<'a> {
     }
 
     /// Parse and execute `src`.
+    ///
+    /// The load is *resilient*: parsing recovers at clause boundaries, and
+    /// a statement the specification rejects does not stop the statements
+    /// after it from being applied. All diagnostics are collected — a
+    /// single one is returned as itself, several as
+    /// [`LangError::Batch`] — so a source with multiple defects reports
+    /// every problem (with line numbers) in one pass. The summary of what
+    /// *did* load is folded into the error-free case only; statements that
+    /// applied before/after a failure remain applied either way.
     pub fn load_str(&mut self, src: &str) -> LangResult<LoadSummary> {
-        let statements = parse_program(src)?;
+        let (statements, mut errors) = parse_program_diagnostics(src);
         let mut summary = LoadSummary::default();
-        for (idx, stmt) in statements.into_iter().enumerate() {
-            self.apply(idx, stmt, &mut summary)?;
+        for (idx, (pos, stmt)) in statements.into_iter().enumerate() {
+            if let Err(e) = self.apply(idx, pos, stmt, &mut summary) {
+                errors.push(e);
+            }
         }
-        Ok(summary)
+        match errors.len() {
+            0 => Ok(summary),
+            1 => Err(errors.pop().expect("len checked")),
+            _ => Err(LangError::Batch(errors)),
+        }
     }
 
-    fn apply(&mut self, idx: usize, stmt: Statement, summary: &mut LoadSummary) -> LangResult<()> {
+    fn apply(
+        &mut self,
+        idx: usize,
+        pos: Pos,
+        stmt: Statement,
+        summary: &mut LoadSummary,
+    ) -> LangResult<()> {
         let load_err = |error| LangError::Load {
             statement: idx,
+            line: pos.line,
             error,
         };
         match stmt {
@@ -109,7 +131,7 @@ impl<'a> Loader<'a> {
             } => {
                 let Some(spatial) = self.spatial else {
                     return Err(LangError::Unsupported {
-                        pos: Pos { line: 0, col: 0 },
+                        pos,
                         message: format!(
                             "#grid {name}: no spatial registry attached to this loader"
                         ),
@@ -175,6 +197,7 @@ pub fn query(spec: &Specification, src: &str) -> LangResult<Vec<Answer>> {
     let f: Formula = crate::parser::parse_formula(src)?;
     spec.satisfy(&f).map_err(|error| LangError::Load {
         statement: 0,
+        line: 0,
         error,
     })
 }
@@ -226,6 +249,44 @@ mod tests {
             LangError::Load { statement, .. } => assert_eq!(statement, 1),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn load_recovers_and_reports_every_diagnostic() {
+        let mut spec = Specification::new();
+        // Line 2 fails to parse, line 4 fails to load (unsafe head var);
+        // the well-formed statements around them must still apply.
+        let err = load(
+            &mut spec,
+            "road(s1).\n\
+             road( .\n\
+             road(s2).\n\
+             ghost(Z) :- road(X).\n\
+             road(s3).",
+        )
+        .unwrap_err();
+        let diags = err.diagnostics();
+        assert_eq!(diags.len(), 2);
+        assert!(
+            matches!(diags[0], LangError::Parse { pos, .. } if pos.line == 2),
+            "{:?}",
+            diags[0]
+        );
+        assert!(
+            matches!(diags[1], LangError::Load { line: 4, .. }),
+            "{:?}",
+            diags[1]
+        );
+        // All three valid facts landed despite the two failures.
+        assert_eq!(query(&spec, "road(X)").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn single_diagnostic_is_not_wrapped_in_a_batch() {
+        let mut spec = Specification::new();
+        let err = load(&mut spec, "road(s1).\nroad( .\nroad(s2).").unwrap_err();
+        assert!(matches!(err, LangError::Parse { .. }), "{err:?}");
+        assert_eq!(query(&spec, "road(X)").unwrap().len(), 2);
     }
 
     #[test]

@@ -36,15 +36,62 @@ use crate::ast::Statement;
 use crate::error::{LangError, LangResult};
 use crate::token::{tokenize, Pos, Spanned, Tok};
 
-/// Parse a whole source file into statements.
+/// Parse a whole source file into statements. Fails on the first
+/// diagnostic; use [`parse_program_diagnostics`] to recover at clause
+/// boundaries and collect every diagnostic in one pass.
 pub fn parse_program(src: &str) -> LangResult<Vec<Statement>> {
-    let toks = tokenize(src)?;
+    let (statements, errors) = parse_program_diagnostics(src);
+    match errors.into_iter().next() {
+        None => Ok(statements.into_iter().map(|(_, s)| s).collect()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Parse a whole source file, recovering at clause boundaries: on a parse
+/// error the parser records the diagnostic, skips forward through the
+/// next statement terminator (`.`), and resumes, so one malformed
+/// statement yields one positioned diagnostic instead of hiding
+/// everything after it. Returns every statement that did parse (tagged
+/// with the position of its first token) alongside every diagnostic, in
+/// source order. Lexical errors are not recoverable (the token stream is
+/// unavailable) and yield a single diagnostic.
+pub fn parse_program_diagnostics(src: &str) -> (Vec<(Pos, Statement)>, Vec<LangError>) {
+    let toks = match tokenize(src) {
+        Ok(toks) => toks,
+        Err(e) => return (Vec::new(), vec![e]),
+    };
     let mut p = Parser { toks, i: 0 };
     let mut out = Vec::new();
+    let mut errors = Vec::new();
     while !p.at(&Tok::Eof) {
-        out.push(p.statement()?);
+        let start = p.i;
+        let pos = p.toks[p.i].pos;
+        match p.statement() {
+            Ok(stmt) => out.push((pos, stmt)),
+            Err(e) => {
+                errors.push(e);
+                if p.i == start {
+                    // The statement consumed nothing; step over the
+                    // offending token so recovery always makes progress.
+                    p.i += 1;
+                }
+                // Skip to just past the next statement terminator —
+                // unless the failing parse already consumed one (a
+                // `bump`-then-reject on the `.` itself), in which case
+                // the next statement starts right here.
+                if p.toks[p.i - 1].tok != Tok::Dot {
+                    while !p.at(&Tok::Eof) {
+                        let done = p.at(&Tok::Dot);
+                        p.i += 1;
+                        if done {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
     }
-    Ok(out)
+    (out, errors)
 }
 
 /// Parse a single formula (for queries built at runtime); no trailing dot.
@@ -160,10 +207,20 @@ impl Parser {
         }
     }
 
+    /// Like [`Self::error`] but positioned at the just-consumed token —
+    /// for `bump`-then-reject sites, where the offending token has
+    /// already been stepped over.
+    fn error_at_prev(&self, message: impl Into<String>) -> LangError {
+        LangError::Parse {
+            pos: self.toks[self.i.saturating_sub(1)].pos,
+            message: message.into(),
+        }
+    }
+
     fn atom(&mut self) -> LangResult<String> {
         match self.bump() {
             Tok::Atom(s) => Ok(s),
-            other => Err(self.error(format!("expected identifier, found `{other}`"))),
+            other => Err(self.error_at_prev(format!("expected identifier, found `{other}`"))),
         }
     }
 
@@ -175,7 +232,7 @@ impl Parser {
         let v = match self.bump() {
             Tok::Int(v) => v as f64,
             Tok::Float(v) => v,
-            other => return Err(self.error(format!("expected number, found `{other}`"))),
+            other => return Err(self.error_at_prev(format!("expected number, found `{other}`"))),
         };
         Ok(if negative { -v } else { v })
     }
@@ -447,7 +504,9 @@ impl Parser {
         let lo_closed = match self.bump() {
             Tok::LBracket => true,
             Tok::LParen => false,
-            other => return Err(self.error(format!("expected `[` or `(`, found `{other}`"))),
+            other => {
+                return Err(self.error_at_prev(format!("expected `[` or `(`, found `{other}`")))
+            }
         };
         let lo = self.expr()?;
         self.expect(&Tok::Comma)?;
@@ -455,7 +514,9 @@ impl Parser {
         let hi_closed = match self.bump() {
             Tok::RBracket => true,
             Tok::RParen => false,
-            other => return Err(self.error(format!("expected `]` or `)`, found `{other}`"))),
+            other => {
+                return Err(self.error_at_prev(format!("expected `]` or `)`, found `{other}`")))
+            }
         };
         Ok(IntervalPat {
             lo,
@@ -714,7 +775,7 @@ impl Parser {
                 Ok(e)
             }
             Tok::LBracket => self.list(),
-            other => Err(self.error(format!("expected term, found `{other}`"))),
+            other => Err(self.error_at_prev(format!("expected term, found `{other}`"))),
         }
     }
 

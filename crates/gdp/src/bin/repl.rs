@@ -16,9 +16,47 @@
 //! ```
 
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::OnceLock;
+use std::time::Duration;
 
-use gdp::lang::{parse_formula, Loader};
+use gdp::lang::{parse_formula, LangError, Loader};
 use gdp::prelude::*;
+
+/// The session's cancellation token, reachable from the SIGINT handler.
+static INTERRUPT: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigint(_sig: i32) {
+    // An atomic store: async-signal-safe. The in-flight query observes
+    // the tripped token at its next budget checkpoint.
+    if let Some(token) = INTERRUPT.get() {
+        token.cancel();
+    }
+}
+
+/// Route Ctrl-C to the cancellation token instead of killing the shell.
+/// Raw `signal(2)` keeps this dependency-free; glibc's `signal` installs
+/// BSD (SA_RESTART) semantics, so the blocking prompt read survives the
+/// interrupt and only the solver notices.
+#[cfg(unix)]
+fn install_sigint(token: CancelToken) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    if INTERRUPT.set(token).is_ok() {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigint(_token: CancelToken) {
+    // No signal plumbing off unix; Ctrl-C keeps its default behavior.
+    let _ = &INTERRUPT;
+    let _ = on_sigint as extern "C" fn(i32);
+}
 
 const HELP: &str = "\
 statements  any specification-language statement ending in `.`
@@ -36,6 +74,9 @@ statements  any specification-language statement ending in `.`
 :profile [MODE]  per-predicate profiler: no argument prints the
             hot-predicate table; on | off | reset manage it
 :budget S D set the per-query step and depth budget
+:deadline MS|off  wall-clock limit per query (Ctrl-C cancels any time)
+:retry [N]  audit retry attempts for budget-limited goals (escalating
+            step limits); no argument prints the current policy
 :help       this text
 :quit       exit";
 
@@ -50,8 +91,9 @@ fn main() {
     // Make the fuzzy rule packs available out of the box.
     spec.spec
         .register_meta_model(gdp::fuzzy::unified_fuzzy(gdp::fuzzy::UnifyPolicy::Max));
+    install_sigint(spec.spec.cancel_token());
 
-    println!("gdp-repl — formal GDP requirements shell (:help for help)");
+    println!("gdp-repl — formal GDP requirements shell (:help for help, Ctrl-C cancels a query)");
     let stdin = std::io::stdin();
     let mut buffer = String::new();
     loop {
@@ -65,6 +107,12 @@ fn main() {
         match stdin.lock().read_line(&mut line) {
             Ok(0) => break, // EOF
             Ok(_) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                // Ctrl-C at the prompt (non-restarting platforms): just
+                // re-prompt.
+                println!();
+                continue;
+            }
             Err(e) => {
                 eprintln!("read error: {e}");
                 break;
@@ -72,7 +120,7 @@ fn main() {
         }
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with(':') {
-            if !spec.command(trimmed) {
+            if !spec.guarded(|s| s.command(trimmed)) {
                 break;
             }
             continue;
@@ -81,7 +129,10 @@ fn main() {
         // A statement ends with `.` at end of line (ignoring whitespace).
         if trimmed.ends_with('.') {
             let source = std::mem::take(&mut buffer);
-            spec.run_source(&source);
+            spec.guarded(|s| {
+                s.run_source(&source);
+                true
+            });
         }
     }
 }
@@ -108,6 +159,44 @@ fn parse_audit_workers(rest: &str) -> Result<usize, String> {
 }
 
 impl Session {
+    /// Run one interaction with the session kept alive across faults: the
+    /// cancellation token is rearmed first (a Ctrl-C that landed after the
+    /// previous query finished must not poison this one), and a panic
+    /// escaping the interaction — a buggy native, an injected fault — is
+    /// contained and reported instead of tearing the shell down.
+    fn guarded(&mut self, f: impl FnOnce(&mut Session) -> bool) -> bool {
+        self.spec.cancel_token().reset();
+        match catch_unwind(AssertUnwindSafe(|| f(self))) {
+            Ok(keep_going) => keep_going,
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                println!("internal panic (session kept): {message}");
+                true
+            }
+        }
+    }
+
+    /// Print one specification-layer failure, reporting interrupts and
+    /// deadlines as first-class outcomes with the steps they consumed.
+    fn report_spec_error(&self, e: &SpecError) {
+        match e {
+            SpecError::Engine(EngineError::Cancelled) => {
+                println!("cancelled. ({} steps used)", self.spec.solver_stats().steps);
+            }
+            SpecError::Engine(EngineError::DeadlineExceeded { .. }) => {
+                println!(
+                    "deadline exceeded. ({} steps used)",
+                    self.spec.solver_stats().steps
+                );
+            }
+            other => println!("error: {other}"),
+        }
+    }
+
     fn run_source(&mut self, source: &str) {
         match Loader::with_spatial(&mut self.spec, &self.reg).load_str(source) {
             Ok(summary) => {
@@ -143,7 +232,22 @@ impl Session {
                     );
                 }
             }
-            Err(e) => println!("error: {e}"),
+            Err(e) => {
+                // One line per diagnostic: the loader recovers at clause
+                // boundaries, so a multi-defect source reports everything.
+                for d in e.diagnostics() {
+                    match d {
+                        LangError::Load {
+                            error:
+                                error @ SpecError::Engine(
+                                    EngineError::Cancelled | EngineError::DeadlineExceeded { .. },
+                                ),
+                            ..
+                        } => self.report_spec_error(error),
+                        other => println!("error: {other}"),
+                    }
+                }
+            }
         }
     }
 
@@ -178,7 +282,7 @@ impl Session {
                         println!("{v}");
                     }
                 }
-                Err(e) => println!("error: {e}"),
+                Err(e) => self.report_spec_error(&e),
             },
             ":audit" => {
                 let workers = match parse_audit_workers(rest) {
@@ -190,7 +294,7 @@ impl Session {
                 };
                 match self.spec.audit_world_views(workers) {
                     Ok(report) => {
-                        if report.violations.is_empty() {
+                        if report.violations.is_empty() && report.is_complete() {
                             println!(
                                 "consistent across {} world-view member(s) ({} workers).",
                                 report.per_model.len(),
@@ -213,13 +317,29 @@ impl Session {
                                 report.workers
                             );
                         }
+                        for f in &report.incomplete {
+                            println!(
+                                "incomplete: {} — {} (after {} retr{})",
+                                f.model,
+                                f.error,
+                                f.attempts,
+                                if f.attempts == 1 { "y" } else { "ies" }
+                            );
+                        }
+                        if !report.is_complete() {
+                            println!(
+                                "degraded audit: {}/{} member(s) reported.",
+                                report.per_model.len() - report.incomplete.len(),
+                                report.per_model.len()
+                            );
+                        }
                         let s = report.stats;
                         println!(
                             "merged: {} steps, {} clause resolutions, table {} hit / {} miss",
                             s.steps, s.resolutions, s.table_hits, s.table_misses
                         );
                     }
-                    Err(e) => println!("error: {e}"),
+                    Err(e) => self.report_spec_error(&e),
                 }
             }
             ":views" => {
@@ -337,6 +457,37 @@ impl Session {
                     _ => println!("usage: :budget <steps> <depth>"),
                 }
             }
+            ":deadline" => match rest {
+                "off" => {
+                    self.spec.set_deadline(None);
+                    println!("deadline off.");
+                }
+                ms => match ms.parse::<u64>() {
+                    Ok(ms) if ms >= 1 => {
+                        self.spec.set_deadline(Some(Duration::from_millis(ms)));
+                        println!("deadline: {ms} ms per query.");
+                    }
+                    _ => println!("usage: :deadline <ms>|off"),
+                },
+            },
+            ":retry" => match rest {
+                "" => {
+                    let policy = self.spec.retry();
+                    println!(
+                        "retry policy: {} attempt(s), x{} step escalation per attempt.",
+                        policy.attempts, policy.escalation
+                    );
+                }
+                n => match n.parse::<u32>() {
+                    Ok(attempts) => {
+                        self.spec.set_retry(RetryPolicy::retries(attempts));
+                        println!(
+                            "audit retries: {attempts} attempt(s) with escalating step limits."
+                        );
+                    }
+                    Err(_) => println!("usage: :retry [<attempts>]"),
+                },
+            },
             other => println!("unknown command {other} (:help for help)"),
         }
         true

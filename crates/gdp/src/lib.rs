@@ -50,11 +50,13 @@ pub use gdp_temporal as temporal;
 /// The most common imports, together.
 pub mod prelude {
     pub use gdp_core::{
-        Answer, ArgsPat, AuditReport, CmpOp, Constraint, DomainDef, FactPat, Formula, IntervalPat,
-        MetaModel, Pat, RawClause, Rule, Sort, SortEnforcement, SpaceQual, SpecError, SpecResult,
-        Specification, TimeQual, Violation,
+        Answer, ArgsPat, AuditFailure, AuditReport, CmpOp, Constraint, DomainDef, FactPat, Formula,
+        IntervalPat, MetaModel, Pat, RawClause, RetryPolicy, Rule, Sort, SortEnforcement,
+        SpaceQual, SpecError, SpecResult, Specification, TimeQual, Violation,
     };
-    pub use gdp_engine::{Budget, KnowledgeBase, ParallelSolver, Solver, Term};
+    pub use gdp_engine::{
+        Budget, CancelToken, ChaosConfig, EngineError, KnowledgeBase, ParallelSolver, Solver, Term,
+    };
     pub use gdp_spatial::{GridResolution, Point, SpatialRegistry};
     pub use gdp_temporal::Interval;
 }

@@ -44,4 +44,29 @@ env GDP_TRACE=1 cargo test -q --release --workspace
 echo "==> cargo test [profile=1, tabling=on]"
 env GDP_PROFILE=1 GDP_TABLING=on cargo test -q --release --workspace
 
+# Chaos legs: GDP_CHAOS injects a deterministic fault (cancel / deadline
+# / panic at a seed-derived port event) into every audit the harness's
+# ambient-env test runs, which then asserts the degraded report is the
+# fault-free audit restricted to the members that completed. Only the
+# chaos harness runs here — it builds its own fault-free baselines; the
+# rest of the suite asserts fault-free answers and is exercised by the
+# matrix above. Seeds cover all three fault kinds (seed % 3) at scattered
+# event depths, crossed with tabling off/on so faults also land on
+# answer-table traffic.
+for seed in 0 1 2 100 101 102 997; do
+    for tabling in unset on; do
+        env_args=("GDP_CHAOS=$seed")
+        if [ "$tabling" != unset ]; then
+            env_args+=("GDP_TABLING=$tabling")
+        fi
+        echo "==> cargo test chaos_harness [GDP_CHAOS=$seed, tabling=$tabling]"
+        env "${env_args[@]}" cargo test -q --release -p gdp --test chaos_harness
+    done
+done
+
+# Deadline smoke: a divergent audit member under an effectively unbounded
+# step budget must be ended by the wall-clock deadline, quickly.
+echo "==> deadline smoke test"
+cargo test -q --release -p gdp --test chaos_harness deadline_bounds_a_divergent_audit_member
+
 echo "ci: all checks passed"
