@@ -1,0 +1,94 @@
+//! T13 — streaming updates: after a committed single-model delta, how much
+//! cheaper is `Specification::audit_incremental` than a full
+//! `audit_world_views` re-audit?
+//!
+//! The workload is `audit_world(16, 80)`: 16 survey models plus omega in
+//! the world view, each member an independent quadratic pair scan. A
+//! streaming revision dirties exactly one model, so the dependency closure
+//! marks one member of seventeen stale — the incremental audit re-solves
+//! that member and merges the sixteen cached results, while the full audit
+//! re-derives all seventeen. The expected gap is therefore about the
+//! member count (T11 showed this box gains little from audit parallelism,
+//! so the gap holds at every worker count).
+//!
+//! The tabled variant exercises the same delta path with the answer table
+//! on: the commit bumps the revised predicate's generation, so the stale
+//! member's re-solve drops out-of-date entries (counted in
+//! `SolverStats::table_invalidations`) instead of serving them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp_bench::workloads::{audit_world, streaming_revision};
+
+const MODELS: usize = 16;
+const READINGS: usize = 80;
+
+fn bench_streaming_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T13_streaming_update");
+    group.sample_size(10);
+    let mut spec = audit_world(MODELS, READINGS);
+    spec.set_incremental(true);
+    let seed = spec.audit_world_views(4).expect("seed audit");
+    assert_eq!(seed.violations.len(), MODELS);
+    let delta = streaming_revision(&mut spec, 0, READINGS, 0);
+    // Equivalence gate before timing anything: the incremental report must
+    // be byte-identical to the full re-audit after the same delta.
+    let incremental = spec.audit_incremental(&delta, 4).expect("incremental");
+    let full = spec.audit_world_views(4).expect("full re-audit");
+    assert_eq!(incremental.violations, full.violations);
+    assert_eq!(incremental.per_model, full.per_model);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("full_reaudit", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let report = spec.audit_world_views(workers).unwrap();
+                    assert_eq!(report.violations.len(), MODELS);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    let report = spec.audit_incremental(&delta, workers).unwrap();
+                    assert_eq!(report.violations.len(), MODELS);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_streaming_audit_tabled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T13_streaming_update_tabled");
+    group.sample_size(10);
+    let mut spec = audit_world(MODELS, READINGS);
+    spec.set_incremental(true);
+    spec.enable_tabling(true);
+    spec.set_table_all(true);
+    spec.audit_world_views(4).expect("seed audit");
+    let delta = streaming_revision(&mut spec, 0, READINGS, 0);
+    let warm = spec.audit_incremental(&delta, 4).expect("incremental");
+    // The commit bumped the revised predicate's generation: the stale
+    // member's re-solve must have dropped out-of-date table entries.
+    eprintln!(
+        "T13 tabled warm pass: steps={} table_invalidations={} table_hits={}",
+        warm.stats.steps, warm.stats.table_invalidations, warm.stats.table_hits
+    );
+    assert_eq!(
+        warm.violations,
+        spec.audit_world_views(4).unwrap().violations
+    );
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let report = spec.audit_incremental(&delta, 4).unwrap();
+            assert_eq!(report.violations.len(), MODELS);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming_audit, bench_streaming_audit_tabled);
+criterion_main!(benches);

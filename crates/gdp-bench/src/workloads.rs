@@ -236,6 +236,31 @@ pub fn audit_world(models: usize, readings: usize) -> Specification {
     spec
 }
 
+/// T13: one streaming revision against [`audit_world`] — a transaction
+/// asserting a fresh reading into `model`, committed, returning the delta
+/// that drives `audit_incremental`. The value is chosen so the revision
+/// never completes a `reading_gap` pair (all revised values sit below
+/// `-readings`, and successive revisions differ by multiples of
+/// `readings`): the violation count stays at one per model no matter how
+/// many revisions stream in, which keeps repeated benchmark iterations
+/// measuring identical work.
+pub fn streaming_revision(
+    spec: &mut Specification,
+    model: usize,
+    readings: usize,
+    seq: usize,
+) -> gdp::engine::Delta {
+    spec.begin_txn().expect("no transaction open");
+    spec.assert_fact(
+        FactPat::new("reading")
+            .arg(Pat::Atom(format!("u{model}_{seq}")))
+            .arg(Pat::Int(-((seq as i64 + 1) * readings as i64)))
+            .model(Pat::Atom(format!("m{model}"))),
+    )
+    .expect("ground fact");
+    spec.commit_txn().expect("transaction open")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -317,6 +342,21 @@ mod tests {
         assert_eq!(violations.len(), 4);
         let report = spec.audit_world_views(4).unwrap();
         assert_eq!(report.violations, violations);
+    }
+
+    #[test]
+    fn streaming_revision_keeps_violation_count_stable() {
+        let mut spec = audit_world(3, 12);
+        spec.set_incremental(true);
+        let full = spec.audit_world_views(2).unwrap();
+        assert_eq!(full.violations.len(), 3);
+        for seq in 0..3 {
+            let delta = streaming_revision(&mut spec, seq % 3, 12, seq);
+            assert!(!delta.is_empty());
+            let report = spec.audit_incremental(&delta, 2).unwrap();
+            assert_eq!(report.violations.len(), 3, "revision {seq} changed answers");
+            assert_eq!(report.violations, spec.check_consistency().unwrap());
+        }
     }
 
     #[test]

@@ -59,6 +59,9 @@ pub enum SpecError {
     NonGroundFact(String),
     /// A name was declared twice with conflicting definitions.
     Redeclaration(String),
+    /// Transaction misuse: opening a transaction while one is already
+    /// open, or committing / rolling back with none open.
+    Transaction(String),
 }
 
 impl fmt::Display for SpecError {
@@ -102,6 +105,7 @@ impl fmt::Display for SpecError {
                 "basic fact for `{p}` contains variables; use a virtual-fact \
                  definition instead"
             ),
+            SpecError::Transaction(m) => write!(f, "transaction error: {m}"),
         }
     }
 }

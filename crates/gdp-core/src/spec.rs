@@ -12,8 +12,9 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use gdp_engine::{
-    list_to_vec, Budget, CancelToken, ChaosConfig, EngineError, FxHashMap, FxHashSet, GroupId,
-    KnowledgeBase, ObserverSink, Profiler, RingTrace, Solver, SolverStats, Term, TraceSink,
+    list_from_iter, list_to_vec, Budget, CancelToken, ChaosConfig, Delta, EngineError, FxHashMap,
+    FxHashSet, GroupId, KnowledgeBase, ObserverSink, Port, PredKey, Profiler, RingTrace, Solver,
+    SolverStats, Term, TraceEvent, TraceSink,
 };
 
 use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
@@ -158,6 +159,37 @@ impl AuditReport {
     }
 }
 
+/// Cached outcome of one world-view member's audit goal: its raw
+/// (pre-deduplication) violation list in derivation order, or the failure
+/// that stopped it. The raw list — not the merged report — is what the
+/// incremental audit must retain: global deduplication depends on which
+/// *earlier* members already produced each violation, so it is re-run over
+/// the merged member sequence on every re-audit.
+#[derive(Clone, Debug)]
+enum MemberOutcome {
+    /// The goal completed with these violations (pre-dedup, in order).
+    Solved(Vec<Violation>),
+    /// The goal failed after `attempts` retries.
+    Failed {
+        /// The final error.
+        error: EngineError,
+        /// Retries spent under the policy.
+        attempts: u32,
+    },
+}
+
+/// Per-member results of the most recent full audit, keyed by the world
+/// view they were computed under. Invalidated wholesale when the world
+/// view changes; members are selectively re-solved by
+/// [`Specification::audit_incremental`].
+#[derive(Clone, Debug)]
+struct AuditCache {
+    /// The world view the cache was computed under (member order matters).
+    world_view: Vec<String>,
+    /// One outcome per member, in world-view order.
+    members: Vec<MemberOutcome>,
+}
+
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}'ERROR({}", self.model, self.error_type)?;
@@ -216,6 +248,15 @@ pub struct Specification {
     retry: RetryPolicy,
     /// Deterministic fault injection for audits (tests / `GDP_CHAOS`).
     chaos: Option<ChaosConfig>,
+    /// Incremental-audit mode (`GDP_INCREMENTAL=1`): full audits cache
+    /// per-member results so delta-driven re-audits can skip members the
+    /// delta cannot have affected.
+    incremental: bool,
+    /// Recorder mark of the open transaction, if any.
+    txn_start: Option<usize>,
+    /// Per-member results of the most recent audit (incremental mode
+    /// only; interior mutability — audits take `&self`).
+    audit_cache: Mutex<Option<AuditCache>>,
 }
 
 impl Default for Specification {
@@ -262,6 +303,9 @@ impl Specification {
             cancel: CancelToken::new(),
             retry: RetryPolicy::default(),
             chaos: None,
+            incremental: false,
+            txn_start: None,
+            audit_cache: Mutex::new(None),
         };
         register_domain_native(&mut spec.kb, Arc::clone(&spec.domains));
         spec.install_kernel();
@@ -294,6 +338,15 @@ impl Specification {
         // runs — the CI chaos leg re-runs the fault-tolerance suite under
         // a seed matrix this way. Unset: no injection, no overhead.
         spec.chaos = ChaosConfig::from_env();
+        // Incremental hook: `GDP_INCREMENTAL=1` arms per-member audit
+        // caching, so harnesses that interleave transactions with audits
+        // get delta-driven re-audits without code changes.
+        if matches!(
+            std::env::var("GDP_INCREMENTAL").as_deref(),
+            Ok("1") | Ok("on")
+        ) {
+            spec.incremental = true;
+        }
         spec
     }
 
@@ -461,7 +514,7 @@ impl Specification {
             return Err(SpecError::NonGroundFact(pred));
         }
         self.kb
-            .assert_clause_in(GroupId::named(groups::FACTS), term, Term::atom("true"));
+            .try_assert_clause_in(GroupId::named(groups::FACTS), term, Term::atom("true"))?;
         Ok(())
     }
 
@@ -495,7 +548,7 @@ impl Specification {
             return Err(SpecError::NonGroundFact(pred));
         }
         self.kb
-            .assert_clause_in(GroupId::named(groups::FACTS), term, Term::atom("true"));
+            .try_assert_clause_in(GroupId::named(groups::FACTS), term, Term::atom("true"))?;
         Ok(())
     }
 
@@ -619,7 +672,7 @@ impl Specification {
         }
         let (clause, _vt) = rule.compile(GroupId::named(groups::RULES))?;
         self.kb
-            .assert_clause_in(GroupId::named(groups::RULES), clause.head, clause.body);
+            .try_assert_clause_in(GroupId::named(groups::RULES), clause.head, clause.body)?;
         Ok(())
     }
 
@@ -631,7 +684,7 @@ impl Specification {
         }
         let (clause, _vt) = constraint.compile(GroupId::named(groups::RULES))?;
         self.kb
-            .assert_clause_in(GroupId::named(groups::RULES), clause.head, clause.body);
+            .try_assert_clause_in(GroupId::named(groups::RULES), clause.head, clause.body)?;
         Ok(())
     }
 
@@ -677,7 +730,10 @@ impl Specification {
     }
 
     /// Activate a registered meta-model: its rule pack joins the knowledge
-    /// base under its own clause group. Idempotent.
+    /// base under its own clause group. Idempotent. Activation is atomic:
+    /// a clause the engine rejects (e.g. a non-callable head in a
+    /// hand-built pack) retracts the partially installed group and reports
+    /// the engine error, leaving the meta-view unchanged.
     pub fn activate_meta_model(&mut self, name: &str) -> SpecResult<()> {
         let mm = self
             .meta_models
@@ -689,7 +745,13 @@ impl Specification {
         }
         let g = mm.group();
         for c in mm.clauses() {
-            self.kb.assert_clause_in(g, c.head.clone(), c.body.clone());
+            if let Err(e) = self
+                .kb
+                .try_assert_clause_in(g, c.head.clone(), c.body.clone())
+            {
+                self.kb.retract_group(g);
+                return Err(SpecError::Engine(e));
+            }
         }
         self.active_meta.push(name.to_string());
         Ok(())
@@ -1213,36 +1275,20 @@ impl Specification {
         if let Some(p) = par.profile() {
             self.profiler.lock().absorb(&p);
         }
-        let mut violations: Vec<Violation> = Vec::new();
-        let mut per_model = Vec::with_capacity(self.world_view.len());
-        let mut incomplete = Vec::new();
+        let mut members = Vec::with_capacity(goals.len());
         for ((name, goal), result) in self.world_view.iter().zip(&goals).zip(results) {
             let result = match result {
                 Ok(solutions) => Ok(solutions),
                 Err(e) => self.retry_audit_goal(goal, e, &mut stats),
             };
-            match result {
-                Ok(solutions) => {
-                    let mut count = 0usize;
-                    for sol in solutions {
-                        let v = Self::violation_from(Term::atom(name), &sol);
-                        if !violations.contains(&v) {
-                            violations.push(v);
-                            count += 1;
-                        }
-                    }
-                    per_model.push((name.clone(), count));
-                }
-                Err((error, attempts)) => {
-                    per_model.push((name.clone(), 0));
-                    incomplete.push(AuditFailure {
-                        model: name.clone(),
-                        goal: goal.clone(),
-                        error,
-                        attempts,
-                    });
-                }
-            }
+            members.push(Self::member_outcome(name, result));
+        }
+        let (violations, per_model, incomplete) = self.merge_member_outcomes(&members);
+        if self.incremental {
+            *self.audit_cache.lock() = Some(AuditCache {
+                world_view: self.world_view.clone(),
+                members,
+            });
         }
         *self.last_stats.lock() = stats;
         Ok(AuditReport {
@@ -1252,6 +1298,64 @@ impl Specification {
             incomplete,
             workers: par.workers(),
         })
+    }
+
+    /// Decode one member's (possibly retried) solve result into a cached
+    /// outcome: the raw violation list, or the terminal failure.
+    fn member_outcome(
+        name: &str,
+        result: Result<Vec<gdp_engine::Solution>, (EngineError, u32)>,
+    ) -> MemberOutcome {
+        match result {
+            Ok(solutions) => MemberOutcome::Solved(
+                solutions
+                    .iter()
+                    .map(|sol| Self::violation_from(Term::atom(name), sol))
+                    .collect(),
+            ),
+            Err((error, attempts)) => MemberOutcome::Failed { error, attempts },
+        }
+    }
+
+    /// The audit merge, shared between the full and incremental paths:
+    /// concatenate per-member raw violation lists in world-view order,
+    /// deduplicating globally (first occurrence wins) and counting each
+    /// member's post-dedup contribution; failures become
+    /// [`AuditFailure`]s with zero counts. Because the inputs are
+    /// per-member and the merge is a pure fold, re-running it over a mix
+    /// of cached and freshly solved members reproduces the full audit
+    /// byte-for-byte.
+    fn merge_member_outcomes(
+        &self,
+        members: &[MemberOutcome],
+    ) -> (Vec<Violation>, Vec<(String, usize)>, Vec<AuditFailure>) {
+        let mut violations: Vec<Violation> = Vec::new();
+        let mut per_model = Vec::with_capacity(members.len());
+        let mut incomplete = Vec::new();
+        for (name, outcome) in self.world_view.iter().zip(members) {
+            match outcome {
+                MemberOutcome::Solved(raw) => {
+                    let mut count = 0usize;
+                    for v in raw {
+                        if !violations.contains(v) {
+                            violations.push(v.clone());
+                            count += 1;
+                        }
+                    }
+                    per_model.push((name.clone(), count));
+                }
+                MemberOutcome::Failed { error, attempts } => {
+                    per_model.push((name.clone(), 0));
+                    incomplete.push(AuditFailure {
+                        model: name.clone(),
+                        goal: Self::audit_goal(name),
+                        error: error.clone(),
+                        attempts: *attempts,
+                    });
+                }
+            }
+        }
+        (violations, per_model, incomplete)
     }
 
     /// Re-attempt one audit goal that failed in the parallel fan-out.
@@ -1312,6 +1416,193 @@ impl Specification {
         Err((error, attempt))
     }
 
+    // ----- transactions & incremental audits (map-data revision) -------------
+
+    /// Switch incremental-audit mode on or off (off by default; also set
+    /// at construction from `GDP_INCREMENTAL=1`). While on,
+    /// [`Self::audit_world_views`] caches its per-member results so
+    /// [`Self::audit_incremental`] can confine a re-audit to the members a
+    /// committed delta can actually have affected. Turning it off drops
+    /// the cache.
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            *self.audit_cache.lock() = None;
+        }
+    }
+
+    /// Is incremental-audit mode on?
+    pub fn incremental_enabled(&self) -> bool {
+        self.incremental
+    }
+
+    /// Open a transaction: every subsequent assertion and retraction is
+    /// recorded (invertibly) until [`Self::commit_txn`] or
+    /// [`Self::rollback_txn`]. Transactions do not nest.
+    pub fn begin_txn(&mut self) -> SpecResult<()> {
+        if self.txn_start.is_some() {
+            return Err(SpecError::Transaction(
+                "a transaction is already open".to_string(),
+            ));
+        }
+        self.kb.begin_delta();
+        self.txn_start = Some(self.kb.delta_len());
+        Ok(())
+    }
+
+    /// Is a transaction open?
+    pub fn in_txn(&self) -> bool {
+        self.txn_start.is_some()
+    }
+
+    /// Commit the open transaction, returning the recorded [`Delta`] —
+    /// the currency of [`Self::audit_incremental`]. Ends knowledge-base
+    /// recording. With tracing on, one `D-CMT` port event carrying the
+    /// dirtied predicates lands in the trace ring.
+    pub fn commit_txn(&mut self) -> SpecResult<Delta> {
+        let Some(mark) = self.txn_start.take() else {
+            return Err(SpecError::Transaction("no transaction is open".to_string()));
+        };
+        let delta = self.kb.delta_since(mark);
+        self.kb.end_delta();
+        if self.trace_enabled {
+            self.record_commit_event(&delta);
+        }
+        Ok(delta)
+    }
+
+    /// Abort the open transaction, undoing every recorded operation
+    /// (newest first) and restoring the exact prior clause store —
+    /// including clause positions, which are observable through solution
+    /// order. Returns the number of operations undone.
+    pub fn rollback_txn(&mut self) -> SpecResult<usize> {
+        let Some(mark) = self.txn_start.take() else {
+            return Err(SpecError::Transaction("no transaction is open".to_string()));
+        };
+        let undone = self.kb.rollback_to(mark);
+        self.kb.end_delta();
+        Ok(undone)
+    }
+
+    /// Record one `D-CMT` port event in the trace ring: the commit's
+    /// scope (its dirtied predicates, sorted for determinism) as a list.
+    fn record_commit_event(&self, delta: &Delta) {
+        let mut names: Vec<String> = delta
+            .dirty_preds()
+            .into_iter()
+            .map(|k| format!("{}/{}", k.name.as_str(), k.arity))
+            .collect();
+        names.sort();
+        let goal = list_from_iter(names.iter().map(|n| Term::atom(n)));
+        let mut guard = self.last_trace.lock();
+        let ring = guard.get_or_insert_with(|| RingTrace::new(self.trace_capacity));
+        ring.event(&TraceEvent {
+            port: Port::DeltaCommit,
+            depth: 0,
+            key: PredKey::new("txn", 0),
+            goal,
+        });
+    }
+
+    /// The delta-driven counterpart of [`Self::audit_world_views`]: given
+    /// the [`Delta`] of a committed transaction, re-solve only the
+    /// world-view members whose audit goals *transitively depend* on a
+    /// predicate the delta dirtied (per the static dependency graph, with
+    /// first-argument/model specialization), splice the fresh results
+    /// into the cached per-member results, and re-run the merge. The
+    /// report is byte-identical to a full re-audit — the dependency
+    /// closure over-approximates, so a member it clears cannot have
+    /// changed its answers.
+    ///
+    /// Members whose previous audit failed are always re-solved (a full
+    /// re-audit would re-attempt them). Falls back to a full audit when
+    /// no cache exists or the world view changed since it was built;
+    /// either way the cache is refreshed, so successive commits can chain
+    /// `audit_incremental` calls. Requires incremental mode
+    /// ([`Self::set_incremental`]) for the cache to populate.
+    pub fn audit_incremental(&self, delta: &Delta, workers: usize) -> SpecResult<AuditReport> {
+        let cache = self
+            .audit_cache
+            .lock()
+            .clone()
+            .filter(|c| c.world_view == self.world_view);
+        let Some(cache) = cache else {
+            return self.audit_world_views(workers);
+        };
+        let dirty = delta.dirty_nodes();
+        let graph = self.kb.dep_graph();
+        let stale: Vec<usize> = self
+            .world_view
+            .iter()
+            .zip(&cache.members)
+            .enumerate()
+            .filter(|(_, (name, outcome))| {
+                matches!(outcome, MemberOutcome::Failed { .. })
+                    || graph
+                        .goal_closure(&Self::audit_goal(name))
+                        .depends_on(&dirty)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if stale.is_empty() {
+            // Nothing the delta touched reaches any audit goal: the
+            // cached member results *are* the current audit.
+            let (violations, per_model, incomplete) = self.merge_member_outcomes(&cache.members);
+            let stats = SolverStats::default();
+            *self.last_stats.lock() = stats;
+            return Ok(AuditReport {
+                violations,
+                per_model,
+                stats,
+                incomplete,
+                workers: 0,
+            });
+        }
+        let goals: Vec<Term> = stale
+            .iter()
+            .map(|&i| Self::audit_goal(&self.world_view[i]))
+            .collect();
+        let mut par = gdp_engine::ParallelSolver::with_budget(
+            &self.kb,
+            workers,
+            self.step_limit,
+            self.depth_limit,
+        );
+        if self.profile_enabled {
+            par.enable_profile();
+        }
+        par.set_deadline(self.deadline);
+        par.set_cancel(self.cancel.clone());
+        par.set_chaos(self.chaos);
+        let results = par.solve_batch(&goals);
+        let mut stats = par.stats();
+        if let Some(p) = par.profile() {
+            self.profiler.lock().absorb(&p);
+        }
+        let mut members = cache.members;
+        for ((&i, goal), result) in stale.iter().zip(&goals).zip(results) {
+            let name = &self.world_view[i];
+            let result = match result {
+                Ok(solutions) => Ok(solutions),
+                Err(e) => self.retry_audit_goal(goal, e, &mut stats),
+            };
+            members[i] = Self::member_outcome(name, result);
+        }
+        let (violations, per_model, incomplete) = self.merge_member_outcomes(&members);
+        *self.audit_cache.lock() = Some(AuditCache {
+            world_view: self.world_view.clone(),
+            members,
+        });
+        *self.last_stats.lock() = stats;
+        Ok(AuditReport {
+            violations,
+            per_model,
+            stats,
+            incomplete,
+            workers: par.workers(),
+        })
+    }
+
     // ----- low-level access (sibling crates, diagnostics) --------------------
 
     /// The underlying knowledge base (read).
@@ -1335,6 +1626,17 @@ impl Specification {
     pub fn assert_raw(&mut self, group: &str, clause: RawClause) {
         self.kb
             .assert_clause_in(GroupId::named(group), clause.head, clause.body);
+    }
+
+    /// Fallible counterpart of [`Self::assert_raw`]: a head the engine
+    /// cannot store (arity beyond the index limit, or a non-callable term
+    /// like a bare integer) is reported as [`SpecError::Engine`] instead
+    /// of panicking. The language loader funnels through this so a bad
+    /// head in a source file becomes a line-numbered diagnostic.
+    pub fn try_assert_raw(&mut self, group: &str, clause: RawClause) -> SpecResult<()> {
+        self.kb
+            .try_assert_clause_in(GroupId::named(group), clause.head, clause.body)
+            .map_err(SpecError::from)
     }
 
     /// Retract a named clause group; returns the number of clauses removed.
@@ -1839,6 +2141,128 @@ mod tests {
             }
         }
         assert_eq!(report.violations, expected);
+    }
+
+    #[test]
+    fn txn_rollback_restores_prior_state() {
+        let mut spec = Specification::new();
+        spec.assert_fact(fact("road", &["s1"])).unwrap();
+        let before = spec.query(fact("road", &["X"])).unwrap();
+        spec.begin_txn().unwrap();
+        assert!(spec.in_txn());
+        spec.assert_fact(fact("road", &["s2"])).unwrap();
+        assert!(spec.retract_fact(fact("road", &["s1"])).unwrap());
+        let undone = spec.rollback_txn().unwrap();
+        assert_eq!(undone, 2);
+        assert!(!spec.in_txn());
+        assert_eq!(spec.query(fact("road", &["X"])).unwrap(), before);
+    }
+
+    #[test]
+    fn txn_commit_returns_dirty_delta() {
+        let mut spec = Specification::new();
+        spec.begin_txn().unwrap();
+        spec.assert_fact(fact("road", &["s1"])).unwrap();
+        let delta = spec.commit_txn().unwrap();
+        assert!(!delta.is_empty());
+        // Facts land in the reified holds relation: h/5 is dirtied.
+        assert!(delta
+            .dirty_preds()
+            .iter()
+            .any(|k| k.name.as_str() == "h" && k.arity == 5));
+        assert!(spec.provable(fact("road", &["s1"])).unwrap());
+    }
+
+    #[test]
+    fn txn_misuse_is_reported() {
+        let mut spec = Specification::new();
+        assert!(matches!(spec.commit_txn(), Err(SpecError::Transaction(_))));
+        assert!(matches!(
+            spec.rollback_txn(),
+            Err(SpecError::Transaction(_))
+        ));
+        spec.begin_txn().unwrap();
+        assert!(matches!(spec.begin_txn(), Err(SpecError::Transaction(_))));
+        spec.rollback_txn().unwrap();
+    }
+
+    /// Two world-view members with disjoint fact bases: dirtying one
+    /// member's facts must re-audit only that member, and the incremental
+    /// report must equal a from-scratch full audit byte-for-byte.
+    #[test]
+    fn incremental_audit_matches_full_and_skips_clean_members() {
+        let mut spec = Specification::new();
+        spec.set_incremental(true);
+        spec.assert_fact(fact("wet", &["c1"])).unwrap();
+        spec.assert_fact(fact("dry", &["c2"]).model("survey"))
+            .unwrap();
+        spec.constrain(Constraint::new("soggy").witness("X").when(Formula::and(
+            Formula::fact(fact("wet", &["X"])),
+            Formula::fact(fact("dry", &["X"])),
+        )))
+        .unwrap();
+        spec.constrain(
+            Constraint::new("arid")
+                .model("survey")
+                .witness("X")
+                .when(Formula::fact(fact("dry", &["X"]))),
+        )
+        .unwrap();
+        spec.set_world_view(&["omega", "survey"]).unwrap();
+        // Seed the cache with a full audit.
+        let full = spec.audit_world_views(2).unwrap();
+        assert_eq!(
+            full.per_model,
+            vec![("omega".into(), 0), ("survey".into(), 1)]
+        );
+        // A delta confined to omega's facts…
+        spec.begin_txn().unwrap();
+        spec.assert_fact(fact("dry", &["c1"])).unwrap();
+        let delta = spec.commit_txn().unwrap();
+        // …must reproduce the full re-audit…
+        let incremental = spec.audit_incremental(&delta, 2).unwrap();
+        let reference = spec.audit_world_views(2).unwrap();
+        assert_eq!(incremental.violations, reference.violations);
+        assert_eq!(incremental.per_model, reference.per_model);
+        // soggy(c1) in omega; arid(c2) and now arid(c1) in survey (the
+        // new omega fact is visible to survey's constraint too).
+        assert_eq!(incremental.violations.len(), 3);
+        // An empty delta re-solves nothing at all.
+        let noop = spec.audit_incremental(&Delta::new(), 2).unwrap();
+        assert_eq!(noop.violations, reference.violations);
+        assert_eq!(noop.per_model, reference.per_model);
+        assert_eq!(noop.workers, 0, "no member may be re-solved");
+        assert_eq!(noop.stats.steps, 0);
+    }
+
+    #[test]
+    fn incremental_audit_without_cache_falls_back_to_full() {
+        let mut spec = Specification::new();
+        spec.set_incremental(true);
+        spec.assert_fact(fact("wet", &["c1"])).unwrap();
+        spec.constrain(
+            Constraint::new("damp")
+                .witness("X")
+                .when(Formula::fact(fact("wet", &["X"]))),
+        )
+        .unwrap();
+        // No prior full audit: must fall back (and then be cached).
+        let report = spec.audit_incremental(&Delta::new(), 2).unwrap();
+        assert_eq!(report.violations.len(), 1);
+        let again = spec.audit_incremental(&Delta::new(), 2).unwrap();
+        assert_eq!(again.workers, 0, "second call must hit the cache");
+        assert_eq!(again.violations, report.violations);
+    }
+
+    #[test]
+    fn commit_with_trace_records_delta_port() {
+        let mut spec = Specification::new();
+        spec.set_trace(true);
+        spec.begin_txn().unwrap();
+        spec.assert_fact(fact("road", &["s1"])).unwrap();
+        spec.commit_txn().unwrap();
+        let trace = spec.last_trace().expect("commit must leave a trace");
+        assert!(trace.render().contains("D-CMT"));
     }
 
     #[test]

@@ -1,0 +1,530 @@
+//! Static predicate dependency analysis for incremental invalidation.
+//!
+//! An update-heavy GDP system (survey readings and map revisions arriving
+//! continuously, §III's constraints re-checked after every revision) cannot
+//! afford to treat each mutation as "everything may have changed". This
+//! module computes, from the stored clauses alone, which predicates a call
+//! can possibly reach — so the table layer can invalidate only entries
+//! whose dependency cone actually moved, and the audit layer can re-solve
+//! only world-view members whose goals depend on dirtied predicates.
+//!
+//! The analysis is *static*: it reads clause heads and bodies, never
+//! runtime bindings. Static closure is sound here, including under
+//! negation-as-failure, because it over-approximates — every predicate an
+//! execution could consult (positively or under `not`/`absent`/`forall`)
+//! is reachable through some body literal, and the walk follows all of
+//! them. Two refinements keep the over-approximation useful:
+//!
+//! * **First-argument specialization.** The reified representation funnels
+//!   everything through `h(Model, …)`/`visible(Model, …)`, so a closure at
+//!   bare predicate granularity would make every model depend on every
+//!   other model's facts. A dependency node is therefore a
+//!   `(PredKey, ArgSpec)` pair: when a call's first argument is a known
+//!   atom and a clause head's first argument is a variable, the atom is
+//!   propagated into body literals that reuse that head variable — which
+//!   is exactly the kernel's `visible(M, …) :- active_model(M), h(M, …)`
+//!   shape.
+//! * **Dynamic-call detection.** A body goal that is a variable (or a
+//!   `call`/`once` of one) can reach anything; closures containing one are
+//!   flagged [`Closure::dynamic`] and treated as depending on the whole
+//!   knowledge base.
+
+use std::sync::Arc;
+
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::kb::{Clause, KnowledgeBase, PredKey};
+use crate::symbol::{symbols, Sym};
+use crate::term::Term;
+
+/// First-argument specialization of a dependency node: either any call to
+/// the predicate, or only calls whose first argument is a specific atom.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ArgSpec {
+    /// Any first argument (or the predicate has no arguments).
+    Any,
+    /// First argument is this atom (in the reified encoding: the model).
+    Atom(Sym),
+}
+
+impl ArgSpec {
+    /// The specialization a term contributes when it appears in first-
+    /// argument position: atoms specialize, everything else does not.
+    pub fn of_first_arg(t: Option<&Term>) -> ArgSpec {
+        match t {
+            Some(Term::Atom(a)) => ArgSpec::Atom(*a),
+            _ => ArgSpec::Any,
+        }
+    }
+
+    /// The dirty node a mutated clause head contributes.
+    pub fn of_head(head: &Term) -> ArgSpec {
+        ArgSpec::of_first_arg(head.args().first())
+    }
+}
+
+/// How a clause head constrains (and names) its first argument.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum HeadFirst {
+    /// Head's first argument is this atom: the clause only matches calls
+    /// whose spec is `Any` or this atom.
+    Atom(Sym),
+    /// Head's first argument is variable `v`: the clause matches any call,
+    /// and a call-site atom flows into body literals reusing `v`.
+    Var(u32),
+    /// No first argument, or one that neither filters nor propagates.
+    Other,
+}
+
+/// The first-argument shape of one body call site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EdgeSpec {
+    /// Call's first argument carries no static information.
+    Any,
+    /// Call's first argument is this atom.
+    Atom(Sym),
+    /// Call's first argument is the same variable as the clause head's
+    /// first argument — the call-site specialization propagates through.
+    HeadVar,
+}
+
+/// One predicate call occurring in a clause body.
+#[derive(Clone, Copy, Debug)]
+struct CallEdge {
+    key: PredKey,
+    spec: EdgeSpec,
+    /// The call sits under `not`/`absent`/`forall`: a *negative*
+    /// dependency. Tracked separately for diagnostics; invalidation treats
+    /// both polarities alike (a change under negation flips answers just
+    /// as surely as one above it).
+    negative: bool,
+}
+
+/// Analysis of one stored clause.
+#[derive(Clone, Debug, Default)]
+struct ClauseInfo {
+    head_first: Option<HeadFirst>,
+    calls: Vec<CallEdge>,
+    /// Body contains a goal whose predicate cannot be determined
+    /// statically (a variable in call position).
+    dynamic: bool,
+}
+
+/// The static dependency graph of a [`KnowledgeBase`]: per predicate, the
+/// analyzed call sites of each of its clauses. Build once per epoch (the
+/// KB caches it) and query closures from it.
+#[derive(Debug, Default)]
+pub struct DepGraph {
+    clauses: FxHashMap<PredKey, Vec<ClauseInfo>>,
+}
+
+/// The transitive dependency closure of a call or goal: every
+/// `(predicate, specialization)` node an execution could consult.
+#[derive(Clone, Debug, Default)]
+pub struct Closure {
+    nodes: FxHashSet<(PredKey, ArgSpec)>,
+    preds: FxHashSet<PredKey>,
+    neg_preds: FxHashSet<PredKey>,
+    dynamic: bool,
+}
+
+impl Closure {
+    /// Every distinct predicate in the closure (at any specialization).
+    pub fn preds(&self) -> impl Iterator<Item = PredKey> + '_ {
+        self.preds.iter().copied()
+    }
+
+    /// Is this predicate (at any specialization) in the closure?
+    pub fn contains_pred(&self, key: PredKey) -> bool {
+        self.preds.contains(&key)
+    }
+
+    /// Predicates reached through at least one `not`/`absent`/`forall`.
+    pub fn negative_preds(&self) -> impl Iterator<Item = PredKey> + '_ {
+        self.neg_preds.iter().copied()
+    }
+
+    /// The closure contains a statically unresolvable call (a variable in
+    /// goal position): it must be treated as depending on everything.
+    pub fn dynamic(&self) -> bool {
+        self.dynamic
+    }
+
+    /// Number of `(predicate, specialization)` nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Is the closure empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Does this closure depend on any of the dirty nodes? A closure node
+    /// `(p, Any)` is touched by any change to `p`; `(p, Atom(a))` only by
+    /// changes whose head first-argument is `a` (or is not an atom). A
+    /// dynamic closure depends on any non-empty dirty set.
+    pub fn depends_on<'a>(&self, dirty: impl IntoIterator<Item = &'a (PredKey, ArgSpec)>) -> bool {
+        for (key, spec) in dirty {
+            if self.dynamic {
+                return true;
+            }
+            let hit = match spec {
+                ArgSpec::Any => self.preds.contains(key),
+                ArgSpec::Atom(_) => {
+                    self.nodes.contains(&(*key, *spec))
+                        || self.nodes.contains(&(*key, ArgSpec::Any))
+                }
+            };
+            if hit {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl DepGraph {
+    /// Analyze every stored clause of `kb`. Native predicates are leaves
+    /// (they consult no clauses); builtins and control constructs do not
+    /// appear as nodes at all.
+    pub fn build(kb: &KnowledgeBase) -> DepGraph {
+        let mut clauses: FxHashMap<PredKey, Vec<ClauseInfo>> = FxHashMap::default();
+        for (key, clause) in kb.iter_clauses() {
+            clauses.entry(key).or_default().push(analyze(clause));
+        }
+        DepGraph { clauses }
+    }
+
+    /// The dependency closure of calling `key` with first-argument
+    /// specialization `spec`.
+    pub fn closure(&self, key: PredKey, spec: ArgSpec) -> Closure {
+        let mut out = Closure::default();
+        self.expand(vec![(key, spec, false)], &mut out);
+        out
+    }
+
+    /// The dependency closure of an arbitrary goal term (a constraint or
+    /// audit goal): the goal's own literals seed the walk.
+    pub fn goal_closure(&self, goal: &Term) -> Closure {
+        let mut info = ClauseInfo::default();
+        collect_calls(goal, false, None, &mut info);
+        let mut out = Closure::default();
+        out.dynamic |= info.dynamic;
+        let seeds = info
+            .calls
+            .iter()
+            .map(|edge| {
+                let spec = match edge.spec {
+                    EdgeSpec::Atom(a) => ArgSpec::Atom(a),
+                    // A goal has no head to propagate from.
+                    EdgeSpec::Any | EdgeSpec::HeadVar => ArgSpec::Any,
+                };
+                (edge.key, spec, edge.negative)
+            })
+            .collect();
+        self.expand(seeds, &mut out);
+        out
+    }
+
+    /// Worklist expansion shared by [`Self::closure`] and
+    /// [`Self::goal_closure`].
+    fn expand(&self, seeds: Vec<(PredKey, ArgSpec, bool)>, out: &mut Closure) {
+        let mut work = seeds;
+        while let Some((key, spec, negative)) = work.pop() {
+            // `(p, Any)` subsumes `(p, Atom(_))`: the Any node matches a
+            // superset of clauses and propagates Any everywhere the atom
+            // would propagate itself.
+            if matches!(spec, ArgSpec::Atom(_)) && out.nodes.contains(&(key, ArgSpec::Any)) {
+                if negative {
+                    out.neg_preds.insert(key);
+                }
+                out.preds.insert(key);
+                continue;
+            }
+            if !out.nodes.insert((key, spec)) {
+                if negative && out.neg_preds.insert(key) {
+                    // Revisit below so negative polarity reaches callees.
+                } else {
+                    continue;
+                }
+            }
+            out.preds.insert(key);
+            if negative {
+                out.neg_preds.insert(key);
+            }
+            let Some(infos) = self.clauses.get(&key) else {
+                continue;
+            };
+            for info in infos {
+                let bound = match (info.head_first, spec) {
+                    // Clause head names a different atom: cannot match.
+                    (Some(HeadFirst::Atom(a)), ArgSpec::Atom(b)) if a != b => continue,
+                    // Call atom flows into the head variable.
+                    (Some(HeadFirst::Var(_)), ArgSpec::Atom(a)) => Some(a),
+                    _ => None,
+                };
+                out.dynamic |= info.dynamic;
+                for edge in &info.calls {
+                    let child = match edge.spec {
+                        EdgeSpec::Atom(a) => ArgSpec::Atom(a),
+                        EdgeSpec::HeadVar => bound.map_or(ArgSpec::Any, ArgSpec::Atom),
+                        EdgeSpec::Any => ArgSpec::Any,
+                    };
+                    work.push((edge.key, child, negative || edge.negative));
+                }
+            }
+        }
+    }
+}
+
+/// Analyze one clause: head first-argument shape plus body call sites.
+fn analyze(clause: &Arc<Clause>) -> ClauseInfo {
+    let head_first = clause.head.args().first().map(|t| match t {
+        Term::Atom(a) => HeadFirst::Atom(*a),
+        Term::Var(v) => HeadFirst::Var(v.0),
+        _ => HeadFirst::Other,
+    });
+    let head_var = match head_first {
+        Some(HeadFirst::Var(v)) => Some(v),
+        _ => None,
+    };
+    let mut info = ClauseInfo {
+        head_first,
+        ..ClauseInfo::default()
+    };
+    collect_calls(&clause.body, false, head_var, &mut info);
+    info
+}
+
+/// Walk a body term, recording call edges. `negative` marks literals under
+/// `not`/`absent`/`forall`; `head_var` is the clause head's first-argument
+/// variable, if any, for specialization propagation.
+fn collect_calls(goal: &Term, negative: bool, head_var: Option<u32>, info: &mut ClauseInfo) {
+    match goal {
+        Term::Var(_) => info.dynamic = true,
+        Term::Atom(a)
+            if *a != symbols::true_() && *a != symbols::fail() && *a != Sym::new("false") =>
+        {
+            info.calls.push(CallEdge {
+                key: PredKey { name: *a, arity: 0 },
+                spec: EdgeSpec::Any,
+                negative,
+            });
+        }
+        Term::Compound(f, args) => {
+            let f = *f;
+            if (f == symbols::and() || f == symbols::or()) && args.len() == 2 {
+                collect_calls(&args[0], negative, head_var, info);
+                collect_calls(&args[1], negative, head_var, info);
+            } else if (f == symbols::not() || f == symbols::absent()) && args.len() == 1 {
+                collect_calls(&args[0], true, head_var, info);
+            } else if f == symbols::forall() && args.len() == 2 {
+                collect_calls(&args[0], true, head_var, info);
+                collect_calls(&args[1], true, head_var, info);
+            } else if (f == symbols::once() || f == symbols::call()) && args.len() == 1 {
+                collect_calls(&args[0], negative, head_var, info);
+            } else if f == symbols::findall() && args.len() == 3 {
+                collect_calls(&args[1], negative, head_var, info);
+            } else if f == symbols::card() && args.len() == 2 {
+                collect_calls(&args[0], negative, head_var, info);
+            } else if f == symbols::aggregate() && args.len() == 4 {
+                collect_calls(&args[2], negative, head_var, info);
+            } else if f == symbols::between() && args.len() == 3 {
+                // Pure arithmetic enumeration: no dependencies.
+            } else {
+                // A plain predicate call (builtins land here too; they have
+                // no clauses, so their nodes are inert leaves).
+                match PredKey::of_term(goal) {
+                    Some(key) => {
+                        let spec = match args.first() {
+                            Some(Term::Atom(a)) => EdgeSpec::Atom(*a),
+                            Some(Term::Var(v)) if head_var == Some(v.0) => EdgeSpec::HeadVar,
+                            _ => EdgeSpec::Any,
+                        };
+                        info.calls.push(CallEdge {
+                            key,
+                            spec,
+                            negative,
+                        });
+                    }
+                    // Oversized arity: the call errors at runtime; treat it
+                    // as unanalyzable rather than mis-keyed.
+                    None => info.dynamic = true,
+                }
+            }
+        }
+        // Integers, floats, strings in goal position error at runtime and
+        // depend on nothing.
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KnowledgeBase;
+
+    fn pk(name: &str, arity: usize) -> PredKey {
+        PredKey::new(name, arity)
+    }
+
+    /// The kernel shape: visible(M, X) :- active_model(M), h(M, X).
+    fn kernel_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(
+            Term::pred("visible", vec![Term::var(0), Term::var(1)]),
+            Term::and(
+                Term::pred("active_model", vec![Term::var(0)]),
+                Term::pred("h", vec![Term::var(0), Term::var(1)]),
+            ),
+        );
+        for m in ["m1", "m2"] {
+            kb.assert_fact(Term::pred("h", vec![Term::atom(m), Term::atom("payload")]));
+        }
+        kb
+    }
+
+    #[test]
+    fn direct_and_transitive_closure() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(
+            Term::pred("a", vec![Term::var(0)]),
+            Term::pred("b", vec![Term::var(0)]),
+        );
+        kb.assert_clause(
+            Term::pred("b", vec![Term::var(0)]),
+            Term::pred("c", vec![Term::var(0)]),
+        );
+        kb.assert_fact(Term::pred("c", vec![Term::atom("x")]));
+        kb.assert_fact(Term::pred("unrelated", vec![Term::atom("y")]));
+        let g = DepGraph::build(&kb);
+        let cl = g.closure(pk("a", 1), ArgSpec::Any);
+        for p in ["a", "b", "c"] {
+            assert!(cl.contains_pred(pk(p, 1)), "missing {p}");
+        }
+        assert!(!cl.contains_pred(pk("unrelated", 1)));
+        assert!(!cl.dynamic());
+    }
+
+    #[test]
+    fn negative_edges_are_tracked_and_still_dependencies() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(
+            Term::pred("safe", vec![Term::var(0)]),
+            Term::and(
+                Term::pred("road", vec![Term::var(0)]),
+                Term::not(Term::pred("closed", vec![Term::var(0)])),
+            ),
+        );
+        kb.assert_fact(Term::pred("closed", vec![Term::atom("r1")]));
+        let g = DepGraph::build(&kb);
+        let cl = g.closure(pk("safe", 1), ArgSpec::Any);
+        assert!(cl.contains_pred(pk("closed", 1)));
+        let neg: Vec<PredKey> = cl.negative_preds().collect();
+        assert!(neg.contains(&pk("closed", 1)));
+        assert!(!neg.contains(&pk("road", 1)));
+        // A change to the negated predicate dirties the closure.
+        assert!(cl.depends_on(&[(pk("closed", 1), ArgSpec::Atom(Sym::new("r1")))]));
+    }
+
+    #[test]
+    fn first_arg_specialization_separates_models() {
+        let kb = kernel_kb();
+        let g = DepGraph::build(&kb);
+        let goal = Term::pred("visible", vec![Term::atom("m1"), Term::var(0)]);
+        let cl = g.goal_closure(&goal);
+        assert!(cl.contains_pred(pk("h", 2)));
+        // m1's audit goal depends on m1's facts...
+        assert!(cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m1")))]));
+        // ...but not on m2's (the head variable propagated the atom).
+        assert!(!cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m2")))]));
+        // A var-headed mutation to h touches every model.
+        assert!(cl.depends_on(&[(pk("h", 2), ArgSpec::Any)]));
+    }
+
+    #[test]
+    fn atom_headed_clauses_filter_by_call_spec() {
+        let mut kb = KnowledgeBase::new();
+        // p(m1) :- q(x).    p(m2) :- r(y).
+        kb.assert_clause(
+            Term::pred("p", vec![Term::atom("m1")]),
+            Term::pred("q", vec![Term::atom("x")]),
+        );
+        kb.assert_clause(
+            Term::pred("p", vec![Term::atom("m2")]),
+            Term::pred("r", vec![Term::atom("y")]),
+        );
+        let g = DepGraph::build(&kb);
+        let cl = g.closure(pk("p", 1), ArgSpec::Atom(Sym::new("m1")));
+        assert!(cl.contains_pred(pk("q", 1)));
+        assert!(!cl.contains_pred(pk("r", 1)));
+        // Unspecialized call sees both branches.
+        let any = g.closure(pk("p", 1), ArgSpec::Any);
+        assert!(any.contains_pred(pk("q", 1)) && any.contains_pred(pk("r", 1)));
+    }
+
+    #[test]
+    fn dynamic_goals_poison_the_closure() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(
+            Term::pred("apply", vec![Term::var(0)]),
+            Term::pred("call", vec![Term::var(0)]),
+        );
+        let g = DepGraph::build(&kb);
+        let cl = g.closure(pk("apply", 1), ArgSpec::Any);
+        assert!(cl.dynamic());
+        // Dynamic closures depend on any change at all.
+        assert!(cl.depends_on(&[(pk("whatever", 3), ArgSpec::Any)]));
+    }
+
+    #[test]
+    fn control_constructs_are_traversed_not_depended_on() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(
+            Term::pred("agg", vec![Term::var(0)]),
+            Term::pred(
+                "aggregate",
+                vec![
+                    Term::atom("avg"),
+                    Term::var(1),
+                    Term::pred("elev", vec![Term::var(2), Term::var(1)]),
+                    Term::var(0),
+                ],
+            ),
+        );
+        kb.assert_clause(
+            Term::pred("n", vec![Term::var(0)]),
+            Term::pred(
+                "findall",
+                vec![
+                    Term::var(1),
+                    Term::pred("road", vec![Term::var(1)]),
+                    Term::var(0),
+                ],
+            ),
+        );
+        let g = DepGraph::build(&kb);
+        let agg = g.closure(pk("agg", 1), ArgSpec::Any);
+        assert!(agg.contains_pred(pk("elev", 2)));
+        assert!(!agg.contains_pred(pk("aggregate", 4)));
+        // The op atom (`avg`) must not appear as a zero-arity dependency.
+        assert!(!agg.contains_pred(pk("avg", 0)));
+        let n = g.closure(pk("n", 1), ArgSpec::Any);
+        assert!(n.contains_pred(pk("road", 1)));
+        assert!(!n.contains_pred(pk("findall", 3)));
+    }
+
+    #[test]
+    fn goal_closure_of_a_conjunction() {
+        let kb = kernel_kb();
+        let g = DepGraph::build(&kb);
+        let goal = Term::and(
+            Term::pred("visible", vec![Term::atom("m2"), Term::var(0)]),
+            Term::not(Term::pred("h", vec![Term::atom("m1"), Term::var(1)])),
+        );
+        let cl = g.goal_closure(&goal);
+        assert!(cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m1")))]));
+        assert!(cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m2")))]));
+        assert!(!cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m3")))]));
+    }
+}

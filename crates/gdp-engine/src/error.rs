@@ -99,6 +99,14 @@ pub enum EngineError {
         /// The actual argument count.
         arity: usize,
     },
+    /// A clause was asserted whose head is not a callable term (a
+    /// variable, number, or string in head position). Reported by
+    /// [`crate::KnowledgeBase::try_assert_clause_in`] so loaders can turn
+    /// a bad clause into a diagnostic instead of a process abort.
+    UncallableHead {
+        /// The offending head term.
+        head: Term,
+    },
     /// An aggregation goal produced a value set the aggregate is undefined
     /// on (e.g. `avg` over zero solutions).
     EmptyAggregate {
@@ -188,6 +196,9 @@ impl fmt::Display for EngineError {
                      exceeding the engine maximum of {}",
                     u16::MAX
                 )
+            }
+            EngineError::UncallableHead { head } => {
+                write!(f, "clause head is not callable: `{head}`")
             }
             EngineError::EmptyAggregate { op } => {
                 write!(f, "aggregate `{op}` undefined on an empty solution set")

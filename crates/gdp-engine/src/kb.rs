@@ -27,10 +27,14 @@
 
 use std::sync::Arc;
 
-use crate::error::EngineResult;
+use parking_lot::Mutex;
+
+use crate::delta::{Delta, DeltaOp};
+use crate::deps::{ArgSpec, DepGraph};
+use crate::error::{EngineError, EngineResult};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::symbol::{symbols, Sym};
-use crate::table::AnswerTable;
+use crate::table::{AnswerTable, TableValidity};
 use crate::term::{Term, F64};
 use crate::unify::BindStore;
 
@@ -269,6 +273,13 @@ pub type NativeOutcome = EngineResult<bool>;
 /// [`BindStore::unify`]; succeeds at most once.
 pub type NativeFn = Arc<dyn Fn(&mut BindStore, &[Term]) -> NativeOutcome + Send + Sync>;
 
+/// Lazily built dependency information, cleared on every epoch bump.
+#[derive(Default)]
+struct DepCache {
+    graph: Option<Arc<DepGraph>>,
+    snapshots: FxHashMap<PredKey, Arc<TableValidity>>,
+}
+
 /// The clause store. See the module docs.
 pub struct KnowledgeBase {
     preds: FxHashMap<PredKey, PredEntry>,
@@ -291,6 +302,21 @@ pub struct KnowledgeBase {
     tabled: FxHashSet<PredKey>,
     /// The memoized answer cache shared by all solvers over this KB.
     table: AnswerTable,
+    /// Per-predicate generation counters: bumped whenever that predicate's
+    /// clauses or native implementation change. Predicates never touched
+    /// are implicitly at generation 0. Table entries survive an epoch bump
+    /// when every generation in their dependency closure is unchanged.
+    generations: FxHashMap<PredKey, u64>,
+    /// Structural-configuration generation: indexing on/off, per-predicate
+    /// index layout, strict mode. These change solution order or error
+    /// behavior without touching clauses, so they invalidate independently
+    /// of the per-predicate counters.
+    structural_gen: u64,
+    /// Active delta recorder; `Some` while a transaction (or the rolling
+    /// incremental-audit recorder) is collecting mutations.
+    recorder: Option<Delta>,
+    /// Lazily built dependency graph and per-predicate validity snapshots.
+    dep_cache: Mutex<DepCache>,
 }
 
 impl Default for KnowledgeBase {
@@ -329,18 +355,52 @@ impl KnowledgeBase {
             table_all: false,
             tabled: FxHashSet::default(),
             table: AnswerTable::new(),
+            generations: FxHashMap::default(),
+            structural_gen: 0,
+            recorder: None,
+            dep_cache: Mutex::new(DepCache::default()),
         }
     }
 
     /// Record a change that can affect what is derivable: advance the
-    /// epoch, implicitly invalidating every cached table entry.
+    /// epoch and drop the cached dependency graph and validity snapshots.
+    /// Table entries built against an older epoch survive only if their
+    /// recorded dependency generations still match (see
+    /// [`crate::table::TableValidity`]).
     fn bump_epoch(&mut self) {
         self.epoch += 1;
+        let cache = self.dep_cache.get_mut();
+        cache.graph = None;
+        cache.snapshots.clear();
+    }
+
+    /// Record a change confined to one predicate's clauses (or native):
+    /// advance its generation, then the epoch.
+    fn bump_pred(&mut self, key: PredKey) {
+        *self.generations.entry(key).or_insert(0) += 1;
+        self.bump_epoch();
+    }
+
+    /// Record a structural-configuration change (indexing, index layout,
+    /// strict mode): advance the structural generation, then the epoch.
+    fn bump_structural(&mut self) {
+        self.structural_gen += 1;
+        self.bump_epoch();
     }
 
     /// The current modification epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The generation counter of one predicate (0 if never mutated).
+    pub fn generation(&self, key: PredKey) -> u64 {
+        self.generations.get(&key).copied().unwrap_or(0)
+    }
+
+    /// The structural-configuration generation.
+    pub fn structural_generation(&self) -> u64 {
+        self.structural_gen
     }
 
     // ----- tabling ----------------------------------------------------------
@@ -350,6 +410,9 @@ impl KnowledgeBase {
     /// [`KnowledgeBase::mark_tabled`] (or all of them under
     /// [`KnowledgeBase::set_table_all`]).
     pub fn set_tabling(&mut self, on: bool) {
+        if self.tabling_enabled == on {
+            return;
+        }
         self.tabling_enabled = on;
     }
 
@@ -361,6 +424,9 @@ impl KnowledgeBase {
     /// Table every user predicate instead of only the marked ones (still
     /// gated on [`KnowledgeBase::set_tabling`]).
     pub fn set_table_all(&mut self, on: bool) {
+        if self.table_all == on {
+            return;
+        }
         self.table_all = on;
     }
 
@@ -391,8 +457,11 @@ impl KnowledgeBase {
     /// scans all clauses of the predicate — the 1986 baseline used by
     /// `bench_indexing`.
     pub fn set_indexing(&mut self, on: bool) {
+        if self.indexing == on {
+            return;
+        }
         self.indexing = on;
-        self.bump_epoch();
+        self.bump_structural();
     }
 
     /// Whether argument indexing is enabled.
@@ -410,6 +479,9 @@ impl KnowledgeBase {
             .filter(|&&p| p < key.arity as usize)
             .map(|&p| p as u16)
             .collect();
+        if self.index_positions(key) == positions {
+            return;
+        }
         self.index_config.insert(key, positions.clone());
         if let Some(entry) = self.preds.get_mut(&key) {
             entry.indexes = positions
@@ -421,7 +493,7 @@ impl KnowledgeBase {
                 .collect();
             entry.rebuild_indexes();
         }
-        self.bump_epoch();
+        self.bump_structural();
     }
 
     fn index_positions(&self, key: PredKey) -> Vec<u16> {
@@ -438,8 +510,11 @@ impl KnowledgeBase {
     /// implementation is an error; in the default open-world mode it simply
     /// fails (the fact is "undefined", §III.A).
     pub fn set_strict(&mut self, on: bool) {
+        if self.strict == on {
+            return;
+        }
         self.strict = on;
-        self.bump_epoch();
+        self.bump_structural();
     }
 
     /// Whether strict unknown-predicate mode is enabled.
@@ -468,42 +543,78 @@ impl KnowledgeBase {
     }
 
     /// Assert `head :- body` into `group`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the head is not callable or its arity exceeds
+    /// [`PredKey::MAX_ARITY`]; use
+    /// [`KnowledgeBase::try_assert_clause_in`] when the clause comes from
+    /// untrusted input (a loader, the REPL).
     pub fn assert_clause_in(&mut self, group: GroupId, head: Term, body: Term) {
-        let key = PredKey::of_term(&head).unwrap_or_else(|| {
-            panic!(
-                "clause head is not callable (or its arity exceeds {}): {head}",
-                PredKey::MAX_ARITY
-            )
-        });
+        if let Err(e) = self.try_assert_clause_in(group, head, body) {
+            panic!("{e}");
+        }
+    }
+
+    /// Assert `head :- body` into `group`, reporting an uncallable or
+    /// oversized head as an error instead of panicking.
+    pub fn try_assert_clause_in(
+        &mut self,
+        group: GroupId,
+        head: Term,
+        body: Term,
+    ) -> EngineResult<()> {
+        let Some(key) = PredKey::of_term(&head) else {
+            return Err(match (head.functor(), head.arity()) {
+                // Callable shape, but the arity doesn't fit a PredKey.
+                (Some(name), Some(arity)) => EngineError::ArityOverflow { name, arity },
+                _ => EngineError::UncallableHead { head },
+            });
+        };
         let clause = Arc::new(Clause::new(head, body, group));
         let positions = self.index_positions(key);
         self.preds
             .entry(key)
             .or_insert_with(|| PredEntry::new(&positions))
-            .push(clause);
+            .push(Arc::clone(&clause));
         self.clause_count += 1;
-        self.bump_epoch();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(DeltaOp::Assert { key, clause });
+        }
+        self.bump_pred(key);
+        Ok(())
     }
 
     /// Retract every clause belonging to `group`, across all predicates.
     /// Returns the number of clauses removed.
     pub fn retract_group(&mut self, group: GroupId) -> usize {
-        let mut removed = 0;
-        for entry in self.preds.values_mut() {
-            let before = entry.clauses.len();
-            entry.clauses.retain(|c| c.group != group);
-            let after = entry.clauses.len();
-            if after != before {
-                removed += before - after;
+        let mut removed: Vec<(PredKey, usize, Arc<Clause>)> = Vec::new();
+        for (key, entry) in self.preds.iter_mut() {
+            let before = removed.len();
+            for (pos, clause) in entry.clauses.iter().enumerate() {
+                if clause.group == group {
+                    removed.push((*key, pos, Arc::clone(clause)));
+                }
+            }
+            if removed.len() != before {
+                entry.clauses.retain(|c| c.group != group);
                 entry.rebuild_indexes();
             }
         }
         self.preds.retain(|_, e| !e.clauses.is_empty());
-        self.clause_count -= removed;
-        if removed > 0 {
+        let n = removed.len();
+        self.clause_count -= n;
+        if n > 0 {
+            let touched: FxHashSet<PredKey> = removed.iter().map(|(k, _, _)| *k).collect();
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.push(DeltaOp::RetractGroup { group, removed });
+            }
+            for key in touched {
+                *self.generations.entry(key).or_insert(0) += 1;
+            }
             self.bump_epoch();
         }
-        removed
+        n
     }
 
     /// Retract the first stored *fact* (clause with body `true`) whose
@@ -525,13 +636,16 @@ impl KnowledgeBase {
         else {
             return false;
         };
-        entry.clauses.remove(pos);
+        let clause = entry.clauses.remove(pos);
         entry.rebuild_indexes();
         if entry.clauses.is_empty() {
             self.preds.remove(&key);
         }
         self.clause_count -= 1;
-        self.bump_epoch();
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.push(DeltaOp::RetractFact { key, pos, clause });
+        }
+        self.bump_pred(key);
         true
     }
 
@@ -541,7 +655,13 @@ impl KnowledgeBase {
             Some(entry) => {
                 let n = entry.clauses.len();
                 self.clause_count -= n;
-                self.bump_epoch();
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.push(DeltaOp::RetractPredicate {
+                        key,
+                        clauses: entry.clauses,
+                    });
+                }
+                self.bump_pred(key);
                 n
             }
             None => 0,
@@ -555,6 +675,171 @@ impl KnowledgeBase {
             .any(|e| e.clauses.iter().any(|c| c.group == group))
     }
 
+    // ----- transactions & deltas -------------------------------------------
+
+    /// Start recording mutations into a [`Delta`]. Idempotent: if a
+    /// recorder is already active, the existing log keeps accumulating
+    /// (transaction marks are positions into it, see
+    /// [`KnowledgeBase::delta_len`]).
+    pub fn begin_delta(&mut self) {
+        if self.recorder.is_none() {
+            self.recorder = Some(Delta::new());
+        }
+    }
+
+    /// Is a delta recorder active?
+    pub fn recording(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Number of operations recorded so far (0 when not recording). Use as
+    /// a transaction mark for [`KnowledgeBase::delta_since`] /
+    /// [`KnowledgeBase::rollback_to`].
+    pub fn delta_len(&self) -> usize {
+        self.recorder.as_ref().map_or(0, Delta::len)
+    }
+
+    /// The operations recorded since `mark` (a previous
+    /// [`KnowledgeBase::delta_len`]), as a standalone [`Delta`]. The
+    /// recorder keeps running.
+    pub fn delta_since(&self, mark: usize) -> Delta {
+        self.recorder
+            .as_ref()
+            .map(|d| d.tail_from(mark))
+            .unwrap_or_default()
+    }
+
+    /// Take everything recorded so far, leaving the recorder running and
+    /// empty (the rolling-recorder mode the incremental audit uses).
+    pub fn drain_delta(&mut self) -> Delta {
+        self.recorder
+            .as_mut()
+            .map(Delta::drain_ops)
+            .unwrap_or_default()
+    }
+
+    /// Stop recording and return the accumulated delta (`None` if no
+    /// recorder was active).
+    pub fn end_delta(&mut self) -> Option<Delta> {
+        self.recorder.take()
+    }
+
+    /// Undo every recorded operation past `mark`, newest first, restoring
+    /// the exact prior clause store (including clause positions — solution
+    /// order is observable). Returns the number of operations undone. The
+    /// recorder stays active, truncated to `mark`. Generations of the
+    /// touched predicates are bumped, never restored: table entries built
+    /// *during* the rolled-back window must not come back to life.
+    pub fn rollback_to(&mut self, mark: usize) -> usize {
+        let Some(mut rec) = self.recorder.take() else {
+            return 0;
+        };
+        let mut touched: FxHashSet<PredKey> = FxHashSet::default();
+        let mut undone = 0;
+        while rec.len() > mark {
+            let Some(op) = rec.pop() else {
+                break;
+            };
+            undone += 1;
+            match op {
+                DeltaOp::Assert { key, .. } => {
+                    touched.insert(key);
+                    if let Some(entry) = self.preds.get_mut(&key) {
+                        entry.clauses.pop();
+                        entry.rebuild_indexes();
+                        if entry.clauses.is_empty() {
+                            self.preds.remove(&key);
+                        }
+                        self.clause_count -= 1;
+                    }
+                }
+                DeltaOp::RetractFact { key, pos, clause } => {
+                    touched.insert(key);
+                    self.insert_clause_at(key, pos, clause);
+                }
+                DeltaOp::RetractGroup { removed, .. } => {
+                    // Positions ascend per predicate, so reinserting in
+                    // recorded order restores the original interleaving.
+                    for (key, pos, clause) in removed {
+                        touched.insert(key);
+                        self.insert_clause_at(key, pos, clause);
+                    }
+                }
+                DeltaOp::RetractPredicate { key, clauses } => {
+                    touched.insert(key);
+                    for (pos, clause) in clauses.into_iter().enumerate() {
+                        self.insert_clause_at(key, pos, clause);
+                    }
+                }
+            }
+        }
+        self.recorder = Some(rec);
+        if undone > 0 {
+            for key in touched {
+                *self.generations.entry(key).or_insert(0) += 1;
+            }
+            self.bump_epoch();
+        }
+        undone
+    }
+
+    /// Reinsert a clause at a recorded position (rollback support).
+    fn insert_clause_at(&mut self, key: PredKey, pos: usize, clause: Arc<Clause>) {
+        let positions = self.index_positions(key);
+        let entry = self
+            .preds
+            .entry(key)
+            .or_insert_with(|| PredEntry::new(&positions));
+        let pos = pos.min(entry.clauses.len());
+        entry.clauses.insert(pos, clause);
+        entry.rebuild_indexes();
+        self.clause_count += 1;
+    }
+
+    // ----- dependency snapshots --------------------------------------------
+
+    /// The static dependency graph of the current clauses. Built lazily
+    /// and cached until the next mutation.
+    pub fn dep_graph(&self) -> Arc<DepGraph> {
+        let mut cache = self.dep_cache.lock();
+        if let Some(graph) = &cache.graph {
+            return Arc::clone(graph);
+        }
+        let graph = Arc::new(DepGraph::build(self));
+        cache.graph = Some(Arc::clone(&graph));
+        graph
+    }
+
+    /// The validity snapshot a table entry for `key` should be built
+    /// against (and checked against on lookup): the current epoch plus the
+    /// generations of every predicate in `key`'s static dependency
+    /// closure. Cached per predicate until the next mutation.
+    pub fn dep_snapshot(&self, key: PredKey) -> Arc<TableValidity> {
+        if let Some(snap) = self.dep_cache.lock().snapshots.get(&key) {
+            return Arc::clone(snap);
+        }
+        let graph = self.dep_graph();
+        let closure = graph.closure(key, ArgSpec::Any);
+        let snap = if closure.dynamic() {
+            Arc::new(TableValidity::epoch_only(self.epoch))
+        } else {
+            let mut deps: Vec<(PredKey, u64)> =
+                closure.preds().map(|k| (k, self.generation(k))).collect();
+            deps.sort_by_key(|(k, _)| (k.name, k.arity));
+            Arc::new(TableValidity {
+                epoch: self.epoch,
+                structural: self.structural_gen,
+                dynamic: false,
+                deps: Arc::new(deps),
+            })
+        };
+        self.dep_cache
+            .lock()
+            .snapshots
+            .insert(key, Arc::clone(&snap));
+        snap
+    }
+
     /// Register a native predicate. Natives shadow clauses: if a predicate
     /// has a native implementation, its clauses (if any) are ignored.
     pub fn register_native(
@@ -563,8 +848,9 @@ impl KnowledgeBase {
         arity: usize,
         f: impl Fn(&mut BindStore, &[Term]) -> NativeOutcome + Send + Sync + 'static,
     ) {
-        self.natives.insert(PredKey::new(name, arity), Arc::new(f));
-        self.bump_epoch();
+        let key = PredKey::new(name, arity);
+        self.natives.insert(key, Arc::new(f));
+        self.bump_pred(key);
     }
 
     /// Look up a native implementation.
@@ -902,6 +1188,170 @@ mod tests {
     #[should_panic(expected = "exceeds 65535")]
     fn pred_key_new_panics_on_oversized_arity() {
         let _ = PredKey::new("p", PredKey::MAX_ARITY + 1);
+    }
+
+    #[test]
+    fn noop_config_setters_leave_epoch_alone() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("p", vec![Term::atom("a")]));
+        let epoch = kb.epoch();
+        // Re-asserting the current values must not invalidate anything.
+        kb.set_indexing(true);
+        kb.set_strict(false);
+        kb.set_tabling(false);
+        kb.set_table_all(false);
+        kb.set_index_args(PredKey::new("p", 1), &[0]);
+        assert_eq!(kb.epoch(), epoch, "no-op setters bumped the epoch");
+        assert_eq!(kb.structural_generation(), 0);
+        // Actual changes still do.
+        kb.set_strict(true);
+        assert!(kb.epoch() > epoch);
+        assert_eq!(kb.structural_generation(), 1);
+    }
+
+    #[test]
+    fn try_assert_reports_bad_heads() {
+        let mut kb = KnowledgeBase::new();
+        let err = kb
+            .try_assert_clause_in(GroupId::root(), Term::int(7), Term::atom("true"))
+            .unwrap_err();
+        assert!(matches!(err, crate::EngineError::UncallableHead { .. }));
+        let args: Vec<Term> = (0..PredKey::MAX_ARITY as u32 + 1).map(Term::var).collect();
+        let err = kb
+            .try_assert_clause_in(GroupId::root(), Term::pred("p", args), Term::atom("true"))
+            .unwrap_err();
+        assert!(matches!(err, crate::EngineError::ArityOverflow { .. }));
+        assert_eq!(kb.clause_count(), 0);
+        assert_eq!(kb.epoch(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not callable")]
+    fn assert_clause_in_still_panics_on_uncallable_head() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause_in(GroupId::root(), Term::int(7), Term::atom("true"));
+    }
+
+    #[test]
+    fn per_pred_generations_track_mutations() {
+        let mut kb = KnowledgeBase::new();
+        let p = PredKey::new("p", 1);
+        let q = PredKey::new("q", 1);
+        assert_eq!(kb.generation(p), 0);
+        kb.assert_fact(fact("p", vec![Term::atom("a")]));
+        assert_eq!(kb.generation(p), 1);
+        assert_eq!(kb.generation(q), 0);
+        kb.assert_fact(fact("q", vec![Term::atom("b")]));
+        assert_eq!(kb.generation(p), 1);
+        assert_eq!(kb.generation(q), 1);
+        assert!(kb.retract_fact(&fact("p", vec![Term::atom("a")])));
+        assert_eq!(kb.generation(p), 2);
+        assert_eq!(kb.generation(q), 1);
+    }
+
+    #[test]
+    fn dep_snapshot_survival_rule() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(fact("a", vec![Term::var(0)]), fact("b", vec![Term::var(0)]));
+        kb.assert_fact(fact("b", vec![Term::atom("x")]));
+        kb.assert_fact(fact("unrelated", vec![Term::atom("y")]));
+        let a = PredKey::new("a", 1);
+        let before = kb.dep_snapshot(a);
+        assert!(!before.dynamic);
+        // Unrelated mutation: epoch moves, a's snapshot deps don't.
+        kb.assert_fact(fact("unrelated", vec![Term::atom("z")]));
+        let after = kb.dep_snapshot(a);
+        assert_ne!(before.epoch, after.epoch);
+        assert_eq!(before.deps, after.deps);
+        // Mutation inside the closure: deps change.
+        kb.assert_fact(fact("b", vec![Term::atom("w")]));
+        let after2 = kb.dep_snapshot(a);
+        assert_ne!(after.deps, after2.deps);
+    }
+
+    #[test]
+    fn delta_records_and_rolls_back() {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(fact("p", vec![Term::int(1)]));
+        kb.assert_fact(fact("p", vec![Term::int(2)]));
+        kb.assert_fact(fact("p", vec![Term::int(3)]));
+        let snapshot: Vec<Term> = kb
+            .clauses_of(PredKey::new("p", 1))
+            .iter()
+            .map(|c| c.head.clone())
+            .collect();
+
+        kb.begin_delta();
+        let mark = kb.delta_len();
+        kb.assert_fact(fact("p", vec![Term::int(4)]));
+        assert!(kb.retract_fact(&fact("p", vec![Term::int(2)])));
+        let g = GroupId::named("pack");
+        kb.assert_clause_in(g, fact("q", vec![Term::atom("m")]), Term::atom("true"));
+        assert_eq!(kb.retract_group(g), 1);
+        assert_eq!(kb.retract_predicate(PredKey::new("p", 1)), 3);
+        let delta = kb.delta_since(mark);
+        assert_eq!(delta.len(), 5);
+        assert!(delta.dirty_preds().contains(&PredKey::new("p", 1)));
+        assert!(delta.dirty_preds().contains(&PredKey::new("q", 1)));
+
+        let undone = kb.rollback_to(mark);
+        assert_eq!(undone, 5);
+        assert_eq!(kb.delta_len(), mark);
+        // Exact clause list (order included) restored.
+        let restored: Vec<Term> = kb
+            .clauses_of(PredKey::new("p", 1))
+            .iter()
+            .map(|c| c.head.clone())
+            .collect();
+        assert_eq!(restored, snapshot);
+        assert_eq!(kb.clause_count(), 3);
+        assert!(!kb.group_active(g));
+        // Index still consistent after the positional reinserts.
+        assert_eq!(
+            cands(&kb, PredKey::new("p", 1), vec![Term::int(2)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rollback_restores_interleaved_group_positions() {
+        let mut kb = KnowledgeBase::new();
+        let g = GroupId::named("meta");
+        kb.assert_fact(fact("p", vec![Term::int(0)]));
+        kb.assert_clause_in(g, fact("p", vec![Term::int(1)]), Term::atom("true"));
+        kb.assert_fact(fact("p", vec![Term::int(2)]));
+        kb.assert_clause_in(g, fact("p", vec![Term::int(3)]), Term::atom("true"));
+        let before: Vec<Term> = kb
+            .clauses_of(PredKey::new("p", 1))
+            .iter()
+            .map(|c| c.head.clone())
+            .collect();
+        kb.begin_delta();
+        assert_eq!(kb.retract_group(g), 2);
+        kb.rollback_to(0);
+        let after: Vec<Term> = kb
+            .clauses_of(PredKey::new("p", 1))
+            .iter()
+            .map(|c| c.head.clone())
+            .collect();
+        assert_eq!(before, after);
+        assert!(kb.group_active(g));
+    }
+
+    #[test]
+    fn drain_delta_keeps_recorder_running() {
+        let mut kb = KnowledgeBase::new();
+        kb.begin_delta();
+        kb.assert_fact(fact("p", vec![Term::int(1)]));
+        let d = kb.drain_delta();
+        assert_eq!(d.len(), 1);
+        assert!(kb.recording());
+        assert_eq!(kb.delta_len(), 0);
+        kb.assert_fact(fact("p", vec![Term::int(2)]));
+        assert_eq!(kb.delta_len(), 1);
+        let rest = kb.end_delta().unwrap();
+        assert_eq!(rest.len(), 1);
+        assert!(!kb.recording());
     }
 
     #[test]

@@ -42,6 +42,8 @@
 mod budget;
 mod builtins;
 pub mod chaos;
+pub mod delta;
+pub mod deps;
 mod error;
 mod hash;
 mod kb;
@@ -58,6 +60,8 @@ pub mod arith;
 
 pub use budget::{Budget, CancelToken, DepthGuard, CHECK_INTERVAL};
 pub use chaos::{ChaosConfig, ChaosSink, FaultKind};
+pub use delta::{Delta, DeltaOp};
+pub use deps::{ArgSpec, Closure, DepGraph};
 pub use error::{EngineError, EngineResult};
 pub use hash::{FxHashMap, FxHashSet};
 pub use kb::{Clause, GroupId, KnowledgeBase, NativeFn, NativeOutcome, PredKey};
@@ -65,7 +69,7 @@ pub use list::{list_from_iter, list_to_vec, ListIter};
 pub use parallel::ParallelSolver;
 pub use solver::{Solution, SolutionIter, Solver, SolverStats};
 pub use symbol::{symbols, Sym};
-pub use table::{AnswerTable, CachedAnswer, TableStats};
+pub use table::{AnswerTable, CachedAnswer, TableStats, TableValidity};
 pub use term::{Term, Var, F64};
 pub use trace::{
     NullSink, ObserverSink, Port, PredProfile, PrintSink, Profiler, RingTrace, TraceEvent,

@@ -549,7 +549,8 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             // neither hit nor miss).
             return self.call_user(key, goal);
         }
-        match self.kb.table().lookup(&pattern, self.kb.epoch()) {
+        let validity = self.kb.dep_snapshot(key);
+        match self.kb.table().lookup(&pattern, &validity) {
             Lookup::Hit(answers) => {
                 self.counters
                     .table_hits
@@ -567,6 +568,9 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                     self.counters
                         .table_invalidations
                         .set(self.counters.table_invalidations.get() + 1);
+                    if S::ENABLED {
+                        self.emit(Port::Invalidate, key, resolved.clone());
+                    }
                 }
                 let Ok(_guard) = self.budget.enter() else {
                     // The enumeration sub-machine would blow the depth
@@ -580,7 +584,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                 let answers = Arc::new(result?);
                 self.kb
                     .table()
-                    .insert(pattern, self.kb.epoch(), Arc::clone(&answers));
+                    .insert(pattern, (*validity).clone(), Arc::clone(&answers));
                 self.counters
                     .table_inserts
                     .set(self.counters.table_inserts.get() + 1);

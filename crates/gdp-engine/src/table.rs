@@ -16,11 +16,18 @@
 //!   after the sub-enumeration exhausted every alternative within budget.
 //!   Negation-as-failure and bounded `forall` therefore never observe a
 //!   partial answer set: a hit *is* a completed table.
-//! * **Epoch invalidation.** [`crate::KnowledgeBase`] carries an epoch
-//!   counter bumped by every mutation (assert, retract, group activation
-//!   and deactivation, native registration). Entries record the epoch
-//!   they were built at and are dropped on mismatch at lookup time, so no
-//!   stale answer survives an update.
+//! * **Dependency-aware invalidation.** Entries record a
+//!   [`TableValidity`] snapshot: the global epoch they were built at plus
+//!   the per-predicate generation counters of the call's static dependency
+//!   closure (see [`crate::deps::DepGraph`]). At lookup time an entry
+//!   survives if either the epoch is unchanged (nothing at all happened)
+//!   or every predicate the call can actually reach still has the
+//!   generation it was built against — so asserting a `soil/2` fact no
+//!   longer flushes cached `road/1` answers. Entries whose closure
+//!   contains a dynamic call (`call/1` through a variable) fall back to
+//!   whole-epoch validity, as do entries built against a different
+//!   structural configuration (indexing/strict mode), which can change
+//!   solution *order* even where the answer set is fixed.
 //! * **Recursion guard.** While a call pattern is being enumerated, a
 //!   recursive call to the same pattern falls back to plain SLD
 //!   resolution instead of consulting the (incomplete) table.
@@ -36,7 +43,54 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::hash::FxHashMap;
+use crate::kb::PredKey;
 use crate::term::{Term, Var};
+
+/// Validity snapshot a table entry is built against. Produced by
+/// [`crate::KnowledgeBase::dep_snapshot`] from the predicate's static
+/// dependency closure and compared on lookup; see the module docs for the
+/// exact survival rule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableValidity {
+    /// Global modification epoch at snapshot time. Equality here is
+    /// sufficient on its own: an unchanged epoch means *nothing* changed.
+    pub epoch: u64,
+    /// Structural-configuration generation (indexing/index layout/strict
+    /// mode). These settings can change solution order or error behavior
+    /// without touching any clause, so they gate dependency-based
+    /// survival.
+    pub structural: u64,
+    /// The closure contains a dynamic call (`call/1` through a variable or
+    /// an uninspectable goal), so its real dependency set is unknown and
+    /// only exact epoch equality keeps the entry alive.
+    pub dynamic: bool,
+    /// `(predicate, generation)` for every predicate in the call's static
+    /// dependency closure, in a canonical order so snapshots compare by
+    /// simple `Vec` equality.
+    pub deps: Arc<Vec<(PredKey, u64)>>,
+}
+
+impl TableValidity {
+    /// A snapshot that is valid only at exactly this epoch — the
+    /// conservative fallback when no dependency information is available.
+    pub fn epoch_only(epoch: u64) -> TableValidity {
+        TableValidity {
+            epoch,
+            structural: 0,
+            dynamic: true,
+            deps: Arc::new(Vec::new()),
+        }
+    }
+
+    /// Is an entry built at `self` still usable under `current`?
+    fn survives(&self, current: &TableValidity) -> bool {
+        self.epoch == current.epoch
+            || (!self.dynamic
+                && !current.dynamic
+                && self.structural == current.structural
+                && self.deps == current.deps)
+    }
+}
 
 /// One cached answer: the canonicalized solved instance of the call
 /// pattern, with `n_vars` residual unbound variables numbered `0..n_vars`.
@@ -67,7 +121,7 @@ pub struct TableStats {
 
 /// Outcome of [`AnswerTable::lookup`].
 pub enum Lookup {
-    /// A completed answer set built at the current epoch.
+    /// A completed answer set whose validity snapshot still holds.
     Hit(Arc<Vec<CachedAnswer>>),
     /// No usable entry; `invalidated` reports whether a stale entry was
     /// dropped on the way.
@@ -79,7 +133,7 @@ pub enum Lookup {
 
 #[derive(Debug)]
 struct TableEntry {
-    epoch: u64,
+    validity: TableValidity,
     answers: Arc<Vec<CachedAnswer>>,
 }
 
@@ -111,13 +165,13 @@ impl AnswerTable {
         AnswerTable::default()
     }
 
-    /// Look up a canonicalized call pattern. An entry built at a different
-    /// epoch is dropped (counted as an invalidation) and reported as a
-    /// miss.
-    pub fn lookup(&self, pattern: &Term, epoch: u64) -> Lookup {
+    /// Look up a canonicalized call pattern. An entry whose validity
+    /// snapshot no longer survives under `current` is dropped (counted as
+    /// an invalidation) and reported as a miss.
+    pub fn lookup(&self, pattern: &Term, current: &TableValidity) -> Lookup {
         let mut inner = self.inner.lock();
         match inner.entries.get(pattern) {
-            Some(entry) if entry.epoch == epoch => {
+            Some(entry) if entry.validity.survives(current) => {
                 let answers = Arc::clone(&entry.answers);
                 inner.stats.hits += 1;
                 Lookup::Hit(answers)
@@ -135,10 +189,13 @@ impl AnswerTable {
         }
     }
 
-    /// Record the complete answer set for a call pattern at `epoch`.
-    pub fn insert(&self, pattern: Term, epoch: u64, answers: Arc<Vec<CachedAnswer>>) {
+    /// Record the complete answer set for a call pattern, together with
+    /// the validity snapshot it was built against.
+    pub fn insert(&self, pattern: Term, validity: TableValidity, answers: Arc<Vec<CachedAnswer>>) {
         let mut inner = self.inner.lock();
-        inner.entries.insert(pattern, TableEntry { epoch, answers });
+        inner
+            .entries
+            .insert(pattern, TableEntry { validity, answers });
         inner.stats.inserts += 1;
     }
 
@@ -235,24 +292,25 @@ mod tests {
         let table = AnswerTable::new();
         let pat = canonicalize_vars(&goal(&[1]));
         assert!(matches!(
-            table.lookup(&pat, 0),
+            table.lookup(&pat, &TableValidity::epoch_only(0)),
             Lookup::Miss { invalidated: false }
         ));
         table.insert(
             pat.clone(),
-            0,
+            TableValidity::epoch_only(0),
             Arc::new(vec![CachedAnswer {
                 term: Term::pred("p", vec![Term::atom("a")]),
                 n_vars: 0,
             }]),
         );
-        let Lookup::Hit(answers) = table.lookup(&pat, 0) else {
+        let Lookup::Hit(answers) = table.lookup(&pat, &TableValidity::epoch_only(0)) else {
             panic!("expected hit");
         };
         assert_eq!(answers.len(), 1);
-        // Same pattern at a newer epoch: stale entry dropped.
+        // Same pattern at a newer epoch: stale entry dropped (epoch-only
+        // snapshots are dynamic, so no dependency survival applies).
         assert!(matches!(
-            table.lookup(&pat, 1),
+            table.lookup(&pat, &TableValidity::epoch_only(1)),
             Lookup::Miss { invalidated: true }
         ));
         assert!(table.is_empty());
@@ -264,9 +322,55 @@ mod tests {
     }
 
     #[test]
+    fn dependency_snapshot_survives_unrelated_epoch_bump() {
+        let table = AnswerTable::new();
+        let pat = canonicalize_vars(&goal(&[1]));
+        let deps = Arc::new(vec![(PredKey::new("p", 1), 3)]);
+        let built = TableValidity {
+            epoch: 5,
+            structural: 0,
+            dynamic: false,
+            deps: Arc::clone(&deps),
+        };
+        table.insert(pat.clone(), built.clone(), Arc::new(Vec::new()));
+        // Epoch moved (something unrelated changed) but p/1's generation
+        // didn't: the entry survives.
+        let current = TableValidity {
+            epoch: 9,
+            ..built.clone()
+        };
+        assert!(matches!(table.lookup(&pat, &current), Lookup::Hit(_)));
+        // p/1's generation moved: dropped.
+        let current = TableValidity {
+            epoch: 10,
+            deps: Arc::new(vec![(PredKey::new("p", 1), 4)]),
+            ..built.clone()
+        };
+        assert!(matches!(
+            table.lookup(&pat, &current),
+            Lookup::Miss { invalidated: true }
+        ));
+        // Structural config moved with generations intact: also dropped.
+        table.insert(pat.clone(), built.clone(), Arc::new(Vec::new()));
+        let current = TableValidity {
+            epoch: 11,
+            structural: 1,
+            ..built
+        };
+        assert!(matches!(
+            table.lookup(&pat, &current),
+            Lookup::Miss { invalidated: true }
+        ));
+    }
+
+    #[test]
     fn clear_keeps_stats() {
         let table = AnswerTable::new();
-        table.insert(Term::atom("q"), 0, Arc::new(Vec::new()));
+        table.insert(
+            Term::atom("q"),
+            TableValidity::epoch_only(0),
+            Arc::new(Vec::new()),
+        );
         assert_eq!(table.len(), 1);
         table.clear();
         assert!(table.is_empty());

@@ -55,6 +55,13 @@ pub enum Port {
     TableInsert,
     /// A native (Rust-implemented) predicate is being invoked.
     NativeCall,
+    /// A stale table entry was dropped at lookup time because a predicate
+    /// in its dependency closure changed generation (or its validity
+    /// snapshot was epoch-only and the epoch moved).
+    Invalidate,
+    /// A transaction committed its recorded delta (emitted by the spec
+    /// layer, once per commit, with the transaction's scope as the goal).
+    DeltaCommit,
 }
 
 impl Port {
@@ -68,6 +75,8 @@ impl Port {
             Port::TableHit => "T-HIT",
             Port::TableInsert => "T-INS",
             Port::NativeCall => "NATIVE",
+            Port::Invalidate => "T-INV",
+            Port::DeltaCommit => "D-CMT",
         }
     }
 }
@@ -260,10 +269,12 @@ impl TraceSink for Profiler {
             Port::Redo => row.redos += 1,
             Port::Fail => row.fails += 1,
             Port::TableHit => row.table_hits += 1,
-            // Inserts and native invocations are visible in the trace but
-            // carry no counter of their own (the surrounding Call/Exit
-            // pair already counts the activity).
-            Port::TableInsert | Port::NativeCall => {}
+            // Inserts, native invocations, invalidations, and commits are
+            // visible in the trace but carry no counter of their own (the
+            // surrounding Call/Exit pair — or, for invalidations,
+            // `SolverStats::table_invalidations` — already counts the
+            // activity).
+            Port::TableInsert | Port::NativeCall | Port::Invalidate | Port::DeltaCommit => {}
         }
     }
 

@@ -353,6 +353,36 @@ mod tests {
     }
 
     #[test]
+    fn uncallable_meta_model_head_is_a_line_numbered_diagnostic() {
+        use gdp_core::{MetaModel, RawClause};
+
+        let mut spec = Specification::new();
+        // A hand-built pack with a head the engine cannot store. Before
+        // the fallible assertion path this panicked deep in the engine;
+        // now `#activate` reports it with the source line, and the
+        // statements around it still apply.
+        let mm = MetaModel::new("broken")
+            .clause(RawClause::fact(Term::int(3)))
+            .build();
+        spec.register_meta_model(mm);
+        let err = load(&mut spec, "road(s1).\n#activate broken.\nroad(s2).").unwrap_err();
+        match err {
+            LangError::Load {
+                line: 2,
+                error: gdp_core::SpecError::Engine(e),
+                ..
+            } => assert!(
+                matches!(e, gdp_engine::EngineError::UncallableHead { .. }),
+                "{e:?}"
+            ),
+            other => panic!("{other:?}"),
+        }
+        // Activation was atomic: the meta-view is untouched.
+        assert!(spec.meta_view().is_empty());
+        assert_eq!(query(&spec, "road(X)").unwrap().len(), 2);
+    }
+
+    #[test]
     fn sort_checking_applies_through_language() {
         let mut spec = Specification::new();
         let err = load(

@@ -64,7 +64,13 @@ statements  any specification-language statement ending in `.`
 :load FILE  load a specification file
 :why GOAL   explain why a fact is provable (proof tree)
 :check      run consistency checking against the active world view
-:audit [-j N]  parallel world-view audit (N workers; default: all cores)
+:audit [-j N] [-i]  parallel world-view audit (N workers; default: all
+            cores). `-i`: incremental — re-solve only the members whose
+            goals depend on predicates dirtied since the last audit
+            (committed transactions accumulate the pending delta)
+:begin      open a transaction (assertions/retractions become revertible)
+:commit     commit the transaction; its delta feeds the next `:audit -i`
+:rollback   abort the transaction, restoring the pre-:begin state
 :views      show the active world view and meta-view
 :stats      knowledge-base, solver, and answer-table statistics
             (after :audit these are the merged per-worker counters)
@@ -82,7 +88,11 @@ statements  any specification-language statement ending in `.`
 
 fn main() {
     let mut spec = match gdp::standard_spec() {
-        Ok((spec, reg)) => Session { spec, reg },
+        Ok((spec, reg)) => Session {
+            spec,
+            reg,
+            pending: gdp::engine::Delta::new(),
+        },
         Err(e) => {
             eprintln!("failed to initialize: {e}");
             std::process::exit(1);
@@ -140,22 +150,36 @@ fn main() {
 struct Session {
     spec: Specification,
     reg: SpatialRegistry,
+    /// Deltas of committed-but-not-yet-audited transactions, merged in
+    /// commit order; `:audit -i` consumes them.
+    pending: gdp::engine::Delta,
 }
 
-/// Parse the `:audit` argument list: empty, or `-j N`.
-fn parse_audit_workers(rest: &str) -> Result<usize, String> {
-    let parts: Vec<&str> = rest.split_whitespace().collect();
-    match parts.as_slice() {
-        [] => Ok(std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)),
-        ["-j", n] => {
-            n.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(|| {
-                format!("usage: :audit [-j N] (N must be a positive integer, got {n})")
-            })
+/// Parse the `:audit` argument list: any order of `-j N` and `-i`.
+/// Returns `(workers, incremental)`.
+fn parse_audit_workers(rest: &str) -> Result<(usize, bool), String> {
+    let usage = || "usage: :audit [-j N] [-i]".to_string();
+    let mut workers = None;
+    let mut incremental = false;
+    let mut parts = rest.split_whitespace();
+    while let Some(part) = parts.next() {
+        match part {
+            "-i" => incremental = true,
+            "-j" => {
+                let n = parts.next().ok_or_else(usage)?;
+                workers = Some(n.parse::<usize>().ok().filter(|w| *w >= 1).ok_or_else(|| {
+                    format!("usage: :audit [-j N] [-i] (N must be a positive integer, got {n})")
+                })?);
+            }
+            _ => return Err(usage()),
         }
-        _ => Err("usage: :audit [-j N]".to_string()),
     }
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    Ok((workers, incremental))
 }
 
 impl Session {
@@ -284,15 +308,57 @@ impl Session {
                 }
                 Err(e) => self.report_spec_error(&e),
             },
+            ":begin" => match self.spec.begin_txn() {
+                Ok(()) => println!("transaction open (:commit or :rollback)."),
+                Err(e) => println!("error: {e}"),
+            },
+            ":commit" => match self.spec.commit_txn() {
+                Ok(delta) => {
+                    let mut dirty: Vec<String> = delta
+                        .dirty_preds()
+                        .into_iter()
+                        .map(|k| format!("{}/{}", k.name.as_str(), k.arity))
+                        .collect();
+                    dirty.sort();
+                    println!(
+                        "committed {} operation(s); dirtied: {}",
+                        delta.len(),
+                        if dirty.is_empty() {
+                            "nothing".to_string()
+                        } else {
+                            dirty.join(", ")
+                        }
+                    );
+                    self.pending.merge(delta);
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ":rollback" => match self.spec.rollback_txn() {
+                Ok(undone) => println!("rolled back {undone} operation(s)."),
+                Err(e) => println!("error: {e}"),
+            },
             ":audit" => {
-                let workers = match parse_audit_workers(rest) {
-                    Ok(w) => w,
+                let (workers, incremental) = match parse_audit_workers(rest) {
+                    Ok(parsed) => parsed,
                     Err(msg) => {
                         println!("{msg}");
                         return true;
                     }
                 };
-                match self.spec.audit_world_views(workers) {
+                let result = if incremental {
+                    // First use arms per-member caching; this (full) audit
+                    // seeds the cache for the next delta-driven one.
+                    if !self.spec.incremental_enabled() {
+                        self.spec.set_incremental(true);
+                    }
+                    self.spec.audit_incremental(&self.pending, workers)
+                } else {
+                    self.spec.audit_world_views(workers)
+                };
+                if incremental && result.is_ok() {
+                    self.pending = gdp::engine::Delta::new();
+                }
+                match result {
                     Ok(report) => {
                         if report.violations.is_empty() && report.is_complete() {
                             println!(

@@ -213,6 +213,50 @@ fn ambient_env_chaos_restriction_holds() {
     }
 }
 
+/// The incremental leg `ci.sh` drives: under ambient `GDP_CHAOS`, the
+/// delta-driven `audit_incremental` keeps the restriction property — its
+/// degraded report is the fault-free audit restricted to the members that
+/// completed (cached members completed by construction; injected faults
+/// can only land on the re-solved stale ones). With no ambient fault it
+/// must be byte-identical to the full re-audit.
+#[test]
+fn ambient_env_chaos_restriction_holds_incrementally() {
+    quiet_injected_panics();
+    for tabled in [false, true] {
+        let mut spec = Specification::new();
+        let cfg = spec.chaos();
+        populate(&mut spec, tabled);
+        spec.set_incremental(true);
+        for workers in [1, 4] {
+            // Seed the member cache fault-free, then dirty one member
+            // inside a transaction.
+            spec.set_chaos(None);
+            spec.audit_world_views(workers).unwrap();
+            spec.begin_txn().unwrap();
+            spec.assert_fact(FactPat::new("dry").arg("c3").model("survey"))
+                .unwrap();
+            let delta = spec.commit_txn().unwrap();
+            spec.set_chaos(cfg);
+            let report = spec.audit_incremental(&delta, workers).unwrap();
+            spec.set_chaos(None);
+            assert_eq!(
+                report.violations,
+                restricted_baseline(&spec, &report),
+                "incremental restriction violated under GDP_CHAOS={cfg:?} at {workers} \
+                 workers, tabled={tabled}"
+            );
+            if cfg.is_none() {
+                assert!(report.is_complete());
+                let full = spec.audit_world_views(workers).unwrap();
+                assert_eq!(report.violations, full.violations);
+                assert_eq!(report.per_model, full.per_model);
+            }
+            spec.retract_fact(FactPat::new("dry").arg("c3").model("survey"))
+                .unwrap();
+        }
+    }
+}
+
 /// `GDP_CHAOS` is read at `Specification` construction: a `panic:K` value
 /// must surface as contained `GoalPanicked` audit failures, never as a
 /// panic across the public API.

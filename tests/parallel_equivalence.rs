@@ -173,11 +173,12 @@ fn shared_table_across_epoch_bumps() {
 }
 
 /// Raw concurrent hammering of one `AnswerTable`: 8 threads look up and
-/// insert the same call patterns under racing epoch values; the table must
-/// only ever serve an answer set recorded at the exact requested epoch.
+/// insert the same call patterns under racing epoch-only validity
+/// snapshots; the table must only ever serve an answer set recorded at the
+/// exact requested epoch (epoch-only snapshots never survive a mismatch).
 #[test]
 fn answer_table_concurrent_lookups_respect_epochs() {
-    use gdp::engine::table::{canonicalize, AnswerTable, CachedAnswer, Lookup};
+    use gdp::engine::table::{canonicalize, AnswerTable, CachedAnswer, Lookup, TableValidity};
 
     let table = AnswerTable::new();
     let patterns: Vec<_> = (0..4)
@@ -190,7 +191,7 @@ fn answer_table_concurrent_lookups_respect_epochs() {
                 for step in 0..200u64 {
                     let epoch = (w + step) % 5;
                     let pattern = &patterns[(step as usize) % patterns.len()];
-                    match table.lookup(pattern, epoch) {
+                    match table.lookup(pattern, &TableValidity::epoch_only(epoch)) {
                         Lookup::Hit(answers) => {
                             // An answer set is tagged with the epoch that
                             // recorded it: every served answer must carry
@@ -204,7 +205,7 @@ fn answer_table_concurrent_lookups_respect_epochs() {
                         Lookup::Miss { .. } => {
                             table.insert(
                                 pattern.clone(),
-                                epoch,
+                                TableValidity::epoch_only(epoch),
                                 std::sync::Arc::new(vec![CachedAnswer {
                                     term: Term::pred("epoch", vec![Term::int(epoch as i64)]),
                                     n_vars: 0,
