@@ -31,6 +31,23 @@ fn profile_consistency(label: &str, spec: &mut Specification) {
         "profiler must account for every solver step"
     );
     print!("{}", prof.render());
+    let (consults, hash_hits, range_hits, pruned, scans) =
+        spec.kb()
+            .index_stats()
+            .iter()
+            .fold((0, 0, 0, 0, 0), |(c, h, r, p, s), rep| {
+                (
+                    c + rep.consults,
+                    h + rep.hash_hits,
+                    r + rep.range_hits,
+                    p + rep.pruned,
+                    s + rep.scans,
+                )
+            });
+    println!(
+        "indexes: {consults} consults, {hash_hits} hash hits, {range_hits} range hits, \
+         {pruned} clauses pruned, {scans} full scans"
+    );
     println!();
 }
 

@@ -288,8 +288,10 @@ fn explain_ground(spec: &Specification, goal: &Term, depth: usize) -> SpecResult
     if let Some(key) = PredKey::of_term(goal) {
         if spec.kb().native(key).is_none() {
             let store = gdp_engine::BindStore::new();
-            let candidates = spec.kb().candidates(key, &store, args);
-            for clause in candidates {
+            let candidates =
+                spec.kb()
+                    .candidates(key, &store, args, &gdp_engine::BoundSet::default());
+            for clause in candidates.iter() {
                 let mut store = gdp_engine::BindStore::new();
                 if let Some(max) = goal.max_var() {
                     store.ensure(max);

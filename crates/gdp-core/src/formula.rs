@@ -13,7 +13,7 @@
 //! positive context (the `I2 ⊆ I` side conditions), and every head variable
 //! must be bound by the body (`K ⊆ I`).
 
-use gdp_engine::Term;
+use gdp_engine::{FxHashMap, Term};
 
 use crate::fact::{FactPat, Target};
 use crate::pattern::{Pat, VarTable};
@@ -49,6 +49,78 @@ impl CmpOp {
             CmpOp::NumNe => "=\\=",
             CmpOp::NotUnify => "\\=",
         }
+    }
+
+    /// The operator with its operands swapped (`a < b` ⇔ `b > a`);
+    /// `None` when the operator carries no range information.
+    fn flipped(self) -> Option<CmpOp> {
+        match self {
+            CmpOp::Lt => Some(CmpOp::Gt),
+            CmpOp::Le => Some(CmpOp::Ge),
+            CmpOp::Gt => Some(CmpOp::Lt),
+            CmpOp::Ge => Some(CmpOp::Le),
+            CmpOp::NumEq => Some(CmpOp::NumEq),
+            CmpOp::NumNe | CmpOp::NotUnify => None,
+        }
+    }
+}
+
+/// One planned bound pushdown: variable `var`, introduced by a fact lookup,
+/// is later compared against an expression evaluable *before* that lookup,
+/// so the lookup can be wrapped in `range_call(Goal, [rc(Var, iv(..))])`
+/// and the KB's range indexes can prune clauses at dispatch time. The
+/// comparison goal itself stays in place — the wrapper only *narrows
+/// enumeration*, it never decides truth, so compiled semantics are
+/// unchanged even when the bound expression fails to evaluate.
+#[derive(Clone, Debug)]
+struct PlannedRc {
+    var: String,
+    lo: Option<Pat>,
+    lo_open: bool,
+    hi: Option<Pat>,
+    hi_open: bool,
+}
+
+impl PlannedRc {
+    /// `rc(V, iv(Lo, Hi, LoEnd, HiEnd))` with `minf`/`inf` for missing
+    /// bounds and `open`/`closed` end markers — the shape `range_call/2`
+    /// parses in the solver.
+    fn compile(&self, vt: &mut VarTable) -> Term {
+        let lo = match &self.lo {
+            Some(p) => vt.compile(p),
+            None => Term::atom("minf"),
+        };
+        let hi = match &self.hi {
+            Some(p) => vt.compile(p),
+            None => Term::atom("inf"),
+        };
+        let end = |open: bool| Term::atom(if open { "open" } else { "closed" });
+        Term::pred(
+            "rc",
+            vec![
+                vt.compile(&Pat::Var(self.var.clone())),
+                Term::pred("iv", vec![lo, hi, end(self.lo_open), end(self.hi_open)]),
+            ],
+        )
+    }
+
+    /// Constraint `v OP e` (variable on the left) as a half-open interval.
+    fn from_cmp(op: CmpOp, var: &str, expr: &Pat) -> Option<PlannedRc> {
+        let (lo, lo_open, hi, hi_open) = match op {
+            CmpOp::Lt => (None, false, Some(expr.clone()), true),
+            CmpOp::Le => (None, false, Some(expr.clone()), false),
+            CmpOp::Gt => (Some(expr.clone()), true, None, false),
+            CmpOp::Ge => (Some(expr.clone()), false, None, false),
+            CmpOp::NumEq => (Some(expr.clone()), false, Some(expr.clone()), false),
+            CmpOp::NumNe | CmpOp::NotUnify => return None,
+        };
+        Some(PlannedRc {
+            var: var.to_string(),
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        })
     }
 }
 
@@ -203,6 +275,122 @@ impl Formula {
                 ],
             ),
             Formula::Raw(p) => vt.compile(p),
+        }
+    }
+
+    /// Compile like [`Formula::compile`], but first plan *bound pushdown*
+    /// over the top-level conjunction: a fact lookup that introduces a
+    /// variable later compared against an already-bound expression is
+    /// wrapped in `range_call(Goal, [rc(Var, iv(..))])`, handing the KB's
+    /// grid/interval indexes a numeric range to prune clause candidates
+    /// with (the classic "push the selection below the scan" move). All
+    /// comparison goals stay in place, so the compiled body is a semantic
+    /// no-op relative to the plain compile — indexed and unindexed solving
+    /// produce identical answers in identical order. When nothing is
+    /// plannable this *is* the plain compile, term-for-term.
+    pub fn compile_pushdown(&self, vt: &mut VarTable) -> Term {
+        let mut items = Vec::new();
+        self.conjuncts(&mut items);
+        let plan = Formula::plan_pushdown(&items);
+        if plan.is_empty() {
+            return self.compile(vt);
+        }
+        let mut ord = 0usize;
+        self.compile_with_plan(vt, &plan, &mut ord)
+    }
+
+    /// Flatten the top-level `And` spine into leaf conjuncts, in order.
+    fn conjuncts<'a>(&'a self, out: &mut Vec<&'a Formula>) {
+        if let Formula::And(a, b) = self {
+            a.conjuncts(out);
+            b.conjuncts(out);
+        } else {
+            out.push(self);
+        }
+    }
+
+    /// For each top-level `Fact` conjunct (by leaf ordinal), the range
+    /// constraints later comparisons impose on variables that lookup
+    /// introduces. A constraint `V op E` qualifies when `V` first becomes
+    /// bound at that fact and every variable of `E` is bound *before* it —
+    /// i.e. `E` is evaluable at the moment the lookup dispatches.
+    fn plan_pushdown(items: &[&Formula]) -> FxHashMap<usize, Vec<PlannedRc>> {
+        let mut bound_before: Vec<Vec<String>> = Vec::with_capacity(items.len());
+        let mut bound = Vec::new();
+        for item in items {
+            bound_before.push(bound.clone());
+            item.binds(&mut bound);
+        }
+
+        let mut plan: FxHashMap<usize, Vec<PlannedRc>> = FxHashMap::default();
+        for (i, item) in items.iter().enumerate() {
+            let Formula::Fact(f) = item else { continue };
+            let mut fact_vars = Vec::new();
+            f.collect_vars(&mut fact_vars);
+            let fresh: Vec<&String> = fact_vars
+                .iter()
+                .filter(|v| !bound_before[i].contains(v))
+                .collect();
+            if fresh.is_empty() {
+                continue;
+            }
+            let qualifies = |vside: &Pat, eside: &Pat| -> Option<String> {
+                let Pat::Var(v) = vside else { return None };
+                if !fresh.contains(&v) {
+                    return None;
+                }
+                let mut evars = Vec::new();
+                eside.collect_vars(&mut evars);
+                if evars.iter().all(|e| bound_before[i].contains(e)) {
+                    Some(v.clone())
+                } else {
+                    None
+                }
+            };
+            let mut rcs = Vec::new();
+            for later in &items[i + 1..] {
+                let Formula::Cmp(op, a, b) = later else {
+                    continue;
+                };
+                if let Some(v) = qualifies(a, b) {
+                    rcs.extend(PlannedRc::from_cmp(*op, &v, b));
+                } else if let Some(v) = qualifies(b, a) {
+                    if let Some(flip) = op.flipped() {
+                        rcs.extend(PlannedRc::from_cmp(flip, &v, a));
+                    }
+                }
+            }
+            if !rcs.is_empty() {
+                plan.insert(i, rcs);
+            }
+        }
+        plan
+    }
+
+    /// Compile, wrapping planned leaf conjuncts. Mirrors the `And` spine of
+    /// [`Formula::compile`] exactly (same recursion, same variable
+    /// allocation order — the `rc` terms only reference variables already
+    /// allocated by the wrapped goal or earlier conjuncts).
+    fn compile_with_plan(
+        &self,
+        vt: &mut VarTable,
+        plan: &FxHashMap<usize, Vec<PlannedRc>>,
+        ord: &mut usize,
+    ) -> Term {
+        if let Formula::And(a, b) = self {
+            let ta = a.compile_with_plan(vt, plan, ord);
+            let tb = b.compile_with_plan(vt, plan, ord);
+            return Term::and(ta, tb);
+        }
+        let i = *ord;
+        *ord += 1;
+        let goal = self.compile(vt);
+        match plan.get(&i) {
+            Some(rcs) => {
+                let rc_terms = rcs.iter().map(|rc| rc.compile(vt)).collect();
+                Term::pred("range_call", vec![goal, Term::list(rc_terms)])
+            }
+            None => goal,
         }
     }
 
@@ -504,6 +692,74 @@ mod tests {
         // Negated lookups use the existential form: the model variable of
         // `visible/5` is unbound by design, which strict `not/1` rejects.
         assert!(s.contains("absent(visible("), "compiled: {s}");
+    }
+
+    #[test]
+    fn pushdown_wraps_later_constrained_fact() {
+        // reading(X,V1), reading(Y,V2), V1 < V2 — the second lookup
+        // introduces V2 and V1 is bound by then, so it gets wrapped with
+        // rc(V2, iv(V1, inf, open, closed)). The first lookup stays bare
+        // (V2 is unbound at its dispatch) and the comparison goal survives.
+        let body = Formula::all(vec![
+            fact("reading", vec!["X", "V1"]),
+            fact("reading", vec!["Y", "V2"]),
+            Formula::Cmp(CmpOp::Lt, Pat::var("V1"), Pat::var("V2")),
+        ]);
+        let mut vt = VarTable::new();
+        let s = body.compile_pushdown(&mut vt).to_string();
+        assert_eq!(s.matches("range_call(").count(), 1, "compiled: {s}");
+        assert!(s.contains("iv("), "compiled: {s}");
+        assert!(s.contains("inf"), "compiled: {s}");
+        assert!(s.contains("open"), "compiled: {s}");
+        assert!(s.contains("<("), "comparison goal must survive: {s}");
+        // Variable allocation identical to the plain compile.
+        let mut plain = VarTable::new();
+        body.compile(&mut plain);
+        assert_eq!(vt.len(), plain.len());
+    }
+
+    #[test]
+    fn pushdown_collects_both_bounds_and_constants() {
+        // m(V), V >= 0, V < 10 — constants are always "evaluable", so the
+        // single lookup collects both half-intervals.
+        let body = Formula::all(vec![
+            fact("m", vec!["V"]),
+            Formula::Cmp(CmpOp::Ge, Pat::var("V"), Pat::Int(0)),
+            Formula::Cmp(CmpOp::Lt, Pat::var("V"), Pat::Int(10)),
+        ]);
+        let mut vt = VarTable::new();
+        let s = body.compile_pushdown(&mut vt).to_string();
+        assert_eq!(s.matches("range_call(").count(), 1, "compiled: {s}");
+        assert_eq!(s.matches("rc(").count(), 2, "compiled: {s}");
+    }
+
+    #[test]
+    fn pushdown_skips_inequality_and_unbound_expressions() {
+        // =\= carries no range; a bound expression using a later variable
+        // is not evaluable at dispatch time. Nothing plans, so the result
+        // is the plain compile, term for term.
+        let body = Formula::all(vec![
+            fact("m", vec!["V"]),
+            fact("n", vec!["W"]),
+            Formula::Cmp(CmpOp::NumNe, Pat::var("V"), Pat::Int(3)),
+            Formula::Cmp(CmpOp::Lt, Pat::var("V"), Pat::var("W")),
+        ]);
+        // V < W: V is fresh at m/1 but W binds only later — skip; for n/1,
+        // W is fresh and V is bound, so the flipped form W > V *does* plan.
+        let mut vt = VarTable::new();
+        let s = body.compile_pushdown(&mut vt).to_string();
+        assert_eq!(s.matches("range_call(").count(), 1, "compiled: {s}");
+
+        let unplannable = Formula::all(vec![
+            fact("m", vec!["V"]),
+            Formula::Cmp(CmpOp::NumNe, Pat::var("V"), Pat::Int(3)),
+        ]);
+        let mut vt1 = VarTable::new();
+        let mut vt2 = VarTable::new();
+        assert_eq!(
+            unplannable.compile(&mut vt1),
+            unplannable.compile_pushdown(&mut vt2)
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use std::sync::Arc;
 
-use gdp_engine::{GroupId, KnowledgeBase, PredKey};
+use gdp_engine::{GroupId, KnowledgeBase, PredKey, RangeSpec};
 
 use crate::rule::RawClause;
 
@@ -30,6 +30,7 @@ pub struct MetaModel {
     clauses: Vec<RawClause>,
     setup: Option<NativeSetup>,
     tabled: Vec<PredKey>,
+    range_indexed: Vec<(PredKey, RangeSpec)>,
 }
 
 impl std::fmt::Debug for MetaModel {
@@ -39,6 +40,7 @@ impl std::fmt::Debug for MetaModel {
             .field("clauses", &self.clauses.len())
             .field("has_setup", &self.setup.is_some())
             .field("tabled", &self.tabled)
+            .field("range_indexed", &self.range_indexed.len())
             .finish()
     }
 }
@@ -53,6 +55,7 @@ impl MetaModel {
             clauses: Vec::new(),
             setup: None,
             tabled: Vec::new(),
+            range_indexed: Vec::new(),
         }
     }
 
@@ -82,15 +85,23 @@ impl MetaModel {
         &self.tabled
     }
 
+    /// Range-index nominations (predicate → grid/interval access path).
+    pub fn range_indexed(&self) -> &[(PredKey, RangeSpec)] {
+        &self.range_indexed
+    }
+
     /// Run the native-registration hook (idempotent: natives are keyed by
     /// name/arity, so re-registration simply overwrites) and mark the
-    /// model's tabling nominations on the KB.
+    /// model's tabling and range-index nominations on the KB.
     pub fn run_setup(&self, kb: &mut KnowledgeBase) {
         if let Some(setup) = &self.setup {
             setup(kb);
         }
         for &key in &self.tabled {
             kb.mark_tabled(key);
+        }
+        for (key, spec) in &self.range_indexed {
+            kb.add_range_index(*key, spec.clone());
         }
     }
 }
@@ -102,6 +113,7 @@ pub struct MetaModelBuilder {
     clauses: Vec<RawClause>,
     setup: Option<NativeSetup>,
     tabled: Vec<PredKey>,
+    range_indexed: Vec<(PredKey, RangeSpec)>,
 }
 
 impl MetaModelBuilder {
@@ -140,6 +152,15 @@ impl MetaModelBuilder {
         self
     }
 
+    /// Nominate a grid/interval range index on `name/arity` — the
+    /// range-access analogue of [`MetaModelBuilder::table`]. Takes effect
+    /// when the model is registered; consulted only while the
+    /// specification's indexing switch is on.
+    pub fn range_index(mut self, name: &str, arity: usize, spec: RangeSpec) -> MetaModelBuilder {
+        self.range_indexed.push((PredKey::new(name, arity), spec));
+        self
+    }
+
     /// Finish.
     pub fn build(self) -> MetaModel {
         MetaModel {
@@ -148,6 +169,7 @@ impl MetaModelBuilder {
             clauses: self.clauses,
             setup: self.setup,
             tabled: self.tabled,
+            range_indexed: self.range_indexed,
         }
     }
 }

@@ -48,7 +48,7 @@ impl Rule {
         // Compile the head first so head variables get the low indices —
         // purely cosmetic, but it makes dumped clauses readable.
         let head = self.head.compile(&mut vt, Target::Holds);
-        let body = self.body.compile(&mut vt);
+        let body = self.body.compile_pushdown(&mut vt);
         Ok((Clause::new(head, body, group), vt))
     }
 
@@ -58,7 +58,7 @@ impl Rule {
     pub fn compile_unchecked(&self, group: GroupId) -> (Clause, VarTable) {
         let mut vt = VarTable::new();
         let head = self.head.compile(&mut vt, Target::Holds);
-        let body = self.body.compile(&mut vt);
+        let body = self.body.compile_pushdown(&mut vt);
         (Clause::new(head, body, group), vt)
     }
 }

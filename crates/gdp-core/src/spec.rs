@@ -347,19 +347,52 @@ impl Specification {
         ) {
             spec.incremental = true;
         }
+        // Indexing hook: `GDP_INDEX=off` (or `0`) disables clause-selection
+        // indexing — hash and range alike — so every call scans every
+        // clause, the 1986-Prolog baseline. The equivalence suites diff
+        // answers across this switch; unset or any other value leaves
+        // indexing on (the default).
+        if matches!(std::env::var("GDP_INDEX").as_deref(), Ok("off") | Ok("0")) {
+            spec.kb.set_indexing(false);
+        }
         spec
     }
 
     fn install_kernel(&mut self) {
         let g = GroupId::named(groups::KERNEL);
         // The reified relations put the model first, so classic first-
-        // argument indexing would degenerate to a scan (every fact shares
-        // ω). Index h/5 on the spatial qualifier, the predicate, and the
-        // argument list (keyed by its first element); fh/6 likewise.
+        // argument indexing would degenerate to a scan under the default
+        // single-model view — but multi-model worlds call h/5 with the
+        // model bound (visible/5 binds it through active_model/1), so the
+        // model position earns its keep. Index h/5 on the model, the
+        // spatial qualifier, the predicate, and the argument list (keyed
+        // by its first element); fh/6 likewise.
         self.kb
-            .set_index_args(gdp_engine::PredKey::new("h", 5), &[1, 3, 4]);
+            .set_index_args(gdp_engine::PredKey::new("h", 5), &[0, 1, 3, 4]);
         self.kb
             .set_index_args(gdp_engine::PredKey::new("fh", 6), &[1, 4, 5]);
+        // Range access paths on h/5, serving the bounds that the compiler's
+        // pushdown planner and the temporal/spatial rewrites carry in
+        // `range_call/2` wrappers:
+        //  * the instant inside a `tat/1` temporal qualifier (the
+        //    continuity assumption's between-scan constrains it to an
+        //    open interval),
+        //  * the second fact argument — the attribute-value slot of
+        //    `reading(Obj, V)`-shaped facts, which comparison constraints
+        //    bound (`V1 < V2`, `V2 =:= V1 + K`, …).
+        // Facts without a numeric at the path (atom values, interval
+        // qualifiers) stay on the unkeyed scan side of the index and are
+        // always candidates, so the paths are safe for every h/5 shape.
+        self.kb.add_range_index(
+            gdp_engine::PredKey::new("h", 5),
+            gdp_engine::RangeSpec::Interval(gdp_engine::ArgPath::arg(2).step("tat", 1, 0)),
+        );
+        self.kb.add_range_index(
+            gdp_engine::PredKey::new("h", 5),
+            gdp_engine::RangeSpec::Interval(
+                gdp_engine::ArgPath::arg(4).step(".", 2, 1).step(".", 2, 0),
+            ),
+        );
         // visible(M, S, T, Q, A) :- active_model(M), h(M, S, T, Q, A).
         let (m, s, t, q, a) = (
             Term::var(0),
@@ -477,6 +510,7 @@ impl Specification {
                 },
                 &gdp_engine::BindStore::new(),
                 &[Term::atom(name)],
+                &gdp_engine::BoundSet::default(),
             )
             .iter()
             .any(|c| c.head == head);

@@ -331,6 +331,12 @@ fn collect_calls(goal: &Term, negative: bool, head_var: Option<u32>, info: &mut 
                 collect_calls(&args[2], negative, head_var, info);
             } else if f == symbols::between() && args.len() == 3 {
                 // Pure arithmetic enumeration: no dependencies.
+            } else if f == Sym::new("range_call") && args.len() == 2 {
+                // Bound-pushdown wrapper: depends on exactly what the
+                // wrapped goal depends on (the constraint list is data).
+                collect_calls(&args[0], negative, head_var, info);
+            } else if f == Sym::new("$range_chk") && args.len() == 2 {
+                // Solver-internal verification marker: no dependencies.
             } else {
                 // A plain predicate call (builtins land here too; they have
                 // no clauses, so their nodes are inert leaves).

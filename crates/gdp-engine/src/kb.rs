@@ -25,6 +25,9 @@
 //!   semantic-domain operations the paper treats as given (distance
 //!   functions, resolution functions, interpolation, …).
 
+use std::collections::BTreeMap;
+use std::ops::Bound;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -35,7 +38,7 @@ use crate::error::{EngineError, EngineResult};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::symbol::{symbols, Sym};
 use crate::table::{AnswerTable, TableValidity};
-use crate::term::{Term, F64};
+use crate::term::{Term, Var, F64};
 use crate::unify::BindStore;
 
 /// Identifies a predicate: functor plus arity.
@@ -82,6 +85,12 @@ impl PredKey {
             name: t.functor()?,
             arity: u16::try_from(t.arity()?).ok()?,
         })
+    }
+}
+
+impl std::fmt::Display for PredKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.name.as_str(), self.arity)
     }
 }
 
@@ -163,6 +172,18 @@ enum ArgKey {
     ListHead(Box<ArgKey>),
 }
 
+/// Canonicalize a float index key: `-0.0` and `0.0` unify (and compare
+/// equal), so they must land in one bit-identical bucket — insert and
+/// lookup both go through here. NaN cannot occur ([`F64`] rejects it at
+/// construction), so keys stay totally ordered.
+fn canon_float(f: F64) -> F64 {
+    if f.get() == 0.0 {
+        F64::new(0.0)
+    } else {
+        f
+    }
+}
+
 impl ArgKey {
     /// Key for a clause-head argument. `None` for variables and for lists
     /// whose head is a variable (such clauses match any call).
@@ -171,7 +192,7 @@ impl ArgKey {
             Term::Var(_) => None,
             Term::Atom(s) => Some(ArgKey::Atom(*s)),
             Term::Int(i) => Some(ArgKey::Int(*i)),
-            Term::Float(f) => Some(ArgKey::Float(*f)),
+            Term::Float(f) => Some(ArgKey::Float(canon_float(*f))),
             Term::Str(s) => Some(ArgKey::Str(s.clone())),
             Term::Compound(f, args) => {
                 if *f == symbols::cons() && args.len() == 2 {
@@ -190,7 +211,7 @@ impl ArgKey {
             Term::Var(_) => None,
             Term::Atom(s) => Some(ArgKey::Atom(*s)),
             Term::Int(i) => Some(ArgKey::Int(*i)),
-            Term::Float(f) => Some(ArgKey::Float(*f)),
+            Term::Float(f) => Some(ArgKey::Float(canon_float(*f))),
             Term::Str(s) => Some(ArgKey::Str(s.clone())),
             Term::Compound(f, args) => {
                 if *f == symbols::cons() && args.len() == 2 {
@@ -203,6 +224,731 @@ impl ArgKey {
             }
         }
     }
+}
+
+/// A (possibly half-open, possibly unbounded) numeric interval, used both
+/// for constraint-carrying candidate queries and as the solver-side value
+/// of one `range_call` bound.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NumRange {
+    /// Lower bound (`-inf` for unbounded).
+    pub lo: f64,
+    /// Is the lower bound exclusive?
+    pub lo_open: bool,
+    /// Upper bound (`inf` for unbounded).
+    pub hi: f64,
+    /// Is the upper bound exclusive?
+    pub hi_open: bool,
+}
+
+impl NumRange {
+    /// The unconstrained interval.
+    pub const ALL: NumRange = NumRange {
+        lo: f64::NEG_INFINITY,
+        lo_open: false,
+        hi: f64::INFINITY,
+        hi_open: false,
+    };
+
+    /// The degenerate closed interval `[x, x]`.
+    pub fn point(x: f64) -> NumRange {
+        NumRange {
+            lo: x,
+            lo_open: false,
+            hi: x,
+            hi_open: false,
+        }
+    }
+
+    /// Closed-form constructor.
+    pub fn new(lo: f64, lo_open: bool, hi: f64, hi_open: bool) -> NumRange {
+        NumRange {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        }
+    }
+
+    /// Is `x` inside the interval?
+    pub fn contains(&self, x: f64) -> bool {
+        (if self.lo_open {
+            x > self.lo
+        } else {
+            x >= self.lo
+        }) && (if self.hi_open {
+            x < self.hi
+        } else {
+            x <= self.hi
+        })
+    }
+
+    /// Does the interval contain no point at all?
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && (self.lo_open || self.hi_open))
+    }
+
+    /// The intersection of two intervals (tighter bound wins; on a tie the
+    /// stricter openness wins).
+    pub fn intersect(&self, other: &NumRange) -> NumRange {
+        let (lo, lo_open) = if self.lo > other.lo {
+            (self.lo, self.lo_open)
+        } else if other.lo > self.lo {
+            (other.lo, other.lo_open)
+        } else {
+            (self.lo, self.lo_open || other.lo_open)
+        };
+        let (hi, hi_open) = if self.hi < other.hi {
+            (self.hi, self.hi_open)
+        } else if other.hi < self.hi {
+            (other.hi, other.hi_open)
+        } else {
+            (self.hi, self.hi_open || other.hi_open)
+        };
+        NumRange {
+            lo,
+            lo_open,
+            hi,
+            hi_open,
+        }
+    }
+}
+
+/// One step of an [`ArgPath`]: descend into child `child` when the term at
+/// this level is a compound with one of the listed functor/arity shapes.
+/// Several functors may share a step (the spatial qualifiers `su`/`ss`/`sa`
+/// all carry their point in the same position).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PathStep {
+    /// Accepted functor/arity alternatives at this level.
+    pub functors: Vec<(Sym, usize)>,
+    /// Child index to descend into.
+    pub child: usize,
+}
+
+impl PathStep {
+    fn matches(&self, f: Sym, arity: usize) -> bool {
+        self.functors.iter().any(|&(s, a)| s == f && a == arity)
+    }
+}
+
+/// A path from one head-argument position to a numeric subterm: start at
+/// argument `pos`, then follow `steps`. A clause whose head does not match
+/// the path (different shape, variable along the way, non-numeric leaf) is
+/// *unkeyed* and stays a candidate for every call.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArgPath {
+    /// Head-argument position the walk starts at.
+    pub pos: u16,
+    /// Steps into the argument's subterm structure.
+    pub steps: Vec<PathStep>,
+}
+
+impl ArgPath {
+    /// A path that keys argument `pos` directly.
+    pub fn arg(pos: usize) -> ArgPath {
+        ArgPath {
+            pos: u16::try_from(pos).expect("argument position exceeds u16"),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Append a single-functor step.
+    pub fn step(self, functor: &str, arity: usize, child: usize) -> ArgPath {
+        self.step_any(&[(functor, arity)], child)
+    }
+
+    /// Append a step accepting any of several functor/arity shapes (all
+    /// must carry the keyed subterm at the same child index).
+    pub fn step_any(mut self, functors: &[(&str, usize)], child: usize) -> ArgPath {
+        self.steps.push(PathStep {
+            functors: functors.iter().map(|&(f, a)| (Sym::new(f), a)).collect(),
+            child,
+        });
+        self
+    }
+
+    /// The numeric key of `head`'s subterm at this path, if the walk
+    /// matches and lands on a number.
+    fn key_of(&self, head: &Term) -> Option<f64> {
+        let mut t = head.args().get(self.pos as usize)?;
+        for step in &self.steps {
+            match t {
+                Term::Compound(f, children) if step.matches(*f, children.len()) => {
+                    t = children.get(step.child)?;
+                }
+                _ => return None,
+            }
+        }
+        match t {
+            Term::Int(i) => Some(*i as f64),
+            Term::Float(f) => Some(canon_float(*f).get()),
+            _ => None,
+        }
+    }
+
+    /// Walk a *call*'s arguments, dereferencing at every level.
+    fn probe(&self, store: &BindStore, args: &[Term], bounds: &BoundSet) -> Probe {
+        let mut t = match args.get(self.pos as usize) {
+            Some(t) => t,
+            None => return Probe::Unconstrained,
+        };
+        for step in &self.steps {
+            match store.deref(t) {
+                Term::Var(_) => return Probe::Unconstrained,
+                Term::Compound(f, children) if step.matches(*f, children.len()) => {
+                    t = match children.get(step.child) {
+                        Some(c) => c,
+                        None => return Probe::Unconstrained,
+                    };
+                }
+                // Bound to a different shape: no *keyed* head can unify
+                // with this call, so only unkeyed clauses are candidates.
+                _ => return Probe::Mismatch,
+            }
+        }
+        match store.deref(t) {
+            Term::Int(i) => Probe::Range(NumRange::point(*i as f64)),
+            Term::Float(f) => Probe::Range(NumRange::point(canon_float(*f).get())),
+            Term::Var(v) => match bounds.get(*v) {
+                Some(r) => Probe::Range(*r),
+                None => Probe::Unconstrained,
+            },
+            // Bound non-numeric where keyed heads carry numbers.
+            _ => Probe::Mismatch,
+        }
+    }
+}
+
+/// Outcome of walking one [`ArgPath`] over a call's arguments.
+enum Probe {
+    /// The call is bound to a shape no keyed head can unify with.
+    Mismatch,
+    /// The keyed subterm is constrained to this interval (a bound number
+    /// gives the degenerate point interval; an unbound variable gives its
+    /// active `range_call` bound).
+    Range(NumRange),
+    /// No usable constraint; the index cannot serve this call.
+    Unconstrained,
+}
+
+/// Configuration of one range index ([`KnowledgeBase::set_range_indexes`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum RangeSpec {
+    /// Sorted index over a single numeric subterm (time instants, reading
+    /// values, resolutions).
+    Interval(ArgPath),
+    /// Uniform grid over a numeric `(x, y)` subterm pair (spatial points).
+    /// The grid bucketing is independent of any registered spatial
+    /// resolution; `cell` only trades bucket count against bucket size.
+    Grid {
+        /// Path to the x coordinate.
+        x: ArgPath,
+        /// Path to the y coordinate.
+        y: ArgPath,
+        /// Grid cell edge length (must be positive and finite).
+        cell: f64,
+    },
+}
+
+/// Where a clause head lands in a range index.
+enum RangeSlot {
+    Interval(F64),
+    Grid(i64, i64),
+    Unkeyed,
+}
+
+fn grid_coord(v: f64, cell: f64) -> i64 {
+    (v / cell).floor() as i64
+}
+
+/// Upper bound on grid cells enumerated per box query; larger boxes fall
+/// back to "index inapplicable" (a scan of the other selections).
+const GRID_CELL_CAP: i64 = 1024;
+
+#[derive(PartialEq)]
+enum RangeStore {
+    Interval(BTreeMap<F64, Vec<u32>>),
+    Grid(FxHashMap<(i64, i64), Vec<u32>>),
+}
+
+/// One range index over a predicate's clauses: keyed buckets of clause
+/// positions plus the unkeyed positions that every call must keep.
+struct RangeIndex {
+    spec: RangeSpec,
+    store: RangeStore,
+    /// Positions of clauses whose head does not key under the spec
+    /// (rules, variable subterms, other shapes): always candidates.
+    unkeyed: Vec<u32>,
+}
+
+impl RangeIndex {
+    fn new(spec: RangeSpec) -> RangeIndex {
+        let store = match &spec {
+            RangeSpec::Interval(_) => RangeStore::Interval(BTreeMap::new()),
+            RangeSpec::Grid { .. } => RangeStore::Grid(FxHashMap::default()),
+        };
+        RangeIndex {
+            spec,
+            store,
+            unkeyed: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match &mut self.store {
+            RangeStore::Interval(map) => map.clear(),
+            RangeStore::Grid(map) => map.clear(),
+        }
+        self.unkeyed.clear();
+    }
+
+    fn slot_of(spec: &RangeSpec, head: &Term) -> RangeSlot {
+        match spec {
+            RangeSpec::Interval(path) => match path.key_of(head).and_then(F64::try_new) {
+                Some(k) => RangeSlot::Interval(k),
+                None => RangeSlot::Unkeyed,
+            },
+            RangeSpec::Grid { x, y, cell } => {
+                if !(*cell > 0.0 && cell.is_finite()) {
+                    return RangeSlot::Unkeyed;
+                }
+                match (x.key_of(head), y.key_of(head)) {
+                    (Some(xv), Some(yv)) if xv.is_finite() && yv.is_finite() => {
+                        RangeSlot::Grid(grid_coord(xv, *cell), grid_coord(yv, *cell))
+                    }
+                    _ => RangeSlot::Unkeyed,
+                }
+            }
+        }
+    }
+
+    fn insert(&mut self, clause_pos: u32, head: &Term) {
+        match (Self::slot_of(&self.spec, head), &mut self.store) {
+            (RangeSlot::Interval(k), RangeStore::Interval(map)) => {
+                map.entry(k).or_default().push(clause_pos);
+            }
+            (RangeSlot::Grid(cx, cy), RangeStore::Grid(map)) => {
+                map.entry((cx, cy)).or_default().push(clause_pos);
+            }
+            _ => self.unkeyed.push(clause_pos),
+        }
+    }
+
+    fn remove_positions(&mut self, removed: &[u32]) {
+        remap_after_removal(&mut self.unkeyed, removed);
+        match &mut self.store {
+            RangeStore::Interval(map) => map.retain(|_, list| {
+                remap_after_removal(list, removed);
+                !list.is_empty()
+            }),
+            RangeStore::Grid(map) => map.retain(|_, list| {
+                remap_after_removal(list, removed);
+                !list.is_empty()
+            }),
+        }
+    }
+
+    fn insert_at(&mut self, at: u32, head: &Term) {
+        shift_for_insert(&mut self.unkeyed, at);
+        match &mut self.store {
+            RangeStore::Interval(map) => {
+                for list in map.values_mut() {
+                    shift_for_insert(list, at);
+                }
+            }
+            RangeStore::Grid(map) => {
+                for list in map.values_mut() {
+                    shift_for_insert(list, at);
+                }
+            }
+        }
+        match (Self::slot_of(&self.spec, head), &mut self.store) {
+            (RangeSlot::Interval(k), RangeStore::Interval(map)) => {
+                sorted_insert(map.entry(k).or_default(), at);
+            }
+            (RangeSlot::Grid(cx, cy), RangeStore::Grid(map)) => {
+                sorted_insert(map.entry((cx, cy)).or_default(), at);
+            }
+            _ => sorted_insert(&mut self.unkeyed, at),
+        }
+    }
+
+    /// The sorted position list this index selects for a call: clauses
+    /// whose key can lie in the constrained range, plus the unkeyed
+    /// clauses. `None` when the call carries no constraint this index can
+    /// use (the caller falls back to its other selections).
+    fn select(&self, store: &BindStore, args: &[Term], bounds: &BoundSet) -> Option<Vec<u32>> {
+        let keyed: Vec<u32> = match (&self.spec, &self.store) {
+            (RangeSpec::Interval(path), RangeStore::Interval(map)) => {
+                match path.probe(store, args, bounds) {
+                    Probe::Mismatch => Vec::new(),
+                    Probe::Unconstrained => return None,
+                    Probe::Range(r) => {
+                        if r.is_empty() {
+                            Vec::new()
+                        } else if r.lo == f64::NEG_INFINITY && r.hi == f64::INFINITY {
+                            // Unbounded on both sides: selects everything,
+                            // prunes nothing — not applicable.
+                            return None;
+                        } else {
+                            let lo = match F64::try_new(r.lo) {
+                                Some(k) if r.lo_open => Bound::Excluded(k),
+                                Some(k) => Bound::Included(k),
+                                None => return None,
+                            };
+                            let hi = match F64::try_new(r.hi) {
+                                Some(k) if r.hi_open => Bound::Excluded(k),
+                                Some(k) => Bound::Included(k),
+                                None => return None,
+                            };
+                            let mut out = Vec::new();
+                            for (_, list) in map.range((lo, hi)) {
+                                out.extend_from_slice(list);
+                            }
+                            out.sort_unstable();
+                            out
+                        }
+                    }
+                }
+            }
+            (RangeSpec::Grid { x, y, cell }, RangeStore::Grid(map)) => {
+                if !(*cell > 0.0 && cell.is_finite()) {
+                    return None;
+                }
+                let px = x.probe(store, args, bounds);
+                let py = y.probe(store, args, bounds);
+                if matches!(px, Probe::Mismatch) || matches!(py, Probe::Mismatch) {
+                    Vec::new()
+                } else {
+                    let (Probe::Range(rx), Probe::Range(ry)) = (px, py) else {
+                        return None;
+                    };
+                    if rx.is_empty() || ry.is_empty() {
+                        Vec::new()
+                    } else if !(rx.lo.is_finite()
+                        && rx.hi.is_finite()
+                        && ry.lo.is_finite()
+                        && ry.hi.is_finite())
+                    {
+                        // Unbounded boxes cannot be enumerated cell-wise.
+                        return None;
+                    } else {
+                        let (cx0, cx1) = (grid_coord(rx.lo, *cell), grid_coord(rx.hi, *cell));
+                        let (cy0, cy1) = (grid_coord(ry.lo, *cell), grid_coord(ry.hi, *cell));
+                        let nx = cx1.checked_sub(cx0).and_then(|d| d.checked_add(1))?;
+                        let ny = cy1.checked_sub(cy0).and_then(|d| d.checked_add(1))?;
+                        if nx <= 0 || ny <= 0 || nx.checked_mul(ny)? > GRID_CELL_CAP {
+                            return None;
+                        }
+                        let mut out = Vec::new();
+                        for cx in cx0..=cx1 {
+                            for cy in cy0..=cy1 {
+                                if let Some(list) = map.get(&(cx, cy)) {
+                                    out.extend_from_slice(list);
+                                }
+                            }
+                        }
+                        out.sort_unstable();
+                        out
+                    }
+                }
+            }
+            _ => unreachable!("range store shape matches its spec"),
+        };
+        Some(union_sorted(&keyed, &self.unkeyed))
+    }
+}
+
+impl std::fmt::Display for ArgPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "arg{}", self.pos)?;
+        for step in &self.steps {
+            let names: Vec<String> = step
+                .functors
+                .iter()
+                .map(|&(s, a)| format!("{}/{a}", s.as_str()))
+                .collect();
+            write!(f, ".{{{}}}[{}]", names.join("|"), step.child)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for RangeSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RangeSpec::Interval(p) => write!(f, "interval({p})"),
+            RangeSpec::Grid { x, y, cell } => write!(f, "grid({x}, {y}; cell={cell})"),
+        }
+    }
+}
+
+/// Active numeric bounds on unbound variables, collected by the solver
+/// from its `range_call` scopes and passed into
+/// [`KnowledgeBase::candidates`]. Fixed-capacity: constraints beyond the
+/// cap are simply not used for pruning (always sound).
+pub struct BoundSet {
+    len: usize,
+    items: [(Var, NumRange); BoundSet::CAP],
+}
+
+impl Default for BoundSet {
+    fn default() -> BoundSet {
+        BoundSet {
+            len: 0,
+            items: [(Var(0), NumRange::ALL); BoundSet::CAP],
+        }
+    }
+}
+
+impl BoundSet {
+    /// Maximum number of simultaneously tracked variable bounds.
+    pub const CAP: usize = 8;
+
+    /// Add a bound for `var`, intersecting with any existing bound on the
+    /// same variable.
+    pub fn insert(&mut self, var: Var, range: NumRange) {
+        for slot in &mut self.items[..self.len] {
+            if slot.0 == var {
+                slot.1 = slot.1.intersect(&range);
+                return;
+            }
+        }
+        if self.len < BoundSet::CAP {
+            self.items[self.len] = (var, range);
+            self.len += 1;
+        }
+    }
+
+    /// The active bound on `var`, if any.
+    pub fn get(&self, var: Var) -> Option<&NumRange> {
+        self.items[..self.len]
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map(|(_, r)| r)
+    }
+
+    /// Number of tracked bounds.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Drop the `removed` positions (ascending) from an ascending position
+/// list and renumber the survivors past the removals below them.
+fn remap_after_removal(list: &mut Vec<u32>, removed: &[u32]) {
+    list.retain_mut(|p| match removed.binary_search(p) {
+        Ok(_) => false,
+        Err(below) => {
+            *p -= below as u32;
+            true
+        }
+    });
+}
+
+/// Renumber an ascending position list for an insertion at `at`.
+fn shift_for_insert(list: &mut [u32], at: u32) {
+    for p in list.iter_mut() {
+        if *p >= at {
+            *p += 1;
+        }
+    }
+}
+
+/// Insert `at` into an ascending position list, keeping it sorted.
+fn sorted_insert(list: &mut Vec<u32>, at: u32) {
+    let i = list.partition_point(|&p| p < at);
+    list.insert(i, at);
+}
+
+/// Union of two disjoint ascending lists, ascending.
+fn union_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => {
+                if x < y {
+                    out.push(x);
+                    i += 1;
+                } else {
+                    out.push(y);
+                    j += 1;
+                }
+            }
+            (Some(&x), None) => {
+                out.push(x);
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                out.push(y);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    out
+}
+
+/// Intersection of two ascending lists, ascending.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A clause-position list with inline storage for the common small case —
+/// selective index hits with a handful of candidates allocate nothing.
+pub struct PosList {
+    len: usize,
+    inline: [u32; PosList::CAP],
+    spill: Vec<u32>,
+}
+
+impl Default for PosList {
+    fn default() -> PosList {
+        PosList {
+            len: 0,
+            inline: [0; PosList::CAP],
+            spill: Vec::new(),
+        }
+    }
+}
+
+impl PosList {
+    /// Inline capacity before spilling to the heap.
+    pub const CAP: usize = 16;
+
+    /// Append a position.
+    pub fn push(&mut self, p: u32) {
+        if self.len < PosList::CAP {
+            self.inline[self.len] = p;
+        } else {
+            self.spill.push(p);
+        }
+        self.len += 1;
+    }
+
+    /// Number of stored positions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The position at index `i`.
+    pub fn get(&self, i: usize) -> Option<u32> {
+        if i >= self.len {
+            None
+        } else if i < PosList::CAP {
+            Some(self.inline[i])
+        } else {
+            Some(self.spill[i - PosList::CAP])
+        }
+    }
+}
+
+/// Candidate clauses for one call, borrowed from the knowledge base — the
+/// scan path and small index hits allocate nothing.
+pub enum Candidates<'kb> {
+    /// Every clause of the predicate (no applicable index, or indexing
+    /// disabled).
+    All(&'kb [Arc<Clause>]),
+    /// Selected clause positions, ascending (assertion order preserved).
+    Picked {
+        /// The predicate's full clause list.
+        clauses: &'kb [Arc<Clause>],
+        /// Selected positions into it.
+        pos: PosList,
+    },
+}
+
+impl<'kb> Candidates<'kb> {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        match self {
+            Candidates::All(c) => c.len(),
+            Candidates::Picked { pos, .. } => pos.len(),
+        }
+    }
+
+    /// Is the candidate set empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The candidate at index `i`.
+    pub fn get(&self, i: usize) -> Option<&'kb Arc<Clause>> {
+        match self {
+            Candidates::All(c) => c.get(i),
+            Candidates::Picked { clauses, pos } => pos.get(i).map(|p| &clauses[p as usize]),
+        }
+    }
+
+    /// Iterate the candidates in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'kb Arc<Clause>> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("index within len"))
+    }
+
+    /// Collect into an owned vector (tests, diagnostics).
+    pub fn to_vec(&self) -> Vec<Arc<Clause>> {
+        self.iter().cloned().collect()
+    }
+}
+
+/// Per-predicate index usage counters. Atomics because clause selection
+/// takes `&self` and runs concurrently from parallel audit workers.
+#[derive(Default)]
+struct IndexStats {
+    consults: AtomicU64,
+    hash_hits: AtomicU64,
+    range_hits: AtomicU64,
+    pruned: AtomicU64,
+    scans: AtomicU64,
+}
+
+/// Per-predicate index configuration and usage snapshot
+/// ([`KnowledgeBase::index_stats`]).
+#[derive(Clone, Debug)]
+pub struct IndexReport {
+    /// The predicate.
+    pub pred: PredKey,
+    /// Current clause count.
+    pub clauses: usize,
+    /// Hash-indexed argument positions.
+    pub hash_positions: Vec<u16>,
+    /// Configured range indexes.
+    pub range_specs: Vec<RangeSpec>,
+    /// Candidate queries answered (indexing on).
+    pub consults: u64,
+    /// Queries where a hash index applied.
+    pub hash_hits: u64,
+    /// Queries where at least one range index applied.
+    pub range_hits: u64,
+    /// Clauses pruned across all queries (stored minus selected).
+    pub pruned: u64,
+    /// Queries that fell back to a full scan.
+    pub scans: u64,
 }
 
 /// One per-argument-position index.
@@ -221,16 +967,37 @@ impl ArgIndex {
             None => self.var_clauses.push(clause_pos),
         }
     }
+
+    fn remove_positions(&mut self, removed: &[u32]) {
+        remap_after_removal(&mut self.var_clauses, removed);
+        self.by_key.retain(|_, list| {
+            remap_after_removal(list, removed);
+            !list.is_empty()
+        });
+    }
+
+    fn insert_at(&mut self, at: u32, head: &Term) {
+        shift_for_insert(&mut self.var_clauses, at);
+        for list in self.by_key.values_mut() {
+            shift_for_insert(list, at);
+        }
+        match head.args().get(self.pos as usize).and_then(ArgKey::of) {
+            Some(key) => sorted_insert(self.by_key.entry(key).or_default(), at),
+            None => sorted_insert(&mut self.var_clauses, at),
+        }
+    }
 }
 
 #[derive(Default)]
 struct PredEntry {
     clauses: Vec<Arc<Clause>>,
     indexes: Vec<ArgIndex>,
+    ranges: Vec<RangeIndex>,
+    stats: IndexStats,
 }
 
 impl PredEntry {
-    fn new(index_positions: &[u16]) -> PredEntry {
+    fn new(index_positions: &[u16], range_specs: &[RangeSpec]) -> PredEntry {
         PredEntry {
             clauses: Vec::new(),
             indexes: index_positions
@@ -240,6 +1007,11 @@ impl PredEntry {
                     ..ArgIndex::default()
                 })
                 .collect(),
+            ranges: range_specs
+                .iter()
+                .map(|spec| RangeIndex::new(spec.clone()))
+                .collect(),
+            stats: IndexStats::default(),
         }
     }
 
@@ -248,9 +1020,15 @@ impl PredEntry {
             index.by_key.clear();
             index.var_clauses.clear();
         }
+        for rindex in &mut self.ranges {
+            rindex.clear();
+        }
         for (pos, clause) in self.clauses.iter().enumerate() {
             for index in &mut self.indexes {
                 index.insert(pos as u32, &clause.head);
+            }
+            for rindex in &mut self.ranges {
+                rindex.insert(pos as u32, &clause.head);
             }
         }
     }
@@ -260,7 +1038,32 @@ impl PredEntry {
         for index in &mut self.indexes {
             index.insert(pos, &clause.head);
         }
+        for rindex in &mut self.ranges {
+            rindex.insert(pos, &clause.head);
+        }
         self.clauses.push(clause);
+    }
+
+    /// Incremental maintenance: drop removed clause positions (ascending)
+    /// from every index and renumber the survivors — no rebuild.
+    fn remove_index_positions(&mut self, removed: &[u32]) {
+        for index in &mut self.indexes {
+            index.remove_positions(removed);
+        }
+        for rindex in &mut self.ranges {
+            rindex.remove_positions(removed);
+        }
+    }
+
+    /// Incremental maintenance: renumber for a clause (re)inserted at
+    /// position `at` and key it into every index.
+    fn insert_index_position(&mut self, at: u32, head: &Term) {
+        for index in &mut self.indexes {
+            index.insert_at(at, head);
+        }
+        for rindex in &mut self.ranges {
+            rindex.insert_at(at, head);
+        }
     }
 }
 
@@ -287,6 +1090,8 @@ pub struct KnowledgeBase {
     /// Index positions configured per predicate before/after its entry
     /// exists; default is first-argument indexing.
     index_config: FxHashMap<PredKey, Vec<u16>>,
+    /// Range-index specs configured per predicate (empty by default).
+    range_config: FxHashMap<PredKey, Vec<RangeSpec>>,
     indexing: bool,
     strict: bool,
     clause_count: usize,
@@ -347,6 +1152,7 @@ impl KnowledgeBase {
             preds: FxHashMap::default(),
             natives: FxHashMap::default(),
             index_config: FxHashMap::default(),
+            range_config: FxHashMap::default(),
             indexing: true,
             strict: false,
             clause_count: 0,
@@ -506,6 +1312,50 @@ impl KnowledgeBase {
         })
     }
 
+    /// Configure the full set of range indexes over `key` (replacing any
+    /// previous configuration). Paths pointing past the predicate's arity
+    /// are ignored.
+    pub fn set_range_indexes(&mut self, key: PredKey, specs: Vec<RangeSpec>) {
+        let specs: Vec<RangeSpec> = specs
+            .into_iter()
+            .filter(|spec| match spec {
+                RangeSpec::Interval(p) => (p.pos as usize) < key.arity as usize,
+                RangeSpec::Grid { x, y, .. } => {
+                    (x.pos as usize) < key.arity as usize && (y.pos as usize) < key.arity as usize
+                }
+            })
+            .collect();
+        if self.range_specs(key) == specs {
+            return;
+        }
+        if let Some(entry) = self.preds.get_mut(&key) {
+            entry.ranges = specs
+                .iter()
+                .map(|spec| RangeIndex::new(spec.clone()))
+                .collect();
+            entry.rebuild_indexes();
+        }
+        self.range_config.insert(key, specs);
+        self.bump_structural();
+    }
+
+    /// Add one range index over `key`, keeping any already configured.
+    /// Idempotent: re-adding an identical spec is a no-op (meta-model
+    /// setup hooks may run more than once).
+    pub fn add_range_index(&mut self, key: PredKey, spec: RangeSpec) {
+        let mut specs = self.range_specs(key);
+        if specs.contains(&spec) {
+            return;
+        }
+        specs.push(spec);
+        self.set_range_indexes(key, specs);
+    }
+
+    /// The range-index specs configured for `key`.
+    pub fn range_specs(&self, key: PredKey) -> Vec<RangeSpec> {
+        self.range_config.get(&key).cloned().unwrap_or_default()
+    }
+
     /// In strict mode, calling a predicate with no clauses and no native
     /// implementation is an error; in the default open-world mode it simply
     /// fails (the fact is "undefined", §III.A).
@@ -573,9 +1423,10 @@ impl KnowledgeBase {
         };
         let clause = Arc::new(Clause::new(head, body, group));
         let positions = self.index_positions(key);
+        let specs = self.range_specs(key);
         self.preds
             .entry(key)
-            .or_insert_with(|| PredEntry::new(&positions))
+            .or_insert_with(|| PredEntry::new(&positions, &specs))
             .push(Arc::clone(&clause));
         self.clause_count += 1;
         if let Some(rec) = self.recorder.as_mut() {
@@ -597,8 +1448,12 @@ impl KnowledgeBase {
                 }
             }
             if removed.len() != before {
+                let positions: Vec<u32> = removed[before..]
+                    .iter()
+                    .map(|(_, p, _)| *p as u32)
+                    .collect();
+                entry.remove_index_positions(&positions);
                 entry.clauses.retain(|c| c.group != group);
-                entry.rebuild_indexes();
             }
         }
         self.preds.retain(|_, e| !e.clauses.is_empty());
@@ -636,8 +1491,8 @@ impl KnowledgeBase {
         else {
             return false;
         };
+        entry.remove_index_positions(&[pos as u32]);
         let clause = entry.clauses.remove(pos);
-        entry.rebuild_indexes();
         if entry.clauses.is_empty() {
             self.preds.remove(&key);
         }
@@ -746,7 +1601,7 @@ impl KnowledgeBase {
                     touched.insert(key);
                     if let Some(entry) = self.preds.get_mut(&key) {
                         entry.clauses.pop();
-                        entry.rebuild_indexes();
+                        entry.remove_index_positions(&[entry.clauses.len() as u32]);
                         if entry.clauses.is_empty() {
                             self.preds.remove(&key);
                         }
@@ -786,13 +1641,14 @@ impl KnowledgeBase {
     /// Reinsert a clause at a recorded position (rollback support).
     fn insert_clause_at(&mut self, key: PredKey, pos: usize, clause: Arc<Clause>) {
         let positions = self.index_positions(key);
+        let specs = self.range_specs(key);
         let entry = self
             .preds
             .entry(key)
-            .or_insert_with(|| PredEntry::new(&positions));
+            .or_insert_with(|| PredEntry::new(&positions, &specs));
         let pos = pos.min(entry.clauses.len());
+        entry.insert_index_position(pos as u32, &clause.head);
         entry.clauses.insert(pos, clause);
-        entry.rebuild_indexes();
         self.clause_count += 1;
     }
 
@@ -865,17 +1721,27 @@ impl KnowledgeBase {
 
     /// Candidate clauses for a call, in assertion order.
     ///
-    /// With indexing enabled, every configured index whose call argument is
-    /// bound is consulted and the most selective one wins; otherwise (or
-    /// with indexing off) all clauses of the predicate are returned.
-    pub fn candidates(&self, key: PredKey, store: &BindStore, args: &[Term]) -> Vec<Arc<Clause>> {
+    /// With indexing enabled, every configured hash index whose call
+    /// argument is bound is consulted and the most selective one wins;
+    /// every applicable range index (exact numeric key, or an active
+    /// `range_call` bound on an unbound variable in `bounds`) is
+    /// *intersected* with it. No applicable index — or indexing off —
+    /// returns all clauses of the predicate, borrowed.
+    pub fn candidates<'kb>(
+        &'kb self,
+        key: PredKey,
+        store: &BindStore,
+        args: &[Term],
+        bounds: &BoundSet,
+    ) -> Candidates<'kb> {
         let Some(entry) = self.preds.get(&key) else {
-            return Vec::new();
+            return Candidates::All(&[]);
         };
         if !self.indexing {
-            return entry.clauses.clone();
+            return Candidates::All(&entry.clauses);
         }
-        // Pick the most selective applicable index.
+        entry.stats.consults.fetch_add(1, Ordering::Relaxed);
+        // Pick the most selective applicable hash index.
         let mut best: Option<(&[u32], &[u32])> = None;
         for index in &entry.indexes {
             let Some(arg) = args.get(index.pos as usize) else {
@@ -891,40 +1757,136 @@ impl KnowledgeBase {
                 best = Some((keyed, vars));
             }
         }
-        match best {
-            None => entry.clauses.clone(),
-            Some((keyed, vars)) => {
-                // Merge the two sorted position lists to preserve assertion
-                // order (clause-selection order is observable through
-                // solution order).
-                let mut out = Vec::with_capacity(keyed.len() + vars.len());
-                let (mut i, mut j) = (0, 0);
-                while i < keyed.len() || j < vars.len() {
-                    let next = match (keyed.get(i), vars.get(j)) {
-                        (Some(&a), Some(&b)) => {
-                            if a < b {
-                                i += 1;
-                                a
-                            } else {
-                                j += 1;
-                                b
-                            }
-                        }
-                        (Some(&a), None) => {
-                            i += 1;
-                            a
-                        }
-                        (None, Some(&b)) => {
-                            j += 1;
-                            b
-                        }
-                        (None, None) => unreachable!(),
-                    };
-                    out.push(Arc::clone(&entry.clauses[next as usize]));
-                }
-                out
+        // Collect every range selection that applies to this call.
+        let mut range_sels: Vec<Vec<u32>> = Vec::new();
+        for rindex in &entry.ranges {
+            if let Some(sel) = rindex.select(store, args, bounds) {
+                range_sels.push(sel);
             }
         }
+        if best.is_none() && range_sels.is_empty() {
+            entry.stats.scans.fetch_add(1, Ordering::Relaxed);
+            return Candidates::All(&entry.clauses);
+        }
+        if best.is_some() {
+            entry.stats.hash_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        if !range_sels.is_empty() {
+            entry.stats.range_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut pos = PosList::default();
+        if range_sels.is_empty() {
+            // Hash selection only: merge the two sorted position lists
+            // straight into the (usually inline) output — assertion order
+            // is observable through solution order.
+            let (keyed, vars) = best.expect("checked non-empty selection");
+            let (mut i, mut j) = (0, 0);
+            while i < keyed.len() || j < vars.len() {
+                match (keyed.get(i), vars.get(j)) {
+                    (Some(&a), Some(&b)) => {
+                        if a < b {
+                            pos.push(a);
+                            i += 1;
+                        } else {
+                            pos.push(b);
+                            j += 1;
+                        }
+                    }
+                    (Some(&a), None) => {
+                        pos.push(a);
+                        i += 1;
+                    }
+                    (None, Some(&b)) => {
+                        pos.push(b);
+                        j += 1;
+                    }
+                    (None, None) => unreachable!(),
+                }
+            }
+        } else {
+            // Intersect the hash selection (if any) with every range
+            // selection; all lists ascend, so the result ascends.
+            let mut sels = range_sels.into_iter();
+            let mut acc: Vec<u32> = match best {
+                Some((keyed, vars)) => union_sorted(keyed, vars),
+                None => sels.next().expect("checked non-empty selection"),
+            };
+            for sel in sels {
+                acc = intersect_sorted(&acc, &sel);
+                if acc.is_empty() {
+                    break;
+                }
+            }
+            for p in acc {
+                pos.push(p);
+            }
+        }
+        entry
+            .stats
+            .pruned
+            .fetch_add((entry.clauses.len() - pos.len()) as u64, Ordering::Relaxed);
+        Candidates::Picked {
+            clauses: &entry.clauses,
+            pos,
+        }
+    }
+
+    /// Verify every index against a from-scratch rebuild of the same
+    /// clause list — the incremental-maintenance invariant the property
+    /// tests lean on. Returns a description of the first divergence.
+    pub fn check_index_integrity(&self) -> Result<(), String> {
+        for (key, entry) in &self.preds {
+            let positions = self.index_positions(*key);
+            let specs = self.range_specs(*key);
+            let mut fresh = PredEntry::new(&positions, &specs);
+            for clause in &entry.clauses {
+                fresh.push(Arc::clone(clause));
+            }
+            for (live, want) in entry.indexes.iter().zip(&fresh.indexes) {
+                if live.pos != want.pos
+                    || live.var_clauses != want.var_clauses
+                    || live.by_key != want.by_key
+                {
+                    return Err(format!("hash index arg {} of {key} diverged", live.pos));
+                }
+            }
+            if entry.ranges.len() != fresh.ranges.len() {
+                return Err(format!("range index count of {key} diverged"));
+            }
+            for (live, want) in entry.ranges.iter().zip(&fresh.ranges) {
+                if live.spec != want.spec
+                    || live.unkeyed != want.unkeyed
+                    || live.store != want.store
+                {
+                    return Err(format!("range index {} of {key} diverged", live.spec));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-predicate index configuration and usage counters, sorted by
+    /// predicate name and arity.
+    pub fn index_stats(&self) -> Vec<IndexReport> {
+        let mut out: Vec<IndexReport> = self
+            .preds
+            .iter()
+            .map(|(key, entry)| IndexReport {
+                pred: *key,
+                clauses: entry.clauses.len(),
+                hash_positions: entry.indexes.iter().map(|i| i.pos).collect(),
+                range_specs: entry.ranges.iter().map(|r| r.spec.clone()).collect(),
+                consults: entry.stats.consults.load(Ordering::Relaxed),
+                hash_hits: entry.stats.hash_hits.load(Ordering::Relaxed),
+                range_hits: entry.stats.range_hits.load(Ordering::Relaxed),
+                pruned: entry.stats.pruned.load(Ordering::Relaxed),
+                scans: entry.stats.scans.load(Ordering::Relaxed),
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.pred.name.as_str(), a.pred.arity).cmp(&(b.pred.name.as_str(), b.pred.arity))
+        });
+        out
     }
 
     /// All clauses of a predicate, in assertion order (diagnostics, tests).
@@ -952,7 +1914,8 @@ mod tests {
     }
 
     fn cands(kb: &KnowledgeBase, key: PredKey, args: Vec<Term>) -> Vec<Arc<Clause>> {
-        kb.candidates(key, &BindStore::new(), &args)
+        kb.candidates(key, &BindStore::new(), &args, &BoundSet::default())
+            .to_vec()
     }
 
     #[test]
@@ -1103,7 +2066,12 @@ mod tests {
         let mut store = BindStore::new();
         store.ensure(0);
         assert!(store.unify(&Term::var(0), &Term::int(3)));
-        let got = kb.candidates(PredKey::new("p", 1), &store, &[Term::var(0)]);
+        let got = kb.candidates(
+            PredKey::new("p", 1),
+            &store,
+            &[Term::var(0)],
+            &BoundSet::default(),
+        );
         assert_eq!(got.len(), 1);
     }
 
@@ -1361,5 +2329,233 @@ mod tests {
         kb.set_index_args(key, &[0, 5]);
         kb.assert_fact(fact("p", vec![Term::atom("a")]));
         assert_eq!(cands(&kb, key, vec![Term::atom("a")]).len(), 1);
+    }
+
+    /// Candidates under an active `range_call`-style bound on a variable.
+    fn range_cands(
+        kb: &KnowledgeBase,
+        key: PredKey,
+        args: Vec<Term>,
+        var: u32,
+        range: NumRange,
+    ) -> Vec<Term> {
+        let mut store = BindStore::new();
+        store.ensure(var);
+        let mut bounds = BoundSet::default();
+        bounds.insert(Var(var), range);
+        kb.candidates(key, &store, &args, &bounds)
+            .iter()
+            .map(|c| c.head.clone())
+            .collect()
+    }
+
+    #[test]
+    fn interval_index_prunes_by_variable_bound() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("t", 2);
+        kb.set_index_args(key, &[]);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(ArgPath::arg(0))]);
+        for i in 0..20 {
+            kb.assert_fact(fact("t", vec![Term::int(i), Term::atom("x")]));
+        }
+        // A rule head with a variable key stays a candidate for every call.
+        kb.assert_clause(
+            fact("t", vec![Term::var(0), Term::atom("r")]),
+            Term::atom("true"),
+        );
+        let got = range_cands(
+            &kb,
+            key,
+            vec![Term::var(7), Term::var(8)],
+            7,
+            NumRange::new(3.0, true, 6.0, false),
+        );
+        // (3, 6] plus the unkeyed rule, in assertion order.
+        assert_eq!(got.len(), 4);
+        assert_eq!(got[0], fact("t", vec![Term::int(4), Term::atom("x")]));
+        assert_eq!(got[2], fact("t", vec![Term::int(6), Term::atom("x")]));
+        assert_eq!(got[3], fact("t", vec![Term::var(0), Term::atom("r")]));
+        // Unconstrained variable: the index is inapplicable, full scan.
+        assert_eq!(cands(&kb, key, vec![Term::var(9), Term::var(10)]).len(), 21);
+        // Bound numeric key: degenerate point range.
+        assert_eq!(cands(&kb, key, vec![Term::int(5), Term::var(10)]).len(), 2);
+    }
+
+    #[test]
+    fn interval_index_follows_paths_and_rejects_mismatches() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("at", 1);
+        kb.set_index_args(key, &[]);
+        let path = ArgPath::arg(0).step("tat", 1, 0);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(path)]);
+        for i in 0..10 {
+            kb.assert_fact(fact("at", vec![Term::pred("tat", vec![Term::int(i)])]));
+        }
+        kb.assert_fact(fact("at", vec![Term::atom("any")]));
+        let got = range_cands(
+            &kb,
+            key,
+            vec![Term::pred("tat", vec![Term::var(3)])],
+            3,
+            NumRange::new(2.0, false, 4.0, true),
+        );
+        // [2, 4) keyed hits plus the `any` clause (unkeyed under the path).
+        assert_eq!(got.len(), 3);
+        // A call bound to a shape no keyed head can unify with selects the
+        // unkeyed clauses only.
+        let got = cands(&kb, key, vec![Term::atom("nowhere")]);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].head, fact("at", vec![Term::atom("any")]));
+    }
+
+    #[test]
+    fn grid_index_prunes_by_box() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("pt", 2);
+        kb.set_index_args(key, &[]);
+        kb.set_range_indexes(
+            key,
+            vec![RangeSpec::Grid {
+                x: ArgPath::arg(0),
+                y: ArgPath::arg(1),
+                cell: 2.0,
+            }],
+        );
+        for x in 0..10 {
+            for y in 0..10 {
+                kb.assert_fact(fact("pt", vec![Term::int(x), Term::int(y)]));
+            }
+        }
+        let mut store = BindStore::new();
+        store.ensure(1);
+        let mut bounds = BoundSet::default();
+        bounds.insert(Var(0), NumRange::new(2.0, false, 3.0, false));
+        bounds.insert(Var(1), NumRange::new(7.0, false, 8.0, false));
+        let got = kb
+            .candidates(key, &store, &[Term::var(0), Term::var(1)], &bounds)
+            .to_vec();
+        // The grid over-approximates (whole cells), never under-selects.
+        assert!(got.len() >= 4, "box must cover its hits");
+        assert!(got.len() <= 36, "grid should prune most of the 100 points");
+        for c in &got {
+            let (Term::Int(_), Term::Int(_)) = (&c.head.args()[0], &c.head.args()[1]) else {
+                panic!("grid candidates are points");
+            };
+        }
+        // Exact point: both probes degenerate.
+        let got = cands(&kb, key, vec![Term::int(5), Term::int(5)]);
+        assert!(got.len() <= 4, "point lookup stays within one cell");
+        assert!(got
+            .iter()
+            .any(|c| c.head == fact("pt", vec![Term::int(5), Term::int(5)])));
+    }
+
+    #[test]
+    fn range_selection_intersects_hash_selection() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("r", 2);
+        kb.set_index_args(key, &[0]);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(ArgPath::arg(1))]);
+        for m in ["m0", "m1"] {
+            for v in 0..10 {
+                kb.assert_fact(fact("r", vec![Term::atom(m), Term::int(v)]));
+            }
+        }
+        let got = range_cands(
+            &kb,
+            key,
+            vec![Term::atom("m0"), Term::var(2)],
+            2,
+            NumRange::new(4.0, true, f64::INFINITY, false),
+        );
+        // Hash (m0: 10) ∩ range (v > 4: 10) = 5.
+        assert_eq!(got.len(), 5);
+        assert!(got.iter().all(
+            |h| h.args()[0] == Term::atom("m0") && matches!(h.args()[1], Term::Int(v) if v > 4)
+        ));
+    }
+
+    #[test]
+    fn float_zero_keys_collapse_indexed_and_scanned() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("z", 1);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(ArgPath::arg(0))]);
+        kb.assert_fact(fact("z", vec![Term::float(-0.0)]));
+        kb.assert_fact(fact("z", vec![Term::float(0.0)]));
+        // -0.0 and 0.0 unify, so both hash and range lookups must return
+        // both clauses whichever sign the call carries.
+        for probe in [0.0, -0.0] {
+            let got = cands(&kb, key, vec![Term::float(probe)]);
+            assert_eq!(got.len(), 2, "±0.0 diverged for probe {probe}");
+        }
+        // Int and Float keys land in one numeric bucket; unification
+        // decides (5 and 5.0 do not unify structurally).
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("n", 1);
+        kb.set_index_args(key, &[]);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(ArgPath::arg(0))]);
+        kb.assert_fact(fact("n", vec![Term::int(5)]));
+        kb.assert_fact(fact("n", vec![Term::float(5.0)]));
+        assert_eq!(cands(&kb, key, vec![Term::int(5)]).len(), 2);
+        assert_eq!(cands(&kb, key, vec![Term::float(5.0)]).len(), 2);
+    }
+
+    #[test]
+    fn incremental_maintenance_matches_rebuild() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("t", 2);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(ArgPath::arg(1))]);
+        let g = GroupId::named("pack");
+        for i in 0..8 {
+            kb.assert_fact(fact("t", vec![Term::atom("a"), Term::int(i)]));
+        }
+        kb.assert_clause_in(
+            g,
+            fact("t", vec![Term::atom("g"), Term::int(100)]),
+            Term::atom("true"),
+        );
+        kb.assert_fact(fact("t", vec![Term::atom("b"), Term::int(8)]));
+        kb.assert_clause_in(
+            g,
+            fact("t", vec![Term::atom("g"), Term::int(101)]),
+            Term::atom("true"),
+        );
+        kb.check_index_integrity().expect("after asserts");
+        assert!(kb.retract_fact(&fact("t", vec![Term::atom("a"), Term::int(3)])));
+        kb.check_index_integrity().expect("after retract_fact");
+        assert_eq!(kb.retract_group(g), 2);
+        kb.check_index_integrity().expect("after retract_group");
+        kb.begin_delta();
+        let mark = kb.delta_len();
+        kb.assert_fact(fact("t", vec![Term::atom("c"), Term::int(9)]));
+        assert!(kb.retract_fact(&fact("t", vec![Term::atom("a"), Term::int(5)])));
+        kb.retract_predicate(key);
+        kb.check_index_integrity().expect("after retract_predicate");
+        kb.rollback_to(mark);
+        kb.check_index_integrity().expect("after rollback");
+    }
+
+    #[test]
+    fn index_stats_report_hits_and_prunes() {
+        let mut kb = KnowledgeBase::new();
+        let key = PredKey::new("t", 1);
+        kb.set_index_args(key, &[]);
+        kb.set_range_indexes(key, vec![RangeSpec::Interval(ArgPath::arg(0))]);
+        for i in 0..10 {
+            kb.assert_fact(fact("t", vec![Term::int(i)]));
+        }
+        let _ = cands(&kb, key, vec![Term::int(3)]);
+        let _ = cands(&kb, key, vec![Term::var(0)]);
+        let report = kb
+            .index_stats()
+            .into_iter()
+            .find(|r| r.pred == key)
+            .expect("t/1 reported");
+        assert_eq!(report.clauses, 10);
+        assert_eq!(report.consults, 2);
+        assert_eq!(report.range_hits, 1);
+        assert_eq!(report.scans, 1);
+        assert_eq!(report.pruned, 9);
+        assert_eq!(report.range_specs.len(), 1);
     }
 }

@@ -64,7 +64,10 @@ pub use delta::{Delta, DeltaOp};
 pub use deps::{ArgSpec, Closure, DepGraph};
 pub use error::{EngineError, EngineResult};
 pub use hash::{FxHashMap, FxHashSet};
-pub use kb::{Clause, GroupId, KnowledgeBase, NativeFn, NativeOutcome, PredKey};
+pub use kb::{
+    ArgPath, BoundSet, Candidates, Clause, GroupId, IndexReport, KnowledgeBase, NativeFn,
+    NativeOutcome, NumRange, PosList, PredKey, RangeSpec,
+};
 pub use list::{list_from_iter, list_to_vec, ListIter};
 pub use parallel::ParallelSolver;
 pub use solver::{Solution, SolutionIter, Solver, SolverStats};

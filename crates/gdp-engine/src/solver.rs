@@ -18,7 +18,7 @@ use crate::budget::Budget;
 use crate::builtins::{self, BuiltinOutcome};
 use crate::error::{EngineError, EngineResult};
 use crate::hash::FxHashSet;
-use crate::kb::{Clause, KnowledgeBase, PredKey};
+use crate::kb::{BoundSet, Candidates, KnowledgeBase, NumRange, PredKey};
 use crate::symbol::{symbols, Sym};
 use crate::table::{self, CachedAnswer, Lookup};
 use crate::term::{Term, Var};
@@ -298,12 +298,26 @@ impl Drop for Cont {
     }
 }
 
+/// Active `range_call` bounds, as a persistent cons list (like [`Cont`]):
+/// choice points capture the list by reference and backtracking restores
+/// it in O(1). An entry constrains an *unbound* variable for exactly the
+/// derivation extent of its `range_call`'s goal — the paired `$range_chk`
+/// pops it on the way out.
+enum RangeCtx {
+    Empty,
+    Bound {
+        var: Var,
+        range: NumRange,
+        rest: Rc<RangeCtx>,
+    },
+}
+
 /// Pending alternatives at a choice point.
-enum Alts {
+enum Alts<'kb> {
     /// Remaining clause candidates for a user-predicate call.
     Clauses {
         goal: Term,
-        clauses: Vec<Arc<Clause>>,
+        clauses: Candidates<'kb>,
         next: usize,
     },
     /// The right branch of a disjunction.
@@ -318,17 +332,20 @@ enum Alts {
     },
 }
 
-struct ChoicePoint {
+struct ChoicePoint<'kb> {
     cont: Rc<Cont>,
     mark: TrailMark,
-    alts: Alts,
+    ranges: Rc<RangeCtx>,
+    alts: Alts<'kb>,
 }
 
 pub(crate) struct Machine<'kb, S: TraceSink = NullSink> {
     kb: &'kb KnowledgeBase,
     pub(crate) store: BindStore,
     cont: Rc<Cont>,
-    cps: Vec<ChoicePoint>,
+    cps: Vec<ChoicePoint<'kb>>,
+    /// Active `range_call` bounds on this derivation path.
+    ranges: Rc<RangeCtx>,
     budget: Budget,
     counters: Rc<Counters>,
     /// Trace sink shared with sub-machines; every use is statically
@@ -363,6 +380,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             store,
             cont: Cont::push(&Rc::new(Cont::Done), goal),
             cps: Vec::new(),
+            ranges: Rc::new(RangeCtx::Empty),
             budget,
             counters,
             sink,
@@ -388,6 +406,11 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             store,
             cont: Cont::push(&Rc::new(Cont::Done), goal),
             cps: Vec::new(),
+            // A fresh, empty range context: bounds never cross a
+            // sub-machine boundary (in particular, tabled enumerations must
+            // not be range-pruned — their answer sets are reused under
+            // other constraints).
+            ranges: Rc::new(RangeCtx::Empty),
             budget: self.budget.clone(),
             counters: Rc::clone(&self.counters),
             sink: Rc::clone(&self.sink),
@@ -623,10 +646,16 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         };
         let cont = Rc::clone(&self.cont);
         let mark = self.store.mark();
+        let ranges = Rc::clone(&self.ranges);
         if self.try_answer_alts(&mut alts)? {
             if let Alts::Answers { answers, next, .. } = &alts {
                 if *next < answers.len() {
-                    self.cps.push(ChoicePoint { cont, mark, alts });
+                    self.cps.push(ChoicePoint {
+                        cont,
+                        mark,
+                        ranges,
+                        alts,
+                    });
                 }
             }
             Ok(true)
@@ -636,7 +665,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
     }
 
     /// Try cached answers from the cursor until one unifies with the goal.
-    fn try_answer_alts(&mut self, alts: &mut Alts) -> EngineResult<bool> {
+    fn try_answer_alts(&mut self, alts: &mut Alts<'_>) -> EngineResult<bool> {
         let Alts::Answers {
             goal,
             answers,
@@ -686,6 +715,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             self.cps.push(ChoicePoint {
                 cont: Rc::clone(&self.cont),
                 mark: self.store.mark(),
+                ranges: Rc::clone(&self.ranges),
                 alts: Alts::Disjunct {
                     right: args[1].clone(),
                 },
@@ -733,10 +763,171 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             Some(self.aggregate_sub(&args[0], &args[1], &args[2], &args[3])?)
         } else if name == symbols::between() && args.len() == 3 {
             Some(self.between(&args[0], &args[1], &args[2])?)
+        } else if name == Sym::new("range_call") && args.len() == 2 {
+            // range_call(G, Cs): declare that, while G runs, each
+            // rc(X, IV) in the list Cs bounds the still-unbound variable X
+            // to the numeric interval IV. The bounds are pruning hints for
+            // the KB's range indexes; the `$range_chk` pushed behind G
+            // re-verifies every solution (and retires the bounds), so a
+            // wrapped goal — which keeps its original filter goals —
+            // solves exactly as the unwrapped one. Non-variable or
+            // non-parseable entries contribute nothing.
+            let mut pushed: i64 = 0;
+            let mut cursor = args[1].clone();
+            loop {
+                let cell = self.store.deref(&cursor).clone();
+                let Term::Compound(f, cell_args) = &cell else {
+                    break;
+                };
+                if *f != symbols::cons() || cell_args.len() != 2 {
+                    break;
+                }
+                let item = self.store.deref(&cell_args[0]).clone();
+                if let Term::Compound(rf, rc_args) = &item {
+                    if *rf == Sym::new("rc") && rc_args.len() == 2 {
+                        let var = match self.store.deref(&rc_args[0]) {
+                            Term::Var(v) => Some(*v),
+                            _ => None,
+                        };
+                        if let Some(v) = var {
+                            if let Some(range) = self.parse_range(&rc_args[1]) {
+                                self.ranges = Rc::new(RangeCtx::Bound {
+                                    var: v,
+                                    range,
+                                    rest: Rc::clone(&self.ranges),
+                                });
+                                pushed += 1;
+                            }
+                        }
+                    }
+                }
+                cursor = cell_args[1].clone();
+            }
+            self.cont = Cont::push(
+                &self.cont,
+                Term::pred("$range_chk", vec![args[1].clone(), Term::Int(pushed)]),
+            );
+            self.cont = Cont::push(&self.cont, args[0].clone());
+            Some(true)
+        } else if name == Sym::new("$range_chk") && args.len() == 2 {
+            let ok = self.range_chk(&args[0]);
+            // Retire this range_call's bounds unconditionally: the goal's
+            // derivation extent ends here. Backtracking into the goal
+            // restores them from the choice points' captured contexts.
+            if let Term::Int(n) = self.store.deref(&args[1]) {
+                self.pop_ranges(*n);
+            }
+            Some(ok)
         } else {
             None
         };
         Ok(out)
+    }
+
+    /// Decode an `iv(Lo, Hi, LoEnd, HiEnd)` term against the current
+    /// store: bounds are the atoms `minf`/`inf` or arithmetic expressions,
+    /// ends are `closed`/`open`. `None` (no constraint) for anything else
+    /// — including NaN bounds and unbound subterms.
+    fn parse_range(&self, t: &Term) -> Option<NumRange> {
+        let iv = self.store.deref(t).clone();
+        let Term::Compound(f, args) = &iv else {
+            return None;
+        };
+        if *f != Sym::new("iv") || args.len() != 4 {
+            return None;
+        }
+        let bound = |machine: &Self, t: &Term, infinity: f64| -> Option<f64> {
+            if let Term::Atom(s) = machine.store.deref(t) {
+                if *s == Sym::new("minf") {
+                    return Some(f64::NEG_INFINITY);
+                }
+                if *s == Sym::new("inf") {
+                    return Some(infinity);
+                }
+            }
+            let v = crate::arith::eval(&machine.store, t).ok()?.as_f64();
+            if v.is_nan() {
+                None
+            } else {
+                Some(v)
+            }
+        };
+        let end = |machine: &Self, t: &Term| -> Option<bool> {
+            match machine.store.deref(t) {
+                Term::Atom(s) if *s == Sym::new("closed") => Some(false),
+                Term::Atom(s) if *s == Sym::new("open") => Some(true),
+                _ => None,
+            }
+        };
+        Some(NumRange::new(
+            bound(self, &args[0], f64::INFINITY)?,
+            end(self, &args[2])?,
+            bound(self, &args[1], f64::INFINITY)?,
+            end(self, &args[3])?,
+        ))
+    }
+
+    /// Verify a `range_call` constraint list against the current bindings:
+    /// a constraint rejects only when its variable is bound to a number,
+    /// its interval parses, and the number falls outside — everything else
+    /// passes vacuously (the wrapped goal's own filter goals decide).
+    fn range_chk(&self, cs: &Term) -> bool {
+        let mut cursor = cs.clone();
+        loop {
+            let cell = self.store.deref(&cursor).clone();
+            let Term::Compound(f, cell_args) = &cell else {
+                return true;
+            };
+            if *f != symbols::cons() || cell_args.len() != 2 {
+                return true;
+            }
+            let item = self.store.deref(&cell_args[0]).clone();
+            if let Term::Compound(rf, rc_args) = &item {
+                if *rf == Sym::new("rc") && rc_args.len() == 2 {
+                    let value = match self.store.deref(&rc_args[0]) {
+                        Term::Int(i) => Some(*i as f64),
+                        Term::Float(v) => Some(v.get()),
+                        _ => None,
+                    };
+                    if let Some(x) = value {
+                        if let Some(range) = self.parse_range(&rc_args[1]) {
+                            if !range.contains(x) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+            cursor = cell_args[1].clone();
+        }
+    }
+
+    /// Drop the `n` most recent range-context entries.
+    fn pop_ranges(&mut self, n: i64) {
+        for _ in 0..n {
+            let rest = match &*self.ranges {
+                RangeCtx::Bound { rest, .. } => Rc::clone(rest),
+                RangeCtx::Empty => break,
+            };
+            self.ranges = rest;
+        }
+    }
+
+    /// Snapshot the active range bounds for a candidate query, re-deref'ing
+    /// each entry's variable: an entry whose variable got bound since the
+    /// push is inert (the binding itself keys the index), and aliased
+    /// variables are tracked under their current representative.
+    fn collect_bounds(&self) -> BoundSet {
+        let mut bounds = BoundSet::default();
+        let mut cur: &RangeCtx = &self.ranges;
+        while let RangeCtx::Bound { var, range, rest } = cur {
+            let probe = Term::Var(*var);
+            if let Term::Var(v) = self.store.deref(&probe) {
+                bounds.insert(*v, *range);
+            }
+            cur = rest;
+        }
+        bounds
     }
 
     /// NAF / forall support: is the (resolved) goal provable? Runs in a
@@ -887,6 +1078,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                     self.cps.push(ChoicePoint {
                         cont: Rc::clone(&self.cont),
                         mark: self.store.mark(),
+                        ranges: Rc::clone(&self.ranges),
                         alts: Alts::Between {
                             var: x.clone(),
                             cur: lo + 1,
@@ -905,7 +1097,11 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
     }
 
     fn call_user(&mut self, key: PredKey, goal: Term) -> EngineResult<bool> {
-        let clauses = self.kb.candidates(key, &self.store, goal.args());
+        let bounds = match &*self.ranges {
+            RangeCtx::Empty => BoundSet::default(),
+            _ => self.collect_bounds(),
+        };
+        let clauses = self.kb.candidates(key, &self.store, goal.args(), &bounds);
         if clauses.is_empty() {
             if self.kb.strict() && !self.kb.defined(key) {
                 return Err(EngineError::UnknownPredicate {
@@ -922,11 +1118,17 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         };
         let cont = Rc::clone(&self.cont);
         let mark = self.store.mark();
+        let ranges = Rc::clone(&self.ranges);
         if self.try_clause_alts(&mut alts)? {
             // More candidates may remain; record them.
             if let Alts::Clauses { clauses, next, .. } = &alts {
                 if *next < clauses.len() {
-                    self.cps.push(ChoicePoint { cont, mark, alts });
+                    self.cps.push(ChoicePoint {
+                        cont,
+                        mark,
+                        ranges,
+                        alts,
+                    });
                 }
             }
             Ok(true)
@@ -938,7 +1140,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
     /// Try clause candidates from the cursor until one's head unifies; on
     /// success push its body and return true. The cursor is left at the
     /// next untried candidate.
-    fn try_clause_alts(&mut self, alts: &mut Alts) -> EngineResult<bool> {
+    fn try_clause_alts(&mut self, alts: &mut Alts<'kb>) -> EngineResult<bool> {
         let Alts::Clauses {
             goal,
             clauses,
@@ -953,7 +1155,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             None
         };
         while *next < clauses.len() {
-            let clause = Arc::clone(&clauses[*next]);
+            let clause = Arc::clone(clauses.get(*next).expect("cursor within len"));
             *next += 1;
             self.budget.step()?;
             if let Some(key) = step_key {
@@ -983,6 +1185,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         while let Some(mut cp) = self.cps.pop() {
             self.store.undo_to(cp.mark);
             self.cont = Rc::clone(&cp.cont);
+            self.ranges = Rc::clone(&cp.ranges);
             match &mut cp.alts {
                 Alts::Disjunct { right } => {
                     let right = right.clone();
@@ -1002,6 +1205,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                         self.cps.push(ChoicePoint {
                             cont: Rc::clone(&cp.cont),
                             mark: cp.mark,
+                            ranges: Rc::clone(&cp.ranges),
                             alts: Alts::Between {
                                 var: var.clone(),
                                 cur: cur + 1,
@@ -1056,9 +1260,10 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
 
     /// Resume a clause or cached-answer choice point, emitting the
     /// Redo/Exit/Fail ports around the retry.
-    fn resume_stored_alts(&mut self, cp: ChoicePoint) -> EngineResult<bool> {
+    fn resume_stored_alts(&mut self, cp: ChoicePoint<'kb>) -> EngineResult<bool> {
         let cont = cp.cont;
         let mark = cp.mark;
+        let ranges = cp.ranges;
         let mut alts = cp.alts;
         let redo: Option<(PredKey, Term)> = if S::ENABLED {
             let goal = match &alts {
@@ -1083,7 +1288,12 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                 _ => unreachable!("resume_stored_alts on control alts"),
             };
             if more {
-                self.cps.push(ChoicePoint { cont, mark, alts });
+                self.cps.push(ChoicePoint {
+                    cont,
+                    mark,
+                    ranges,
+                    alts,
+                });
             }
             if let Some((key, goal)) = redo {
                 self.emit(Port::Exit, key, resolve_deep(&self.store, &goal));
@@ -1225,6 +1435,100 @@ mod tests {
         let sols = solve(&kb, Term::pred("open_road", vec![Term::var(0)]));
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0].get(Var(0)).unwrap(), &Term::atom("r1"));
+    }
+
+    /// `range_call(G, Cs)` is semantically transparent — same solutions,
+    /// same order, with and without a matching range index — and its
+    /// bounds apply only inside G's derivation extent.
+    #[test]
+    fn range_call_is_transparent_and_scoped() {
+        use crate::kb::{ArgPath, RangeSpec};
+        let build = |indexed: bool| {
+            let mut kb = KnowledgeBase::new();
+            if indexed {
+                kb.set_range_indexes(
+                    PredKey::new("val", 1),
+                    vec![RangeSpec::Interval(ArgPath::arg(0))],
+                );
+            }
+            for i in 0..10 {
+                kb.assert_fact(Term::pred("val", vec![Term::int(i)]));
+            }
+            kb
+        };
+        // range_call(val(X), [rc(X, iv(2, 6, open, closed))]), X < 5
+        let wrapped = Term::and(
+            Term::pred(
+                "range_call",
+                vec![
+                    Term::pred("val", vec![Term::var(0)]),
+                    Term::list(vec![Term::pred(
+                        "rc",
+                        vec![
+                            Term::var(0),
+                            Term::pred(
+                                "iv",
+                                vec![
+                                    Term::int(2),
+                                    Term::int(6),
+                                    Term::atom("open"),
+                                    Term::atom("closed"),
+                                ],
+                            ),
+                        ],
+                    )]),
+                ],
+            ),
+            Term::pred("<", vec![Term::var(0), Term::int(5)]),
+        );
+        let collect = |kb: &KnowledgeBase| -> Vec<String> {
+            solve(kb, wrapped.clone())
+                .iter()
+                .map(|s| s.get(Var(0)).unwrap().to_string())
+                .collect()
+        };
+        let indexed = collect(&build(true));
+        assert_eq!(indexed, vec!["3", "4"], "chk ∧ filter semantics");
+        assert_eq!(indexed, collect(&build(false)), "indexed ≡ unindexed");
+        // After the range_call, the bound is retired: a later enumeration
+        // of the same predicate through the same variable-free pattern
+        // must see every clause again.
+        let seq = Term::and(
+            Term::pred(
+                "range_call",
+                vec![
+                    Term::pred("val", vec![Term::var(0)]),
+                    Term::list(vec![Term::pred(
+                        "rc",
+                        vec![
+                            Term::var(0),
+                            Term::pred(
+                                "iv",
+                                vec![
+                                    Term::int(4),
+                                    Term::int(4),
+                                    Term::atom("closed"),
+                                    Term::atom("closed"),
+                                ],
+                            ),
+                        ],
+                    )]),
+                ],
+            ),
+            Term::pred("val", vec![Term::var(1)]),
+        );
+        let kb = build(true);
+        let sols = solve(&kb, seq);
+        assert_eq!(sols.len(), 10, "second enumeration must be unpruned");
+        // Unbound-tail and garbage constraints pass vacuously.
+        let vacuous = Term::pred(
+            "range_call",
+            vec![
+                Term::pred("val", vec![Term::var(0)]),
+                Term::list(vec![Term::atom("junk")]),
+            ],
+        );
+        assert_eq!(solve(&kb, vacuous).len(), 10);
     }
 
     #[test]

@@ -51,6 +51,29 @@ pub(crate) fn goal(name: &str, args: Vec<Pat>) -> Pat {
     Pat::app(name, args)
 }
 
+/// `pt(X, Y)` — an absolute-space point.
+pub(crate) fn pt(x: Pat, y: Pat) -> Pat {
+    Pat::app("pt", vec![x, y])
+}
+
+/// `rc(X, IV)` — one range annotation (IV is, or derefs to, an `iv/4`
+/// interval term).
+pub(crate) fn rc(x: Pat, iv: Pat) -> Pat {
+    Pat::app("rc", vec![x, iv])
+}
+
+/// `range_call(G, [rc(..), ..])`: run `G` under numeric range annotations
+/// the KB's grid index over patch coordinates can prune candidates with.
+/// Semantically transparent — the rule packs keep their real `rmap/3`
+/// checks, the wrapper only narrows enumeration.
+pub(crate) fn range_call(goal_pat: Pat, rcs: Vec<Pat>) -> Pat {
+    let list = rcs
+        .into_iter()
+        .rev()
+        .fold(a("[]"), |tail, head| cons(head, tail));
+    Pat::app("range_call", vec![goal_pat, list])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

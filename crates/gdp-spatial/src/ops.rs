@@ -10,8 +10,27 @@
 //! its own pack lets users opt in per query mix.
 
 use gdp_core::{MetaModel, Pat, RawClause};
+use gdp_engine::{ArgPath, RangeSpec};
 
-use crate::dsl::{a, cons, goal, h, sa, sat, ss, su, v};
+use crate::dsl::{a, cons, goal, h, pt, range_call, rc, sa, sat, ss, su, v};
+
+/// Grid range index over patch representative-point coordinates: the `(x,
+/// y)` pair inside any `su/ss/sa` spatial qualifier of an `h/5` head. The
+/// bucket edge (4.0) is a fixed tuning constant independent of the
+/// registered logical grids — it only trades bucket count against bucket
+/// size; pruning correctness comes from the KB, not from this choice.
+fn patch_grid_spec() -> RangeSpec {
+    let coord = |child| {
+        ArgPath::arg(1)
+            .step_any(&[("su", 2), ("ss", 2), ("sa", 2)], 1)
+            .step("pt", 2, child)
+    };
+    RangeSpec::Grid {
+        x: coord(0),
+        y: coord(1),
+        cell: 4.0,
+    }
+}
 
 /// The simple spatial operator `@p` (§V.C).
 ///
@@ -50,11 +69,26 @@ pub fn area_uniform() -> MetaModel {
         // Patch inheritance re-derives the same h/5 instances along many
         // refinement paths; nominate h/5 for answer tabling.
         .table("h", 5)
+        // Nominate the coordinate grid index so the `range_call` bounds
+        // below actually prune the patch enumeration.
+        .range_index("h", 5, patch_grid_spec())
         .clause(RawClause::build(
             &h(v("M"), sat(v("P")), v("T"), v("Q"), v("A")),
             &[
-                h(v("M"), su(v("R"), v("P0")), v("T"), v("Q"), v("A")),
-                goal("rmap", vec![v("R"), v("P"), v("P0")]),
+                // With R still unbound, rmap_box falls back to the widest
+                // registered cell — a box around P sound for every grid.
+                goal("rmap_box", vec![v("R"), v("P"), v("IVX"), v("IVY")]),
+                range_call(
+                    h(
+                        v("M"),
+                        su(v("R"), pt(v("X0"), v("Y0"))),
+                        v("T"),
+                        v("Q"),
+                        v("A"),
+                    ),
+                    vec![rc(v("X0"), v("IVX")), rc(v("Y0"), v("IVY"))],
+                ),
+                goal("rmap", vec![v("R"), v("P"), pt(v("X0"), v("Y0"))]),
             ],
         ))
         .clause(RawClause::build(
@@ -63,9 +97,20 @@ pub fn area_uniform() -> MetaModel {
                 goal("refines", vec![v("R2"), v("R1")]),
                 // P2 must be a representative point of R2 …
                 goal("rmap", vec![v("R2"), v("P2"), v("P2")]),
-                h(v("M"), su(v("R1"), v("P1")), v("T"), v("Q"), v("A")),
-                // … lying in the R1-patch carrying the property.
-                goal("rmap", vec![v("R1"), v("P2"), v("P1")]),
+                // … and the carrying R1-patch must contain P2, so its
+                // representative point lies within one R1-cell of it.
+                goal("rmap_box", vec![v("R1"), v("P2"), v("IVX"), v("IVY")]),
+                range_call(
+                    h(
+                        v("M"),
+                        su(v("R1"), pt(v("X1"), v("Y1"))),
+                        v("T"),
+                        v("Q"),
+                        v("A"),
+                    ),
+                    vec![rc(v("X1"), v("IVX")), rc(v("Y1"), v("IVY"))],
+                ),
+                goal("rmap", vec![v("R1"), v("P2"), pt(v("X1"), v("Y1"))]),
             ],
         ))
         .build()
@@ -132,6 +177,7 @@ pub fn area_sampled() -> MetaModel {
     MetaModel::new("spatial_sampled")
         .doc("area-sampled operator: a patch holds a sample if any point or subpatch does")
         .table("h", 5)
+        .range_index("h", 5, patch_grid_spec())
         .clause(RawClause::build(
             &h(v("M"), ss(v("R"), v("P0")), v("T"), v("Q"), v("A")),
             &[
@@ -143,8 +189,20 @@ pub fn area_sampled() -> MetaModel {
             &h(v("M"), ss(v("R1"), v("P1")), v("T"), v("Q"), v("A")),
             &[
                 goal("refines", vec![v("R2"), v("R1")]),
-                h(v("M"), ss(v("R2"), v("P2")), v("T"), v("Q"), v("A")),
-                goal("rmap", vec![v("R1"), v("P2"), v("P1")]),
+                // When the target patch P1 is ground, any contributing
+                // subpatch representative lies within its R1-cell.
+                goal("rmap_box", vec![v("R1"), v("P1"), v("IVX"), v("IVY")]),
+                range_call(
+                    h(
+                        v("M"),
+                        ss(v("R2"), pt(v("X2"), v("Y2"))),
+                        v("T"),
+                        v("Q"),
+                        v("A"),
+                    ),
+                    vec![rc(v("X2"), v("IVX")), rc(v("Y2"), v("IVY"))],
+                ),
+                goal("rmap", vec![v("R1"), pt(v("X2"), v("Y2")), v("P1")]),
             ],
         ))
         // A uniform patch trivially provides a sample of itself.
@@ -207,8 +265,12 @@ pub fn area_averaged() -> MetaModel {
     MetaModel::new("spatial_averaged")
         .doc("area-averaged operator: patch value is the mean of subpatch values")
         // Each enclosing patch's average re-enumerates every subpatch
-        // value; nominate h/5 for answer tabling.
+        // value; nominate h/5 for answer tabling. (Its own lookups arrive
+        // with `member/2`-bound positions — exact keys the hash index
+        // serves — but the grid nomination keeps the access path uniform
+        // across the @u/@s/@a family.)
         .table("h", 5)
+        .range_index("h", 5, patch_grid_spec())
         .clause(from(su))
         .clause(from(sa))
         .build()

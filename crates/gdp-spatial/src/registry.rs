@@ -140,6 +140,54 @@ impl SpatialRegistry {
             }
         });
 
+        // rmap_box(R, P, IVX, IVY): conservative coordinate bounds for
+        // patch representative points that could relate to ground point P
+        // under rmap/3 — P's cell widened by one full cell on each side,
+        // as closed `iv/4` intervals. Deterministic and always succeeds
+        // exactly once, so rule packs can insert it ahead of a patch
+        // lookup without changing answers: when R names a registered grid
+        // its cell size is used; when R is unbound, the widest registered
+        // cell (an over-approximation sound for every registered grid);
+        // when P is unbound or no grid is registered, IVX/IVY stay
+        // unbound and downstream `rc` constraints pass vacuously.
+        let table = Arc::clone(&self.table);
+        kb.register_native("rmap_box", 4, move |store, args| {
+            let p = resolve_deep(store, &args[1]);
+            let Some(point) = Point::from_term(&p) else {
+                return Ok(true);
+            };
+            let r = store.deref(&args[0]).clone();
+            let cell = {
+                let t = table.read();
+                match r.as_atom() {
+                    Some(name) => t.grids.get(&name.as_str()).map(|g| (g.cell_w, g.cell_h)),
+                    None => t.grids.values().fold(None, |acc: Option<(f64, f64)>, g| {
+                        Some(match acc {
+                            Some((w, h)) => (w.max(g.cell_w), h.max(g.cell_h)),
+                            None => (g.cell_w, g.cell_h),
+                        })
+                    }),
+                }
+            };
+            let Some((cw, ch)) = cell else {
+                return Ok(true);
+            };
+            let iv = |lo: f64, hi: f64| {
+                Term::pred(
+                    "iv",
+                    vec![
+                        Term::float(lo),
+                        Term::float(hi),
+                        Term::atom("closed"),
+                        Term::atom("closed"),
+                    ],
+                )
+            };
+            let bx = iv(point.x - 1.5 * cw, point.x + 1.5 * cw);
+            let by = iv(point.y - 1.5 * ch, point.y + 1.5 * ch);
+            Ok(store.unify(&bx, &args[2]) && store.unify(&by, &args[3]))
+        });
+
         // cell_points(Coarse, Fine, Rep, List): representative points of
         // Fine within the Coarse-cell represented by Rep.
         let table = Arc::clone(&self.table);

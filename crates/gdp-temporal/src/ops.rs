@@ -50,6 +50,28 @@ fn cons(head: Pat, tail: Pat) -> Pat {
     Pat::app(".", vec![head, tail])
 }
 
+/// `range_call(G, [rc(..), ..])`: run `G` with numeric range annotations
+/// the KB's interval index on the `tat/1` instant can prune candidates
+/// with. Semantically transparent — every rule below keeps its real
+/// `in_interval`/comparison checks, the wrapper only narrows enumeration.
+fn range_call(goal_pat: Pat, rcs: Vec<Pat>) -> Pat {
+    let list = rcs
+        .into_iter()
+        .rev()
+        .fold(a("[]"), |tail, head| cons(head, tail));
+    Pat::app("range_call", vec![goal_pat, list])
+}
+
+/// `rc(X, IV)` where `IV` is (a variable holding) an `iv/4` interval term.
+fn rc(x: Pat, iv: Pat) -> Pat {
+    Pat::app("rc", vec![x, iv])
+}
+
+/// A literal `iv(Lo, Hi, LoEnd, HiEnd)` term.
+fn iv(lo: Pat, hi: Pat, lo_end: &str, hi_end: &str) -> Pat {
+    Pat::app("iv", vec![lo, hi, a(lo_end), a(hi_end)])
+}
+
 /// The simple temporal operator `&t` (§VI.A): time-independent facts are
 /// true at every instant. Guarded by `nonvar(T)` for the same reason as
 /// the spatial counterpart — answers point queries, never enumerates the
@@ -104,7 +126,10 @@ pub fn interval_sampled() -> MetaModel {
         .clause(RawClause::build(
             &h(v("M"), v("S"), ts(v("IV")), v("Q"), v("A")),
             &[
-                h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+                range_call(
+                    h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+                    vec![rc(v("T"), v("IV"))],
+                ),
                 goal("in_interval", vec![v("T"), v("IV")]),
             ],
         ))
@@ -150,7 +175,10 @@ pub fn interval_averaged() -> MetaModel {
                     Pat::app(
                         ",",
                         vec![
-                            h(v("M"), v("S"), tat(v("T")), v("Q"), cons(v("Y"), v("Rest"))),
+                            range_call(
+                                h(v("M"), v("S"), tat(v("T")), v("Q"), cons(v("Y"), v("Rest"))),
+                                vec![rc(v("T"), v("IV"))],
+                            ),
                             goal("in_interval", vec![v("T"), v("IV")]),
                         ],
                     ),
@@ -172,7 +200,10 @@ pub fn comprehension_principle() -> MetaModel {
             &h(v("M"), v("S"), tu(v("IV")), v("Q"), v("A")),
             &[
                 goal("nonvar", vec![v("IV")]),
-                h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+                range_call(
+                    h(v("M"), v("S"), tat(v("T")), v("Q"), v("A")),
+                    vec![rc(v("T"), v("IV"))],
+                ),
                 goal("in_interval", vec![v("T"), v("IV")]),
             ],
         ))
@@ -213,25 +244,34 @@ pub fn continuity_assumption() -> MetaModel {
                     v("Q"),
                     cons(v("Y1"), v("Rest")),
                 ),
-                h(
-                    v("M"),
-                    v("S"),
-                    tat(v("T2")),
-                    v("Q"),
-                    cons(v("Y2"), v("Rest")),
+                // T2 must lie after T1 (the `<` below still decides), so
+                // the enumeration can skip every earlier instant.
+                range_call(
+                    h(
+                        v("M"),
+                        v("S"),
+                        tat(v("T2")),
+                        v("Q"),
+                        cons(v("Y2"), v("Rest")),
+                    ),
+                    vec![rc(v("T2"), iv(v("T1"), a("inf"), "open", "open"))],
                 ),
                 goal("<", vec![v("T1"), v("T2")]),
                 // No assertion strictly between T1 and T2. `T` and `Y` are
                 // local existential variables — unbound at evaluation time —
                 // so this must be `absent/1` (existentially-closed
                 // negation), not `not/1`, whose floundering check rejects
-                // non-ground goals.
+                // non-ground goals. The between-scan only ever needs the
+                // open interval (T1, T2).
                 goal(
                     "absent",
                     vec![Pat::app(
                         ",",
                         vec![
-                            h(v("M"), v("S"), tat(v("T")), v("Q"), cons(v("Y"), v("Rest"))),
+                            range_call(
+                                h(v("M"), v("S"), tat(v("T")), v("Q"), cons(v("Y"), v("Rest"))),
+                                vec![rc(v("T"), iv(v("T1"), v("T2"), "open", "open"))],
+                            ),
                             Pat::app(
                                 ",",
                                 vec![

@@ -74,6 +74,10 @@ statements  any specification-language statement ending in `.`
 :views      show the active world view and meta-view
 :stats      knowledge-base, solver, and answer-table statistics
             (after :audit these are the merged per-worker counters)
+:index [MODE]  clause indexing: no argument prints the per-predicate
+            index report (hash/range configuration, hit and prune
+            counters); on | off | status toggle candidate selection
+            (`GDP_INDEX=off` in the environment starts with it off)
 :table MODE answer tabling: on | off | all | status
 :trace MODE port-event tracing: on | off | show | status
             (`show` prints the last traced query's final events)
@@ -432,6 +436,96 @@ impl Session {
                     t.hits, t.misses, t.inserts, t.invalidations
                 );
             }
+            ":index" => match rest {
+                "on" => {
+                    self.spec.kb_mut().set_indexing(true);
+                    println!("indexing on (hash + range candidate selection).");
+                }
+                "off" => {
+                    self.spec.kb_mut().set_indexing(false);
+                    println!("indexing off: every call scans all clauses.");
+                }
+                "status" => println!(
+                    "indexing is {}.",
+                    if self.spec.kb().indexing() {
+                        "on"
+                    } else {
+                        "off"
+                    }
+                ),
+                "" => {
+                    println!(
+                        "indexing is {}.",
+                        if self.spec.kb().indexing() {
+                            "on"
+                        } else {
+                            "off"
+                        }
+                    );
+                    let reports: Vec<_> = self
+                        .spec
+                        .kb()
+                        .index_stats()
+                        .into_iter()
+                        .filter(|r| {
+                            !r.hash_positions.is_empty()
+                                || !r.range_specs.is_empty()
+                                || r.consults > 0
+                        })
+                        .collect();
+                    if reports.is_empty() {
+                        println!("no indexed predicates consulted yet.");
+                    } else {
+                        println!(
+                            "{:<14} {:>7}  {:<9} {:<11} {:>8} {:>8} {:>8} {:>9} {:>6}",
+                            "predicate",
+                            "clauses",
+                            "hash",
+                            "range",
+                            "consults",
+                            "hashhit",
+                            "rangehit",
+                            "pruned",
+                            "scans"
+                        );
+                        for r in reports {
+                            let hash = if r.hash_positions.is_empty() {
+                                "-".to_string()
+                            } else {
+                                r.hash_positions
+                                    .iter()
+                                    .map(|p| p.to_string())
+                                    .collect::<Vec<_>>()
+                                    .join(",")
+                            };
+                            let (ivs, grids) =
+                                r.range_specs.iter().fold((0, 0), |(i, g), s| match s {
+                                    gdp::engine::RangeSpec::Interval(_) => (i + 1, g),
+                                    gdp::engine::RangeSpec::Grid { .. } => (i, g + 1),
+                                });
+                            let range = match (ivs, grids) {
+                                (0, 0) => "-".to_string(),
+                                (i, 0) => format!("{i} iv"),
+                                (0, g) => format!("{g} grid"),
+                                (i, g) => format!("{i} iv,{g} grid"),
+                            };
+                            println!(
+                                "{:<14} {:>7}  {:<9} {:<11} {:>8} {:>8} {:>8} {:>9} {:>6}",
+                                r.pred.to_string(),
+                                r.clauses,
+                                hash,
+                                range,
+                                r.consults,
+                                r.hash_hits,
+                                r.range_hits,
+                                r.pruned,
+                                r.scans
+                            );
+                        }
+                    }
+                }
+                other => println!("usage: :index [on|off|status] (got {other})"),
+            },
             ":table" => match rest {
                 "on" => {
                     self.spec.enable_tabling(true);

@@ -44,6 +44,26 @@ env GDP_TRACE=1 cargo test -q --release --workspace
 echo "==> cargo test [profile=1, tabling=on]"
 env GDP_PROFILE=1 GDP_TABLING=on cargo test -q --release --workspace
 
+# Indexing legs: GDP_INDEX=off disables hash and range candidate
+# selection in every constructed Specification, so the whole suite
+# doubles as an equivalence check that indexing never changes answers —
+# crossed with tabling because the answer table consumes the same
+# (indexed) enumeration order, and with GDP_CHAOS below so faults also
+# land on unindexed scans. The dedicated equivalence suite additionally
+# runs indexed-vs-unindexed twins in one process across a 1/4-worker,
+# tabling on/off grid.
+for tabling in unset on; do
+    env_args=("GDP_INDEX=off")
+    label="tabling=$tabling"
+    if [ "$tabling" != unset ]; then
+        env_args+=("GDP_TABLING=$tabling")
+    fi
+    echo "==> cargo test [GDP_INDEX=off, $label]"
+    env "${env_args[@]}" cargo test -q --release --workspace
+done
+echo "==> cargo test index_equivalence [GDP_INDEX=off]"
+env GDP_INDEX=off cargo test -q --release -p gdp --test index_equivalence
+
 # Chaos legs: GDP_CHAOS injects a deterministic fault (cancel / deadline
 # / panic at a seed-derived port event) into every audit the harness's
 # ambient-env test runs, which then asserts the degraded report is the
@@ -84,6 +104,13 @@ for seed in 2 101; do
     echo "==> cargo test chaos incremental [GDP_CHAOS=$seed]"
     env "GDP_CHAOS=$seed" cargo test -q --release -p gdp --test chaos_harness \
         ambient_env_chaos_restriction_holds_incrementally
+done
+
+# Chaos × unindexed: faults injected while every call scans all clauses —
+# the degraded-report restriction must hold on the slow path too.
+for seed in 2 101; do
+    echo "==> cargo test chaos unindexed [GDP_CHAOS=$seed, GDP_INDEX=off]"
+    env "GDP_CHAOS=$seed" "GDP_INDEX=off" cargo test -q --release -p gdp --test chaos_harness
 done
 
 # Deadline smoke: a divergent audit member under an effectively unbounded
