@@ -1,0 +1,124 @@
+//! T15 — SLG resolution on recursive tabled predicates: transitive
+//! closure over gdp-datagen river networks (acyclic downhill DAGs with
+//! braided confluences).
+//!
+//! Two formulations of the same `reach/2`:
+//!
+//! * **right-recursive** (`reach(X,Y) :- edge(X,Z), reach(Z,Y)`) also
+//!   terminates under plain SLD, so it is the head-to-head row: SLD
+//!   re-derives `reach(Z,Y)` once per path into `Z`, while SLG derives
+//!   each subgoal once and shares the answer set — the "≥10× fewer
+//!   steps" claim of the PR (measured by `gdp-profile`; this bench
+//!   records the wall-clock counterpart);
+//! * **left-recursive** (`reach(X,Y) :- reach(X,Z), edge(Z,Y)`) loops
+//!   to budget exhaustion under SLD, so it has no untabled row at all —
+//!   before the measurement the harness asserts the SLG answer set is
+//!   identical to an independent Rust BFS closure over the same edges.
+//!
+//! `slg_cold` clears the answer table every iteration (measures the
+//! forest evaluation itself); `slg_replay` keeps it warm (measures the
+//! persistent-table hit path, the old T10 regime).
+
+use std::collections::BTreeSet;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gdp::prelude::*;
+use gdp_bench::workloads::river_reachability;
+
+/// All-pairs transitive closure of `edges`, computed in Rust.
+fn reference_closure(edges: &[(String, String)]) -> BTreeSet<(String, String)> {
+    let mut pairs = BTreeSet::new();
+    let nodes: BTreeSet<&String> = edges.iter().flat_map(|(a, b)| [a, b]).collect();
+    for start in nodes {
+        let mut frontier = vec![start];
+        let mut seen: BTreeSet<&String> = BTreeSet::new();
+        while let Some(node) = frontier.pop() {
+            for (a, b) in edges {
+                if a == node && seen.insert(b) {
+                    frontier.push(b);
+                }
+            }
+        }
+        pairs.extend(seen.into_iter().map(|end| (start.clone(), end.clone())));
+    }
+    pairs
+}
+
+/// Render the engine's `reach(X, Y)` answers the same way.
+fn engine_closure(spec: &Specification) -> BTreeSet<(String, String)> {
+    spec.query(FactPat::new("reach").arg("X").arg("Y"))
+        .expect("reach query")
+        .iter()
+        .map(|answer| {
+            let x = answer.get("X").expect("X bound");
+            let y = answer.get("Y").expect("Y bound");
+            (x.to_string(), y.to_string())
+        })
+        .collect()
+}
+
+fn bench_right_recursion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T15_right_recursive");
+    group.sample_size(10);
+    for rivers in [8usize, 32] {
+        let (mut spec, edges) = river_reachability(rivers, false);
+        spec.set_budget(u64::MAX, 4096);
+        let reference = reference_closure(&edges);
+
+        // SLD: tabling off, every recursive call resolved by clauses.
+        spec.enable_tabling(false);
+        spec.set_table_all(false);
+        assert_eq!(engine_closure(&spec), reference);
+        group.bench_with_input(BenchmarkId::new("sld", rivers), &rivers, |b, _| {
+            b.iter(|| assert_eq!(engine_closure(&spec).len(), reference.len()));
+        });
+
+        // SLG, cold: evaluate the answer forest from scratch each time.
+        spec.enable_tabling(true);
+        spec.set_table_all(true);
+        assert_eq!(engine_closure(&spec), reference);
+        group.bench_with_input(BenchmarkId::new("slg_cold", rivers), &rivers, |b, _| {
+            b.iter(|| {
+                spec.kb().table().clear();
+                assert_eq!(engine_closure(&spec).len(), reference.len());
+            });
+        });
+
+        // SLG, warm: replay the persistent table entry.
+        assert_eq!(engine_closure(&spec), reference);
+        group.bench_with_input(BenchmarkId::new("slg_replay", rivers), &rivers, |b, _| {
+            b.iter(|| assert_eq!(engine_closure(&spec).len(), reference.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_left_recursion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T15_left_recursive");
+    group.sample_size(10);
+    for rivers in [32usize, 256] {
+        let (mut spec, edges) = river_reachability(rivers, true);
+        spec.set_budget(u64::MAX, 4096);
+        spec.enable_tabling(true);
+        spec.set_table_all(true);
+        let reference = reference_closure(&edges);
+        // The acceptance check: the SLG fixpoint over the full river
+        // network (≥1k edges at rivers=256) is exactly the BFS closure.
+        assert_eq!(engine_closure(&spec), reference);
+        assert_eq!(spec.solver_stats().table_fallbacks, 0);
+
+        group.bench_with_input(BenchmarkId::new("slg_cold", rivers), &rivers, |b, _| {
+            b.iter(|| {
+                spec.kb().table().clear();
+                assert_eq!(engine_closure(&spec).len(), reference.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("slg_replay", rivers), &rivers, |b, _| {
+            b.iter(|| assert_eq!(engine_closure(&spec).len(), reference.len()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_right_recursion, bench_left_recursion);
+criterion_main!(benches);

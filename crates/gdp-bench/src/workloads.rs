@@ -261,6 +261,72 @@ pub fn streaming_revision(
     spec.commit_txn().expect("transaction open")
 }
 
+/// T15: recursive reachability over a gdp-datagen river network.
+///
+/// Traces `count` rivers over a deterministic 192×192 terrain and asserts
+/// the deduplicated downhill steps as `edge(c<i>_<j>, c<i'>_<j'>)` facts —
+/// acyclic by construction, since every river step strictly descends — then
+/// defines `reach/2` recursively. `left_recursive` picks the formulation:
+/// `reach(X,Y) :- reach(X,Z), edge(Z,Y)` terminates only under SLG, while
+/// the right-recursive `reach(X,Y) :- edge(X,Z), reach(Z,Y)` terminates
+/// under plain SLD too, at repeated-subgoal cost. Returns the edge list so
+/// callers can build an independent reference closure.
+///
+/// Specification-level queries route through the `visible`/`h` meta
+/// layer, so the recursion is only visible to the tabling engine at the
+/// meta-predicate level: callers wanting SLG must enable
+/// [`Specification::set_table_all`], not just nominate `reach/2`.
+pub fn river_reachability(
+    count: usize,
+    left_recursive: bool,
+) -> (Specification, Vec<(String, String)>) {
+    let terrain = gdp_datagen::Terrain::generate(gdp_datagen::TerrainConfig {
+        width: 192,
+        height: 192,
+        ..gdp_datagen::TerrainConfig::default()
+    });
+    let cell = |(i, j): (u32, u32)| format!("c{i}_{j}");
+    let mut edges: Vec<(String, String)> = Vec::new();
+    for river in terrain.rivers(count) {
+        for w in river.windows(2) {
+            edges.push((cell(w[0]), cell(w[1])));
+        }
+        // Braid the channel: every step also bridges two cells ahead.
+        // Still acyclic (strictly downhill), but now a pair of cells is
+        // joined by a path count that grows like a Fibonacci sequence in
+        // the channel length — the regime where SLD re-derives each
+        // `reach` subgoal once per path while SLG derives it once, full
+        // stop.
+        for i in 0..river.len().saturating_sub(2) {
+            edges.push((cell(river[i]), cell(river[i + 2])));
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    let mut spec = Specification::new();
+    for (a, b) in &edges {
+        spec.assert_fact(
+            FactPat::new("edge")
+                .arg(Pat::Atom(a.clone()))
+                .arg(Pat::Atom(b.clone())),
+        )
+        .expect("ground fact");
+    }
+    let rules = if left_recursive {
+        r#"
+        reach(X, Y) :- reach(X, Z), edge(Z, Y).
+        reach(X, Y) :- edge(X, Y).
+        "#
+    } else {
+        r#"
+        reach(X, Y) :- edge(X, Z), reach(Z, Y).
+        reach(X, Y) :- edge(X, Y).
+        "#
+    };
+    gdp::lang::load(&mut spec, rules).expect("reach rules");
+    (spec, edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -356,6 +422,44 @@ mod tests {
             let report = spec.audit_incremental(&delta, 2).unwrap();
             assert_eq!(report.violations.len(), 3, "revision {seq} changed answers");
             assert_eq!(report.violations, spec.check_consistency().unwrap());
+        }
+    }
+
+    #[test]
+    fn river_reachability_closures_agree() {
+        use std::collections::BTreeSet;
+        for left in [false, true] {
+            let (mut spec, edges) = river_reachability(2, left);
+            assert!(!edges.is_empty());
+            spec.set_budget(5_000_000, 512);
+            spec.enable_tabling(true);
+            spec.set_table_all(true);
+            let mut reference: BTreeSet<(String, String)> = BTreeSet::new();
+            let nodes: BTreeSet<&String> = edges.iter().flat_map(|(a, b)| [a, b]).collect();
+            for start in nodes {
+                let mut frontier = vec![start];
+                let mut seen: BTreeSet<&String> = BTreeSet::new();
+                while let Some(node) = frontier.pop() {
+                    for (a, b) in &edges {
+                        if a == node && seen.insert(b) {
+                            frontier.push(b);
+                        }
+                    }
+                }
+                reference.extend(seen.into_iter().map(|end| (start.clone(), end.clone())));
+            }
+            let engine: BTreeSet<(String, String)> = spec
+                .query(FactPat::new("reach").arg("X").arg("Y"))
+                .expect("reach query")
+                .iter()
+                .map(|ans| {
+                    (
+                        ans.get("X").expect("X bound").to_string(),
+                        ans.get("Y").expect("Y bound").to_string(),
+                    )
+                })
+                .collect();
+            assert_eq!(engine, reference, "left={left}");
         }
     }
 

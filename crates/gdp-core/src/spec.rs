@@ -12,9 +12,9 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use gdp_engine::{
-    list_from_iter, list_to_vec, Budget, CancelToken, ChaosConfig, Delta, EngineError, FxHashMap,
-    FxHashSet, GroupId, KnowledgeBase, ObserverSink, Port, PredKey, Profiler, RingTrace, Solver,
-    SolverStats, Term, TraceEvent, TraceSink,
+    list_from_iter, list_to_vec, Budget, CancelToken, ChaosConfig, CyclePolicy, Delta, EngineError,
+    FxHashMap, FxHashSet, GroupId, KnowledgeBase, ObserverSink, Port, PredKey, Profiler, RingTrace,
+    Solver, SolverStats, Term, TraceEvent, TraceSink,
 };
 
 use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
@@ -965,6 +965,21 @@ impl Specification {
     /// (effective only while tabling is enabled).
     pub fn set_table_all(&mut self, on: bool) {
         self.kb.set_table_all(on);
+    }
+
+    /// Set the KB-wide cycle policy for recursive tabled subgoals:
+    /// [`CyclePolicy::Inductive`] (the default) computes the least
+    /// fixpoint — a subgoal that can only be derived through itself
+    /// fails — while [`CyclePolicy::Coinductive`] lets a recursive
+    /// re-entry succeed (greatest-fixpoint reading). Changing the
+    /// policy invalidates previously cached answer sets.
+    pub fn set_cycle_policy(&mut self, policy: CyclePolicy) {
+        self.kb.set_cycle_policy(policy);
+    }
+
+    /// The current KB-wide cycle policy for recursive tabled subgoals.
+    pub fn cycle_policy(&self) -> CyclePolicy {
+        self.kb.cycle_policy()
     }
 
     /// Adjust the per-query resource budget.

@@ -94,6 +94,16 @@ pub(crate) fn checked_int(v: f64, op: &'static str) -> EngineResult<Num> {
     }
 }
 
+/// Convert a collection length to an integer term, rejecting lengths that
+/// don't fit in `i64` instead of letting `as` wrap them negative (only
+/// reachable on 64-bit-usize platforms with absurd collections, but the
+/// solver's cardinality results must never be silently wrong).
+pub(crate) fn checked_len(n: usize, op: &'static str) -> EngineResult<Term> {
+    i64::try_from(n)
+        .map(Term::Int)
+        .map_err(|_| EngineError::IntOverflow { op })
+}
+
 macro_rules! int_checked {
     ($op:literal, $a:expr, $b:expr, $method:ident) => {
         $a.$method($b)

@@ -275,6 +275,121 @@ impl DepGraph {
             }
         }
     }
+
+    /// The joint dependency closure of several calls, all at
+    /// [`ArgSpec::Any`] — used for predicates that share a recursive
+    /// strongly-connected component: their table entries must invalidate
+    /// together, so they share one snapshot built over the whole
+    /// component's reachability.
+    pub fn closure_of_all(&self, keys: &[PredKey]) -> Closure {
+        let mut out = Closure::default();
+        let seeds = keys.iter().map(|k| (*k, ArgSpec::Any, false)).collect();
+        self.expand(seeds, &mut out);
+        out
+    }
+
+    /// The *recursive* strongly-connected components of the predicate call
+    /// graph: every component with two or more mutually-reaching
+    /// predicates, plus singletons that call themselves. Components and
+    /// their members are sorted by name/arity, so the partition is
+    /// deterministic. Predicates not listed are not recursive at all.
+    ///
+    /// Specializations are ignored here — cycle membership at predicate
+    /// granularity is what completion scheduling and shared invalidation
+    /// need, and it over-approximates the specialized graph soundly.
+    pub fn sccs(&self) -> Vec<Vec<PredKey>> {
+        // Deterministic adjacency: nodes and edge lists sorted.
+        let mut nodes: Vec<PredKey> = self.clauses.keys().copied().collect();
+        nodes.sort_by_key(|k| (k.name.as_str(), k.arity));
+        let mut self_loop: FxHashSet<PredKey> = FxHashSet::default();
+        let adjacent = |key: PredKey| -> Vec<PredKey> {
+            let Some(infos) = self.clauses.get(&key) else {
+                return Vec::new();
+            };
+            let mut out: Vec<PredKey> = infos
+                .iter()
+                .flat_map(|info| info.calls.iter().map(|e| e.key))
+                .filter(|k| self.clauses.contains_key(k))
+                .collect();
+            out.sort_by_key(|k| (k.name.as_str(), k.arity));
+            out.dedup();
+            out
+        };
+        // Iterative Tarjan: the explicit frame stack holds (node, edges,
+        // next-edge cursor); low links fold into the parent when a frame
+        // retires.
+        let mut index: FxHashMap<PredKey, usize> = FxHashMap::default();
+        let mut low: FxHashMap<PredKey, usize> = FxHashMap::default();
+        let mut on_stack: FxHashSet<PredKey> = FxHashSet::default();
+        let mut stack: Vec<PredKey> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<PredKey>> = Vec::new();
+        for &root in &nodes {
+            if index.contains_key(&root) {
+                continue;
+            }
+            let mut frames: Vec<(PredKey, Vec<PredKey>, usize)> = vec![(root, adjacent(root), 0)];
+            index.insert(root, next_index);
+            low.insert(root, next_index);
+            next_index += 1;
+            stack.push(root);
+            on_stack.insert(root);
+            while let Some((v, edges, cursor)) = frames.last_mut() {
+                let v = *v;
+                if let Some(&w) = edges.get(*cursor) {
+                    *cursor += 1;
+                    if w == v {
+                        self_loop.insert(v);
+                    }
+                    if let Some(&wi) = index.get(&w) {
+                        if on_stack.contains(&w) {
+                            let lv = low.get_mut(&v).expect("visited");
+                            *lv = (*lv).min(wi);
+                        }
+                    } else {
+                        index.insert(w, next_index);
+                        low.insert(w, next_index);
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack.insert(w);
+                        frames.push((w, adjacent(w), 0));
+                    }
+                    continue;
+                }
+                frames.pop();
+                let vlow = low[&v];
+                if let Some((parent, _, _)) = frames.last() {
+                    let pl = low.get_mut(parent).expect("visited");
+                    *pl = (*pl).min(vlow);
+                }
+                if vlow == index[&v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("scc root still on stack");
+                        on_stack.remove(&w);
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if component.len() > 1 || self_loop.contains(&v) {
+                        component.sort_by_key(|k| (k.name.as_str(), k.arity));
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components.sort_by_key(|c| (c[0].name.as_str(), c[0].arity));
+        components
+    }
+
+    /// Does `key` participate in a recursive cycle (self-recursion or
+    /// mutual recursion through other predicates)? Derived from
+    /// [`DepGraph::sccs`]; callers doing repeated lookups should compute
+    /// the partition once instead.
+    pub fn in_cycle(&self, key: PredKey) -> bool {
+        self.sccs().iter().any(|c| c.contains(&key))
+    }
 }
 
 /// Analyze one clause: head first-argument shape plus body call sites.
@@ -532,5 +647,66 @@ mod tests {
         assert!(cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m1")))]));
         assert!(cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m2")))]));
         assert!(!cl.depends_on(&[(pk("h", 2), ArgSpec::Atom(Sym::new("m3")))]));
+    }
+
+    #[test]
+    fn sccs_find_self_and_mutual_recursion() {
+        let mut kb = KnowledgeBase::new();
+        let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+        // reach(X,Y) :- reach(X,Z), edge(Z,Y).   (self-recursive)
+        kb.assert_clause(
+            Term::pred("reach", vec![x.clone(), y.clone()]),
+            Term::and(
+                Term::pred("reach", vec![x.clone(), z.clone()]),
+                Term::pred("edge", vec![z.clone(), y.clone()]),
+            ),
+        );
+        // even(X) :- odd(X).   odd(X) :- even(X).   (mutual)
+        kb.assert_clause(
+            Term::pred("even", vec![x.clone()]),
+            Term::pred("odd", vec![x.clone()]),
+        );
+        kb.assert_clause(
+            Term::pred("odd", vec![x.clone()]),
+            Term::pred("even", vec![x.clone()]),
+        );
+        // linear(X) :- edge(X, X).   (calls, but no cycle)
+        kb.assert_clause(
+            Term::pred("linear", vec![x.clone()]),
+            Term::pred("edge", vec![x.clone(), x]),
+        );
+        kb.assert_fact(Term::pred("edge", vec![Term::atom("a"), Term::atom("b")]));
+        let g = DepGraph::build(&kb);
+        let sccs = g.sccs();
+        assert_eq!(
+            sccs,
+            vec![vec![pk("even", 1), pk("odd", 1)], vec![pk("reach", 2)],]
+        );
+        assert!(g.in_cycle(pk("reach", 2)));
+        assert!(g.in_cycle(pk("even", 1)));
+        assert!(!g.in_cycle(pk("linear", 1)));
+        assert!(!g.in_cycle(pk("edge", 2)));
+    }
+
+    #[test]
+    fn scc_members_share_one_validity_snapshot() {
+        let mut kb = KnowledgeBase::new();
+        let x = Term::var(0);
+        kb.assert_clause(
+            Term::pred("even", vec![x.clone()]),
+            Term::pred("odd", vec![x.clone()]),
+        );
+        kb.assert_clause(
+            Term::pred("odd", vec![x.clone()]),
+            Term::pred("even", vec![x]),
+        );
+        let even = kb.dep_snapshot(pk("even", 1));
+        let odd = kb.dep_snapshot(pk("odd", 1));
+        assert!(
+            Arc::ptr_eq(&even, &odd),
+            "mutually recursive predicates must share a snapshot"
+        );
+        assert!(kb.is_recursive_pred(pk("even", 1)));
+        assert!(!kb.is_recursive_pred(pk("missing", 1)));
     }
 }

@@ -37,7 +37,7 @@ use crate::deps::{ArgSpec, DepGraph};
 use crate::error::{EngineError, EngineResult};
 use crate::hash::{FxHashMap, FxHashSet};
 use crate::symbol::{symbols, Sym};
-use crate::table::{AnswerTable, TableValidity};
+use crate::table::{AnswerTable, CyclePolicy, TableValidity};
 use crate::term::{Term, Var, F64};
 use crate::unify::BindStore;
 
@@ -1076,11 +1076,19 @@ pub type NativeOutcome = EngineResult<bool>;
 /// [`BindStore::unify`]; succeeds at most once.
 pub type NativeFn = Arc<dyn Fn(&mut BindStore, &[Term]) -> NativeOutcome + Send + Sync>;
 
+/// Recursive strongly-connected components of the call graph plus a
+/// membership index into them.
+type SccPartition = (Arc<Vec<Vec<PredKey>>>, FxHashMap<PredKey, usize>);
+
 /// Lazily built dependency information, cleared on every epoch bump.
 #[derive(Default)]
 struct DepCache {
     graph: Option<Arc<DepGraph>>,
     snapshots: FxHashMap<PredKey, Arc<TableValidity>>,
+    /// Members of one recursive component invalidate together (their
+    /// answer sets were computed jointly), so they share one validity
+    /// snapshot.
+    sccs: Option<SccPartition>,
 }
 
 /// The clause store. See the module docs.
@@ -1105,6 +1113,13 @@ pub struct KnowledgeBase {
     table_all: bool,
     /// Predicates opted into tabling.
     tabled: FxHashSet<PredKey>,
+    /// How SLG evaluation treats a recursive cycle: inductive (least
+    /// fixpoint — a cycle with no independent base case fails) or
+    /// coinductive (a cycle succeeds as its own evidence).
+    cycle_policy: CyclePolicy,
+    /// Predicates individually marked coinductive, regardless of the
+    /// KB-wide default policy.
+    coinductive: FxHashSet<PredKey>,
     /// The memoized answer cache shared by all solvers over this KB.
     table: AnswerTable,
     /// Per-predicate generation counters: bumped whenever that predicate's
@@ -1160,6 +1175,8 @@ impl KnowledgeBase {
             tabling_enabled: false,
             table_all: false,
             tabled: FxHashSet::default(),
+            cycle_policy: CyclePolicy::Inductive,
+            coinductive: FxHashSet::default(),
             table: AnswerTable::new(),
             generations: FxHashMap::default(),
             structural_gen: 0,
@@ -1178,6 +1195,7 @@ impl KnowledgeBase {
         let cache = self.dep_cache.get_mut();
         cache.graph = None;
         cache.snapshots.clear();
+        cache.sccs = None;
     }
 
     /// Record a change confined to one predicate's clauses (or native):
@@ -1257,6 +1275,40 @@ impl KnowledgeBase {
     /// The shared answer table (diagnostics and the solver).
     pub fn table(&self) -> &AnswerTable {
         &self.table
+    }
+
+    /// Set the KB-wide default cycle policy for SLG evaluation. Changing
+    /// it changes what recursive programs derive, so cached answer sets
+    /// must not survive.
+    pub fn set_cycle_policy(&mut self, policy: CyclePolicy) {
+        if self.cycle_policy == policy {
+            return;
+        }
+        self.cycle_policy = policy;
+        self.bump_structural();
+    }
+
+    /// The KB-wide default cycle policy.
+    pub fn cycle_policy(&self) -> CyclePolicy {
+        self.cycle_policy
+    }
+
+    /// Mark one predicate coinductive: a recursive re-entry on its own
+    /// call pattern succeeds (greatest-fixpoint reading) instead of
+    /// failing, whatever the KB-wide policy says.
+    pub fn mark_coinductive(&mut self, key: PredKey) {
+        if self.coinductive.insert(key) {
+            self.bump_structural();
+        }
+    }
+
+    /// The cycle policy in force for calls to `key`.
+    pub fn cycle_policy_of(&self, key: PredKey) -> CyclePolicy {
+        if self.coinductive.contains(&key) {
+            CyclePolicy::Coinductive
+        } else {
+            self.cycle_policy
+        }
     }
 
     /// Enable/disable argument indexing. With indexing off, every call
@@ -1675,7 +1727,15 @@ impl KnowledgeBase {
             return Arc::clone(snap);
         }
         let graph = self.dep_graph();
-        let closure = graph.closure(key, ArgSpec::Any);
+        // Predicates in one recursive strongly-connected component were
+        // saturated jointly, so their snapshots are built over the whole
+        // component's reachability and shared — one closure walk, and a
+        // mutation anywhere in the component invalidates every member.
+        let members = self.scc_members(key);
+        let closure = match &members {
+            Some(component) => graph.closure_of_all(component),
+            None => graph.closure(key, ArgSpec::Any),
+        };
         let snap = if closure.dynamic() {
             Arc::new(TableValidity::epoch_only(self.epoch))
         } else {
@@ -1689,11 +1749,51 @@ impl KnowledgeBase {
                 deps: Arc::new(deps),
             })
         };
-        self.dep_cache
-            .lock()
-            .snapshots
-            .insert(key, Arc::clone(&snap));
+        let mut cache = self.dep_cache.lock();
+        cache.snapshots.insert(key, Arc::clone(&snap));
+        if let Some(component) = members {
+            for member in component {
+                cache.snapshots.insert(member, Arc::clone(&snap));
+            }
+        }
         snap
+    }
+
+    /// The recursive strongly-connected components of the current call
+    /// graph (lazily computed from the dependency graph, cached until the
+    /// next mutation). Predicates absent from every component are not
+    /// recursive.
+    pub fn recursive_sccs(&self) -> Arc<Vec<Vec<PredKey>>> {
+        if let Some((components, _)) = &self.dep_cache.lock().sccs {
+            return Arc::clone(components);
+        }
+        let components = Arc::new(self.dep_graph().sccs());
+        let mut membership = FxHashMap::default();
+        for (i, component) in components.iter().enumerate() {
+            for &member in component {
+                membership.insert(member, i);
+            }
+        }
+        self.dep_cache.lock().sccs = Some((Arc::clone(&components), membership));
+        components
+    }
+
+    /// The members of `key`'s recursive component, if it has one.
+    fn scc_members(&self, key: PredKey) -> Option<Vec<PredKey>> {
+        let components = self.recursive_sccs();
+        let cache = self.dep_cache.lock();
+        let (_, membership) = cache.sccs.as_ref().expect("recursive_sccs fills the cache");
+        membership.get(&key).map(|&i| components[i].clone())
+    }
+
+    /// Does `key` participate in a recursive cycle (directly or mutually)?
+    pub fn is_recursive_pred(&self, key: PredKey) -> bool {
+        self.recursive_sccs();
+        let cache = self.dep_cache.lock();
+        cache
+            .sccs
+            .as_ref()
+            .is_some_and(|(_, membership)| membership.contains_key(&key))
     }
 
     /// Register a native predicate. Natives shadow clauses: if a predicate

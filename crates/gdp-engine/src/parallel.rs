@@ -237,8 +237,9 @@ impl<'kb> ParallelSolver<'kb> {
     /// [`EngineError::GoalPanicked`] result for *that goal only*. This is
     /// sound because everything a panic can interrupt is unwind-safe by
     /// construction — `DepthGuard` restores the depth counter in `Drop`,
-    /// `RefCell` borrows release on unwind, the per-machine tabling
-    /// in-progress set dies with its machine, and the shared answer table
+    /// `RefCell` borrows release on unwind, the per-machine SLG answer
+    /// forest (with any suspended subgoal frames) dies with its machine,
+    /// and the shared answer table
     /// only ever stores *completed* answer sets (its lock is never held
     /// across an emission site, so a panic cannot poison a half-written
     /// entry). The worker then continues with the same solver and sink.

@@ -14,13 +14,13 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 use std::sync::Arc;
 
+use crate::arith;
 use crate::budget::Budget;
 use crate::builtins::{self, BuiltinOutcome};
 use crate::error::{EngineError, EngineResult};
-use crate::hash::FxHashSet;
 use crate::kb::{BoundSet, Candidates, KnowledgeBase, NumRange, PredKey};
 use crate::symbol::{symbols, Sym};
-use crate::table::{self, CachedAnswer, Lookup};
+use crate::table::{self, CachedAnswer, CyclePolicy, Forest, Lookup};
 use crate::term::{Term, Var};
 use crate::trace::{NullSink, Port, TraceEvent, TraceSink};
 use crate::unify::{resolve_deep, BindStore, TrailMark};
@@ -77,6 +77,13 @@ pub struct SolverStats {
     pub table_inserts: u64,
     /// Stale (out-of-epoch) entries this solver's lookups dropped.
     pub table_invalidations: u64,
+    /// Tabled calls that fell back to plain SLD resolution instead of
+    /// using the table: a re-entry observed from a negation/aggregation
+    /// sub-machine (where a partial answer set must not leak), or a call
+    /// whose SLG evaluation the depth budget refused. Non-zero values are
+    /// a *degradation signal* — the call still answers correctly, but
+    /// without memoization.
+    pub table_fallbacks: u64,
 }
 
 impl SolverStats {
@@ -89,6 +96,7 @@ impl SolverStats {
         self.table_misses += other.table_misses;
         self.table_inserts += other.table_inserts;
         self.table_invalidations += other.table_invalidations;
+        self.table_fallbacks += other.table_fallbacks;
     }
 }
 
@@ -102,6 +110,7 @@ pub(crate) struct Counters {
     table_misses: Cell<u64>,
     table_inserts: Cell<u64>,
     table_invalidations: Cell<u64>,
+    table_fallbacks: Cell<u64>,
 }
 
 /// Entry point for running queries against a [`KnowledgeBase`].
@@ -151,6 +160,7 @@ impl<'kb, S: TraceSink> Solver<'kb, S> {
             table_misses: self.counters.table_misses.get(),
             table_inserts: self.counters.table_inserts.get(),
             table_invalidations: self.counters.table_invalidations.get(),
+            table_fallbacks: self.counters.table_fallbacks.get(),
         }
     }
 
@@ -330,6 +340,19 @@ enum Alts<'kb> {
         answers: Arc<Vec<CachedAnswer>>,
         next: usize,
     },
+    /// A recursive consumer over the *live* answer list of an in-flight
+    /// subgoal frame in the answer forest. Unlike [`Alts::Answers`] the
+    /// list can grow while this choice point is pending: answers a
+    /// producer derives after the cursor was pushed are picked up on
+    /// redo, which is how answers propagate within a saturation pass.
+    Live {
+        goal: Term,
+        /// Forest stack position of the producing frame. Stable for the
+        /// lifetime of the choice point: a region at or below the frame
+        /// cannot complete while a consumer machine above it is running.
+        frame: usize,
+        next: usize,
+    },
 }
 
 struct ChoicePoint<'kb> {
@@ -351,16 +374,42 @@ pub(crate) struct Machine<'kb, S: TraceSink = NullSink> {
     /// Trace sink shared with sub-machines; every use is statically
     /// guarded by `S::ENABLED`.
     sink: Rc<RefCell<S>>,
-    /// Call patterns currently being enumerated for the answer table; a
-    /// recursive tabled call to one of these falls back to plain SLD
-    /// resolution rather than consulting an incomplete table. Shared with
-    /// every sub-machine, like the budget.
-    in_progress: Rc<RefCell<FxHashSet<Term>>>,
+    /// The SLG answer forest: in-flight tabled subgoals with their
+    /// growing answer sets. Shared with every sub-machine, like the
+    /// budget, so a recursive call finds the frame its ancestor pushed.
+    forest: Rc<RefCell<Forest>>,
+    /// What role this machine plays in SLG evaluation — it decides how a
+    /// call into an in-flight (active) table pattern is resolved.
+    slg: SlgCtx,
     /// False until the first `next_solution` call; subsequent calls must
     /// backtrack before resuming the main loop.
     started: bool,
     /// Set when the machine has exhausted all alternatives.
     exhausted: bool,
+}
+
+/// The SLG role of one [`Machine`].
+#[derive(Clone, Copy, Debug)]
+enum SlgCtx {
+    /// The top-level query machine. Every tabled evaluation it starts
+    /// completes (and publishes) before its continuation resumes, so it
+    /// never observes an active pattern of its own making.
+    Outer,
+    /// A producer pass enumerating the pattern of the forest frame at
+    /// stack position `pos`. The *root* dispatch — the first call on the
+    /// frame's own pattern — resolves against the program clauses (that
+    /// is what a producer is); after `root_done`, calls into active
+    /// patterns consume live answers (or succeed, under a coinductive
+    /// policy).
+    Pass { pos: usize, root_done: bool },
+    /// An auxiliary sub-machine (`not`/`absent`/`forall`/`once`/
+    /// aggregation): its answers feed non-monotone constructs, so it must
+    /// never observe a *partial* answer set — calls into active patterns
+    /// fall back to plain SLD, exactly like the pre-SLG engine, and are
+    /// counted in [`SolverStats::table_fallbacks`]. `enclosing` remembers
+    /// the nearest producer frame so low-links of subgoals evaluated from
+    /// here still propagate to the region that must wait for them.
+    Aux { enclosing: Option<usize> },
 }
 
 impl<'kb, S: TraceSink> Machine<'kb, S> {
@@ -384,10 +433,22 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             budget,
             counters,
             sink,
-            in_progress: Rc::new(RefCell::new(FxHashSet::default())),
+            forest: Rc::new(RefCell::new(Forest::new())),
+            slg: SlgCtx::Outer,
             started: false,
             exhausted: false,
         })
+    }
+
+    /// The nearest enclosing producer frame, if any — the frame whose
+    /// low link must absorb the links of subgoals evaluated from this
+    /// machine.
+    fn enclosing_frame(&self) -> Option<usize> {
+        match self.slg {
+            SlgCtx::Outer => None,
+            SlgCtx::Pass { pos, .. } => Some(pos),
+            SlgCtx::Aux { enclosing } => enclosing,
+        }
     }
 
     /// Spawn a sub-machine sharing this machine's budget, over a goal that
@@ -414,10 +475,42 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             budget: self.budget.clone(),
             counters: Rc::clone(&self.counters),
             sink: Rc::clone(&self.sink),
-            in_progress: Rc::clone(&self.in_progress),
+            forest: Rc::clone(&self.forest),
+            slg: SlgCtx::Aux {
+                enclosing: self.enclosing_frame(),
+            },
             started: false,
             exhausted: false,
         })
+    }
+
+    /// Spawn the producer machine for one saturation pass over the frame
+    /// at `pos`. The goal is the frame's canonical pattern, so the store
+    /// is fresh (pattern variables are numbered from zero) — unlike
+    /// [`Machine::sub_machine`], nothing from the caller's store is in
+    /// scope.
+    fn pass_machine(&self, goal: Term, pos: usize) -> Machine<'kb, S> {
+        let mut store = BindStore::new();
+        if let Some(max) = goal.max_var() {
+            store.ensure(max);
+        }
+        Machine {
+            kb: self.kb,
+            store,
+            cont: Cont::push(&Rc::new(Cont::Done), goal),
+            cps: Vec::new(),
+            ranges: Rc::new(RangeCtx::Empty),
+            budget: self.budget.clone(),
+            counters: Rc::clone(&self.counters),
+            sink: Rc::clone(&self.sink),
+            forest: Rc::clone(&self.forest),
+            slg: SlgCtx::Pass {
+                pos,
+                root_done: false,
+            },
+            started: false,
+            exhausted: false,
+        }
     }
 
     /// Report a port-model event. Call sites guard on `S::ENABLED` so the
@@ -557,20 +650,39 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         self.call_user(key, goal)
     }
 
-    /// Resolve a call to a tabled predicate via the KB's answer table:
-    /// replay a completed answer set on a hit, or enumerate the complete
-    /// set in a sub-machine, record it, and replay it on a miss. Falls
-    /// back to plain SLD resolution when the same call pattern is already
-    /// being enumerated (recursion) or when entering a sub-machine would
-    /// exceed the depth budget (a plain call would not).
+    /// Resolve a call to a tabled predicate.
+    ///
+    /// * Completed pattern (persistent table hit): replay the answers.
+    /// * Active pattern (recursive re-entry while the pattern is mid-
+    ///   evaluation on the forest stack): inside a producer pass, record
+    ///   the cycle and consume the *live* answer list (or succeed, for a
+    ///   coinductive predicate); inside an auxiliary machine, fall back
+    ///   to plain SLD — a negation must never observe a partial table.
+    /// * New pattern: run a full SLG evaluation ([`Self::evaluate_subgoal`]),
+    ///   then replay the completed answers. When the evaluation cannot
+    ///   complete because the subgoal joined an enclosing recursive
+    ///   region, the caller consumes live answers like any re-entry.
+    ///
+    /// The only remaining degradations to plain SLD — auxiliary-context
+    /// re-entry and a depth-budget refusal — are counted in
+    /// [`SolverStats::table_fallbacks`] and traced as
+    /// [`Port::TableFallback`]; nothing degrades silently any more.
     fn call_tabled(&mut self, key: PredKey, goal: Term) -> EngineResult<bool> {
         let resolved = resolve_deep(&self.store, &goal);
         let (pattern, _) = table::canonicalize(&resolved);
-        if self.in_progress.borrow().contains(&pattern) {
-            // Recursive call into a pattern mid-enumeration: the table is
-            // incomplete, so resolve it the ordinary way (counted as
-            // neither hit nor miss).
-            return self.call_user(key, goal);
+        let active = self.forest.borrow().active_pos(&pattern);
+        if let Some(target) = active {
+            if let SlgCtx::Pass { pos, root_done } = &mut self.slg {
+                if target == *pos && !*root_done {
+                    // The producer's root dispatch of its own pattern:
+                    // resolve against the program clauses — that is the
+                    // production. Only *inner* occurrences go through the
+                    // answer lists.
+                    *root_done = true;
+                    return self.call_user(key, goal);
+                }
+            }
+            return self.call_active(key, goal, target);
         }
         let validity = self.kb.dep_snapshot(key);
         match self.kb.table().lookup(&pattern, &validity) {
@@ -596,43 +708,249 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                     }
                 }
                 let Ok(_guard) = self.budget.enter() else {
-                    // The enumeration sub-machine would blow the depth
-                    // limit where a plain call would not; stay equivalent
-                    // to the untabled solver.
-                    return self.call_user(key, goal);
+                    // The evaluation machinery would blow the depth limit
+                    // where a plain call would not; stay equivalent to the
+                    // untabled solver (and make the degradation visible).
+                    return self.table_fallback(key, goal);
                 };
-                self.in_progress.borrow_mut().insert(pattern.clone());
-                let result = self.enumerate_answers(&resolved);
-                self.in_progress.borrow_mut().remove(&pattern);
-                let answers = Arc::new(result?);
-                self.kb
-                    .table()
-                    .insert(pattern, (*validity).clone(), Arc::clone(&answers));
-                self.counters
-                    .table_inserts
-                    .set(self.counters.table_inserts.get() + 1);
-                if S::ENABLED {
-                    self.emit(Port::TableInsert, key, resolved.clone());
+                match self.evaluate_subgoal(key, pattern.clone(), validity)? {
+                    Some(answers) => self.replay(goal, answers),
+                    None => {
+                        // The subgoal joined an enclosing recursive region
+                        // and stays active until that region's leader
+                        // completes; resolve this call like a re-entry.
+                        let target = self
+                            .forest
+                            .borrow()
+                            .active_pos(&pattern)
+                            .expect("uncompleted subgoal stays on the forest stack");
+                        self.call_active(key, goal, target)
+                    }
                 }
-                self.replay(goal, answers)
             }
         }
     }
 
-    /// Exhaustively enumerate the solutions of `resolved` in a sub-machine
-    /// and return them as canonicalized cached answers (duplicates and
-    /// order preserved — both are observable through `count` and solution
-    /// streams). A budget error aborts without recording, so only
-    /// completed enumerations ever reach the table.
-    fn enumerate_answers(&mut self, resolved: &Term) -> EngineResult<Vec<CachedAnswer>> {
-        let mut sub = self.sub_machine(resolved.clone())?;
-        let mut answers = Vec::new();
-        while sub.next_solution()? {
-            let inst = resolve_deep(&sub.store, resolved);
-            let (term, n_vars) = table::canonicalize(&inst);
-            answers.push(CachedAnswer { term, n_vars });
+    /// Resolve a tabled call whose pattern is active (mid-evaluation) at
+    /// forest position `target`.
+    fn call_active(&mut self, key: PredKey, goal: Term, target: usize) -> EngineResult<bool> {
+        if let SlgCtx::Pass { pos: my_pos, .. } = self.slg {
+            self.forest.borrow_mut().record_link(my_pos, target);
+            if self.kb.cycle_policy_of(key) == CyclePolicy::Coinductive {
+                // Coinductive cycle: the re-entered goal is its own
+                // evidence (greatest-fixpoint reading) and succeeds with
+                // no additional bindings — the goal is an instance of the
+                // very pattern being evaluated.
+                return Ok(true);
+            }
+            return self.consume_live(goal, target);
         }
-        Ok(answers)
+        // Auxiliary machines (negation, forall, aggregation) and the
+        // outer machine must not read a partial answer set: plain SLD,
+        // counted and traced.
+        self.table_fallback(key, goal)
+    }
+
+    /// The observable SLD fallback: count it, trace it, resolve the call
+    /// against the clauses directly.
+    fn table_fallback(&mut self, key: PredKey, goal: Term) -> EngineResult<bool> {
+        self.counters
+            .table_fallbacks
+            .set(self.counters.table_fallbacks.get() + 1);
+        self.kb.table().note_fallback();
+        if S::ENABLED {
+            self.emit(Port::TableFallback, key, goal.clone());
+        }
+        self.call_user(key, goal)
+    }
+
+    /// Run a full SLG evaluation of a new subgoal `pattern`: push a frame,
+    /// saturate its strongly-connected region to a fixpoint, and — if this
+    /// frame turns out to be the region's leader — publish every member's
+    /// completed answer set to the persistent table. Returns the completed
+    /// answers for `pattern`, or `None` when the subgoal linked into an
+    /// enclosing region and must stay active until *that* region's leader
+    /// completes.
+    fn evaluate_subgoal(
+        &mut self,
+        key: PredKey,
+        pattern: Term,
+        validity: Arc<crate::table::TableValidity>,
+    ) -> EngineResult<Option<Arc<Vec<CachedAnswer>>>> {
+        let pos = self
+            .forest
+            .borrow_mut()
+            .push(key, pattern, Arc::clone(&validity));
+        if let Err(e) = self.saturate(pos) {
+            // Only completed evaluations may publish; drop the partial
+            // frames so a later query starts clean.
+            self.forest.borrow_mut().unwind_to(pos);
+            return Err(e);
+        }
+        let link = self.forest.borrow().link(pos);
+        if link < pos {
+            // Not the leader: an enclosing frame is part of this region
+            // and must absorb the low link before its own completion
+            // check.
+            if let Some(parent) = self.enclosing_frame() {
+                self.forest.borrow_mut().propagate(parent, link);
+            }
+            return Ok(None);
+        }
+        // Leader: the whole region [pos..] is saturated. Publish each
+        // member against the validity snapshot taken when its evaluation
+        // began.
+        let frames = self.forest.borrow_mut().complete_region(pos);
+        let mut own = None;
+        for (i, frame) in frames.into_iter().enumerate() {
+            let answers = Arc::new(frame.answers);
+            self.kb.table().insert(
+                frame.pattern.clone(),
+                (*frame.validity).clone(),
+                Arc::clone(&answers),
+            );
+            self.counters
+                .table_inserts
+                .set(self.counters.table_inserts.get() + 1);
+            if S::ENABLED {
+                self.emit(Port::Complete, frame.key, frame.pattern.clone());
+                self.emit(Port::TableInsert, frame.key, frame.pattern);
+            }
+            if i == 0 {
+                own = Some(answers);
+            }
+        }
+        Ok(own)
+    }
+
+    /// Saturate the region rooted at frame `pos`: run producer passes over
+    /// `pos` and every frame stacked above it until a full round derives
+    /// no new answer. A non-recursive subgoal (no re-entry was observed
+    /// and no incomplete child remains) is complete after its single pass
+    /// — that pass is byte-for-byte the old enumerating sub-machine, so
+    /// non-recursive tabling behaves exactly as before.
+    fn saturate(&mut self, pos: usize) -> EngineResult<()> {
+        let mut round = 0u64;
+        loop {
+            let stamp_before = self.forest.borrow().stamp();
+            let mut i = pos;
+            loop {
+                let len = self.forest.borrow().len();
+                if i >= len {
+                    break;
+                }
+                if S::ENABLED && round > 0 {
+                    // Re-driving a producer over grown answer lists is the
+                    // scheduler-level resume of its suspended consumers.
+                    let (key, pattern) = {
+                        let forest = self.forest.borrow();
+                        (forest.key(i), forest.pattern(i))
+                    };
+                    self.emit(Port::Resume, key, pattern);
+                }
+                self.run_pass(i)?;
+                i += 1;
+            }
+            let forest = self.forest.borrow();
+            if !forest.is_recursive(pos) && forest.len() == pos + 1 {
+                // Plain non-recursive evaluation: one pass is complete.
+                return Ok(());
+            }
+            if forest.stamp() == stamp_before {
+                // A whole round at fixpoint: the region is saturated.
+                return Ok(());
+            }
+            drop(forest);
+            round += 1;
+        }
+    }
+
+    /// One producer pass: enumerate the frame's pattern in a fresh
+    /// machine, feeding every derived solution into the frame's answer
+    /// list (where concurrent live consumers of the same pass can already
+    /// see it). A budget error aborts the evaluation without recording.
+    fn run_pass(&mut self, pos: usize) -> EngineResult<()> {
+        let goal = self.forest.borrow().pattern(pos);
+        let mut sub = self.pass_machine(goal.clone(), pos);
+        while sub.next_solution()? {
+            let inst = resolve_deep(&sub.store, &goal);
+            let (term, n_vars) = table::canonicalize(&inst);
+            self.forest
+                .borrow_mut()
+                .insert_answer(pos, CachedAnswer { term, n_vars });
+        }
+        Ok(())
+    }
+
+    /// Consume the live answer list of the active frame at `target`, with
+    /// a choice point that re-reads the (possibly grown) list on redo.
+    fn consume_live(&mut self, goal: Term, target: usize) -> EngineResult<bool> {
+        let mut alts = Alts::Live {
+            goal,
+            frame: target,
+            next: 0,
+        };
+        let cont = Rc::clone(&self.cont);
+        let mark = self.store.mark();
+        let ranges = Rc::clone(&self.ranges);
+        if self.try_live_alts(&mut alts)? {
+            // Always keep the choice point: even a cursor at the end of
+            // the list may see more answers by the time it is resumed.
+            self.cps.push(ChoicePoint {
+                cont,
+                mark,
+                ranges,
+                alts,
+            });
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Try live answers from the cursor until one unifies with the goal.
+    /// Running dry on an incomplete table is a *suspension*: the consumer
+    /// fails for now and the saturation loop re-runs it after producers
+    /// have derived more answers.
+    fn try_live_alts(&mut self, alts: &mut Alts<'_>) -> EngineResult<bool> {
+        let Alts::Live { goal, frame, next } = alts else {
+            unreachable!("try_live_alts on non-live alts");
+        };
+        let step_key = if S::ENABLED {
+            Some(PredKey::of_term(goal).unwrap_or_else(invalid_goal_key))
+        } else {
+            None
+        };
+        loop {
+            let answer = {
+                let forest = self.forest.borrow();
+                if *next < forest.answers_len(*frame) {
+                    Some(forest.answer(*frame, *next))
+                } else {
+                    None
+                }
+            };
+            let Some(answer) = answer else {
+                if let Some(key) = step_key {
+                    self.emit(Port::Suspend, key, goal.clone());
+                }
+                return Ok(false);
+            };
+            *next += 1;
+            self.budget.step()?;
+            if let Some(key) = step_key {
+                self.attribute_step(key);
+            }
+            let instance = if answer.n_vars == 0 {
+                answer.term.clone()
+            } else {
+                let base = self.store.alloc_block(answer.n_vars);
+                answer.term.offset_vars(base)
+            };
+            if self.store.unify(goal, &instance) {
+                return Ok(true);
+            }
+        }
     }
 
     /// Unify `goal` against cached answers, with a choice point for the
@@ -758,7 +1076,8 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
             // The paper's cardinality primitive (§VII.B): the number of
             // *distinct* provable instances of the formula.
             let items = self.findall_sub(&args[0], &args[0], true)?;
-            Some(self.store.unify(&Term::Int(items.len() as i64), &args[1]))
+            let count = arith::checked_len(items.len(), "card/2")?;
+            Some(self.store.unify(&count, &args[1]))
         } else if name == symbols::aggregate() && args.len() == 4 {
             Some(self.aggregate_sub(&args[0], &args[1], &args[2], &args[3])?)
         } else if name == symbols::between() && args.len() == 3 {
@@ -1017,7 +1336,8 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         };
         let items = self.findall_sub(template, goal, false)?;
         if op == symbols::count() {
-            return Ok(self.store.unify(&Term::Int(items.len() as i64), result));
+            let count = arith::checked_len(items.len(), "aggregate/4")?;
+            return Ok(self.store.unify(&count, result));
         }
         let mut nums = Vec::with_capacity(items.len());
         for item in &items {
@@ -1247,7 +1567,7 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                     // Unification can only fail if `var` got bound by an
                     // earlier goal on this path — keep backtracking.
                 }
-                Alts::Clauses { .. } | Alts::Answers { .. } => {
+                Alts::Clauses { .. } | Alts::Answers { .. } | Alts::Live { .. } => {
                     if self.resume_stored_alts(cp)? {
                         return Ok(true);
                     }
@@ -1267,7 +1587,9 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         let mut alts = cp.alts;
         let redo: Option<(PredKey, Term)> = if S::ENABLED {
             let goal = match &alts {
-                Alts::Clauses { goal, .. } | Alts::Answers { goal, .. } => goal,
+                Alts::Clauses { goal, .. }
+                | Alts::Answers { goal, .. }
+                | Alts::Live { goal, .. } => goal,
                 _ => unreachable!("resume_stored_alts on control alts"),
             };
             let key = PredKey::of_term(goal).unwrap_or_else(invalid_goal_key);
@@ -1279,12 +1601,16 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
         let resumed = match &alts {
             Alts::Clauses { .. } => self.try_clause_alts(&mut alts)?,
             Alts::Answers { .. } => self.try_answer_alts(&mut alts)?,
+            Alts::Live { .. } => self.try_live_alts(&mut alts)?,
             _ => unreachable!("resume_stored_alts on control alts"),
         };
         if resumed {
             let more = match &alts {
                 Alts::Clauses { clauses, next, .. } => *next < clauses.len(),
                 Alts::Answers { answers, next, .. } => *next < answers.len(),
+                // A live cursor at the end of the list may still see more
+                // answers once producers re-pass: always retryable.
+                Alts::Live { .. } => true,
                 _ => unreachable!("resume_stored_alts on control alts"),
             };
             if more {

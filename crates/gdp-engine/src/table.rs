@@ -28,9 +28,17 @@
 //!   whole-epoch validity, as do entries built against a different
 //!   structural configuration (indexing/strict mode), which can change
 //!   solution *order* even where the answer set is fixed.
-//! * **Recursion guard.** While a call pattern is being enumerated, a
-//!   recursive call to the same pattern falls back to plain SLD
-//!   resolution instead of consulting the (incomplete) table.
+//! * **SLG evaluation for recursive patterns.** While a call pattern is
+//!   being enumerated, a recursive call to the same pattern does *not*
+//!   fall back to SLD: the solver keeps a per-query [`Forest`] of
+//!   in-flight subgoals, recursive consumers read the producer's answer
+//!   list as it grows, and a pattern only publishes to this table when
+//!   its whole strongly-connected region of mutually recursive subgoals
+//!   has been saturated to a fixpoint (so a hit here is still always a
+//!   *completed* table — the NAF rule above is preserved). Cycles are
+//!   resolved by the KB's [`CyclePolicy`]: inductive (the default) takes
+//!   the least fixpoint — a derivation that only supports itself fails —
+//!   while a coinductive predicate treats a cycle as success.
 //!
 //! The table lives inside the knowledge base behind a `parking_lot` lock
 //! because [`crate::Solver::solve`] takes `&self`: queries only hold a
@@ -42,7 +50,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxHashMap, FxHashSet};
 use crate::kb::PredKey;
 use crate::term::{Term, Var};
 
@@ -117,6 +125,10 @@ pub struct TableStats {
     pub inserts: u64,
     /// Entries dropped because their epoch no longer matched.
     pub invalidations: u64,
+    /// Tabled calls resolved by plain SLD because they re-entered an
+    /// active pattern from a context that cannot suspend (negation,
+    /// aggregation, quantifier sub-machines).
+    pub fallbacks: u64,
 }
 
 /// Outcome of [`AnswerTable::lookup`].
@@ -214,6 +226,12 @@ impl AnswerTable {
         self.len() == 0
     }
 
+    /// Record an SLD fallback on an active pattern (see
+    /// [`TableStats::fallbacks`]).
+    pub(crate) fn note_fallback(&self) {
+        self.inner.lock().stats.fallbacks += 1;
+    }
+
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> TableStats {
         self.inner.lock().stats
@@ -246,6 +264,225 @@ pub fn canonicalize(t: &Term) -> (Term, u32) {
 /// Renumber variables in first-occurrence order (canonical term only).
 pub fn canonicalize_vars(t: &Term) -> Term {
     canonicalize(t).0
+}
+
+/// How a *positive* recursive cycle through tabled subgoals is resolved.
+///
+/// Inductive reading (the default, and the standard SLG/well-founded
+/// choice): an answer must be grounded in a finite derivation, so a
+/// subgoal whose only support is itself derives nothing — `loop :- loop`
+/// fails cleanly instead of exhausting the step budget. Coinductive
+/// reading (co-SLD, as in mir-formality's cosld stack search): a cycle is
+/// self-supporting evidence and the re-entered goal succeeds immediately —
+/// the greatest-fixpoint semantics rational/stream definitions want.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CyclePolicy {
+    /// Least fixpoint: a recursive re-entry contributes only the answers
+    /// already derived; a pure cycle fails.
+    #[default]
+    Inductive,
+    /// Greatest fixpoint: a recursive re-entry succeeds outright.
+    Coinductive,
+}
+
+impl std::fmt::Display for CyclePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CyclePolicy::Inductive => "inductive",
+            CyclePolicy::Coinductive => "coinductive",
+        })
+    }
+}
+
+/// One in-flight tabled subgoal on the [`Forest`] stack.
+///
+/// Its position in the stack doubles as its Tarjan depth-first number:
+/// frames are pushed in evaluation order and only ever popped from the
+/// top, in whole strongly-connected regions, so `link <= position` is the
+/// classic low-link invariant.
+#[derive(Debug)]
+pub(crate) struct SubgoalFrame {
+    /// Predicate of the call pattern (ports and the persistent insert).
+    pub(crate) key: PredKey,
+    /// Canonicalized call pattern (variables numbered `0..n_vars`).
+    pub(crate) pattern: Term,
+    /// Dependency snapshot taken when evaluation started; the completed
+    /// answer set publishes against it.
+    pub(crate) validity: Arc<TableValidity>,
+    /// Answers derived so far, in derivation order. Until the subgoal is
+    /// observed to be recursive this list preserves duplicates exactly
+    /// like the plain enumerating path did; see [`Forest::flip_from`].
+    pub(crate) answers: Vec<CachedAnswer>,
+    /// Canonical answer terms already present — allocated lazily on the
+    /// first sign of recursion, when the evaluation switches to set
+    /// semantics so fixpoint re-passes cannot multiply duplicates.
+    seen: Option<FxHashSet<Term>>,
+    /// Lowest stack position this subgoal's evaluation reached back into
+    /// (its own position while no cycle has been observed).
+    pub(crate) link: usize,
+    /// A consumer re-entered this pattern, or it joined a region with one:
+    /// the evaluation needs fixpoint passes and deduplicated answers.
+    pub(crate) recursive: bool,
+}
+
+/// The per-query answer forest: the stack of in-flight tabled subgoals the
+/// SLG evaluation is saturating, indexed by call pattern.
+///
+/// Shared (`Rc<RefCell<_>>`) by the top-level solver machine and every
+/// sub-machine it spawns, the way the budget is — a recursive call in a
+/// nested producer must find the frame its ancestor pushed. Completed
+/// regions leave the forest and land in the KB's persistent
+/// [`AnswerTable`]; the forest is empty between top-level goals.
+#[derive(Debug, Default)]
+pub(crate) struct Forest {
+    /// Pattern → stack position of its active frame.
+    index: FxHashMap<Term, usize>,
+    frames: Vec<SubgoalFrame>,
+    /// Monotone counter bumped by every answer insertion; saturation
+    /// passes compare it before/after to detect a fixpoint.
+    stamp: u64,
+}
+
+impl Forest {
+    pub(crate) fn new() -> Forest {
+        Forest::default()
+    }
+
+    /// Stack position of the active frame for `pattern`, if one exists.
+    pub(crate) fn active_pos(&self, pattern: &Term) -> Option<usize> {
+        self.index.get(pattern).copied()
+    }
+
+    /// Push a new subgoal frame; returns its stack position.
+    pub(crate) fn push(
+        &mut self,
+        key: PredKey,
+        pattern: Term,
+        validity: Arc<TableValidity>,
+    ) -> usize {
+        let pos = self.frames.len();
+        self.index.insert(pattern.clone(), pos);
+        self.frames.push(SubgoalFrame {
+            key,
+            pattern,
+            validity,
+            answers: Vec::new(),
+            seen: None,
+            link: pos,
+            recursive: false,
+        });
+        pos
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub(crate) fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    pub(crate) fn link(&self, pos: usize) -> usize {
+        self.frames[pos].link
+    }
+
+    pub(crate) fn is_recursive(&self, pos: usize) -> bool {
+        self.frames[pos].recursive
+    }
+
+    pub(crate) fn key(&self, pos: usize) -> PredKey {
+        self.frames[pos].key
+    }
+
+    pub(crate) fn pattern(&self, pos: usize) -> Term {
+        self.frames[pos].pattern.clone()
+    }
+
+    pub(crate) fn answers_len(&self, pos: usize) -> usize {
+        self.frames[pos].answers.len()
+    }
+
+    pub(crate) fn answer(&self, pos: usize, i: usize) -> CachedAnswer {
+        self.frames[pos].answers[i].clone()
+    }
+
+    /// A consumer at frame `from` re-entered the pattern of frame `to`:
+    /// record the edge in `from`'s low link and flip every frame in the
+    /// affected region to recursive/set semantics. `to` is usually below
+    /// `from` (a back edge), but a cross edge to a leftover uncompleted
+    /// sibling *above* the consumer is possible too — either way the
+    /// frames between them saturate together.
+    pub(crate) fn record_link(&mut self, from: usize, to: usize) {
+        let frame = &mut self.frames[from];
+        frame.link = frame.link.min(to);
+        self.flip_from(from.min(to));
+    }
+
+    /// Fold a finished-but-incomplete child evaluation's low link into its
+    /// enclosing frame. An uncompleted child always forces fixpoint
+    /// re-passes over the parent, so the affected region flips to set
+    /// semantics regardless of edge direction.
+    pub(crate) fn propagate(&mut self, parent: usize, child_link: usize) {
+        let frame = &mut self.frames[parent];
+        frame.link = frame.link.min(child_link);
+        self.flip_from(parent.min(child_link));
+    }
+
+    /// Switch every frame at or above `pos` to recursive evaluation:
+    /// deduplicate the answers accumulated so far (keeping first
+    /// occurrences, so replay order is the derivation order) and install
+    /// the seen-set that makes further insertion idempotent. Consumers
+    /// only come into existence at or after the flip of their target, so
+    /// no live answer cursor can observe the compaction.
+    fn flip_from(&mut self, pos: usize) {
+        for frame in &mut self.frames[pos..] {
+            if frame.recursive {
+                continue;
+            }
+            frame.recursive = true;
+            let mut seen = FxHashSet::default();
+            frame.answers.retain(|a| seen.insert(a.term.clone()));
+            frame.seen = Some(seen);
+        }
+    }
+
+    /// Record a derived answer for the frame at `pos`. Returns whether the
+    /// answer was fresh (pre-recursion frames keep duplicates and always
+    /// report fresh, exactly like the old enumerating path).
+    pub(crate) fn insert_answer(&mut self, pos: usize, answer: CachedAnswer) -> bool {
+        let frame = &mut self.frames[pos];
+        if let Some(seen) = &mut frame.seen {
+            if !seen.insert(answer.term.clone()) {
+                return false;
+            }
+        }
+        frame.answers.push(answer);
+        self.stamp += 1;
+        true
+    }
+
+    /// Pop the completed region `[pos..]` off the stack, returning its
+    /// frames bottom-up (the leader first) for publication.
+    pub(crate) fn complete_region(&mut self, pos: usize) -> Vec<SubgoalFrame> {
+        debug_assert!(
+            self.frames[pos..].iter().all(|f| f.link >= pos),
+            "completing a region with links below its leader"
+        );
+        let frames: Vec<SubgoalFrame> = self.frames.drain(pos..).collect();
+        for frame in &frames {
+            self.index.remove(&frame.pattern);
+        }
+        frames
+    }
+
+    /// Error-path cleanup: drop the frames at `[pos..]` without
+    /// publishing anything (only completed evaluations may publish).
+    pub(crate) fn unwind_to(&mut self, pos: usize) {
+        while self.frames.len() > pos {
+            let frame = self.frames.pop().expect("len > pos");
+            self.index.remove(&frame.pattern);
+        }
+    }
 }
 
 #[cfg(test)]

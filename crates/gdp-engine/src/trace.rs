@@ -62,6 +62,22 @@ pub enum Port {
     /// A transaction committed its recorded delta (emitted by the spec
     /// layer, once per commit, with the transaction's scope as the goal).
     DeltaCommit,
+    /// An SLG consumer exhausted the current answers of an incomplete
+    /// subgoal and suspended; the saturation scheduler will resume it
+    /// after producers derive more.
+    Suspend,
+    /// The SLG scheduler re-ran a producer pass over a subgoal whose
+    /// region had grown new answers (resuming its suspended consumers).
+    Resume,
+    /// A tabled subgoal's strongly-connected region was exhausted and the
+    /// subgoal completed (emitted once per subgoal, just before its
+    /// `TableInsert`).
+    Complete,
+    /// A tabled call degraded to plain SLD resolution — recursive
+    /// re-entry from a negation/aggregation sub-machine, or a depth
+    /// budget too tight for the evaluation machinery. Counted in
+    /// `SolverStats::table_fallbacks`.
+    TableFallback,
 }
 
 impl Port {
@@ -77,6 +93,10 @@ impl Port {
             Port::NativeCall => "NATIVE",
             Port::Invalidate => "T-INV",
             Port::DeltaCommit => "D-CMT",
+            Port::Suspend => "SUSP",
+            Port::Resume => "RESUME",
+            Port::Complete => "COMPL",
+            Port::TableFallback => "T-FBK",
         }
     }
 }
@@ -163,6 +183,8 @@ pub struct PredProfile {
     pub steps: u64,
     /// Tabled calls answered from a completed answer set.
     pub table_hits: u64,
+    /// Tabled calls that degraded to plain SLD resolution.
+    pub fallbacks: u64,
 }
 
 impl PredProfile {
@@ -173,6 +195,7 @@ impl PredProfile {
         self.fails += other.fails;
         self.steps += other.steps;
         self.table_hits += other.table_hits;
+        self.fallbacks += other.fallbacks;
     }
 }
 
@@ -240,15 +263,22 @@ impl Profiler {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{:<32} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}",
-            "predicate", "calls", "exits", "redos", "fails", "steps", "t-hits"
+            "{:<32} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8} {:>8}",
+            "predicate", "calls", "exits", "redos", "fails", "steps", "t-hits", "t-fbks"
         );
         for (key, row) in self.rows() {
             let name = format!("{}/{}", key.name, key.arity);
             let _ = writeln!(
                 out,
-                "{:<32} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8}",
-                name, row.calls, row.exits, row.redos, row.fails, row.steps, row.table_hits
+                "{:<32} {:>9} {:>9} {:>9} {:>9} {:>10} {:>8} {:>8}",
+                name,
+                row.calls,
+                row.exits,
+                row.redos,
+                row.fails,
+                row.steps,
+                row.table_hits,
+                row.fallbacks
             );
         }
         let _ = writeln!(
@@ -269,12 +299,21 @@ impl TraceSink for Profiler {
             Port::Redo => row.redos += 1,
             Port::Fail => row.fails += 1,
             Port::TableHit => row.table_hits += 1,
+            Port::TableFallback => row.fallbacks += 1,
             // Inserts, native invocations, invalidations, and commits are
             // visible in the trace but carry no counter of their own (the
             // surrounding Call/Exit pair — or, for invalidations,
             // `SolverStats::table_invalidations` — already counts the
             // activity).
-            Port::TableInsert | Port::NativeCall | Port::Invalidate | Port::DeltaCommit => {}
+            // Scheduler-internal SLG events (suspend/resume/complete)
+            // likewise describe table lifecycle, not predicate work.
+            Port::TableInsert
+            | Port::NativeCall
+            | Port::Invalidate
+            | Port::DeltaCommit
+            | Port::Suspend
+            | Port::Resume
+            | Port::Complete => {}
         }
     }
 

@@ -78,7 +78,8 @@ statements  any specification-language statement ending in `.`
             index report (hash/range configuration, hit and prune
             counters); on | off | status toggle candidate selection
             (`GDP_INDEX=off` in the environment starts with it off)
-:table MODE answer tabling: on | off | all | status
+:table MODE answer tabling: on | off | all | status, plus the
+            recursive-cycle policy: inductive | coinductive
 :trace MODE port-event tracing: on | off | show | status
             (`show` prints the last traced query's final events)
 :profile [MODE]  per-predicate profiler: no argument prints the
@@ -405,8 +406,8 @@ impl Session {
                         }
                         let s = report.stats;
                         println!(
-                            "merged: {} steps, {} clause resolutions, table {} hit / {} miss",
-                            s.steps, s.resolutions, s.table_hits, s.table_misses
+                            "merged: {} steps, {} clause resolutions, table {} hit / {} miss / {} fallback",
+                            s.steps, s.resolutions, s.table_hits, s.table_misses, s.table_fallbacks
                         );
                     }
                     Err(e) => self.report_spec_error(&e),
@@ -425,15 +426,16 @@ impl Session {
                 );
                 let s = self.spec.solver_stats();
                 println!(
-                    "last query: {} steps, {} clause resolutions, table {} hit / {} miss",
-                    s.steps, s.resolutions, s.table_hits, s.table_misses
+                    "last query: {} steps, {} clause resolutions, table {} hit / {} miss / {} fallback",
+                    s.steps, s.resolutions, s.table_hits, s.table_misses, s.table_fallbacks
                 );
                 let t = self.spec.table_stats();
                 println!(
-                    "answer table ({}): {} entries; lifetime {} hits, {} misses, {} inserts, {} invalidations",
+                    "answer table ({}, {} cycles): {} entries; lifetime {} hits, {} misses, {} inserts, {} invalidations, {} fallbacks",
                     if self.spec.tabling_enabled() { "on" } else { "off" },
+                    self.spec.cycle_policy(),
                     self.spec.kb().table().len(),
-                    t.hits, t.misses, t.inserts, t.invalidations
+                    t.hits, t.misses, t.inserts, t.invalidations, t.fallbacks
                 );
             }
             ":index" => match rest {
@@ -540,16 +542,31 @@ impl Session {
                     self.spec.set_table_all(true);
                     println!("answer tabling on for every user predicate.");
                 }
-                "status" | "" => println!(
-                    "answer tabling is {} ({} cached call patterns).",
-                    if self.spec.tabling_enabled() {
-                        "on"
-                    } else {
-                        "off"
-                    },
-                    self.spec.kb().table().len()
-                ),
-                other => println!("usage: :table on|off|all|status (got {other})"),
+                "inductive" => {
+                    self.spec.set_cycle_policy(CyclePolicy::Inductive);
+                    println!("cycle policy inductive (recursive re-entry fails; least fixpoint).");
+                }
+                "coinductive" => {
+                    self.spec.set_cycle_policy(CyclePolicy::Coinductive);
+                    println!("cycle policy coinductive (recursive re-entry succeeds).");
+                }
+                "status" | "" => {
+                    let t = self.spec.table_stats();
+                    println!(
+                        "answer tabling is {} ({} cached call patterns, {} cycle policy, {} SLD fallback(s) in non-tablable contexts).",
+                        if self.spec.tabling_enabled() {
+                            "on"
+                        } else {
+                            "off"
+                        },
+                        self.spec.kb().table().len(),
+                        self.spec.cycle_policy(),
+                        t.fallbacks,
+                    );
+                }
+                other => {
+                    println!("usage: :table on|off|all|status|inductive|coinductive (got {other})")
+                }
             },
             ":trace" => match rest {
                 "on" => {

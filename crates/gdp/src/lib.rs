@@ -55,7 +55,8 @@ pub mod prelude {
         SpaceQual, SpecError, SpecResult, Specification, TimeQual, Violation,
     };
     pub use gdp_engine::{
-        Budget, CancelToken, ChaosConfig, EngineError, KnowledgeBase, ParallelSolver, Solver, Term,
+        Budget, CancelToken, ChaosConfig, CyclePolicy, EngineError, KnowledgeBase, ParallelSolver,
+        Solver, Term,
     };
     pub use gdp_spatial::{GridResolution, Point, SpatialRegistry};
     pub use gdp_temporal::Interval;

@@ -64,6 +64,20 @@ done
 echo "==> cargo test index_equivalence [GDP_INDEX=off]"
 env GDP_INDEX=off cargo test -q --release -p gdp --test index_equivalence
 
+# SLG legs: the recursive-tabling suite (answer forest, fixpoint
+# saturation, cycle policies, fault containment) re-run with tabling
+# forced on for every user predicate and again on unindexed scans —
+# recursive saturation consumes whatever enumeration order candidate
+# selection produces, so the fixpoint must be order-independent.
+for index in unset off; do
+    env_args=("GDP_TABLING=all")
+    if [ "$index" != unset ]; then
+        env_args+=("GDP_INDEX=$index")
+    fi
+    echo "==> cargo test slg_equivalence [GDP_TABLING=all, index=$index]"
+    env "${env_args[@]}" cargo test -q --release -p gdp --test slg_equivalence
+done
+
 # Chaos legs: GDP_CHAOS injects a deterministic fault (cancel / deadline
 # / panic at a seed-derived port event) into every audit the harness's
 # ambient-env test runs, which then asserts the degraded report is the

@@ -1,0 +1,465 @@
+//! SLG resolution regression and equivalence suite.
+//!
+//! The headline contract: recursive tabled predicates now get *real* SLG
+//! evaluation (answer forest + fixpoint saturation) instead of a silent
+//! SLD fallback, so left-recursive programs that loop to budget
+//! exhaustion under plain SLD terminate with the correct least fixpoint
+//! under tabling. The guard-rails: on non-recursive programs SLG is
+//! observationally identical to plain SLD (solution multiset, order,
+//! provability, counts — the PR 1 contract, re-proved against the new
+//! engine), the remaining degradations to SLD are *counted* in
+//! `SolverStats::table_fallbacks`, and everything composes with parallel
+//! batches and injected faults.
+
+use std::sync::Once;
+
+use proptest::prelude::*;
+
+use gdp::engine::{
+    Budget, ChaosConfig, CyclePolicy, EngineError, KnowledgeBase, ParallelSolver, PredKey, Solver,
+    Term,
+};
+
+/// Swallow the *expected* injected panics from the chaos leg so the run
+/// doesn't spam stderr (same pattern as `chaos_harness.rs`); every other
+/// panic still reaches the previous hook.
+fn quiet_injected_panics() {
+    static QUIET: Once = Once::new();
+    QUIET.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let message = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if message.contains("chaos: injected") {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// `reach(X,Y) :- reach(X,Z), edge(Z,Y).  reach(X,Y) :- edge(X,Y).`
+///
+/// The *left*-recursive formulation: the recursive literal comes first in
+/// the first clause, so plain SLD re-enters `reach` forever before ever
+/// consulting an `edge` fact.
+fn left_recursive_kb(edges: &[(&str, &str)], tabled: bool) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+    kb.assert_clause(
+        Term::pred("reach", vec![x.clone(), y.clone()]),
+        Term::and(
+            Term::pred("reach", vec![x.clone(), z.clone()]),
+            Term::pred("edge", vec![z.clone(), y.clone()]),
+        ),
+    );
+    kb.assert_clause(
+        Term::pred("reach", vec![x.clone(), y.clone()]),
+        Term::pred("edge", vec![x, y]),
+    );
+    for &(a, b) in edges {
+        kb.assert_fact(Term::pred("edge", vec![Term::atom(a), Term::atom(b)]));
+    }
+    if tabled {
+        kb.set_tabling(true);
+        kb.mark_tabled(PredKey::new("reach", 2));
+    }
+    kb
+}
+
+/// Transitive closure of `edges` from `from`, computed in Rust — the
+/// reference the engine's answers must match.
+fn reference_closure(edges: &[(&str, &str)], from: &str) -> Vec<String> {
+    let mut reached: Vec<String> = Vec::new();
+    let mut frontier = vec![from.to_string()];
+    while let Some(node) = frontier.pop() {
+        for &(a, b) in edges {
+            if a == node && !reached.iter().any(|r| r == b) {
+                reached.push(b.to_string());
+                frontier.push(b.to_string());
+            }
+        }
+    }
+    reached.sort();
+    reached
+}
+
+/// The engine's answer set for `reach(from, X)`, sorted.
+fn engine_closure(kb: &KnowledgeBase, from: &str, budget: Budget) -> Vec<String> {
+    let solver = Solver::new(kb, budget);
+    let mut out: Vec<String> = solver
+        .solve_all(Term::pred("reach", vec![Term::atom(from), Term::var(0)]))
+        .expect("reach query within budget")
+        .iter()
+        .map(|sol| {
+            let (_, t) = &sol.bindings()[0];
+            t.to_string()
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+const CHAIN: [(&str, &str); 6] = [
+    ("a", "b"),
+    ("b", "c"),
+    ("c", "d"),
+    ("d", "e"),
+    ("a", "c"),
+    ("b", "d"),
+];
+
+/// Seed behavior, preserved for untabled KBs: the left-recursive program
+/// loops until the step budget dies.
+#[test]
+fn left_recursion_loops_to_budget_without_tabling() {
+    let kb = left_recursive_kb(&CHAIN, false);
+    let solver = Solver::new(&kb, Budget::new(50_000, 64));
+    let err = solver
+        .solve_all(Term::pred("reach", vec![Term::atom("a"), Term::var(0)]))
+        .expect_err("plain SLD must not terminate on left recursion");
+    assert!(
+        matches!(err, EngineError::StepLimit { .. }),
+        "expected step exhaustion, got {err:?}"
+    );
+}
+
+/// The fix: the same program and budget terminate under SLG with exactly
+/// the transitive closure, and nothing degraded to SLD along the way.
+#[test]
+fn left_recursion_terminates_under_slg() {
+    let kb = left_recursive_kb(&CHAIN, true);
+    let solver = Solver::new(&kb, Budget::new(50_000, 64));
+    let mut answers: Vec<String> = solver
+        .solve_all(Term::pred("reach", vec![Term::atom("a"), Term::var(0)]))
+        .expect("SLG evaluation within budget")
+        .iter()
+        .map(|sol| sol.bindings()[0].1.to_string())
+        .collect();
+    answers.sort();
+    answers.dedup();
+    assert_eq!(answers, reference_closure(&CHAIN, "a"));
+    let stats = solver.stats();
+    assert_eq!(
+        stats.table_fallbacks, 0,
+        "left recursion must be resolved by SLG proper, not SLD fallback"
+    );
+    assert!(stats.table_inserts >= 1, "completed subgoals must publish");
+}
+
+/// A cyclic graph: the classic case where even *right*-recursive SLD
+/// diverges. The inductive least fixpoint is still just "every node on a
+/// path from the start".
+#[test]
+fn cyclic_graph_terminates_with_least_fixpoint() {
+    let cyclic = [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")];
+    let kb = left_recursive_kb(&cyclic, true);
+    assert_eq!(
+        engine_closure(&kb, "a", Budget::new(100_000, 64)),
+        reference_closure(&cyclic, "a"),
+    );
+    // Replay: a second query over the now-published tables agrees.
+    assert_eq!(
+        engine_closure(&kb, "a", Budget::new(100_000, 64)),
+        reference_closure(&cyclic, "a"),
+    );
+}
+
+/// Cycle policy: a self-supporting cycle with no base case fails under
+/// the default inductive policy (least fixpoint: no derivation bottoms
+/// out) and succeeds under a coinductive marking (the cycle is its own
+/// evidence).
+#[test]
+fn inductive_cycle_fails_coinductive_succeeds() {
+    let build = |coinductive: bool| {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_clause(Term::pred("p", vec![Term::atom("k")]), {
+            Term::pred("p", vec![Term::atom("k")])
+        });
+        kb.set_tabling(true);
+        kb.mark_tabled(PredKey::new("p", 1));
+        if coinductive {
+            kb.mark_coinductive(PredKey::new("p", 1));
+        }
+        kb
+    };
+    let inductive = build(false);
+    assert_eq!(inductive.cycle_policy(), CyclePolicy::Inductive);
+    let solver = Solver::new(&inductive, Budget::new(10_000, 16));
+    assert!(
+        !solver
+            .prove(Term::pred("p", vec![Term::atom("k")]))
+            .expect("inductive cycle fails finitely"),
+        "a cycle with no base case has an empty least fixpoint"
+    );
+    let coinductive = build(true);
+    assert_eq!(
+        coinductive.cycle_policy_of(PredKey::new("p", 1)),
+        CyclePolicy::Coinductive
+    );
+    let solver = Solver::new(&coinductive, Budget::new(10_000, 16));
+    assert!(
+        solver
+            .prove(Term::pred("p", vec![Term::atom("k")]))
+            .expect("coinductive cycle succeeds finitely"),
+        "a coinductive cycle is its own evidence"
+    );
+}
+
+/// The KB-wide policy switch does the same without per-predicate marks,
+/// and flipping it invalidates previously published answer sets.
+#[test]
+fn kb_wide_cycle_policy_switch() {
+    let mut kb = KnowledgeBase::new();
+    kb.assert_clause(Term::pred("q", vec![]), Term::pred("q", vec![]));
+    kb.set_tabling(true);
+    kb.mark_tabled(PredKey::new("q", 0));
+    let goal = Term::pred("q", vec![]);
+    assert!(!Solver::new(&kb, Budget::new(10_000, 16))
+        .prove(goal.clone())
+        .unwrap());
+    kb.set_cycle_policy(CyclePolicy::Coinductive);
+    assert!(
+        Solver::new(&kb, Budget::new(10_000, 16))
+            .prove(goal)
+            .unwrap(),
+        "policy change must not replay answers cached under the old policy"
+    );
+}
+
+/// NAF over an *active* pattern is the one place SLG still degrades to
+/// SLD (a negation must never observe a partial answer set). That
+/// degradation is no longer silent: it lands in
+/// `SolverStats::table_fallbacks`.
+#[test]
+fn naf_reentry_falls_back_and_is_counted() {
+    let mut kb = KnowledgeBase::new();
+    // r :- e.    r :- not(r).
+    kb.assert_fact(Term::pred("e", vec![]));
+    kb.assert_clause(Term::pred("r", vec![]), Term::pred("e", vec![]));
+    kb.assert_clause(Term::pred("r", vec![]), Term::not(Term::pred("r", vec![])));
+    kb.set_tabling(true);
+    kb.mark_tabled(PredKey::new("r", 0));
+    let solver = Solver::new(&kb, Budget::new(10_000, 16));
+    assert!(solver.prove(Term::pred("r", vec![])).unwrap());
+    assert!(
+        solver.stats().table_fallbacks >= 1,
+        "the NAF re-entry must be visible in the fallback counter"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SLG ≡ SLD on non-recursive programs (the PR 1 contract, re-proved).
+// ---------------------------------------------------------------------------
+
+const ATOMS: [&str; 5] = ["a", "b", "c", "d", "e"];
+
+/// Random *acyclic* KB with the same rule pack as the PR 1 equivalence
+/// suite: conjunction, disjunction, (terminating) recursion, NAF.
+fn build_kb(unary: &[(u8, u8)], edges: &[(u8, u8)], tabled: bool) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    let (x, y, z) = (Term::var(0), Term::var(1), Term::var(2));
+    for &(p, a) in unary {
+        let name = if p == 0 { "p" } else { "q" };
+        kb.assert_fact(Term::pred(
+            name,
+            vec![Term::atom(ATOMS[a as usize % ATOMS.len()])],
+        ));
+    }
+    for &(a, b) in edges {
+        let (a, b) = (a as usize % ATOMS.len(), b as usize % ATOMS.len());
+        if a >= b {
+            continue; // keep `e` acyclic so plain SLD terminates
+        }
+        kb.assert_fact(Term::pred(
+            "e",
+            vec![Term::atom(ATOMS[a]), Term::atom(ATOMS[b])],
+        ));
+    }
+    // r(X) :- p(X), q(X).
+    kb.assert_clause(
+        Term::pred("r", vec![x.clone()]),
+        Term::and(
+            Term::pred("p", vec![x.clone()]),
+            Term::pred("q", vec![x.clone()]),
+        ),
+    );
+    // t(X, Y) :- e(X, Y) ; (e(X, Z), t(Z, Y)).
+    kb.assert_clause(
+        Term::pred("t", vec![x.clone(), y.clone()]),
+        Term::or(
+            Term::pred("e", vec![x.clone(), y.clone()]),
+            Term::and(
+                Term::pred("e", vec![x.clone(), z.clone()]),
+                Term::pred("t", vec![z.clone(), y.clone()]),
+            ),
+        ),
+    );
+    // u(X) :- p(X), not(q(X)).
+    kb.assert_clause(
+        Term::pred("u", vec![x.clone()]),
+        Term::and(
+            Term::pred("p", vec![x.clone()]),
+            Term::not(Term::pred("q", vec![x])),
+        ),
+    );
+    if tabled {
+        kb.set_tabling(true);
+        kb.set_table_all(true);
+    }
+    kb
+}
+
+fn arb_goal() -> impl Strategy<Value = Term> {
+    let atom = (0usize..ATOMS.len())
+        .prop_map(|i| Term::atom(ATOMS[i]))
+        .boxed();
+    prop_oneof![
+        Just(Term::pred("r", vec![Term::var(0)])),
+        Just(Term::pred("u", vec![Term::var(0)])),
+        atom.clone()
+            .prop_map(|a| Term::pred("t", vec![a, Term::var(0)])),
+        (atom.clone(), atom.clone()).prop_map(|(a, b)| Term::not(Term::pred("t", vec![a, b]))),
+        (atom.clone(), atom).prop_map(|(a, b)| Term::and(
+            Term::pred("t", vec![a, Term::var(0)]),
+            Term::not(Term::pred("e", vec![Term::var(0), b])),
+        )),
+    ]
+}
+
+/// Render one solution list *order-sensitively*: SLG must preserve the
+/// exact SLD solution stream on non-recursive programs, duplicates and
+/// all.
+fn render_solutions(sols: &[gdp::engine::Solution]) -> Vec<String> {
+    sols.iter()
+        .map(|sol| {
+            sol.bindings()
+                .iter()
+                .map(|(v, t)| format!("{v:?}={t}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect()
+}
+
+proptest! {
+    /// Sequential twin run: for random acyclic programs and goals, the
+    /// SLG engine's answers (stream order included) equal plain SLD's,
+    /// both cold and replayed, at 1 and 4 parallel workers.
+    #[test]
+    fn slg_equals_sld_on_nonrecursive(
+        unary in prop::collection::vec((0u8..2, 0u8..5), 0..12),
+        edges in prop::collection::vec((0u8..5, 0u8..5), 0..10),
+        goals in prop::collection::vec(arb_goal(), 1..4),
+    ) {
+        let plain_kb = build_kb(&unary, &edges, false);
+        let tabled_kb = build_kb(&unary, &edges, true);
+        for goal in &goals {
+            let plain = Solver::new(&plain_kb, Budget::default());
+            let tabled = Solver::new(&tabled_kb, Budget::default());
+            // Cold, then replayed from the table: both byte-identical.
+            for pass in ["cold", "replay"] {
+                prop_assert_eq!(
+                    render_solutions(&plain.solve_all(goal.clone()).unwrap()),
+                    render_solutions(&tabled.solve_all(goal.clone()).unwrap()),
+                    "{} solution streams diverge on {}", pass, goal
+                );
+            }
+            prop_assert_eq!(
+                plain.count(goal.clone()).unwrap(),
+                tabled.count(goal.clone()).unwrap()
+            );
+            prop_assert_eq!(
+                tabled.stats().table_fallbacks, 0,
+                "non-recursive programs must never fall back"
+            );
+        }
+        // Parallel batches over the same goals agree at any worker count.
+        let reference: Vec<_> = goals
+            .iter()
+            .map(|g| {
+                render_solutions(
+                    &Solver::new(&plain_kb, Budget::default())
+                        .solve_all(g.clone())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        for workers in [1usize, 4] {
+            let par = ParallelSolver::new(&tabled_kb, workers);
+            let batch = par.solve_batch(&goals);
+            let rendered: Vec<_> = batch
+                .iter()
+                .map(|r| render_solutions(r.as_ref().unwrap()))
+                .collect();
+            prop_assert_eq!(
+                &rendered, &reference,
+                "parallel SLG batch diverges at {} workers", workers
+            );
+        }
+    }
+
+    /// Fault injection composes with SLG: a chaos fault fired mid-
+    /// evaluation never escapes as a panic, never poisons the shared
+    /// table, and goals that complete anyway return exactly the
+    /// fault-free answers.
+    #[test]
+    fn slg_survives_injected_faults(seed in 0u64..24) {
+        quiet_injected_panics();
+        let edges = [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")];
+        let kb = left_recursive_kb(&edges, true);
+        let goals: Vec<Term> = ["a", "b", "c"]
+            .iter()
+            .map(|s| Term::pred("reach", vec![Term::atom(s), Term::var(0)]))
+            .collect();
+        let fault_free: Vec<_> = goals
+            .iter()
+            .map(|g| {
+                render_solutions(
+                    &Solver::new(&kb, Budget::new(200_000, 64))
+                        .solve_all(g.clone())
+                        .unwrap(),
+                )
+            })
+            .collect();
+        let mut par = ParallelSolver::new(&kb, 2);
+        par.set_chaos(Some(ChaosConfig::from_seed(seed)));
+        for (i, result) in par.solve_batch(&goals).iter().enumerate() {
+            match result {
+                Ok(sols) => prop_assert_eq!(
+                    &render_solutions(sols),
+                    &fault_free[i],
+                    "a goal that survived the fault must answer exactly"
+                ),
+                Err(e) => prop_assert!(
+                    matches!(
+                        e,
+                        EngineError::Cancelled
+                            | EngineError::DeadlineExceeded { .. }
+                            | EngineError::GoalPanicked { .. }
+                            | EngineError::StepLimit { .. }
+                            | EngineError::DepthLimit { .. }
+                    ),
+                    "unexpected degradation: {:?}", e
+                ),
+            }
+        }
+        // Whatever the fault hit, the published tables stay sound.
+        for (i, goal) in goals.iter().enumerate() {
+            prop_assert_eq!(
+                &render_solutions(
+                    &Solver::new(&kb, Budget::new(200_000, 64))
+                        .solve_all(goal.clone())
+                        .unwrap()
+                ),
+                &fault_free[i],
+                "table poisoned after injected fault"
+            );
+        }
+    }
+}
