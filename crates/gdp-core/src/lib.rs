@@ -61,6 +61,7 @@ mod qualifiers;
 pub mod reify;
 pub mod rule;
 mod spec;
+pub mod store;
 
 pub use domains::{DomainDef, DomainTable, Sort};
 pub use error::{SpecError, SpecResult};
@@ -74,6 +75,7 @@ pub use rule::{Constraint, ConstraintBuilder, RawClause, Rule};
 pub use spec::{
     Answer, AuditFailure, AuditReport, RetryPolicy, SortEnforcement, Specification, Violation,
 };
+pub use store::{Committed, SpecStore, DEFAULT_HISTORY};
 
 /// The default model ω (§III.D): "any fact or constraint violation that is
 /// not explicitly qualified by some model is associated with a default

@@ -12,9 +12,9 @@ use std::time::Duration;
 use parking_lot::{Mutex, RwLock};
 
 use gdp_engine::{
-    list_from_iter, list_to_vec, Budget, CancelToken, ChaosConfig, CyclePolicy, Delta, EngineError,
-    FxHashMap, FxHashSet, GroupId, KnowledgeBase, ObserverSink, Port, PredKey, Profiler, RingTrace,
-    Solver, SolverStats, Term, TraceEvent, TraceSink,
+    list_from_iter, list_to_vec, Budget, CancelToken, ChaosConfig, CommitRecord, CyclePolicy,
+    Delta, EngineError, FxHashMap, FxHashSet, GroupId, KnowledgeBase, ObserverSink, Port, PredKey,
+    Profiler, RingTrace, Solver, SolverStats, Term, TraceEvent, TraceSink,
 };
 
 use crate::domains::{register_domain_native, DomainDef, DomainTable, Sort};
@@ -1669,6 +1669,66 @@ impl Specification {
     /// Shared handle to the semantic-domain table.
     pub fn domain_table(&self) -> Arc<RwLock<DomainTable>> {
         Arc::clone(&self.domains)
+    }
+
+    // ----- MVCC snapshots ----------------------------------------------------
+
+    /// An MVCC snapshot of this specification at its current generation:
+    /// the knowledge base is shared copy-on-write (no clause is cloned),
+    /// the answer table is a pinned copy whose hits surface as `S-HIT`
+    /// port events, and the session state — registries, world view, limits,
+    /// trace/profile switches, audit cache — is carried over. The snapshot
+    /// gets a *fresh* cancel token and empty counters, so readers can be
+    /// cancelled and profiled independently of the live writer. The
+    /// semantic-domain table stays shared (domain natives captured its
+    /// `Arc` at registration): domain *declarations* are not versioned.
+    pub fn snapshot(&self) -> Specification {
+        self.snapshot_impl(None)
+    }
+
+    /// Like [`Self::snapshot`], but pinned `newer.len()` commits back from
+    /// head: `newer` is the suffix of committed [`CommitRecord`]s (oldest
+    /// first) that happened *after* the desired generation, and the
+    /// snapshot's knowledge base un-applies them newest-first. Per-predicate
+    /// generations and the epoch are restored to their pre-commit values,
+    /// so answer-table entries built after the pin fail validation
+    /// automatically. The audit cache is dropped unless pinned at head —
+    /// its member outcomes were computed against newer clauses.
+    pub fn snapshot_at(&self, newer: &[CommitRecord]) -> Specification {
+        self.snapshot_impl(Some(newer))
+    }
+
+    fn snapshot_impl(&self, newer: Option<&[CommitRecord]>) -> Specification {
+        let (kb, audit_cache) = match newer {
+            None | Some([]) => (self.kb.snapshot(), self.audit_cache.lock().clone()),
+            Some(records) => (self.kb.snapshot_at(records), None),
+        };
+        Specification {
+            kb,
+            domains: Arc::clone(&self.domains),
+            signatures: self.signatures.clone(),
+            objects: self.objects.clone(),
+            models: self.models.clone(),
+            meta_models: self.meta_models.clone(),
+            active_meta: self.active_meta.clone(),
+            world_view: self.world_view.clone(),
+            sort_enforcement: self.sort_enforcement,
+            step_limit: self.step_limit,
+            depth_limit: self.depth_limit,
+            last_stats: Mutex::new(SolverStats::default()),
+            trace_enabled: self.trace_enabled,
+            profile_enabled: self.profile_enabled,
+            trace_capacity: self.trace_capacity,
+            profiler: Mutex::new(Profiler::new()),
+            last_trace: Mutex::new(None),
+            deadline: self.deadline,
+            cancel: CancelToken::new(),
+            retry: self.retry,
+            chaos: self.chaos,
+            incremental: self.incremental,
+            txn_start: None,
+            audit_cache: Mutex::new(audit_cache),
+        }
     }
 
     /// Assert a raw engine clause under a named group.

@@ -1,0 +1,390 @@
+//! Concurrent serving layer: one writer, many MVCC snapshot readers.
+//!
+//! A [`SpecStore`] wraps a [`Specification`] for server-style use:
+//!
+//! * **Writers** funnel through [`SpecStore::commit`], which wraps the
+//!   closure in a transaction ([`Specification::begin_txn`] /
+//!   [`Specification::commit_txn`]), assigns the commit a monotone
+//!   sequence number, and retains its [`CommitRecord`] — the committed
+//!   [`Delta`] plus the pre-commit epoch and per-predicate generations.
+//! * **Readers** call [`SpecStore::snapshot`] (head) or
+//!   [`SpecStore::snapshot_at`] (a retained earlier sequence) and get a
+//!   private [`Specification`] pinned to that generation. Snapshots share
+//!   the clause store copy-on-write — no clause is cloned — so taking one
+//!   is O(#predicates), and queries or audits against it are untouched by
+//!   writer commits that land afterwards.
+//! * **Durability** is optional: a store opened with
+//!   [`SpecStore::create_wal`] (or recovered with [`SpecStore::recover`])
+//!   appends every committed delta to a write-ahead log
+//!   ([`gdp_engine::wal::Wal`]) and fsyncs before the commit is
+//!   acknowledged. [`SpecStore::recover`] replays the log over a
+//!   caller-built base specification and reproduces the live store
+//!   exactly — clause order, indexes, generation counters and epoch.
+//!
+//! The store records only *clause* operations. Configuration changes —
+//! world view, tabling, index layout, declarations of models or domains —
+//! go through [`SpecStore::update`], which invalidates retained history
+//! (old snapshots would lie about configuration) and is not logged; on
+//! recovery the caller rebuilds the same base configuration first, then
+//! replays the log (the standard "base image + log" arrangement).
+
+use std::collections::VecDeque;
+use std::path::Path;
+
+use parking_lot::{Mutex, RwLock};
+
+use gdp_engine::wal::{replay, Wal};
+use gdp_engine::{CommitRecord, Delta, FxHashMap, PredKey};
+
+use crate::error::{SpecError, SpecResult};
+use crate::spec::Specification;
+
+/// How many [`CommitRecord`]s a store retains by default. Snapshots can
+/// be pinned at most this many commits behind head; older generations
+/// are no longer reconstructible (the records have been dropped).
+pub const DEFAULT_HISTORY: usize = 64;
+
+/// Receipt of one successful [`SpecStore::commit`].
+#[derive(Clone, Debug)]
+pub struct Committed {
+    /// The commit's sequence number (1-based, strictly monotone).
+    pub seq: u64,
+    /// The committed operations — the currency of
+    /// [`Specification::audit_incremental`].
+    pub delta: Delta,
+}
+
+struct StoreState {
+    /// Sequence number of the newest commit (0 = base image).
+    seq: u64,
+    /// Retained commit records, oldest first; `back().seq == seq`.
+    history: VecDeque<CommitRecord>,
+    /// Retention cap for `history`.
+    cap: usize,
+    /// Write-ahead log, when durability is on.
+    wal: Option<Wal>,
+}
+
+/// A [`Specification`] behind a single-writer / multi-reader MVCC
+/// facade. See the module docs.
+pub struct SpecStore {
+    spec: RwLock<Specification>,
+    state: Mutex<StoreState>,
+}
+
+// Lock order everywhere: `spec` first, then `state`.
+
+impl SpecStore {
+    /// Serve `spec` with the default history retention and no WAL.
+    pub fn new(spec: Specification) -> SpecStore {
+        SpecStore::with_capacity(spec, DEFAULT_HISTORY)
+    }
+
+    /// Serve `spec`, retaining up to `cap` commit records for
+    /// [`SpecStore::snapshot_at`].
+    pub fn with_capacity(spec: Specification, cap: usize) -> SpecStore {
+        SpecStore {
+            spec: RwLock::new(spec),
+            state: Mutex::new(StoreState {
+                seq: 0,
+                history: VecDeque::new(),
+                cap,
+                wal: None,
+            }),
+        }
+    }
+
+    /// Serve `spec` durably: create a fresh write-ahead log at `path`
+    /// (truncating anything there) and append every subsequent commit to
+    /// it. `spec` is the *base image* — [`SpecStore::recover`] must be
+    /// given an identically-built base to reproduce the store.
+    pub fn create_wal(spec: Specification, path: &Path) -> SpecResult<SpecStore> {
+        let wal = Wal::create(path).map_err(wal_err)?;
+        let store = SpecStore::new(spec);
+        store.state.lock().wal = Some(wal);
+        Ok(store)
+    }
+
+    /// Re-open a durable store: read the log at `path` (truncating any
+    /// torn tail), replay the committed deltas over `base` — which must
+    /// be built exactly as the original base image was — and resume
+    /// serving, positioned to append the next commit. Retained history is
+    /// rebuilt from the replayed records (up to the retention cap), so
+    /// pinned snapshots work across a restart. Returns the store and the
+    /// number of commits replayed.
+    pub fn recover(mut base: Specification, path: &Path) -> SpecResult<(SpecStore, u64)> {
+        let (wal, records) = Wal::open(path).map_err(wal_err)?;
+        let mut history: VecDeque<CommitRecord> = VecDeque::new();
+        let mut seq = 0;
+        for record in &records {
+            let kb = base.kb_mut();
+            let gens_before = pre_commit_gens(kb, &record.delta);
+            let epoch_before = kb.epoch();
+            replay(std::slice::from_ref(record), kb);
+            history.push_back(CommitRecord {
+                seq: record.seq,
+                epoch_before,
+                gens_before,
+                delta: record.delta.clone(),
+            });
+            while history.len() > DEFAULT_HISTORY {
+                history.pop_front();
+            }
+            seq = record.seq;
+        }
+        let store = SpecStore::new(base);
+        {
+            let mut state = store.state.lock();
+            state.seq = seq;
+            state.history = history;
+            state.wal = Some(wal);
+        }
+        Ok((store, seq))
+    }
+
+    /// Sequence number of the newest commit (0 before the first).
+    pub fn head_seq(&self) -> u64 {
+        self.state.lock().seq
+    }
+
+    /// Run a read-only closure against the live specification (shared
+    /// read lock — concurrent with other readers, excluded by writers).
+    pub fn read<T>(&self, f: impl FnOnce(&Specification) -> T) -> T {
+        f(&self.spec.read())
+    }
+
+    /// An MVCC snapshot pinned at the current head, tagged with its
+    /// sequence number. O(#predicates); the clause store is shared
+    /// copy-on-write with the live specification.
+    pub fn snapshot(&self) -> (u64, Specification) {
+        let spec = self.spec.read();
+        let seq = self.state.lock().seq;
+        (seq, spec.snapshot())
+    }
+
+    /// An MVCC snapshot pinned at commit `seq` (0 = the base image),
+    /// reconstructed by un-applying the retained records newer than
+    /// `seq`. Errors if those records are no longer retained (see
+    /// [`DEFAULT_HISTORY`]) or `seq` is ahead of head.
+    pub fn snapshot_at(&self, seq: u64) -> SpecResult<Specification> {
+        let spec = self.spec.read();
+        let state = self.state.lock();
+        if seq > state.seq {
+            return Err(SpecError::Transaction(format!(
+                "snapshot sequence {seq} is ahead of head {}",
+                state.seq
+            )));
+        }
+        if seq == state.seq {
+            return Ok(spec.snapshot());
+        }
+        // The suffix of history strictly newer than `seq`, oldest first.
+        let start = state
+            .history
+            .iter()
+            .position(|r| r.seq == seq + 1)
+            .ok_or_else(|| {
+                SpecError::Transaction(format!(
+                    "snapshot sequence {seq} is no longer retained (history starts at {})",
+                    state.history.front().map_or(state.seq, |r| r.seq)
+                ))
+            })?;
+        let newer: Vec<CommitRecord> = state.history.iter().skip(start).cloned().collect();
+        Ok(spec.snapshot_at(&newer))
+    }
+
+    /// Commit one transaction: take the write lock, open a transaction,
+    /// run `f`, and commit — or roll back completely if `f` errors. On
+    /// success the commit gets the next sequence number, its
+    /// [`CommitRecord`] joins the retained history, and (durable stores)
+    /// its delta is appended to the WAL and fsynced before this returns.
+    ///
+    /// `f` must confine itself to clause operations (assert / retract /
+    /// define): configuration changes inside a commit closure are neither
+    /// recorded nor logged — route them through [`SpecStore::update`].
+    ///
+    /// A WAL append failure is reported as an error *after* the live
+    /// state has committed: the log is then behind the store, and the
+    /// caller should stop acknowledging writes and re-create the log.
+    pub fn commit<T>(
+        &self,
+        f: impl FnOnce(&mut Specification) -> SpecResult<T>,
+    ) -> SpecResult<(Committed, T)> {
+        let mut spec = self.spec.write();
+        let mut state = self.state.lock();
+        let epoch_before = spec.kb().epoch();
+        let gens: FxHashMap<PredKey, u64> = spec.kb().generations().collect();
+        spec.begin_txn()?;
+        let value = match f(&mut spec) {
+            Ok(v) => v,
+            Err(e) => {
+                spec.rollback_txn()?;
+                return Err(e);
+            }
+        };
+        let delta = spec.commit_txn()?;
+        let seq = state.seq + 1;
+        let mut gens_before: Vec<(PredKey, u64)> = delta
+            .dirty_preds()
+            .into_iter()
+            .map(|k| (k, gens.get(&k).copied().unwrap_or(0)))
+            .collect();
+        gens_before.sort_by_key(|g| (g.0.name.as_str(), g.0.arity));
+        if let Some(wal) = state.wal.as_mut() {
+            wal.append(&delta).map_err(wal_err)?;
+        }
+        state.history.push_back(CommitRecord {
+            seq,
+            epoch_before,
+            gens_before,
+            delta: delta.clone(),
+        });
+        while state.history.len() > state.cap {
+            state.history.pop_front();
+        }
+        state.seq = seq;
+        Ok((Committed { seq, delta }, value))
+    }
+
+    /// Run a configuration change (world view, tabling, declarations,
+    /// index layout, …) against the live specification. Not logged, and
+    /// retained history is cleared: snapshots of earlier sequences would
+    /// otherwise resurrect old clauses under the *new* configuration.
+    /// Head-pinned snapshots keep working.
+    pub fn update<T>(&self, f: impl FnOnce(&mut Specification) -> SpecResult<T>) -> SpecResult<T> {
+        let mut spec = self.spec.write();
+        let mut state = self.state.lock();
+        let value = f(&mut spec)?;
+        state.history.clear();
+        Ok(value)
+    }
+}
+
+/// The pre-commit generations of the predicates `delta` dirties
+/// (restricted, sorted for determinism).
+fn pre_commit_gens(kb: &gdp_engine::KnowledgeBase, delta: &Delta) -> Vec<(PredKey, u64)> {
+    let mut gens: Vec<(PredKey, u64)> = delta
+        .dirty_preds()
+        .into_iter()
+        .map(|k| (k, kb.generation(k)))
+        .collect();
+    gens.sort_by_key(|g| (g.0.name.as_str(), g.0.arity));
+    gens
+}
+
+fn wal_err(e: std::io::Error) -> SpecError {
+    SpecError::Transaction(format!("write-ahead log: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fact::FactPat;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gdp-store-{tag}-{}.wal", std::process::id()));
+        p
+    }
+
+    fn base() -> Specification {
+        let mut spec = Specification::new();
+        spec.assert_fact(FactPat::new("road").arg("r1")).unwrap();
+        spec
+    }
+
+    fn road_count(spec: &Specification) -> usize {
+        spec.query(FactPat::new("road").arg("X")).unwrap().len()
+    }
+
+    #[test]
+    fn store_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<SpecStore>();
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_commits() {
+        let store = SpecStore::new(base());
+        let (seq, snap) = store.snapshot();
+        assert_eq!(seq, 0);
+        store
+            .commit(|spec| spec.assert_fact(FactPat::new("road").arg("r2")))
+            .unwrap();
+        assert_eq!(road_count(&snap), 1);
+        assert_eq!(store.read(road_count), 2);
+    }
+
+    #[test]
+    fn snapshot_at_rewinds_to_any_retained_seq() {
+        let store = SpecStore::new(base());
+        for i in 2..=5 {
+            store
+                .commit(|spec| spec.assert_fact(FactPat::new("road").arg(format!("r{i}").as_str())))
+                .unwrap();
+        }
+        for seq in 0..=4 {
+            let snap = store.snapshot_at(seq).unwrap();
+            assert_eq!(road_count(&snap), seq as usize + 1, "at seq {seq}");
+            assert!(snap.kb().check_index_integrity().is_ok());
+        }
+        assert!(store.snapshot_at(99).is_err());
+    }
+
+    #[test]
+    fn failed_commit_rolls_back_completely() {
+        let store = SpecStore::new(base());
+        let err = store.commit(|spec| {
+            spec.assert_fact(FactPat::new("road").arg("r2"))?;
+            Err::<(), _>(SpecError::UnknownModel("nope".into()))
+        });
+        assert!(err.is_err());
+        assert_eq!(store.head_seq(), 0);
+        assert_eq!(store.read(road_count), 1);
+    }
+
+    #[test]
+    fn recover_reproduces_live_store() {
+        let path = temp_path("recover");
+        let _ = std::fs::remove_file(&path);
+        let store = SpecStore::create_wal(base(), &path).unwrap();
+        for i in 2..=4 {
+            store
+                .commit(|spec| spec.assert_fact(FactPat::new("road").arg(format!("r{i}").as_str())))
+                .unwrap();
+        }
+        let live_epoch = store.read(|s| s.kb().epoch());
+        drop(store);
+        let (recovered, replayed) = SpecStore::recover(base(), &path).unwrap();
+        assert_eq!(replayed, 3);
+        assert_eq!(recovered.head_seq(), 3);
+        assert_eq!(recovered.read(road_count), 4);
+        assert_eq!(recovered.read(|s| s.kb().epoch()), live_epoch);
+        // History was rebuilt: pinned snapshots work across the restart.
+        assert_eq!(road_count(&recovered.snapshot_at(1).unwrap()), 2);
+        // And the recovered store can keep committing to the same log.
+        recovered
+            .commit(|spec| spec.assert_fact(FactPat::new("road").arg("r5")))
+            .unwrap();
+        assert_eq!(recovered.head_seq(), 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn update_clears_history_but_head_snapshots_survive() {
+        let store = SpecStore::new(base());
+        store
+            .commit(|spec| spec.assert_fact(FactPat::new("road").arg("r2")))
+            .unwrap();
+        store
+            .update(|spec| {
+                spec.declare_model("m1");
+                Ok(())
+            })
+            .unwrap();
+        assert!(store.snapshot_at(0).is_err());
+        let (seq, snap) = store.snapshot();
+        assert_eq!(seq, 1);
+        assert_eq!(road_count(&snap), 2);
+    }
+}

@@ -154,10 +154,16 @@ impl Budget {
         self
     }
 
-    /// Attach a wall-clock deadline `after` from now.
+    /// Attach a wall-clock deadline `after` from now. A duration so large
+    /// that the absolute instant overflows (`Duration::MAX` and friends)
+    /// saturates to "no effective deadline": the budget is returned
+    /// unchanged rather than panicking in `Instant + Duration`.
     pub fn with_deadline_in(self, after: Duration) -> Budget {
         let ms = after.as_millis().min(u128::from(u64::MAX)) as u64;
-        self.with_deadline(Instant::now() + after, ms)
+        match Instant::now().checked_add(after) {
+            Some(at) => self.with_deadline(at, ms),
+            None => self,
+        }
     }
 
     /// Attach a cancellation token. May be called more than once; every
@@ -347,6 +353,20 @@ mod tests {
             }
         };
         assert_eq!(err, EngineError::DeadlineExceeded { limit_ms: 0 });
+    }
+
+    #[test]
+    fn huge_deadline_saturates_instead_of_panicking() {
+        // `Instant::now() + Duration::MAX` would overflow-panic; the
+        // saturating path must instead behave as "no effective deadline".
+        let b = Budget::new(16, 8).with_deadline_in(Duration::MAX);
+        for _ in 0..16 {
+            assert!(b.step().is_ok());
+        }
+        assert_eq!(b.step(), Err(EngineError::StepLimit { limit: 16 }));
+        // A representable huge-but-finite deadline still attaches normally.
+        let b = Budget::new(u64::MAX, 8).with_deadline_in(Duration::from_secs(3600));
+        assert!(b.step().is_ok());
     }
 
     #[test]

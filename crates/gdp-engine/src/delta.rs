@@ -167,6 +167,28 @@ impl Delta {
     }
 }
 
+/// One committed transaction, as retained by a serving layer for MVCC
+/// snapshot reconstruction and appended to the write-ahead log.
+///
+/// A snapshot pinned at sequence number `S` is materialized by sharing the
+/// head knowledge base and *un*-applying the delta of every record with
+/// `seq > S`, newest first — the record carries the pre-commit generation
+/// counters (restricted to the predicates the delta touched) and the
+/// pre-commit epoch so the reconstructed KB validates cached answers
+/// exactly as the live KB did at that point.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// Commit sequence number (1 for the first commit after the base).
+    pub seq: u64,
+    /// The KB epoch immediately before this commit applied.
+    pub epoch_before: u64,
+    /// Generation counters of the touched predicates immediately before
+    /// this commit applied (untouched predicates keep their head values).
+    pub gens_before: Vec<(PredKey, u64)>,
+    /// The committed operations, oldest first.
+    pub delta: Delta,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

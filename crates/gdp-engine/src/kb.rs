@@ -32,7 +32,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::delta::{Delta, DeltaOp};
+use crate::delta::{CommitRecord, Delta, DeltaOp};
 use crate::deps::{ArgSpec, DepGraph};
 use crate::error::{EngineError, EngineResult};
 use crate::hash::{FxHashMap, FxHashSet};
@@ -466,7 +466,7 @@ fn grid_coord(v: f64, cell: f64) -> i64 {
 /// back to "index inapplicable" (a scan of the other selections).
 const GRID_CELL_CAP: i64 = 1024;
 
-#[derive(PartialEq)]
+#[derive(Clone, PartialEq)]
 enum RangeStore {
     Interval(BTreeMap<F64, Vec<u32>>),
     Grid(FxHashMap<(i64, i64), Vec<u32>>),
@@ -474,6 +474,7 @@ enum RangeStore {
 
 /// One range index over a predicate's clauses: keyed buckets of clause
 /// positions plus the unkeyed positions that every call must keep.
+#[derive(Clone)]
 struct RangeIndex {
     spec: RangeSpec,
     store: RangeStore,
@@ -927,6 +928,21 @@ struct IndexStats {
     scans: AtomicU64,
 }
 
+impl Clone for IndexStats {
+    /// Counters transfer by value: a snapshot starts from the live
+    /// numbers and the two copies diverge independently afterwards.
+    fn clone(&self) -> IndexStats {
+        let copy = |a: &AtomicU64| AtomicU64::new(a.load(Ordering::Relaxed));
+        IndexStats {
+            consults: copy(&self.consults),
+            hash_hits: copy(&self.hash_hits),
+            range_hits: copy(&self.range_hits),
+            pruned: copy(&self.pruned),
+            scans: copy(&self.scans),
+        }
+    }
+}
+
 /// Per-predicate index configuration and usage snapshot
 /// ([`KnowledgeBase::index_stats`]).
 #[derive(Clone, Debug)]
@@ -952,7 +968,7 @@ pub struct IndexReport {
 }
 
 /// One per-argument-position index.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct ArgIndex {
     pos: u16,
     by_key: FxHashMap<ArgKey, Vec<u32>>,
@@ -988,7 +1004,7 @@ impl ArgIndex {
     }
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct PredEntry {
     clauses: Vec<Arc<Clause>>,
     indexes: Vec<ArgIndex>,
@@ -1092,8 +1108,13 @@ struct DepCache {
 }
 
 /// The clause store. See the module docs.
+///
+/// Entries are held behind [`Arc`] so a snapshot
+/// ([`KnowledgeBase::snapshot`]) is a map of shared pointers rather than a
+/// deep copy: writers copy-on-write the entries they touch
+/// (`Arc::make_mut`), leaving every snapshot's view intact.
 pub struct KnowledgeBase {
-    preds: FxHashMap<PredKey, PredEntry>,
+    preds: FxHashMap<PredKey, Arc<PredEntry>>,
     natives: FxHashMap<PredKey, NativeFn>,
     /// Index positions configured per predicate before/after its entry
     /// exists; default is first-argument indexing.
@@ -1222,6 +1243,14 @@ impl KnowledgeBase {
         self.generations.get(&key).copied().unwrap_or(0)
     }
 
+    /// Every non-zero predicate generation counter, unordered. A serving
+    /// layer captures this *before* a transaction runs so the resulting
+    /// [`CommitRecord`] can carry the pre-commit generations of the
+    /// predicates the commit dirtied (absent here ⇒ generation 0).
+    pub fn generations(&self) -> impl Iterator<Item = (PredKey, u64)> + '_ {
+        self.generations.iter().map(|(&k, &g)| (k, g))
+    }
+
     /// The structural-configuration generation.
     pub fn structural_generation(&self) -> u64 {
         self.structural_gen
@@ -1342,6 +1371,7 @@ impl KnowledgeBase {
         }
         self.index_config.insert(key, positions.clone());
         if let Some(entry) = self.preds.get_mut(&key) {
+            let entry = Arc::make_mut(entry);
             entry.indexes = positions
                 .iter()
                 .map(|&pos| ArgIndex {
@@ -1381,6 +1411,7 @@ impl KnowledgeBase {
             return;
         }
         if let Some(entry) = self.preds.get_mut(&key) {
+            let entry = Arc::make_mut(entry);
             entry.ranges = specs
                 .iter()
                 .map(|spec| RangeIndex::new(spec.clone()))
@@ -1476,10 +1507,11 @@ impl KnowledgeBase {
         let clause = Arc::new(Clause::new(head, body, group));
         let positions = self.index_positions(key);
         let specs = self.range_specs(key);
-        self.preds
+        let entry = self
+            .preds
             .entry(key)
-            .or_insert_with(|| PredEntry::new(&positions, &specs))
-            .push(Arc::clone(&clause));
+            .or_insert_with(|| Arc::new(PredEntry::new(&positions, &specs)));
+        Arc::make_mut(entry).push(Arc::clone(&clause));
         self.clause_count += 1;
         if let Some(rec) = self.recorder.as_mut() {
             rec.push(DeltaOp::Assert { key, clause });
@@ -1504,6 +1536,7 @@ impl KnowledgeBase {
                     .iter()
                     .map(|(_, p, _)| *p as u32)
                     .collect();
+                let entry = Arc::make_mut(entry);
                 entry.remove_index_positions(&positions);
                 entry.clauses.retain(|c| c.group != group);
             }
@@ -1543,6 +1576,7 @@ impl KnowledgeBase {
         else {
             return false;
         };
+        let entry = Arc::make_mut(entry);
         entry.remove_index_positions(&[pos as u32]);
         let clause = entry.clauses.remove(pos);
         if entry.clauses.is_empty() {
@@ -1565,7 +1599,7 @@ impl KnowledgeBase {
                 if let Some(rec) = self.recorder.as_mut() {
                     rec.push(DeltaOp::RetractPredicate {
                         key,
-                        clauses: entry.clauses,
+                        clauses: entry.clauses.clone(),
                     });
                 }
                 self.bump_pred(key);
@@ -1648,37 +1682,7 @@ impl KnowledgeBase {
                 break;
             };
             undone += 1;
-            match op {
-                DeltaOp::Assert { key, .. } => {
-                    touched.insert(key);
-                    if let Some(entry) = self.preds.get_mut(&key) {
-                        entry.clauses.pop();
-                        entry.remove_index_positions(&[entry.clauses.len() as u32]);
-                        if entry.clauses.is_empty() {
-                            self.preds.remove(&key);
-                        }
-                        self.clause_count -= 1;
-                    }
-                }
-                DeltaOp::RetractFact { key, pos, clause } => {
-                    touched.insert(key);
-                    self.insert_clause_at(key, pos, clause);
-                }
-                DeltaOp::RetractGroup { removed, .. } => {
-                    // Positions ascend per predicate, so reinserting in
-                    // recorded order restores the original interleaving.
-                    for (key, pos, clause) in removed {
-                        touched.insert(key);
-                        self.insert_clause_at(key, pos, clause);
-                    }
-                }
-                DeltaOp::RetractPredicate { key, clauses } => {
-                    touched.insert(key);
-                    for (pos, clause) in clauses.into_iter().enumerate() {
-                        self.insert_clause_at(key, pos, clause);
-                    }
-                }
-            }
+            self.unapply_op(op, &mut touched);
         }
         self.recorder = Some(rec);
         if undone > 0 {
@@ -1690,14 +1694,228 @@ impl KnowledgeBase {
         undone
     }
 
+    /// Undo one recorded operation, restoring the exact prior clause
+    /// store (positions included). Collects the touched predicates into
+    /// `touched`; generation/epoch accounting is the caller's job — the
+    /// rollback path *bumps* them while the snapshot-reconstruction path
+    /// *restores* recorded values.
+    fn unapply_op(&mut self, op: DeltaOp, touched: &mut FxHashSet<PredKey>) {
+        match op {
+            DeltaOp::Assert { key, .. } => {
+                touched.insert(key);
+                if let Some(entry) = self.preds.get_mut(&key) {
+                    let entry = Arc::make_mut(entry);
+                    entry.clauses.pop();
+                    entry.remove_index_positions(&[entry.clauses.len() as u32]);
+                    if entry.clauses.is_empty() {
+                        self.preds.remove(&key);
+                    }
+                    self.clause_count -= 1;
+                }
+            }
+            DeltaOp::RetractFact { key, pos, clause } => {
+                touched.insert(key);
+                self.insert_clause_at(key, pos, clause);
+            }
+            DeltaOp::RetractGroup { removed, .. } => {
+                // Positions ascend per predicate, so reinserting in
+                // recorded order restores the original interleaving.
+                for (key, pos, clause) in removed {
+                    touched.insert(key);
+                    self.insert_clause_at(key, pos, clause);
+                }
+            }
+            DeltaOp::RetractPredicate { key, clauses } => {
+                touched.insert(key);
+                for (pos, clause) in clauses.into_iter().enumerate() {
+                    self.insert_clause_at(key, pos, clause);
+                }
+            }
+        }
+    }
+
+    /// Re-apply one committed operation (WAL replay). Mirrors the original
+    /// mutation exactly — clause positions *and* generation/epoch
+    /// accounting — so replaying a committed delta from the same base
+    /// state reproduces the live knowledge base: same clauses in the same
+    /// order, same incremental indexes, same table-validity counters.
+    pub fn apply_op(&mut self, op: &DeltaOp) {
+        match op {
+            DeltaOp::Assert { key, clause } => {
+                let positions = self.index_positions(*key);
+                let specs = self.range_specs(*key);
+                let entry = self
+                    .preds
+                    .entry(*key)
+                    .or_insert_with(|| Arc::new(PredEntry::new(&positions, &specs)));
+                Arc::make_mut(entry).push(Arc::clone(clause));
+                self.clause_count += 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.push(op.clone());
+                }
+                self.bump_pred(*key);
+            }
+            DeltaOp::RetractFact { key, pos, .. } => {
+                let Some(entry) = self.preds.get_mut(key) else {
+                    return;
+                };
+                if *pos >= entry.clauses.len() {
+                    return;
+                }
+                let entry = Arc::make_mut(entry);
+                entry.remove_index_positions(&[*pos as u32]);
+                entry.clauses.remove(*pos);
+                if entry.clauses.is_empty() {
+                    self.preds.remove(key);
+                }
+                self.clause_count -= 1;
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.push(op.clone());
+                }
+                self.bump_pred(*key);
+            }
+            DeltaOp::RetractGroup { removed, .. } => {
+                let mut by_pred: FxHashMap<PredKey, Vec<u32>> = FxHashMap::default();
+                for (key, pos, _) in removed {
+                    by_pred.entry(*key).or_default().push(*pos as u32);
+                }
+                for (key, positions) in &mut by_pred {
+                    positions.sort_unstable();
+                    let Some(entry) = self.preds.get_mut(key) else {
+                        continue;
+                    };
+                    let entry = Arc::make_mut(entry);
+                    entry.remove_index_positions(positions);
+                    for &p in positions.iter().rev() {
+                        if (p as usize) < entry.clauses.len() {
+                            entry.clauses.remove(p as usize);
+                            self.clause_count -= 1;
+                        }
+                    }
+                    if entry.clauses.is_empty() {
+                        self.preds.remove(key);
+                    }
+                }
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.push(op.clone());
+                }
+                for key in by_pred.keys() {
+                    *self.generations.entry(*key).or_insert(0) += 1;
+                }
+                self.bump_epoch();
+            }
+            DeltaOp::RetractPredicate { key, .. } => {
+                if let Some(entry) = self.preds.remove(key) {
+                    self.clause_count -= entry.clauses.len();
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.push(op.clone());
+                    }
+                    self.bump_pred(*key);
+                }
+            }
+        }
+    }
+
+    // ----- MVCC snapshots ---------------------------------------------------
+
+    /// A read-only view of the current state, built in O(#predicates):
+    /// every clause entry is shared behind its `Arc` (writers copy-on-write
+    /// the entries they later touch), the answer table is carried over as a
+    /// snapshot clone (hits against it are reported separately, see
+    /// [`crate::table::TableStats::snapshot_hits`]), and the delta recorder
+    /// is *not* carried — snapshots are for readers.
+    pub fn snapshot(&self) -> KnowledgeBase {
+        KnowledgeBase {
+            preds: self.preds.clone(),
+            natives: self.natives.clone(),
+            index_config: self.index_config.clone(),
+            range_config: self.range_config.clone(),
+            indexing: self.indexing,
+            strict: self.strict,
+            clause_count: self.clause_count,
+            epoch: self.epoch,
+            tabling_enabled: self.tabling_enabled,
+            table_all: self.table_all,
+            tabled: self.tabled.clone(),
+            cycle_policy: self.cycle_policy,
+            coinductive: self.coinductive.clone(),
+            table: self.table.snapshot_clone(),
+            generations: self.generations.clone(),
+            structural_gen: self.structural_gen,
+            recorder: None,
+            dep_cache: Mutex::new(DepCache::default()),
+        }
+    }
+
+    /// Materialize the state as of an older commit by *un*-applying the
+    /// commits that came after it: `newer` holds every
+    /// [`CommitRecord`] with a sequence number greater than the pinned
+    /// one, oldest first. The reconstruction starts from a head snapshot
+    /// (shared entries, no deep copy) and walks the chain newest-first,
+    /// inverting each operation and restoring each record's pre-commit
+    /// generation counters and epoch — so cached answers produced *after*
+    /// the pinned commit fail validation against the snapshot while
+    /// answers that were valid at pin time survive.
+    pub fn snapshot_at(&self, newer: &[CommitRecord]) -> KnowledgeBase {
+        let mut kb = self.snapshot();
+        let mut touched = FxHashSet::default();
+        for record in newer.iter().rev() {
+            for op in record.delta.ops().iter().rev() {
+                kb.unapply_op(op.clone(), &mut touched);
+            }
+            for &(key, gen) in &record.gens_before {
+                kb.generations.insert(key, gen);
+            }
+            kb.epoch = record.epoch_before;
+        }
+        kb
+    }
+
+    /// Structural equality of the stored content: same predicates with the
+    /// same clause lists in the same order (clause positions are observable
+    /// through solution order), and the same effective generation counters
+    /// and epoch. This is the crash-recovery equivalence the WAL tests
+    /// assert: `recover(log)` must be `content_eq` to the live KB.
+    pub fn content_eq(&self, other: &KnowledgeBase) -> bool {
+        if self.clause_count != other.clause_count
+            || self.epoch != other.epoch
+            || self.preds.len() != other.preds.len()
+        {
+            return false;
+        }
+        for (key, entry) in &self.preds {
+            let Some(theirs) = other.preds.get(key) else {
+                return false;
+            };
+            if entry.clauses.len() != theirs.clauses.len() {
+                return false;
+            }
+            let same = entry.clauses.iter().zip(&theirs.clauses).all(|(a, b)| {
+                a.head == b.head && a.body == b.body && a.group == b.group && a.n_vars == b.n_vars
+            });
+            if !same {
+                return false;
+            }
+        }
+        let keys: FxHashSet<PredKey> = self
+            .generations
+            .keys()
+            .chain(other.generations.keys())
+            .copied()
+            .collect();
+        keys.into_iter()
+            .all(|k| self.generation(k) == other.generation(k))
+    }
+
     /// Reinsert a clause at a recorded position (rollback support).
     fn insert_clause_at(&mut self, key: PredKey, pos: usize, clause: Arc<Clause>) {
         let positions = self.index_positions(key);
         let specs = self.range_specs(key);
-        let entry = self
-            .preds
-            .entry(key)
-            .or_insert_with(|| PredEntry::new(&positions, &specs));
+        let entry = Arc::make_mut(
+            self.preds
+                .entry(key)
+                .or_insert_with(|| Arc::new(PredEntry::new(&positions, &specs))),
+        );
         let pos = pos.min(entry.clauses.len());
         entry.insert_index_position(pos as u32, &clause.head);
         entry.clauses.insert(pos, clause);

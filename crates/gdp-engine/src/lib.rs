@@ -55,12 +55,13 @@ pub mod table;
 mod term;
 pub mod trace;
 mod unify;
+pub mod wal;
 
 pub mod arith;
 
 pub use budget::{Budget, CancelToken, DepthGuard, CHECK_INTERVAL};
 pub use chaos::{ChaosConfig, ChaosSink, FaultKind};
-pub use delta::{Delta, DeltaOp};
+pub use delta::{CommitRecord, Delta, DeltaOp};
 pub use deps::{ArgSpec, Closure, DepGraph};
 pub use error::{EngineError, EngineResult};
 pub use hash::{FxHashMap, FxHashSet};
@@ -79,3 +80,4 @@ pub use trace::{
     TraceSink,
 };
 pub use unify::{resolve_deep, resolve_shallow, BindStore};
+pub use wal::{Wal, WalRecord};

@@ -84,6 +84,10 @@ pub struct SolverStats {
     /// a *degradation signal* — the call still answers correctly, but
     /// without memoization.
     pub table_fallbacks: u64,
+    /// Tabled calls answered from an MVCC *snapshot* table — cached work
+    /// carried over from the live KB and reused by a pinned reader. A
+    /// subset of [`SolverStats::table_hits`].
+    pub snapshot_hits: u64,
 }
 
 impl SolverStats {
@@ -97,6 +101,7 @@ impl SolverStats {
         self.table_inserts += other.table_inserts;
         self.table_invalidations += other.table_invalidations;
         self.table_fallbacks += other.table_fallbacks;
+        self.snapshot_hits += other.snapshot_hits;
     }
 }
 
@@ -111,6 +116,7 @@ pub(crate) struct Counters {
     table_inserts: Cell<u64>,
     table_invalidations: Cell<u64>,
     table_fallbacks: Cell<u64>,
+    snapshot_hits: Cell<u64>,
 }
 
 /// Entry point for running queries against a [`KnowledgeBase`].
@@ -161,6 +167,7 @@ impl<'kb, S: TraceSink> Solver<'kb, S> {
             table_inserts: self.counters.table_inserts.get(),
             table_invalidations: self.counters.table_invalidations.get(),
             table_fallbacks: self.counters.table_fallbacks.get(),
+            snapshot_hits: self.counters.snapshot_hits.get(),
         }
     }
 
@@ -690,8 +697,19 @@ impl<'kb, S: TraceSink> Machine<'kb, S> {
                 self.counters
                     .table_hits
                     .set(self.counters.table_hits.get() + 1);
+                let from_snapshot = self.kb.table().is_snapshot();
+                if from_snapshot {
+                    self.counters
+                        .snapshot_hits
+                        .set(self.counters.snapshot_hits.get() + 1);
+                }
                 if S::ENABLED {
-                    self.emit(Port::TableHit, key, resolved.clone());
+                    let port = if from_snapshot {
+                        Port::SnapshotHit
+                    } else {
+                        Port::TableHit
+                    };
+                    self.emit(port, key, resolved.clone());
                 }
                 self.replay(goal, answers)
             }

@@ -129,6 +129,12 @@ pub struct TableStats {
     /// active pattern from a context that cannot suspend (negation,
     /// aggregation, quantifier sub-machines).
     pub fallbacks: u64,
+    /// Hits served from a *snapshot* table — answers carried over from the
+    /// live KB into an MVCC snapshot and reused by a pinned reader. Always
+    /// counted in addition to [`TableStats::hits`]; this is what makes
+    /// snapshot reuse observable (the serving layer's analogue of a cache
+    /// hit ratio).
+    pub snapshot_hits: u64,
 }
 
 /// Outcome of [`AnswerTable::lookup`].
@@ -143,13 +149,13 @@ pub enum Lookup {
     },
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct TableEntry {
     validity: TableValidity,
     answers: Arc<Vec<CachedAnswer>>,
 }
 
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct TableInner {
     entries: FxHashMap<Term, TableEntry>,
     stats: TableStats,
@@ -159,6 +165,10 @@ struct TableInner {
 #[derive(Default)]
 pub struct AnswerTable {
     inner: Mutex<TableInner>,
+    /// This table belongs to an MVCC snapshot ([`AnswerTable::snapshot_clone`]):
+    /// hits are additionally counted as [`TableStats::snapshot_hits`] and
+    /// the solver reports them under their own trace port.
+    snapshot: bool,
 }
 
 impl std::fmt::Debug for AnswerTable {
@@ -186,6 +196,9 @@ impl AnswerTable {
             Some(entry) if entry.validity.survives(current) => {
                 let answers = Arc::clone(&entry.answers);
                 inner.stats.hits += 1;
+                if self.snapshot {
+                    inner.stats.snapshot_hits += 1;
+                }
                 Lookup::Hit(answers)
             }
             Some(_) => {
@@ -235,6 +248,25 @@ impl AnswerTable {
     /// Snapshot of the cumulative counters.
     pub fn stats(&self) -> TableStats {
         self.inner.lock().stats
+    }
+
+    /// A copy of this table for an MVCC snapshot: same entries (the answer
+    /// vectors are shared behind `Arc`), counters carried over, and the
+    /// snapshot flag set so reuse is observable through
+    /// [`TableStats::snapshot_hits`] and the solver's snapshot-hit port.
+    /// Entries recorded *after* the pinned commit carry newer dependency
+    /// generations and simply fail validation against the snapshot's
+    /// restored counters — no entry filtering is needed here.
+    pub fn snapshot_clone(&self) -> AnswerTable {
+        AnswerTable {
+            inner: Mutex::new(self.inner.lock().clone()),
+            snapshot: true,
+        }
+    }
+
+    /// Does this table belong to an MVCC snapshot?
+    pub fn is_snapshot(&self) -> bool {
+        self.snapshot
     }
 }
 

@@ -78,6 +78,12 @@ pub enum Port {
     /// budget too tight for the evaluation machinery. Counted in
     /// `SolverStats::table_fallbacks`.
     TableFallback,
+    /// A tabled call pinned to an MVCC snapshot was answered from the
+    /// answer set the snapshot carried over from the live KB — the
+    /// observable marker that a concurrent reader reused work instead of
+    /// re-deriving it. Counted in `SolverStats::snapshot_hits` (in
+    /// addition to the ordinary table-hit counter).
+    SnapshotHit,
 }
 
 impl Port {
@@ -97,6 +103,7 @@ impl Port {
             Port::Resume => "RESUME",
             Port::Complete => "COMPL",
             Port::TableFallback => "T-FBK",
+            Port::SnapshotHit => "S-HIT",
         }
     }
 }
@@ -298,7 +305,9 @@ impl TraceSink for Profiler {
             Port::Exit => row.exits += 1,
             Port::Redo => row.redos += 1,
             Port::Fail => row.fails += 1,
-            Port::TableHit => row.table_hits += 1,
+            // A snapshot hit is still a table hit for profiling purposes;
+            // the snapshot-specific tally lives in `SolverStats`.
+            Port::TableHit | Port::SnapshotHit => row.table_hits += 1,
             Port::TableFallback => row.fallbacks += 1,
             // Inserts, native invocations, invalidations, and commits are
             // visible in the trace but carry no counter of their own (the

@@ -1,0 +1,534 @@
+//! Durable write-ahead log of committed [`DeltaOp`] batches.
+//!
+//! The paper's "map data revision" workload makes the knowledge base a
+//! *living* store; a serving layer that accepts revisions over a socket
+//! must not lose an acknowledged commit to a crash. The WAL is the
+//! standard answer: before a commit is acknowledged, its delta is appended
+//! to an append-only log and the file is synced; recovery replays the log
+//! over the same base state to reproduce the live knowledge base exactly
+//! (clause order, incremental indexes, generation counters — see
+//! [`KnowledgeBase::apply_op`]).
+//!
+//! ## Record format
+//!
+//! Every committed transaction is one record:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! payload = seq: u64 LE, op_count: u32 LE, op*
+//! ```
+//!
+//! `crc32` is the IEEE CRC-32 of the payload. Operations serialize the
+//! [`DeltaOp`] variants with a one-byte tag; terms serialize structurally
+//! (atoms and functors by name — the log is portable across processes with
+//! different symbol-interning orders). Clause `n_vars` is recomputed on
+//! decode, so a log can never smuggle in an inconsistent variable count.
+//!
+//! ## Torn-tail policy
+//!
+//! A crash mid-append leaves a torn record at the tail: a length running
+//! past end-of-file, a checksum mismatch, or a sequence number that does
+//! not continue the chain. [`Wal::open`] treats the first such record as
+//! the end of the log — everything before it is returned as the recovered
+//! prefix, and the file is truncated back to that point so the next append
+//! continues from a clean boundary. Torn tails are *expected*, not fatal:
+//! the commit they belonged to was never acknowledged.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::delta::{Delta, DeltaOp};
+use crate::kb::{Clause, GroupId, KnowledgeBase, PredKey};
+use crate::symbol::Sym;
+use crate::term::{Term, Var, F64};
+
+/// IEEE CRC-32 (reflected polynomial 0xEDB88320), bit-serial — WAL
+/// payloads are small and dominated by the fsync, not the checksum.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+// ----- payload encoding -----------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_term(out: &mut Vec<u8>, t: &Term) {
+    match t {
+        Term::Var(Var(v)) => {
+            out.push(0);
+            put_u32(out, *v);
+        }
+        Term::Atom(s) => {
+            out.push(1);
+            put_str(out, &s.as_str());
+        }
+        Term::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Term::Float(f) => {
+            out.push(3);
+            out.extend_from_slice(&f.get().to_le_bytes());
+        }
+        Term::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Term::Compound(f, args) => {
+            out.push(5);
+            put_str(out, &f.as_str());
+            put_u32(out, args.len() as u32);
+            for arg in args.iter() {
+                put_term(out, arg);
+            }
+        }
+    }
+}
+
+fn put_clause(out: &mut Vec<u8>, clause: &Clause) {
+    put_str(out, &clause.group.name().as_str());
+    put_term(out, &clause.head);
+    put_term(out, &clause.body);
+}
+
+fn put_key(out: &mut Vec<u8>, key: PredKey) {
+    put_str(out, &key.name.as_str());
+    put_u32(out, u32::from(key.arity));
+}
+
+fn put_op(out: &mut Vec<u8>, op: &DeltaOp) {
+    match op {
+        DeltaOp::Assert { key, clause } => {
+            out.push(0);
+            put_key(out, *key);
+            put_clause(out, clause);
+        }
+        DeltaOp::RetractFact { key, pos, clause } => {
+            out.push(1);
+            put_key(out, *key);
+            put_u64(out, *pos as u64);
+            put_clause(out, clause);
+        }
+        DeltaOp::RetractGroup { group, removed } => {
+            out.push(2);
+            put_str(out, &group.name().as_str());
+            put_u32(out, removed.len() as u32);
+            for (key, pos, clause) in removed {
+                put_key(out, *key);
+                put_u64(out, *pos as u64);
+                put_clause(out, clause);
+            }
+        }
+        DeltaOp::RetractPredicate { key, clauses } => {
+            out.push(3);
+            put_key(out, *key);
+            put_u32(out, clauses.len() as u32);
+            for clause in clauses {
+                put_clause(out, clause);
+            }
+        }
+    }
+}
+
+// ----- payload decoding -----------------------------------------------------
+
+/// Decoder over one payload slice. Every read is bounds-checked; `None`
+/// means the payload is malformed (which [`Wal::open`] treats exactly like
+/// a checksum failure: end of the recoverable prefix).
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|s| i64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.take(8)
+            .map(|s| f64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+
+    fn term(&mut self) -> Option<Term> {
+        Some(match self.u8()? {
+            0 => Term::Var(Var(self.u32()?)),
+            1 => Term::Atom(Sym::new(self.str()?)),
+            2 => Term::Int(self.i64()?),
+            3 => Term::Float(F64::try_new(self.f64()?)?),
+            4 => Term::Str(Arc::from(self.str()?)),
+            5 => {
+                let functor = Sym::new(self.str()?);
+                let n = self.u32()? as usize;
+                // A compound needs at least one byte per argument; anything
+                // larger than the remaining payload is corruption, not a
+                // request to allocate.
+                if n > self.buf.len() - self.pos {
+                    return None;
+                }
+                let mut args = Vec::with_capacity(n);
+                for _ in 0..n {
+                    args.push(self.term()?);
+                }
+                Term::compound(functor, args)
+            }
+            _ => return None,
+        })
+    }
+
+    fn clause(&mut self) -> Option<Arc<Clause>> {
+        let group = GroupId::named(self.str()?);
+        let head = self.term()?;
+        let body = self.term()?;
+        Some(Arc::new(Clause::new(head, body, group)))
+    }
+
+    fn key(&mut self) -> Option<PredKey> {
+        let name = self.str()?.to_owned();
+        let arity = self.u32()? as usize;
+        PredKey::try_new(&name, arity)
+    }
+
+    fn op(&mut self) -> Option<DeltaOp> {
+        Some(match self.u8()? {
+            0 => DeltaOp::Assert {
+                key: self.key()?,
+                clause: self.clause()?,
+            },
+            1 => DeltaOp::RetractFact {
+                key: self.key()?,
+                pos: usize::try_from(self.u64()?).ok()?,
+                clause: self.clause()?,
+            },
+            2 => {
+                let group = GroupId::named(self.str()?);
+                let n = self.u32()? as usize;
+                if n > self.buf.len() - self.pos {
+                    return None;
+                }
+                let mut removed = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let key = self.key()?;
+                    let pos = usize::try_from(self.u64()?).ok()?;
+                    removed.push((key, pos, self.clause()?));
+                }
+                DeltaOp::RetractGroup { group, removed }
+            }
+            3 => {
+                let key = self.key()?;
+                let n = self.u32()? as usize;
+                if n > self.buf.len() - self.pos {
+                    return None;
+                }
+                let mut clauses = Vec::with_capacity(n);
+                for _ in 0..n {
+                    clauses.push(self.clause()?);
+                }
+                DeltaOp::RetractPredicate { key, clauses }
+            }
+            _ => return None,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// One recovered commit: its sequence number and the committed delta.
+#[derive(Clone, Debug)]
+pub struct WalRecord {
+    /// Commit sequence number (1-based, strictly consecutive in a log).
+    pub seq: u64,
+    /// The committed operations, oldest first.
+    pub delta: Delta,
+}
+
+fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+    let mut cur = Cursor::new(payload);
+    let seq = cur.u64()?;
+    let n = cur.u32()? as usize;
+    if n > payload.len() {
+        return None;
+    }
+    let mut delta = Delta::new();
+    for _ in 0..n {
+        delta.push(cur.op()?);
+    }
+    if !cur.finished() {
+        return None;
+    }
+    Some(WalRecord { seq, delta })
+}
+
+/// An open write-ahead log, positioned for appending.
+///
+/// Appends are length-prefixed, checksummed, and synced to disk
+/// ([`File::sync_data`]) before [`Wal::append`] returns — the commit
+/// boundary *is* the fsync. See the module docs for the format and the
+/// torn-tail policy.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Create a fresh, empty log at `path`, truncating anything there.
+    pub fn create(path: &Path) -> io::Result<Wal> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Wal { file, next_seq: 1 })
+    }
+
+    /// Open an existing log (creating an empty one if absent): read the
+    /// longest valid record prefix, truncate any torn tail, and return the
+    /// recovered records together with a log positioned to append the next
+    /// commit.
+    pub fn open(path: &Path) -> io::Result<(Wal, Vec<WalRecord>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let mut records = Vec::new();
+        let mut good = 0usize;
+        let mut next_seq = 1u64;
+        // Stops at a clean end or the first torn header.
+        while let Some(header) = buf.get(good..good + 8) {
+            let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+            let Some(payload) = buf.get(good + 8..good + 8 + len) else {
+                break; // torn payload
+            };
+            if crc32(payload) != crc {
+                break; // torn or corrupted record
+            }
+            let Some(record) = decode_payload(payload) else {
+                break; // checksum ok but structure malformed: stop here too
+            };
+            if record.seq != next_seq {
+                break; // sequence discontinuity: do not replay past it
+            }
+            next_seq += 1;
+            records.push(record);
+            good += 8 + len;
+        }
+        if good < buf.len() {
+            file.set_len(good as u64)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good as u64))?;
+        Ok((Wal { file, next_seq }, records))
+    }
+
+    /// The sequence number the next [`Wal::append`] will write.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Append one committed delta and sync the file. The record is only
+    /// durable — and the commit only acknowledgeable — once this returns.
+    pub fn append(&mut self, delta: &Delta) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let mut payload = Vec::new();
+        put_u64(&mut payload, seq);
+        put_u32(&mut payload, delta.len() as u32);
+        for op in delta.ops() {
+            put_op(&mut payload, op);
+        }
+        let mut record = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut record, payload.len() as u32);
+        put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        self.file.write_all(&record)?;
+        self.file.sync_data()?;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+}
+
+/// Replay recovered records into `kb`, oldest first. `kb` must be in the
+/// same state the live KB was in when the log was created (the serving
+/// layer opens its WAL right after base setup); replay then reproduces the
+/// live store exactly — clause order, incremental indexes, generation
+/// counters and epoch included (see [`KnowledgeBase::apply_op`]).
+pub fn replay(records: &[WalRecord], kb: &mut KnowledgeBase) {
+    for record in records {
+        for op in record.delta.ops() {
+            kb.apply_op(op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(name: &str, arg: &str) -> Term {
+        Term::pred(name, vec![Term::atom(arg)])
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gdp-wal-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn committed_ops(kb: &mut KnowledgeBase, f: impl FnOnce(&mut KnowledgeBase)) -> Delta {
+        kb.begin_delta();
+        let mark = kb.delta_len();
+        f(kb);
+        let delta = kb.delta_since(mark);
+        kb.end_delta();
+        delta
+    }
+
+    #[test]
+    fn roundtrip_all_op_kinds() {
+        let path = temp_path("roundtrip");
+        let mut live = KnowledgeBase::new();
+        let mut wal = Wal::create(&path).unwrap();
+        let d1 = committed_ops(&mut live, |kb| {
+            kb.assert_fact(fact("road", "s1"));
+            kb.assert_fact(fact("road", "s2"));
+            kb.assert_clause_in(
+                GroupId::named("m1"),
+                Term::pred("soil", vec![Term::var(0), Term::float(0.5)]),
+                Term::pred("road", vec![Term::var(0)]),
+            );
+            kb.assert_fact(Term::pred("label", vec![Term::str("x-17"), Term::int(17)]));
+        });
+        wal.append(&d1).unwrap();
+        let d2 = committed_ops(&mut live, |kb| {
+            assert!(kb.retract_fact(&fact("road", "s1")));
+            kb.retract_group(GroupId::named("m1"));
+            kb.retract_predicate(PredKey::new("label", 2));
+        });
+        wal.append(&d2).unwrap();
+        drop(wal);
+
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(wal.next_seq(), 3);
+        let mut recovered = KnowledgeBase::new();
+        replay(&records, &mut recovered);
+        assert!(recovered.content_eq(&live), "recover(log) != live KB");
+        recovered.check_index_integrity().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = temp_path("torn");
+        let mut live = KnowledgeBase::new();
+        let mut wal = Wal::create(&path).unwrap();
+        let d1 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "a")));
+        wal.append(&d1).unwrap();
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        let d2 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "b")));
+        wal.append(&d2).unwrap();
+        drop(wal);
+        // Crash mid-append of the second record: cut three bytes off.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+
+        let (mut wal, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1, "only the intact prefix is recovered");
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
+        // The log stays appendable from the clean boundary.
+        assert_eq!(wal.append(&d2).unwrap(), 2);
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let path = temp_path("crc");
+        let mut live = KnowledgeBase::new();
+        let mut wal = Wal::create(&path).unwrap();
+        let d1 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "a")));
+        wal.append(&d1).unwrap();
+        let d2 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "b")));
+        wal.append(&d2).unwrap();
+        drop(wal);
+        // Flip one payload byte of the second record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, records) = Wal::open(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_and_missing_logs_open_clean() {
+        let path = temp_path("empty");
+        std::fs::remove_file(&path).ok();
+        let (wal, records) = Wal::open(&path).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(wal.next_seq(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -227,7 +227,16 @@ impl Session {
     }
 
     fn run_source(&mut self, source: &str) {
-        match Loader::with_spatial(&mut self.spec, &self.reg).load_str(source) {
+        // Rearm the cancellation token before every statement, not just
+        // once per interaction: a Ctrl-C that lands during one statement
+        // of a multi-statement source (or a `:load`ed file) must kill
+        // only that query — without this, the tripped token makes every
+        // later statement in the same source die instantly with a stale
+        // `Cancelled`.
+        let token = self.spec.cancel_token();
+        match Loader::with_spatial(&mut self.spec, &self.reg)
+            .load_str_guarded(source, || token.reset())
+        {
             Ok(summary) => {
                 for answers in &summary.query_results {
                     if answers.is_empty() {

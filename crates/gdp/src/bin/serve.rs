@@ -1,0 +1,134 @@
+//! gdp-serve — the specification store as a network service.
+//!
+//! Speaks the `gdp-repl` protocol over a TCP or Unix socket, one session
+//! per connection. Every session reads against an MVCC snapshot pinned at
+//! connect time (re-pin with `:snapshot`); writers commit atomically
+//! through the shared store. With `--wal`, every commit is appended to a
+//! durable write-ahead log and replayed on restart.
+//!
+//! ```text
+//! $ gdp-serve --tcp 127.0.0.1:7411 --wal /var/lib/gdp/spec.wal
+//! $ gdp-serve --unix /tmp/gdp.sock
+//! # then from N terminals:
+//! $ nc 127.0.0.1 7411
+//! gdp> bridge(b1). open(b1).
+//! ok (2 facts, 0 rules, 0 constraints) committed as seq 1
+//! gdp> ?- bridge(X).
+//! X = b1
+//! ```
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+
+#[cfg(unix)]
+use gdp::server::serve_unix;
+use gdp::server::{serve_tcp, ServerState};
+
+const USAGE: &str = "\
+usage: gdp-serve (--tcp ADDR | --unix PATH) [--wal FILE] [--load FILE]
+  --tcp ADDR   listen on a TCP address, e.g. 127.0.0.1:7411
+  --unix PATH  listen on a Unix-domain socket at PATH (removed first)
+  --wal FILE   durable mode: append commits to FILE, replay it on start
+  --load FILE  commit a specification file into the store before serving";
+
+enum Listen {
+    Tcp(String),
+    #[cfg_attr(not(unix), allow(dead_code))]
+    Unix(PathBuf),
+}
+
+fn main() {
+    let mut listen = None;
+    let mut wal: Option<PathBuf> = None;
+    let mut load: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tcp" => listen = args.next().map(Listen::Tcp),
+            "--unix" => listen = args.next().map(|p| Listen::Unix(PathBuf::from(p))),
+            "--wal" => wal = args.next().map(PathBuf::from),
+            "--load" => load = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown argument {other}\n{USAGE}")),
+        }
+    }
+    let Some(listen) = listen else {
+        die(USAGE);
+    };
+
+    let state = match &wal {
+        Some(path) => match ServerState::durable(path) {
+            Ok((state, replayed)) => {
+                eprintln!(
+                    "gdp-serve: replayed {replayed} commit(s) from {} (head seq {})",
+                    path.display(),
+                    state.store().head_seq()
+                );
+                state
+            }
+            Err(e) => die(&format!("cannot open WAL {}: {e}", path.display())),
+        },
+        None => match ServerState::new() {
+            Ok(state) => state,
+            Err(e) => die(&format!("failed to initialize: {e}")),
+        },
+    };
+
+    if let Some(path) = load {
+        let source = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => die(&format!("cannot read {}: {e}", path.display())),
+        };
+        let registry = state.registry().clone();
+        let result = state.store().commit(|spec| {
+            gdp::lang::Loader::with_spatial(spec, &registry)
+                .load_str(&source)
+                .map_err(|e| gdp::core::SpecError::Transaction(e.to_string()))
+        });
+        match result {
+            Ok((committed, summary)) => eprintln!(
+                "gdp-serve: loaded {} ({} facts, {} rules, {} constraints) as seq {}",
+                path.display(),
+                summary.facts,
+                summary.rules,
+                summary.constraints,
+                committed.seq
+            ),
+            Err(e) => die(&format!("cannot load {}: {e}", path.display())),
+        }
+    }
+
+    let outcome = match listen {
+        Listen::Tcp(addr) => match TcpListener::bind(&addr) {
+            Ok(listener) => {
+                eprintln!("gdp-serve: listening on tcp://{addr}");
+                serve_tcp(state, listener)
+            }
+            Err(e) => die(&format!("cannot bind {addr}: {e}")),
+        },
+        #[cfg(unix)]
+        Listen::Unix(path) => {
+            let _ = std::fs::remove_file(&path);
+            match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(listener) => {
+                    eprintln!("gdp-serve: listening on unix://{}", path.display());
+                    serve_unix(state, listener)
+                }
+                Err(e) => die(&format!("cannot bind {}: {e}", path.display())),
+            }
+        }
+        #[cfg(not(unix))]
+        Listen::Unix(_) => die("--unix requires a unix platform; use --tcp"),
+    };
+    if let Err(e) = outcome {
+        die(&format!("accept loop failed: {e}"));
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("{message}");
+    std::process::exit(1);
+}

@@ -38,6 +38,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod server;
+
 pub use gdp_core as core;
 pub use gdp_datagen as datagen;
 pub use gdp_engine as engine;

@@ -1,0 +1,497 @@
+//! The serving layer behind `gdp-serve`: REPL-protocol sessions over any
+//! byte stream, with MVCC snapshot isolation per session.
+//!
+//! One process hosts one [`ServerState`] — a [`SpecStore`] plus the shared
+//! spatial registry — and any number of concurrent sessions. Each session
+//! pins a *snapshot* of the specification (a generation-tagged, copy-on-
+//! write view; see [`SpecStore::snapshot`]) and runs every query, `:check`
+//! and `:audit` against it: a writer committing on another connection
+//! never changes what an open session observes until it re-pins.
+//!
+//! The wire protocol is the `gdp-repl` protocol verbatim — statements
+//! terminated by `.`, `:`-commands for session control, one `gdp> `
+//! prompt after each response — so the shell and the server speak the
+//! same language, and anything scriptable against one drives the other.
+//! Session-level additions:
+//!
+//! * statement blocks outside a transaction commit **atomically**: any
+//!   diagnostic rolls the whole block back (the shell instead applies
+//!   the statements that parsed);
+//! * `:begin` buffers statement blocks client-side of the store and
+//!   `:commit` applies them as one commit; `:rollback` discards them;
+//! * `:snapshot [SEQ]` re-pins the session (head, or a retained earlier
+//!   commit); `:seq` shows the pinned and head sequence numbers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+#[cfg(unix)]
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::Arc;
+
+use gdp_core::{SpecError, SpecResult, SpecStore, Specification};
+use gdp_engine::{Delta, EngineError};
+use gdp_lang::Loader;
+use gdp_spatial::SpatialRegistry;
+
+const PROMPT: &str = "gdp> ";
+const CONT_PROMPT: &str = "...> ";
+
+const HELP: &str = "\
+statements  any specification-language statement ending in `.`
+            (facts, rules, constraints, #directives, `?- query.`)
+            queries run against this session's pinned snapshot;
+            other statements commit atomically to the live store
+:begin      buffer statement blocks; :commit applies them as ONE commit
+:commit     commit the buffered blocks (all-or-nothing)
+:rollback   discard the buffered blocks
+:snapshot [SEQ]  re-pin this session: at head, or at a retained commit
+:seq        this session's pinned sequence and the store's head
+:check      consistency check against the pinned snapshot
+:audit [-j N] [-i]  parallel world-view audit of the pinned snapshot
+:views      the active world view and meta-view
+:stats      knowledge-base and solver statistics (pinned snapshot)
+:help       this text
+:quit       close this session";
+
+/// Shared server state: the MVCC store and the spatial registry every
+/// session's loader consults. Sessions hold it behind an [`Arc`].
+pub struct ServerState {
+    store: SpecStore,
+    registry: SpatialRegistry,
+}
+
+/// The base image every `gdp-serve` process starts from: the standard
+/// spatial + temporal specification with the fuzzy rule packs registered
+/// (exactly what `gdp-repl` builds). Durable stores replay their WAL over
+/// this base, so it must stay deterministic.
+fn base_spec() -> SpecResult<(Specification, SpatialRegistry)> {
+    let (mut spec, registry) = crate::standard_spec()?;
+    spec.register_meta_model(gdp_fuzzy::unified_fuzzy(gdp_fuzzy::UnifyPolicy::Max));
+    Ok((spec, registry))
+}
+
+impl ServerState {
+    /// In-memory server: no write-ahead log.
+    pub fn new() -> SpecResult<Arc<ServerState>> {
+        let (spec, registry) = base_spec()?;
+        Ok(Arc::new(ServerState {
+            store: SpecStore::new(spec),
+            registry,
+        }))
+    }
+
+    /// Durable server: open (or create) the write-ahead log at `path`,
+    /// replay any committed deltas over the base image, and append every
+    /// subsequent commit to it. Returns the state and the number of
+    /// commits replayed.
+    pub fn durable(path: &Path) -> SpecResult<(Arc<ServerState>, u64)> {
+        let (spec, registry) = base_spec()?;
+        let (store, replayed) = SpecStore::recover(spec, path)?;
+        Ok((Arc::new(ServerState { store, registry }), replayed))
+    }
+
+    /// The underlying MVCC store (tests and embedding).
+    pub fn store(&self) -> &SpecStore {
+        &self.store
+    }
+
+    /// The shared spatial registry.
+    pub fn registry(&self) -> &SpatialRegistry {
+        &self.registry
+    }
+}
+
+/// Drive one session over a byte stream until `:quit` or EOF. This is
+/// the whole protocol — the socket listeners just hand their streams
+/// here, and in-process tests can run it over pipes.
+pub fn serve_connection(
+    state: Arc<ServerState>,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let (seq, view) = state.store.snapshot();
+    let mut session = Session {
+        state,
+        view,
+        seq,
+        pending: Delta::new(),
+        txn: None,
+    };
+    writeln!(
+        writer,
+        "gdp-serve — formal GDP requirements server (snapshot pinned at seq {seq}; :help for help)"
+    )?;
+    write!(writer, "{PROMPT}")?;
+    writer.flush()?;
+    let mut buffer = String::new();
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            if !session.command(trimmed, &mut writer)? {
+                return Ok(());
+            }
+            write!(writer, "{PROMPT}")?;
+            writer.flush()?;
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with('.') {
+            let source = std::mem::take(&mut buffer);
+            session.statement(&source, &mut writer)?;
+        }
+        write!(
+            writer,
+            "{}",
+            if buffer.is_empty() {
+                PROMPT
+            } else {
+                CONT_PROMPT
+            }
+        )?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Accept TCP connections forever, one thread (and one session) each.
+pub fn serve_tcp(state: Arc<ServerState>, listener: TcpListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone()?);
+            serve_connection(state, reader, stream)
+        });
+    }
+    Ok(())
+}
+
+/// Accept Unix-socket connections forever, one thread each.
+#[cfg(unix)]
+pub fn serve_unix(state: Arc<ServerState>, listener: UnixListener) -> std::io::Result<()> {
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let reader = BufReader::new(stream.try_clone()?);
+            serve_connection(state, reader, stream)
+        });
+    }
+    Ok(())
+}
+
+struct Session {
+    state: Arc<ServerState>,
+    /// The pinned snapshot every read runs against.
+    view: Specification,
+    /// The sequence number `view` is pinned at.
+    seq: u64,
+    /// Deltas of this session's commits since its last `:audit -i`.
+    pending: Delta,
+    /// Statement blocks buffered since `:begin`, awaiting `:commit`.
+    txn: Option<Vec<String>>,
+}
+
+impl Session {
+    /// Re-pin the session at the store's head.
+    fn repin(&mut self) {
+        let (seq, view) = self.state.store.snapshot();
+        self.seq = seq;
+        self.view = view;
+    }
+
+    /// Handle one completed statement block.
+    fn statement(&mut self, source: &str, w: &mut impl Write) -> std::io::Result<()> {
+        if source.trim_start().starts_with("?-") {
+            // Pure query: runs on the pinned snapshot, never takes the
+            // write lock, and is untouched by concurrent commits.
+            return self.run_queries(source, w);
+        }
+        if let Some(buffered) = self.txn.as_mut() {
+            buffered.push(source.to_string());
+            writeln!(
+                w,
+                "buffered ({} block(s); :commit applies).",
+                buffered.len()
+            )?;
+            return Ok(());
+        }
+        self.apply(&[source.to_string()], w)
+    }
+
+    /// Load a query-only source against the pinned snapshot and print
+    /// the answers.
+    fn run_queries(&mut self, source: &str, w: &mut impl Write) -> std::io::Result<()> {
+        match Loader::with_spatial(&mut self.view, &self.state.registry).load_str(source) {
+            Ok(summary) => {
+                for answers in &summary.query_results {
+                    write_answers(w, answers)?;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                for d in e.diagnostics() {
+                    writeln!(w, "error: {d}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Commit one or more statement blocks atomically and re-pin at the
+    /// new head on success.
+    fn apply(&mut self, sources: &[String], w: &mut impl Write) -> std::io::Result<()> {
+        let registry = self.state.registry.clone();
+        let result = self.state.store.commit(|spec| {
+            let mut summaries = Vec::new();
+            for source in sources {
+                let summary = Loader::with_spatial(spec, &registry)
+                    .load_str(source)
+                    .map_err(|e| {
+                        let rendered: Vec<String> =
+                            e.diagnostics().iter().map(|d| d.to_string()).collect();
+                        SpecError::Transaction(rendered.join("; "))
+                    })?;
+                summaries.push(summary);
+            }
+            Ok(summaries)
+        });
+        match result {
+            Ok((committed, summaries)) => {
+                let (mut facts, mut rules, mut constraints) = (0, 0, 0);
+                for summary in &summaries {
+                    for answers in &summary.query_results {
+                        write_answers(w, answers)?;
+                    }
+                    facts += summary.facts;
+                    rules += summary.rules;
+                    constraints += summary.constraints;
+                }
+                writeln!(
+                    w,
+                    "ok ({facts} facts, {rules} rules, {constraints} constraints) committed as seq {}",
+                    committed.seq
+                )?;
+                self.pending.merge(committed.delta);
+                self.repin();
+            }
+            Err(e) => {
+                writeln!(w, "rolled back: {}", render_spec_error(&self.view, &e))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle one `:`-command; `Ok(false)` closes the session.
+    fn command(&mut self, input: &str, w: &mut impl Write) -> std::io::Result<bool> {
+        let (cmd, rest) = match input.split_once(' ') {
+            Some((c, r)) => (c, r.trim()),
+            None => (input, ""),
+        };
+        match cmd {
+            ":quit" | ":q" | ":exit" => return Ok(false),
+            ":help" | ":h" => writeln!(w, "{HELP}")?,
+            ":seq" => writeln!(
+                w,
+                "pinned at seq {}; head is seq {}.",
+                self.seq,
+                self.state.store.head_seq()
+            )?,
+            ":snapshot" => match rest {
+                "" => {
+                    self.repin();
+                    writeln!(w, "re-pinned at head (seq {}).", self.seq)?;
+                }
+                n => match n.parse::<u64>() {
+                    Ok(seq) => match self.state.store.snapshot_at(seq) {
+                        Ok(view) => {
+                            self.view = view;
+                            self.seq = seq;
+                            writeln!(w, "pinned at seq {seq}.")?;
+                        }
+                        Err(e) => writeln!(w, "error: {e}")?,
+                    },
+                    Err(_) => writeln!(w, "usage: :snapshot [SEQ]")?,
+                },
+            },
+            ":begin" => {
+                if self.txn.is_some() {
+                    writeln!(w, "error: transaction error: a transaction is already open")?;
+                } else {
+                    self.txn = Some(Vec::new());
+                    writeln!(w, "transaction open (:commit or :rollback).")?;
+                }
+            }
+            ":commit" => match self.txn.take() {
+                None => writeln!(w, "error: transaction error: no transaction is open")?,
+                Some(sources) if sources.is_empty() => {
+                    writeln!(w, "nothing to commit.")?;
+                }
+                Some(sources) => self.apply(&sources, w)?,
+            },
+            ":rollback" => match self.txn.take() {
+                None => writeln!(w, "error: transaction error: no transaction is open")?,
+                Some(sources) => writeln!(w, "discarded {} buffered block(s).", sources.len())?,
+            },
+            ":check" => match self.view.check_consistency() {
+                Ok(violations) if violations.is_empty() => {
+                    writeln!(w, "consistent (no constraint violations).")?;
+                }
+                Ok(violations) => {
+                    for v in violations {
+                        writeln!(w, "{v}")?;
+                    }
+                }
+                Err(e) => writeln!(w, "error: {}", render_spec_error(&self.view, &e))?,
+            },
+            ":audit" => {
+                let (workers, incremental) = match parse_audit_args(rest) {
+                    Ok(parsed) => parsed,
+                    Err(msg) => {
+                        writeln!(w, "{msg}")?;
+                        return Ok(true);
+                    }
+                };
+                let result = if incremental {
+                    if !self.view.incremental_enabled() {
+                        self.view.set_incremental(true);
+                    }
+                    self.view.audit_incremental(&self.pending, workers)
+                } else {
+                    self.view.audit_world_views(workers)
+                };
+                if incremental && result.is_ok() {
+                    self.pending = Delta::new();
+                }
+                match result {
+                    Ok(report) => {
+                        if report.violations.is_empty() && report.is_complete() {
+                            writeln!(
+                                w,
+                                "consistent across {} world-view member(s) ({} workers).",
+                                report.per_model.len(),
+                                report.workers
+                            )?;
+                        } else {
+                            for v in &report.violations {
+                                writeln!(w, "{v}")?;
+                            }
+                            writeln!(
+                                w,
+                                "{} violation(s); {} workers",
+                                report.violations.len(),
+                                report.workers
+                            )?;
+                        }
+                        for f in &report.incomplete {
+                            writeln!(w, "incomplete: {} — {}", f.model, f.error)?;
+                        }
+                        let s = report.stats;
+                        writeln!(
+                            w,
+                            "merged: {} steps, {} clause resolutions, table {} hit ({} snapshot) / {} miss",
+                            s.steps, s.resolutions, s.table_hits, s.snapshot_hits, s.table_misses
+                        )?;
+                    }
+                    Err(e) => writeln!(w, "error: {}", render_spec_error(&self.view, &e))?,
+                }
+            }
+            ":views" => {
+                writeln!(w, "world view: {}", self.view.world_view().join(", "))?;
+                writeln!(w, "meta view:  {}", self.view.meta_view().join(", "))?;
+            }
+            ":stats" => {
+                writeln!(
+                    w,
+                    "{} clauses across {} predicates (snapshot seq {}).",
+                    self.view.kb().clause_count(),
+                    self.view.kb().predicate_count(),
+                    self.seq
+                )?;
+                let s = self.view.solver_stats();
+                writeln!(
+                    w,
+                    "last query: {} steps, {} clause resolutions, table {} hit ({} snapshot) / {} miss",
+                    s.steps, s.resolutions, s.table_hits, s.snapshot_hits, s.table_misses
+                )?;
+            }
+            other => writeln!(w, "unknown command {other} (:help for help)")?,
+        }
+        Ok(true)
+    }
+}
+
+/// Print one query's answers the way the shell does, deduplicating
+/// repeated derivations.
+fn write_answers(w: &mut impl Write, answers: &[gdp_core::Answer]) -> std::io::Result<()> {
+    if answers.is_empty() {
+        return writeln!(w, "no.");
+    }
+    let mut seen = Vec::new();
+    for answer in answers {
+        let line = if answer.bindings().is_empty() {
+            "yes.".to_string()
+        } else {
+            answer
+                .bindings()
+                .iter()
+                .map(|(name, value)| format!("{name} = {value}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if !seen.contains(&line) {
+            writeln!(w, "{line}")?;
+            seen.push(line);
+        }
+    }
+    Ok(())
+}
+
+/// Render a specification error, reporting interrupts and deadlines as
+/// first-class outcomes (the shell's convention).
+fn render_spec_error(spec: &Specification, e: &SpecError) -> String {
+    match e {
+        SpecError::Engine(EngineError::Cancelled) => {
+            format!("cancelled. ({} steps used)", spec.solver_stats().steps)
+        }
+        SpecError::Engine(EngineError::DeadlineExceeded { .. }) => {
+            format!(
+                "deadline exceeded. ({} steps used)",
+                spec.solver_stats().steps
+            )
+        }
+        other => other.to_string(),
+    }
+}
+
+/// Parse `:audit` arguments: any order of `-j N` and `-i`.
+fn parse_audit_args(rest: &str) -> Result<(usize, bool), String> {
+    let usage = || "usage: :audit [-j N] [-i]".to_string();
+    let mut workers = None;
+    let mut incremental = false;
+    let mut parts = rest.split_whitespace();
+    while let Some(part) = parts.next() {
+        match part {
+            "-i" => incremental = true,
+            "-j" => {
+                let n = parts.next().ok_or_else(usage)?;
+                workers = Some(
+                    n.parse::<usize>()
+                        .ok()
+                        .filter(|v| *v >= 1)
+                        .ok_or_else(usage)?,
+                );
+            }
+            _ => return Err(usage()),
+        }
+    }
+    let workers = workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    Ok((workers, incremental))
+}

@@ -132,4 +132,43 @@ done
 echo "==> deadline smoke test"
 cargo test -q --release -p gdp --test chaos_harness deadline_bounds_a_divergent_audit_member
 
+# Serving legs: the socket server drives N=4 concurrent reader sessions,
+# each pinned to a different commit, against one writer streaming further
+# commits over real TCP — every reader's answers must stay byte-identical
+# to its sequential baseline. The store-level twin (snapshot_isolation)
+# proves the same equivalence without sockets, crossed with tabling
+# because pinned readers must surface snapshot table hits, not recompute.
+echo "==> cargo test server_smoke"
+cargo test -q --release -p gdp --test server_smoke
+for tabling in unset on; do
+    env_args=()
+    if [ "$tabling" != unset ]; then
+        env_args+=("GDP_TABLING=$tabling")
+    fi
+    echo "==> cargo test snapshot_isolation [tabling=$tabling]"
+    env "${env_args[@]}" cargo test -q --release -p gdp --test snapshot_isolation
+done
+
+# Durability legs: crash-at-every-commit-boundary recovery over the
+# DeltaOp write-ahead log, re-seeded through GDP_CHAOS (its leading
+# integer steers the op stream) and crossed with tabling — recovery must
+# neither depend on nor corrupt tabled state. The merge∘replay property
+# suite rides along: merged committed deltas replayed onto a fresh base
+# must equal direct application even with rollbacks between the commits.
+for seed in unset 7 1986; do
+    for tabling in unset on; do
+        env_args=()
+        if [ "$seed" != unset ]; then
+            env_args+=("GDP_CHAOS=$seed")
+        fi
+        if [ "$tabling" != unset ]; then
+            env_args+=("GDP_TABLING=$tabling")
+        fi
+        echo "==> cargo test wal_recovery [seed=$seed, tabling=$tabling]"
+        env "${env_args[@]}" cargo test -q --release -p gdp --test wal_recovery
+    done
+done
+echo "==> cargo test delta_merge_prop"
+cargo test -q --release -p gdp --test delta_merge_prop
+
 echo "ci: all checks passed"

@@ -1,0 +1,234 @@
+//! gdp-serve smoke suite: the REPL protocol over real TCP sockets, with
+//! N concurrent snapshot-reader sessions racing one writer.
+//!
+//! Each test hosts an in-process [`gdp::server::ServerState`] behind a
+//! `TcpListener` on an ephemeral port and drives it with plain
+//! `TcpStream` clients that read until the `gdp> ` prompt — exactly what
+//! a human with netcat would see.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+
+use gdp::server::{serve_tcp, ServerState};
+
+const PROMPT: &str = "gdp> ";
+
+/// Boot a server on an ephemeral port; the accept loop runs (detached)
+/// until the test process exits.
+fn boot() -> (Arc<ServerState>, SocketAddr) {
+    let state = ServerState::new().expect("server state");
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accept_state = Arc::clone(&state);
+    std::thread::spawn(move || serve_tcp(accept_state, listener));
+    (state, addr)
+}
+
+/// One protocol client: sends statement blocks / commands, reads until
+/// the next prompt, returns the response text before it.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut client = Client { stream };
+        client.read_to_prompt(); // banner
+        client
+    }
+
+    fn read_to_prompt(&mut self) -> String {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            let n = self.stream.read(&mut chunk).expect("read");
+            assert!(n > 0, "server closed the connection mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+            if buf.ends_with(PROMPT.as_bytes()) {
+                buf.truncate(buf.len() - PROMPT.len());
+                return String::from_utf8(buf).expect("utf8");
+            }
+        }
+    }
+
+    fn send(&mut self, input: &str) -> String {
+        self.stream.write_all(input.as_bytes()).expect("write");
+        self.stream.write_all(b"\n").expect("write");
+        self.stream.flush().expect("flush");
+        self.read_to_prompt()
+    }
+}
+
+#[test]
+fn statements_queries_and_commands_round_trip() {
+    let (_state, addr) = boot();
+    let mut c = Client::connect(addr);
+
+    let reply = c.send("bridge(b1). bridge(b2). open(b1).");
+    assert!(
+        reply.contains("ok (3 facts, 0 rules, 0 constraints) committed as seq 1"),
+        "unexpected reply: {reply}"
+    );
+    let reply = c.send("closed(X) :- bridge(X), not(open(X)).");
+    assert!(
+        reply.contains("committed as seq 2"),
+        "unexpected reply: {reply}"
+    );
+
+    let reply = c.send("?- closed(X).");
+    assert!(reply.contains("X = b2"), "unexpected reply: {reply}");
+    assert!(!reply.contains("X = b1"), "unexpected reply: {reply}");
+
+    let reply = c.send(":seq");
+    assert!(reply.contains("pinned at seq 2; head is seq 2."), "{reply}");
+
+    // A block with a defect rolls back atomically: nothing of it lands.
+    let reply = c.send("river(r1). junk junk junk.");
+    assert!(reply.contains("rolled back:"), "unexpected reply: {reply}");
+    let reply = c.send("?- river(X).");
+    assert!(reply.contains("no."), "rollback leaked a fact: {reply}");
+    let reply = c.send(":seq");
+    assert!(reply.contains("head is seq 2."), "{reply}");
+}
+
+#[test]
+fn snapshot_isolation_across_sessions() {
+    let (_state, addr) = boot();
+    let mut writer = Client::connect(addr);
+    writer.send("bridge(b1).");
+
+    // The reader pins at seq 1 and must keep seeing exactly one bridge...
+    let mut reader = Client::connect(addr);
+    reader.send(":snapshot");
+    let before = reader.send("?- bridge(X).");
+    assert!(before.contains("X = b1"), "{before}");
+
+    // ...while the writer commits two more.
+    writer.send("bridge(b2).");
+    writer.send("bridge(b3).");
+    let after = reader.send("?- bridge(X).");
+    assert_eq!(before, after, "reader's snapshot drifted under a writer");
+
+    // Re-pinning at head shows all three; pinning back shows one again.
+    reader.send(":snapshot");
+    let head = reader.send("?- bridge(X).");
+    assert!(head.contains("X = b2") && head.contains("X = b3"), "{head}");
+    let reply = reader.send(":snapshot 1");
+    assert!(reply.contains("pinned at seq 1."), "{reply}");
+    assert_eq!(reader.send("?- bridge(X)."), before);
+}
+
+#[test]
+fn buffered_transaction_commits_atomically() {
+    let (_state, addr) = boot();
+    let mut c = Client::connect(addr);
+    c.send(":begin");
+    assert!(c.send("road(r1).").contains("buffered (1 block(s)"));
+    assert!(c.send("road(r2).").contains("buffered (2 block(s)"));
+    // Nothing visible before :commit — not even to this session.
+    assert!(c.send("?- road(X).").contains("no."));
+    let reply = c.send(":commit");
+    assert!(reply.contains("committed as seq 1"), "{reply}");
+    let reply = c.send("?- road(X).");
+    assert!(
+        reply.contains("X = r1") && reply.contains("X = r2"),
+        "{reply}"
+    );
+
+    // A rollback discards the buffer without touching the store.
+    c.send(":begin");
+    c.send("road(r3).");
+    assert!(c
+        .send(":rollback")
+        .contains("discarded 1 buffered block(s)."));
+    assert!(!c.send("?- road(X).").contains("r3"));
+}
+
+/// Four concurrent reader sessions, each pinned at a different commit,
+/// query repeatedly while a writer streams further commits. Every
+/// reader's answers must stay byte-identical to the sequential baseline
+/// captured at its pinned generation.
+#[test]
+fn concurrent_readers_match_sequential_baselines() {
+    let (_state, addr) = boot();
+    let mut writer = Client::connect(addr);
+    // Commits 1..=4: the k-th adds span(k) and a rule over it.
+    for k in 1..=4 {
+        writer.send(&format!("span(s{k})."));
+    }
+
+    // Reader k pins at seq k and records its baseline answer.
+    let sessions: Vec<_> = (1..=4u64)
+        .map(|k| {
+            let mut c = Client::connect(addr);
+            let reply = c.send(&format!(":snapshot {k}"));
+            assert!(reply.contains(&format!("pinned at seq {k}.")), "{reply}");
+            let baseline = c.send("?- span(X).");
+            for j in 1..=4 {
+                assert_eq!(
+                    baseline.contains(&format!("X = s{j}")),
+                    j <= k as usize,
+                    "reader {k} baseline wrong: {baseline}"
+                );
+            }
+            (k, c, baseline)
+        })
+        .collect();
+
+    // Writer keeps committing from its own thread while readers re-query.
+    let writer_thread = std::thread::spawn(move || {
+        for k in 5..=12 {
+            writer.send(&format!("span(s{k})."));
+        }
+        writer.send(":seq")
+    });
+    let readers: Vec<_> = sessions
+        .into_iter()
+        .map(|(k, mut c, baseline)| {
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    let now = c.send("?- span(X).");
+                    assert_eq!(now, baseline, "reader {k} drifted under the writer");
+                }
+                (k, c, baseline)
+            })
+        })
+        .collect();
+    let writer_reply = writer_thread.join().expect("writer");
+    assert!(writer_reply.contains("head is seq 12."), "{writer_reply}");
+    for handle in readers {
+        let (_k, mut c, baseline) = handle.join().expect("reader");
+        // After the dust settles the pinned views still match; at head
+        // they see everything.
+        assert_eq!(c.send("?- span(X)."), baseline);
+        c.send(":snapshot");
+        let head = c.send("?- span(X).");
+        for j in 1..=12 {
+            assert!(head.contains(&format!("X = s{j}")), "missing s{j}: {head}");
+        }
+    }
+}
+
+#[test]
+fn audit_runs_against_the_pinned_snapshot() {
+    let (_state, addr) = boot();
+    let mut writer = Client::connect(addr);
+    writer.send("bridge(b1). open(b1).");
+    writer.send("constraint unopened_bridge(X) :- bridge(X), not(open(X)).");
+
+    let mut reader = Client::connect(addr);
+    reader.send(":snapshot");
+    let clean = reader.send(":audit -j 2");
+    assert!(clean.contains("consistent across"), "{clean}");
+
+    // A violation committed after the pin is invisible to the reader's
+    // audit, visible to a fresh head audit.
+    writer.send("bridge(b2).");
+    let pinned = reader.send(":audit -j 2");
+    assert!(pinned.contains("consistent across"), "{pinned}");
+    reader.send(":snapshot");
+    let head = reader.send(":audit -j 2");
+    assert!(head.contains("unopened_bridge"), "{head}");
+}

@@ -1,0 +1,188 @@
+//! Snapshot-isolation equivalence: a reader pinned at commit K, running
+//! concurrently with a writer streaming further commits, must produce
+//! *byte-identical* output to a sequential run stopped at K.
+//!
+//! The suite drives [`SpecStore`] directly (no sockets): a writer thread
+//! commits W transactions; after each commit the main thread pins a
+//! snapshot and hands it to a reader thread that audits and queries it
+//! repeatedly while the writer keeps going. Baselines come from a
+//! separate, fully sequential pass over the same transaction stream.
+//!
+//! Honors `GDP_TABLING` (the suite-wide ablation hook): the CI leg runs
+//! this file with tabling off and on, and the equivalence must hold in
+//! both worlds — with tabling the pinned reader additionally reports
+//! `snapshot_hits` instead of plain table hits.
+
+use gdp::core::{SpecStore, Specification};
+use gdp::engine::Delta;
+
+const COMMITS: usize = 6;
+
+/// The shared base image: bridges with an openness constraint.
+fn base_spec() -> Specification {
+    let mut spec = Specification::new();
+    gdp::lang::load(
+        &mut spec,
+        r#"
+            bridge(b0). open(b0).
+            constraint unopened_bridge(X) :- bridge(X), not(open(X)).
+        "#,
+    )
+    .expect("base loads");
+    spec
+}
+
+/// The K-th transaction: adds bridge bK, and opens it only when K is
+/// even — odd commits therefore add one audit violation each.
+fn txn_source(k: usize) -> String {
+    if k % 2 == 0 {
+        format!("bridge(b{k}). open(b{k}).")
+    } else {
+        format!("bridge(b{k}).")
+    }
+}
+
+/// Everything a session can observe, rendered to one comparable string:
+/// query answers, audit violations, and the per-model breakdown.
+fn observe(spec: &Specification) -> String {
+    let mut out = String::new();
+    let answers = spec
+        .query(gdp::core::FactPat::new("bridge").arg("X"))
+        .expect("query");
+    for a in &answers {
+        out.push_str(&format!("{:?}\n", a.bindings()));
+    }
+    let report = spec.audit_world_views(2).expect("audit");
+    for v in &report.violations {
+        out.push_str(&format!("{v}\n"));
+    }
+    for (m, n) in &report.per_model {
+        out.push_str(&format!("{m}: {n}\n"));
+    }
+    out
+}
+
+/// Sequential baselines: `baseline[k]` is the observation after commits
+/// 1..=k, computed with no concurrency anywhere.
+fn sequential_baselines() -> Vec<String> {
+    let mut spec = base_spec();
+    let mut out = vec![observe(&spec)];
+    for k in 1..=COMMITS {
+        gdp::lang::load(&mut spec, &txn_source(k)).expect("txn loads");
+        out.push(observe(&spec));
+    }
+    out
+}
+
+#[test]
+fn pinned_readers_match_sequential_run() {
+    let baselines = sequential_baselines();
+    let store = SpecStore::new(base_spec());
+
+    // Reader 0 pins the base image before any commit lands.
+    let mut readers = Vec::new();
+    let spawn_reader = |snapshot: Specification, expected: String, k: usize| {
+        std::thread::spawn(move || {
+            for round in 0..4 {
+                assert_eq!(
+                    observe(&snapshot),
+                    expected,
+                    "reader pinned at {k} diverged from the sequential run (round {round})"
+                );
+            }
+        })
+    };
+    readers.push(spawn_reader(store.snapshot().1, baselines[0].clone(), 0));
+
+    // The writer commits on the main thread; after each commit a new
+    // pinned reader starts, so every earlier reader runs concurrently
+    // with every later commit.
+    for (k, baseline) in baselines.iter().enumerate().skip(1) {
+        let (committed, _) = store
+            .commit(|spec| {
+                gdp::lang::load(spec, &txn_source(k))
+                    .map_err(|e| gdp::core::SpecError::Transaction(e.to_string()))
+            })
+            .expect("commit");
+        assert_eq!(committed.seq, k as u64);
+        readers.push(spawn_reader(store.snapshot().1, baseline.clone(), k));
+    }
+    for handle in readers {
+        handle.join().expect("reader");
+    }
+
+    // And the time-travel path: reconstructed snapshots (inverse-delta
+    // chains, not head pins) observe the very same baselines.
+    for (k, baseline) in baselines.iter().enumerate() {
+        let snapshot = store.snapshot_at(k as u64).expect("snapshot_at");
+        assert_eq!(
+            &observe(&snapshot),
+            baseline,
+            "snapshot_at({k}) diverged from the sequential run"
+        );
+        assert!(snapshot.kb().check_index_integrity().is_ok());
+    }
+}
+
+#[test]
+fn incremental_audit_on_snapshot_uses_carried_cache() {
+    let mut spec = base_spec();
+    spec.set_incremental(true);
+    let store = SpecStore::new(spec);
+    // Seed the audit cache on the live store, then commit one violation.
+    let full = store.read(|s| s.audit_incremental(&Delta::new(), 2).expect("seed"));
+    assert!(full.violations.is_empty());
+    let (committed, _) = store
+        .commit(|spec| {
+            gdp::lang::load(spec, "bridge(b_bad).")
+                .map_err(|e| gdp::core::SpecError::Transaction(e.to_string()))
+        })
+        .expect("commit");
+    store.read(|s| {
+        let _ = s.audit_incremental(&committed.delta, 2).expect("refresh");
+    });
+
+    // A head snapshot carries the refreshed cache: an incremental audit
+    // with an empty pending delta reuses it and still reports the
+    // violation, identically to a full audit of the same snapshot.
+    let (_, snapshot) = store.snapshot();
+    let via_cache = snapshot
+        .audit_incremental(&Delta::new(), 2)
+        .expect("cached");
+    let via_full = snapshot.audit_world_views(2).expect("full");
+    assert_eq!(via_cache.violations, via_full.violations);
+    assert_eq!(via_cache.per_model, via_full.per_model);
+    assert!(via_cache
+        .violations
+        .iter()
+        .any(|v| v.to_string().contains("unopened_bridge")));
+}
+
+#[test]
+fn snapshot_table_hits_are_observable() {
+    let mut spec = base_spec();
+    spec.enable_tabling(true);
+    spec.set_table_all(true);
+    // Populate the answer table on the live specification.
+    let pat = || gdp::core::FactPat::new("bridge").arg("X");
+    let live_answers = spec.query(pat()).expect("populate");
+    let _ = spec.query(pat()).expect("warm");
+
+    let snapshot = spec.snapshot();
+    let snap_answers = snapshot.query(pat()).expect("snapshot query");
+    assert_eq!(snap_answers, live_answers);
+    let stats = snapshot.solver_stats();
+    assert!(
+        stats.snapshot_hits > 0,
+        "a warm snapshot table must surface S-HITs, got {stats:?}"
+    );
+    assert!(stats.snapshot_hits <= stats.table_hits);
+
+    // The live specification keeps reporting plain table hits.
+    let _ = spec.query(pat()).expect("live again");
+    let live_stats = spec.solver_stats();
+    assert_eq!(
+        live_stats.snapshot_hits, 0,
+        "live hits are not snapshot hits"
+    );
+}
