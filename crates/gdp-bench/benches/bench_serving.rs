@@ -20,11 +20,12 @@
 //! stream with a write-ahead log attached, fsync per commit — the gap
 //! between the two columns is exactly the durability tax.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gdp::core::{FactPat, Pat, SpecError, SpecStore};
+use gdp::core::{DurabilityOptions, FactPat, Pat, SpecError, SpecStore};
 use gdp_bench::workloads::audit_world;
 
 const MODELS: usize = 8;
@@ -155,6 +156,66 @@ fn bench_reader_latency(c: &mut Criterion) {
     group.finish();
 }
 
+/// T17 — checkpointed recovery: restart time must track the checkpoint
+/// interval, not total history.
+///
+/// Disk state is prepared once per point (N single-fact commits through
+/// a durable store, N from the interval up to 10× past it), then each
+/// iteration rebuilds the base image and runs the full recovery path
+/// (`SpecStore::recover_durable`: harvest images, pick the furthest
+/// contiguous chain, install, replay the WAL suffix). The workload is
+/// *churn* — alternating assert/retract of the same reading — so the KB
+/// stays base-sized however long the history gets: what grows with N is
+/// exactly the log, isolating the replay term. `wal_only` has no
+/// checkpoints, so recovery replays all N records and scales with N;
+/// `checkpointed` (the default interval, 32) installs a base-sized
+/// image and replays at most one interval's worth no matter how much
+/// history accumulated — the flat-line that justifies the checkpoint
+/// machinery. A smaller world than T16 keeps the constant base-rebuild
+/// cost from burying the replay term being measured.
+fn bench_recovery(c: &mut Criterion) {
+    const INTERVAL: usize = 32; // DEFAULT_CHECKPOINT_INTERVAL
+    let mut group = c.benchmark_group("T17_recovery");
+    group.sample_size(10);
+    for commits in [INTERVAL, 2 * INTERVAL, 10 * INTERVAL] {
+        for (label, opts) in [
+            ("wal_only", DurabilityOptions::no_checkpoints()),
+            ("checkpointed", DurabilityOptions::default()),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, commits), &commits, |b, &commits| {
+                let path = std::env::temp_dir().join(format!(
+                    "gdp-bench-t17-{label}-{commits}-{}.wal",
+                    std::process::id()
+                ));
+                remove_family(&path);
+                let store =
+                    SpecStore::create_durable(audit_world(2, 8), &path, opts).expect("create");
+                for seq in 0..commits / 2 {
+                    commit_reading(&store, seq);
+                    retract_reading(&store, seq);
+                }
+                drop(store);
+                b.iter(|| {
+                    let (store, head) = SpecStore::recover_durable(audit_world(2, 8), &path, opts)
+                        .expect("recover");
+                    assert_eq!(head, commits as u64);
+                    store
+                });
+                remove_family(&path);
+            });
+        }
+    }
+    group.finish();
+}
+
+fn remove_family(path: &Path) {
+    for suffix in ["", ".prev", ".ckpt", ".ckpt.prev", ".ckpt.tmp"] {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(suffix);
+        let _ = std::fs::remove_file(std::path::PathBuf::from(os));
+    }
+}
+
 /// Equivalence gate run once per bench process: a pinned snapshot taken
 /// mid-churn audits identically to the live spec at the same seq.
 fn gate() {
@@ -177,5 +238,10 @@ fn gate() {
     );
 }
 
-criterion_group!(benches, bench_commit_throughput, bench_reader_latency);
+criterion_group!(
+    benches,
+    bench_commit_throughput,
+    bench_reader_latency,
+    bench_recovery
+);
 criterion_main!(benches);

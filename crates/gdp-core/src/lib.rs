@@ -75,7 +75,9 @@ pub use rule::{Constraint, ConstraintBuilder, RawClause, Rule};
 pub use spec::{
     Answer, AuditFailure, AuditReport, RetryPolicy, SortEnforcement, Specification, Violation,
 };
-pub use store::{Committed, SpecStore, DEFAULT_HISTORY};
+pub use store::{
+    Committed, DurabilityOptions, SpecStore, DEFAULT_CHECKPOINT_INTERVAL, DEFAULT_HISTORY,
+};
 
 /// The default model ω (§III.D): "any fact or constraint violation that is
 /// not explicitly qualified by some model is associated with a default

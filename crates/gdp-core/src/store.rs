@@ -14,12 +14,39 @@
 //!   is O(#predicates), and queries or audits against it are untouched by
 //!   writer commits that land afterwards.
 //! * **Durability** is optional: a store opened with
-//!   [`SpecStore::create_wal`] (or recovered with [`SpecStore::recover`])
-//!   appends every committed delta to a write-ahead log
-//!   ([`gdp_engine::wal::Wal`]) and fsyncs before the commit is
-//!   acknowledged. [`SpecStore::recover`] replays the log over a
-//!   caller-built base specification and reproduces the live store
-//!   exactly — clause order, indexes, generation counters and epoch.
+//!   [`SpecStore::create_durable`] (or recovered with
+//!   [`SpecStore::recover_durable`]) appends every committed delta to a
+//!   write-ahead log ([`gdp_engine::wal::Wal`]) and fsyncs before the
+//!   commit is acknowledged, and periodically folds the whole knowledge
+//!   base into a checksummed checkpoint image
+//!   ([`gdp_engine::checkpoint::CheckpointImage`]). Recovery is *newest
+//!   valid checkpoint + WAL suffix*, falling back to the previous
+//!   checkpoint and finally the base image when an image is torn —
+//!   corruption degrades recovery time, never correctness.
+//!
+//! ## On-disk layout
+//!
+//! For a store opened at `FILE`:
+//!
+//! | path              | contents                                        |
+//! |-------------------|-------------------------------------------------|
+//! | `FILE`            | current WAL segment                             |
+//! | `FILE.prev`       | previous segment (records since the older ckpt) |
+//! | `FILE.ckpt`       | newest checkpoint image                         |
+//! | `FILE.ckpt.prev`  | previous checkpoint image                       |
+//! | `*.tmp`           | in-flight atomic writes (crash leftovers)       |
+//!
+//! At each checkpoint the WAL is rotated: the current segment retires to
+//! `FILE.prev` and a fresh segment starts just past the checkpoint, so
+//! disk usage and recovery time stay proportional to the checkpoint
+//! interval, not total history. The retained pair (two checkpoints, two
+//! segments) keeps the fallback chain contiguous: the *previous*
+//! checkpoint plus the *previous* segment reach the head even when the
+//! newest image is torn. Every WAL header and checkpoint carries the
+//! canonical fingerprint of the base image
+//! ([`gdp_engine::checkpoint::fingerprint`]); recovery over a base that
+//! hashes differently — a changed `--load` file — is a hard error, not
+//! silent divergence.
 //!
 //! The store records only *clause* operations. Configuration changes —
 //! world view, tabling, index layout, declarations of models or domains —
@@ -28,13 +55,17 @@
 //! recovery the caller rebuilds the same base configuration first, then
 //! replays the log (the standard "base image + log" arrangement).
 
-use std::collections::VecDeque;
-use std::path::Path;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
 
 use parking_lot::{Mutex, RwLock};
 
-use gdp_engine::wal::{replay, Wal};
-use gdp_engine::{CommitRecord, Delta, FxHashMap, PredKey};
+use gdp_engine::wal::{replay, Wal, WalHeader, WalRecord};
+use gdp_engine::{
+    fingerprint, CheckpointImage, CommitRecord, Delta, FxHashMap, IoFaultConfig, KnowledgeBase,
+    PredKey,
+};
 
 use crate::error::{SpecError, SpecResult};
 use crate::spec::Specification;
@@ -43,6 +74,68 @@ use crate::spec::Specification;
 /// be pinned at most this many commits behind head; older generations
 /// are no longer reconstructible (the records have been dropped).
 pub const DEFAULT_HISTORY: usize = 64;
+
+/// Default auto-checkpoint cadence for [`DurabilityOptions`]: fold the KB
+/// into an image every this many commits.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 32;
+
+/// Knobs for a durable store ([`SpecStore::create_durable`] /
+/// [`SpecStore::recover_durable`]).
+#[derive(Clone, Copy, Debug)]
+pub struct DurabilityOptions {
+    /// Write a checkpoint (and rotate the WAL) every this many commits;
+    /// `None` disables auto-checkpointing — images are then written only
+    /// by explicit [`SpecStore::checkpoint`] calls.
+    pub checkpoint_interval: Option<u64>,
+    /// Disk-fault injection under every WAL and checkpoint write (the
+    /// `GDP_CHAOS` `io:` grammar); `None` in production.
+    pub io_faults: Option<IoFaultConfig>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> DurabilityOptions {
+        DurabilityOptions {
+            checkpoint_interval: Some(DEFAULT_CHECKPOINT_INTERVAL),
+            io_faults: None,
+        }
+    }
+}
+
+impl DurabilityOptions {
+    /// WAL-only durability: no automatic checkpoints, no fault injection.
+    pub fn no_checkpoints() -> DurabilityOptions {
+        DurabilityOptions {
+            checkpoint_interval: None,
+            io_faults: None,
+        }
+    }
+}
+
+/// The file family derived from the WAL path (see the module docs).
+#[derive(Clone, Debug)]
+struct DurablePaths {
+    wal: PathBuf,
+    wal_prev: PathBuf,
+    ckpt: PathBuf,
+    ckpt_prev: PathBuf,
+}
+
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(suffix);
+    PathBuf::from(os)
+}
+
+impl DurablePaths {
+    fn new(path: &Path) -> DurablePaths {
+        DurablePaths {
+            wal: path.to_path_buf(),
+            wal_prev: sibling(path, ".prev"),
+            ckpt: sibling(path, ".ckpt"),
+            ckpt_prev: sibling(path, ".ckpt.prev"),
+        }
+    }
+}
 
 /// Receipt of one successful [`SpecStore::commit`].
 #[derive(Clone, Debug)]
@@ -54,6 +147,19 @@ pub struct Committed {
     pub delta: Delta,
 }
 
+struct DurableState {
+    /// Current WAL segment. `None` after a failed rotation — commits are
+    /// then refused until the operator restarts and recovers.
+    wal: Option<Wal>,
+    paths: DurablePaths,
+    /// Canonical fingerprint of the base image (stamped into every WAL
+    /// header and checkpoint this store writes).
+    fingerprint: u64,
+    opts: DurabilityOptions,
+    /// Commits since the last checkpoint (drives the auto cadence).
+    since_checkpoint: u64,
+}
+
 struct StoreState {
     /// Sequence number of the newest commit (0 = base image).
     seq: u64,
@@ -61,8 +167,45 @@ struct StoreState {
     history: VecDeque<CommitRecord>,
     /// Retention cap for `history`.
     cap: usize,
-    /// Write-ahead log, when durability is on.
-    wal: Option<Wal>,
+    /// Durability machinery (WAL + checkpoints), when enabled.
+    durable: Option<DurableState>,
+}
+
+impl StoreState {
+    /// Fold `kb` (the live KB at `self.seq`) into a fresh checkpoint
+    /// image and rotate the WAL. Ordering is the crash-safety argument:
+    /// (1) the old image retires to `.ckpt.prev`, (2) the new image
+    /// lands via write-temp/fsync/rename, (3) the current segment
+    /// retires to `.prev`, (4) a fresh segment starts at `seq + 1`. A
+    /// crash between any two steps leaves a contiguous
+    /// checkpoint-plus-segments chain covering every acknowledged commit
+    /// (see the module docs for the retention invariant).
+    fn write_checkpoint(&mut self, kb: &KnowledgeBase) -> io::Result<u64> {
+        let seq = self.seq;
+        let d = self
+            .durable
+            .as_mut()
+            .expect("write_checkpoint on a non-durable store");
+        let image = CheckpointImage::capture(kb, d.fingerprint, seq);
+        // Count the attempt up front: a failing image (e.g. under
+        // injected faults) retries at the *next* interval instead of on
+        // every commit.
+        d.since_checkpoint = 0;
+        if d.paths.ckpt.exists() {
+            std::fs::rename(&d.paths.ckpt, &d.paths.ckpt_prev)?;
+        }
+        image.write(&d.paths.ckpt, d.opts.io_faults)?;
+        // Rotate: close the current segment before renaming it out.
+        d.wal = None;
+        std::fs::rename(&d.paths.wal, &d.paths.wal_prev)?;
+        let header = WalHeader::new(d.fingerprint, seq + 1);
+        d.wal = Some(Wal::create_with_faults(
+            &d.paths.wal,
+            header,
+            d.opts.io_faults,
+        )?);
+        Ok(seq)
+    }
 }
 
 /// A [`Specification`] behind a single-writer / multi-reader MVCC
@@ -89,40 +232,165 @@ impl SpecStore {
                 seq: 0,
                 history: VecDeque::new(),
                 cap,
-                wal: None,
+                durable: None,
             }),
         }
     }
 
-    /// Serve `spec` durably: create a fresh write-ahead log at `path`
-    /// (truncating anything there) and append every subsequent commit to
-    /// it. `spec` is the *base image* — [`SpecStore::recover`] must be
-    /// given an identically-built base to reproduce the store.
+    /// Serve `spec` durably with WAL-only durability (no automatic
+    /// checkpoints) — see [`SpecStore::create_durable`].
     pub fn create_wal(spec: Specification, path: &Path) -> SpecResult<SpecStore> {
-        let wal = Wal::create(path).map_err(wal_err)?;
+        SpecStore::create_durable(spec, path, DurabilityOptions::no_checkpoints())
+    }
+
+    /// Serve `spec` durably: create a fresh write-ahead log at `path`
+    /// (truncating anything there, and deleting stale siblings from an
+    /// earlier incarnation) and append every subsequent commit to it.
+    /// Under `opts.checkpoint_interval`, the store also periodically
+    /// folds the KB into a checkpoint image and rotates the log. `spec`
+    /// is the *base image*; its fingerprint is stamped into the WAL
+    /// header, and recovery refuses a base that hashes differently.
+    pub fn create_durable(
+        spec: Specification,
+        path: &Path,
+        opts: DurabilityOptions,
+    ) -> SpecResult<SpecStore> {
+        let paths = DurablePaths::new(path);
+        for stale in [
+            &paths.wal_prev,
+            &paths.ckpt,
+            &paths.ckpt_prev,
+            &sibling(&paths.ckpt, ".tmp"),
+        ] {
+            let _ = std::fs::remove_file(stale);
+        }
+        let fp = fingerprint(spec.kb());
+        let wal = Wal::create_with_faults(&paths.wal, WalHeader::new(fp, 1), opts.io_faults)
+            .map_err(wal_err)?;
         let store = SpecStore::new(spec);
-        store.state.lock().wal = Some(wal);
+        store.state.lock().durable = Some(DurableState {
+            wal: Some(wal),
+            paths,
+            fingerprint: fp,
+            opts,
+            since_checkpoint: 0,
+        });
         Ok(store)
     }
 
-    /// Re-open a durable store: read the log at `path` (truncating any
-    /// torn tail), replay the committed deltas over `base` — which must
-    /// be built exactly as the original base image was — and resume
-    /// serving, positioned to append the next commit. Retained history is
+    /// Re-open a durable store with WAL-only durability going forward —
+    /// see [`SpecStore::recover_durable`].
+    pub fn recover(base: Specification, path: &Path) -> SpecResult<(SpecStore, u64)> {
+        SpecStore::recover_durable(base, path, DurabilityOptions::no_checkpoints())
+    }
+
+    /// Re-open a durable store: restore the newest valid checkpoint and
+    /// replay the WAL suffix over it. `base` must be built exactly as the
+    /// original base image was — its canonical fingerprint is checked
+    /// against every WAL header and checkpoint on disk, and a mismatch
+    /// (a changed `--load` file, a different setup script) is a hard
+    /// error rather than silent divergence.
+    ///
+    /// Fallback ladder when images are torn or corrupt: newest
+    /// checkpoint → previous checkpoint → the base image, each with the
+    /// WAL records newer than it (both retained segments are scanned).
+    /// The chain chosen is the one reaching the furthest *contiguous*
+    /// head; committed records that no retained chain can reach (an
+    /// operator deleted a segment) are a hard error, not silent loss.
+    /// Torn record tails are truncated as usual. Retained history is
     /// rebuilt from the replayed records (up to the retention cap), so
     /// pinned snapshots work across a restart. Returns the store and the
-    /// number of commits replayed.
-    pub fn recover(mut base: Specification, path: &Path) -> SpecResult<(SpecStore, u64)> {
-        let (wal, records) = Wal::open(path).map_err(wal_err)?;
+    /// recovered head sequence number.
+    pub fn recover_durable(
+        mut base: Specification,
+        path: &Path,
+        opts: DurabilityOptions,
+    ) -> SpecResult<(SpecStore, u64)> {
+        let paths = DurablePaths::new(path);
+        let fp = fingerprint(base.kb());
+
+        // Harvest checkpoint candidates, newest first. Torn images are
+        // skipped (fallback); CRC-valid images over a different base are
+        // fatal.
+        let mut images: Vec<CheckpointImage> = Vec::new();
+        for p in [&paths.ckpt, &paths.ckpt_prev] {
+            if let Some(image) = CheckpointImage::read(p).map_err(wal_err)? {
+                if image.fingerprint != fp {
+                    return Err(mismatched_base(
+                        &p.display().to_string(),
+                        image.fingerprint,
+                        fp,
+                    ));
+                }
+                images.push(image);
+            }
+        }
+        images.sort_by_key(|i| std::cmp::Reverse(i.seq));
+
+        // Harvest records from both retained segments. Duplicate seqs
+        // (possible only transiently around rotation) are identical; the
+        // newer segment wins the insert.
+        let mut records: BTreeMap<u64, WalRecord> = BTreeMap::new();
+        let mut cur_header: Option<WalHeader> = None;
+        for p in [&paths.wal_prev, &paths.wal] {
+            if let Some((header, recs)) = Wal::scan(p).map_err(wal_err)? {
+                if header.fingerprint != fp {
+                    return Err(mismatched_base(
+                        &p.display().to_string(),
+                        header.fingerprint,
+                        fp,
+                    ));
+                }
+                if p == &paths.wal {
+                    cur_header = Some(header);
+                }
+                for r in recs {
+                    records.insert(r.seq, r);
+                }
+            }
+        }
+
+        // Pick the chain reaching the furthest contiguous head; ties
+        // prefer the newer start (less replay). `None` = the base image.
+        let contiguous_head = |start: u64| {
+            let mut head = start;
+            while records.contains_key(&(head + 1)) {
+                head += 1;
+            }
+            head
+        };
+        let mut best: (Option<&CheckpointImage>, u64, u64) = (None, 0, contiguous_head(0));
+        for image in &images {
+            let head = contiguous_head(image.seq);
+            if head > best.2 || (head == best.2 && image.seq > best.1) {
+                best = (Some(image), image.seq, head);
+            }
+        }
+        let (image, start, head) = best;
+        if let Some((&max_seq, _)) = records.last_key_value() {
+            if max_seq > head {
+                return Err(SpecError::Transaction(format!(
+                    "recovery refused: commit {max_seq} is on disk but no retained \
+                     checkpoint-plus-log chain reaches it contiguously (chain head {head}); \
+                     a WAL segment or checkpoint is missing"
+                )));
+            }
+        }
+
+        // Restore: install the chosen image (if any), then replay the
+        // suffix, rebuilding retained history along the way.
+        if let Some(image) = image {
+            image.install(base.kb_mut());
+        }
         let mut history: VecDeque<CommitRecord> = VecDeque::new();
-        let mut seq = 0;
-        for record in &records {
+        for seq in start + 1..=head {
+            let record = &records[&seq];
             let kb = base.kb_mut();
             let gens_before = pre_commit_gens(kb, &record.delta);
             let epoch_before = kb.epoch();
             replay(std::slice::from_ref(record), kb);
             history.push_back(CommitRecord {
-                seq: record.seq,
+                seq,
                 epoch_before,
                 gens_before,
                 delta: record.delta.clone(),
@@ -130,16 +398,58 @@ impl SpecStore {
             while history.len() > DEFAULT_HISTORY {
                 history.pop_front();
             }
-            seq = record.seq;
         }
+
+        // Position the live segment for the next append. A current
+        // segment that starts past head+1 would leave a gap no future
+        // recovery could bridge — refuse.
+        if let Some(h) = cur_header {
+            if h.start_seq > head + 1 {
+                return Err(SpecError::Transaction(format!(
+                    "recovery refused: current WAL segment starts at {} but the \
+                     recovered head is {head}; an intermediate segment is missing",
+                    h.start_seq
+                )));
+            }
+        }
+        let open_header = cur_header.unwrap_or_else(|| WalHeader::new(fp, head + 1));
+        let (wal, _) =
+            Wal::open_with_faults(&paths.wal, open_header, opts.io_faults).map_err(wal_err)?;
+
         let store = SpecStore::new(base);
         {
             let mut state = store.state.lock();
-            state.seq = seq;
+            state.seq = head;
             state.history = history;
-            state.wal = Some(wal);
+            state.durable = Some(DurableState {
+                wal: Some(wal),
+                paths,
+                fingerprint: fp,
+                opts,
+                since_checkpoint: head.saturating_sub(start),
+            });
         }
-        Ok((store, seq))
+        Ok((store, head))
+    }
+
+    /// Write a checkpoint of the current head on demand (and rotate the
+    /// WAL). Returns the checkpointed sequence number. Errors on
+    /// non-durable stores and on I/O failure — unlike the automatic
+    /// cadence, an explicit request reports its outcome.
+    pub fn checkpoint(&self) -> SpecResult<u64> {
+        let spec = self.spec.read();
+        let mut state = self.state.lock();
+        if state.durable.is_none() {
+            return Err(SpecError::Transaction(
+                "checkpoint requested but the store has no write-ahead log".into(),
+            ));
+        }
+        state.write_checkpoint(spec.kb()).map_err(wal_err)
+    }
+
+    /// The canonical fingerprint of the base image (durable stores only).
+    pub fn base_fingerprint(&self) -> Option<u64> {
+        self.state.lock().durable.as_ref().map(|d| d.fingerprint)
     }
 
     /// Sequence number of the newest commit (0 before the first).
@@ -184,9 +494,11 @@ impl SpecStore {
             .iter()
             .position(|r| r.seq == seq + 1)
             .ok_or_else(|| {
+                let oldest = state.history.front().map_or(state.seq, |r| r.seq - 1);
                 SpecError::Transaction(format!(
-                    "snapshot sequence {seq} is no longer retained (history starts at {})",
-                    state.history.front().map_or(state.seq, |r| r.seq)
+                    "snapshot sequence {seq} is no longer retained: the retained window \
+                     is {oldest}..={} (the store keeps the last {} commits)",
+                    state.seq, state.cap
                 ))
             })?;
         let newer: Vec<CommitRecord> = state.history.iter().skip(start).cloned().collect();
@@ -212,6 +524,15 @@ impl SpecStore {
     ) -> SpecResult<(Committed, T)> {
         let mut spec = self.spec.write();
         let mut state = self.state.lock();
+        if let Some(d) = state.durable.as_ref() {
+            if d.wal.is_none() {
+                return Err(SpecError::Transaction(
+                    "write-ahead log unavailable (a previous checkpoint rotation failed); \
+                     restart the server to recover"
+                        .into(),
+                ));
+            }
+        }
         let epoch_before = spec.kb().epoch();
         let gens: FxHashMap<PredKey, u64> = spec.kb().generations().collect();
         spec.begin_txn()?;
@@ -230,8 +551,15 @@ impl SpecStore {
             .map(|k| (k, gens.get(&k).copied().unwrap_or(0)))
             .collect();
         gens_before.sort_by_key(|g| (g.0.name.as_str(), g.0.arity));
-        if let Some(wal) = state.wal.as_mut() {
+        let mut checkpoint_due = false;
+        if let Some(d) = state.durable.as_mut() {
+            let wal = d.wal.as_mut().expect("checked above");
             wal.append(&delta).map_err(wal_err)?;
+            d.since_checkpoint += 1;
+            checkpoint_due = d
+                .opts
+                .checkpoint_interval
+                .is_some_and(|n| d.since_checkpoint >= n);
         }
         state.history.push_back(CommitRecord {
             seq,
@@ -243,6 +571,15 @@ impl SpecStore {
             state.history.pop_front();
         }
         state.seq = seq;
+        if checkpoint_due {
+            // The commit is already durable in the WAL; a failed image
+            // must not un-acknowledge it. Report and retry at the next
+            // interval (rotation failures additionally park the WAL,
+            // which the pre-commit check above turns into hard errors).
+            if let Err(e) = state.write_checkpoint(spec.kb()) {
+                eprintln!("gdp-store: checkpoint at seq {seq} failed: {e}");
+            }
+        }
         Ok((Committed { seq, delta }, value))
     }
 
@@ -274,6 +611,14 @@ fn pre_commit_gens(kb: &gdp_engine::KnowledgeBase, delta: &Delta) -> Vec<(PredKe
 
 fn wal_err(e: std::io::Error) -> SpecError {
     SpecError::Transaction(format!("write-ahead log: {e}"))
+}
+
+fn mismatched_base(what: &str, found: u64, expected: u64) -> SpecError {
+    SpecError::Transaction(format!(
+        "recovery refused: {what} was created over a different base image \
+         (its fingerprint is {found:016x}, this base hashes to {expected:016x}); \
+         the --load files or base setup changed since the log was created"
+    ))
 }
 
 #[cfg(test)]

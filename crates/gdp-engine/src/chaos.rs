@@ -26,6 +26,9 @@
 //! `Specification` consults at construction so whole test suites can be
 //! re-run under injected faults without code changes.
 
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+
 use crate::budget::CancelToken;
 use crate::trace::{Port, TraceEvent, TraceSink};
 
@@ -97,15 +100,240 @@ impl ChaosConfig {
     }
 
     /// The injection point requested by the `GDP_CHAOS` environment
-    /// variable, if any.
+    /// variable, if any. `io:` values belong to the disk-fault layer
+    /// ([`IoFaultConfig::from_env`]) and are not warned about here.
     pub fn from_env() -> Option<ChaosConfig> {
         std::env::var("GDP_CHAOS").ok().and_then(|v| {
             let cfg = ChaosConfig::parse(&v);
-            if cfg.is_none() && !v.trim().is_empty() {
+            if cfg.is_none() && !v.trim().is_empty() && !v.trim().starts_with("io:") {
                 eprintln!("GDP_CHAOS={v}: expected a seed or kind:K; ignoring");
             }
             cfg
         })
+    }
+}
+
+// ----- disk-fault injection -------------------------------------------------
+
+/// Which disk fault a [`ChaosFile`] injects when its trigger is reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// The write crossing the trigger byte persists only the bytes up to
+    /// it and reports partial success; the *next* write on the handle
+    /// errors. Models a `write(2)` returning short at a full disk or
+    /// quota boundary.
+    ShortWrite,
+    /// Writes succeed, but the K-th `sync_data` call on the handle fails
+    /// and the handle is dead afterwards. Bytes written before the failed
+    /// sync stay in the file — the harshest reading of fsync-failure
+    /// semantics, where data may be visible yet was never acknowledged.
+    FsyncFail,
+    /// A crash at byte K: everything up to K persists, the faulting write
+    /// errors, and every later operation on the handle errors. The caller
+    /// is expected to abandon the handle and recover from disk, exactly
+    /// as a restarted process would.
+    Crash,
+}
+
+/// A deterministic disk-fault injection point for one [`ChaosFile`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IoFaultConfig {
+    /// The fault to inject.
+    pub kind: IoFaultKind,
+    /// The trigger: a 1-based byte offset for
+    /// [`IoFaultKind::ShortWrite`] / [`IoFaultKind::Crash`] (the first
+    /// byte that does *not* persist is `at`), or a 1-based `sync_data`
+    /// call index for [`IoFaultKind::FsyncFail`].
+    pub at: u64,
+}
+
+impl IoFaultConfig {
+    /// Derive a disk-fault point from a seed: the kind cycles through
+    /// short-write / fsync-fail / crash and the trigger covers a spread
+    /// of offsets, so a small seed matrix sweeps all three kinds.
+    pub fn from_seed(seed: u64) -> IoFaultConfig {
+        let kind = match seed % 3 {
+            0 => IoFaultKind::ShortWrite,
+            1 => IoFaultKind::FsyncFail,
+            _ => IoFaultKind::Crash,
+        };
+        let at = match kind {
+            // Sync indexes are small (one per commit); byte offsets are
+            // spread across typical record sizes.
+            IoFaultKind::FsyncFail => (seed / 3) % 13 + 1,
+            _ => (seed / 3) % 1021 + 1,
+        };
+        IoFaultConfig { kind, at }
+    }
+
+    /// Parse a `GDP_CHAOS` disk-fault value: `io:short:K`, `io:fsync:K`,
+    /// `io:crash:K`, or `io:SEED` (see [`Self::from_seed`]). Anything
+    /// else — including the port-fault grammar handled by
+    /// [`ChaosConfig::parse`] — yields `None`.
+    pub fn parse(value: &str) -> Option<IoFaultConfig> {
+        let rest = value.trim().strip_prefix("io:")?;
+        if let Ok(seed) = rest.parse::<u64>() {
+            return Some(IoFaultConfig::from_seed(seed));
+        }
+        let (kind, k) = rest.split_once(':')?;
+        let kind = match kind {
+            "short" => IoFaultKind::ShortWrite,
+            "fsync" => IoFaultKind::FsyncFail,
+            "crash" => IoFaultKind::Crash,
+            _ => return None,
+        };
+        let at = k.parse::<u64>().ok().filter(|k| *k >= 1)?;
+        Some(IoFaultConfig { kind, at })
+    }
+
+    /// The disk-fault point requested by the `GDP_CHAOS` environment
+    /// variable, if it carries an `io:` value.
+    pub fn from_env() -> Option<IoFaultConfig> {
+        std::env::var("GDP_CHAOS")
+            .ok()
+            .and_then(|v| IoFaultConfig::parse(&v))
+    }
+}
+
+fn chaos_io_error(what: &str) -> io::Error {
+    io::Error::other(format!("chaos: injected {what}"))
+}
+
+/// A [`File`] wrapper that injects at most one deterministic disk fault,
+/// then keeps failing — the failpoint layer under the write-ahead log and
+/// checkpoint writers.
+///
+/// Without a fault configured it is a transparent passthrough. With one,
+/// it counts bytes written (short-write / crash triggers) and `sync_data`
+/// calls (fsync-fail trigger) and fires exactly once; after the fault the
+/// handle is *dead* and every operation errors, so a caller can never
+/// silently keep "persisting" past a simulated crash. What is in the file
+/// when the fault fires is exactly the byte prefix the semantics of the
+/// fault kind allow — which is what recovery code must survive.
+#[derive(Debug)]
+pub struct ChaosFile {
+    file: File,
+    fault: Option<IoFaultConfig>,
+    /// Bytes successfully persisted through this handle.
+    written: u64,
+    /// `sync_data` calls observed.
+    syncs: u64,
+    /// A short write fired; the next write reports the error.
+    short_fired: bool,
+    /// The fault fired terminally; every operation errors.
+    dead: bool,
+}
+
+impl ChaosFile {
+    /// Wrap `file`, injecting `fault` (or passing through when `None`).
+    pub fn new(file: File, fault: Option<IoFaultConfig>) -> ChaosFile {
+        ChaosFile {
+            file,
+            fault,
+            written: 0,
+            syncs: 0,
+            short_fired: false,
+            dead: false,
+        }
+    }
+
+    /// The wrapped file (integrity checks in tests).
+    pub fn file(&self) -> &File {
+        &self.file
+    }
+
+    fn check_alive(&self) -> io::Result<()> {
+        if self.dead {
+            return Err(chaos_io_error("dead file handle"));
+        }
+        Ok(())
+    }
+
+    /// Sync file data to disk, honoring an fsync-fail fault point.
+    pub fn sync_data(&mut self) -> io::Result<()> {
+        self.check_alive()?;
+        if let Some(cfg) = self.fault {
+            if cfg.kind == IoFaultKind::FsyncFail {
+                self.syncs += 1;
+                if self.syncs >= cfg.at {
+                    self.dead = true;
+                    return Err(chaos_io_error("fsync failure"));
+                }
+            }
+        }
+        self.file.sync_data()
+    }
+
+    /// Truncate or extend the file (used by torn-tail truncation, which
+    /// happens during recovery — before any fault counting starts).
+    pub fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.check_alive()?;
+        self.file.set_len(len)
+    }
+}
+
+impl Write for ChaosFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.check_alive()?;
+        if self.short_fired {
+            self.dead = true;
+            return Err(chaos_io_error("write after short write"));
+        }
+        let allowed = match self.fault {
+            Some(IoFaultConfig { kind, at })
+                if kind != IoFaultKind::FsyncFail && self.written + buf.len() as u64 >= at =>
+            {
+                Some(((at - 1).saturating_sub(self.written).min(buf.len() as u64)) as usize)
+            }
+            _ => None,
+        };
+        match allowed {
+            None => {
+                let n = self.file.write(buf)?;
+                self.written += n as u64;
+                Ok(n)
+            }
+            Some(n) => {
+                // The fault fires inside this write: persist the allowed
+                // prefix, then report per the fault kind.
+                if n > 0 {
+                    self.file.write_all(&buf[..n])?;
+                    self.written += n as u64;
+                }
+                match self.fault.map(|f| f.kind) {
+                    Some(IoFaultKind::ShortWrite) if n > 0 => {
+                        self.short_fired = true;
+                        Ok(n)
+                    }
+                    Some(IoFaultKind::ShortWrite) => {
+                        self.dead = true;
+                        Err(chaos_io_error("short write"))
+                    }
+                    _ => {
+                        self.dead = true;
+                        Err(chaos_io_error("crash"))
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.check_alive()?;
+        self.file.flush()
+    }
+}
+
+impl Read for ChaosFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.file.read(buf)
+    }
+}
+
+impl Seek for ChaosFile {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.check_alive()?;
+        self.file.seek(pos)
     }
 }
 

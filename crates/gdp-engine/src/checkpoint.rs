@@ -1,0 +1,392 @@
+//! Crash-safe checkpoint images of a full knowledge base.
+//!
+//! A WAL alone makes recovery cost proportional to *total history*: every
+//! commit since the base image must be replayed, and the base must be
+//! rebuilt exactly as it was when the log was created. A checkpoint bounds
+//! both. Every N commits (or on demand) the serving layer serializes the
+//! entire knowledge base — clause lists in order, per-predicate generation
+//! counters, modification epoch — into a single checksummed image, and
+//! recovery becomes *newest valid checkpoint + WAL suffix*.
+//!
+//! ## File format
+//!
+//! One record, same framing as a WAL record:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload: len bytes]
+//! payload = magic "GDPC", version: u32 LE, fingerprint: u64 LE,
+//!           seq: u64 LE, epoch: u64 LE,
+//!           pred_count: u32, (key, clause_count: u32, clause*)*,
+//!           gen_count: u32, (key, generation: u64)*
+//! ```
+//!
+//! Predicates are sorted by `(name, arity)` so the image is canonical;
+//! clause lists keep assertion order (clause positions are observable
+//! through solution order). Terms reuse the WAL codec, so the image is
+//! portable across processes with different symbol-interning orders and
+//! clause `n_vars` is recomputed on decode.
+//!
+//! ## Torn images
+//!
+//! Checkpoints are written to a temporary file, synced, and renamed into
+//! place, so a crash mid-checkpoint leaves the previous image intact. If
+//! an image is torn or corrupt anyway (CRC mismatch, truncated payload),
+//! [`CheckpointImage::read`] returns `Ok(None)` and recovery falls back
+//! to an older checkpoint, then to the base image — corruption degrades
+//! recovery time, never correctness. A CRC-*valid* image whose
+//! [`fingerprint`] does not match the base it is being restored against
+//! is different: that means the operator changed the base (`--load`
+//! files) between runs, and the store reports a hard error instead of
+//! silently diverging.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use crate::chaos::{ChaosFile, IoFaultConfig};
+use crate::delta::DeltaOp;
+use crate::kb::{Clause, KnowledgeBase, PredKey};
+use crate::wal::{crc32, put_clause, put_key, put_u32, put_u64, Cursor};
+
+const MAGIC: &[u8; 4] = b"GDPC";
+const VERSION: u32 = 1;
+
+/// Canonical content hash of a knowledge base: FNV-1a 64 over the sorted
+/// predicate/clause serialization (names, not interned ids — stable
+/// across processes). This is the *base fingerprint* stamped into both
+/// WAL headers and checkpoint images: recovery refuses to proceed when
+/// the base it was handed hashes differently from the base the log and
+/// checkpoints were created over. Validity counters (generations, epoch)
+/// are deliberately excluded — the fingerprint identifies stored
+/// content, which is what replay positions depend on.
+pub fn fingerprint(kb: &KnowledgeBase) -> u64 {
+    let mut bytes = Vec::new();
+    encode_preds(&mut bytes, &collect_preds(kb));
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in &bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn sort_key(key: &PredKey) -> (String, u16) {
+    (key.name.as_str().to_string(), key.arity)
+}
+
+fn collect_preds(kb: &KnowledgeBase) -> Vec<(PredKey, Vec<Arc<Clause>>)> {
+    let mut keys: Vec<PredKey> = kb
+        .iter_clauses()
+        .map(|(k, _)| k)
+        .collect::<HashSet<_>>()
+        .into_iter()
+        .collect();
+    keys.sort_by_key(sort_key);
+    keys.into_iter().map(|k| (k, kb.clauses_of(k))).collect()
+}
+
+fn encode_preds(out: &mut Vec<u8>, preds: &[(PredKey, Vec<Arc<Clause>>)]) {
+    put_u32(out, preds.len() as u32);
+    for (key, clauses) in preds {
+        put_key(out, *key);
+        put_u32(out, clauses.len() as u32);
+        for clause in clauses {
+            put_clause(out, clause);
+        }
+    }
+}
+
+/// A decoded (or freshly captured) checkpoint: the full stored content of
+/// a knowledge base as of commit `seq`, plus the validity counters needed
+/// to make a restored KB indistinguishable from the live one.
+#[derive(Debug)]
+pub struct CheckpointImage {
+    /// [`fingerprint`] of the *base image* the owning WAL chain replays
+    /// over — not of this checkpoint's content.
+    pub fingerprint: u64,
+    /// The last commit sequence number folded into this image. Recovery
+    /// resumes WAL replay at `seq + 1`.
+    pub seq: u64,
+    /// Modification epoch of the live KB when the image was taken.
+    pub epoch: u64,
+    preds: Vec<(PredKey, Vec<Arc<Clause>>)>,
+    generations: Vec<(PredKey, u64)>,
+}
+
+impl CheckpointImage {
+    /// Capture the live KB as a checkpoint of commit `seq` under the base
+    /// fingerprint `fp`.
+    pub fn capture(kb: &KnowledgeBase, fp: u64, seq: u64) -> CheckpointImage {
+        let mut generations: Vec<(PredKey, u64)> = kb.generations().collect();
+        generations.sort_by_key(|(k, _)| sort_key(k));
+        CheckpointImage {
+            fingerprint: fp,
+            seq,
+            epoch: kb.epoch(),
+            preds: collect_preds(kb),
+            generations,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, VERSION);
+        put_u64(&mut out, self.fingerprint);
+        put_u64(&mut out, self.seq);
+        put_u64(&mut out, self.epoch);
+        encode_preds(&mut out, &self.preds);
+        put_u32(&mut out, self.generations.len() as u32);
+        for (key, generation) in &self.generations {
+            put_key(&mut out, *key);
+            put_u64(&mut out, *generation);
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Option<CheckpointImage> {
+        let len = u32::from_le_bytes(buf.get(0..4)?.try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(buf.get(4..8)?.try_into().unwrap());
+        let payload = buf.get(8..8 + len)?;
+        if crc32(payload) != crc {
+            return None;
+        }
+        let mut cur = Cursor::new(payload);
+        if cur.take(4)? != MAGIC || cur.u32()? != VERSION {
+            return None;
+        }
+        let fingerprint = cur.u64()?;
+        let seq = cur.u64()?;
+        let epoch = cur.u64()?;
+        let pred_count = cur.u32()? as usize;
+        let mut preds = Vec::with_capacity(pred_count);
+        for _ in 0..pred_count {
+            let key = cur.key()?;
+            let clause_count = cur.u32()? as usize;
+            let mut clauses = Vec::with_capacity(clause_count.min(1 << 16));
+            for _ in 0..clause_count {
+                clauses.push(cur.clause()?);
+            }
+            preds.push((key, clauses));
+        }
+        let gen_count = cur.u32()? as usize;
+        let mut generations = Vec::with_capacity(gen_count.min(1 << 16));
+        for _ in 0..gen_count {
+            let key = cur.key()?;
+            generations.push((key, cur.u64()?));
+        }
+        if !cur.finished() {
+            return None; // trailing garbage inside a "valid" payload
+        }
+        Some(CheckpointImage {
+            fingerprint,
+            seq,
+            epoch,
+            preds,
+            generations,
+        })
+    }
+
+    /// Write the image to `path` atomically: serialize to `path` + `.tmp`,
+    /// sync, rename into place, sync the parent directory. A crash at any
+    /// byte leaves either the old image or the new one, never a blend —
+    /// the rename is the commit point.
+    pub fn write(&self, path: &Path, faults: Option<IoFaultConfig>) -> io::Result<()> {
+        let payload = self.encode();
+        let len: u32 = payload.len().try_into().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "checkpoint payload of {} bytes overflows the length field",
+                    payload.len()
+                ),
+            )
+        })?;
+        let mut record = Vec::with_capacity(8 + payload.len());
+        put_u32(&mut record, len);
+        put_u32(&mut record, crc32(&payload));
+        record.extend_from_slice(&payload);
+        let tmp = tmp_path(path);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        let mut file = ChaosFile::new(file, faults);
+        file.write_all(&record)?;
+        file.sync_data()?;
+        drop(file);
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)
+    }
+
+    /// Read an image back. `Ok(None)` when the file does not exist *or*
+    /// is torn/corrupt (bad CRC, truncated or malformed payload) — the
+    /// caller falls back to an older checkpoint or the base. Only real
+    /// I/O failures surface as errors; fingerprint checking is the
+    /// caller's job (it knows the base, the image only reports it).
+    pub fn read(path: &Path) -> io::Result<Option<CheckpointImage>> {
+        let buf = match std::fs::read(path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        Ok(CheckpointImage::decode(&buf))
+    }
+
+    /// Replace `kb`'s stored content and validity counters with this
+    /// image's. `kb` carries configuration (tabling, strictness, index
+    /// layout) from base setup; only clauses, generations, and epoch are
+    /// overwritten. After install, `kb` is
+    /// [`KnowledgeBase::content_eq`] to the KB the image was captured
+    /// from.
+    pub fn install(&self, kb: &mut KnowledgeBase) {
+        let existing: Vec<PredKey> = kb
+            .iter_clauses()
+            .map(|(k, _)| k)
+            .collect::<HashSet<_>>()
+            .into_iter()
+            .collect();
+        for key in existing {
+            kb.retract_predicate(key);
+        }
+        for (key, clauses) in &self.preds {
+            for clause in clauses {
+                kb.apply_op(&DeltaOp::Assert {
+                    key: *key,
+                    clause: Arc::clone(clause),
+                });
+            }
+        }
+        kb.restore_validity(self.generations.iter().copied(), self.epoch);
+    }
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    PathBuf::from(os)
+}
+
+/// Make a rename durable: fsync the directory holding `path`. Without
+/// this, a crash after rename can resurrect the old directory entry.
+fn sync_parent_dir(path: &Path) -> io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::GroupId;
+    use crate::term::Term;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("gdp-ckpt-test-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.assert_fact(Term::pred("road", vec![Term::atom("s1")]));
+        kb.assert_fact(Term::pred("road", vec![Term::atom("s2")]));
+        kb.assert_clause_in(
+            GroupId::named("m1"),
+            Term::pred("soil", vec![Term::var(0), Term::float(0.5)]),
+            Term::pred("road", vec![Term::var(0)]),
+        );
+        kb.assert_fact(Term::pred("label", vec![Term::str("x-17"), Term::int(17)]));
+        kb.retract_fact(&Term::pred("road", vec![Term::atom("s2")]));
+        kb
+    }
+
+    #[test]
+    fn capture_write_read_install_roundtrip() {
+        let path = temp_path("roundtrip");
+        let live = sample_kb();
+        let fp = fingerprint(&KnowledgeBase::new());
+        let image = CheckpointImage::capture(&live, fp, 7);
+        image.write(&path, None).unwrap();
+        let read = CheckpointImage::read(&path).unwrap().expect("valid image");
+        assert_eq!(read.fingerprint, fp);
+        assert_eq!(read.seq, 7);
+        let mut restored = KnowledgeBase::new();
+        read.install(&mut restored);
+        assert!(restored.content_eq(&live), "install != captured KB");
+        restored.check_index_integrity().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn install_replaces_existing_content() {
+        let path = temp_path("replace");
+        let live = sample_kb();
+        let image = CheckpointImage::capture(&live, 1, 3);
+        image.write(&path, None).unwrap();
+        let mut target = KnowledgeBase::new();
+        target.assert_fact(Term::pred("stale", vec![Term::atom("x")]));
+        CheckpointImage::read(&path)
+            .unwrap()
+            .unwrap()
+            .install(&mut target);
+        assert!(target.content_eq(&live));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_image_reads_as_none_at_every_cut() {
+        let path = temp_path("torn");
+        let live = sample_kb();
+        let image = CheckpointImage::capture(&live, 1, 1);
+        image.write(&path, None).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            assert!(
+                CheckpointImage::read(&path).unwrap().is_none(),
+                "cut at {cut} accepted"
+            );
+        }
+        // Flipping any single byte must also be rejected.
+        for i in 0..full.len() {
+            let mut bytes = full.clone();
+            bytes[i] ^= 0xFF;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                CheckpointImage::read(&path).unwrap().is_none(),
+                "flip at {i} accepted"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_history() {
+        let mut a = KnowledgeBase::new();
+        a.assert_fact(Term::pred("p", vec![Term::atom("x")]));
+        let mut b = KnowledgeBase::new();
+        b.assert_fact(Term::pred("p", vec![Term::atom("x")]));
+        b.assert_fact(Term::pred("q", vec![Term::atom("y")]));
+        b.retract_fact(&Term::pred("q", vec![Term::atom("y")]));
+        // q was fully retracted: only stored content counts. (Note the
+        // counters differ; the fingerprint deliberately ignores them.)
+        assert_ne!(fingerprint(&a), fingerprint(&KnowledgeBase::new()));
+        let mut c = KnowledgeBase::new();
+        c.assert_fact(Term::pred("p", vec![Term::atom("y")]));
+        assert_ne!(fingerprint(&a), fingerprint(&c), "different arg");
+        assert_eq!(fingerprint(&a), fingerprint(&b), "same stored content");
+    }
+
+    #[test]
+    fn missing_file_reads_as_none() {
+        let path = temp_path("missing");
+        std::fs::remove_file(&path).ok();
+        assert!(CheckpointImage::read(&path).unwrap().is_none());
+    }
+}

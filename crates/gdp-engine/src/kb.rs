@@ -1256,6 +1256,25 @@ impl KnowledgeBase {
         self.structural_gen
     }
 
+    /// Overwrite the validity counters (per-predicate generations and the
+    /// modification epoch) with values restored from a checkpoint image.
+    /// Clause content must already have been re-asserted; this realigns
+    /// the counters so the restored KB is [`KnowledgeBase::content_eq`]
+    /// to the one the image was taken from, and drops any dependency
+    /// snapshots cached during the re-assertion.
+    pub(crate) fn restore_validity(
+        &mut self,
+        generations: impl IntoIterator<Item = (PredKey, u64)>,
+        epoch: u64,
+    ) {
+        self.generations = generations.into_iter().collect();
+        self.epoch = epoch;
+        let cache = self.dep_cache.get_mut();
+        cache.graph = None;
+        cache.snapshots.clear();
+        cache.sccs = None;
+    }
+
     // ----- tabling ----------------------------------------------------------
 
     /// Master switch for tabled resolution. Off by default; turning it on

@@ -42,6 +42,7 @@
 mod budget;
 mod builtins;
 pub mod chaos;
+pub mod checkpoint;
 pub mod delta;
 pub mod deps;
 mod error;
@@ -60,7 +61,8 @@ pub mod wal;
 pub mod arith;
 
 pub use budget::{Budget, CancelToken, DepthGuard, CHECK_INTERVAL};
-pub use chaos::{ChaosConfig, ChaosSink, FaultKind};
+pub use chaos::{ChaosConfig, ChaosFile, ChaosSink, FaultKind, IoFaultConfig, IoFaultKind};
+pub use checkpoint::{fingerprint, CheckpointImage};
 pub use delta::{CommitRecord, Delta, DeltaOp};
 pub use deps::{ArgSpec, Closure, DepGraph};
 pub use error::{EngineError, EngineResult};
@@ -80,4 +82,4 @@ pub use trace::{
     TraceSink,
 };
 pub use unify::{resolve_deep, resolve_shallow, BindStore};
-pub use wal::{Wal, WalRecord};
+pub use wal::{replay, Wal, WalHeader, WalRecord};

@@ -24,6 +24,24 @@
 //! different symbol-interning orders). Clause `n_vars` is recomputed on
 //! decode, so a log can never smuggle in an inconsistent variable count.
 //!
+//! ## Header
+//!
+//! Since format version 2 every log opens with a fixed 28-byte header:
+//!
+//! ```text
+//! [magic "GDPW"] [version: u32 LE] [fingerprint: u64 LE]
+//! [start_seq: u64 LE] [crc32: u32 LE over the first 24 bytes]
+//! ```
+//!
+//! `fingerprint` is a canonical hash of the *base image* the log's
+//! records replay over (see [`crate::checkpoint::fingerprint`]): recovery
+//! refuses to replay a log whose base was built differently — a changed
+//! `--load` file becomes a hard error instead of silent divergence.
+//! `start_seq` is the sequence number of the log's first record; a log
+//! rotated at a checkpoint starts where the checkpoint ends, so disk and
+//! recovery time stay proportional to the checkpoint interval, not to
+//! total history.
+//!
 //! ## Torn-tail policy
 //!
 //! A crash mid-append leaves a torn record at the tail: a length running
@@ -32,21 +50,29 @@
 //! the end of the log — everything before it is returned as the recovered
 //! prefix, and the file is truncated back to that point so the next append
 //! continues from a clean boundary. Torn tails are *expected*, not fatal:
-//! the commit they belonged to was never acknowledged.
+//! the commit they belonged to was never acknowledged. A torn *header* on
+//! a non-empty file is different: the header is synced before the first
+//! append, so it can only mean out-of-band corruption, and it is reported
+//! as an error rather than silently starting a fresh chain.
 
-use std::fs::{File, OpenOptions};
+use std::fs::OpenOptions;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
+use crate::chaos::{ChaosFile, IoFaultConfig};
 use crate::delta::{Delta, DeltaOp};
 use crate::kb::{Clause, GroupId, KnowledgeBase, PredKey};
 use crate::symbol::Sym;
 use crate::term::{Term, Var, F64};
 
+const MAGIC: &[u8; 4] = b"GDPW";
+const VERSION: u32 = 2;
+const HEADER_LEN: usize = 28;
+
 /// IEEE CRC-32 (reflected polynomial 0xEDB88320), bit-serial — WAL
 /// payloads are small and dominated by the fsync, not the checksum.
-fn crc32(data: &[u8]) -> u32 {
+pub(crate) fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in data {
         crc ^= u32::from(b);
@@ -60,20 +86,20 @@ fn crc32(data: &[u8]) -> u32 {
 
 // ----- payload encoding -----------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn put_term(out: &mut Vec<u8>, t: &Term) {
+pub(crate) fn put_term(out: &mut Vec<u8>, t: &Term) {
     match t {
         Term::Var(Var(v)) => {
             out.push(0);
@@ -106,18 +132,18 @@ fn put_term(out: &mut Vec<u8>, t: &Term) {
     }
 }
 
-fn put_clause(out: &mut Vec<u8>, clause: &Clause) {
+pub(crate) fn put_clause(out: &mut Vec<u8>, clause: &Clause) {
     put_str(out, &clause.group.name().as_str());
     put_term(out, &clause.head);
     put_term(out, &clause.body);
 }
 
-fn put_key(out: &mut Vec<u8>, key: PredKey) {
+pub(crate) fn put_key(out: &mut Vec<u8>, key: PredKey) {
     put_str(out, &key.name.as_str());
     put_u32(out, u32::from(key.arity));
 }
 
-fn put_op(out: &mut Vec<u8>, op: &DeltaOp) {
+pub(crate) fn put_op(out: &mut Vec<u8>, op: &DeltaOp) {
     match op {
         DeltaOp::Assert { key, clause } => {
             out.push(0);
@@ -156,53 +182,53 @@ fn put_op(out: &mut Vec<u8>, op: &DeltaOp) {
 /// Decoder over one payload slice. Every read is bounds-checked; `None`
 /// means the payload is malformed (which [`Wal::open`] treats exactly like
 /// a checksum failure: end of the recoverable prefix).
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Cursor<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Cursor<'a> {
         Cursor { buf, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+    pub(crate) fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         let slice = self.buf.get(self.pos..end)?;
         self.pos = end;
         Some(slice)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4)
             .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn i64(&mut self) -> Option<i64> {
+    pub(crate) fn i64(&mut self) -> Option<i64> {
         self.take(8)
             .map(|s| i64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn f64(&mut self) -> Option<f64> {
+    pub(crate) fn f64(&mut self) -> Option<f64> {
         self.take(8)
             .map(|s| f64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Option<&'a str> {
+    pub(crate) fn str(&mut self) -> Option<&'a str> {
         let len = self.u32()? as usize;
         std::str::from_utf8(self.take(len)?).ok()
     }
 
-    fn term(&mut self) -> Option<Term> {
+    pub(crate) fn term(&mut self) -> Option<Term> {
         Some(match self.u8()? {
             0 => Term::Var(Var(self.u32()?)),
             1 => Term::Atom(Sym::new(self.str()?)),
@@ -228,20 +254,20 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn clause(&mut self) -> Option<Arc<Clause>> {
+    pub(crate) fn clause(&mut self) -> Option<Arc<Clause>> {
         let group = GroupId::named(self.str()?);
         let head = self.term()?;
         let body = self.term()?;
         Some(Arc::new(Clause::new(head, body, group)))
     }
 
-    fn key(&mut self) -> Option<PredKey> {
+    pub(crate) fn key(&mut self) -> Option<PredKey> {
         let name = self.str()?.to_owned();
         let arity = self.u32()? as usize;
         PredKey::try_new(&name, arity)
     }
 
-    fn op(&mut self) -> Option<DeltaOp> {
+    pub(crate) fn op(&mut self) -> Option<DeltaOp> {
         Some(match self.u8()? {
             0 => DeltaOp::Assert {
                 key: self.key()?,
@@ -282,7 +308,7 @@ impl<'a> Cursor<'a> {
         })
     }
 
-    fn finished(&self) -> bool {
+    pub(crate) fn finished(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -313,72 +339,239 @@ fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
     Some(WalRecord { seq, delta })
 }
 
+/// The self-describing header every log starts with: the canonical
+/// fingerprint of the base image its records replay over, and the
+/// sequence number of its first record (1 for a fresh log; a rotated
+/// segment starts just past the checkpoint it was rotated at).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalHeader {
+    /// Canonical hash of the base image (see
+    /// [`crate::checkpoint::fingerprint`]).
+    pub fingerprint: u64,
+    /// Sequence number of the first record in this log.
+    pub start_seq: u64,
+}
+
+impl WalHeader {
+    /// A header for a fresh (unrotated) log over `fingerprint`'s base.
+    pub fn new(fingerprint: u64, start_seq: u64) -> WalHeader {
+        WalHeader {
+            fingerprint,
+            start_seq,
+        }
+    }
+
+    fn encode(&self) -> [u8; HEADER_LEN] {
+        let mut bytes = [0u8; HEADER_LEN];
+        bytes[0..4].copy_from_slice(MAGIC);
+        bytes[4..8].copy_from_slice(&VERSION.to_le_bytes());
+        bytes[8..16].copy_from_slice(&self.fingerprint.to_le_bytes());
+        bytes[16..24].copy_from_slice(&self.start_seq.to_le_bytes());
+        let crc = crc32(&bytes[0..24]);
+        bytes[24..28].copy_from_slice(&crc.to_le_bytes());
+        bytes
+    }
+
+    fn decode(bytes: &[u8]) -> Option<WalHeader> {
+        let bytes: &[u8; HEADER_LEN] = bytes.get(0..HEADER_LEN)?.try_into().ok()?;
+        if &bytes[0..4] != MAGIC {
+            return None;
+        }
+        if u32::from_le_bytes(bytes[4..8].try_into().unwrap()) != VERSION {
+            return None;
+        }
+        let crc = u32::from_le_bytes(bytes[24..28].try_into().unwrap());
+        if crc32(&bytes[0..24]) != crc {
+            return None;
+        }
+        Some(WalHeader {
+            fingerprint: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            start_seq: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+        })
+    }
+}
+
+/// Parse the longest valid record prefix of `buf` past the header,
+/// starting at `start_seq`. Returns the records and the byte offset of
+/// the first torn/invalid position (the clean append point).
+fn parse_records(buf: &[u8], start_seq: u64) -> (Vec<WalRecord>, usize) {
+    let mut records = Vec::new();
+    let mut good = HEADER_LEN;
+    let mut next_seq = start_seq;
+    while let Some(header) = buf.get(good..good + 8) {
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        let Some(payload) = buf.get(good + 8..good + 8 + len) else {
+            break; // torn payload
+        };
+        if crc32(payload) != crc {
+            break; // torn or corrupted record
+        }
+        let Some(record) = decode_payload(payload) else {
+            break; // checksum ok but structure malformed: stop here too
+        };
+        if record.seq != next_seq {
+            break; // sequence discontinuity: do not replay past it
+        }
+        next_seq += 1;
+        records.push(record);
+        good += 8 + len;
+    }
+    (records, good)
+}
+
+fn corrupt_header_error(path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "write-ahead log {} has a corrupt header (not a GDP WAL, \
+             or damaged out of band)",
+            path.display()
+        ),
+    )
+}
+
+/// Is this non-empty image a *torn create* — a crash mid-way through
+/// writing the initial header? The header is written and synced before
+/// any record, so an invalid header on a file no longer than the header
+/// itself cannot cover committed data and is safe to treat as an empty
+/// log. An invalid header on a *longer* file means out-of-band
+/// corruption of a segment that may hold records — that one is fatal.
+fn is_torn_create(buf: &[u8]) -> bool {
+    buf.len() <= HEADER_LEN && WalHeader::decode(buf).is_none()
+}
+
 /// An open write-ahead log, positioned for appending.
 ///
 /// Appends are length-prefixed, checksummed, and synced to disk
-/// ([`File::sync_data`]) before [`Wal::append`] returns — the commit
-/// boundary *is* the fsync. See the module docs for the format and the
-/// torn-tail policy.
+/// (`sync_data`) before [`Wal::append`] returns — the commit boundary
+/// *is* the fsync. All writes go through a [`ChaosFile`], so the
+/// `GDP_CHAOS` disk-fault grammar can tear any byte of any record. See
+/// the module docs for the format and the torn-tail policy.
 #[derive(Debug)]
 pub struct Wal {
-    file: File,
+    file: ChaosFile,
+    header: WalHeader,
     next_seq: u64,
 }
 
 impl Wal {
     /// Create a fresh, empty log at `path`, truncating anything there.
-    pub fn create(path: &Path) -> io::Result<Wal> {
+    /// The header is written and synced immediately: an empty log is
+    /// already self-describing.
+    pub fn create(path: &Path, header: WalHeader) -> io::Result<Wal> {
+        Wal::create_with_faults(path, header, None)
+    }
+
+    /// [`Wal::create`] with a disk-fault injection point under every
+    /// subsequent write (the failpoint harness entry).
+    pub fn create_with_faults(
+        path: &Path,
+        header: WalHeader,
+        faults: Option<IoFaultConfig>,
+    ) -> io::Result<Wal> {
         let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Wal { file, next_seq: 1 })
+        let mut file = ChaosFile::new(file, faults);
+        file.write_all(&header.encode())?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            next_seq: header.start_seq,
+            header,
+        })
     }
 
-    /// Open an existing log (creating an empty one if absent): read the
-    /// longest valid record prefix, truncate any torn tail, and return the
-    /// recovered records together with a log positioned to append the next
-    /// commit.
-    pub fn open(path: &Path) -> io::Result<(Wal, Vec<WalRecord>)> {
-        let mut file = OpenOptions::new()
+    /// Open an existing log (creating an empty one with `default_header`
+    /// if absent or empty): read the longest valid record prefix,
+    /// truncate any torn tail, and return the recovered records together
+    /// with a log positioned to append the next commit.
+    ///
+    /// The caller is responsible for checking the returned header's
+    /// fingerprint against its base image — the log reports what it was
+    /// created over; only the caller knows what it is replaying onto.
+    pub fn open(path: &Path, default_header: WalHeader) -> io::Result<(Wal, Vec<WalRecord>)> {
+        Wal::open_with_faults(path, default_header, None)
+    }
+
+    /// [`Wal::open`] with a disk-fault injection point under every
+    /// subsequent write. Reads (recovery itself) are never faulted.
+    pub fn open_with_faults(
+        path: &Path,
+        default_header: WalHeader,
+        faults: Option<IoFaultConfig>,
+    ) -> io::Result<(Wal, Vec<WalRecord>)> {
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(path)?;
+        let mut file = ChaosFile::new(file, faults);
         let mut buf = Vec::new();
         file.read_to_end(&mut buf)?;
-        let mut records = Vec::new();
-        let mut good = 0usize;
-        let mut next_seq = 1u64;
-        // Stops at a clean end or the first torn header.
-        while let Some(header) = buf.get(good..good + 8) {
-            let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
-            let Some(payload) = buf.get(good + 8..good + 8 + len) else {
-                break; // torn payload
-            };
-            if crc32(payload) != crc {
-                break; // torn or corrupted record
-            }
-            let Some(record) = decode_payload(payload) else {
-                break; // checksum ok but structure malformed: stop here too
-            };
-            if record.seq != next_seq {
-                break; // sequence discontinuity: do not replay past it
-            }
-            next_seq += 1;
-            records.push(record);
-            good += 8 + len;
+        if buf.is_empty() || is_torn_create(&buf) {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&default_header.encode())?;
+            file.sync_data()?;
+            return Ok((
+                Wal {
+                    file,
+                    next_seq: default_header.start_seq,
+                    header: default_header,
+                },
+                Vec::new(),
+            ));
         }
+        let Some(header) = WalHeader::decode(&buf) else {
+            return Err(corrupt_header_error(path));
+        };
+        let (records, good) = parse_records(&buf, header.start_seq);
         if good < buf.len() {
             file.set_len(good as u64)?;
             file.sync_data()?;
         }
         file.seek(SeekFrom::Start(good as u64))?;
-        Ok((Wal { file, next_seq }, records))
+        let next_seq = header.start_seq + records.len() as u64;
+        Ok((
+            Wal {
+                file,
+                next_seq,
+                header,
+            },
+            records,
+        ))
+    }
+
+    /// Read a log without touching it: the header and the longest valid
+    /// record prefix. `Ok(None)` when the file does not exist; a corrupt
+    /// header on a non-empty file is an error (see the module docs).
+    /// Recovery uses this to harvest records from rotated-out segments
+    /// it will never append to.
+    pub fn scan(path: &Path) -> io::Result<Option<(WalHeader, Vec<WalRecord>)>> {
+        let buf = match std::fs::read(path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() || is_torn_create(&buf) {
+            return Ok(None);
+        }
+        let Some(header) = WalHeader::decode(&buf) else {
+            return Err(corrupt_header_error(path));
+        };
+        let (records, _good) = parse_records(&buf, header.start_seq);
+        Ok(Some((header, records)))
+    }
+
+    /// The header this log was created with.
+    pub fn header(&self) -> WalHeader {
+        self.header
     }
 
     /// The sequence number the next [`Wal::append`] will write.
@@ -388,16 +581,38 @@ impl Wal {
 
     /// Append one committed delta and sync the file. The record is only
     /// durable — and the commit only acknowledgeable — once this returns.
+    ///
+    /// Oversized deltas (more than `u32::MAX` operations, or a payload
+    /// past `u32::MAX` bytes) are rejected with an error instead of
+    /// silently truncating the on-disk op count.
     pub fn append(&mut self, delta: &Delta) -> io::Result<u64> {
         let seq = self.next_seq;
+        let ops: u32 = delta.len().try_into().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "delta of {} operations overflows the WAL op-count field",
+                    delta.len()
+                ),
+            )
+        })?;
         let mut payload = Vec::new();
         put_u64(&mut payload, seq);
-        put_u32(&mut payload, delta.len() as u32);
+        put_u32(&mut payload, ops);
         for op in delta.ops() {
             put_op(&mut payload, op);
         }
+        let len: u32 = payload.len().try_into().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "delta payload of {} bytes overflows the WAL length field",
+                    payload.len()
+                ),
+            )
+        })?;
         let mut record = Vec::with_capacity(8 + payload.len());
-        put_u32(&mut record, payload.len() as u32);
+        put_u32(&mut record, len);
         put_u32(&mut record, crc32(&payload));
         record.extend_from_slice(&payload);
         self.file.write_all(&record)?;
@@ -443,11 +658,16 @@ mod tests {
         delta
     }
 
+    /// A fresh-log header for tests that don't exercise fingerprints.
+    fn hdr() -> WalHeader {
+        WalHeader::new(0xFEED, 1)
+    }
+
     #[test]
     fn roundtrip_all_op_kinds() {
         let path = temp_path("roundtrip");
         let mut live = KnowledgeBase::new();
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&path, hdr()).unwrap();
         let d1 = committed_ops(&mut live, |kb| {
             kb.assert_fact(fact("road", "s1"));
             kb.assert_fact(fact("road", "s2"));
@@ -467,7 +687,7 @@ mod tests {
         wal.append(&d2).unwrap();
         drop(wal);
 
-        let (wal, records) = Wal::open(&path).unwrap();
+        let (wal, records) = Wal::open(&path, hdr()).unwrap();
         assert_eq!(records.len(), 2);
         assert_eq!(wal.next_seq(), 3);
         let mut recovered = KnowledgeBase::new();
@@ -481,7 +701,7 @@ mod tests {
     fn torn_tail_is_truncated_not_fatal() {
         let path = temp_path("torn");
         let mut live = KnowledgeBase::new();
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&path, hdr()).unwrap();
         let d1 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "a")));
         wal.append(&d1).unwrap();
         let good_len = std::fs::metadata(&path).unwrap().len();
@@ -492,12 +712,12 @@ mod tests {
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 3]).unwrap();
 
-        let (mut wal, records) = Wal::open(&path).unwrap();
+        let (mut wal, records) = Wal::open(&path, hdr()).unwrap();
         assert_eq!(records.len(), 1, "only the intact prefix is recovered");
         assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
         // The log stays appendable from the clean boundary.
         assert_eq!(wal.append(&d2).unwrap(), 2);
-        let (_, records) = Wal::open(&path).unwrap();
+        let (_, records) = Wal::open(&path, hdr()).unwrap();
         assert_eq!(records.len(), 2);
         std::fs::remove_file(&path).ok();
     }
@@ -506,7 +726,7 @@ mod tests {
     fn corrupt_checksum_stops_replay() {
         let path = temp_path("crc");
         let mut live = KnowledgeBase::new();
-        let mut wal = Wal::create(&path).unwrap();
+        let mut wal = Wal::create(&path, hdr()).unwrap();
         let d1 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "a")));
         wal.append(&d1).unwrap();
         let d2 = committed_ops(&mut live, |kb| kb.assert_fact(fact("p", "b")));
@@ -517,7 +737,7 @@ mod tests {
         let last = bytes.len() - 1;
         bytes[last] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let (_, records) = Wal::open(&path).unwrap();
+        let (_, records) = Wal::open(&path, hdr()).unwrap();
         assert_eq!(records.len(), 1);
         std::fs::remove_file(&path).ok();
     }
@@ -526,7 +746,7 @@ mod tests {
     fn empty_and_missing_logs_open_clean() {
         let path = temp_path("empty");
         std::fs::remove_file(&path).ok();
-        let (wal, records) = Wal::open(&path).unwrap();
+        let (wal, records) = Wal::open(&path, hdr()).unwrap();
         assert!(records.is_empty());
         assert_eq!(wal.next_seq(), 1);
         std::fs::remove_file(&path).ok();

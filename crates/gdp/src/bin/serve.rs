@@ -4,11 +4,21 @@
 //! per connection. Every session reads against an MVCC snapshot pinned at
 //! connect time (re-pin with `:snapshot`); writers commit atomically
 //! through the shared store. With `--wal`, every commit is appended to a
-//! durable write-ahead log and replayed on restart.
+//! durable write-ahead log, folded into periodic checkpoints, and
+//! recovered on restart (newest valid checkpoint + log suffix).
+//!
+//! `--load` files are part of the *base image*: they are applied before
+//! the store opens and fingerprinted into the WAL/checkpoint family, so
+//! editing one between runs of a durable server is a refused recovery,
+//! not silent divergence.
+//!
+//! The server drains gracefully on SIGTERM or `:shutdown`: it stops
+//! accepting, finishes (or cancels, after a grace period) in-flight
+//! statements, writes a final checkpoint, and exits 0.
 //!
 //! ```text
 //! $ gdp-serve --tcp 127.0.0.1:7411 --wal /var/lib/gdp/spec.wal
-//! $ gdp-serve --unix /tmp/gdp.sock
+//! $ gdp-serve --unix /tmp/gdp.sock --max-sessions 16 --deadline 2000
 //! # then from N terminals:
 //! $ nc 127.0.0.1 7411
 //! gdp> bridge(b1). open(b1).
@@ -19,17 +29,64 @@
 
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::OnceLock;
+use std::time::Duration;
 
+use gdp::core::DurabilityOptions;
 #[cfg(unix)]
-use gdp::server::serve_unix;
-use gdp::server::{serve_tcp, ServerState};
+use gdp::server::serve_unix_opts;
+use gdp::server::{serve_tcp_opts, ServeOptions, ServerState};
 
 const USAGE: &str = "\
-usage: gdp-serve (--tcp ADDR | --unix PATH) [--wal FILE] [--load FILE]
-  --tcp ADDR   listen on a TCP address, e.g. 127.0.0.1:7411
-  --unix PATH  listen on a Unix-domain socket at PATH (removed first)
-  --wal FILE   durable mode: append commits to FILE, replay it on start
-  --load FILE  commit a specification file into the store before serving";
+usage: gdp-serve (--tcp ADDR | --unix PATH) [options]
+  --tcp ADDR         listen on a TCP address, e.g. 127.0.0.1:7411
+  --unix PATH        listen on a Unix-domain socket at PATH (removed first)
+  --wal FILE         durable mode: WAL + checkpoints rooted at FILE,
+                     recovered on start (FILE, FILE.prev, FILE.ckpt, …)
+  --load FILE        apply a specification file to the base image before
+                     serving (repeatable; fingerprinted under --wal)
+  --checkpoint N     fold the KB into a checkpoint every N commits
+                     (default 32; 0 = only the final drain checkpoint)
+  --max-sessions N   admission limit; extra connections get `server busy`
+                     (default 64)
+  --idle-timeout S   close sessions idle for S seconds (default: never)
+  --deadline MS      per-statement wall-clock limit in milliseconds
+                     (default: none)";
+
+/// The server state, reachable from the SIGTERM handler.
+static DRAIN: OnceLock<std::sync::Arc<ServerState>> = OnceLock::new();
+
+extern "C" fn on_sigterm(_sig: i32) {
+    // A single atomic store: async-signal-safe. The accept loop and the
+    // session ticks notice the flag and drain.
+    if let Some(state) = DRAIN.get() {
+        state.request_shutdown();
+    }
+}
+
+/// Route SIGTERM to a graceful drain. Raw `signal(2)` keeps this
+/// dependency-free (same pattern as gdp-repl's SIGINT handling);
+/// SA_RESTART semantics are irrelevant here because every blocking read
+/// already ticks on a timeout.
+#[cfg(unix)]
+fn install_sigterm(state: std::sync::Arc<ServerState>) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    if DRAIN.set(state).is_ok() {
+        unsafe {
+            signal(SIGTERM, on_sigterm);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm(_state: std::sync::Arc<ServerState>) {
+    // No signal plumbing off unix; `:shutdown` still drains.
+    let _ = &DRAIN;
+    let _ = on_sigterm as extern "C" fn(i32);
+}
 
 enum Listen {
     Tcp(String),
@@ -37,17 +94,42 @@ enum Listen {
     Unix(PathBuf),
 }
 
+fn parsed<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.as_deref().map(T::from_str) {
+        Some(Ok(v)) => v,
+        _ => die(&format!("{flag} needs a numeric argument\n{USAGE}")),
+    }
+}
+
 fn main() {
     let mut listen = None;
     let mut wal: Option<PathBuf> = None;
-    let mut load: Option<PathBuf> = None;
+    let mut load: Vec<PathBuf> = Vec::new();
+    let mut opts = ServeOptions::default();
+    let mut durability = DurabilityOptions::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tcp" => listen = args.next().map(Listen::Tcp),
             "--unix" => listen = args.next().map(|p| Listen::Unix(PathBuf::from(p))),
             "--wal" => wal = args.next().map(PathBuf::from),
-            "--load" => load = args.next().map(PathBuf::from),
+            "--load" => match args.next() {
+                Some(p) => load.push(PathBuf::from(p)),
+                None => die(&format!("--load needs a file argument\n{USAGE}")),
+            },
+            "--checkpoint" => {
+                let n: u64 = parsed("--checkpoint", args.next());
+                durability.checkpoint_interval = (n > 0).then_some(n);
+            }
+            "--max-sessions" => opts.max_sessions = parsed("--max-sessions", args.next()),
+            "--idle-timeout" => {
+                opts.idle_timeout =
+                    Some(Duration::from_secs(parsed("--idle-timeout", args.next())));
+            }
+            "--deadline" => {
+                opts.statement_deadline =
+                    Some(Duration::from_millis(parsed("--deadline", args.next())));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -58,54 +140,37 @@ fn main() {
     let Some(listen) = listen else {
         die(USAGE);
     };
+    if opts.max_sessions == 0 {
+        die("--max-sessions must be at least 1");
+    }
 
     let state = match &wal {
-        Some(path) => match ServerState::durable(path) {
-            Ok((state, replayed)) => {
+        Some(path) => match ServerState::durable_opts(path, durability, &load) {
+            Ok((state, head)) => {
                 eprintln!(
-                    "gdp-serve: replayed {replayed} commit(s) from {} (head seq {})",
+                    "gdp-serve: recovered head seq {head} from {} (fingerprint {:016x})",
                     path.display(),
-                    state.store().head_seq()
+                    state.store().base_fingerprint().unwrap_or(0)
                 );
                 state
             }
             Err(e) => die(&format!("cannot open WAL {}: {e}", path.display())),
         },
-        None => match ServerState::new() {
+        None => match ServerState::with_load(&load) {
             Ok(state) => state,
             Err(e) => die(&format!("failed to initialize: {e}")),
         },
     };
-
-    if let Some(path) = load {
-        let source = match std::fs::read_to_string(&path) {
-            Ok(s) => s,
-            Err(e) => die(&format!("cannot read {}: {e}", path.display())),
-        };
-        let registry = state.registry().clone();
-        let result = state.store().commit(|spec| {
-            gdp::lang::Loader::with_spatial(spec, &registry)
-                .load_str(&source)
-                .map_err(|e| gdp::core::SpecError::Transaction(e.to_string()))
-        });
-        match result {
-            Ok((committed, summary)) => eprintln!(
-                "gdp-serve: loaded {} ({} facts, {} rules, {} constraints) as seq {}",
-                path.display(),
-                summary.facts,
-                summary.rules,
-                summary.constraints,
-                committed.seq
-            ),
-            Err(e) => die(&format!("cannot load {}: {e}", path.display())),
-        }
+    for path in &load {
+        eprintln!("gdp-serve: base image includes {}", path.display());
     }
+    install_sigterm(std::sync::Arc::clone(&state));
 
     let outcome = match listen {
         Listen::Tcp(addr) => match TcpListener::bind(&addr) {
             Ok(listener) => {
                 eprintln!("gdp-serve: listening on tcp://{addr}");
-                serve_tcp(state, listener)
+                serve_tcp_opts(state, listener, opts)
             }
             Err(e) => die(&format!("cannot bind {addr}: {e}")),
         },
@@ -115,7 +180,7 @@ fn main() {
             match std::os::unix::net::UnixListener::bind(&path) {
                 Ok(listener) => {
                     eprintln!("gdp-serve: listening on unix://{}", path.display());
-                    serve_unix(state, listener)
+                    serve_unix_opts(state, listener, opts)
                 }
                 Err(e) => die(&format!("cannot bind {}: {e}", path.display())),
             }

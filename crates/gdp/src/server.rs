@@ -21,21 +21,38 @@
 //!   `:commit` applies them as one commit; `:rollback` discards them;
 //! * `:snapshot [SEQ]` re-pins the session (head, or a retained earlier
 //!   commit); `:seq` shows the pinned and head sequence numbers.
+//!
+//! The socket layer is hardened for unattended operation
+//! ([`ServeOptions`]): admission control turns away connections past
+//! `max_sessions` with a clean `server busy` line; per-session idle and
+//! per-statement wall-clock deadlines ride the engine's
+//! [`CancelToken`]/deadline machinery; and a drain request (SIGTERM in
+//! `gdp-serve`, or `:shutdown` from any session) stops the accept loop,
+//! lets in-flight statements finish within a grace period, cancels the
+//! stragglers, joins every session thread, and writes a final
+//! checkpoint before returning.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
-use std::os::unix::net::UnixListener;
-use std::path::Path;
-use std::sync::Arc;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
-use gdp_core::{SpecError, SpecResult, SpecStore, Specification};
-use gdp_engine::{Delta, EngineError};
+use gdp_core::{DurabilityOptions, SpecError, SpecResult, SpecStore, Specification};
+use gdp_engine::{CancelToken, Delta, EngineError};
 use gdp_lang::Loader;
 use gdp_spatial::SpatialRegistry;
 
 const PROMPT: &str = "gdp> ";
 const CONT_PROMPT: &str = "...> ";
+
+/// How often blocked socket reads wake up to notice drain/idle state,
+/// and how often the accept loop polls its non-blocking listener.
+const TICK: Duration = Duration::from_millis(50);
 
 const HELP: &str = "\
 statements  any specification-language statement ending in `.`
@@ -51,14 +68,54 @@ statements  any specification-language statement ending in `.`
 :audit [-j N] [-i]  parallel world-view audit of the pinned snapshot
 :views      the active world view and meta-view
 :stats      knowledge-base and solver statistics (pinned snapshot)
+:shutdown   drain the whole server: stop accepting, finish sessions,
+            write a final checkpoint, exit
 :help       this text
 :quit       close this session";
 
-/// Shared server state: the MVCC store and the spatial registry every
-/// session's loader consults. Sessions hold it behind an [`Arc`].
+/// Serving knobs: admission control, timeouts, drain behavior. Every
+/// field has a production-sane default; `gdp-serve` exposes them as
+/// flags.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Maximum concurrent sessions; further connections are turned away
+    /// with a clean `server busy` line instead of queueing unboundedly.
+    pub max_sessions: usize,
+    /// Close a session after this long without a complete line from the
+    /// client. `None` = sessions may idle forever.
+    pub idle_timeout: Option<Duration>,
+    /// Wall-clock deadline applied to each statement (queries, `:check`,
+    /// `:audit`, commit blocks). `None` = no per-statement limit.
+    pub statement_deadline: Option<Duration>,
+    /// On drain, how long in-flight statements get to finish naturally
+    /// before their cancel tokens are tripped.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            max_sessions: 64,
+            idle_timeout: None,
+            statement_deadline: None,
+            drain_grace: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Shared server state: the MVCC store, the spatial registry every
+/// session's loader consults, and the drain/admission bookkeeping.
+/// Sessions hold it behind an [`Arc`].
 pub struct ServerState {
     store: SpecStore,
     registry: SpatialRegistry,
+    /// Tripped by SIGTERM or `:shutdown`; the accept loop and every
+    /// session tick notice it and wind down.
+    shutdown: AtomicBool,
+    /// Active sessions' cancel tokens, keyed by session id — the drain
+    /// path trips them all after the grace period.
+    sessions: Mutex<HashMap<u64, CancelToken>>,
+    next_session: AtomicU64,
 }
 
 /// The base image every `gdp-serve` process starts from: the standard
@@ -72,23 +129,67 @@ fn base_spec() -> SpecResult<(Specification, SpatialRegistry)> {
 }
 
 impl ServerState {
-    /// In-memory server: no write-ahead log.
-    pub fn new() -> SpecResult<Arc<ServerState>> {
-        let (spec, registry) = base_spec()?;
-        Ok(Arc::new(ServerState {
-            store: SpecStore::new(spec),
-            registry,
-        }))
+    /// Build the base image: the standard spec plus every `--load` file,
+    /// applied *before* the store exists. Load files are part of the
+    /// base, not commits — durable stores fingerprint the result, so a
+    /// load file that changes between runs is caught at recovery instead
+    /// of silently diverging the replay.
+    fn build_base(load: &[PathBuf]) -> SpecResult<(Specification, SpatialRegistry)> {
+        let (mut spec, registry) = base_spec()?;
+        for path in load {
+            let source = std::fs::read_to_string(path).map_err(|e| {
+                SpecError::Transaction(format!("cannot read {}: {e}", path.display()))
+            })?;
+            Loader::with_spatial(&mut spec, &registry)
+                .load_str(&source)
+                .map_err(|e| {
+                    SpecError::Transaction(format!("cannot load {}: {e}", path.display()))
+                })?;
+        }
+        Ok((spec, registry))
     }
 
-    /// Durable server: open (or create) the write-ahead log at `path`,
-    /// replay any committed deltas over the base image, and append every
-    /// subsequent commit to it. Returns the state and the number of
-    /// commits replayed.
+    fn from_store(store: SpecStore, registry: SpatialRegistry) -> Arc<ServerState> {
+        Arc::new(ServerState {
+            store,
+            registry,
+            shutdown: AtomicBool::new(false),
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        })
+    }
+
+    /// In-memory server: no write-ahead log.
+    pub fn new() -> SpecResult<Arc<ServerState>> {
+        ServerState::with_load(&[])
+    }
+
+    /// In-memory server over the base image plus `load` files.
+    pub fn with_load(load: &[PathBuf]) -> SpecResult<Arc<ServerState>> {
+        let (spec, registry) = ServerState::build_base(load)?;
+        Ok(ServerState::from_store(SpecStore::new(spec), registry))
+    }
+
+    /// Durable server with default durability options — see
+    /// [`ServerState::durable_opts`].
     pub fn durable(path: &Path) -> SpecResult<(Arc<ServerState>, u64)> {
-        let (spec, registry) = base_spec()?;
-        let (store, replayed) = SpecStore::recover(spec, path)?;
-        Ok((Arc::new(ServerState { store, registry }), replayed))
+        ServerState::durable_opts(path, DurabilityOptions::default(), &[])
+    }
+
+    /// Durable server: recover from the checkpoint/WAL family at `path`
+    /// (newest valid checkpoint + log suffix) over the base image plus
+    /// `load` files, and append every subsequent commit. The base's
+    /// fingerprint is checked against what is on disk — a changed load
+    /// file is a hard error. Returns the state and the recovered head
+    /// sequence number.
+    pub fn durable_opts(
+        path: &Path,
+        opts: DurabilityOptions,
+        load: &[PathBuf],
+    ) -> SpecResult<(Arc<ServerState>, u64)> {
+        let (spec, registry) = ServerState::build_base(load)?;
+        let (store, head) = SpecStore::recover_durable(spec, path, opts)?;
+        Ok((ServerState::from_store(store, registry), head))
     }
 
     /// The underlying MVCC store (tests and embedding).
@@ -100,15 +201,92 @@ impl ServerState {
     pub fn registry(&self) -> &SpatialRegistry {
         &self.registry
     }
+
+    /// Ask the server to drain: stop accepting, let sessions finish (or
+    /// cancel them after the grace period), checkpoint, exit. Safe from
+    /// a signal handler — a single atomic store.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Has a drain been requested?
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Number of admitted, still-active sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.sessions.lock().unwrap().len()
+    }
+
+    /// Admit a new session under `limit`, returning its id — or `None`
+    /// when the server is full (the caller sends `server busy`).
+    fn try_admit(&self, limit: usize) -> Option<u64> {
+        let mut sessions = self.sessions.lock().unwrap();
+        if sessions.len() >= limit {
+            return None;
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        sessions.insert(id, CancelToken::new());
+        Some(id)
+    }
+
+    /// Point session `id`'s registry slot at `token` (called whenever a
+    /// session pins a new view, whose snapshot carries a fresh token).
+    fn set_session_token(&self, id: u64, token: CancelToken) {
+        if let Some(slot) = self.sessions.lock().unwrap().get_mut(&id) {
+            *slot = token;
+        }
+    }
+
+    fn unregister_session(&self, id: u64) {
+        self.sessions.lock().unwrap().remove(&id);
+    }
+
+    /// Trip every active session's cancel token (drain, after grace).
+    fn cancel_all_sessions(&self) {
+        for token in self.sessions.lock().unwrap().values() {
+            token.cancel();
+        }
+    }
+}
+
+/// Removes a session from the admission registry when its thread ends —
+/// however it ends, including a panic inside the protocol loop.
+struct SessionGuard {
+    state: Arc<ServerState>,
+    id: u64,
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        self.state.unregister_session(self.id);
+    }
 }
 
 /// Drive one session over a byte stream until `:quit` or EOF. This is
 /// the whole protocol — the socket listeners just hand their streams
-/// here, and in-process tests can run it over pipes.
+/// here, and in-process tests can run it over pipes. (Pipes block
+/// without timeouts, so idle/drain ticks only fire on socket sessions.)
 pub fn serve_connection(
     state: Arc<ServerState>,
     reader: impl BufRead,
+    writer: impl Write,
+) -> std::io::Result<()> {
+    run_session(state, reader, writer, &ServeOptions::default(), None)
+}
+
+/// The protocol loop. `id` is the admission-registry slot for socket
+/// sessions; direct [`serve_connection`] callers pass `None` and skip
+/// registration. Reads that time out (socket read timeouts double as
+/// ticks) check the drain flag and the idle budget; a partial line
+/// survives across ticks in the reader's buffer.
+fn run_session(
+    state: Arc<ServerState>,
+    mut reader: impl BufRead,
     mut writer: impl Write,
+    opts: &ServeOptions,
+    id: Option<u64>,
 ) -> std::io::Result<()> {
     let (seq, view) = state.store.snapshot();
     let mut session = Session {
@@ -117,7 +295,10 @@ pub fn serve_connection(
         seq,
         pending: Delta::new(),
         txn: None,
+        deadline: opts.statement_deadline,
+        id,
     };
+    session.arm_view();
     writeln!(
         writer,
         "gdp-serve — formal GDP requirements server (snapshot pinned at seq {seq}; :help for help)"
@@ -125,62 +306,250 @@ pub fn serve_connection(
     write!(writer, "{PROMPT}")?;
     writer.flush()?;
     let mut buffer = String::new();
-    for line in reader.lines() {
-        let line = line?;
-        let trimmed = line.trim();
-        if buffer.is_empty() && trimmed.starts_with(':') {
-            if !session.command(trimmed, &mut writer)? {
-                return Ok(());
+    let mut line = String::new();
+    let mut last_activity = Instant::now();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // EOF
+            Ok(_) => {
+                last_activity = Instant::now();
+                let raw = std::mem::take(&mut line);
+                let trimmed = raw.trim();
+                if buffer.is_empty() && trimmed.starts_with(':') {
+                    if !session.command(trimmed, &mut writer)? {
+                        return Ok(());
+                    }
+                    write!(writer, "{PROMPT}")?;
+                    writer.flush()?;
+                    continue;
+                }
+                buffer.push_str(raw.trim_end_matches(['\n', '\r']));
+                buffer.push('\n');
+                if trimmed.ends_with('.') {
+                    let source = std::mem::take(&mut buffer);
+                    session.statement(&source, &mut writer)?;
+                }
+                write!(
+                    writer,
+                    "{}",
+                    if buffer.is_empty() {
+                        PROMPT
+                    } else {
+                        CONT_PROMPT
+                    }
+                )?;
+                writer.flush()?;
             }
-            write!(writer, "{PROMPT}")?;
-            writer.flush()?;
-            continue;
-        }
-        buffer.push_str(&line);
-        buffer.push('\n');
-        if trimmed.ends_with('.') {
-            let source = std::mem::take(&mut buffer);
-            session.statement(&source, &mut writer)?;
-        }
-        write!(
-            writer,
-            "{}",
-            if buffer.is_empty() {
-                PROMPT
-            } else {
-                CONT_PROMPT
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A read tick, not an error: any partial line stays in
+                // `line` (read_line appends across calls).
+                if session.state.is_shutting_down() {
+                    writeln!(writer, "server draining; closing session.")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                if let Some(idle) = opts.idle_timeout {
+                    if last_activity.elapsed() >= idle {
+                        writeln!(writer, "idle timeout; closing session.")?;
+                        writer.flush()?;
+                        return Ok(());
+                    }
+                }
             }
-        )?;
-        writer.flush()?;
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
+}
+
+/// The stream-type surface the generic accept loop needs: duplex
+/// socket streams that can split into a reader half and tick on reads.
+trait SessionStream: Read + Write + Send + Sized + 'static {
+    fn split_reader(&self) -> std::io::Result<Self>;
+    fn read_tick(&self, tick: Duration) -> std::io::Result<()>;
+}
+
+impl SessionStream for TcpStream {
+    fn split_reader(&self) -> std::io::Result<TcpStream> {
+        self.try_clone()
+    }
+    fn read_tick(&self, tick: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(tick))
+    }
+}
+
+#[cfg(unix)]
+impl SessionStream for UnixStream {
+    fn split_reader(&self) -> std::io::Result<UnixStream> {
+        self.try_clone()
+    }
+    fn read_tick(&self, tick: Duration) -> std::io::Result<()> {
+        self.set_read_timeout(Some(tick))
+    }
+}
+
+/// One admitted socket session: register, run the protocol loop, always
+/// unregister, and report how it ended to stderr with a peer tag — a
+/// session error must never vanish, and must never take down anything
+/// but its own connection.
+fn run_socket_session<S: SessionStream>(
+    state: Arc<ServerState>,
+    stream: S,
+    peer: String,
+    opts: ServeOptions,
+    id: u64,
+) {
+    let _guard = SessionGuard {
+        state: Arc::clone(&state),
+        id,
+    };
+    let result = (|| -> std::io::Result<()> {
+        stream.read_tick(TICK)?;
+        let reader = BufReader::new(stream.split_reader()?);
+        run_session(state, reader, stream, &opts, Some(id))
+    })();
+    match result {
+        Ok(()) => {}
+        Err(e)
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::BrokenPipe
+                    | std::io::ErrorKind::ConnectionReset
+                    | std::io::ErrorKind::ConnectionAborted
+            ) =>
+        {
+            // The client vanished mid-statement. Only this session dies;
+            // its buffered :begin blocks die with it (they never touched
+            // the store), and the store itself holds no open txn.
+            eprintln!("gdp-serve: session {peer}: connection lost ({e})");
+        }
+        Err(e) => eprintln!("gdp-serve: session {peer}: {e}"),
+    }
+}
+
+/// The generic hardened accept loop: poll a non-blocking `accept`,
+/// admission-check each connection, spawn admitted sessions, and on
+/// drain stop accepting, grace, cancel, join, checkpoint.
+fn accept_loop<S: SessionStream>(
+    state: Arc<ServerState>,
+    opts: ServeOptions,
+    mut accept: impl FnMut() -> std::io::Result<(S, String)>,
+) -> std::io::Result<()> {
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !state.is_shutting_down() {
+        match accept() {
+            Ok((mut stream, peer)) => {
+                handles.retain(|h| !h.is_finished());
+                match state.try_admit(opts.max_sessions) {
+                    Some(id) => {
+                        let state = Arc::clone(&state);
+                        let opts = opts.clone();
+                        handles.push(std::thread::spawn(move || {
+                            run_socket_session(state, stream, peer, opts, id)
+                        }));
+                    }
+                    None => {
+                        // Admission control: a clean, parseable refusal.
+                        let _ = writeln!(
+                            stream,
+                            "server busy: {} active sessions (limit {}); try again later.",
+                            state.active_sessions(),
+                            opts.max_sessions
+                        );
+                        let _ = stream.flush();
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(TICK);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    drain(&state, &opts, handles)
+}
+
+/// Graceful drain, in order: accepting has stopped (the caller's loop
+/// exited); give in-flight statements `drain_grace` to finish — idle
+/// sessions notice the flag at their next read tick and close
+/// themselves; trip the cancel tokens of whatever is still mid-
+/// statement; join every session thread; finally fold the drained head
+/// into a checkpoint so restart replays nothing.
+fn drain(
+    state: &Arc<ServerState>,
+    opts: &ServeOptions,
+    handles: Vec<std::thread::JoinHandle<()>>,
+) -> std::io::Result<()> {
+    eprintln!(
+        "gdp-serve: draining ({} active session(s))",
+        state.active_sessions()
+    );
+    let deadline = Instant::now() + opts.drain_grace;
+    while state.active_sessions() > 0 && Instant::now() < deadline {
+        std::thread::sleep(TICK);
+    }
+    state.cancel_all_sessions();
+    for handle in handles {
+        let _ = handle.join();
+    }
+    if state.store.base_fingerprint().is_some() {
+        match state.store.checkpoint() {
+            Ok(seq) => eprintln!("gdp-serve: final checkpoint at seq {seq}"),
+            Err(e) => eprintln!("gdp-serve: final checkpoint failed: {e}"),
+        }
+    }
+    eprintln!("gdp-serve: drained; exiting");
     Ok(())
 }
 
-/// Accept TCP connections forever, one thread (and one session) each.
+/// Accept TCP connections with the default [`ServeOptions`].
 pub fn serve_tcp(state: Arc<ServerState>, listener: TcpListener) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let state = Arc::clone(&state);
-        std::thread::spawn(move || {
-            let reader = BufReader::new(stream.try_clone()?);
-            serve_connection(state, reader, stream)
-        });
-    }
-    Ok(())
+    serve_tcp_opts(state, listener, ServeOptions::default())
 }
 
-/// Accept Unix-socket connections forever, one thread each.
+/// Accept TCP connections, one thread (and one session) each, under
+/// admission control, until a drain is requested
+/// ([`ServerState::request_shutdown`] / `:shutdown`); then drain
+/// gracefully and return.
+pub fn serve_tcp_opts(
+    state: Arc<ServerState>,
+    listener: TcpListener,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    accept_loop(state, opts, move || {
+        let (stream, addr) = listener.accept()?;
+        stream.set_nonblocking(false)?;
+        Ok((stream, addr.to_string()))
+    })
+}
+
+/// Accept Unix-socket connections with the default [`ServeOptions`].
 #[cfg(unix)]
 pub fn serve_unix(state: Arc<ServerState>, listener: UnixListener) -> std::io::Result<()> {
-    for stream in listener.incoming() {
-        let stream = stream?;
-        let state = Arc::clone(&state);
-        std::thread::spawn(move || {
-            let reader = BufReader::new(stream.try_clone()?);
-            serve_connection(state, reader, stream)
-        });
-    }
-    Ok(())
+    serve_unix_opts(state, listener, ServeOptions::default())
+}
+
+/// Accept Unix-socket connections, one thread each, under admission
+/// control and graceful drain (the Unix twin of [`serve_tcp_opts`]).
+#[cfg(unix)]
+pub fn serve_unix_opts(
+    state: Arc<ServerState>,
+    listener: UnixListener,
+    opts: ServeOptions,
+) -> std::io::Result<()> {
+    listener.set_nonblocking(true)?;
+    accept_loop(state, opts, move || {
+        let (stream, _addr) = listener.accept()?;
+        stream.set_nonblocking(false)?;
+        Ok((stream, "unix".to_string()))
+    })
 }
 
 struct Session {
@@ -193,14 +562,29 @@ struct Session {
     pending: Delta,
     /// Statement blocks buffered since `:begin`, awaiting `:commit`.
     txn: Option<Vec<String>>,
+    /// Per-statement wall-clock deadline (from [`ServeOptions`]).
+    deadline: Option<Duration>,
+    /// Admission-registry id for socket sessions (drain cancellation).
+    id: Option<u64>,
 }
 
 impl Session {
+    /// Wire the current view into the session plumbing: apply the
+    /// per-statement deadline and (socket sessions) point the drain
+    /// registry at the view's fresh cancel token.
+    fn arm_view(&mut self) {
+        self.view.set_deadline(self.deadline);
+        if let Some(id) = self.id {
+            self.state.set_session_token(id, self.view.cancel_token());
+        }
+    }
+
     /// Re-pin the session at the store's head.
     fn repin(&mut self) {
         let (seq, view) = self.state.store.snapshot();
         self.seq = seq;
         self.view = view;
+        self.arm_view();
     }
 
     /// Handle one completed statement block.
@@ -245,19 +629,27 @@ impl Session {
     /// new head on success.
     fn apply(&mut self, sources: &[String], w: &mut impl Write) -> std::io::Result<()> {
         let registry = self.state.registry.clone();
+        let deadline = self.deadline;
         let result = self.state.store.commit(|spec| {
-            let mut summaries = Vec::new();
-            for source in sources {
-                let summary = Loader::with_spatial(spec, &registry)
-                    .load_str(source)
-                    .map_err(|e| {
-                        let rendered: Vec<String> =
-                            e.diagnostics().iter().map(|d| d.to_string()).collect();
-                        SpecError::Transaction(rendered.join("; "))
-                    })?;
-                summaries.push(summary);
-            }
-            Ok(summaries)
+            // The statement deadline also bounds the commit block; the
+            // live spec's deadline is restored on every exit path.
+            spec.set_deadline(deadline);
+            let out = (|| {
+                let mut summaries = Vec::new();
+                for source in sources {
+                    let summary = Loader::with_spatial(spec, &registry)
+                        .load_str(source)
+                        .map_err(|e| {
+                            let rendered: Vec<String> =
+                                e.diagnostics().iter().map(|d| d.to_string()).collect();
+                            SpecError::Transaction(rendered.join("; "))
+                        })?;
+                    summaries.push(summary);
+                }
+                Ok(summaries)
+            })();
+            spec.set_deadline(None);
+            out
         });
         match result {
             Ok((committed, summaries)) => {
@@ -310,6 +702,7 @@ impl Session {
                         Ok(view) => {
                             self.view = view;
                             self.seq = seq;
+                            self.arm_view();
                             writeln!(w, "pinned at seq {seq}.")?;
                         }
                         Err(e) => writeln!(w, "error: {e}")?,
@@ -317,6 +710,14 @@ impl Session {
                     Err(_) => writeln!(w, "usage: :snapshot [SEQ]")?,
                 },
             },
+            ":shutdown" => {
+                self.state.request_shutdown();
+                writeln!(
+                    w,
+                    "draining: the server has stopped accepting and will exit; goodbye."
+                )?;
+                return Ok(false);
+            }
             ":begin" => {
                 if self.txn.is_some() {
                     writeln!(w, "error: transaction error: a transaction is already open")?;

@@ -171,4 +171,34 @@ done
 echo "==> cargo test delta_merge_prop"
 cargo test -q --release -p gdp --test delta_merge_prop
 
+# Checkpointed-recovery legs: crash-safe checkpoints × injected disk
+# faults × tabling. The in-file sweeps always run; a GDP_CHAOS io:
+# value additionally arms a ChaosFile fault under every WAL and
+# checkpoint write in the env-driven case (io:short/fsync/crash at a
+# byte-or-sync trigger, io:SEED for a derived point). Crossed with
+# tabling because recovery must neither depend on nor corrupt tabled
+# state.
+for chaos in unset io:short:31 io:fsync:2 io:crash:77 io:1986; do
+    for tabling in unset on; do
+        env_args=()
+        if [ "$chaos" != unset ]; then
+            env_args+=("GDP_CHAOS=$chaos")
+        fi
+        if [ "$tabling" != unset ]; then
+            env_args+=("GDP_TABLING=$tabling")
+        fi
+        echo "==> cargo test checkpoint_recovery+io_faults [chaos=$chaos, tabling=$tabling]"
+        env "${env_args[@]}" cargo test -q --release -p gdp \
+            --test checkpoint_recovery --test io_faults
+    done
+done
+
+# Hardened-serving legs: admission control turns extras away cleanly,
+# idle sessions are reaped, lost connections tear down only their own
+# session, and the drain smoke — the real gdp-serve binary SIGTERMed
+# under four concurrent committing sessions — must exit 0 with a final
+# checkpoint from which every acknowledged commit recovers.
+echo "==> cargo test server_hardening (incl. SIGTERM drain smoke)"
+cargo test -q --release -p gdp --test server_hardening
+
 echo "ci: all checks passed"

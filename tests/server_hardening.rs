@@ -1,0 +1,433 @@
+//! gdp-serve hardening: admission control, timeouts, graceful drain.
+//!
+//! Each test boots an in-process server on an ephemeral TCP port with
+//! explicit [`ServeOptions`] and drives it with raw `TcpStream` clients
+//! that *tolerate* mid-stream closure — unlike the smoke suite, these
+//! sessions are expected to be turned away, timed out, or drained.
+//!
+//! The drain test is the acceptance criterion of ISSUE 9: four
+//! concurrent sessions stream commits while the server is told to shut
+//! down, and afterwards the on-disk checkpoint + WAL family must
+//! recover every commit a client saw acknowledged.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use gdp::core::DurabilityOptions;
+use gdp::prelude::FactPat;
+use gdp::server::{serve_tcp_opts, ServeOptions, ServerState};
+
+const PROMPT: &str = "gdp> ";
+
+fn temp_wal(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("gdp-harden-{tag}-{}.wal", std::process::id()));
+    p
+}
+
+fn remove_family(path: &Path) {
+    for suffix in ["", ".prev", ".ckpt", ".ckpt.prev", ".ckpt.tmp"] {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(suffix);
+        let _ = std::fs::remove_file(PathBuf::from(os));
+    }
+}
+
+/// Boot a server with explicit options; returns the accept loop's join
+/// handle so drain tests can assert it exits cleanly.
+fn boot(
+    state: Arc<ServerState>,
+    opts: ServeOptions,
+) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let accept_state = Arc::clone(&state);
+    let handle = std::thread::spawn(move || serve_tcp_opts(accept_state, listener, opts));
+    (addr, handle)
+}
+
+/// A protocol client that tolerates the server hanging up on it.
+struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client { stream }
+    }
+
+    /// Read until the next prompt. `None` = the connection ended first
+    /// (EOF or reset), with whatever arrived discarded.
+    fn read_to_prompt(&mut self) -> Option<String> {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+            if buf.ends_with(PROMPT.as_bytes()) {
+                buf.truncate(buf.len() - PROMPT.len());
+                return Some(String::from_utf8_lossy(&buf).into_owned());
+            }
+        }
+    }
+
+    /// Send one line; `None` if the write or the reply failed.
+    fn send(&mut self, input: &str) -> Option<String> {
+        self.stream.write_all(input.as_bytes()).ok()?;
+        self.stream.write_all(b"\n").ok()?;
+        self.stream.flush().ok()?;
+        self.read_to_prompt()
+    }
+
+    /// Drain the stream to EOF (rejected/closed sessions).
+    fn read_to_eof(&mut self) -> String {
+        let mut buf = String::new();
+        let _ = self.stream.read_to_string(&mut buf);
+        buf
+    }
+}
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn admission_limit_turns_extra_sessions_away() {
+    let state = ServerState::new().expect("state");
+    let opts = ServeOptions {
+        max_sessions: 1,
+        ..ServeOptions::default()
+    };
+    let (addr, _handle) = boot(Arc::clone(&state), opts);
+
+    let mut first = Client::connect(addr);
+    assert!(first.read_to_prompt().is_some(), "first session rejected");
+
+    // Second connection: a clean busy line, then hangup — no banner, no
+    // half-open session.
+    let mut second = Client::connect(addr);
+    let reply = second.read_to_eof();
+    assert!(
+        reply.contains("server busy") && reply.contains("limit 1"),
+        "unexpected rejection text: {reply}"
+    );
+    assert!(!reply.contains(PROMPT), "rejected session got a prompt");
+
+    // The admitted session still works while the server is "full"...
+    let reply = first.send("bridge(b1).").expect("admitted session died");
+    assert!(reply.contains("committed as seq 1"), "{reply}");
+
+    // ...and its slot frees on disconnect, re-admitting newcomers.
+    drop(first);
+    wait_until("slot release", || state.active_sessions() == 0);
+    let mut third = Client::connect(addr);
+    assert!(third.read_to_prompt().is_some(), "freed slot not reusable");
+    let reply = third.send("?- bridge(X).").expect("third session died");
+    assert!(reply.contains("X = b1"), "{reply}");
+}
+
+#[test]
+fn idle_sessions_are_closed_after_the_timeout() {
+    let state = ServerState::new().expect("state");
+    let opts = ServeOptions {
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..ServeOptions::default()
+    };
+    let (addr, _handle) = boot(Arc::clone(&state), opts);
+
+    let mut c = Client::connect(addr);
+    assert!(c.read_to_prompt().is_some());
+    // Say nothing; the server must hang up with an explanation.
+    let farewell = c.read_to_eof();
+    assert!(farewell.contains("idle timeout"), "{farewell}");
+    wait_until("session teardown", || state.active_sessions() == 0);
+
+    // An active session is not an idle one: keep talking under the same
+    // timeout and the connection stays.
+    let mut busy = Client::connect(addr);
+    assert!(busy.read_to_prompt().is_some());
+    for i in 0..4 {
+        std::thread::sleep(Duration::from_millis(100));
+        let reply = busy
+            .send(&format!("tick(t{i})."))
+            .expect("busy session dropped");
+        assert!(reply.contains("committed"), "{reply}");
+    }
+}
+
+/// An abrupt client disconnect mid-session tears down only that session
+/// (logged, not fatal): the accept loop and every other session keep
+/// serving. Regression for the satellite fix — these errors used to be
+/// silently dropped on the floor.
+#[test]
+fn lost_connection_tears_down_only_its_session() {
+    let state = ServerState::new().expect("state");
+    let (addr, _handle) = boot(Arc::clone(&state), ServeOptions::default());
+
+    let mut survivor = Client::connect(addr);
+    assert!(survivor.read_to_prompt().is_some());
+
+    {
+        let mut doomed = Client::connect(addr);
+        assert!(doomed.read_to_prompt().is_some());
+        // Fire a statement and vanish without reading the reply: the
+        // unread data makes the close an RST on most stacks, so the
+        // server's session hits a genuine connection error rather than
+        // a tidy EOF. (Either way the session must die quietly.)
+        doomed.stream.write_all(b"bridge(rst).\n").unwrap();
+        doomed.stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    wait_until("doomed session teardown", || state.active_sessions() <= 1);
+
+    // The survivor and a newcomer are untouched.
+    let reply = survivor.send("road(r1).").expect("survivor died");
+    assert!(reply.contains("committed"), "{reply}");
+    let mut fresh = Client::connect(addr);
+    assert!(fresh.read_to_prompt().is_some());
+    let reply = fresh.send("?- road(X).").expect("fresh session died");
+    assert!(reply.contains("X = r1"), "{reply}");
+}
+
+#[test]
+fn shutdown_command_drains_the_accept_loop() {
+    let state = ServerState::new().expect("state");
+    let (addr, handle) = boot(Arc::clone(&state), ServeOptions::default());
+
+    let mut c = Client::connect(addr);
+    assert!(c.read_to_prompt().is_some());
+    c.send("bridge(b1).");
+    // `:shutdown` answers, then the session and the accept loop wind
+    // down; the accept thread must return cleanly.
+    c.stream.write_all(b":shutdown\n").unwrap();
+    c.stream.flush().unwrap();
+    let farewell = c.read_to_eof();
+    assert!(farewell.contains("draining"), "{farewell}");
+    assert!(state.is_shutting_down());
+    handle
+        .join()
+        .expect("accept thread panicked")
+        .expect("accept loop errored");
+}
+
+/// The ISSUE 9 drain criterion: a durable server draining under four
+/// concurrent committing sessions exits cleanly and loses *no commit any
+/// client saw acknowledged* — the recovered head covers every
+/// acknowledged sequence number and every acknowledged fact is present.
+#[test]
+fn drain_under_concurrent_commits_loses_no_acknowledged_commit() {
+    let wal = temp_wal("drain");
+    remove_family(&wal);
+    let (state, head) =
+        ServerState::durable_opts(&wal, DurabilityOptions::default(), &[]).expect("durable state");
+    assert_eq!(head, 0);
+    let (addr, handle) = boot(Arc::clone(&state), ServeOptions::default());
+
+    // Four writers race: each commits facts mk(cK_I) until the server
+    // hangs up on it, recording what was acknowledged.
+    let writers: Vec<_> = (1..=4)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut acked: Vec<(String, u64)> = Vec::new();
+                if c.read_to_prompt().is_none() {
+                    return acked;
+                }
+                for i in 1..=50u32 {
+                    let fact = format!("c{k}_{i}");
+                    let Some(reply) = c.send(&format!("mk({fact}).")) else {
+                        break; // drained mid-exchange: nothing acknowledged
+                    };
+                    let Some(seq) = parse_seq(&reply) else {
+                        break; // "server draining" or an error: not an ack
+                    };
+                    acked.push((fact, seq));
+                }
+                acked
+            })
+        })
+        .collect();
+
+    // Let the writers get going, then pull the plug the way SIGTERM
+    // does: a bare `request_shutdown`.
+    std::thread::sleep(Duration::from_millis(150));
+    state.request_shutdown();
+    let acked: Vec<(String, u64)> = writers
+        .into_iter()
+        .flat_map(|w| w.join().expect("writer panicked"))
+        .collect();
+    handle
+        .join()
+        .expect("accept thread panicked")
+        .expect("drain errored");
+    drop(state);
+
+    // The drain wrote a final checkpoint.
+    let mut ckpt = wal.as_os_str().to_os_string();
+    ckpt.push(".ckpt");
+    assert!(
+        PathBuf::from(ckpt).exists(),
+        "drain left no final checkpoint"
+    );
+
+    // Recover from disk: every acknowledged commit must be there.
+    let (state, head) =
+        ServerState::durable_opts(&wal, DurabilityOptions::default(), &[]).expect("recovery");
+    let max_acked = acked.iter().map(|(_, seq)| *seq).max().unwrap_or(0);
+    assert!(
+        head >= max_acked,
+        "recovered head {head} behind acknowledged seq {max_acked}"
+    );
+    assert!(
+        !acked.is_empty(),
+        "no writer got a single ack before the drain — test proved nothing"
+    );
+    state.store().read(|spec| {
+        for (fact, seq) in &acked {
+            assert!(
+                spec.provable(FactPat::new("mk").arg(fact.as_str()))
+                    .unwrap(),
+                "acknowledged commit {seq} (mk({fact})) lost across drain"
+            );
+        }
+    });
+    drop(state);
+    remove_family(&wal);
+}
+
+/// The same drain criterion end-to-end through the real binary: spawn
+/// `gdp-serve`, stream commits from four concurrent TCP sessions, send
+/// SIGTERM, and require exit status 0, a final checkpoint on disk, and
+/// a recovery containing every acknowledged commit. This is the only
+/// test that exercises the actual signal-handler wiring in `serve.rs`.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_the_real_binary_with_a_valid_checkpoint() {
+    use std::process::{Command, Stdio};
+
+    let wal = temp_wal("sigterm");
+    remove_family(&wal);
+    // Pick a free port, release it, and hand it to the child. (A tiny
+    // reuse race, but the bind happens milliseconds later.)
+    let addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+        probe.local_addr().expect("probe addr")
+    };
+    let mut child = Command::new(env!("CARGO_BIN_EXE_gdp-serve"))
+        .args([
+            "--tcp",
+            &addr.to_string(),
+            "--wal",
+            wal.to_str().expect("utf8 wal path"),
+            "--checkpoint",
+            "4",
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn gdp-serve");
+
+    // Wait until the child is accepting (recovery + bind take a moment).
+    let mut probe = None;
+    let deadline = Instant::now() + Duration::from_secs(20);
+    while probe.is_none() {
+        assert!(Instant::now() < deadline, "gdp-serve never came up");
+        match TcpStream::connect(addr) {
+            Ok(stream) => probe = Some(stream),
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+    drop(probe);
+
+    let writers: Vec<_> = (1..=4)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let mut acked: Vec<(String, u64)> = Vec::new();
+                if c.read_to_prompt().is_none() {
+                    return acked;
+                }
+                for i in 1..=50u32 {
+                    let fact = format!("s{k}_{i}");
+                    let Some(reply) = c.send(&format!("mk({fact}).")) else {
+                        break;
+                    };
+                    let Some(seq) = parse_seq(&reply) else {
+                        break;
+                    };
+                    acked.push((fact, seq));
+                }
+                acked
+            })
+        })
+        .collect();
+
+    std::thread::sleep(Duration::from_millis(150));
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+    }
+    const SIGTERM: i32 = 15;
+    assert_eq!(
+        unsafe { kill(child.id() as i32, SIGTERM) },
+        0,
+        "kill failed"
+    );
+
+    let acked: Vec<(String, u64)> = writers
+        .into_iter()
+        .flat_map(|w| w.join().expect("writer panicked"))
+        .collect();
+    let status = child.wait().expect("wait on gdp-serve");
+    assert!(status.success(), "gdp-serve exited {status} under SIGTERM");
+
+    let mut ckpt = wal.as_os_str().to_os_string();
+    ckpt.push(".ckpt");
+    assert!(
+        PathBuf::from(ckpt).exists(),
+        "SIGTERM drain left no final checkpoint"
+    );
+    assert!(
+        !acked.is_empty(),
+        "no commit was acknowledged before SIGTERM"
+    );
+
+    // Recover over the same base the binary serves (the standard spec)
+    // and hold it to the acknowledged prefix.
+    let (state, head) =
+        ServerState::durable_opts(&wal, DurabilityOptions::default(), &[]).expect("recovery");
+    let max_acked = acked.iter().map(|(_, seq)| *seq).max().unwrap_or(0);
+    assert!(
+        head >= max_acked,
+        "recovered head {head} behind acknowledged seq {max_acked}"
+    );
+    state.store().read(|spec| {
+        for (fact, seq) in &acked {
+            assert!(
+                spec.provable(FactPat::new("mk").arg(fact.as_str()))
+                    .unwrap(),
+                "acknowledged commit {seq} (mk({fact})) lost across SIGTERM drain"
+            );
+        }
+    });
+    drop(state);
+    remove_family(&wal);
+}
+
+/// "committed as seq N" → N.
+fn parse_seq(reply: &str) -> Option<u64> {
+    let tail = reply.split("committed as seq ").nth(1)?;
+    let digits: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}

@@ -211,6 +211,38 @@ fn concurrent_readers_match_sequential_baselines() {
     }
 }
 
+/// Pinning at a sequence that has fallen out of the retained history
+/// names the window that *is* available, so an operator can re-pin
+/// without guessing (ISSUE 9 satellite).
+#[test]
+fn expired_snapshot_request_reports_the_retained_window() {
+    let (_state, addr) = boot();
+    let mut writer = Client::connect(addr);
+    // 66 commits with a 64-record retention: seqs 1 and 2 age out
+    // (records 3..=66 remain, so the reconstructible window is 2..=66).
+    for k in 1..=66 {
+        let reply = writer.send(&format!("span(s{k})."));
+        assert!(reply.contains(&format!("committed as seq {k}")), "{reply}");
+    }
+
+    let reply = writer.send(":snapshot 0");
+    assert!(reply.contains("no longer retained"), "{reply}");
+    assert!(
+        reply.contains("retained window is 2..=66"),
+        "window missing from: {reply}"
+    );
+    assert!(reply.contains("last 64 commits"), "{reply}");
+
+    // The named window is honest: its oldest edge works.
+    let reply = writer.send(":snapshot 2");
+    assert!(reply.contains("pinned at seq 2."), "{reply}");
+    let reply = writer.send("?- span(X).");
+    assert!(
+        reply.contains("X = s2") && !reply.contains("X = s3"),
+        "{reply}"
+    );
+}
+
 #[test]
 fn audit_runs_against_the_pinned_snapshot() {
     let (_state, addr) = boot();

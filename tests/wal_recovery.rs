@@ -15,7 +15,7 @@
 //! by running the same suite with tabling armed, which must not disturb
 //! recovery equivalence.
 
-use gdp::engine::wal::{replay, Wal};
+use gdp::engine::wal::{replay, Wal, WalHeader};
 use gdp::engine::{Budget, GroupId, KnowledgeBase, Solver, Term};
 
 /// Seed from `GDP_CHAOS` ("1234" or "kind:1234" forms both yield 1234).
@@ -139,7 +139,7 @@ fn recovery_reproduces_every_commit_boundary() {
 
     const COMMITS: u64 = 12;
     let mut live = base_kb(tabling);
-    let mut wal = Wal::create(&path).expect("create wal");
+    let mut wal = Wal::create(&path, hdr()).expect("create wal");
     let mut rng = Lcg(seed);
     // `boundaries[k]` is the live KB right after commit k (0 = base).
     let mut boundaries = vec![live.snapshot()];
@@ -169,7 +169,7 @@ fn recovery_reproduces_every_commit_boundary() {
         for torn in [0usize, 1, 7] {
             let end = (cut + torn).min(full.len());
             std::fs::write(&path, &full[..end]).expect("write crash image");
-            let (_wal, records) = Wal::open(&path).expect("open");
+            let (_wal, records) = Wal::open(&path, hdr()).expect("open");
             assert_eq!(records.len(), k, "boundary {k}, torn {torn}");
             let mut recovered = base_kb(tabling);
             replay(&records, &mut recovered);
@@ -190,9 +190,16 @@ fn recovery_reproduces_every_commit_boundary() {
     let _ = std::fs::remove_file(&path);
 }
 
-/// Byte length of the first `k` records of an intact log image.
+/// The fresh-log header used throughout (fingerprint irrelevant here —
+/// these tests replay over in-process KBs, not fingerprinted bases).
+fn hdr() -> WalHeader {
+    WalHeader::new(0x1986, 1)
+}
+
+/// Byte length of the header plus the first `k` records of an intact
+/// log image (records start after the 28-byte header).
 fn prefix_len(log: &[u8], k: usize) -> usize {
-    let mut pos = 0;
+    let mut pos = 28;
     for _ in 0..k {
         let len = u32::from_le_bytes(log[pos..pos + 4].try_into().unwrap()) as usize;
         pos += 8 + len;
@@ -206,7 +213,7 @@ fn garbage_tail_is_truncated_not_fatal() {
     let path = dir.join(format!("gdp-wal-garbage-{}.wal", std::process::id()));
     let _ = std::fs::remove_file(&path);
     let mut live = base_kb(false);
-    let mut wal = Wal::create(&path).expect("create");
+    let mut wal = Wal::create(&path, hdr()).expect("create");
     live.begin_delta();
     live.assert_fact(fact("road", 1));
     let delta = live.end_delta().expect("delta");
@@ -222,7 +229,7 @@ fn garbage_tail_is_truncated_not_fatal() {
     f.write_all(&[0xde, 0xad, 0xbe, 0xef, 0x00, 0x00, 0x00, 0x01])
         .expect("write");
     drop(f);
-    let (mut wal, records) = Wal::open(&path).expect("open");
+    let (mut wal, records) = Wal::open(&path, hdr()).expect("open");
     assert_eq!(records.len(), 1);
     assert_eq!(wal.next_seq(), 2);
     // The log stays appendable after truncation.
@@ -231,7 +238,7 @@ fn garbage_tail_is_truncated_not_fatal() {
     let delta = live.end_delta().expect("delta");
     assert_eq!(wal.append(&delta).expect("append"), 2);
     drop(wal);
-    let (_wal, records) = Wal::open(&path).expect("reopen");
+    let (_wal, records) = Wal::open(&path, hdr()).expect("reopen");
     assert_eq!(records.len(), 2);
     let mut recovered = base_kb(false);
     replay(&records, &mut recovered);
